@@ -1,0 +1,49 @@
+//! Microbenchmarks for the closed-form bound computations (E1/E4/E8
+//! backbone): `Λ(η)`, `μ(q,k)` and the numeric cross-check optimizer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raysearch_bounds::numeric::golden_section_min;
+use raysearch_bounds::{a_rays, cyclic_ratio, lambda_big, mu_threshold};
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds/closed_form");
+    group.bench_function("lambda_big", |b| {
+        b.iter(|| lambda_big(black_box(1.6180339887)).unwrap())
+    });
+    group.bench_function("mu_threshold", |b| {
+        b.iter(|| mu_threshold(black_box(7), black_box(12)).unwrap())
+    });
+    group.bench_function("a_rays_grid_6x7x3", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in 2u32..=6 {
+                for k in 1u32..=7 {
+                    for f in 0u32..3.min(k) {
+                        if let Ok(v) = a_rays(m, k, f) {
+                            acc += v;
+                        }
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_numeric_optimizer(c: &mut Criterion) {
+    c.bench_function("bounds/golden_section_alpha", |b| {
+        b.iter(|| {
+            golden_section_min(
+                |a| cyclic_ratio(a, black_box(6), black_box(5)).unwrap_or(f64::INFINITY),
+                1.0 + 1e-9,
+                16.0,
+                1e-10,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_closed_forms, bench_numeric_optimizer);
+criterion_main!(benches);

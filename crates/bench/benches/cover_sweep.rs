@@ -1,0 +1,77 @@
+//! Benchmarks for the covering machinery (E7 backbone): interval
+//! extraction, fleet merging and the coverage sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use raysearch_bounds::lambda_to_mu;
+use raysearch_cover::settings::{merge_fleet_intervals, CoveredInterval, OrcSetting};
+use raysearch_cover::CoverageProfile;
+use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+fn fleet_intervals(horizon: f64) -> Vec<Vec<CoveredInterval>> {
+    let strategy = CyclicExponential::optimal(2, 3, 1).unwrap();
+    let lambda = raysearch_bounds::a_line(3, 1).unwrap() * 1.01;
+    let mu = lambda_to_mu(lambda).unwrap();
+    strategy
+        .fleet_tours(horizon)
+        .unwrap()
+        .iter()
+        .enumerate()
+        .map(|(r, tour)| {
+            let mut ivs =
+                OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(tour), mu).unwrap();
+            for iv in &mut ivs {
+                iv.robot = r;
+            }
+            ivs
+        })
+        .collect()
+}
+
+fn bench_interval_extraction(c: &mut Criterion) {
+    let strategy = CyclicExponential::optimal(2, 3, 1).unwrap();
+    let tours = strategy.fleet_tours(1e6).unwrap();
+    let turns: Vec<Vec<f64>> = tours.iter().map(OrcSetting::turns_from_tour).collect();
+    c.bench_function("cover/orc_intervals", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for t in &turns {
+                n += OrcSetting::covered_intervals(black_box(t), 2.11).unwrap().len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover/profile_build");
+    for &hi in &[1e3, 1e5, 1e7] {
+        let merged = merge_fleet_intervals(fleet_intervals(hi * 10.0));
+        group.bench_with_input(BenchmarkId::from_parameter(hi), &merged, |b, merged| {
+            b.iter(|| {
+                let p = CoverageProfile::build(black_box(merged), 1.0, hi).unwrap();
+                black_box(p.min_coverage())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_query(c: &mut Criterion) {
+    let merged = merge_fleet_intervals(fleet_intervals(1e6));
+    let profile = CoverageProfile::build(&merged, 1.0, 1e5).unwrap();
+    c.bench_function("cover/first_undercovered", |b| {
+        b.iter(|| black_box(profile.first_undercovered(black_box(4))))
+    });
+    c.bench_function("cover/coverage_at_1k_points", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 1..=1000 {
+                acc += profile.coverage_at(black_box(1.0 + f64::from(i) * 90.0));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_interval_extraction, bench_sweep, bench_witness_query);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks for the discrete-event visit engine (faults/E3 backbone).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use raysearch_faults::CrashAdversary;
+use raysearch_sim::{LinePoint, LineTrajectory, VisitEngine};
+use raysearch_strategies::{CyclicExponential, LineStrategy};
+
+fn engine(k: u32, f: u32, horizon: f64) -> VisitEngine<LineTrajectory> {
+    let strategy = CyclicExponential::optimal(2, k, f).unwrap().to_line().unwrap();
+    VisitEngine::new(
+        strategy
+            .fleet_itineraries(horizon)
+            .unwrap()
+            .iter()
+            .map(LineTrajectory::compile)
+            .collect(),
+    )
+    .unwrap()
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/schedule");
+    for &(k, f) in &[(3u32, 1u32), (7, 3)] {
+        let eng = engine(k, f, 1e5);
+        let adversary = CrashAdversary::new(f as usize);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_f{f}")),
+            &eng,
+            |b, eng| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in 1..=100 {
+                        let x = f64::from(i) * 7.3;
+                        let sched = eng.schedule(LinePoint::new(x).unwrap());
+                        if let Some(t) = adversary.detection_time(&sched) {
+                            acc += t.as_f64();
+                        }
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_stream(c: &mut Criterion) {
+    let eng = engine(5, 2, 1e5);
+    let points: Vec<LinePoint> = (1..=200)
+        .map(|i| LinePoint::new(f64::from(i) * 11.0 * if i % 2 == 0 { 1.0 } else { -1.0 }).unwrap())
+        .collect();
+    c.bench_function("engine/event_stream_200pts", |b| {
+        b.iter(|| black_box(eng.event_stream(black_box(&points)).len()))
+    });
+}
+
+criterion_group!(benches, bench_schedule, bench_event_stream);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benchmarks for the exact line evaluator (E1 backbone): scaling in the
+//! fleet size and the evaluation horizon.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use raysearch_core::LineEvaluator;
+use raysearch_strategies::{CyclicExponential, LineStrategy};
+
+fn bench_eval_by_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_line/by_fleet");
+    for &(k, f) in &[(1u32, 0u32), (3, 1), (5, 2), (7, 3)] {
+        let strategy = CyclicExponential::optimal(2, k, f).unwrap().to_line().unwrap();
+        let fleet = strategy.fleet_itineraries(1e5).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_f{f}")),
+            &fleet,
+            |b, fleet| {
+                let evaluator = LineEvaluator::new(f, 1.0, 1e4).unwrap();
+                b.iter(|| evaluator.evaluate(black_box(fleet)).unwrap().ratio)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_eval_by_horizon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_line/by_horizon");
+    let strategy = CyclicExponential::optimal(2, 3, 1).unwrap().to_line().unwrap();
+    for &hi in &[1e3, 1e5, 1e7] {
+        let fleet = strategy.fleet_itineraries(hi * 10.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(hi), &fleet, |b, fleet| {
+            let evaluator = LineEvaluator::new(1, 1.0, hi).unwrap();
+            b.iter(|| evaluator.evaluate(black_box(fleet)).unwrap().ratio)
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_queries(c: &mut Criterion) {
+    let strategy = CyclicExponential::optimal(2, 5, 2).unwrap().to_line().unwrap();
+    let fleet = strategy.fleet_itineraries(1e5).unwrap();
+    let evaluator = LineEvaluator::new(2, 1.0, 1e4).unwrap();
+    c.bench_function("eval_line/detection_time_1k_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=1000 {
+                let x = 1.0 + f64::from(i) * 9.0;
+                if let Some(t) = evaluator.detection_time(&fleet, black_box(x)).unwrap() {
+                    acc += t;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_eval_by_fleet,
+    bench_eval_by_horizon,
+    bench_detection_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks for the exact m-ray evaluator (E4/E5 backbone): scaling in
+//! the number of rays and in the fleet.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use raysearch_core::RayEvaluator;
+use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+fn bench_by_rays(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_rays/by_rays");
+    for &m in &[2u32, 4, 8, 16] {
+        let k = m - 1; // searchable with f = 0
+        let strategy = CyclicExponential::optimal(m, k, 0).unwrap();
+        let fleet = strategy.fleet_tours(1e5).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_k{k}")),
+            &fleet,
+            |b, fleet| {
+                let evaluator = RayEvaluator::new(m as usize, 0, 1.0, 1e4).unwrap();
+                b.iter(|| evaluator.evaluate(black_box(fleet)).unwrap().ratio)
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_by_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_rays/by_faults");
+    for &f in &[0u32, 1, 2, 3] {
+        let (m, k) = (3u32, 3 * (f + 1) - 1);
+        let strategy = CyclicExponential::optimal(m, k, f).unwrap();
+        let fleet = strategy.fleet_tours(1e5).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("f{f}_k{k}")),
+            &fleet,
+            |b, fleet| {
+                let evaluator = RayEvaluator::new(m as usize, f, 1.0, 1e4).unwrap();
+                b.iter(|| evaluator.evaluate(black_box(fleet)).unwrap().ratio)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_rays, bench_by_faults);
+criterion_main!(benches);

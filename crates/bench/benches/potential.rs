@@ -1,0 +1,73 @@
+//! Benchmarks for the exact assignment and potential series (E6
+//! backbone).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use raysearch_bounds::mu_threshold;
+use raysearch_cover::potential::{PotentialSeries, Setting};
+use raysearch_cover::settings::{CoveredInterval, OrcSetting};
+use raysearch_cover::ExactAssigner;
+use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+fn intervals_for(m: u32, k: u32, f: u32, mu: f64, horizon: f64) -> Vec<Vec<CoveredInterval>> {
+    CyclicExponential::optimal(m, k, f)
+        .unwrap()
+        .fleet_tours(horizon)
+        .unwrap()
+        .iter()
+        .enumerate()
+        .map(|(r, tour)| {
+            let mut ivs =
+                OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(tour), mu).unwrap();
+            for iv in &mut ivs {
+                iv.robot = r;
+            }
+            ivs
+        })
+        .collect()
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("potential/assign");
+    for &target in &[1e3, 1e5] {
+        let (m, k, f) = (2u32, 3u32, 1u32);
+        let q = m * (f + 1);
+        let mu = 1.05 * mu_threshold(k, q).unwrap();
+        let per_robot = intervals_for(m, k, f, mu, target * 10.0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(target),
+            &per_robot,
+            |b, per_robot| {
+                let assigner = ExactAssigner::new(q as usize, mu).unwrap();
+                b.iter(|| {
+                    let (a, stuck) = assigner
+                        .assign_partial(black_box(per_robot), target)
+                        .unwrap();
+                    assert!(stuck.is_none());
+                    black_box(a.steps.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_series(c: &mut Criterion) {
+    let (m, k, f) = (2u32, 3u32, 1u32);
+    let q = m * (f + 1);
+    let mu = 1.05 * mu_threshold(k, q).unwrap();
+    let per_robot = intervals_for(m, k, f, mu, 1e6);
+    let (assignment, _) = ExactAssigner::new(q as usize, mu)
+        .unwrap()
+        .assign_partial(&per_robot, 1e5)
+        .unwrap();
+    c.bench_function("potential/series_compute", |b| {
+        b.iter(|| {
+            let series =
+                PotentialSeries::compute(black_box(&assignment), Setting::Orc { q }).unwrap();
+            black_box(series.log_values.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_assignment, bench_series);
+criterion_main!(benches);

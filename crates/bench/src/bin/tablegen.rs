@@ -1,0 +1,169 @@
+//! `tablegen` — regenerate every experiment table/series of the
+//! reproduction.
+//!
+//! ```text
+//! cargo run -p raysearch-bench --bin tablegen [--release] [--json] [e1 e4 ...]
+//! ```
+//!
+//! Without experiment arguments, all of E1–E10 run. With `--json`, rows
+//! are emitted as JSON lines (one object per row, tagged with the
+//! experiment id) instead of text tables.
+
+use raysearch_bench::experiments::{
+    self, e1_theorem1, e10_boundary, e2_regimes, e3_byzantine, e4_rays, e5_alpha, e6_potential,
+    e7_orc, e8_fractional, e9_applications,
+};
+
+fn emit_json<T: serde::Serialize>(experiment: &str, rows: &[T]) {
+    for row in rows {
+        let mut value = serde_json::to_value(row).expect("rows serialize");
+        if let serde_json::Value::Object(map) = &mut value {
+            map.insert(
+                "experiment".to_owned(),
+                serde_json::Value::String(experiment.to_owned()),
+            );
+        }
+        println!("{}", serde_json::to_string(&value).expect("valid json"));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let run_all = wanted.is_empty();
+    let want = |id: &str| run_all || wanted.iter().any(|w| w == id);
+
+    let header = |id: &str, title: &str| {
+        if !json {
+            println!("\n=== {} — {title} ===\n", id.to_uppercase());
+        }
+    };
+
+    if want("e1") {
+        header("e1", "Theorem 1: A(k,f) closed form vs numeric vs measured");
+        let rows = e1_theorem1::run(10, 5e3);
+        if json {
+            emit_json("e1", &rows);
+        } else {
+            print!("{}", e1_theorem1::table(&rows).render());
+        }
+    }
+    if want("e2") {
+        header("e2", "regime map (impossible / trivial / searchable)");
+        let rows = e2_regimes::run(10);
+        if json {
+            emit_json("e2", &rows);
+        } else {
+            print!("{}", e2_regimes::table(&rows).render());
+        }
+    }
+    if want("e3") {
+        header("e3", "Byzantine bands: B(k,f) >= A(k,f), conservative UB A(k,2f)");
+        let rows = e3_byzantine::run(8);
+        if json {
+            emit_json("e3", &rows);
+        } else {
+            print!("{}", e3_byzantine::table(&rows).render());
+        }
+    }
+    if want("e4") {
+        header("e4", "Theorem 6: A(m,k,f) grid (f = 0 rows answer the open question)");
+        let rows = e4_rays::run(6, 7, 5e3);
+        if json {
+            emit_json("e4", &rows);
+        } else {
+            print!("{}", e4_rays::table(&rows).render());
+        }
+    }
+    if want("e5") {
+        header("e5", "alpha ablation: ratio vs geometric base, minimum at alpha*");
+        for (m, k, f) in [(2u32, 1u32, 0u32), (2, 3, 1), (3, 4, 1)] {
+            let rows = e5_alpha::run(m, k, f, 4, 5e3);
+            if json {
+                emit_json("e5", &rows);
+            } else {
+                print!("{}", e5_alpha::table(&rows).render());
+                println!();
+            }
+        }
+    }
+    if want("e6") {
+        header("e6", "potential growth vs mu/mu* (Lemma 5 measured)");
+        let rows = e6_potential::run(
+            2,
+            3,
+            1,
+            &[0.9, 0.99, 0.999, 0.9999, 1.0, 1.02, 1.05, 1.15],
+            5e3,
+        );
+        if json {
+            emit_json("e6", &rows);
+        } else {
+            print!("{}", e6_potential::table(&rows).render());
+        }
+    }
+    if want("e7") {
+        header("e7", "sub-threshold cover reach vs lambda (ineq. (12))");
+        for (m, k, f) in [(2u32, 1u32, 0u32), (3, 2, 0)] {
+            let rows = e7_orc::run(
+                m,
+                k,
+                f,
+                &[1.02, 0.999, 0.995, 0.98, 0.95, 0.9, 0.8],
+                1e5,
+            );
+            if json {
+                emit_json("e7", &rows);
+            } else {
+                print!("{}", e7_orc::table(&rows).render());
+                println!();
+            }
+        }
+    }
+    if want("e8") {
+        header("e8", "fractional C(eta) and the rational sandwich (Eq. (11))");
+        let rows = e8_fractional::run(
+            &[1.25, 1.5, 1.75, 2.0, std::f64::consts::E, 3.0, 3.5],
+            64,
+        );
+        if json {
+            emit_json("e8", &rows);
+        } else {
+            print!("{}", e8_fractional::table(&rows).render());
+        }
+    }
+    if want("e9") {
+        header("e9", "applications: contract scheduling & hybrid algorithms");
+        let rows = e9_applications::run(&[(1, 1), (2, 1), (3, 1), (3, 2), (4, 3), (5, 3)], 1e6);
+        if json {
+            emit_json("e9", &rows);
+        } else {
+            print!("{}", e9_applications::table(&rows).render());
+        }
+    }
+    if want("e10") {
+        header("e10", "boundaries: rho -> 1+ discontinuity and the rho = 2 cow path");
+        let rho_rows = e10_boundary::run_rho(12);
+        let base_rows = e10_boundary::run_bases(&[1.3, 1.5, 1.8, 2.0, 2.2, 2.5, 3.0, 4.0], 1e4);
+        if json {
+            emit_json("e10_rho", &rho_rows);
+            emit_json("e10_base", &base_rows);
+        } else {
+            print!("{}", e10_boundary::rho_table(&rho_rows).render());
+            println!();
+            print!("{}", e10_boundary::base_table(&base_rows).render());
+        }
+    }
+
+    if !json {
+        println!(
+            "\nexperiments available: {}",
+            experiments::ALL.join(", ")
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! E1 — Theorem 1: `A(k, f)` on the line, three independent ways.
+//!
+//! For every searchable `(k, f)` the table shows the closed form of
+//! Eq. (1), an independent numeric minimization of the strategy family's
+//! ratio `2·α^q/(α^k−1) + 1`, the *measured* worst-case ratio of the
+//! optimal strategy on the exact evaluator, and the replicated-doubling
+//! baseline (always 9). Matching columns are the tightness of Theorem 1.
+
+use raysearch_bounds::{cyclic_ratio, numeric::golden_section_min, LineInstance, Regime};
+use raysearch_core::LineEvaluator;
+use raysearch_strategies::{CyclicExponential, LineStrategy};
+
+use crate::table::{fnum, Table};
+
+/// One row of the E1 table.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// Number of robots.
+    pub k: u32,
+    /// Number of crash-faulty robots.
+    pub f: u32,
+    /// `ρ = 2(f+1)/k`.
+    pub rho: f64,
+    /// Closed form `A(k,f)` (Eq. (1)).
+    pub closed_form: f64,
+    /// Numeric minimum of `2·α^q/(α^k−1)+1` over `α` (golden section).
+    pub numeric_min: f64,
+    /// Measured sup of `τ(x)/|x|` of the optimal strategy.
+    pub measured: f64,
+    /// Replicated-doubling baseline ratio (9 for every `f < k`).
+    pub baseline: f64,
+}
+
+/// Runs E1 over all searchable `(k, f)` with `k ≤ max_k`.
+///
+/// # Panics
+///
+/// Panics if any substrate rejects in-regime parameters (a bug).
+pub fn run(max_k: u32, horizon: f64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        for f in 0..k {
+            let instance = LineInstance::new(k, f).expect("validated");
+            let Regime::Searchable { ratio: closed_form } = instance.regime() else {
+                continue;
+            };
+            let q = instance.q();
+            let (_, numeric_min) = golden_section_min(
+                |a| cyclic_ratio(a, q, k).unwrap_or(f64::INFINITY),
+                1.0 + 1e-9,
+                32.0,
+                1e-10,
+            )
+            .expect("valid interval");
+            let strategy = CyclicExponential::optimal(2, k, f)
+                .expect("searchable regime")
+                .to_line()
+                .expect("m = 2");
+            let fleet = strategy
+                .fleet_itineraries(horizon * 10.0)
+                .expect("valid horizon");
+            let measured = LineEvaluator::new(f, 1.0, horizon)
+                .expect("valid range")
+                .evaluate(&fleet)
+                .expect("fleet large enough")
+                .ratio;
+            rows.push(Row {
+                k,
+                f,
+                rho: instance.rho(),
+                closed_form,
+                numeric_min,
+                measured,
+                baseline: 9.0,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the E1 table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        ["k", "f", "rho", "A(k,f) closed", "numeric min", "measured", "baseline(9)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in rows {
+        t.push(vec![
+            r.k.to_string(),
+            r.f.to_string(),
+            format!("{:.4}", r.rho),
+            fnum(r.closed_form),
+            fnum(r.numeric_min),
+            fnum(r.measured),
+            fnum(r.baseline),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_agree() {
+        let rows = run(5, 2e3);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                (r.closed_form - r.numeric_min).abs() < 1e-6,
+                "closed vs numeric at (k={}, f={})",
+                r.k,
+                r.f
+            );
+            assert!(
+                (r.closed_form - r.measured).abs() < 1e-2 * r.closed_form,
+                "closed vs measured at (k={}, f={})",
+                r.k,
+                r.f
+            );
+            // the optimum never loses to the baseline
+            assert!(r.closed_form <= r.baseline + 1e-9);
+        }
+        // the (1,0) row is the classic cow path
+        let cow = rows.iter().find(|r| (r.k, r.f) == (1, 0)).unwrap();
+        assert!((cow.closed_form - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let rows = run(4, 1e3);
+        let t = table(&rows);
+        assert_eq!(t.len(), rows.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! E2 — the regime map of Theorem 1 (and its rays analogue).
+//!
+//! The paper's case analysis after Theorem 1: `k = f` is hopeless,
+//! `k ≥ 2(f+1)` costs nothing, and in between the formula rules. This
+//! experiment renders the full `(k, f)` map, checked by running the
+//! saturation baseline in the trivial regime.
+
+use raysearch_bounds::{LineInstance, Regime};
+use raysearch_core::LineEvaluator;
+use raysearch_strategies::{baselines::TwoWaySaturation, LineStrategy};
+
+use crate::table::{fnum, Table};
+
+/// One cell of the regime map.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// Number of robots.
+    pub k: u32,
+    /// Number of crash-faulty robots.
+    pub f: u32,
+    /// The paper's `s = 2(f+1) − k`.
+    pub s: i64,
+    /// Regime name: `impossible`, `trivial` or `searchable`.
+    pub regime: String,
+    /// The optimal ratio, when search is possible.
+    pub ratio: Option<f64>,
+    /// Measured ratio of the witness strategy in the trivial regime
+    /// (`TwoWaySaturation`, must be exactly 1).
+    pub trivial_witness: Option<f64>,
+}
+
+/// Runs E2 over the full grid `k ≤ max_k`, `f ≤ k`.
+///
+/// # Panics
+///
+/// Panics if a substrate rejects validated parameters (a bug).
+pub fn run(max_k: u32) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        for f in 0..=k {
+            let instance = LineInstance::new(k, f).expect("validated");
+            let regime = instance.regime();
+            let trivial_witness = match regime {
+                Regime::Trivial => {
+                    let s = TwoWaySaturation::new(k, f).expect("trivial regime");
+                    let fleet = s.fleet_itineraries(500.0).expect("valid horizon");
+                    Some(
+                        LineEvaluator::new(f, 1.0, 400.0)
+                            .expect("valid range")
+                            .evaluate(&fleet)
+                            .expect("enough robots")
+                            .ratio,
+                    )
+                }
+                _ => None,
+            };
+            rows.push(Row {
+                k,
+                f,
+                s: instance.s(),
+                regime: match regime {
+                    Regime::Impossible => "impossible".to_owned(),
+                    Regime::Trivial => "trivial".to_owned(),
+                    Regime::Searchable { .. } => "searchable".to_owned(),
+                },
+                ratio: regime.ratio(),
+                trivial_witness,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the E2 table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        ["k", "f", "s", "regime", "ratio", "trivial witness"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in rows {
+        t.push(vec![
+            r.k.to_string(),
+            r.f.to_string(),
+            r.s.to_string(),
+            r.regime.clone(),
+            r.ratio.map(fnum).unwrap_or_else(|| "-".to_owned()),
+            r.trivial_witness
+                .map(fnum)
+                .unwrap_or_else(|| "-".to_owned()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regime_boundaries_are_exact() {
+        let rows = run(8);
+        for r in &rows {
+            match r.regime.as_str() {
+                "impossible" => assert_eq!(r.k, r.f),
+                "trivial" => {
+                    assert!(r.s <= 0);
+                    assert_eq!(r.ratio, Some(1.0));
+                    let w = r.trivial_witness.expect("witness run");
+                    assert!((w - 1.0).abs() < 1e-12, "witness ratio {w}");
+                }
+                "searchable" => {
+                    assert!(r.s >= 1 && r.f < r.k);
+                    assert!(r.ratio.unwrap() > 1.0);
+                }
+                other => panic!("unknown regime {other}"),
+            }
+        }
+        // all three regimes occur
+        for want in ["impossible", "trivial", "searchable"] {
+            assert!(rows.iter().any(|r| r.regime == want));
+        }
+    }
+}

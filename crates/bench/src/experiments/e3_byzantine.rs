@@ -1,0 +1,114 @@
+//! E3 — the Byzantine corollary: `B(k,f) ≥ A(k,f)`.
+//!
+//! Crash behaviour is available to Byzantine robots, so every Theorem 1
+//! value is a Byzantine lower bound; for `(3,1)` this lifts the prior
+//! `3.93` (ISAAC'16) to `≈ 5.2331`. The table also shows the sound
+//! conservative verifier's guarantee `A(k, 2f)` (wait for `f+1`
+//! corroborating claims ⇒ tolerate `2f` adversarial first-visitors) where
+//! that instance is searchable — the band `[A(k,f), A(k,2f)]` is where
+//! the true `B(k,f)` lives for these strategies.
+
+use raysearch_bounds::literature::byzantine_table;
+#[cfg(test)]
+use raysearch_bounds::literature::PRIOR_BYZANTINE_LB_3_1;
+use raysearch_bounds::{a_line, LineInstance, Regime};
+
+use crate::table::{fnum, Table};
+
+/// One row of the Byzantine band table.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// Number of robots.
+    pub k: u32,
+    /// Number of Byzantine robots.
+    pub f: u32,
+    /// Prior published lower bound, when quoted in the paper.
+    pub prior_lower: Option<f64>,
+    /// The new lower bound `A(k,f)` from Theorem 1.
+    pub new_lower: f64,
+    /// The conservative verifier's upper bound `A(k, 2f)`, when the
+    /// doubled-fault instance is searchable.
+    pub conservative_upper: Option<f64>,
+}
+
+/// Runs E3 over the nontrivial grid with `k ≤ max_k`.
+///
+/// # Panics
+///
+/// Panics if a substrate rejects validated parameters (a bug).
+pub fn run(max_k: u32) -> Vec<Row> {
+    byzantine_table(max_k)
+        .expect("grid parameters are valid")
+        .into_iter()
+        .map(|r| {
+            let conservative_upper = LineInstance::new(r.k, (2 * r.f).min(r.k))
+                .ok()
+                .and_then(|i| match i.regime() {
+                    Regime::Searchable { .. } if 2 * r.f < r.k => {
+                        Some(a_line(r.k, 2 * r.f).expect("searchable"))
+                    }
+                    _ => None,
+                });
+            Row {
+                k: r.k,
+                f: r.f,
+                prior_lower: r.prior_lower_bound,
+                new_lower: r.new_lower_bound,
+                conservative_upper,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E3 table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        ["k", "f", "prior LB", "new LB = A(k,f)", "conservative UB = A(k,2f)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in rows {
+        t.push(vec![
+            r.k.to_string(),
+            r.f.to_string(),
+            r.prior_lower.map(fnum).unwrap_or_else(|| "-".to_owned()),
+            fnum(r.new_lower),
+            r.conservative_upper
+                .map(fnum)
+                .unwrap_or_else(|| "-".to_owned()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b31_lift_is_present() {
+        let rows = run(6);
+        let r = rows.iter().find(|r| (r.k, r.f) == (3, 1)).unwrap();
+        assert_eq!(r.prior_lower, Some(PRIOR_BYZANTINE_LB_3_1));
+        assert!(r.new_lower > 5.23);
+        // conservative upper for (3,1) is A(3,2) = 9
+        assert!((r.conservative_upper.unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bands_are_ordered() {
+        for r in run(8) {
+            if let Some(u) = r.conservative_upper {
+                assert!(
+                    r.new_lower <= u + 1e-12,
+                    "band inverted at (k={}, f={})",
+                    r.k,
+                    r.f
+                );
+            }
+            if let Some(p) = r.prior_lower {
+                assert!(r.new_lower > p, "no improvement at (k={}, f={})", r.k, r.f);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! E4 — Theorem 6: `A(m, k, f)` on `m` rays.
+//!
+//! The grid includes the `f = 0` rows that resolve the parallel `m`-ray
+//! search question of Baeza-Yates–Culberson–Rawlins, Kao–Ma–Sipser–Yin and
+//! Bernstein–Finkelstein–Zilberstein, and the `m = 2` rows that reduce to
+//! Theorem 1. Each value is cross-checked by the exact evaluator on the
+//! appendix strategy.
+
+use raysearch_bounds::{a_line, RayInstance, Regime};
+use raysearch_core::RayEvaluator;
+use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+use crate::table::{fnum, Table};
+
+/// One row of the E4 grid.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// Number of rays.
+    pub m: u32,
+    /// Number of robots.
+    pub k: u32,
+    /// Number of crash-faulty robots.
+    pub f: u32,
+    /// `q = m(f+1)`.
+    pub q: u32,
+    /// `η = q/k`.
+    pub eta: f64,
+    /// Closed form `A(m,k,f)` (Eq. (9)).
+    pub closed_form: f64,
+    /// Measured ratio of the appendix strategy.
+    pub measured: f64,
+    /// For `m = 2`: the Theorem 1 value (must coincide).
+    pub line_value: Option<f64>,
+}
+
+/// Runs E4 over searchable instances with `m ≤ max_m`, `k ≤ max_k`,
+/// `f ≤ 2`.
+///
+/// # Panics
+///
+/// Panics if a substrate rejects validated parameters (a bug).
+pub fn run(max_m: u32, max_k: u32, horizon: f64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for m in 2..=max_m {
+        for k in 1..=max_k {
+            for f in 0..=2u32.min(k.saturating_sub(1)) {
+                let instance = RayInstance::new(m, k, f).expect("validated");
+                let Regime::Searchable { ratio: closed_form } = instance.regime() else {
+                    continue;
+                };
+                let strategy = CyclicExponential::optimal(m, k, f).expect("searchable");
+                let fleet = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
+                let measured = RayEvaluator::new(m as usize, f, 1.0, horizon)
+                    .expect("valid range")
+                    .evaluate(&fleet)
+                    .expect("fleet large enough")
+                    .ratio;
+                rows.push(Row {
+                    m,
+                    k,
+                    f,
+                    q: instance.q(),
+                    eta: instance.eta(),
+                    closed_form,
+                    measured,
+                    line_value: (m == 2).then(|| a_line(k, f).expect("same regime")),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders the E4 table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        ["m", "k", "f", "q", "eta", "A(m,k,f)", "measured", "A(k,f) [m=2]"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in rows {
+        t.push(vec![
+            r.m.to_string(),
+            r.k.to_string(),
+            r.f.to_string(),
+            r.q.to_string(),
+            format!("{:.4}", r.eta),
+            fnum(r.closed_form),
+            fnum(r.measured),
+            r.line_value.map(fnum).unwrap_or_else(|| "-".to_owned()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_tight_and_consistent() {
+        let rows = run(4, 5, 2e3);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(
+                (r.closed_form - r.measured).abs() < 2e-2 * r.closed_form,
+                "(m={}, k={}, f={}): closed {} vs measured {}",
+                r.m,
+                r.k,
+                r.f,
+                r.closed_form,
+                r.measured
+            );
+            if let Some(line) = r.line_value {
+                assert!((line - r.closed_form).abs() < 1e-12);
+            }
+        }
+        // the classic single-robot m-ray constants appear on the f = 0 rows
+        let c3 = rows
+            .iter()
+            .find(|r| (r.m, r.k, r.f) == (3, 1, 0))
+            .expect("3-ray single robot row");
+        assert!((c3.closed_form - 14.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! E5 — the α-ablation of the appendix strategy (figure: ratio vs base).
+//!
+//! The cyclic exponential strategy's worst-case ratio is
+//! `2·α^q/(α^k−1) + 1`; the appendix minimizes it at
+//! `α* = (q/(q−k))^(1/k)`. This experiment sweeps `α` around `α*` and
+//! reports both the formula and the *measured* ratio — their agreement
+//! validates the formula, and the minimum's location validates the
+//! calculus.
+
+use raysearch_bounds::{cyclic_ratio, optimal_alpha, RayInstance};
+use raysearch_core::RayEvaluator;
+use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+use crate::table::{fnum, Table};
+
+/// One point of the ratio-vs-α series.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// Number of rays.
+    pub m: u32,
+    /// Number of robots.
+    pub k: u32,
+    /// Number of crash-faulty robots.
+    pub f: u32,
+    /// The geometric base being evaluated.
+    pub alpha: f64,
+    /// Whether this is the optimal base `α*`.
+    pub is_optimal: bool,
+    /// The appendix formula `2·α^q/(α^k−1)+1`.
+    pub formula: f64,
+    /// The measured worst-case ratio of the strategy at this base.
+    pub measured: f64,
+}
+
+/// Sweeps `α` around `α*` for one instance; `steps` points on each side.
+///
+/// # Panics
+///
+/// Panics on out-of-regime parameters (callers pass searchable
+/// instances).
+pub fn run(m: u32, k: u32, f: u32, steps: i32, horizon: f64) -> Vec<Row> {
+    let instance = RayInstance::new(m, k, f).expect("validated");
+    let q = instance.q();
+    let astar = optimal_alpha(q, k).expect("searchable");
+    let evaluator = RayEvaluator::new(m as usize, f, 1.0, horizon).expect("valid range");
+    let mut rows = Vec::new();
+    for j in -steps..=steps {
+        // scale relative to (alpha* - 1) so every base stays > 1
+        let alpha = 1.0 + (astar - 1.0) * 1.25f64.powi(j);
+        let strategy = CyclicExponential::with_alpha(m, k, f, alpha).expect("alpha > 1");
+        let fleet = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
+        let measured = evaluator
+            .evaluate(&fleet)
+            .expect("fleet large enough")
+            .ratio;
+        rows.push(Row {
+            m,
+            k,
+            f,
+            alpha,
+            is_optimal: j == 0,
+            formula: cyclic_ratio(alpha, q, k).expect("alpha > 1"),
+            measured,
+        });
+    }
+    rows
+}
+
+/// Renders the E5 series.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        ["m", "k", "f", "alpha", "opt?", "formula", "measured"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in rows {
+        t.push(vec![
+            r.m.to_string(),
+            r.k.to_string(),
+            r.f.to_string(),
+            format!("{:.6}", r.alpha),
+            if r.is_optimal { "*".to_owned() } else { String::new() },
+            fnum(r.formula),
+            fnum(r.measured),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_sits_at_alpha_star() {
+        let rows = run(2, 3, 1, 3, 2e3);
+        let opt = rows.iter().find(|r| r.is_optimal).unwrap();
+        for r in &rows {
+            assert!(
+                r.measured >= opt.measured - 1e-9,
+                "alpha {} beats alpha* ({} < {})",
+                r.alpha,
+                r.measured,
+                opt.measured
+            );
+            assert!(
+                (r.measured - r.formula).abs() < 2e-2 * r.formula,
+                "formula and measurement disagree at alpha {}",
+                r.alpha
+            );
+        }
+        let theory = raysearch_bounds::a_line(3, 1).unwrap();
+        assert!((opt.measured - theory).abs() < 1e-2 * theory);
+    }
+}

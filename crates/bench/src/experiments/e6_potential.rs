@@ -1,0 +1,148 @@
+//! E6 — the potential function in action (figure: growth vs `μ/μ*`).
+//!
+//! Lemma 5 guarantees every assigned interval multiplies `f(P)` by at
+//! least `δ(μ) = (μ*/μ)^k`. This experiment runs the exact-multiplicity
+//! assignment on the optimal fleet across a sweep of `μ/μ*` and reports
+//! the measured minimum and geometric-mean step growth against `δ`:
+//! below the threshold growth exceeds 1 and the cover dies (finite stuck
+//! frontier); at and above it the cover runs forever with mean growth
+//! pinned near 1.
+
+use raysearch_bounds::{delta_growth, mu_threshold, RayInstance};
+use raysearch_cover::potential::{PotentialSeries, Setting};
+use raysearch_cover::settings::OrcSetting;
+use raysearch_cover::ExactAssigner;
+use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+use crate::table::{fnum, Table};
+
+/// One point of the growth-vs-μ series.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// The ratio `μ/μ*` probed.
+    pub mu_fraction: f64,
+    /// The absolute `μ`.
+    pub mu: f64,
+    /// Lemma 5's guaranteed per-step growth `δ`.
+    pub delta_theory: f64,
+    /// Measured minimum step growth of `f(P)`.
+    pub measured_min: f64,
+    /// Measured geometric-mean step growth.
+    pub measured_mean: f64,
+    /// Number of potential steps measured.
+    pub steps: usize,
+    /// Where the cover died (`None` if it reached the target).
+    pub stuck_frontier: Option<f64>,
+}
+
+/// Runs E6 for one instance across the given `μ/μ*` fractions.
+///
+/// # Panics
+///
+/// Panics on out-of-regime parameters.
+pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], target: f64) -> Vec<Row> {
+    let instance = RayInstance::new(m, k, f).expect("validated");
+    let q = instance.q();
+    let mu_star = mu_threshold(k, q).expect("searchable");
+    let strategy = CyclicExponential::optimal(m, k, f).expect("searchable");
+
+    fractions
+        .iter()
+        .map(|&frac| {
+            let mu = frac * mu_star;
+            let per_robot: Vec<_> = strategy
+                .fleet_tours(target * 10.0)
+                .expect("valid horizon")
+                .iter()
+                .enumerate()
+                .map(|(r, tour)| {
+                    let mut ivs =
+                        OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(tour), mu)
+                            .expect("valid mu");
+                    for iv in &mut ivs {
+                        iv.robot = r;
+                    }
+                    ivs
+                })
+                .collect();
+            let (assignment, stuck) = ExactAssigner::new(q as usize, mu)
+                .expect("valid q, mu")
+                .assign_partial(&per_robot, target)
+                .expect("valid target");
+            let (measured_min, measured_mean, steps) =
+                match PotentialSeries::compute(&assignment, Setting::Orc { q }) {
+                    Ok(series) => {
+                        let report = series
+                            .growth_report(k as usize, q - k, mu)
+                            .expect("valid parameters");
+                        (
+                            report.min_step_ratio,
+                            report.mean_step_ratio,
+                            report.steps_measured,
+                        )
+                    }
+                    Err(_) => (f64::NAN, f64::NAN, 0),
+                };
+            Row {
+                mu_fraction: frac,
+                mu,
+                delta_theory: delta_growth(mu, q - k, k).expect("valid parameters"),
+                measured_min,
+                measured_mean,
+                steps,
+                stuck_frontier: stuck,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E6 series.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        ["mu/mu*", "mu", "delta", "min growth", "mean growth", "steps", "died at"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in rows {
+        t.push(vec![
+            format!("{:.4}", r.mu_fraction),
+            fnum(r.mu),
+            fnum(r.delta_theory),
+            fnum(r.measured_min),
+            fnum(r.measured_mean),
+            r.steps.to_string(),
+            r.stuck_frontier
+                .map(fnum)
+                .unwrap_or_else(|| "survived".to_owned()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_crosses_one_at_threshold_and_cover_dies_below() {
+        let rows = run(2, 3, 1, &[0.9, 0.97, 1.0, 1.05, 1.15], 2e3);
+        for r in &rows {
+            if r.mu_fraction < 1.0 {
+                assert!(r.delta_theory > 1.0);
+                assert!(r.stuck_frontier.is_some(), "survived below threshold");
+            } else if r.mu_fraction > 1.0 {
+                assert!(r.delta_theory < 1.0);
+                assert!(r.stuck_frontier.is_none(), "died above threshold");
+                // measured mean hovers near 1 on surviving covers
+                assert!((r.measured_mean - 1.0).abs() < 0.35);
+            }
+            if r.steps > 0 {
+                assert!(
+                    r.measured_min >= r.delta_theory * (1.0 - 1e-9),
+                    "Lemma 5 violated at mu/mu* = {}",
+                    r.mu_fraction
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! E8 — Eq. (11): the fractional ratio `C(η)` and its rational sandwich.
+//!
+//! `C(η) = 2·η^η/(η−1)^(η−1) + 1` is proved by squeezing `η` between
+//! rationals `q/k` from both sides and invoking the integral bound. The
+//! series shows the sandwich closing as `k` grows.
+
+use raysearch_bounds::c_fractional;
+use raysearch_cover::fractional::{convergence, RationalStep};
+
+use crate::table::{fnum, Table};
+
+/// One `η` row with its sandwich at a chosen denominator budget.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// The weight requirement `η`.
+    pub eta: f64,
+    /// Closed form `C(η)`.
+    pub closed_form: f64,
+    /// Best lower approximation `C(k, ⌊ηk⌋)` with `k ≤ max_k`.
+    pub lower: Option<RationalStep>,
+    /// Best upper approximation `C(k, ⌈ηk⌉)` with `k ≤ max_k`.
+    pub upper: Option<RationalStep>,
+}
+
+/// Runs E8 for the given `η` values with denominators up to `max_k`.
+///
+/// # Panics
+///
+/// Panics if `eta ≤ 1` appears in the list.
+pub fn run(etas: &[f64], max_k: u32) -> Vec<Row> {
+    etas.iter()
+        .map(|&eta| {
+            let conv = convergence(eta, max_k).expect("eta > 1");
+            Row {
+                eta,
+                closed_form: c_fractional(eta).expect("eta > 1"),
+                lower: conv.lower.last().copied(),
+                upper: conv.upper.last().copied(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the E8 table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        ["eta", "C(eta)", "lower q/k", "lower value", "upper q/k", "upper value"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in rows {
+        let fmt_step = |s: &Option<RationalStep>| match s {
+            Some(s) => (format!("{}/{}", s.q, s.k), fnum(s.c_value)),
+            None => ("-".to_owned(), "-".to_owned()),
+        };
+        let (lr, lv) = fmt_step(&r.lower);
+        let (ur, uv) = fmt_step(&r.upper);
+        t.push(vec![
+            format!("{:.6}", r.eta),
+            fnum(r.closed_form),
+            lr,
+            lv,
+            ur,
+            uv,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandwich_closes() {
+        let rows = run(&[1.25, 1.5, 2.0, std::f64::consts::E, 3.5], 64);
+        for r in &rows {
+            let lower = r.lower.as_ref().expect("k budget suffices").c_value;
+            let upper = r.upper.as_ref().expect("k budget suffices").c_value;
+            assert!(lower <= r.closed_form + 1e-9);
+            assert!(upper >= r.closed_form - 1e-9);
+            assert!(
+                upper - lower < 0.15,
+                "sandwich too wide at eta = {}: [{lower}, {upper}]",
+                r.eta
+            );
+        }
+        // eta = 2 is the cow path: C(2) = 9 and both sides exact
+        let two = rows.iter().find(|r| r.eta == 2.0).unwrap();
+        assert!((two.closed_form - 9.0).abs() < 1e-12);
+        assert!((two.lower.unwrap().c_value - 9.0).abs() < 1e-9);
+        assert!((two.upper.unwrap().c_value - 9.0).abs() < 1e-9);
+    }
+}

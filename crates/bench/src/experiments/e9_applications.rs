@@ -1,0 +1,180 @@
+//! E9 — the Section 3 applications: contract algorithms and hybrid
+//! online algorithms, simulated and compared against the master
+//! expression.
+//!
+//! * **Contract scheduling** (`k` processors, `m` problems): the optimal
+//!   acceleration ratio is `μ(m+k, k)`; the geometric schedule realizes
+//!   it.
+//! * **Hybrid algorithms** (`k` workers hedging `m` candidate
+//!   algorithms, restart-on-switch): the optimal wall-clock competitive
+//!   ratio is `A(m, k, 0)` — Theorem 6 at `f = 0`.
+
+use raysearch_bounds::{a_rays, mu_threshold};
+use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+use crate::table::{fnum, Table};
+
+/// One application row.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// Which application this row simulates.
+    pub application: String,
+    /// Number of problems / candidate algorithms `m`.
+    pub m: u32,
+    /// Number of processors / workers `k`.
+    pub k: u32,
+    /// The theoretical optimum for this application.
+    pub theory: f64,
+    /// The simulated worst-case value.
+    pub measured: f64,
+}
+
+/// Simulates the geometric contract schedule and measures its
+/// acceleration ratio.
+fn contract_acceleration(m: u32, k: u32, horizon: f64) -> f64 {
+    let q = m + k;
+    let alpha = (f64::from(q) / f64::from(m)).powf(1.0 / f64::from(k));
+    // completions: (finish, problem, length) across all processors
+    let mut completions: Vec<(f64, usize, f64)> = Vec::new();
+    for r in 0..k {
+        let mut clock = 0.0;
+        let mut n = 1 - 2 * i64::from(m);
+        loop {
+            let expo = f64::from(k) * n as f64 + f64::from(m) * (f64::from(r) + 1.0);
+            let length = (expo * alpha.ln()).exp();
+            clock += length;
+            if clock > horizon {
+                break;
+            }
+            completions.push((clock, n.rem_euclid(i64::from(m)) as usize, length));
+            n += 1;
+        }
+    }
+    completions.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let settle = horizon / 100.0;
+    let mut best_done = vec![0.0f64; m as usize];
+    let mut worst: f64 = 0.0;
+    for (finish, problem, length) in completions {
+        if finish > settle && best_done[problem] > 0.0 {
+            worst = worst.max(finish / best_done[problem]);
+        }
+        best_done[problem] = best_done[problem].max(length);
+    }
+    worst
+}
+
+/// Simulates the hybrid scheduler (restart-on-switch) and measures its
+/// competitive ratio over adversarial runtimes.
+fn hybrid_ratio(m: u32, k: u32, horizon: f64) -> f64 {
+    let strategy = CyclicExponential::optimal(m, k, 0).expect("searchable");
+    let tours = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
+    let solve_time = |lucky: usize, x: f64| -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for tour in &tours {
+            let mut clock = 0.0;
+            for e in tour.excursions() {
+                if e.ray.index() == lucky && e.turn >= x {
+                    let t = clock + x;
+                    best = Some(best.map_or(t, |b: f64| b.min(t)));
+                    break;
+                }
+                clock += 2.0 * e.turn;
+            }
+        }
+        best
+    };
+    let mut worst: f64 = 0.0;
+    for tour in &tours {
+        for e in tour.excursions() {
+            let x = e.turn * (1.0 + 1e-9);
+            if !(1.0..=horizon).contains(&x) {
+                continue;
+            }
+            if let Some(t) = solve_time(e.ray.index(), x) {
+                worst = worst.max(t / x);
+            }
+        }
+    }
+    worst
+}
+
+/// Runs E9 over the given `(m, k)` pairs.
+///
+/// # Panics
+///
+/// Panics on out-of-regime parameters (`k < m` required for hybrid rows).
+pub fn run(pairs: &[(u32, u32)], horizon: f64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &(m, k) in pairs {
+        rows.push(Row {
+            application: "contract".to_owned(),
+            m,
+            k,
+            theory: mu_threshold(k, m + k).expect("q > k"),
+            measured: contract_acceleration(m, k, horizon),
+        });
+        if k < m {
+            rows.push(Row {
+                application: "hybrid".to_owned(),
+                m,
+                k,
+                theory: a_rays(m, k, 0).expect("searchable"),
+                measured: hybrid_ratio(m, k, horizon / 100.0),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the E9 table.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(
+        ["application", "m", "k", "theory", "measured"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in rows {
+        t.push(vec![
+            r.application.clone(),
+            r.m.to_string(),
+            r.k.to_string(),
+            fnum(r.theory),
+            fnum(r.measured),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn applications_match_theory() {
+        let rows = run(&[(1, 1), (3, 1), (3, 2), (4, 3)], 1e6);
+        for r in &rows {
+            assert!(
+                r.measured <= r.theory * (1.0 + 1e-6),
+                "{} (m={}, k={}) beats theory",
+                r.application,
+                r.m,
+                r.k
+            );
+            assert!(
+                r.measured >= r.theory * (1.0 - 5e-2),
+                "{} (m={}, k={}): measured {} far below theory {}",
+                r.application,
+                r.m,
+                r.k,
+                r.measured,
+                r.theory
+            );
+        }
+        // the classic: one processor, one problem, acceleration 4
+        let classic = rows
+            .iter()
+            .find(|r| r.application == "contract" && (r.m, r.k) == (1, 1))
+            .unwrap();
+        assert!((classic.theory - 4.0).abs() < 1e-12);
+    }
+}

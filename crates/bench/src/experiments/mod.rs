@@ -1,0 +1,17 @@
+//! The executable experiment suite (see crate docs for the index).
+
+pub mod e1_theorem1;
+pub mod e10_boundary;
+pub mod e2_regimes;
+pub mod e3_byzantine;
+pub mod e4_rays;
+pub mod e5_alpha;
+pub mod e6_potential;
+pub mod e7_orc;
+pub mod e8_fractional;
+pub mod e9_applications;
+
+/// Identifiers of all experiments, in order.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+];

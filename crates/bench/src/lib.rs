@@ -1,0 +1,31 @@
+//! Experiment harness for the `raysearch` reproduction of Kupavskii &
+//! Welzl, PODC 2018.
+//!
+//! The paper is a theory paper: its "evaluation" is a set of closed forms,
+//! inequalities and constructions rather than measured tables. This crate
+//! regenerates each of them as an executable experiment (E1–E10, indexed
+//! in `DESIGN.md` and recorded in `EXPERIMENTS.md`):
+//!
+//! | id | claim |
+//! |----|-------|
+//! | E1 | Theorem 1: `A(k,f)` — closed form vs numeric optimum vs measured strategy |
+//! | E2 | regime map: trivial / searchable / impossible |
+//! | E3 | Byzantine corollary: `B(k,f) ≥ A(k,f)`, the `B(3,1)` lift |
+//! | E4 | Theorem 6: `A(m,k,f)` grid, `f = 0` open-question rows |
+//! | E5 | appendix strategy: ratio vs base `α`, minimum at `α*` |
+//! | E6 | Lemma 5: measured potential growth vs `δ` across `μ/μ*` |
+//! | E7 | ineq. (12): sub-threshold covers die; stuck frontier vs `λ` |
+//! | E8 | Eq. (11): fractional `C(η)` and the rational sandwich |
+//! | E9 | applications: contract scheduling and hybrid algorithms |
+//! | E10 | boundaries: `ρ → 1⁺` discontinuity and the `ρ = 2` cow path |
+//!
+//! Every experiment returns serde-serializable rows; the `tablegen` binary
+//! renders them as aligned text tables or JSON lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

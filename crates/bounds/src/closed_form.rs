@@ -1,0 +1,393 @@
+//! The paper's closed-form competitive ratios.
+//!
+//! Everything reduces to `Λ(η) = 2·η^η/(η−1)^(η−1) + 1` ([`lambda_big`]),
+//! evaluated in log space for numerical stability. The specialized entry
+//! points validate their parameter domains exactly as the corresponding
+//! theorems state them.
+
+use crate::BoundsError;
+
+/// The master ratio `Λ(η) = 2·η^η/(η−1)^(η−1) + 1`, for `η ≥ 1`.
+///
+/// At `η = 1` the limit value `3` is returned (the factor
+/// `(η−1)^(η−1) → 1` as `η → 1⁺`). The function is strictly increasing on
+/// `[1, ∞)`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `eta < 1`, is NaN or infinite.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::lambda_big;
+/// // η = 2 is the classic cow path: 2·4/1 + 1 = 9.
+/// assert!((lambda_big(2.0)? - 9.0).abs() < 1e-12);
+/// // η → 1⁺ tends to 3.
+/// assert!((lambda_big(1.0)? - 3.0).abs() < 1e-12);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn lambda_big(eta: f64) -> Result<f64, BoundsError> {
+    if !eta.is_finite() || eta < 1.0 {
+        return Err(BoundsError::OutOfDomain {
+            name: "eta",
+            value: eta,
+            domain: "eta >= 1",
+        });
+    }
+    Ok(2.0 * eta_power_factor(eta) + 1.0)
+}
+
+/// The factor `η^η/(η−1)^(η−1)` in log space; `η = 1` maps to `1`.
+fn eta_power_factor(eta: f64) -> f64 {
+    let e1 = eta - 1.0;
+    let log_num = eta * eta.ln();
+    // x·ln x → 0 as x → 0⁺; define the η = 1 case by the limit.
+    let log_den = if e1 <= 0.0 { 0.0 } else { e1 * e1.ln() };
+    (log_num - log_den).exp()
+}
+
+/// Converts a competitive ratio `λ` to the paper's `μ = (λ−1)/2`.
+///
+/// `μ` is the natural scale of the covering arguments: a robot λ-covers `x`
+/// iff the relevant turning-point prefix sum is at most `μ·x`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `lambda <= 1` or not finite.
+pub fn lambda_to_mu(lambda: f64) -> Result<f64, BoundsError> {
+    if !lambda.is_finite() || lambda <= 1.0 {
+        return Err(BoundsError::OutOfDomain {
+            name: "lambda",
+            value: lambda,
+            domain: "lambda > 1",
+        });
+    }
+    Ok((lambda - 1.0) / 2.0)
+}
+
+/// Converts `μ` back to the competitive ratio `λ = 2μ + 1`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `mu <= 0` or not finite.
+pub fn mu_to_lambda(mu: f64) -> Result<f64, BoundsError> {
+    if !mu.is_finite() || mu <= 0.0 {
+        return Err(BoundsError::OutOfDomain {
+            name: "mu",
+            value: mu,
+            domain: "mu > 0",
+        });
+    }
+    Ok(2.0 * mu + 1.0)
+}
+
+/// The threshold `μ(q,k) = (q^q / ((q−k)^(q−k)·k^k))^(1/k)`, the root on the
+/// right-hand side of inequality (12).
+///
+/// A `q`-fold λ-cover in the ORC setting requires `μ = (λ−1)/2 ≥ μ(q,k)`;
+/// specialized to `q = 2(f+1)` (so `s = q−k`), this is also the ±-cover
+/// threshold of Theorem 3. Scale invariance `μ(cq,ck) = μ(q,k)` holds for
+/// any `c > 0`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::InvalidParameters`] unless `0 < k < q`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::mu_threshold;
+/// // k = 1, q = 2: (2²/1)¹ = 4 — the cow-path μ.
+/// assert!((mu_threshold(1, 2)? - 4.0).abs() < 1e-12);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn mu_threshold(k: u32, q: u32) -> Result<f64, BoundsError> {
+    if k == 0 || q <= k {
+        return Err(BoundsError::invalid(format!(
+            "mu_threshold requires 0 < k < q, got k={k}, q={q}"
+        )));
+    }
+    let (kf, qf) = (f64::from(k), f64::from(q));
+    let sf = qf - kf;
+    let log = (qf * qf.ln() - sf * if sf > 0.0 { sf.ln() } else { 0.0 } - kf * kf.ln()) / kf;
+    Ok(log.exp())
+}
+
+/// **Theorem 1 / Eq. (1)**: the optimal competitive ratio `A(k,f)` for `k`
+/// robots on the line, `f` of them crash-faulty, in the nontrivial regime
+/// `0 < s ≤ k` with `s = 2(f+1) − k`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::InvalidParameters`] outside the regime: use
+/// [`LineInstance::regime`](crate::LineInstance::regime) for full regime
+/// classification (`s ≤ 0` gives ratio 1, `k = f` is impossible).
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::a_line;
+/// // k = 3, f = 1: ρ = 4/3, the value the paper reports for
+/// // B(3,1) ≥ (8/3)·4^(1/3) + 1 ≈ 5.2326.
+/// let v = a_line(3, 1)?;
+/// assert!((v - (8.0 / 3.0 * 4f64.powf(1.0 / 3.0) + 1.0)).abs() < 1e-12);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn a_line(k: u32, f: u32) -> Result<f64, BoundsError> {
+    if k == 0 {
+        return Err(BoundsError::invalid("need at least one robot"));
+    }
+    if f >= k {
+        return Err(BoundsError::invalid(format!(
+            "A(k,f) needs f < k (search impossible otherwise), got k={k}, f={f}"
+        )));
+    }
+    let q = 2 * (f + 1);
+    if q <= k {
+        return Err(BoundsError::invalid(format!(
+            "A(k,f) formula needs s = 2(f+1)-k > 0, got k={k}, f={f}; \
+             the ratio is 1 in this regime"
+        )));
+    }
+    lambda_big(f64::from(q) / f64::from(k))
+}
+
+/// **Theorem 6 / Eq. (9)**: the optimal competitive ratio `A(m,k,f)` for
+/// `k` robots on `m` rays, `f` of them crash-faulty, valid for
+/// `f < k < q = m(f+1)`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::InvalidParameters`] outside `f < k < m(f+1)`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::{a_line, a_rays};
+/// // Substituting m = 2 recovers Theorem 1 (the paper notes this).
+/// assert!((a_rays(2, 3, 1)? - a_line(3, 1)?).abs() < 1e-12);
+/// // f = 0, k = 1: the classic m-ray constant 1 + 2·m^m/(m-1)^(m-1).
+/// let v = a_rays(3, 1, 0)?;
+/// assert!((v - (1.0 + 2.0 * 27.0 / 4.0)).abs() < 1e-12);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn a_rays(m: u32, k: u32, f: u32) -> Result<f64, BoundsError> {
+    if m == 0 {
+        return Err(BoundsError::invalid("need at least one ray"));
+    }
+    if k <= f {
+        return Err(BoundsError::invalid(format!(
+            "A(m,k,f) needs f < k, got k={k}, f={f}"
+        )));
+    }
+    let q = m
+        .checked_mul(f + 1)
+        .ok_or_else(|| BoundsError::invalid("m(f+1) overflows u32"))?;
+    if k >= q {
+        return Err(BoundsError::invalid(format!(
+            "A(m,k,f) formula needs k < m(f+1), got k={k}, q={q}; \
+             the ratio is 1 in this regime"
+        )));
+    }
+    lambda_big(f64::from(q) / f64::from(k))
+}
+
+/// **Eq. (10)**, tight by Theorem 6: the optimal ratio `C(k,q)` for a
+/// `q`-fold λ-cover of `R≥1` by `k` robots in the one-ray-cover-with-returns
+/// (ORC) setting.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::InvalidParameters`] unless `0 < k < q`.
+pub fn c_orc(k: u32, q: u32) -> Result<f64, BoundsError> {
+    if k == 0 || q <= k {
+        return Err(BoundsError::invalid(format!(
+            "C(k,q) requires 0 < k < q, got k={k}, q={q}"
+        )));
+    }
+    lambda_big(f64::from(q) / f64::from(k))
+}
+
+/// **Eq. (11)**: the fractional one-ray-retrieval ratio
+/// `C(η) = 2·η^η/(η−1)^(η−1) + 1` for real weight requirement `η > 1`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `eta <= 1` or not finite.
+pub fn c_fractional(eta: f64) -> Result<f64, BoundsError> {
+    if !eta.is_finite() || eta <= 1.0 {
+        return Err(BoundsError::OutOfDomain {
+            name: "eta",
+            value: eta,
+            domain: "eta > 1",
+        });
+    }
+    lambda_big(eta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn lambda_big_known_values() {
+        // cow path
+        assert!((lambda_big(2.0).unwrap() - 9.0).abs() < TOL);
+        // limit at 1
+        assert!((lambda_big(1.0).unwrap() - 3.0).abs() < TOL);
+        // eta = 3/2: 2·(1.5^1.5/0.5^0.5) + 1
+        let expect = 2.0 * (1.5f64.powf(1.5) / 0.5f64.powf(0.5)) + 1.0;
+        assert!((lambda_big(1.5).unwrap() - expect).abs() < TOL);
+    }
+
+    #[test]
+    fn lambda_big_monotone_increasing() {
+        let mut prev = lambda_big(1.0).unwrap();
+        let mut eta = 1.001;
+        while eta < 6.0 {
+            let v = lambda_big(eta).unwrap();
+            assert!(v > prev, "not increasing at eta={eta}");
+            prev = v;
+            eta += 0.01;
+        }
+    }
+
+    #[test]
+    fn lambda_big_domain() {
+        assert!(lambda_big(0.99).is_err());
+        assert!(lambda_big(f64::NAN).is_err());
+        assert!(lambda_big(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn mu_lambda_round_trip() {
+        for lambda in [1.5, 3.0, 9.0, 100.0] {
+            let mu = lambda_to_mu(lambda).unwrap();
+            assert!((mu_to_lambda(mu).unwrap() - lambda).abs() < TOL);
+        }
+        assert!(lambda_to_mu(1.0).is_err());
+        assert!(mu_to_lambda(0.0).is_err());
+    }
+
+    #[test]
+    fn mu_threshold_matches_explicit_formula() {
+        // k = 2, q = 3, s = 1: (3³/(1·2²))^{1/2} = (27/4)^{1/2}
+        let v = mu_threshold(2, 3).unwrap();
+        assert!((v - (27.0f64 / 4.0).sqrt()).abs() < TOL);
+        // k = 1, q = 2: 4
+        assert!((mu_threshold(1, 2).unwrap() - 4.0).abs() < TOL);
+    }
+
+    #[test]
+    fn mu_threshold_scale_invariance() {
+        for (k, q) in [(2u32, 3u32), (3, 4), (4, 7)] {
+            let a = mu_threshold(k, q).unwrap();
+            for c in [2u32, 3, 5] {
+                let b = mu_threshold(c * k, c * q).unwrap();
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "scale invariance broken: mu({k},{q})={a} vs mu({},{})={b}",
+                    c * k,
+                    c * q
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mu_threshold_strictly_decreasing_along_diagonal() {
+        // mu(q,k) < mu(q-1,k-1) for q > k > 1 (used in the induction).
+        for (k, q) in [(2u32, 4u32), (3, 5), (5, 8), (7, 12)] {
+            let big = mu_threshold(k - 1, q - 1).unwrap();
+            let small = mu_threshold(k, q).unwrap();
+            assert!(small < big, "mu({k},{q}) !< mu({},{})", k - 1, q - 1);
+        }
+    }
+
+    #[test]
+    fn a_line_equals_both_printed_forms() {
+        // Eq. (1) prints the same value two ways; check they agree.
+        for (k, f) in [(1u32, 0u32), (2, 1), (3, 1), (4, 2), (5, 3), (7, 4)] {
+            let s = 2 * (f + 1) - k;
+            let (kf, sf) = (f64::from(k), f64::from(s));
+            let root = ((kf + sf) * (kf + sf).ln() - sf * sf.ln() - kf * kf.ln()) / kf;
+            let explicit = 2.0 * root.exp() + 1.0;
+            let v = a_line(k, f).unwrap();
+            assert!(
+                (v - explicit).abs() < 1e-9,
+                "mismatch at k={k}, f={f}: {v} vs {explicit}"
+            );
+        }
+    }
+
+    #[test]
+    fn a_line_classic_and_byzantine_values() {
+        assert!((a_line(1, 0).unwrap() - 9.0).abs() < TOL);
+        let b31 = 8.0 / 3.0 * 4f64.powf(1.0 / 3.0) + 1.0;
+        assert!((a_line(3, 1).unwrap() - b31).abs() < TOL);
+        assert!((b31 - 5.2326).abs() < 1e-3, "paper quotes approx 5.23");
+    }
+
+    #[test]
+    fn a_line_rejects_out_of_regime() {
+        assert!(a_line(0, 0).is_err());
+        assert!(a_line(2, 2).is_err()); // f = k
+        assert!(a_line(2, 3).is_err()); // f > k
+        assert!(a_line(4, 1).is_err()); // s = 0: trivial regime
+        assert!(a_line(5, 1).is_err()); // s < 0
+    }
+
+    #[test]
+    fn a_rays_reduces_to_line_at_m2() {
+        for (k, f) in [(1u32, 0u32), (3, 1), (5, 2), (7, 5)] {
+            let line = a_line(k, f).unwrap();
+            let rays = a_rays(2, k, f).unwrap();
+            assert!((line - rays).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn a_rays_f0_classic_values() {
+        // single robot on m rays: 1 + 2 m^m/(m-1)^{m-1}
+        for m in 2u32..=8 {
+            let mf = f64::from(m);
+            let classic = 1.0 + 2.0 * mf.powf(mf) / (mf - 1.0).powf(mf - 1.0);
+            let v = a_rays(m, 1, 0).unwrap();
+            assert!((v - classic).abs() < 1e-9, "m={m}: {v} vs {classic}");
+        }
+    }
+
+    #[test]
+    fn a_rays_domain() {
+        assert!(a_rays(0, 1, 0).is_err());
+        assert!(a_rays(3, 1, 1).is_err()); // k <= f
+        assert!(a_rays(3, 3, 0).is_err()); // k = q
+        assert!(a_rays(3, 7, 1).is_err()); // k > q = 6
+        assert!(a_rays(3, 5, 1).is_ok()); // f=1 < k=5 < q=6
+    }
+
+    #[test]
+    fn c_orc_equals_a_rays_through_q() {
+        // C(k, m(f+1)) = A(m,k,f) — the reduction is an equality of values.
+        let v1 = c_orc(3, 4).unwrap(); // q = 4 = 2(1+1): line with k=3,f=1
+        let v2 = a_line(3, 1).unwrap();
+        assert!((v1 - v2).abs() < TOL);
+        assert!(c_orc(3, 3).is_err());
+        assert!(c_orc(0, 3).is_err());
+    }
+
+    #[test]
+    fn c_fractional_limits_and_domain() {
+        assert!(c_fractional(1.0).is_err());
+        assert!(c_fractional(0.5).is_err());
+        // approaches 3 from above as eta -> 1+
+        let near = c_fractional(1.0 + 1e-9).unwrap();
+        assert!((near - 3.0).abs() < 1e-6);
+        // matches rational specializations: eta = q/k
+        let v = c_fractional(4.0 / 3.0).unwrap();
+        assert!((v - c_orc(3, 4).unwrap()).abs() < TOL);
+    }
+}

@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Error raised by bound computations on invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoundsError {
+    /// A structural parameter (robot count, ray count, fault count) was
+    /// inconsistent.
+    InvalidParameters {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A real-valued argument was outside the domain of the requested
+    /// formula.
+    OutOfDomain {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Description of the valid domain.
+        domain: &'static str,
+    },
+}
+
+impl BoundsError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        BoundsError::InvalidParameters {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundsError::InvalidParameters { reason } => {
+                write!(f, "invalid parameters: {reason}")
+            }
+            BoundsError::OutOfDomain {
+                name,
+                value,
+                domain,
+            } => write!(f, "argument {name}={value} outside domain {domain}"),
+        }
+    }
+}
+
+impl std::error::Error for BoundsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BoundsError::invalid("k must exceed f");
+        assert!(e.to_string().contains("k must exceed f"));
+        let e = BoundsError::OutOfDomain {
+            name: "eta",
+            value: 0.5,
+            domain: "eta > 1",
+        };
+        let s = e.to_string();
+        assert!(s.contains("eta") && s.contains("0.5"));
+    }
+}

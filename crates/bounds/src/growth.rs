@@ -1,0 +1,202 @@
+//! Lemmas 4 and 5: the polynomial `x^s (μ*−x)^k` and the potential growth
+//! factor `δ`.
+//!
+//! The heart of the paper's lower-bound proof is the observation that each
+//! added assigned interval multiplies the potential `f(P)` by
+//! `μ*^s / (x^s (μ*−x)^k)` for some `0 < x < μ*`, which Lemma 5 bounds from
+//! below by `δ = (k+s)^(k+s) / (s^s k^k μ^k) > 1` whenever `μ` is below the
+//! threshold. This module computes those quantities (in log space) so that
+//! the covering machinery in `raysearch-cover` can *measure* the growth on
+//! concrete strategies and compare it to theory.
+
+use crate::BoundsError;
+
+#[cfg(test)]
+use crate::mu_threshold;
+
+/// Evaluates the Lemma 4 polynomial `x^s (μ*−x)^k` at `x`.
+///
+/// Returns `0` outside the open interval `(0, μ*)`, matching the boundary
+/// values of the polynomial.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `mu_star` is not positive finite.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::potential_poly;
+/// let v = potential_poly(1.0, 0.5, 1, 1)?; // 0.5 · 0.5
+/// assert!((v - 0.25).abs() < 1e-12);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn potential_poly(mu_star: f64, x: f64, s: u32, k: u32) -> Result<f64, BoundsError> {
+    if !(mu_star.is_finite() && mu_star > 0.0) {
+        return Err(BoundsError::OutOfDomain {
+            name: "mu_star",
+            value: mu_star,
+            domain: "mu_star > 0",
+        });
+    }
+    if x <= 0.0 || x >= mu_star {
+        return Ok(0.0);
+    }
+    Ok((f64::from(s) * x.ln() + f64::from(k) * (mu_star - x).ln()).exp())
+}
+
+/// **Lemma 4**: the unique maximizer `x = s·μ*/(k+s)` of `x^s (μ*−x)^k` on
+/// `(0, μ*)`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `mu_star` is not positive
+/// finite, or [`BoundsError::InvalidParameters`] if `s = 0` and `k = 0`.
+pub fn lemma4_argmax(mu_star: f64, s: u32, k: u32) -> Result<f64, BoundsError> {
+    if !(mu_star.is_finite() && mu_star > 0.0) {
+        return Err(BoundsError::OutOfDomain {
+            name: "mu_star",
+            value: mu_star,
+            domain: "mu_star > 0",
+        });
+    }
+    if s == 0 && k == 0 {
+        return Err(BoundsError::invalid("need s + k > 0"));
+    }
+    Ok(f64::from(s) * mu_star / (f64::from(k) + f64::from(s)))
+}
+
+/// **Lemma 5, first inequality**: the minimum over `x ∈ (0, μ*)` of
+/// `μ*^s / (x^s (μ*−x)^k)`, i.e. `(k+s)^(k+s) / (s^s k^k μ*^k)`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `mu_star` is not positive
+/// finite, or [`BoundsError::InvalidParameters`] if `s = 0` or `k = 0`.
+pub fn lemma5_min_ratio(mu_star: f64, s: u32, k: u32) -> Result<f64, BoundsError> {
+    if !(mu_star.is_finite() && mu_star > 0.0) {
+        return Err(BoundsError::OutOfDomain {
+            name: "mu_star",
+            value: mu_star,
+            domain: "mu_star > 0",
+        });
+    }
+    if s == 0 || k == 0 {
+        return Err(BoundsError::invalid("lemma 5 needs s >= 1 and k >= 1"));
+    }
+    let (sf, kf) = (f64::from(s), f64::from(k));
+    let n = kf + sf;
+    Ok((n * n.ln() - sf * sf.ln() - kf * kf.ln() - kf * mu_star.ln()).exp())
+}
+
+/// **Lemma 5, second inequality**: the guaranteed per-step growth factor
+/// `δ = (k+s)^(k+s) / (s^s k^k μ^k)` of the potential `f(P)`.
+///
+/// `δ > 1` exactly when `μ < μ(k+s, k)` (the threshold of
+/// [`mu_threshold`](crate::mu_threshold)); equivalently `δ = (μ*/μ)^k` for
+/// `μ* = mu_threshold(k, k+s)`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `mu` is not positive finite, or
+/// [`BoundsError::InvalidParameters`] if `s = 0` or `k = 0`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::{delta_growth, mu_threshold};
+/// let (k, s) = (3, 2);
+/// let mu_star = mu_threshold(k, k + s)?;
+/// // At the threshold the growth factor degenerates to 1.
+/// assert!((delta_growth(mu_star, s, k)? - 1.0).abs() < 1e-9);
+/// // Below the threshold it exceeds 1.
+/// assert!(delta_growth(0.9 * mu_star, s, k)? > 1.0);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn delta_growth(mu: f64, s: u32, k: u32) -> Result<f64, BoundsError> {
+    lemma5_min_ratio(mu, s, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poly_boundary_values_are_zero() {
+        assert_eq!(potential_poly(2.0, 0.0, 2, 3).unwrap(), 0.0);
+        assert_eq!(potential_poly(2.0, 2.0, 2, 3).unwrap(), 0.0);
+        assert_eq!(potential_poly(2.0, -1.0, 2, 3).unwrap(), 0.0);
+        assert_eq!(potential_poly(2.0, 3.0, 2, 3).unwrap(), 0.0);
+        assert!(potential_poly(f64::NAN, 1.0, 2, 3).is_err());
+    }
+
+    #[test]
+    fn lemma4_argmax_is_the_maximizer() {
+        // grid-check that no x beats the claimed argmax
+        for &(mu_star, s, k) in &[(1.0, 1u32, 1u32), (2.0, 2, 3), (4.0, 1, 3), (0.7, 5, 2)] {
+            let xstar = lemma4_argmax(mu_star, s, k).unwrap();
+            let best = potential_poly(mu_star, xstar, s, k).unwrap();
+            let mut x = mu_star / 1000.0;
+            while x < mu_star {
+                let v = potential_poly(mu_star, x, s, k).unwrap();
+                assert!(
+                    v <= best + 1e-12,
+                    "poly({x}) = {v} beats argmax value {best} (mu*={mu_star}, s={s}, k={k})"
+                );
+                x += mu_star / 1000.0;
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5_first_inequality_holds_on_grid() {
+        let (mu_star, s, k) = (3.0, 2u32, 4u32);
+        let min_ratio = lemma5_min_ratio(mu_star, s, k).unwrap();
+        let mut x = mu_star / 500.0;
+        while x < mu_star {
+            let poly = potential_poly(mu_star, x, s, k).unwrap();
+            let ratio = (f64::from(s) * mu_star.ln()).exp() / poly;
+            assert!(
+                ratio >= min_ratio - 1e-9,
+                "ratio {ratio} below claimed min {min_ratio} at x={x}"
+            );
+            x += mu_star / 500.0;
+        }
+    }
+
+    #[test]
+    fn delta_is_power_of_threshold_ratio() {
+        // delta(mu) = (mu*/mu)^k
+        for &(s, k) in &[(1u32, 1u32), (2, 3), (3, 5)] {
+            let mu_star = mu_threshold(k, k + s).unwrap();
+            for frac in [0.5, 0.8, 0.99, 1.0, 1.2] {
+                let mu = frac * mu_star;
+                let delta = delta_growth(mu, s, k).unwrap();
+                let expect = (mu_star / mu).powi(k as i32);
+                assert!(
+                    (delta - expect).abs() / expect < 1e-9,
+                    "delta mismatch at s={s}, k={k}, frac={frac}: {delta} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_crosses_one_exactly_at_threshold() {
+        let (s, k) = (2u32, 3u32);
+        let mu_star = mu_threshold(k, k + s).unwrap();
+        assert!(delta_growth(mu_star * (1.0 - 1e-9), s, k).unwrap() > 1.0);
+        assert!(delta_growth(mu_star * (1.0 + 1e-9), s, k).unwrap() < 1.0);
+        assert!((delta_growth(mu_star, s, k).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(lemma5_min_ratio(1.0, 0, 3).is_err());
+        assert!(lemma5_min_ratio(1.0, 3, 0).is_err());
+        assert!(lemma4_argmax(0.0, 1, 1).is_err());
+        assert!(lemma4_argmax(1.0, 0, 0).is_err());
+        // s = 0 argmax is x = 0 (allowed for lemma4, poly degenerates)
+        assert_eq!(lemma4_argmax(1.0, 0, 2).unwrap(), 0.0);
+    }
+}

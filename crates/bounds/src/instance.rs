@@ -1,0 +1,329 @@
+//! Problem-instance parameter sets and regime classification.
+//!
+//! Theorem 1 and Theorem 6 each carve the parameter space into three
+//! regimes; [`Regime`] makes the case analysis explicit so callers cannot
+//! accidentally apply a formula outside its domain.
+
+use crate::{a_line, a_rays, BoundsError};
+
+/// Which of the paper's three parameter regimes an instance falls in.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Regime {
+    /// All robots may be faulty (`k = f`): no strategy can ever confirm the
+    /// target, the competitive ratio is unbounded.
+    Impossible,
+    /// Enough robots to saturate every direction (`k ≥ 2(f+1)` on the line,
+    /// `k ≥ m(f+1)` on rays): competitive ratio `1` by sending `f+1` robots
+    /// straight out along each direction/ray.
+    Trivial,
+    /// The interesting regime where the paper's formula is tight.
+    Searchable {
+        /// The optimal competitive ratio `Λ(q/k)`.
+        ratio: f64,
+    },
+}
+
+impl Regime {
+    /// The competitive ratio of this regime, if search is possible.
+    ///
+    /// `Trivial` maps to `1.0`; `Impossible` maps to `None`.
+    pub fn ratio(self) -> Option<f64> {
+        match self {
+            Regime::Impossible => None,
+            Regime::Trivial => Some(1.0),
+            Regime::Searchable { ratio } => Some(ratio),
+        }
+    }
+}
+
+/// Parameters of the line problem: `k` robots, `f` of them crash-faulty.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::LineInstance;
+/// let inst = LineInstance::new(3, 1)?;
+/// assert_eq!(inst.s(), 1);                 // 2(f+1) - k
+/// assert!((inst.rho() - 4.0 / 3.0).abs() < 1e-12);
+/// assert!(inst.regime().ratio().unwrap() > 5.0);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct LineInstance {
+    k: u32,
+    f: u32,
+}
+
+impl LineInstance {
+    /// Creates a line instance with `k ≥ 1` robots of which `f ≤ k` are
+    /// faulty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundsError::InvalidParameters`] if `k = 0` or `f > k`.
+    pub fn new(k: u32, f: u32) -> Result<Self, BoundsError> {
+        if k == 0 {
+            return Err(BoundsError::invalid("need at least one robot"));
+        }
+        if f > k {
+            return Err(BoundsError::invalid(format!(
+                "cannot have more faulty robots than robots: k={k}, f={f}"
+            )));
+        }
+        Ok(LineInstance { k, f })
+    }
+
+    /// Total number of robots.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of crash-faulty robots.
+    #[inline]
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+
+    /// Number of robots that must visit a point before it is confirmed,
+    /// `f + 1`.
+    #[inline]
+    pub fn visits_required(&self) -> u32 {
+        self.f + 1
+    }
+
+    /// The paper's `s = 2(f+1) − k` (may be negative in the trivial
+    /// regime).
+    #[inline]
+    pub fn s(&self) -> i64 {
+        2 * (i64::from(self.f) + 1) - i64::from(self.k)
+    }
+
+    /// The paper's `ρ = 2(f+1)/k`.
+    #[inline]
+    pub fn rho(&self) -> f64 {
+        2.0 * (f64::from(self.f) + 1.0) / f64::from(self.k)
+    }
+
+    /// The coverage multiplicity `q = 2(f+1)` when the line is viewed as
+    /// two rays in the ORC relaxation.
+    #[inline]
+    pub fn q(&self) -> u32 {
+        2 * (self.f + 1)
+    }
+
+    /// Classifies the instance into the paper's three regimes.
+    pub fn regime(&self) -> Regime {
+        if self.f == self.k {
+            Regime::Impossible
+        } else if self.s() <= 0 {
+            Regime::Trivial
+        } else {
+            Regime::Searchable {
+                ratio: a_line(self.k, self.f).expect("regime checked"),
+            }
+        }
+    }
+
+    /// Views this instance as the equivalent two-ray instance.
+    pub fn as_ray_instance(&self) -> RayInstance {
+        RayInstance {
+            m: 2,
+            k: self.k,
+            f: self.f,
+        }
+    }
+}
+
+impl std::fmt::Display for LineInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line(k={}, f={})", self.k, self.f)
+    }
+}
+
+/// Parameters of the `m`-ray problem: `k` robots on `m` rays, `f` faulty.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::{RayInstance, Regime};
+/// let inst = RayInstance::new(3, 2, 0)?;
+/// assert_eq!(inst.q(), 3);
+/// assert!(matches!(inst.regime(), Regime::Searchable { .. }));
+/// // k = m(f+1): trivial
+/// assert_eq!(RayInstance::new(3, 3, 0)?.regime(), Regime::Trivial);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct RayInstance {
+    m: u32,
+    k: u32,
+    f: u32,
+}
+
+impl RayInstance {
+    /// Creates an `m`-ray instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoundsError::InvalidParameters`] if `m = 0`, `k = 0`,
+    /// `f > k`, or `m(f+1)` overflows.
+    pub fn new(m: u32, k: u32, f: u32) -> Result<Self, BoundsError> {
+        if m == 0 {
+            return Err(BoundsError::invalid("need at least one ray"));
+        }
+        if k == 0 {
+            return Err(BoundsError::invalid("need at least one robot"));
+        }
+        if f > k {
+            return Err(BoundsError::invalid(format!(
+                "cannot have more faulty robots than robots: k={k}, f={f}"
+            )));
+        }
+        m.checked_mul(f + 1)
+            .ok_or_else(|| BoundsError::invalid("m(f+1) overflows u32"))?;
+        Ok(RayInstance { m, k, f })
+    }
+
+    /// Number of rays.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Total number of robots.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of crash-faulty robots.
+    #[inline]
+    pub fn f(&self) -> u32 {
+        self.f
+    }
+
+    /// Number of robots that must visit a point before it is confirmed,
+    /// `f + 1`.
+    #[inline]
+    pub fn visits_required(&self) -> u32 {
+        self.f + 1
+    }
+
+    /// The covering multiplicity `q = m(f+1)`.
+    #[inline]
+    pub fn q(&self) -> u32 {
+        self.m * (self.f + 1)
+    }
+
+    /// The ratio argument `η = q/k`.
+    #[inline]
+    pub fn eta(&self) -> f64 {
+        f64::from(self.q()) / f64::from(self.k)
+    }
+
+    /// Classifies the instance into the paper's three regimes.
+    pub fn regime(&self) -> Regime {
+        if self.f == self.k {
+            Regime::Impossible
+        } else if self.k >= self.q() {
+            Regime::Trivial
+        } else {
+            Regime::Searchable {
+                ratio: a_rays(self.m, self.k, self.f).expect("regime checked"),
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RayInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rays(m={}, k={}, f={})", self.m, self.k, self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_instance_validation() {
+        assert!(LineInstance::new(0, 0).is_err());
+        assert!(LineInstance::new(2, 3).is_err());
+        assert!(LineInstance::new(2, 2).is_ok()); // valid params, Impossible regime
+    }
+
+    #[test]
+    fn line_regimes_match_paper_case_analysis() {
+        // k = f: impossible
+        assert_eq!(LineInstance::new(3, 3).unwrap().regime(), Regime::Impossible);
+        // k >= 2(f+1): trivial
+        assert_eq!(LineInstance::new(4, 1).unwrap().regime(), Regime::Trivial);
+        assert_eq!(LineInstance::new(9, 2).unwrap().regime(), Regime::Trivial);
+        // 0 < s <= k: searchable with the formula value
+        match LineInstance::new(3, 1).unwrap().regime() {
+            Regime::Searchable { ratio } => {
+                assert!((ratio - a_line(3, 1).unwrap()).abs() < 1e-12)
+            }
+            other => panic!("expected searchable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_derived_quantities() {
+        let i = LineInstance::new(3, 1).unwrap();
+        assert_eq!(i.s(), 1);
+        assert_eq!(i.q(), 4);
+        assert_eq!(i.visits_required(), 2);
+        assert!((i.rho() - 4.0 / 3.0).abs() < 1e-12);
+        // s can be negative
+        assert_eq!(LineInstance::new(10, 1).unwrap().s(), -6);
+    }
+
+    #[test]
+    fn regime_ratio_projection() {
+        assert_eq!(Regime::Impossible.ratio(), None);
+        assert_eq!(Regime::Trivial.ratio(), Some(1.0));
+        assert_eq!(Regime::Searchable { ratio: 9.0 }.ratio(), Some(9.0));
+    }
+
+    #[test]
+    fn ray_instance_validation_and_regimes() {
+        assert!(RayInstance::new(0, 1, 0).is_err());
+        assert!(RayInstance::new(3, 0, 0).is_err());
+        assert!(RayInstance::new(3, 1, 2).is_err());
+        assert_eq!(RayInstance::new(3, 2, 2).unwrap().regime(), Regime::Impossible);
+        assert_eq!(RayInstance::new(3, 6, 1).unwrap().regime(), Regime::Trivial);
+        assert_eq!(RayInstance::new(1, 1, 0).unwrap().regime(), Regime::Trivial);
+        match RayInstance::new(3, 5, 1).unwrap().regime() {
+            Regime::Searchable { ratio } => {
+                assert!((ratio - a_rays(3, 5, 1).unwrap()).abs() < 1e-12)
+            }
+            other => panic!("expected searchable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_as_two_rays_same_regime_and_ratio() {
+        for (k, f) in [(1u32, 0u32), (3, 1), (4, 1), (5, 5)] {
+            let line = LineInstance::new(k, f).unwrap();
+            let rays = line.as_ray_instance();
+            assert_eq!(line.q(), rays.q());
+            match (line.regime(), rays.regime()) {
+                (Regime::Searchable { ratio: a }, Regime::Searchable { ratio: b }) => {
+                    assert!((a - b).abs() < 1e-12)
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LineInstance::new(3, 1).unwrap().to_string(), "line(k=3, f=1)");
+        assert_eq!(
+            RayInstance::new(4, 3, 1).unwrap().to_string(),
+            "rays(m=4, k=3, f=1)"
+        );
+    }
+}

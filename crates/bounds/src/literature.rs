@@ -1,0 +1,148 @@
+//! Prior results from the literature that the paper compares against.
+//!
+//! Kept in one place so the experiment tables can print "previous bound"
+//! columns with citations. Only bounds actually quoted by Kupavskii–Welzl
+//! (or classical constants they reference) appear here.
+
+use crate::{a_line, BoundsError};
+
+/// The classical single-robot cow-path constant, `9`
+/// (Beck–Newman 1970; Baeza-Yates–Culberson–Rawlins 1988).
+pub const COW_PATH_RATIO: f64 = 9.0;
+
+/// The prior lower bound `B(3,1) ≥ 3.93` for Byzantine search on the line
+/// with `k = 3`, `f = 1`, from Czyzowitz et al., ISAAC 2016 (the paper's
+/// reference \[13\]).
+pub const PRIOR_BYZANTINE_LB_3_1: f64 = 3.93;
+
+/// The classical optimal ratio for a single robot on `m ≥ 2` rays,
+/// `1 + 2·m^m/(m−1)^(m−1)` (Baeza-Yates–Culberson–Rawlins).
+///
+/// # Errors
+///
+/// Returns [`BoundsError::InvalidParameters`] if `m < 2`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::literature::single_robot_m_rays;
+/// assert!((single_robot_m_rays(2)? - 9.0).abs() < 1e-12);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn single_robot_m_rays(m: u32) -> Result<f64, BoundsError> {
+    if m < 2 {
+        return Err(BoundsError::invalid(
+            "single-robot ray search needs m >= 2 (m = 1 is trivial)",
+        ));
+    }
+    let mf = f64::from(m);
+    Ok(1.0 + 2.0 * (mf * mf.ln() - (mf - 1.0) * (mf - 1.0).ln()).exp())
+}
+
+/// A lower bound on the Byzantine competitive ratio `B(k,f)` implied by the
+/// paper: every crash-fault lower bound applies verbatim to Byzantine
+/// faults, so `B(k,f) ≥ A(k,f)`.
+///
+/// # Errors
+///
+/// Propagates [`a_line`]'s domain errors (`f < k` and `2(f+1) > k`
+/// required).
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::literature::{byzantine_lower_bound, PRIOR_BYZANTINE_LB_3_1};
+/// let new = byzantine_lower_bound(3, 1)?;
+/// assert!(new > PRIOR_BYZANTINE_LB_3_1); // 5.2326... > 3.93
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn byzantine_lower_bound(k: u32, f: u32) -> Result<f64, BoundsError> {
+    a_line(k, f)
+}
+
+/// One row of the Byzantine-improvement table (experiment E3).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ByzantineRow {
+    /// Number of robots.
+    pub k: u32,
+    /// Number of Byzantine robots.
+    pub f: u32,
+    /// Best previously published lower bound, if one is quoted in the
+    /// paper.
+    pub prior_lower_bound: Option<f64>,
+    /// The new lower bound `A(k,f)` from Theorem 1.
+    pub new_lower_bound: f64,
+}
+
+/// Builds the Byzantine comparison table for all `(k,f)` in the nontrivial
+/// regime with `k ≤ max_k`.
+///
+/// # Errors
+///
+/// Propagates formula errors (none occur for in-regime parameters).
+pub fn byzantine_table(max_k: u32) -> Result<Vec<ByzantineRow>, BoundsError> {
+    let mut rows = Vec::new();
+    for k in 1..=max_k {
+        for f in 0..k {
+            let s = 2 * (i64::from(f) + 1) - i64::from(k);
+            if s <= 0 || s > i64::from(k) {
+                continue;
+            }
+            rows.push(ByzantineRow {
+                k,
+                f,
+                prior_lower_bound: if (k, f) == (3, 1) {
+                    Some(PRIOR_BYZANTINE_LB_3_1)
+                } else {
+                    None
+                },
+                new_lower_bound: byzantine_lower_bound(k, f)?,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cow_path_consistency() {
+        // the m = 2 classical constant equals the cow-path 9
+        assert!((single_robot_m_rays(2).unwrap() - COW_PATH_RATIO).abs() < 1e-12);
+        assert!(single_robot_m_rays(1).is_err());
+    }
+
+    #[test]
+    fn classic_three_ray_value() {
+        // 1 + 2·27/4 = 14.5
+        assert!((single_robot_m_rays(3).unwrap() - 14.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byzantine_improvement_is_strict() {
+        let new = byzantine_lower_bound(3, 1).unwrap();
+        assert!(new > PRIOR_BYZANTINE_LB_3_1 + 1.0);
+        assert!((new - 5.2326).abs() < 1e-3);
+    }
+
+    #[test]
+    fn byzantine_table_covers_regime() {
+        let rows = byzantine_table(6).unwrap();
+        assert!(rows.iter().any(|r| (r.k, r.f) == (1, 0)));
+        assert!(rows.iter().any(|r| (r.k, r.f) == (3, 1)));
+        // trivial-regime pairs excluded
+        assert!(!rows.iter().any(|r| (r.k, r.f) == (4, 1)));
+        // impossible pairs excluded
+        assert!(!rows.iter().any(|r| r.k == r.f));
+        // prior bound only on (3,1)
+        for r in &rows {
+            if (r.k, r.f) == (3, 1) {
+                assert!(r.prior_lower_bound.is_some());
+            } else {
+                assert!(r.prior_lower_bound.is_none());
+            }
+        }
+    }
+}

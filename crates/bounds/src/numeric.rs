@@ -1,0 +1,265 @@
+//! Generic numeric routines used as independent cross-checks.
+//!
+//! The closed forms in this crate all come with calculus proofs; the
+//! experiment harness re-derives the optima *numerically* with these
+//! routines so a formula transcription error cannot silently survive.
+
+use crate::BoundsError;
+
+/// Golden-section minimization of a unimodal function on `[a, b]`.
+///
+/// Returns `(argmin, min)` with the bracketing interval narrowed to `tol`.
+/// Note the usual caveat: near a smooth minimum the function is flat to
+/// machine precision, so the *argument* cannot be located better than about
+/// `sqrt(f64::EPSILON) ≈ 1.5e-8` regardless of `tol`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if the interval is empty/invalid
+/// or `tol` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::numeric::golden_section_min;
+/// let (x, v) = golden_section_min(|x| (x - 2.0) * (x - 2.0), 0.0, 5.0, 1e-10)?;
+/// assert!((x - 2.0).abs() < 1e-6);
+/// assert!(v < 1e-12);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn golden_section_min(
+    f: impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<(f64, f64), BoundsError> {
+    if !(a.is_finite() && b.is_finite() && a < b) {
+        return Err(BoundsError::OutOfDomain {
+            name: "interval",
+            value: b - a,
+            domain: "a < b, both finite",
+        });
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(BoundsError::OutOfDomain {
+            name: "tol",
+            value: tol,
+            domain: "tol > 0",
+        });
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut lo, mut hi) = (a, b);
+    let mut c = hi - INV_PHI * (hi - lo);
+    let mut d = lo + INV_PHI * (hi - lo);
+    let (mut fc, mut fd) = (f(c), f(d));
+    while hi - lo > tol {
+        if fc <= fd {
+            hi = d;
+            d = c;
+            fd = fc;
+            c = hi - INV_PHI * (hi - lo);
+            fc = f(c);
+        } else {
+            lo = c;
+            c = d;
+            fc = fd;
+            d = lo + INV_PHI * (hi - lo);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    Ok((x, f(x)))
+}
+
+/// Bisection root finding for a continuous function with a sign change on
+/// `[a, b]`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if the interval is invalid, `tol`
+/// is not positive, or `f(a)` and `f(b)` have the same sign.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::numeric::bisect_root;
+/// let r = bisect_root(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+/// assert!((r - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn bisect_root(
+    f: impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<f64, BoundsError> {
+    if !(a.is_finite() && b.is_finite() && a < b) {
+        return Err(BoundsError::OutOfDomain {
+            name: "interval",
+            value: b - a,
+            domain: "a < b, both finite",
+        });
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(BoundsError::OutOfDomain {
+            name: "tol",
+            value: tol,
+            domain: "tol > 0",
+        });
+    }
+    let (mut lo, mut hi) = (a, b);
+    let (flo, fhi) = (f(lo), f(hi));
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(BoundsError::OutOfDomain {
+            name: "sign change",
+            value: flo.signum(),
+            domain: "f(a) and f(b) must differ in sign",
+        });
+    }
+    let neg_lo = flo < 0.0;
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return Ok(mid);
+        }
+        if (fm < 0.0) == neg_lo {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Supremum of `f` over a geometric grid on `[lo, hi]` with the given
+/// number of samples — a blunt instrument used only for *confirming*
+/// exact computations, never as a primary result.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] on an invalid range or
+/// `samples < 2`.
+pub fn grid_sup(
+    f: impl Fn(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    samples: usize,
+) -> Result<f64, BoundsError> {
+    if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi) {
+        return Err(BoundsError::OutOfDomain {
+            name: "range",
+            value: hi - lo,
+            domain: "0 < lo < hi",
+        });
+    }
+    if samples < 2 {
+        return Err(BoundsError::OutOfDomain {
+            name: "samples",
+            value: samples as f64,
+            domain: "samples >= 2",
+        });
+    }
+    let step = (hi / lo).powf(1.0 / (samples as f64 - 1.0));
+    let mut best = f64::NEG_INFINITY;
+    let mut x = lo;
+    for _ in 0..samples {
+        best = best.max(f(x));
+        x *= step;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::{c_fractional, mu_threshold};
+    use crate::strategy_math::{cyclic_ratio, optimal_alpha};
+
+    #[test]
+    fn golden_section_finds_parabola_min() {
+        let (x, v) = golden_section_min(|x| (x - 3.0).powi(2) + 1.0, -10.0, 10.0, 1e-10).unwrap();
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_rejects_bad_input() {
+        assert!(golden_section_min(|x| x, 1.0, 1.0, 1e-8).is_err());
+        assert!(golden_section_min(|x| x, 0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn numeric_alpha_matches_closed_form() {
+        // Independent re-derivation of alpha* for several (q,k).
+        for (q, k) in [(2u32, 1u32), (4, 3), (6, 5), (9, 4)] {
+            let (alpha_num, _) = golden_section_min(
+                |a| cyclic_ratio(a, q, k).unwrap_or(f64::INFINITY),
+                1.0 + 1e-9,
+                16.0,
+                1e-12,
+            )
+            .unwrap();
+            let alpha_closed = optimal_alpha(q, k).unwrap();
+            assert!(
+                (alpha_num - alpha_closed).abs() < 1e-6,
+                "alpha mismatch at q={q}, k={k}: {alpha_num} vs {alpha_closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_min_ratio_matches_threshold() {
+        for (q, k) in [(3u32, 2u32), (4, 3), (5, 2)] {
+            let (_, min_ratio) = golden_section_min(
+                |a| cyclic_ratio(a, q, k).unwrap_or(f64::INFINITY),
+                1.0 + 1e-9,
+                16.0,
+                1e-12,
+            )
+            .unwrap();
+            let mu = mu_threshold(k, q).unwrap();
+            assert!(
+                (min_ratio - (2.0 * mu + 1.0)).abs() < 1e-6,
+                "ratio mismatch at q={q}, k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn bisect_root_basics() {
+        let r = bisect_root(|x| x - 1.5, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - 1.5).abs() < 1e-10);
+        // endpoints that are roots
+        assert_eq!(bisect_root(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        // same sign: error
+        assert!(bisect_root(|x| x * x + 1.0, -1.0, 1.0, 1e-12).is_err());
+    }
+
+    #[test]
+    fn bisect_inverts_c_fractional() {
+        // find eta with C(eta) = 9: should be 2 (the cow path).
+        let eta = bisect_root(
+            |e| c_fractional(e).unwrap_or(f64::NEG_INFINITY) - 9.0,
+            1.0 + 1e-9,
+            5.0,
+            1e-12,
+        )
+        .unwrap();
+        assert!((eta - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_sup_confirms_monotone_function() {
+        let sup = grid_sup(|x| 1.0 - 1.0 / x, 1.0, 100.0, 1000).unwrap();
+        assert!((sup - 0.99).abs() < 1e-9);
+        assert!(grid_sup(|x| x, 0.0, 1.0, 10).is_err());
+        assert!(grid_sup(|x| x, 1.0, 2.0, 1).is_err());
+    }
+}

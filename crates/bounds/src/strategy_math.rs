@@ -1,0 +1,164 @@
+//! The appendix's exponential upper-bound strategy, quantitatively.
+//!
+//! The cyclic strategy with geometric base `α > 1` achieves competitive
+//! ratio `2γ(α) + 1` with `γ(α) = α^q / (α^k − 1)`, where `q = m(f+1)` and
+//! `k` is the number of robots. The paper minimizes `γ` at
+//! `α* = (q/(q−k))^(1/k)`, recovering exactly the lower-bound threshold —
+//! that coincidence *is* the tightness of Theorems 1 and 6. This module
+//! provides the pieces separately so the benches can sweep `α` and exhibit
+//! the minimum (experiment E5).
+
+use crate::BoundsError;
+
+/// The delay factor `γ(α) = α^q / (α^k − 1)` of the cyclic exponential
+/// strategy (appendix, proof of the upper bound in (10)).
+///
+/// The competitive ratio of the strategy is `2γ(α) + 1`.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::OutOfDomain`] if `alpha <= 1` (the geometric
+/// progression must grow) or not finite, and
+/// [`BoundsError::InvalidParameters`] unless `0 < k < q`.
+pub fn gamma_factor(alpha: f64, q: u32, k: u32) -> Result<f64, BoundsError> {
+    if k == 0 || q <= k {
+        return Err(BoundsError::invalid(format!(
+            "gamma requires 0 < k < q, got k={k}, q={q}"
+        )));
+    }
+    if !(alpha.is_finite() && alpha > 1.0) {
+        return Err(BoundsError::OutOfDomain {
+            name: "alpha",
+            value: alpha,
+            domain: "alpha > 1",
+        });
+    }
+    let log_num = f64::from(q) * alpha.ln();
+    let den = alpha.powi(k as i32) - 1.0;
+    Ok(log_num.exp() / den)
+}
+
+/// The optimal geometric base `α* = (q/(q−k))^(1/k)` minimizing
+/// [`gamma_factor`].
+///
+/// # Errors
+///
+/// Returns [`BoundsError::InvalidParameters`] unless `0 < k < q`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::optimal_alpha;
+/// // Cow path (q = 2, k = 1): alpha* = 2, the doubling strategy.
+/// assert!((optimal_alpha(2, 1)? - 2.0).abs() < 1e-12);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn optimal_alpha(q: u32, k: u32) -> Result<f64, BoundsError> {
+    if k == 0 || q <= k {
+        return Err(BoundsError::invalid(format!(
+            "optimal_alpha requires 0 < k < q, got k={k}, q={q}"
+        )));
+    }
+    let (qf, kf) = (f64::from(q), f64::from(k));
+    Ok((qf / (qf - kf)).powf(1.0 / kf))
+}
+
+/// The competitive ratio `2γ(α) + 1` of the cyclic exponential strategy
+/// with base `α`.
+///
+/// At `α = α*` this equals the tight bound `Λ(q/k)`; at any other `α` it is
+/// strictly larger.
+///
+/// # Errors
+///
+/// Propagates the errors of [`gamma_factor`].
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::{c_orc, cyclic_ratio, optimal_alpha};
+/// let (q, k) = (4, 3);
+/// let at_opt = cyclic_ratio(optimal_alpha(q, k)?, q, k)?;
+/// assert!((at_opt - c_orc(k, q)?).abs() < 1e-9);
+/// assert!(cyclic_ratio(1.5, q, k)? > at_opt);
+/// # Ok::<(), raysearch_bounds::BoundsError>(())
+/// ```
+pub fn cyclic_ratio(alpha: f64, q: u32, k: u32) -> Result<f64, BoundsError> {
+    Ok(2.0 * gamma_factor(alpha, q, k)? + 1.0)
+}
+
+/// The minimized delay factor `γ(α*) = μ(q,k)`, for cross-checking against
+/// [`mu_threshold`](crate::mu_threshold). Exposed mostly to make the upper = lower coincidence a
+/// named, testable fact.
+///
+/// # Errors
+///
+/// Returns [`BoundsError::InvalidParameters`] unless `0 < k < q`.
+pub fn min_gamma(q: u32, k: u32) -> Result<f64, BoundsError> {
+    gamma_factor(optimal_alpha(q, k)?, q, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form::{c_orc, mu_threshold, mu_to_lambda};
+
+    #[test]
+    fn gamma_domain() {
+        assert!(gamma_factor(2.0, 2, 2).is_err());
+        assert!(gamma_factor(2.0, 2, 0).is_err());
+        assert!(gamma_factor(1.0, 3, 1).is_err());
+        assert!(gamma_factor(f64::NAN, 3, 1).is_err());
+    }
+
+    #[test]
+    fn cow_path_doubling() {
+        // q=2, k=1: gamma(2) = 4/(2-1) = 4, ratio 9.
+        assert!((gamma_factor(2.0, 2, 1).unwrap() - 4.0).abs() < 1e-12);
+        assert!((cyclic_ratio(2.0, 2, 1).unwrap() - 9.0).abs() < 1e-12);
+        assert!((optimal_alpha(2, 1).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_gamma_equals_mu_threshold() {
+        for (q, k) in [(2u32, 1u32), (3, 1), (3, 2), (4, 3), (6, 5), (9, 4), (12, 7)] {
+            let g = min_gamma(q, k).unwrap();
+            let mu = mu_threshold(k, q).unwrap();
+            assert!(
+                (g - mu).abs() / mu < 1e-12,
+                "min gamma {g} != mu threshold {mu} at q={q}, k={k}"
+            );
+            // ...and hence 2*gamma+1 = C(k,q)
+            let lam = mu_to_lambda(g).unwrap();
+            assert!((lam - c_orc(k, q).unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimum_is_a_minimum_on_a_grid() {
+        for (q, k) in [(2u32, 1u32), (4, 3), (6, 5), (10, 3)] {
+            let astar = optimal_alpha(q, k).unwrap();
+            let best = gamma_factor(astar, q, k).unwrap();
+            for i in 1..200 {
+                let a = 1.0 + f64::from(i) * 0.02;
+                if (a - astar).abs() < 1e-9 {
+                    continue;
+                }
+                let g = gamma_factor(a, q, k).unwrap();
+                assert!(
+                    g >= best - 1e-12,
+                    "gamma({a}) = {g} beats gamma(alpha*) = {best} at q={q}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_grows_away_from_optimum() {
+        let (q, k) = (6u32, 5u32);
+        let astar = optimal_alpha(q, k).unwrap();
+        let base = cyclic_ratio(astar, q, k).unwrap();
+        assert!(cyclic_ratio(astar * 1.3, q, k).unwrap() > base);
+        assert!(cyclic_ratio(1.0 + (astar - 1.0) * 0.5, q, k).unwrap() > base);
+    }
+}

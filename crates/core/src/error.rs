@@ -1,0 +1,124 @@
+use std::fmt;
+
+use raysearch_bounds::BoundsError;
+use raysearch_cover::CoverError;
+use raysearch_faults::FaultError;
+use raysearch_sim::SimError;
+use raysearch_strategies::StrategyError;
+
+/// Error raised by the facade: either invalid facade-level input, or a
+/// wrapped error from one of the substrate crates.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A facade-level parameter was invalid.
+    InvalidInput {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The fleet does not cover some target within the horizon, so the
+    /// competitive ratio is unbounded.
+    Uncovered {
+        /// A witness target that fewer than `f+1` robots visit.
+        witness: f64,
+        /// The ray (or side: 0 = positive, 1 = negative) of the witness.
+        ray: usize,
+    },
+    /// Simulation substrate error.
+    Sim(SimError),
+    /// Strategy construction error.
+    Strategy(StrategyError),
+    /// Bound computation error.
+    Bounds(BoundsError),
+    /// Covering machinery error.
+    Cover(CoverError),
+    /// Fault model error.
+    Fault(FaultError),
+}
+
+impl CoreError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            CoreError::Uncovered { witness, ray } => write!(
+                f,
+                "target at distance {witness} on ray {ray} is never confirmed: ratio unbounded"
+            ),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Strategy(e) => write!(f, "strategy error: {e}"),
+            CoreError::Bounds(e) => write!(f, "bounds error: {e}"),
+            CoreError::Cover(e) => write!(f, "cover error: {e}"),
+            CoreError::Fault(e) => write!(f, "fault error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Strategy(e) => Some(e),
+            CoreError::Bounds(e) => Some(e),
+            CoreError::Cover(e) => Some(e),
+            CoreError::Fault(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<StrategyError> for CoreError {
+    fn from(e: StrategyError) -> Self {
+        CoreError::Strategy(e)
+    }
+}
+
+impl From<BoundsError> for CoreError {
+    fn from(e: BoundsError) -> Self {
+        CoreError::Bounds(e)
+    }
+}
+
+impl From<CoverError> for CoreError {
+    fn from(e: CoverError) -> Self {
+        CoreError::Cover(e)
+    }
+}
+
+impl From<FaultError> for CoreError {
+    fn from(e: FaultError) -> Self {
+        CoreError::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: CoreError = SimError::InvalidDistance { value: -2.0 }.into();
+        assert!(e.to_string().contains("simulation error"));
+        assert!(e.source().is_some());
+        let e = CoreError::Uncovered {
+            witness: 3.0,
+            ray: 1,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,616 @@
+//! Exact competitive-ratio evaluation against the crash adversary.
+//!
+//! For a fleet given by turning-point plans, each robot's first-visit time
+//! to a target at distance `x` on a fixed side/ray is piecewise of the form
+//! `c + x`: between two consecutive "new territory" turning points the
+//! covering leg is fixed and `c` is twice the total turning mass before
+//! that leg. The adversarial detection time is the `(f+1)`-st order
+//! statistic of the robots' first-visit times, and since every piece has
+//! slope 1, the ratio `τ(x)/x = (c+x)/x` is *decreasing* on every piece —
+//! so the supremum over targets is approached in the right-limit at piece
+//! boundaries. The evaluator therefore computes the exact supremum by
+//! enumerating boundaries; nothing is sampled.
+//!
+//! This is the measurement side of the paper: running it on the
+//! [`CyclicExponential`](raysearch_strategies::CyclicExponential) strategy
+//! reproduces `Λ(q/k)` to floating-point accuracy (experiments E1/E4/E5).
+
+use raysearch_sim::{Direction, LineItinerary, TourItinerary};
+
+use crate::CoreError;
+
+/// One slope-1 piece of a first-visit function: targets in `(lo, hi]` are
+/// first visited at time `c + x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Piece {
+    lo: f64,
+    hi: f64,
+    c: f64,
+}
+
+/// The first-visit function of one robot on one side/ray.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Pieces {
+    /// Sorted by `lo`; `lo` values strictly increase and intervals are
+    /// disjoint by construction.
+    pieces: Vec<Piece>,
+}
+
+impl Pieces {
+    /// Builds the pieces for a line itinerary on the given side.
+    fn from_line(itinerary: &LineItinerary, side: Direction) -> Pieces {
+        let mut pieces = Vec::new();
+        let mut reach = 0.0f64; // furthest distance visited on `side`
+        let mut prefix = 0.0f64; // sum of turn magnitudes before current leg
+        for (i, signed) in itinerary.signed_turns().enumerate() {
+            let magnitude = signed.abs();
+            let on_side = (signed > 0.0) == (side == Direction::Positive);
+            if on_side && magnitude > reach {
+                pieces.push(Piece {
+                    lo: reach,
+                    hi: magnitude,
+                    c: 2.0 * prefix,
+                });
+                reach = magnitude;
+            }
+            let _ = i;
+            prefix += magnitude;
+        }
+        Pieces { pieces }
+    }
+
+    /// Builds the pieces for a tour on the given ray.
+    fn from_tour(tour: &TourItinerary, ray: usize) -> Pieces {
+        let mut pieces = Vec::new();
+        let mut reach = 0.0f64;
+        let mut prefix = 0.0f64;
+        for e in tour.excursions() {
+            if e.ray.index() == ray && e.turn > reach {
+                pieces.push(Piece {
+                    lo: reach,
+                    hi: e.turn,
+                    c: 2.0 * prefix,
+                });
+                reach = e.turn;
+            }
+            prefix += e.turn;
+        }
+        Pieces { pieces }
+    }
+
+    /// The first-visit constant for a target at `x` (`lo < x ≤ hi`), or
+    /// `None` if the plan never reaches `x`.
+    fn constant_at(&self, x: f64) -> Option<f64> {
+        // binary search on lo
+        let idx = self.pieces.partition_point(|p| p.lo < x);
+        if idx == 0 {
+            return None;
+        }
+        let p = &self.pieces[idx - 1];
+        (x <= p.hi).then_some(p.c)
+    }
+
+    /// All piece boundaries (both endpoints).
+    fn boundaries(&self) -> impl Iterator<Item = f64> + '_ {
+        self.pieces.iter().flat_map(|p| [p.lo, p.hi])
+    }
+}
+
+/// The target realizing (in the limit) the worst-case ratio.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorstTarget {
+    /// Ray index; for the line, `0` is the positive and `1` the negative
+    /// side.
+    pub ray: usize,
+    /// The boundary whose right-neighbourhood attains the supremum:
+    /// the adversary hides the target just past this distance.
+    pub x: f64,
+    /// The limiting detection time `c + x` for targets approaching `x`
+    /// from above.
+    pub detection_limit: f64,
+}
+
+/// The outcome of an exact evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EvalReport {
+    /// The exact supremum of `τ(x)/x` over the evaluation range — the
+    /// fleet's competitive ratio against the crash adversary. Infinite if
+    /// some target is never confirmed.
+    pub ratio: f64,
+    /// The target (limit) achieving the supremum, when finite.
+    pub worst: Option<WorstTarget>,
+    /// A witness target confirmed by fewer than `f+1` robots, if any
+    /// (then `ratio` is infinite).
+    pub uncovered: Option<WorstTarget>,
+    /// Number of boundary candidates examined.
+    pub num_breakpoints: usize,
+}
+
+impl EvalReport {
+    /// Whether every target in range is confirmed in finite time.
+    pub fn is_covered(&self) -> bool {
+        self.uncovered.is_none()
+    }
+}
+
+fn check_range(lo: f64, hi: f64) -> Result<(), CoreError> {
+    if !(lo.is_finite() && hi.is_finite() && 1.0 <= lo && lo < hi) {
+        return Err(CoreError::invalid(format!(
+            "evaluation range must satisfy 1 <= lo < hi, got [{lo}, {hi}]"
+        )));
+    }
+    Ok(())
+}
+
+/// Core sup computation over one domain (side or ray) given per-robot
+/// piece functions.
+fn sup_over_domain(
+    per_robot: &[Pieces],
+    f: u32,
+    lo: f64,
+    hi: f64,
+    ray: usize,
+    best: &mut Option<WorstTarget>,
+    uncovered: &mut Option<WorstTarget>,
+    examined: &mut usize,
+) {
+    let needed = f as usize + 1;
+    // candidate left-ends: lo plus all piece boundaries in (lo, hi)
+    let mut bs: Vec<f64> = vec![lo];
+    for p in per_robot {
+        bs.extend(p.boundaries().filter(|&b| b > lo && b < hi));
+    }
+    bs.sort_by(f64::total_cmp);
+    bs.dedup();
+
+    let mut constants: Vec<f64> = Vec::with_capacity(per_robot.len());
+    for (i, &b) in bs.iter().enumerate() {
+        *examined += 1;
+        let next = bs.get(i + 1).copied().unwrap_or(hi);
+        // an interior probe point of (b, next): no boundary lies inside,
+        // so every robot's constant is uniform on the whole open segment
+        let probe = 0.5 * (b + next);
+        constants.clear();
+        constants.extend(per_robot.iter().filter_map(|p| p.constant_at(probe)));
+        if constants.len() < needed {
+            if uncovered.is_none() {
+                *uncovered = Some(WorstTarget {
+                    ray,
+                    x: probe,
+                    detection_limit: f64::INFINITY,
+                });
+            }
+            continue;
+        }
+        constants.sort_by(f64::total_cmp);
+        let c = constants[needed - 1];
+        let candidate = WorstTarget {
+            ray,
+            x: b,
+            detection_limit: c + b,
+        };
+        let ratio = candidate.detection_limit / candidate.x;
+        let better = match best {
+            Some(w) => ratio > w.detection_limit / w.x,
+            None => true,
+        };
+        if better {
+            *best = Some(candidate);
+        }
+    }
+}
+
+/// Exact evaluator for line fleets.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_core::LineEvaluator;
+/// use raysearch_strategies::{DoublingCowPath, LineStrategy};
+///
+/// let cow = DoublingCowPath::classic();
+/// let fleet = cow.fleet_itineraries(1e5)?;
+/// let report = LineEvaluator::new(0, 1.0, 1e4)?.evaluate(&fleet)?;
+/// assert!((report.ratio - 9.0).abs() < 1e-3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineEvaluator {
+    f: u32,
+    lo: f64,
+    hi: f64,
+}
+
+impl LineEvaluator {
+    /// Creates an evaluator for `f` crash faults over targets
+    /// `lo ≤ |x| ≤ hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] unless `1 ≤ lo < hi`, both
+    /// finite.
+    pub fn new(f: u32, lo: f64, hi: f64) -> Result<Self, CoreError> {
+        check_range(lo, hi)?;
+        Ok(LineEvaluator { f, lo, hi })
+    }
+
+    /// Evaluates the exact worst-case ratio of a fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the fleet has fewer than
+    /// `f+1` robots.
+    pub fn evaluate(&self, fleet: &[LineItinerary]) -> Result<EvalReport, CoreError> {
+        if fleet.len() <= self.f as usize {
+            return Err(CoreError::invalid(format!(
+                "need more than f = {} robots, got {}",
+                self.f,
+                fleet.len()
+            )));
+        }
+        let mut best = None;
+        let mut uncovered = None;
+        let mut examined = 0usize;
+        for (ray, side) in [(0, Direction::Positive), (1, Direction::Negative)] {
+            let pieces: Vec<Pieces> = fleet
+                .iter()
+                .map(|it| Pieces::from_line(it, side))
+                .collect();
+            sup_over_domain(
+                &pieces,
+                self.f,
+                self.lo,
+                self.hi,
+                ray,
+                &mut best,
+                &mut uncovered,
+                &mut examined,
+            );
+        }
+        Ok(EvalReport {
+            ratio: match (&uncovered, &best) {
+                (Some(_), _) => f64::INFINITY,
+                (None, Some(w)) => w.detection_limit / w.x,
+                (None, None) => f64::INFINITY,
+            },
+            worst: best,
+            uncovered,
+            num_breakpoints: examined,
+        })
+    }
+
+    /// Exact adversarial detection time of a single signed target: the
+    /// `(f+1)`-st smallest first-visit time over the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on a non-finite or sub-unit
+    /// `|x|`.
+    pub fn detection_time(
+        &self,
+        fleet: &[LineItinerary],
+        x: f64,
+    ) -> Result<Option<f64>, CoreError> {
+        if !(x.is_finite() && x.abs() >= 1.0) {
+            return Err(CoreError::invalid(format!(
+                "target must satisfy |x| >= 1, got {x}"
+            )));
+        }
+        let side = if x > 0.0 {
+            Direction::Positive
+        } else {
+            Direction::Negative
+        };
+        let mut times: Vec<f64> = fleet
+            .iter()
+            .filter_map(|it| {
+                Pieces::from_line(it, side)
+                    .constant_at(x.abs())
+                    .map(|c| c + x.abs())
+            })
+            .collect();
+        let needed = self.f as usize + 1;
+        if times.len() < needed {
+            return Ok(None);
+        }
+        times.sort_by(f64::total_cmp);
+        Ok(Some(times[needed - 1]))
+    }
+}
+
+/// Exact evaluator for `m`-ray fleets.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_core::RayEvaluator;
+/// use raysearch_strategies::{CyclicExponential, RayStrategy};
+///
+/// let strat = CyclicExponential::optimal(3, 1, 0)?;
+/// let fleet = strat.fleet_tours(1e5)?;
+/// let report = RayEvaluator::new(3, 0, 1.0, 1e4)?.evaluate(&fleet)?;
+/// // single robot on 3 rays: the classic 14.5
+/// assert!((report.ratio - 14.5).abs() < 1e-3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayEvaluator {
+    m: usize,
+    f: u32,
+    lo: f64,
+    hi: f64,
+}
+
+impl RayEvaluator {
+    /// Creates an evaluator for `m` rays and `f` crash faults over targets
+    /// at distance `lo ≤ x ≤ hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] unless `m ≥ 1` and
+    /// `1 ≤ lo < hi`.
+    pub fn new(m: usize, f: u32, lo: f64, hi: f64) -> Result<Self, CoreError> {
+        if m == 0 {
+            return Err(CoreError::invalid("need at least one ray"));
+        }
+        check_range(lo, hi)?;
+        Ok(RayEvaluator { m, f, lo, hi })
+    }
+
+    /// Evaluates the exact worst-case ratio of a fleet of tours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the fleet has fewer than
+    /// `f+1` robots or a tour is for the wrong number of rays.
+    pub fn evaluate(&self, fleet: &[TourItinerary]) -> Result<EvalReport, CoreError> {
+        if fleet.len() <= self.f as usize {
+            return Err(CoreError::invalid(format!(
+                "need more than f = {} robots, got {}",
+                self.f,
+                fleet.len()
+            )));
+        }
+        for t in fleet {
+            if t.num_rays() != self.m {
+                return Err(CoreError::invalid(format!(
+                    "tour is for {} rays, evaluator expects {}",
+                    t.num_rays(),
+                    self.m
+                )));
+            }
+        }
+        let mut best = None;
+        let mut uncovered = None;
+        let mut examined = 0usize;
+        for ray in 0..self.m {
+            let pieces: Vec<Pieces> = fleet
+                .iter()
+                .map(|t| Pieces::from_tour(t, ray))
+                .collect();
+            sup_over_domain(
+                &pieces,
+                self.f,
+                self.lo,
+                self.hi,
+                ray,
+                &mut best,
+                &mut uncovered,
+                &mut examined,
+            );
+        }
+        Ok(EvalReport {
+            ratio: match (&uncovered, &best) {
+                (Some(_), _) => f64::INFINITY,
+                (None, Some(w)) => w.detection_limit / w.x,
+                (None, None) => f64::INFINITY,
+            },
+            worst: best,
+            uncovered,
+            num_breakpoints: examined,
+        })
+    }
+
+    /// Exact adversarial detection time of a target on a given ray.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on an out-of-range ray or
+    /// `x < 1`.
+    pub fn detection_time(
+        &self,
+        fleet: &[TourItinerary],
+        ray: usize,
+        x: f64,
+    ) -> Result<Option<f64>, CoreError> {
+        if ray >= self.m {
+            return Err(CoreError::invalid(format!(
+                "ray {ray} out of range for m = {}",
+                self.m
+            )));
+        }
+        if !(x.is_finite() && x >= 1.0) {
+            return Err(CoreError::invalid(format!(
+                "target must satisfy x >= 1, got {x}"
+            )));
+        }
+        let mut times: Vec<f64> = fleet
+            .iter()
+            .filter_map(|t| Pieces::from_tour(t, ray).constant_at(x).map(|c| c + x))
+            .collect();
+        let needed = self.f as usize + 1;
+        if times.len() < needed {
+            return Ok(None);
+        }
+        times.sort_by(f64::total_cmp);
+        Ok(Some(times[needed - 1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysearch_strategies::{
+        CyclicExponential, DoublingCowPath, LineStrategy, RayStrategy, ReplicatedDoubling,
+        ZonePartition,
+    };
+
+    #[test]
+    fn cow_path_evaluates_to_nine() {
+        let fleet = DoublingCowPath::classic().fleet_itineraries(1e6).unwrap();
+        let r = LineEvaluator::new(0, 1.0, 1e5).unwrap().evaluate(&fleet).unwrap();
+        assert!(r.is_covered());
+        // the finite-horizon sup is 9 - 2/b at the largest breakpoint b;
+        // it approaches 9 from below as the horizon grows
+        assert!(r.ratio <= 9.0 + 1e-12);
+        assert!((r.ratio - 9.0).abs() < 1e-4, "ratio {} != 9", r.ratio);
+    }
+
+    #[test]
+    fn cow_path_other_bases_are_worse() {
+        for base in [1.5, 3.0] {
+            let cow = DoublingCowPath::new(base).unwrap();
+            let fleet = cow.fleet_itineraries(1e6).unwrap();
+            let r = LineEvaluator::new(0, 1.0, 1e5).unwrap().evaluate(&fleet).unwrap();
+            assert!(
+                (r.ratio - cow.theoretical_ratio()).abs() < 1e-3,
+                "base {base}: measured {} vs theory {}",
+                r.ratio,
+                cow.theoretical_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_line_strategy_matches_theorem1() {
+        for (k, f) in [(1u32, 0u32), (3, 1), (5, 2), (5, 3), (7, 3)] {
+            let strat = CyclicExponential::optimal(2, k, f).unwrap().to_line().unwrap();
+            let fleet = strat.fleet_itineraries(1e6).unwrap();
+            let r = LineEvaluator::new(f, 1.0, 1e4)
+                .unwrap()
+                .evaluate(&fleet)
+                .unwrap();
+            let theory = raysearch_bounds::a_line(k, f).unwrap();
+            assert!(r.is_covered(), "(k={k}, f={f}) uncovered: {:?}", r.uncovered);
+            assert!(r.ratio <= theory + 1e-9, "(k={k}, f={f}) exceeds theory");
+            assert!(
+                (r.ratio - theory).abs() < 1e-3,
+                "(k={k}, f={f}): measured {} vs theory {theory}",
+                r.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_ray_strategy_matches_theorem6() {
+        for (m, k, f) in [(3u32, 1u32, 0u32), (3, 2, 0), (4, 3, 0), (3, 5, 1), (5, 4, 0)] {
+            let strat = CyclicExponential::optimal(m, k, f).unwrap();
+            let fleet = strat.fleet_tours(1e6).unwrap();
+            let r = RayEvaluator::new(m as usize, f, 1.0, 1e4)
+                .unwrap()
+                .evaluate(&fleet)
+                .unwrap();
+            let theory = raysearch_bounds::a_rays(m, k, f).unwrap();
+            assert!(r.is_covered(), "(m={m},k={k},f={f}) uncovered");
+            assert!(r.ratio <= theory + 1e-9, "(m={m},k={k},f={f}) exceeds theory");
+            assert!(
+                (r.ratio - theory).abs() < 1e-3,
+                "(m={m},k={k},f={f}): measured {} vs theory {theory}",
+                r.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_doubling_is_nine_for_any_f() {
+        let s = ReplicatedDoubling::new(4).unwrap();
+        let fleet = s.fleet_itineraries(1e6).unwrap();
+        for f in 0..4u32 {
+            let r = LineEvaluator::new(f, 1.0, 1e4)
+                .unwrap()
+                .evaluate(&fleet)
+                .unwrap();
+            if f < 4 {
+                assert!((r.ratio - 9.0).abs() < 1e-3, "f={f}: {}", r.ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn zone_partition_saturated_is_ratio_one() {
+        let z = ZonePartition::new(2, 4, 1).unwrap();
+        let fleet = z.fleet_tours(1e4).unwrap();
+        let r = RayEvaluator::new(2, 1, 1.0, 1e3).unwrap().evaluate(&fleet).unwrap();
+        assert!(r.is_covered());
+        assert!((r.ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zone_partition_undersized_is_uncovered() {
+        let z = ZonePartition::new(3, 4, 1).unwrap();
+        let fleet = z.fleet_tours(1e4).unwrap();
+        let r = RayEvaluator::new(3, 1, 1.0, 1e3).unwrap().evaluate(&fleet).unwrap();
+        assert!(!r.is_covered());
+        assert!(r.ratio.is_infinite());
+        // rays 1 and 2 each have a single robot; the first
+        // undercovered ray found is ray 1
+        assert_ne!(r.uncovered.unwrap().ray, 0);
+    }
+
+    #[test]
+    fn detection_time_matches_visit_engine_ground_truth() {
+        use raysearch_faults::CrashAdversary;
+        use raysearch_sim::{LinePoint, LineTrajectory, VisitEngine};
+
+        let strat = CyclicExponential::optimal(2, 3, 1).unwrap().to_line().unwrap();
+        let fleet = strat.fleet_itineraries(1e4).unwrap();
+        let evaluator = LineEvaluator::new(1, 1.0, 1e3).unwrap();
+        let engine = VisitEngine::new(
+            fleet.iter().map(LineTrajectory::compile).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let adv = CrashAdversary::new(1);
+        for &x in &[1.0, -2.5, 7.3, -41.0, 333.0] {
+            let fast = evaluator.detection_time(&fleet, x).unwrap();
+            let truth = adv
+                .detection_time(&engine.schedule(LinePoint::new(x).unwrap()))
+                .map(|t| t.as_f64());
+            match (fast, truth) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-9, "x={x}: {a} vs {b}");
+                }
+                (a, b) => panic!("x={x}: symbolic {a:?} vs engine {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_validation() {
+        assert!(LineEvaluator::new(0, 0.5, 10.0).is_err());
+        assert!(LineEvaluator::new(0, 10.0, 10.0).is_err());
+        assert!(RayEvaluator::new(0, 0, 1.0, 10.0).is_err());
+        let e = LineEvaluator::new(2, 1.0, 10.0).unwrap();
+        // fleet smaller than f+1
+        let fleet = DoublingCowPath::classic().fleet_itineraries(100.0).unwrap();
+        assert!(e.evaluate(&fleet).is_err());
+        assert!(e.detection_time(&fleet, 0.5).is_err());
+    }
+
+    #[test]
+    fn ray_evaluator_rejects_mismatched_tours() {
+        let strat = CyclicExponential::optimal(3, 2, 0).unwrap();
+        let fleet = strat.fleet_tours(100.0).unwrap();
+        let e = RayEvaluator::new(4, 0, 1.0, 10.0).unwrap();
+        assert!(e.evaluate(&fleet).is_err());
+    }
+
+    #[test]
+    fn worst_target_is_just_past_a_turning_point() {
+        let fleet = DoublingCowPath::classic().fleet_itineraries(1e6).unwrap();
+        let r = LineEvaluator::new(0, 1.0, 1e5).unwrap().evaluate(&fleet).unwrap();
+        let w = r.worst.unwrap();
+        // the worst target hides just past a power of two
+        let log = w.x.log2();
+        assert!((log - log.round()).abs() < 1e-9, "worst x = {} not a power of 2", w.x);
+    }
+}

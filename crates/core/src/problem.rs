@@ -1,0 +1,260 @@
+//! Problem specifications: instance parameters plus an evaluation horizon.
+
+use raysearch_bounds::{LineInstance, RayInstance, Regime};
+
+use crate::CoreError;
+
+fn check_horizon(horizon: f64) -> Result<(), CoreError> {
+    if horizon.is_finite() && horizon > 1.0 {
+        Ok(())
+    } else {
+        Err(CoreError::invalid(format!(
+            "horizon must be finite and > 1, got {horizon}"
+        )))
+    }
+}
+
+/// A line-search problem: `k` robots, `f` crash-faulty, targets in
+/// `1 ≤ |x| ≤ horizon`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_core::LineProblem;
+/// let p = LineProblem::new(3, 1, 1e4)?;
+/// assert_eq!(p.instance().k(), 3);
+/// assert!(p.optimal_ratio().is_some());
+/// # Ok::<(), raysearch_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LineProblem {
+    instance: LineInstance,
+    horizon: f64,
+}
+
+impl LineProblem {
+    /// Creates a line problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on invalid `(k, f)` or horizon.
+    pub fn new(k: u32, f: u32, horizon: f64) -> Result<Self, CoreError> {
+        check_horizon(horizon)?;
+        Ok(LineProblem {
+            instance: LineInstance::new(k, f)?,
+            horizon,
+        })
+    }
+
+    /// The instance parameters.
+    #[inline]
+    pub fn instance(&self) -> LineInstance {
+        self.instance
+    }
+
+    /// The evaluation horizon.
+    #[inline]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The optimal competitive ratio per Theorem 1, if search is possible
+    /// (`Some(1.0)` in the trivial regime, `None` if `k = f`).
+    pub fn optimal_ratio(&self) -> Option<f64> {
+        self.instance.regime().ratio()
+    }
+
+    /// The regime classification.
+    pub fn regime(&self) -> Regime {
+        self.instance.regime()
+    }
+
+    /// The optimal strategy for this problem (the PODC'16 construction),
+    /// in its line view.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error outside the searchable regime (in the trivial
+    /// regime use
+    /// [`TwoWaySaturation`](raysearch_strategies::baselines::TwoWaySaturation)).
+    pub fn optimal_strategy(
+        &self,
+    ) -> Result<raysearch_strategies::CyclicExponentialLine, CoreError> {
+        Ok(
+            raysearch_strategies::CyclicExponential::optimal(2, self.instance.k(), self.instance.f())?
+                .to_line()?,
+        )
+    }
+
+    /// Runs the full tightness verdict for this problem (see
+    /// [`verify_tightness`](crate::verdict::verify_tightness)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates verdict errors (out-of-regime instances, bad `eps`).
+    pub fn verify(&self, eps: f64) -> Result<crate::TightnessReport, CoreError> {
+        crate::verdict::verify_tightness(2, self.instance.k(), self.instance.f(), self.horizon, eps)
+    }
+}
+
+impl std::fmt::Display for LineProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} on [1, {}]", self.instance, self.horizon)
+    }
+}
+
+/// An `m`-ray search problem: `k` robots, `f` crash-faulty, targets at
+/// distance `1 ≤ x ≤ horizon` on any ray.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_core::RayProblem;
+/// let p = RayProblem::new(3, 2, 0, 1e4)?;
+/// assert_eq!(p.instance().q(), 3);
+/// # Ok::<(), raysearch_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RayProblem {
+    instance: RayInstance,
+    horizon: f64,
+}
+
+impl RayProblem {
+    /// Creates an `m`-ray problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on invalid `(m, k, f)` or
+    /// horizon.
+    pub fn new(m: u32, k: u32, f: u32, horizon: f64) -> Result<Self, CoreError> {
+        check_horizon(horizon)?;
+        Ok(RayProblem {
+            instance: RayInstance::new(m, k, f)?,
+            horizon,
+        })
+    }
+
+    /// The instance parameters.
+    #[inline]
+    pub fn instance(&self) -> RayInstance {
+        self.instance
+    }
+
+    /// The evaluation horizon.
+    #[inline]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The optimal competitive ratio per Theorem 6, if search is possible.
+    pub fn optimal_ratio(&self) -> Option<f64> {
+        self.instance.regime().ratio()
+    }
+
+    /// The regime classification.
+    pub fn regime(&self) -> Regime {
+        self.instance.regime()
+    }
+
+    /// The optimal strategy for this problem (the appendix construction).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error outside the searchable regime (in the trivial
+    /// regime use [`ZonePartition`](raysearch_strategies::ZonePartition)).
+    pub fn optimal_strategy(
+        &self,
+    ) -> Result<raysearch_strategies::CyclicExponential, CoreError> {
+        Ok(raysearch_strategies::CyclicExponential::optimal(
+            self.instance.m(),
+            self.instance.k(),
+            self.instance.f(),
+        )?)
+    }
+
+    /// Runs the full tightness verdict for this problem (see
+    /// [`verify_tightness`](crate::verdict::verify_tightness)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates verdict errors (out-of-regime instances, bad `eps`).
+    pub fn verify(&self, eps: f64) -> Result<crate::TightnessReport, CoreError> {
+        crate::verdict::verify_tightness(
+            self.instance.m(),
+            self.instance.k(),
+            self.instance.f(),
+            self.horizon,
+            eps,
+        )
+    }
+}
+
+impl std::fmt::Display for RayProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} on [1, {}]", self.instance, self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(LineProblem::new(3, 1, 1.0).is_err());
+        assert!(LineProblem::new(3, 1, f64::NAN).is_err());
+        assert!(LineProblem::new(0, 0, 10.0).is_err());
+        assert!(RayProblem::new(0, 1, 0, 10.0).is_err());
+        assert!(RayProblem::new(3, 1, 0, 10.0).is_ok());
+    }
+
+    #[test]
+    fn ratios_match_bounds_crate() {
+        let p = LineProblem::new(3, 1, 100.0).unwrap();
+        let direct = raysearch_bounds::a_line(3, 1).unwrap();
+        assert!((p.optimal_ratio().unwrap() - direct).abs() < 1e-12);
+        let p = RayProblem::new(3, 2, 0, 100.0).unwrap();
+        let direct = raysearch_bounds::a_rays(3, 2, 0).unwrap();
+        assert!((p.optimal_ratio().unwrap() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_and_impossible_regimes() {
+        assert_eq!(LineProblem::new(4, 1, 10.0).unwrap().optimal_ratio(), Some(1.0));
+        assert_eq!(LineProblem::new(2, 2, 10.0).unwrap().optimal_ratio(), None);
+    }
+
+    #[test]
+    fn display() {
+        let p = LineProblem::new(3, 1, 100.0).unwrap();
+        assert!(p.to_string().contains("line(k=3, f=1)"));
+    }
+
+    #[test]
+    fn optimal_strategy_helpers() {
+        use raysearch_strategies::{LineStrategy, RayStrategy};
+        let p = LineProblem::new(3, 1, 100.0).unwrap();
+        let s = p.optimal_strategy().unwrap();
+        assert_eq!(s.num_robots(), 3);
+        // trivial regime: no cyclic strategy
+        assert!(LineProblem::new(4, 1, 100.0).unwrap().optimal_strategy().is_err());
+
+        let p = RayProblem::new(3, 2, 0, 100.0).unwrap();
+        let s = p.optimal_strategy().unwrap();
+        assert_eq!(s.num_rays(), 3);
+    }
+
+    #[test]
+    fn problem_level_verify() {
+        let p = LineProblem::new(1, 0, 2e3).unwrap();
+        let report = p.verify(0.02).unwrap();
+        assert!((report.theory - 9.0).abs() < 1e-12);
+        assert!(report.falsified_below);
+
+        let p = RayProblem::new(3, 2, 0, 2e3).unwrap();
+        let report = p.verify(0.02).unwrap();
+        assert!(report.falsified_below);
+        assert!((report.measured_upper - report.theory).abs() < 1e-2 * report.theory);
+    }
+}

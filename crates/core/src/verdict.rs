@@ -1,0 +1,167 @@
+//! Tightness verdicts: theory vs measurement vs falsification.
+//!
+//! For an instance `(m, k, f)` in the searchable regime the paper asserts
+//! three mutually reinforcing facts, each independently checkable:
+//!
+//! 1. **theory** — the closed form `λ₀ = Λ(q/k)` (Theorem 6, via
+//!    `raysearch-bounds`);
+//! 2. **upper bound** — the cyclic exponential strategy *measures* at
+//!    `λ₀` on the exact evaluator (appendix construction);
+//! 3. **lower bound** — at any `λ < λ₀`, the strategy's induced `q`-fold
+//!    ORC covering fails: the sweep exhibits an undercovered witness
+//!    (Section 3.1 machinery).
+//!
+//! [`verify_tightness`] runs all three and returns a [`TightnessReport`].
+
+use raysearch_bounds::{a_rays, lambda_to_mu, RayInstance};
+use raysearch_cover::settings::{merge_fleet_intervals, OrcSetting};
+use raysearch_cover::CoverageProfile;
+use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+use crate::{CoreError, RayEvaluator};
+
+/// The outcome of a tightness verification for one instance.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TightnessReport {
+    /// The instance checked.
+    pub m: u32,
+    /// Number of robots.
+    pub k: u32,
+    /// Number of crash-faulty robots.
+    pub f: u32,
+    /// The closed-form optimal ratio `λ₀`.
+    pub theory: f64,
+    /// The measured worst-case ratio of the optimal strategy over
+    /// `[1, horizon]` (approaches `theory` from below as the horizon
+    /// grows).
+    pub measured_upper: f64,
+    /// Whether the `q`-fold ORC covering of the optimal strategy fails at
+    /// `λ = (1−eps)·λ₀`, as the lower bound demands.
+    pub falsified_below: bool,
+    /// The undercovered witness distance when falsified.
+    pub witness_below: Option<f64>,
+    /// The relative margin used for the falsification check.
+    pub eps: f64,
+    /// The evaluation horizon.
+    pub horizon: f64,
+}
+
+impl TightnessReport {
+    /// Whether both directions hold within `tol` (relative).
+    pub fn is_tight(&self, tol: f64) -> bool {
+        self.falsified_below && (self.measured_upper - self.theory).abs() <= tol * self.theory
+    }
+}
+
+/// Verifies the tightness of Theorem 6 for one instance.
+///
+/// `eps` is the relative margin below `λ₀` at which covering must fail;
+/// for very small `eps` the failure witness moves far out, so the horizon
+/// must grow accordingly (the paper's `N(ε)`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`]-style errors for out-of-regime
+/// parameters, invalid horizons or `eps ∉ (0, 1)`.
+pub fn verify_tightness(
+    m: u32,
+    k: u32,
+    f: u32,
+    horizon: f64,
+    eps: f64,
+) -> Result<TightnessReport, CoreError> {
+    if !(eps.is_finite() && 0.0 < eps && eps < 1.0) {
+        return Err(CoreError::invalid(format!(
+            "eps must lie in (0, 1), got {eps}"
+        )));
+    }
+    let instance = RayInstance::new(m, k, f)?;
+    let theory = a_rays(m, k, f)?;
+    let strategy = CyclicExponential::optimal(m, k, f)?;
+    let fleet = strategy.fleet_tours(horizon * 4.0)?;
+
+    // (2) measure the upper bound exactly
+    let report = RayEvaluator::new(m as usize, f, 1.0, horizon)?.evaluate(&fleet)?;
+    if !report.is_covered() {
+        return Err(CoreError::Uncovered {
+            witness: report.uncovered.map(|w| w.x).unwrap_or(f64::NAN),
+            ray: report.uncovered.map(|w| w.ray).unwrap_or(0),
+        });
+    }
+
+    // (3) falsify coverage just below the bound: the q-fold ORC covering
+    // of *this* strategy must break somewhere in [1, horizon]
+    let lambda_below = theory * (1.0 - eps);
+    let mu_below = lambda_to_mu(lambda_below)?;
+    let per_robot: Vec<_> = fleet
+        .iter()
+        .map(|tour| {
+            OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(tour), mu_below)
+        })
+        .collect::<Result<_, _>>()?;
+    let merged = merge_fleet_intervals(per_robot);
+    let profile = CoverageProfile::build(&merged, 1.0, horizon)?;
+    let witness = profile.first_undercovered(instance.q() as usize);
+
+    Ok(TightnessReport {
+        m,
+        k,
+        f,
+        theory,
+        measured_upper: report.ratio,
+        falsified_below: witness.is_some(),
+        witness_below: witness,
+        eps,
+        horizon,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eps_validation() {
+        assert!(verify_tightness(2, 1, 0, 100.0, 0.0).is_err());
+        assert!(verify_tightness(2, 1, 0, 100.0, 1.0).is_err());
+        assert!(verify_tightness(2, 1, 0, 100.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cow_path_instance_is_tight() {
+        let r = verify_tightness(2, 1, 0, 1e4, 1e-2).unwrap();
+        assert!((r.theory - 9.0).abs() < 1e-12);
+        assert!((r.measured_upper - 9.0).abs() < 1e-3);
+        assert!(r.falsified_below, "coverage did not fail below 9");
+        assert!(r.is_tight(1e-3));
+    }
+
+    #[test]
+    fn faulty_line_instance_is_tight() {
+        let r = verify_tightness(2, 3, 1, 1e4, 1e-2).unwrap();
+        let expect = raysearch_bounds::a_line(3, 1).unwrap();
+        assert!((r.theory - expect).abs() < 1e-12);
+        assert!((r.measured_upper - expect).abs() < 1e-3);
+        assert!(r.falsified_below);
+    }
+
+    #[test]
+    fn multi_ray_instances_are_tight() {
+        for (m, k, f) in [(3u32, 2u32, 0u32), (4, 3, 0), (3, 5, 1)] {
+            let r = verify_tightness(m, k, f, 1e4, 2e-2).unwrap();
+            assert!(
+                (r.measured_upper - r.theory).abs() < 1e-3 * r.theory,
+                "(m={m},k={k},f={f}): measured {} vs theory {}",
+                r.measured_upper,
+                r.theory
+            );
+            assert!(r.falsified_below, "(m={m},k={k},f={f}) not falsified");
+        }
+    }
+
+    #[test]
+    fn out_of_regime_is_rejected() {
+        assert!(verify_tightness(2, 4, 1, 100.0, 0.01).is_err()); // trivial
+        assert!(verify_tightness(2, 2, 2, 100.0, 0.01).is_err()); // impossible
+    }
+}

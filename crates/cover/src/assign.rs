@@ -1,0 +1,381 @@
+//! The exact-multiplicity assignment of the lower-bound proofs.
+//!
+//! Both proofs truncate the λ-covered intervals `[t″, t]` to half-open
+//! *assigned* intervals `(t′, t]` so that every point of `(1, N]` is
+//! covered **exactly** `q` times, with each robot's assigned intervals in
+//! round order (some rounds may be skipped; skipping a round deletes its
+//! turning point from the reduced strategy, which only helps).
+//!
+//! [`ExactAssigner`] rebuilds that construction greedily: it maintains the
+//! covering-situation multiset `A(P)` (the `q` current coverage-layer
+//! ends), repeatedly takes the frontier `a = min A(P)`, and assigns an
+//! available interval containing `a`, preferring the one reaching furthest
+//! right. Loads `L⁽ʳ⁾` track the *reduced* strategy (the sum of assigned
+//! turning points), matching the paper's definition after skipping.
+
+use crate::settings::CoveredInterval;
+use crate::CoverError;
+
+/// One step of the exact assignment: one half-open assigned interval
+/// `(start, end]` given to one robot, plus the bookkeeping the potential
+/// function needs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AssignedStep {
+    /// The robot receiving the interval.
+    pub robot: usize,
+    /// The round index of the interval within that robot's list.
+    pub round: usize,
+    /// The assigned start `t′` (the frontier at assignment time).
+    pub start: f64,
+    /// The assigned end: the round's turning point.
+    pub end: f64,
+    /// Robot load before this step (sum of its previously assigned
+    /// turning points, reduced-strategy convention).
+    pub load_before: f64,
+    /// Robot load after this step.
+    pub load_after: f64,
+}
+
+/// The result of a successful exact-multiplicity assignment.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Assignment {
+    /// Number of robots.
+    pub k: usize,
+    /// The covering multiplicity `q`.
+    pub q: usize,
+    /// The `μ = (λ-1)/2` this assignment was built for.
+    pub mu: f64,
+    /// The assignment steps in frontier order.
+    pub steps: Vec<AssignedStep>,
+    /// The frontier reached: `(1, frontier]` is exactly `q`-covered.
+    pub frontier: f64,
+}
+
+impl Assignment {
+    /// The per-robot sequences of step indices, in assignment order.
+    pub fn steps_by_robot(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.k];
+        for (i, s) in self.steps.iter().enumerate() {
+            out[s.robot].push(i);
+        }
+        out
+    }
+}
+
+/// Greedy construction of exact `q`-fold assignments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactAssigner {
+    q: usize,
+    mu: f64,
+}
+
+impl ExactAssigner {
+    /// Creates an assigner for multiplicity `q` and covering scale `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::OutOfDomain`] if `q = 0` or `mu <= 0`.
+    pub fn new(q: usize, mu: f64) -> Result<Self, CoverError> {
+        if q == 0 {
+            return Err(CoverError::OutOfDomain {
+                name: "q",
+                value: 0.0,
+                domain: "q >= 1",
+            });
+        }
+        if !(mu.is_finite() && mu > 0.0) {
+            return Err(CoverError::OutOfDomain {
+                name: "mu",
+                value: mu,
+                domain: "mu > 0",
+            });
+        }
+        Ok(ExactAssigner { q, mu })
+    }
+
+    /// Builds an exact `q`-fold assignment covering `(1, target]` from the
+    /// per-robot λ-covered interval lists (in round order, as produced by
+    /// the [settings](crate::settings)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::AssignmentStuck`] if the greedy frontier
+    /// cannot be covered before reaching `target` — which, per
+    /// Theorems 3/6, *must* happen for every strategy when
+    /// `μ < μ(q,k)` and `target` is large enough.
+    pub fn assign(
+        &self,
+        per_robot: &[Vec<CoveredInterval>],
+        target: f64,
+    ) -> Result<Assignment, CoverError> {
+        let (assignment, stuck) = self.assign_partial(per_robot, target)?;
+        match stuck {
+            None => Ok(assignment),
+            Some(frontier) => Err(CoverError::AssignmentStuck {
+                frontier,
+                assigned: assignment.steps.len(),
+            }),
+        }
+    }
+
+    /// Like [`ExactAssigner::assign`], but on getting stuck returns the
+    /// partial assignment built so far together with the stuck frontier.
+    ///
+    /// Below the coverage threshold the assignment *must* get stuck
+    /// (that is the theorem); the partial prefix is exactly what the
+    /// potential function is measured on in experiment E6.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::OutOfDomain`] on an invalid target and
+    /// [`CoverError::InvalidSequence`] on an empty fleet.
+    pub fn assign_partial(
+        &self,
+        per_robot: &[Vec<CoveredInterval>],
+        target: f64,
+    ) -> Result<(Assignment, Option<f64>), CoverError> {
+        if !(target.is_finite() && target > 1.0) {
+            return Err(CoverError::OutOfDomain {
+                name: "target",
+                value: target,
+                domain: "target > 1",
+            });
+        }
+        let k = per_robot.len();
+        if k == 0 {
+            return Err(CoverError::sequence("need at least one robot"));
+        }
+
+        // A(P): the q active coverage-layer ends, as a sorted vector
+        // (ascending). Initially q layers all ending at 1.
+        let mut layers = vec![1.0f64; self.q];
+        let mut pointers = vec![0usize; k];
+        let mut loads = vec![0.0f64; k];
+        let mut steps: Vec<AssignedStep> = Vec::new();
+
+        loop {
+            let frontier = layers[0];
+            if frontier >= target {
+                return Ok((
+                    Assignment {
+                        k,
+                        q: self.q,
+                        mu: self.mu,
+                        steps,
+                        frontier,
+                    },
+                    None,
+                ));
+            }
+
+            // Candidate per robot: its next *live* interval (intervals
+            // whose end the frontier has already passed can never
+            // contribute and are skipped — skipping deletes the round from
+            // the reduced strategy, which only helps). Among candidates
+            // containing the frontier, earliest-deadline-first: assign the
+            // one ending soonest, preserving the longer intervals for the
+            // later layers. This consumes the merged interval sequence in
+            // start order, exactly like the proof's prefix construction.
+            let mut best: Option<(usize, usize, f64)> = None; // (robot, idx, end)
+            for (r, ivs) in per_robot.iter().enumerate() {
+                while pointers[r] < ivs.len() && ivs[pointers[r]].end <= frontier {
+                    pointers[r] += 1;
+                }
+                let j = pointers[r];
+                if j < ivs.len() && ivs[j].start <= frontier {
+                    debug_assert!(ivs[j].end > frontier);
+                    match best {
+                        Some((_, _, e)) if e <= ivs[j].end => {}
+                        _ => best = Some((r, j, ivs[j].end)),
+                    }
+                }
+            }
+
+            let Some((r, j, end)) = best else {
+                return Ok((
+                    Assignment {
+                        k,
+                        q: self.q,
+                        mu: self.mu,
+                        steps,
+                        frontier,
+                    },
+                    Some(frontier),
+                ));
+            };
+
+            let load_before = loads[r];
+            loads[r] += end;
+            steps.push(AssignedStep {
+                robot: r,
+                round: per_robot[r][j].round,
+                start: frontier,
+                end,
+                load_before,
+                load_after: loads[r],
+            });
+            pointers[r] = j + 1;
+
+            // replace the frontier layer with the new end, keep sorted
+            layers[0] = end;
+            layers.sort_by(f64::total_cmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::OrcSetting;
+
+    fn iv(robot: usize, round: usize, start: f64, end: f64) -> CoveredInterval {
+        CoveredInterval {
+            robot,
+            round,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ExactAssigner::new(0, 1.0).is_err());
+        assert!(ExactAssigner::new(1, 0.0).is_err());
+        let a = ExactAssigner::new(1, 1.0).unwrap();
+        assert!(a.assign(&[], 10.0).is_err());
+        assert!(a.assign(&[vec![]], 1.0).is_err());
+    }
+
+    #[test]
+    fn single_robot_single_layer_chain() {
+        // intervals chaining 1 -> 3 -> 9 -> 27
+        let ivs = vec![vec![
+            iv(0, 0, 0.5, 3.0),
+            iv(0, 1, 2.0, 9.0),
+            iv(0, 2, 7.0, 27.0),
+        ]];
+        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 20.0).unwrap();
+        assert_eq!(a.steps.len(), 3);
+        // each step starts at the previous end
+        assert_eq!(a.steps[0].start, 1.0);
+        assert_eq!(a.steps[1].start, 3.0);
+        assert_eq!(a.steps[2].start, 9.0);
+        assert!(a.frontier >= 20.0);
+        // loads accumulate assigned ends
+        assert_eq!(a.steps[2].load_before, 12.0);
+        assert_eq!(a.steps[2].load_after, 39.0);
+    }
+
+    #[test]
+    fn stuck_on_gap() {
+        let ivs = vec![vec![iv(0, 0, 0.5, 2.0), iv(0, 1, 3.0, 9.0)]];
+        let err = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 8.0);
+        match err {
+            Err(CoverError::AssignmentStuck { frontier, assigned }) => {
+                assert_eq!(frontier, 2.0);
+                assert_eq!(assigned, 1);
+            }
+            other => panic!("expected stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_is_earliest_deadline_first() {
+        let ivs = vec![
+            vec![iv(0, 0, 0.5, 2.0)],
+            vec![iv(1, 0, 0.5, 5.0)],
+        ];
+        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 4.0).unwrap();
+        // the tighter interval is consumed first; the long one then takes
+        // the frontier from 2 to 5
+        assert_eq!(a.steps.len(), 2);
+        assert_eq!(a.steps[0].robot, 0);
+        assert_eq!(a.steps[0].end, 2.0);
+        assert_eq!(a.steps[1].robot, 1);
+        assert_eq!(a.steps[1].start, 2.0);
+    }
+
+    #[test]
+    fn dead_intervals_are_skipped() {
+        // robot 0's second interval is already passed when its turn comes
+        let ivs = vec![
+            vec![iv(0, 0, 0.5, 4.0), iv(0, 1, 1.0, 2.0), iv(0, 2, 3.0, 9.0)],
+        ];
+        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 8.0).unwrap();
+        let rounds: Vec<usize> = a.steps.iter().map(|s| s.round).collect();
+        assert_eq!(rounds, vec![0, 2]);
+        // the skipped round's turning point does not enter the load
+        assert_eq!(a.steps[1].load_before, 4.0);
+    }
+
+    #[test]
+    fn multiplicity_two_interleaves_layers() {
+        // two robots, each able to cover (1, 9] alone; q = 2 needs both
+        let ivs = vec![
+            vec![iv(0, 0, 0.5, 3.0), iv(0, 1, 2.0, 9.0)],
+            vec![iv(1, 0, 0.5, 3.0), iv(1, 1, 2.0, 9.0)],
+        ];
+        let a = ExactAssigner::new(2, 4.0).unwrap().assign(&ivs, 8.0).unwrap();
+        assert_eq!(a.steps.len(), 4);
+        // both robots must contribute
+        assert!(a.steps.iter().any(|s| s.robot == 0));
+        assert!(a.steps.iter().any(|s| s.robot == 1));
+        // exactness: every step starts at the then-minimal layer
+        // (frontier), which never decreases
+        for w in a.steps.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn undercapacity_gets_stuck_for_multiplicity() {
+        // a single robot cannot 2-cover anything
+        let ivs = vec![vec![iv(0, 0, 0.5, 3.0), iv(0, 1, 2.0, 9.0)]];
+        let r = ExactAssigner::new(2, 4.0).unwrap().assign(&ivs, 8.0);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn exactness_against_sweep() {
+        // verify that the assigned intervals cover (1, frontier] exactly q
+        // times, using the coverage profile on the half-open steps.
+        let turns_a: Vec<f64> = (0..16).map(|i| 1.9f64.powi(i - 4)).collect();
+        let turns_b: Vec<f64> = (0..16).map(|i| 1.9f64.powi(i - 4) * 1.4).collect();
+        let mu = 6.0;
+        let ivs = vec![
+            OrcSetting::covered_intervals(&turns_a, mu).unwrap(),
+            {
+                let mut v = OrcSetting::covered_intervals(&turns_b, mu).unwrap();
+                for iv in &mut v {
+                    iv.robot = 1;
+                }
+                v
+            },
+        ];
+        let q = 2;
+        let a = ExactAssigner::new(q, mu).unwrap().assign(&ivs, 50.0).unwrap();
+        // count coverage of probe points by assigned half-open intervals
+        let mut x = 1.001;
+        while x < a.frontier {
+            let c = a
+                .steps
+                .iter()
+                .filter(|s| s.start < x && x <= s.end)
+                .count();
+            assert_eq!(c, q, "coverage at {x} is {c}, expected {q}");
+            x *= 1.07;
+        }
+    }
+
+    #[test]
+    fn steps_by_robot_partitions_steps() {
+        let ivs = vec![
+            vec![iv(0, 0, 0.5, 3.0), iv(0, 1, 2.0, 9.0)],
+            vec![iv(1, 0, 0.5, 4.0), iv(1, 1, 3.0, 12.0)],
+        ];
+        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 8.0).unwrap();
+        let by_robot = a.steps_by_robot();
+        let total: usize = by_robot.iter().map(Vec::len).sum();
+        assert_eq!(total, a.steps.len());
+    }
+}

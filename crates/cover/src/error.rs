@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Error raised by the covering machinery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoverError {
+    /// A turning-point sequence was structurally invalid.
+    InvalidSequence {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A real parameter was outside its domain.
+    OutOfDomain {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Description of the valid domain.
+        domain: &'static str,
+    },
+    /// The exact-multiplicity assignment got stuck: no available interval
+    /// covers the current frontier.
+    AssignmentStuck {
+        /// The frontier position that could not be covered.
+        frontier: f64,
+        /// Number of intervals assigned before getting stuck.
+        assigned: usize,
+    },
+}
+
+impl CoverError {
+    pub(crate) fn sequence(reason: impl Into<String>) -> Self {
+        CoverError::InvalidSequence {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::InvalidSequence { reason } => {
+                write!(f, "invalid turning sequence: {reason}")
+            }
+            CoverError::OutOfDomain {
+                name,
+                value,
+                domain,
+            } => write!(f, "parameter {name}={value} outside domain {domain}"),
+            CoverError::AssignmentStuck {
+                frontier,
+                assigned,
+            } => write!(
+                f,
+                "exact assignment stuck at frontier {frontier} after {assigned} intervals"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoverError::sequence("turns must be positive");
+        assert!(e.to_string().contains("positive"));
+        let e = CoverError::AssignmentStuck {
+            frontier: 3.5,
+            assigned: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("3.5") && s.contains('7'));
+    }
+}

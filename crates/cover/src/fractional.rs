@@ -1,0 +1,307 @@
+//! The fractional relaxation of Eq. (11) and its rational reduction.
+//!
+//! *Fractional one-ray retrieval with returns*: robots of total weight 1
+//! must cover every target with robots of total weight `η ≥ 1`; the
+//! optimal ratio is `C(η) = 2·η^η/(η−1)^(η−1) + 1`. The paper proves this
+//! by sandwiching `η` between rational approximations `q/k` and invoking
+//! the integral ORC bound (Eq. (10)) on both sides:
+//!
+//! * **upper**: strategies for `q/k ↓ η` split into `k` robots of weight
+//!   `1/k`, giving fractional covers of weight `q/k ≥ η`;
+//! * **lower**: a fractional strategy with weights `w₁,…,w_n` is rounded
+//!   to integers `k_i/q ∈ [w_i/η, w_i/η + δ]`, turning a fractional
+//!   `η`-cover into an integral `q`-fold cover by `k = Σk_i` robots with
+//!   `q/k ≥ η − ε`.
+//!
+//! This module provides the approximation sequences and the weight
+//! rounding so experiment E8 can display the convergence from both sides.
+
+use raysearch_bounds::{c_fractional, c_orc, BoundsError};
+
+use crate::CoverError;
+
+/// One rational approximation step of the convergence series.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RationalStep {
+    /// Denominator: the number of robots `k`.
+    pub k: u32,
+    /// Numerator: the covering multiplicity `q`.
+    pub q: u32,
+    /// The rational `q/k` approximating `η`.
+    pub ratio: f64,
+    /// The integral ORC value `C(k, q) = Λ(q/k)`.
+    pub c_value: f64,
+}
+
+fn check_eta(eta: f64) -> Result<(), CoverError> {
+    if eta.is_finite() && eta > 1.0 {
+        Ok(())
+    } else {
+        Err(CoverError::OutOfDomain {
+            name: "eta",
+            value: eta,
+            domain: "eta > 1",
+        })
+    }
+}
+
+fn bounds_to_cover(e: BoundsError) -> CoverError {
+    CoverError::InvalidSequence {
+        reason: format!("bounds computation failed: {e}"),
+    }
+}
+
+/// Approximations `q/k ≥ η` with `q = ⌈ηk⌉`, for `k = 1..=max_k`.
+///
+/// The `c_value`s decrease monotonically to `C(η)` — the "≤" half of
+/// Eq. (11).
+///
+/// # Errors
+///
+/// Returns [`CoverError::OutOfDomain`] for `eta ≤ 1` or `max_k = 0`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_cover::fractional::upper_approximations;
+/// let steps = upper_approximations(1.75, 16)?;
+/// // every step dominates eta and the series approaches C(1.75)
+/// assert!(steps.iter().all(|s| s.ratio >= 1.75));
+/// let last = steps.last().unwrap();
+/// assert!((last.ratio - 1.75).abs() < 0.1);
+/// # Ok::<(), raysearch_cover::CoverError>(())
+/// ```
+pub fn upper_approximations(eta: f64, max_k: u32) -> Result<Vec<RationalStep>, CoverError> {
+    check_eta(eta)?;
+    if max_k == 0 {
+        return Err(CoverError::OutOfDomain {
+            name: "max_k",
+            value: 0.0,
+            domain: "max_k >= 1",
+        });
+    }
+    let mut out = Vec::new();
+    for k in 1..=max_k {
+        let q = (eta * f64::from(k)).ceil() as u32;
+        if q <= k {
+            continue; // can only happen from rounding pathologies
+        }
+        out.push(RationalStep {
+            k,
+            q,
+            ratio: f64::from(q) / f64::from(k),
+            c_value: c_orc(k, q).map_err(bounds_to_cover)?,
+        });
+    }
+    Ok(out)
+}
+
+/// Approximations `q/k ≤ η` with `q = ⌊ηk⌋` (skipping `q ≤ k`), for
+/// `k = 1..=max_k`.
+///
+/// The `c_value`s increase to `C(η)` — the "≥" half of Eq. (11).
+///
+/// # Errors
+///
+/// Returns [`CoverError::OutOfDomain`] for `eta ≤ 1` or `max_k = 0`.
+pub fn lower_approximations(eta: f64, max_k: u32) -> Result<Vec<RationalStep>, CoverError> {
+    check_eta(eta)?;
+    if max_k == 0 {
+        return Err(CoverError::OutOfDomain {
+            name: "max_k",
+            value: 0.0,
+            domain: "max_k >= 1",
+        });
+    }
+    let mut out = Vec::new();
+    for k in 1..=max_k {
+        let q = (eta * f64::from(k)).floor() as u32;
+        if q <= k {
+            continue;
+        }
+        out.push(RationalStep {
+            k,
+            q,
+            ratio: f64::from(q) / f64::from(k),
+            c_value: c_orc(k, q).map_err(bounds_to_cover)?,
+        });
+    }
+    Ok(out)
+}
+
+/// The proof's weight rounding: given fractional robot weights `w_i`
+/// (summing to 1) and a denominator `q`, returns integers
+/// `k_i = ⌈q·w_i/η⌉`, so that `w_i/η ≤ k_i/q < w_i/η + 1/q`.
+///
+/// The induced integral instance has `k = Σ k_i` robots and multiplicity
+/// `q`, with `q/k ≥ η/(1 + nη/q) → η` as `q → ∞` (where `n` is the number
+/// of distinct weights).
+///
+/// # Errors
+///
+/// Returns [`CoverError::OutOfDomain`] if the weights do not sum to 1
+/// (tolerance `1e-9`), any weight is non-positive, `eta ≤ 1`, or `q = 0`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_cover::fractional::split_weights;
+/// let ks = split_weights(&[0.5, 0.3, 0.2], 2.0, 100)?;
+/// assert_eq!(ks, vec![25, 15, 10]);
+/// # Ok::<(), raysearch_cover::CoverError>(())
+/// ```
+pub fn split_weights(weights: &[f64], eta: f64, q: u32) -> Result<Vec<u32>, CoverError> {
+    check_eta(eta)?;
+    if q == 0 {
+        return Err(CoverError::OutOfDomain {
+            name: "q",
+            value: 0.0,
+            domain: "q >= 1",
+        });
+    }
+    let sum: f64 = weights.iter().sum();
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(CoverError::OutOfDomain {
+            name: "sum(weights)",
+            value: sum,
+            domain: "weights must sum to 1",
+        });
+    }
+    weights
+        .iter()
+        .map(|&w| {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(CoverError::OutOfDomain {
+                    name: "weight",
+                    value: w,
+                    domain: "w > 0",
+                });
+            }
+            Ok((f64::from(q) * w / eta).ceil() as u32)
+        })
+        .collect()
+}
+
+/// Convergence summary for experiment E8: the sandwich
+/// `lower ≤ C(η) ≤ upper` at increasing `k`, together with the closed
+/// form.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FractionalConvergence {
+    /// The weight requirement `η`.
+    pub eta: f64,
+    /// The closed-form `C(η)`.
+    pub closed_form: f64,
+    /// Lower approximations (increasing in `k`).
+    pub lower: Vec<RationalStep>,
+    /// Upper approximations (increasing in `k`).
+    pub upper: Vec<RationalStep>,
+}
+
+/// Builds the two-sided convergence table for `η`.
+///
+/// # Errors
+///
+/// Propagates approximation errors.
+pub fn convergence(eta: f64, max_k: u32) -> Result<FractionalConvergence, CoverError> {
+    Ok(FractionalConvergence {
+        eta,
+        closed_form: c_fractional(eta).map_err(bounds_to_cover)?,
+        lower: lower_approximations(eta, max_k)?,
+        upper: upper_approximations(eta, max_k)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_checks() {
+        assert!(upper_approximations(1.0, 5).is_err());
+        assert!(upper_approximations(2.0, 0).is_err());
+        assert!(lower_approximations(0.9, 5).is_err());
+        assert!(split_weights(&[1.0], 1.0, 10).is_err());
+        assert!(split_weights(&[0.5, 0.4], 2.0, 10).is_err()); // sums to 0.9
+        assert!(split_weights(&[1.5, -0.5], 2.0, 10).is_err());
+        assert!(split_weights(&[1.0], 2.0, 0).is_err());
+    }
+
+    #[test]
+    fn upper_series_dominates_and_converges() {
+        let eta = 1.6180339887;
+        let c = c_fractional(eta).unwrap();
+        let steps = upper_approximations(eta, 64).unwrap();
+        for s in &steps {
+            assert!(s.ratio >= eta - 1e-12);
+            assert!(
+                s.c_value >= c - 1e-9,
+                "upper approx {} below C(eta) {c}",
+                s.c_value
+            );
+        }
+        let last = steps.last().unwrap();
+        assert!((last.c_value - c).abs() < 0.05, "not converged: {}", last.c_value);
+    }
+
+    #[test]
+    fn lower_series_is_dominated_and_converges() {
+        let eta = 2.414213562;
+        let c = c_fractional(eta).unwrap();
+        let steps = lower_approximations(eta, 64).unwrap();
+        assert!(!steps.is_empty());
+        for s in &steps {
+            assert!(s.ratio <= eta + 1e-12);
+            assert!(
+                s.c_value <= c + 1e-9,
+                "lower approx {} above C(eta) {c}",
+                s.c_value
+            );
+        }
+        let last = steps.last().unwrap();
+        assert!((last.c_value - c).abs() < 0.05, "not converged: {}", last.c_value);
+    }
+
+    #[test]
+    fn rational_eta_hits_exactly() {
+        // eta = 3/2: at k even, q/k = eta exactly, C matches closed form.
+        let eta = 1.5;
+        let steps = upper_approximations(eta, 8).unwrap();
+        let exact: Vec<&RationalStep> =
+            steps.iter().filter(|s| (s.ratio - eta).abs() < 1e-12).collect();
+        assert!(!exact.is_empty());
+        let c = c_fractional(eta).unwrap();
+        for s in exact {
+            assert!((s.c_value - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_weights_respects_rounding_window() {
+        let weights = [0.4, 0.35, 0.25];
+        let (eta, q) = (1.8, 1000u32);
+        let ks = split_weights(&weights, eta, q).unwrap();
+        for (&w, &ki) in weights.iter().zip(&ks) {
+            let lo = w / eta;
+            let hi = w / eta + 1.0 / f64::from(q);
+            let frac = f64::from(ki) / f64::from(q);
+            assert!(frac >= lo - 1e-12 && frac <= hi + 1e-12);
+        }
+        // the induced instance approaches q/k = eta from above as q grows
+        let k: u32 = ks.iter().sum();
+        let ratio = f64::from(q) / f64::from(k);
+        assert!(ratio <= eta + 1e-9);
+        assert!(ratio >= eta - 0.05);
+    }
+
+    #[test]
+    fn convergence_table_is_consistent() {
+        let t = convergence(2.0, 32).unwrap();
+        assert!((t.closed_form - 9.0).abs() < 1e-12); // C(2) = 9
+        for s in &t.lower {
+            assert!(s.c_value <= t.closed_form + 1e-9);
+        }
+        for s in &t.upper {
+            assert!(s.c_value >= t.closed_form - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! An explicit finite-horizon impossibility certificate — the paper's
+//! Section 3.1 made concrete.
+//!
+//! Inequality (12) asserts: for every `ε > 0` there is an `N`,
+//! *independent of the strategy*, such that no `q`-fold λ-cover of
+//! `[1, N]` by `k` robots exists when `λ` is below the bound by `ε`. The
+//! proof is an induction on `k` with two cases:
+//!
+//! * **Case 1** — all consecutive assigned starts of every robot stay
+//!   within a factor `C`: then the potential `f(P)` is bounded by
+//!   `C^{qk}·μ^{(q−k)k}` while growing by `δ = (μ*/μ)^k > 1` per step, so
+//!   only `T` steps fit, and the frontier grows by at most `C` per step —
+//!   a concrete horizon `C^{T+O(1)}`.
+//! * **Case 2** — some robot jumps by more than `C`: the interval
+//!   `[μt′, Ct′]` is covered at most once by that robot, so the remaining
+//!   `k−1` robots `(q−1)`-fold cover it, and choosing `C ≥ μ·N(k−1, q−1)`
+//!   invokes the inductive hypothesis after rescaling.
+//!
+//! [`impossibility_horizon_log`] instantiates this recursion with
+//! explicit (deliberately generous, *unoptimized*) constants, returning
+//! `ln N`. The resulting horizons are astronomical — exponential towers,
+//! exactly as the proof's structure implies — which is why they are
+//! returned in log space. The measured witnesses of experiment E7 are
+//! *vastly* smaller; the value of this function is that it is a concrete,
+//! strategy-independent certificate with the same shape as the paper's.
+
+use raysearch_bounds::{delta_growth, mu_threshold};
+
+use crate::CoverError;
+
+/// `ln N` for a strategy-independent impossibility horizon: no `q`-fold
+/// λ-cover of `[1, N]` by `k` robots exists (with `λ` strictly below the
+/// `C(k,q)` bound).
+///
+/// Implements the Case 1 / Case 2 recursion with the explicit constants
+/// described in the module docs. The returned horizon is valid but very
+/// loose; see experiment E7 for measured failure distances.
+///
+/// # Errors
+///
+/// Returns [`CoverError::OutOfDomain`] unless `0 < k < q` and
+/// `1 < λ < C(k,q)` (and similarly below every inductive level's
+/// threshold, which holds automatically since `μ(q−i, k−i)` increases
+/// along the induction).
+pub fn impossibility_horizon_log(k: u32, q: u32, lambda: f64) -> Result<f64, CoverError> {
+    if k == 0 || q <= k {
+        return Err(CoverError::OutOfDomain {
+            name: "k,q",
+            value: f64::from(k),
+            domain: "0 < k < q",
+        });
+    }
+    if !(lambda.is_finite() && lambda > 1.0) {
+        return Err(CoverError::OutOfDomain {
+            name: "lambda",
+            value: lambda,
+            domain: "lambda > 1",
+        });
+    }
+    let mu = (lambda - 1.0) / 2.0;
+    let mu_star = mu_threshold(k, q).map_err(|_| CoverError::OutOfDomain {
+        name: "k,q",
+        value: f64::from(q),
+        domain: "0 < k < q",
+    })?;
+    if mu >= mu_star {
+        return Err(CoverError::OutOfDomain {
+            name: "lambda",
+            value: lambda,
+            domain: "lambda strictly below the covering bound 2*mu(q,k)+1",
+        });
+    }
+
+    // The induction walks (k, q) -> (k-1, q-1) down to (1, q-k+1). We
+    // compute ln N bottom-up.
+    //
+    // Base level (k = 1): Case 2 is vacuous with zero remaining robots,
+    // so any C > mu works; take ln C = ln(2 mu) (and at least ln 2 for
+    // tiny mu).
+    //
+    // Level step: with C = mu * N_prev (so C / mu >= N_prev as Case 2
+    // needs), Case 1 permits at most
+    //     T = [2 q_i k_i ln C + (q_i - k_i) k_i ln mu^+] / ln delta_i
+    // assigned intervals (potential cap C^{q k} mu^{(q-k) k}, initial
+    // potential at least C^{-q k}), each extending the frontier by at
+    // most a factor C, giving ln N_i = (T + 2) ln C.
+    let mut ln_n: f64 = 0.0;
+    for level in (0..k).rev() {
+        // level i has k_i = k - i robots ... walk from the base upward:
+        let k_i = k - level; // 1, 2, ..., k
+        let q_i = q - level; // q-k+1, ..., q
+        let delta = delta_growth(mu, q_i - k_i, k_i).map_err(|_| CoverError::OutOfDomain {
+            name: "delta",
+            value: mu,
+            domain: "parameters admit a growth factor",
+        })?;
+        debug_assert!(delta > 1.0, "diagonal monotonicity guarantees delta > 1");
+        let ln_c = if k_i == 1 {
+            (2.0 * mu).max(2.0).ln()
+        } else {
+            // C = mu * N_prev, and at least 2*mu so the Case-2 interval
+            // is nonempty even for tiny horizons
+            (mu.ln() + ln_n).max((2.0 * mu).ln())
+        };
+        let (kf, qf) = (f64::from(k_i), f64::from(q_i));
+        let ln_mu_plus = mu.ln().max(0.0);
+        let steps = (2.0 * qf * kf * ln_c + (qf - kf) * kf * ln_mu_plus) / delta.ln();
+        ln_n = (steps + 2.0) * ln_c;
+    }
+    Ok(ln_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysearch_bounds::c_orc;
+
+    #[test]
+    fn domain_checks() {
+        assert!(impossibility_horizon_log(0, 2, 5.0).is_err());
+        assert!(impossibility_horizon_log(2, 2, 5.0).is_err());
+        assert!(impossibility_horizon_log(1, 2, f64::NAN).is_err());
+        // at or above the bound: no impossibility horizon exists
+        assert!(impossibility_horizon_log(1, 2, 9.0).is_err());
+        assert!(impossibility_horizon_log(1, 2, 9.5).is_err());
+    }
+
+    #[test]
+    fn horizon_is_finite_below_the_bound() {
+        for (k, q) in [(1u32, 2u32), (2, 3), (3, 4), (5, 8)] {
+            let bound = c_orc(k, q).unwrap();
+            let ln_n = impossibility_horizon_log(k, q, 0.9 * bound).unwrap();
+            assert!(ln_n.is_finite() && ln_n > 0.0, "(k={k}, q={q}): ln N = {ln_n}");
+        }
+    }
+
+    #[test]
+    fn horizon_blows_up_as_lambda_approaches_the_bound() {
+        let (k, q) = (1u32, 2u32);
+        let bound = c_orc(k, q).unwrap();
+        let mut last = 0.0;
+        for frac in [0.5, 0.8, 0.95, 0.99, 0.999] {
+            let ln_n = impossibility_horizon_log(k, q, frac * bound).unwrap();
+            assert!(
+                ln_n > last,
+                "horizon did not grow towards the bound at frac={frac}"
+            );
+            last = ln_n;
+        }
+    }
+
+    #[test]
+    fn horizon_dominates_measured_witnesses() {
+        // E7 measured: the cow-path cover at lambda = 0.999·9 dies by
+        // x ≈ 128. The certificate horizon must (vastly) exceed that.
+        let ln_n = impossibility_horizon_log(1, 2, 0.999 * 9.0).unwrap();
+        assert!(ln_n > (128.0f64).ln());
+    }
+
+    #[test]
+    fn deeper_inductions_cost_more() {
+        // same eta = q/k (hence same bound), more robots: the recursion
+        // stacks more levels, so the certificate grows
+        let lambda = 0.9 * c_orc(1, 2).unwrap();
+        let shallow = impossibility_horizon_log(1, 2, lambda).unwrap();
+        let deep = impossibility_horizon_log(3, 6, lambda).unwrap();
+        assert!(deep > shallow);
+    }
+}

@@ -1,0 +1,66 @@
+//! The lower-bound machinery of Kupavskii & Welzl, PODC 2018, in
+//! executable form.
+//!
+//! The paper's lower bounds are proved by translating search strategies
+//! into *covering* strategies and then showing a multiplicative potential
+//! function over prefixes of assigned intervals must grow by a factor
+//! `δ > 1` per interval while staying bounded — a contradiction. This crate
+//! implements each ingredient so the argument can be *run* on concrete
+//! strategies:
+//!
+//! * [`settings`] — the two covering settings: the symmetric line cover
+//!   (±-cover, Section 2) and the one-ray cover with returns (ORC,
+//!   Section 3), with fruitful-round computation and exact λ-cover
+//!   predicates;
+//! * [`standardize`] — the strategy-normalization reductions of Section 2
+//!   (alternating turns, monotone magnitudes, fruitful rounds only), each
+//!   verified to only ever *improve* coverage;
+//! * [`sweep`] — coverage profiles over `[1, N]`: verify `s`-fold
+//!   coverage or extract an uncovered witness point (the falsification
+//!   side of the lower bound);
+//! * [`assign`] — the exact-multiplicity assignment: truncating covered
+//!   intervals to half-open assigned intervals so every point is covered
+//!   *exactly* `q` times, mirroring the proof's prefix construction;
+//! * [`potential`] — the potential `f(P)` of equations (7)/(15), computed
+//!   in log space over an assignment, with measured per-step growth
+//!   compared against the theoretical `δ` of Lemma 5;
+//! * [`fractional`] — the fractional relaxation of Eq. (11) and the
+//!   rational-approximation reduction used to prove it.
+//!
+//! # Example: the doubling strategy stops ±-covering below λ = 9
+//!
+//! ```
+//! use raysearch_cover::settings::PmSetting;
+//! use raysearch_cover::sweep::CoverageProfile;
+//!
+//! let turns: Vec<f64> = (0..40).map(|i| 2f64.powi(i)).collect();
+//! // at lambda = 9 the doubling strategy 1-fold covers everything...
+//! let ivs = PmSetting::covered_intervals(&turns, (9.0 - 1.0) / 2.0)?;
+//! let profile = CoverageProfile::build(&ivs, 1.0, 1e6)?;
+//! assert!(profile.first_undercovered(1).is_none());
+//! // ...but at lambda = 8.9 gaps appear
+//! let ivs = PmSetting::covered_intervals(&turns, (8.9 - 1.0) / 2.0)?;
+//! let profile = CoverageProfile::build(&ivs, 1.0, 1e6)?;
+//! assert!(profile.first_undercovered(1).is_some());
+//! # Ok::<(), raysearch_cover::CoverError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod assign;
+pub mod fractional;
+pub mod impossibility;
+pub mod potential;
+pub mod settings;
+pub mod standardize;
+pub mod sweep;
+
+pub use assign::{AssignedStep, Assignment, ExactAssigner};
+pub use error::CoverError;
+pub use impossibility::impossibility_horizon_log;
+pub use potential::{GrowthReport, PotentialSeries, Setting};
+pub use settings::{CoveredInterval, OrcSetting, PmSetting};
+pub use sweep::CoverageProfile;

@@ -1,0 +1,477 @@
+//! The multiplicative potential `f(P)` of equations (7) and (15), computed
+//! over concrete assignments.
+//!
+//! For a prefix `P` of the assigned-interval sequence:
+//!
+//! * ±-cover (Eq. (7)):
+//!   `f(P) = Π_r (L⁽ʳ⁾)^s / (Π_{y∈A} y)^k`
+//! * ORC (Eq. (15)):
+//!   `f(P) = Π_r (L⁽ʳ⁾)^(q-k) (b⁽ʳ⁾)^k / (Π_{y∈A} y)^k`
+//!
+//! where `L⁽ʳ⁾` is robot `r`'s load, `b⁽ʳ⁾` the start of its next assigned
+//! interval, and `A(P)` the multiset of current coverage-layer ends. The
+//! proofs show each added interval multiplies `f` by at least
+//! `δ = (k+s)^(k+s)/(s^s k^k μ^k) > 1` when `μ` is below the threshold
+//! (Lemma 5), while `f` stays bounded — the contradiction driving
+//! Theorems 3 and 6.
+//!
+//! [`PotentialSeries::compute`] evaluates `log f` along a concrete
+//! [`Assignment`] retrospectively, and
+//! [`GrowthReport`] compares the *measured* minimum step ratio against the
+//! theoretical `δ` — experiment E6 plots exactly this.
+
+use raysearch_bounds::delta_growth;
+
+use crate::assign::Assignment;
+use crate::CoverError;
+
+/// Which potential to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Setting {
+    /// Symmetric line cover with multiplicity `s` (Eq. (7)).
+    Pm {
+        /// The coverage multiplicity `s = 2(f+1) − k`.
+        s: u32,
+    },
+    /// One-ray cover with returns with multiplicity `q` (Eq. (15)).
+    Orc {
+        /// The coverage multiplicity `q = m(f+1)`.
+        q: u32,
+    },
+}
+
+/// The `log f(P)` series along an assignment's prefixes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PotentialSeries {
+    /// Prefix lengths (number of assigned intervals) the series covers:
+    /// `first_prefix ..= first_prefix + log_values.len() - 1`.
+    pub first_prefix: usize,
+    /// `log f` at each prefix.
+    pub log_values: Vec<f64>,
+    /// `log`-ratios between consecutive prefixes
+    /// (`log f(P⁺) − log f(P)`).
+    pub step_log_ratios: Vec<f64>,
+}
+
+impl PotentialSeries {
+    /// Computes the series for `assignment` under `setting`.
+    ///
+    /// The series starts at the first prefix where every robot has at
+    /// least one assigned interval (so loads are positive) and, in the ORC
+    /// setting, ends at the last prefix where every robot still has a
+    /// *next* interval (so `b⁽ʳ⁾` is defined) — exactly the prefixes the
+    /// paper's argument quantifies over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::InvalidSequence`] if the setting's
+    /// multiplicity disagrees with the assignment's, if `q ≤ k` in the
+    /// ORC setting, or if the assignment is too short to measure anything.
+    pub fn compute(assignment: &Assignment, setting: Setting) -> Result<Self, CoverError> {
+        let k = assignment.k;
+        let q = assignment.q;
+        match setting {
+            Setting::Pm { s } => {
+                if s as usize != q {
+                    return Err(CoverError::sequence(format!(
+                        "Pm setting multiplicity s={s} disagrees with assignment q={q}"
+                    )));
+                }
+            }
+            Setting::Orc { q: q_set } => {
+                if q_set as usize != q {
+                    return Err(CoverError::sequence(format!(
+                        "Orc setting multiplicity q={q_set} disagrees with assignment q={q}"
+                    )));
+                }
+                if q <= k {
+                    return Err(CoverError::sequence(format!(
+                        "Orc potential needs q > k, got q={q}, k={k}"
+                    )));
+                }
+            }
+        }
+        let steps = &assignment.steps;
+
+        // first prefix where all robots have a load
+        let mut seen = vec![false; k];
+        let mut n0 = None;
+        for (i, s) in steps.iter().enumerate() {
+            seen[s.robot] = true;
+            if seen.iter().all(|&b| b) {
+                n0 = Some(i + 1);
+                break;
+            }
+        }
+        let Some(n0) = n0 else {
+            return Err(CoverError::sequence(
+                "assignment never involves every robot; potential undefined",
+            ));
+        };
+
+        // for the ORC b-terms: last step index per robot
+        let mut last_idx = vec![0usize; k];
+        for (i, s) in steps.iter().enumerate() {
+            last_idx[s.robot] = i;
+        }
+        let n1 = match setting {
+            Setting::Pm { .. } => steps.len(),
+            // prefix n uses steps[0..n]; b(r) needs a step of r at index
+            // >= n, so n can reach min_r last_idx[r].
+            Setting::Orc { .. } => last_idx.iter().copied().min().unwrap_or(0),
+        };
+        if n1 < n0 {
+            return Err(CoverError::sequence(
+                "assignment too short to evaluate the potential on any prefix",
+            ));
+        }
+
+        // Precompute, for the ORC case, next-start per robot at each
+        // prefix: next_start[r] after prefix n is the start of the first
+        // step of r with index >= n.
+        // We'll sweep n upward maintaining per-robot queues.
+        let mut robot_steps: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, s) in steps.iter().enumerate() {
+            robot_steps[s.robot].push(i);
+        }
+
+        // replay A(P) and loads up to n0, then record values from n0..=n1
+        let mut layers = vec![1.0f64; q];
+        let mut sum_log_layers = 0.0; // ln of layers product (starts at 0)
+        let mut loads = vec![0.0f64; k];
+        let mut next_ptr = vec![0usize; k]; // index into robot_steps[r]
+
+        let mut log_values = Vec::new();
+
+        for n in 1..=n1 {
+            let s = &steps[n - 1];
+            // replace the frontier layer (== s.start) with s.end
+            debug_assert!(
+                (layers[0] - s.start).abs() < 1e-9 * (1.0 + s.start.abs()),
+                "frontier mismatch: layer {} vs step start {}",
+                layers[0],
+                s.start
+            );
+            sum_log_layers += s.end.ln() - layers[0].ln();
+            layers[0] = s.end;
+            layers.sort_by(f64::total_cmp);
+            loads[s.robot] = s.load_after;
+            // advance next pointer for this robot past indices < n
+            while next_ptr[s.robot] < robot_steps[s.robot].len()
+                && robot_steps[s.robot][next_ptr[s.robot]] < n
+            {
+                next_ptr[s.robot] += 1;
+            }
+
+            if n < n0 {
+                continue;
+            }
+
+            let mut log_f = -(k as f64) * sum_log_layers;
+            match setting {
+                Setting::Pm { s: mult } => {
+                    for &l in &loads {
+                        log_f += f64::from(mult) * l.ln();
+                    }
+                }
+                Setting::Orc { .. } => {
+                    let qk = (q - k) as f64;
+                    for (r, &l) in loads.iter().enumerate() {
+                        // b(r): start of the first step of r at index >= n
+                        let mut ptr = next_ptr[r];
+                        while ptr < robot_steps[r].len() && robot_steps[r][ptr] < n {
+                            ptr += 1;
+                        }
+                        let b = steps[robot_steps[r][ptr]].start;
+                        log_f += qk * l.ln() + (k as f64) * b.ln();
+                    }
+                }
+            }
+            log_values.push(log_f);
+        }
+
+        let step_log_ratios = log_values.windows(2).map(|w| w[1] - w[0]).collect();
+        Ok(PotentialSeries {
+            first_prefix: n0,
+            log_values,
+            step_log_ratios,
+        })
+    }
+
+    /// Summarizes the series against the theoretical growth factor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`delta_growth`] domain errors.
+    pub fn growth_report(
+        &self,
+        k: usize,
+        multiplicity_exponent: u32,
+        mu: f64,
+    ) -> Result<GrowthReport, CoverError> {
+        let delta = delta_growth(mu, multiplicity_exponent, k as u32).map_err(|_| {
+            CoverError::OutOfDomain {
+                name: "delta parameters",
+                value: mu,
+                domain: "s >= 1, k >= 1, mu > 0",
+            }
+        })?;
+        let min = self
+            .step_log_ratios
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let mean = if self.step_log_ratios.is_empty() {
+            f64::NAN
+        } else {
+            self.step_log_ratios.iter().sum::<f64>() / self.step_log_ratios.len() as f64
+        };
+        Ok(GrowthReport {
+            k,
+            multiplicity_exponent,
+            mu,
+            steps_measured: self.step_log_ratios.len(),
+            min_step_ratio: min.exp(),
+            mean_step_ratio: mean.exp(),
+            theoretical_delta: delta,
+        })
+    }
+}
+
+/// Measured-vs-theoretical growth of the potential along an assignment.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GrowthReport {
+    /// Number of robots.
+    pub k: usize,
+    /// The exponent parameter of Lemma 5 (`s` for ±-cover, `q−k` for
+    /// ORC).
+    pub multiplicity_exponent: u32,
+    /// The covering scale `μ`.
+    pub mu: f64,
+    /// Number of step ratios measured.
+    pub steps_measured: usize,
+    /// The smallest measured per-step growth factor `f(P⁺)/f(P)`.
+    pub min_step_ratio: f64,
+    /// The geometric-mean step growth factor.
+    pub mean_step_ratio: f64,
+    /// Lemma 5's guaranteed growth `δ` at this `μ`.
+    pub theoretical_delta: f64,
+}
+
+impl GrowthReport {
+    /// Whether the measurement is consistent with Lemma 5
+    /// (measured minimum at least `δ`, up to floating-point slack).
+    pub fn satisfies_lemma5(&self, tol: f64) -> bool {
+        self.min_step_ratio >= self.theoretical_delta * (1.0 - tol)
+    }
+}
+
+/// Upper bound on the number of assignable intervals when `μ` is below
+/// the threshold: the paper's contradiction made quantitative.
+///
+/// In the ±-cover setting `f(P) ≤ μ^{ks}` (Eq. (8)) while each step
+/// multiplies `f` by at least `δ`; starting from a measured initial value
+/// `f₀`, at most `(ks·ln μ − ln f₀)/ln δ` steps fit.
+///
+/// # Errors
+///
+/// Returns [`CoverError::OutOfDomain`] if `δ ≤ 1` at these parameters
+/// (i.e. `μ` is not below the threshold) or `log_f0` is not finite.
+pub fn max_pm_steps(k: u32, s: u32, mu: f64, log_f0: f64) -> Result<usize, CoverError> {
+    if !log_f0.is_finite() {
+        return Err(CoverError::OutOfDomain {
+            name: "log_f0",
+            value: log_f0,
+            domain: "finite",
+        });
+    }
+    let delta = delta_growth(mu, s, k).map_err(|_| CoverError::OutOfDomain {
+        name: "mu",
+        value: mu,
+        domain: "s >= 1, k >= 1, mu > 0",
+    })?;
+    if delta <= 1.0 {
+        return Err(CoverError::OutOfDomain {
+            name: "delta",
+            value: delta,
+            domain: "delta > 1 (mu below threshold)",
+        });
+    }
+    let cap = f64::from(k * s) * mu.ln();
+    let steps = (cap - log_f0) / delta.ln();
+    Ok(steps.max(0.0).ceil() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::ExactAssigner;
+    use crate::settings::OrcSetting;
+    use raysearch_bounds::mu_threshold;
+
+    /// Build a fleet of geometric ORC sequences mimicking the optimal
+    /// strategy for (q, k) and return the (possibly partial) assignment.
+    fn geometric_assignment(q: u32, k: u32, mu: f64, target: f64) -> (Assignment, Option<f64>) {
+        let alpha = raysearch_bounds::optimal_alpha(q, k).unwrap();
+        let per_robot: Vec<_> = (0..k)
+            .map(|r| {
+                // turns alpha^{k·n + r + 1}: the appendix strategy shape
+                let mut turns = Vec::new();
+                let mut expo = -(2.0 * f64::from(q)) + f64::from(r) + 1.0;
+                loop {
+                    let t = (expo * alpha.ln()).exp();
+                    turns.push(t);
+                    if t > target * 4.0 {
+                        break;
+                    }
+                    expo += f64::from(k);
+                }
+                let mut ivs = OrcSetting::covered_intervals(&turns, mu).unwrap();
+                for iv in &mut ivs {
+                    iv.robot = r as usize;
+                }
+                ivs
+            })
+            .collect();
+        ExactAssigner::new(q as usize, mu)
+            .unwrap()
+            .assign_partial(&per_robot, target)
+            .unwrap()
+    }
+
+    #[test]
+    fn optimal_strategy_succeeds_at_threshold_and_hovers_at_ratio_one() {
+        // at mu slightly above the threshold the optimal-shape fleet keeps
+        // covering, and the potential's geometric-mean step ratio sits
+        // near 1 (the tightness of the bound made visible)
+        let (q, k) = (2u32, 1u32);
+        let mu = 1.05 * mu_threshold(k, q).unwrap();
+        let (a, stuck) = geometric_assignment(q, k, mu, 500.0);
+        assert!(stuck.is_none(), "optimal fleet got stuck above threshold");
+        let series = PotentialSeries::compute(&a, Setting::Orc { q }).unwrap();
+        assert!(series.step_log_ratios.len() > 5);
+        let report = series.growth_report(k as usize, q - k, mu).unwrap();
+        assert!(report.theoretical_delta < 1.0);
+        assert!(
+            report.satisfies_lemma5(1e-9),
+            "measured min {} below delta {}",
+            report.min_step_ratio,
+            report.theoretical_delta
+        );
+        assert!(
+            (report.mean_step_ratio - 1.0).abs() < 0.25,
+            "mean step ratio {} far from 1",
+            report.mean_step_ratio
+        );
+    }
+
+    #[test]
+    fn below_threshold_growth_exceeds_delta_until_stuck() {
+        let (q, k) = (2u32, 1u32);
+        let mu = 0.9 * mu_threshold(k, q).unwrap(); // delta > 1: must die
+        let (a, stuck) = geometric_assignment(q, k, mu, 1e9);
+        assert!(stuck.is_some(), "sub-threshold cover must get stuck");
+        if a.steps.len() >= 2 {
+            if let Ok(series) = PotentialSeries::compute(&a, Setting::Orc { q }) {
+                let report = series.growth_report(k as usize, q - k, mu).unwrap();
+                assert!(report.theoretical_delta > 1.0);
+                assert!(report.satisfies_lemma5(1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn orc_series_multi_robot_above_threshold() {
+        let (q, k) = (4u32, 3u32);
+        let mu = 1.08 * mu_threshold(k, q).unwrap();
+        let (a, stuck) = geometric_assignment(q, k, mu, 5000.0);
+        assert!(stuck.is_none(), "optimal fleet got stuck above threshold");
+        let series = PotentialSeries::compute(&a, Setting::Orc { q }).unwrap();
+        assert!(series.step_log_ratios.len() > 10);
+        let report = series.growth_report(k as usize, q - k, mu).unwrap();
+        assert!(
+            report.satisfies_lemma5(1e-9),
+            "measured min {} below delta {}",
+            report.min_step_ratio,
+            report.theoretical_delta
+        );
+        assert!((report.mean_step_ratio - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn setting_mismatch_is_rejected() {
+        let (a, _) = geometric_assignment(2, 1, 4.2, 50.0);
+        assert!(PotentialSeries::compute(&a, Setting::Orc { q: 3 }).is_err());
+        assert!(PotentialSeries::compute(&a, Setting::Pm { s: 3 }).is_err());
+    }
+
+    #[test]
+    fn orc_requires_q_greater_than_k() {
+        // build a fake assignment with q = k = 1 cannot exist through
+        // geometric_assignment; construct q=1, k=1 directly
+        let ivs = vec![vec![
+            crate::settings::CoveredInterval {
+                robot: 0,
+                round: 0,
+                start: 0.5,
+                end: 3.0,
+            },
+            crate::settings::CoveredInterval {
+                robot: 0,
+                round: 1,
+                start: 2.0,
+                end: 9.0,
+            },
+        ]];
+        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 8.0).unwrap();
+        assert!(PotentialSeries::compute(&a, Setting::Orc { q: 1 }).is_err());
+        // Pm with s = 1 works
+        let series = PotentialSeries::compute(&a, Setting::Pm { s: 1 }).unwrap();
+        assert!(!series.log_values.is_empty());
+    }
+
+    #[test]
+    fn pm_potential_stays_below_mu_ks_bound() {
+        // Eq. (8): f(P) <= mu^{ks}, measured on a succeeding cover
+        let (q, k) = (2u32, 1u32);
+        let mu = 4.3; // above threshold 4: cover succeeds over the range
+        let (a, stuck) = geometric_assignment(q, k, mu, 500.0);
+        assert!(stuck.is_none());
+        let series = PotentialSeries::compute(&a, Setting::Pm { s: q }).unwrap();
+        let cap = f64::from(k * q) * mu.ln();
+        for (i, &v) in series.log_values.iter().enumerate() {
+            assert!(
+                v <= cap + 1e-9,
+                "prefix {} has log f = {v} above cap {cap}",
+                series.first_prefix + i
+            );
+        }
+    }
+
+    #[test]
+    fn max_pm_steps_bounds_measured_assignment_length() {
+        // below the threshold the assignment dies within the proof's step
+        // budget
+        let (q, k) = (2u32, 1u32);
+        let mu = 3.5;
+        let (a, stuck) = geometric_assignment(q, k, mu, 1e6);
+        assert!(stuck.is_some());
+        if let Ok(series) = PotentialSeries::compute(&a, Setting::Pm { s: q }) {
+            let f0 = series.log_values[0];
+            let bound = max_pm_steps(k, q, mu, f0).unwrap();
+            assert!(
+                series.log_values.len() <= bound + 1,
+                "series length {} exceeds bound {bound}",
+                series.log_values.len()
+            );
+        }
+    }
+
+    #[test]
+    fn max_pm_steps_domain() {
+        // threshold for (k=1, s=2) is mu*(1,3) = 27/4 = 6.75
+        assert!(max_pm_steps(1, 2, 7.0, 0.0).is_err()); // above threshold: delta < 1
+        assert!(max_pm_steps(1, 2, 3.0, f64::NAN).is_err());
+        assert!(max_pm_steps(1, 2, 3.0, 0.0).is_ok());
+    }
+}

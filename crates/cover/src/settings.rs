@@ -1,0 +1,398 @@
+//! The paper's two covering settings.
+//!
+//! **Symmetric line cover (±-cover, Section 2).** A robot zig-zags on the
+//! line with non-decreasing turning magnitudes `t₁ ≤ t₂ ≤ …`. A point
+//! `x ≥ 1` is *covered* when both `+x` and `-x` have been visited, which
+//! for `t_{i-1} < x ≤ t_i` happens at time `2(t₁+⋯+t_i) + x`; it is
+//! λ-covered iff `x ≥ (1/μ)(t₁+⋯+t_i)`, `μ = (λ-1)/2`. Round `i` therefore
+//! λ-covers exactly `[t″_i, t_i]` with
+//! `t″_i = max{(1/μ)·Σ_{j≤i} t_j, t_{i-1}}` (Eq. (3)).
+//!
+//! **One-ray cover with returns (ORC, Section 3).** A robot makes rounds
+//! on `R≥0`, returning to the origin in between; round `i` turns at `t_i`.
+//! Ray labels are discarded — that is the relaxation. Round `i` λ-covers
+//! `[t″_i, t_i]` with `t″_i = (1/μ)·Σ_{j<i} t_j` (note: sum *excluding*
+//! `t_i`, since the robot reaches `x` on the way out).
+//!
+//! Both settings reduce fault-tolerant search to multiplicity covering:
+//! a ratio-λ search strategy for `(k,f)` on the line yields an
+//! `s = 2(f+1)-k`-fold ±-cover, and on `m` rays a `q = m(f+1)`-fold ORC
+//! cover (Section 2 opening / Section 3).
+
+use raysearch_sim::{Direction, LineItinerary, LineTrajectory, TourItinerary};
+
+use crate::CoverError;
+
+/// A λ-covered interval `[start, end]` contributed by one round of one
+/// robot.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoveredInterval {
+    /// Which robot of the fleet contributed this interval.
+    pub robot: usize,
+    /// The round index within that robot's sequence (0-based).
+    pub round: usize,
+    /// Left endpoint `t″` (the earliest λ-covered point of the round).
+    pub start: f64,
+    /// Right endpoint: the round's turning point `t`.
+    pub end: f64,
+}
+
+impl CoveredInterval {
+    /// Whether the closed interval contains `x`.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        self.start <= x && x <= self.end
+    }
+}
+
+fn check_mu(mu: f64) -> Result<(), CoverError> {
+    if mu.is_finite() && mu > 0.0 {
+        Ok(())
+    } else {
+        Err(CoverError::OutOfDomain {
+            name: "mu",
+            value: mu,
+            domain: "mu > 0",
+        })
+    }
+}
+
+fn check_turns(turns: &[f64]) -> Result<(), CoverError> {
+    for &t in turns {
+        if !(t.is_finite() && t > 0.0) {
+            return Err(CoverError::sequence(format!(
+                "turning points must be positive finite, got {t}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The symmetric line-cover setting (±-cover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmSetting;
+
+impl PmSetting {
+    /// Computes the λ-covered intervals `[t″_i, t_i]` of a standardized
+    /// (non-decreasing) turning sequence, skipping unfruitful rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::InvalidSequence`] if turns are not positive
+    /// or not non-decreasing (standardize first — see
+    /// [`standardize`](crate::standardize)), and
+    /// [`CoverError::OutOfDomain`] for `mu <= 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use raysearch_cover::settings::PmSetting;
+    /// // doubling, mu = 4 (lambda = 9): round i covers [sums/4, t_i]
+    /// let ivs = PmSetting::covered_intervals(&[1.0, 2.0, 4.0, 8.0], 4.0)?;
+    /// assert_eq!(ivs.len(), 4);
+    /// // round 2 (t=4): prefix sum 7, t'' = max(7/4, 2) = 2
+    /// assert!((ivs[2].start - 2.0).abs() < 1e-12);
+    /// assert!((ivs[2].end - 4.0).abs() < 1e-12);
+    /// # Ok::<(), raysearch_cover::CoverError>(())
+    /// ```
+    pub fn covered_intervals(turns: &[f64], mu: f64) -> Result<Vec<CoveredInterval>, CoverError> {
+        check_mu(mu)?;
+        check_turns(turns)?;
+        for w in turns.windows(2) {
+            if w[1] < w[0] {
+                return Err(CoverError::sequence(format!(
+                    "±-cover intervals need non-decreasing magnitudes, got {} after {}",
+                    w[1], w[0]
+                )));
+            }
+        }
+        let mut out = Vec::new();
+        let mut sum = 0.0;
+        let mut prev = 0.0;
+        for (i, &t) in turns.iter().enumerate() {
+            sum += t;
+            let start = (sum / mu).max(prev);
+            if start <= t {
+                out.push(CoveredInterval {
+                    robot: 0,
+                    round: i,
+                    start,
+                    end: t,
+                });
+            }
+            prev = t;
+        }
+        Ok(out)
+    }
+
+    /// Ground-truth ±-cover time of `x` (both `+x` and `-x` visited),
+    /// computed on the compiled trajectory rather than via Eq. (3) — used
+    /// to validate the interval formula and the standardization
+    /// transforms on *arbitrary* (not necessarily monotone) sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::InvalidSequence`] on non-positive turns or
+    /// [`CoverError::OutOfDomain`] on a non-positive `x`.
+    pub fn cover_time(turns: &[f64], x: f64) -> Result<Option<f64>, CoverError> {
+        check_turns(turns)?;
+        if !(x.is_finite() && x > 0.0) {
+            return Err(CoverError::OutOfDomain {
+                name: "x",
+                value: x,
+                domain: "x > 0",
+            });
+        }
+        let itinerary = LineItinerary::new(Direction::Positive, turns.to_vec())
+            .map_err(|e| CoverError::sequence(e.to_string()))?;
+        let traj = LineTrajectory::compile(&itinerary);
+        Ok(traj.both_sides_visited(x).map(|t| t.as_f64()))
+    }
+
+    /// Whether `x` is λ-covered by the sequence (ground truth).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PmSetting::cover_time`] errors, plus
+    /// [`CoverError::OutOfDomain`] for `lambda <= 1`.
+    pub fn is_lambda_covered(turns: &[f64], x: f64, lambda: f64) -> Result<bool, CoverError> {
+        if !(lambda.is_finite() && lambda > 1.0) {
+            return Err(CoverError::OutOfDomain {
+                name: "lambda",
+                value: lambda,
+                domain: "lambda > 1",
+            });
+        }
+        Ok(match Self::cover_time(turns, x)? {
+            Some(t) => t <= lambda * x * (1.0 + 1e-12),
+            None => false,
+        })
+    }
+}
+
+/// The one-ray-cover-with-returns setting (ORC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrcSetting;
+
+impl OrcSetting {
+    /// Computes the λ-covered intervals `[t″_i, t_i]` of a round sequence,
+    /// skipping unfruitful rounds. No monotonicity is required: each
+    /// round's reach depends only on the *total* length of earlier rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::InvalidSequence`] on non-positive turns and
+    /// [`CoverError::OutOfDomain`] for `mu <= 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use raysearch_cover::settings::OrcSetting;
+    /// let ivs = OrcSetting::covered_intervals(&[1.0, 2.0, 4.0], 4.0)?;
+    /// // t'' = (prefix sum before the round)/mu:
+    /// // round 0: [0, 1]; round 1: prefix 1, t'' = 0.25; round 2: prefix 3, t'' = 0.75.
+    /// assert_eq!(ivs.len(), 3);
+    /// assert!((ivs[1].start - 0.25).abs() < 1e-12);
+    /// assert!((ivs[2].start - 0.75).abs() < 1e-12);
+    /// # Ok::<(), raysearch_cover::CoverError>(())
+    /// ```
+    pub fn covered_intervals(turns: &[f64], mu: f64) -> Result<Vec<CoveredInterval>, CoverError> {
+        check_mu(mu)?;
+        check_turns(turns)?;
+        let mut out = Vec::new();
+        let mut sum_before = 0.0;
+        for (i, &t) in turns.iter().enumerate() {
+            let start = sum_before / mu;
+            if start <= t {
+                out.push(CoveredInterval {
+                    robot: 0,
+                    round: i,
+                    start,
+                    end: t,
+                });
+            }
+            sum_before += t;
+        }
+        Ok(out)
+    }
+
+    /// Extracts the round sequence of a tour, discarding ray labels — the
+    /// ORC relaxation step of Section 3.
+    pub fn turns_from_tour(tour: &TourItinerary) -> Vec<f64> {
+        tour.excursions().iter().map(|e| e.turn).collect()
+    }
+
+    /// Ground-truth count of rounds that λ-cover `x` (one covering per
+    /// round, per the ORC rules).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::InvalidSequence`] on non-positive turns and
+    /// [`CoverError::OutOfDomain`] on non-positive `x` or `lambda <= 1`.
+    pub fn cover_count(turns: &[f64], x: f64, lambda: f64) -> Result<usize, CoverError> {
+        check_turns(turns)?;
+        if !(x.is_finite() && x > 0.0) {
+            return Err(CoverError::OutOfDomain {
+                name: "x",
+                value: x,
+                domain: "x > 0",
+            });
+        }
+        if !(lambda.is_finite() && lambda > 1.0) {
+            return Err(CoverError::OutOfDomain {
+                name: "lambda",
+                value: lambda,
+                domain: "lambda > 1",
+            });
+        }
+        let mut count = 0;
+        let mut sum_before = 0.0;
+        for &t in turns {
+            if t >= x && 2.0 * sum_before + x <= lambda * x * (1.0 + 1e-12) {
+                count += 1;
+            }
+            sum_before += t;
+        }
+        Ok(count)
+    }
+}
+
+/// Tags a fleet of per-robot interval lists with robot indices and merges
+/// them into one list (sorted by `start`, ties by `end`).
+pub fn merge_fleet_intervals(per_robot: Vec<Vec<CoveredInterval>>) -> Vec<CoveredInterval> {
+    let mut out: Vec<CoveredInterval> = per_robot
+        .into_iter()
+        .enumerate()
+        .flat_map(|(r, ivs)| {
+            ivs.into_iter().map(move |mut iv| {
+                iv.robot = r;
+                iv
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.start
+            .total_cmp(&b.start)
+            .then(a.end.total_cmp(&b.end))
+            .then(a.robot.cmp(&b.robot))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm_intervals_match_hand_computation() {
+        // doubling with mu = 4: prefix sums 1,3,7,15; t'' = max(sum/4, prev)
+        let ivs = PmSetting::covered_intervals(&[1.0, 2.0, 4.0, 8.0], 4.0).unwrap();
+        let expected = [(0.25, 1.0), (1.0, 2.0), (2.0, 4.0), (4.0, 8.0)];
+        assert_eq!(ivs.len(), 4);
+        for (iv, (s, e)) in ivs.iter().zip(expected) {
+            assert!((iv.start - s).abs() < 1e-12, "start {} vs {s}", iv.start);
+            assert!((iv.end - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pm_unfruitful_rounds_are_dropped() {
+        // with a tiny mu, early rounds cannot be lambda-covered in time
+        let ivs = PmSetting::covered_intervals(&[1.0, 2.0, 4.0, 8.0], 1.5).unwrap();
+        // round 0: sum 1, t'' = max(0.667, 0) <= 1: fruitful.
+        // round 1: sum 3, t'' = max(2, 1) = 2 <= 2: fruitful (degenerate).
+        // round 2: sum 7, t'' = max(4.67, 2) = 4.67 > 4: unfruitful!
+        assert!(ivs.iter().all(|iv| iv.round != 2));
+    }
+
+    #[test]
+    fn pm_rejects_decreasing_and_bad_values() {
+        assert!(PmSetting::covered_intervals(&[2.0, 1.0], 4.0).is_err());
+        assert!(PmSetting::covered_intervals(&[1.0, -1.0], 4.0).is_err());
+        assert!(PmSetting::covered_intervals(&[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn pm_intervals_agree_with_trajectory_ground_truth() {
+        // Eq. (3) describes the *infinite* strategy: a point in the last
+        // round's interval is only ±-visited by the (not yet materialized)
+        // next leg. Ground truth therefore runs on the same sequence
+        // extended by its geometric continuation.
+        let turns = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let extended = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        for lambda in [9.0, 7.0, 5.0] {
+            let mu = (lambda - 1.0) / 2.0;
+            let ivs = PmSetting::covered_intervals(&turns, mu).unwrap();
+            // probe a grid of points and compare membership
+            let mut x = 0.3;
+            while x < 20.0 {
+                let in_some = ivs.iter().any(|iv| iv.contains(x));
+                let truth = PmSetting::is_lambda_covered(&extended, x, lambda).unwrap();
+                assert_eq!(
+                    in_some, truth,
+                    "mismatch at x={x}, lambda={lambda}: intervals say {in_some}"
+                );
+                x += 0.073; // avoid landing exactly on breakpoints
+            }
+        }
+    }
+
+    #[test]
+    fn orc_intervals_match_hand_computation() {
+        let ivs = OrcSetting::covered_intervals(&[1.0, 2.0, 4.0], 4.0).unwrap();
+        let expected = [(0.0, 1.0), (0.25, 2.0), (0.75, 4.0)];
+        for (iv, (s, e)) in ivs.iter().zip(expected) {
+            assert!((iv.start - s).abs() < 1e-12);
+            assert!((iv.end - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orc_unfruitful_detection() {
+        // second round shorter than required start
+        let ivs = OrcSetting::covered_intervals(&[10.0, 1.0], 2.0).unwrap();
+        // round 1: t'' = 10/2 = 5 > 1: unfruitful
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].round, 0);
+    }
+
+    #[test]
+    fn orc_count_matches_intervals() {
+        let turns = [1.0, 2.0, 4.0, 8.0, 3.0, 16.0];
+        let lambda = 6.0;
+        let mu = (lambda - 1.0) / 2.0;
+        let ivs = OrcSetting::covered_intervals(&turns, mu).unwrap();
+        let mut x = 0.4;
+        while x < 18.0 {
+            let by_intervals = ivs.iter().filter(|iv| iv.contains(x)).count();
+            let by_formula = OrcSetting::cover_count(&turns, x, lambda).unwrap();
+            assert_eq!(by_intervals, by_formula, "mismatch at x={x}");
+            x += 0.057;
+        }
+    }
+
+    #[test]
+    fn merge_tags_robots_and_sorts() {
+        let a = OrcSetting::covered_intervals(&[1.0, 4.0], 2.0).unwrap();
+        let b = OrcSetting::covered_intervals(&[2.0, 8.0], 2.0).unwrap();
+        let merged = merge_fleet_intervals(vec![a, b]);
+        assert_eq!(merged.len(), 4);
+        assert!(merged.windows(2).all(|w| w[0].start <= w[1].start));
+        assert!(merged.iter().any(|iv| iv.robot == 1));
+    }
+
+    #[test]
+    fn turns_from_tour_strips_labels() {
+        use raysearch_sim::{Excursion, RayId};
+        let m = 3;
+        let tour = TourItinerary::new(
+            m,
+            vec![
+                Excursion::new(RayId::new(0, m).unwrap(), 1.5).unwrap(),
+                Excursion::new(RayId::new(2, m).unwrap(), 3.0).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(OrcSetting::turns_from_tour(&tour), vec![1.5, 3.0]);
+    }
+}

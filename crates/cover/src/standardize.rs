@@ -1,0 +1,357 @@
+//! The strategy-standardization reductions of Section 2.
+//!
+//! The paper restricts attention to strategies given by non-decreasing
+//! alternating turning sequences, arguing that arbitrary strategies can be
+//! transformed into this shape while λ-covering *at least as much*:
+//!
+//! 1. turns inside already-visited territory can be shifted outwards;
+//! 2. a turn at `x₁` immediately followed by a turn at `x₂ < x₁` (other
+//!    side) can be replaced by a single turn at `x₂`;
+//! 3. unfruitful rounds (`t″_i > t_i`) can be skipped outright — later
+//!    rounds then cover even more (their `t″` moves left).
+//!
+//! In the ±-cover abstraction only the *magnitude sequence* matters (both
+//! sides must be visited regardless of which is which), so the transforms
+//! below operate on `Vec<f64>` magnitudes. Property tests in
+//! `tests/standardize_props.rs` machine-check the "covers at least as
+//! much" claims against the trajectory-level ground truth.
+
+use crate::settings::{OrcSetting, PmSetting};
+use crate::CoverError;
+
+fn check_positive(turns: &[f64]) -> Result<(), CoverError> {
+    for &t in turns {
+        if !(t.is_finite() && t > 0.0) {
+            return Err(CoverError::sequence(format!(
+                "turning points must be positive finite, got {t}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reductions 1 and 2: normalize an alternating magnitude sequence to a
+/// strictly increasing one.
+///
+/// Two local rules, applied to a fixpoint (each strictly shortens the
+/// sequence, so this terminates):
+///
+/// 1. **Dominated turn** — a turn `t_i` no larger than an earlier
+///    same-side turn happens entirely inside visited territory; it is
+///    removed and its opposite-side neighbours merge into a single turn of
+///    the larger magnitude.
+/// 2. **Descending pair** — a turn at `x₁` immediately followed by a turn
+///    at `x₂ < x₁` on the other side may as well have turned at `x₂` the
+///    first time (the following legs revisit `(x₂, x₁]` anyway): the pair
+///    collapses to the single turn `x₂`.
+///
+/// These are exactly the Section 2 reductions; as there, the claim that
+/// coverage only improves refers to *infinite* strategies (every turn is
+/// eventually followed by longer ones). For a finite prefix the guarantee
+/// holds for every target that the original prefix covers away from its
+/// trailing turns — the property tests model this by padding both
+/// sequences with a common continuation.
+///
+/// # Errors
+///
+/// Returns [`CoverError::InvalidSequence`] on non-positive magnitudes.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_cover::standardize::canonicalize;
+/// // the turn at 3 is dominated by the earlier same-side 5; the remaining
+/// // descending pair (5, 3-merged) collapses
+/// assert_eq!(canonicalize(&[1.0, 5.0, 2.0, 3.0, 3.0])?, vec![1.0, 3.0]);
+/// # Ok::<(), raysearch_cover::CoverError>(())
+/// ```
+pub fn canonicalize(turns: &[f64]) -> Result<Vec<f64>, CoverError> {
+    check_positive(turns)?;
+    let mut seq = turns.to_vec();
+    'outer: loop {
+        // Rule 1: dominated turns (same parity = same side).
+        for i in 0..seq.len() {
+            let dominated = seq[..i]
+                .iter()
+                .rev()
+                .skip(1)
+                .step_by(2)
+                .any(|&earlier| earlier >= seq[i]);
+            if dominated {
+                if i + 1 < seq.len() {
+                    let merged = seq[i - 1].max(seq[i + 1]);
+                    seq.splice(i - 1..=i + 1, [merged]);
+                } else {
+                    seq.truncate(i);
+                }
+                continue 'outer;
+            }
+        }
+        // Rule 2: descending or equal neighbours.
+        for i in 0..seq.len().saturating_sub(1) {
+            if seq[i + 1] <= seq[i] {
+                seq[i] = seq[i + 1];
+                seq.remove(i + 1);
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    Ok(seq)
+}
+
+/// Reduction 3 for the ±-cover setting: repeatedly remove unfruitful
+/// rounds (`t″_i > t_i`) until every remaining round is fruitful.
+///
+/// Requires a strictly increasing sequence (apply [`canonicalize`] first).
+/// Removing a round shrinks later prefix sums, so later rounds cover more;
+/// the result λ-covers a superset of the original.
+///
+/// # Errors
+///
+/// Returns [`CoverError::InvalidSequence`] on invalid or non-monotone
+/// input, and [`CoverError::OutOfDomain`] for `mu <= 0`.
+pub fn drop_unfruitful_pm(turns: &[f64], mu: f64) -> Result<Vec<f64>, CoverError> {
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(CoverError::OutOfDomain {
+            name: "mu",
+            value: mu,
+            domain: "mu > 0",
+        });
+    }
+    check_positive(turns)?;
+    for w in turns.windows(2) {
+        if w[1] <= w[0] {
+            return Err(CoverError::sequence(
+                "drop_unfruitful_pm needs a strictly increasing sequence; canonicalize first",
+            ));
+        }
+    }
+    let mut seq = turns.to_vec();
+    loop {
+        // find the first unfruitful round under Eq. (3)
+        let mut sum = 0.0;
+        let mut prev = 0.0;
+        let mut victim = None;
+        for (i, &t) in seq.iter().enumerate() {
+            sum += t;
+            let start = (sum / mu).max(prev);
+            if start > t {
+                victim = Some(i);
+                break;
+            }
+            prev = t;
+        }
+        match victim {
+            Some(i) => {
+                seq.remove(i);
+            }
+            None => return Ok(seq),
+        }
+    }
+}
+
+/// Reduction 3 for the ORC setting: remove rounds with
+/// `t″_i = (1/μ)·Σ_{j<i} t_j > t_i`.
+///
+/// No monotonicity is required. As in the ±-case, removal only moves later
+/// rounds' `t″` left.
+///
+/// # Errors
+///
+/// Returns [`CoverError::InvalidSequence`] on non-positive magnitudes and
+/// [`CoverError::OutOfDomain`] for `mu <= 0`.
+pub fn drop_unfruitful_orc(turns: &[f64], mu: f64) -> Result<Vec<f64>, CoverError> {
+    if !(mu.is_finite() && mu > 0.0) {
+        return Err(CoverError::OutOfDomain {
+            name: "mu",
+            value: mu,
+            domain: "mu > 0",
+        });
+    }
+    check_positive(turns)?;
+    let mut seq = turns.to_vec();
+    loop {
+        let mut sum_before = 0.0;
+        let mut victim = None;
+        for (i, &t) in seq.iter().enumerate() {
+            if sum_before / mu > t {
+                victim = Some(i);
+                break;
+            }
+            sum_before += t;
+        }
+        match victim {
+            Some(i) => {
+                seq.remove(i);
+            }
+            None => return Ok(seq),
+        }
+    }
+}
+
+/// Full ±-cover standardization pipeline: canonicalize, then drop
+/// unfruitful rounds.
+///
+/// # Errors
+///
+/// Propagates the component errors.
+pub fn standardize_pm(turns: &[f64], mu: f64) -> Result<Vec<f64>, CoverError> {
+    drop_unfruitful_pm(&canonicalize(turns)?, mu)
+}
+
+/// Checks the paper's observation that after ORC standardization the
+/// fruitfulness thresholds `t″₁, t″₂, …` are monotone increasing.
+///
+/// Returns the thresholds for inspection.
+///
+/// # Errors
+///
+/// Propagates [`OrcSetting::covered_intervals`] errors.
+pub fn orc_thresholds(turns: &[f64], mu: f64) -> Result<Vec<f64>, CoverError> {
+    Ok(OrcSetting::covered_intervals(turns, mu)?
+        .into_iter()
+        .map(|iv| iv.start)
+        .collect())
+}
+
+/// Convenience: does `cleaned` λ-cover at least everything `original`
+/// λ-covers on a probe grid? Used by tests and exposed for the experiment
+/// harness's sanity tables.
+///
+/// # Errors
+///
+/// Propagates ground-truth query errors.
+pub fn pm_covers_at_least(
+    original: &[f64],
+    cleaned: &[f64],
+    lambda: f64,
+    probes: &[f64],
+) -> Result<bool, CoverError> {
+    for &x in probes {
+        let before = PmSetting::is_lambda_covered(original, x, lambda)?;
+        if before && !PmSetting::is_lambda_covered(cleaned, x, lambda)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_makes_strictly_increasing() {
+        let c = canonicalize(&[3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0]).unwrap();
+        for w in c.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // the trailing 5 is dominated by the same-side 9 and disappears
+        assert_eq!(c, vec![1.0, 1.5, 2.6]);
+    }
+
+    #[test]
+    fn canonicalize_merges_dominated_middle_turn() {
+        // +2, -5, +1, -8: the +1 turn is inside visited territory; its
+        // neighbours -5 and -8 merge.
+        assert_eq!(canonicalize(&[2.0, 5.0, 1.0, 8.0]).unwrap(), vec![2.0, 8.0]);
+    }
+
+    #[test]
+    fn canonicalize_identity_on_increasing() {
+        let turns = [1.0, 2.0, 4.0, 8.0];
+        assert_eq!(canonicalize(&turns).unwrap(), turns.to_vec());
+    }
+
+    #[test]
+    fn canonicalize_rejects_bad_values() {
+        assert!(canonicalize(&[1.0, 0.0]).is_err());
+        assert!(canonicalize(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn canonicalize_preserves_lambda_coverage_on_probes() {
+        // model an infinite strategy by ending with a long common tail —
+        // the Section 2 claims are about strategies whose turns keep
+        // growing, so the probes stay well inside the settled region.
+        let original = [2.0, 5.0, 1.0, 8.0, 3.0, 16.0, 200.0, 400.0, 800.0];
+        let cleaned = canonicalize(&original).unwrap();
+        let probes: Vec<f64> = (1..60).map(|i| 0.3 * f64::from(i)).collect();
+        for lambda in [3.0, 5.0, 9.0, 15.0] {
+            assert!(
+                pm_covers_at_least(&original, &cleaned, lambda, &probes).unwrap(),
+                "coverage lost at lambda={lambda}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_unfruitful_pm_removes_only_unfruitful() {
+        // mu small: geometric sequence too aggressive early on
+        let turns = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let mu = 1.5;
+        let cleaned = drop_unfruitful_pm(&turns, mu).unwrap();
+        // cleaned must be fully fruitful
+        let ivs = PmSetting::covered_intervals(&cleaned, mu).unwrap();
+        assert_eq!(ivs.len(), cleaned.len());
+        // and coverage must not shrink
+        let probes: Vec<f64> = (1..40).map(|i| 0.45 * f64::from(i)).collect();
+        assert!(pm_covers_at_least(&turns, &cleaned, 2.0 * mu + 1.0, &probes).unwrap());
+    }
+
+    #[test]
+    fn drop_unfruitful_pm_requires_monotone() {
+        assert!(drop_unfruitful_pm(&[2.0, 1.0], 4.0).is_err());
+        assert!(drop_unfruitful_pm(&[1.0, 1.0], 4.0).is_err());
+    }
+
+    #[test]
+    fn drop_unfruitful_orc_fixpoint_is_fruitful() {
+        let turns = [5.0, 1.0, 2.0, 0.5, 30.0, 3.0];
+        let mu = 2.0;
+        let cleaned = drop_unfruitful_orc(&turns, mu).unwrap();
+        let ivs = OrcSetting::covered_intervals(&cleaned, mu).unwrap();
+        assert_eq!(ivs.len(), cleaned.len(), "some round still unfruitful");
+    }
+
+    #[test]
+    fn drop_unfruitful_orc_never_reduces_cover_count() {
+        let turns = [5.0, 1.0, 2.0, 0.5, 30.0, 3.0, 50.0];
+        let mu = 2.0;
+        let lambda = 2.0 * mu + 1.0;
+        let cleaned = drop_unfruitful_orc(&turns, mu).unwrap();
+        let mut x = 0.4;
+        while x < 60.0 {
+            let before = OrcSetting::cover_count(&turns, x, lambda).unwrap();
+            let after = OrcSetting::cover_count(&cleaned, x, lambda).unwrap();
+            assert!(
+                after >= before,
+                "coverage of x={x} dropped from {before} to {after}"
+            );
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn standardize_pm_pipeline() {
+        let turns = [3.0, 1.0, 4.0, 1.5, 9.0, 27.0, 81.0];
+        let out = standardize_pm(&turns, 4.0).unwrap();
+        for w in out.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        let ivs = PmSetting::covered_intervals(&out, 4.0).unwrap();
+        assert_eq!(ivs.len(), out.len());
+    }
+
+    #[test]
+    fn orc_thresholds_monotone_for_fruitful_sequences() {
+        // geometric, all fruitful
+        let turns: Vec<f64> = (0..12).map(|i| 1.7f64.powi(i)).collect();
+        let th = orc_thresholds(&turns, 3.0).unwrap();
+        assert_eq!(th.len(), turns.len());
+        for w in th.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Coverage profiles: how many intervals cover each part of `[lo, hi]`.
+//!
+//! The multiplicity requirements of the paper (`s`-fold ±-cover, `q`-fold
+//! ORC cover) are verified by a sweep over interval endpoints. Coverage is
+//! piecewise constant between endpoints, so the profile is exact: either
+//! every elementary segment reaches the required multiplicity, or the
+//! profile yields a concrete *witness point* where coverage fails — the
+//! adversary's target placement.
+
+use crate::settings::CoveredInterval;
+use crate::CoverError;
+
+/// An exact coverage profile of a set of closed intervals over `[lo, hi]`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_cover::settings::CoveredInterval;
+/// use raysearch_cover::sweep::CoverageProfile;
+///
+/// let ivs = vec![
+///     CoveredInterval { robot: 0, round: 0, start: 1.0, end: 3.0 },
+///     CoveredInterval { robot: 1, round: 0, start: 2.0, end: 5.0 },
+/// ];
+/// let p = CoverageProfile::build(&ivs, 1.0, 5.0)?;
+/// assert_eq!(p.coverage_at(2.5), 2);
+/// assert_eq!(p.min_coverage(), 1);
+/// assert!(p.first_undercovered(2).is_some()); // e.g. around 1.5
+/// assert!(p.first_undercovered(1).is_none());
+/// # Ok::<(), raysearch_cover::CoverError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageProfile {
+    lo: f64,
+    hi: f64,
+    /// Sorted distinct segment boundaries, spanning `[lo, hi]`.
+    boundaries: Vec<f64>,
+    /// `counts[i]` is the coverage on the open segment
+    /// `(boundaries[i], boundaries[i+1])`.
+    counts: Vec<usize>,
+    /// All interval starts, sorted (for point queries).
+    starts: Vec<f64>,
+    /// All interval ends, sorted (for point queries).
+    ends: Vec<f64>,
+}
+
+impl CoverageProfile {
+    /// Builds the profile of `intervals` over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::OutOfDomain`] unless `0 < lo < hi`, both
+    /// finite.
+    pub fn build(
+        intervals: &[CoveredInterval],
+        lo: f64,
+        hi: f64,
+    ) -> Result<Self, CoverError> {
+        if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi) {
+            return Err(CoverError::OutOfDomain {
+                name: "range",
+                value: hi - lo,
+                domain: "0 < lo < hi, both finite",
+            });
+        }
+        let mut boundaries: Vec<f64> = vec![lo, hi];
+        for iv in intervals {
+            if iv.start > lo && iv.start < hi {
+                boundaries.push(iv.start);
+            }
+            if iv.end > lo && iv.end < hi {
+                boundaries.push(iv.end);
+            }
+        }
+        boundaries.sort_by(f64::total_cmp);
+        boundaries.dedup();
+
+        let mut starts: Vec<f64> = intervals.iter().map(|iv| iv.start).collect();
+        let mut ends: Vec<f64> = intervals.iter().map(|iv| iv.end).collect();
+        starts.sort_by(f64::total_cmp);
+        ends.sort_by(f64::total_cmp);
+
+        let counts = boundaries
+            .windows(2)
+            .map(|w| {
+                let mid = 0.5 * (w[0] + w[1]);
+                Self::coverage_from_sorted(&starts, &ends, mid)
+            })
+            .collect();
+
+        Ok(CoverageProfile {
+            lo,
+            hi,
+            boundaries,
+            counts,
+            starts,
+            ends,
+        })
+    }
+
+    fn coverage_from_sorted(starts: &[f64], ends: &[f64], x: f64) -> usize {
+        // closed intervals: #\{start <= x\} - #\{end < x\}
+        let s = starts.partition_point(|&v| v <= x);
+        let e = ends.partition_point(|&v| v < x);
+        s - e
+    }
+
+    /// Exact coverage multiplicity at a single point of `[lo, hi]`.
+    pub fn coverage_at(&self, x: f64) -> usize {
+        Self::coverage_from_sorted(&self.starts, &self.ends, x)
+    }
+
+    /// The minimum coverage over all open elementary segments of
+    /// `[lo, hi]`.
+    ///
+    /// Boundary *points* can only have coverage at least as large
+    /// (intervals are closed), so this is the minimum over the whole
+    /// interval except finitely many points — exactly the right notion for
+    /// target placement, which needs an open region to hide in.
+    pub fn min_coverage(&self) -> usize {
+        self.counts.iter().copied().min().unwrap_or(0)
+    }
+
+    /// A witness point with coverage below `required`, if one exists:
+    /// the midpoint of the first undercovered elementary segment.
+    pub fn first_undercovered(&self, required: usize) -> Option<f64> {
+        self.counts
+            .iter()
+            .position(|&c| c < required)
+            .map(|i| 0.5 * (self.boundaries[i] + self.boundaries[i + 1]))
+    }
+
+    /// The largest `a ∈ [lo, hi]` such that every elementary segment of
+    /// `[lo, a]` has coverage at least `required` (`lo` itself if the very
+    /// first segment fails).
+    pub fn covered_prefix_end(&self, required: usize) -> f64 {
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c < required {
+                return self.boundaries[i];
+            }
+        }
+        self.hi
+    }
+
+    /// The elementary segments and their coverage, for reporting.
+    pub fn segments(&self) -> impl Iterator<Item = (f64, f64, usize)> + '_ {
+        self.boundaries
+            .windows(2)
+            .zip(&self.counts)
+            .map(|(w, &c)| (w[0], w[1], c))
+    }
+
+    /// The probed range.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: f64, end: f64) -> CoveredInterval {
+        CoveredInterval {
+            robot: 0,
+            round: 0,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn empty_intervals_mean_zero_coverage() {
+        let p = CoverageProfile::build(&[], 1.0, 10.0).unwrap();
+        assert_eq!(p.min_coverage(), 0);
+        assert_eq!(p.first_undercovered(1), Some(5.5));
+        assert_eq!(p.covered_prefix_end(1), 1.0);
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(CoverageProfile::build(&[], 0.0, 1.0).is_err());
+        assert!(CoverageProfile::build(&[], 2.0, 2.0).is_err());
+        assert!(CoverageProfile::build(&[], 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn overlapping_intervals_counted() {
+        let ivs = vec![iv(1.0, 4.0), iv(2.0, 6.0), iv(3.0, 10.0)];
+        let p = CoverageProfile::build(&ivs, 1.0, 10.0).unwrap();
+        assert_eq!(p.coverage_at(1.5), 1);
+        assert_eq!(p.coverage_at(2.5), 2);
+        assert_eq!(p.coverage_at(3.5), 3);
+        assert_eq!(p.coverage_at(5.0), 2);
+        assert_eq!(p.coverage_at(8.0), 1);
+        assert_eq!(p.min_coverage(), 1);
+    }
+
+    #[test]
+    fn endpoints_are_inclusive() {
+        let ivs = vec![iv(1.0, 3.0), iv(3.0, 5.0)];
+        let p = CoverageProfile::build(&ivs, 1.0, 5.0).unwrap();
+        // the touching point is covered by both
+        assert_eq!(p.coverage_at(3.0), 2);
+        // but open segments on either side see exactly one
+        assert_eq!(p.coverage_at(2.9), 1);
+        assert_eq!(p.coverage_at(3.1), 1);
+        assert_eq!(p.min_coverage(), 1);
+        assert!(p.first_undercovered(1).is_none());
+    }
+
+    #[test]
+    fn gap_between_intervals_is_detected() {
+        let ivs = vec![iv(1.0, 2.0), iv(3.0, 8.0)];
+        let p = CoverageProfile::build(&ivs, 1.0, 8.0).unwrap();
+        let w = p.first_undercovered(1).unwrap();
+        assert!(w > 2.0 && w < 3.0, "witness {w} not inside the gap");
+        assert_eq!(p.covered_prefix_end(1), 2.0);
+    }
+
+    #[test]
+    fn multiplicity_witness() {
+        let ivs = vec![iv(1.0, 10.0), iv(1.0, 4.0), iv(5.0, 10.0)];
+        let p = CoverageProfile::build(&ivs, 1.0, 10.0).unwrap();
+        // 2-fold coverage breaks on (4,5)
+        let w = p.first_undercovered(2).unwrap();
+        assert!(w > 4.0 && w < 5.0);
+        assert!(p.first_undercovered(1).is_none());
+        assert_eq!(p.covered_prefix_end(2), 4.0);
+    }
+
+    #[test]
+    fn intervals_outside_range_still_count_inside() {
+        let ivs = vec![iv(0.1, 100.0)];
+        let p = CoverageProfile::build(&ivs, 1.0, 10.0).unwrap();
+        assert_eq!(p.min_coverage(), 1);
+        assert_eq!(p.covered_prefix_end(1), 10.0);
+    }
+
+    #[test]
+    fn segments_partition_the_range() {
+        let ivs = vec![iv(2.0, 4.0), iv(3.0, 6.0)];
+        let p = CoverageProfile::build(&ivs, 1.0, 8.0).unwrap();
+        let segs: Vec<(f64, f64, usize)> = p.segments().collect();
+        assert_eq!(segs.first().unwrap().0, 1.0);
+        assert_eq!(segs.last().unwrap().1, 8.0);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        let counts: Vec<usize> = segs.iter().map(|s| s.2).collect();
+        assert_eq!(counts, vec![0, 1, 2, 1, 0]);
+    }
+}

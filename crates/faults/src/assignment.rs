@@ -1,0 +1,199 @@
+//! Concrete fault assignments: which robots are faulty, and how.
+
+use raysearch_sim::RobotId;
+
+use crate::FaultError;
+
+/// The kind of misbehaviour a faulty robot exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// Crash-type: visits the target but never reports it.
+    Crash,
+    /// Byzantine: may stay silent *and* may claim targets that do not
+    /// exist.
+    Byzantine,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Crash => write!(f, "crash"),
+            FaultKind::Byzantine => write!(f, "byzantine"),
+        }
+    }
+}
+
+/// A concrete choice of faulty robots within a fleet of `k`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_faults::{FaultAssignment, FaultKind};
+/// use raysearch_sim::RobotId;
+///
+/// let a = FaultAssignment::new(4, FaultKind::Crash, [RobotId(1), RobotId(3)])?;
+/// assert!(a.is_faulty(RobotId(1)));
+/// assert!(!a.is_faulty(RobotId(0)));
+/// assert_eq!(a.num_faulty(), 2);
+/// # Ok::<(), raysearch_faults::FaultError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultAssignment {
+    k: usize,
+    kind: FaultKind,
+    faulty: Vec<bool>,
+}
+
+impl FaultAssignment {
+    /// Creates an assignment marking the given robots faulty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidAssignment`] if `k = 0` or any robot
+    /// index is out of range. Duplicate ids are tolerated (idempotent).
+    pub fn new(
+        k: usize,
+        kind: FaultKind,
+        faulty_robots: impl IntoIterator<Item = RobotId>,
+    ) -> Result<Self, FaultError> {
+        if k == 0 {
+            return Err(FaultError::assignment("fleet must have at least one robot"));
+        }
+        let mut faulty = vec![false; k];
+        for r in faulty_robots {
+            if r.index() >= k {
+                return Err(FaultError::assignment(format!(
+                    "robot index {} out of range for k = {k}",
+                    r.index()
+                )));
+            }
+            faulty[r.index()] = true;
+        }
+        Ok(FaultAssignment { k, kind, faulty })
+    }
+
+    /// An assignment with no faulty robots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidAssignment`] if `k = 0`.
+    pub fn none(k: usize) -> Result<Self, FaultError> {
+        Self::new(k, FaultKind::Crash, std::iter::empty())
+    }
+
+    /// Fleet size.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The fault kind of this assignment.
+    #[inline]
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Whether `robot` is faulty. Out-of-range ids report `false`.
+    #[inline]
+    pub fn is_faulty(&self, robot: RobotId) -> bool {
+        self.faulty.get(robot.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of faulty robots.
+    pub fn num_faulty(&self) -> usize {
+        self.faulty.iter().filter(|&&b| b).count()
+    }
+
+    /// Iterates over the faulty robot ids in increasing order.
+    pub fn faulty_robots(&self) -> impl Iterator<Item = RobotId> + '_ {
+        self.faulty
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| RobotId(i))
+    }
+
+    /// Enumerates *all* assignments of exactly `f` faulty robots among `k`
+    /// — exhaustive adversary search for small fleets (tests use this to
+    /// prove the first-f-visitors adversary is worst-case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidAssignment`] if `f > k` or `k = 0`, or
+    /// if `k > 20` (the enumeration would be astronomically large).
+    pub fn enumerate_all(k: usize, f: usize, kind: FaultKind) -> Result<Vec<Self>, FaultError> {
+        if k == 0 {
+            return Err(FaultError::assignment("fleet must have at least one robot"));
+        }
+        if f > k {
+            return Err(FaultError::assignment(format!(
+                "cannot mark {f} of {k} robots faulty"
+            )));
+        }
+        if k > 20 {
+            return Err(FaultError::assignment(
+                "exhaustive enumeration is limited to k <= 20",
+            ));
+        }
+        let mut out = Vec::new();
+        // iterate bitmasks with popcount f
+        for mask in 0u32..(1u32 << k) {
+            if mask.count_ones() as usize != f {
+                continue;
+            }
+            let faulty = (0..k).map(|i| mask & (1 << i) != 0).collect();
+            out.push(FaultAssignment { k, kind, faulty });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_queries() {
+        let a = FaultAssignment::new(3, FaultKind::Crash, [RobotId(2)]).unwrap();
+        assert_eq!(a.k(), 3);
+        assert_eq!(a.kind(), FaultKind::Crash);
+        assert!(a.is_faulty(RobotId(2)));
+        assert!(!a.is_faulty(RobotId(0)));
+        assert!(!a.is_faulty(RobotId(99)));
+        assert_eq!(a.num_faulty(), 1);
+        let ids: Vec<usize> = a.faulty_robots().map(RobotId::index).collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FaultAssignment::new(0, FaultKind::Crash, []).is_err());
+        assert!(FaultAssignment::new(2, FaultKind::Crash, [RobotId(2)]).is_err());
+        // duplicates are fine
+        let a = FaultAssignment::new(2, FaultKind::Crash, [RobotId(0), RobotId(0)]).unwrap();
+        assert_eq!(a.num_faulty(), 1);
+    }
+
+    #[test]
+    fn none_has_no_faults() {
+        let a = FaultAssignment::none(5).unwrap();
+        assert_eq!(a.num_faulty(), 0);
+    }
+
+    #[test]
+    fn enumerate_all_is_binomial() {
+        let all = FaultAssignment::enumerate_all(5, 2, FaultKind::Crash).unwrap();
+        assert_eq!(all.len(), 10); // C(5,2)
+        for a in &all {
+            assert_eq!(a.num_faulty(), 2);
+        }
+        assert!(FaultAssignment::enumerate_all(3, 4, FaultKind::Crash).is_err());
+        assert!(FaultAssignment::enumerate_all(21, 1, FaultKind::Crash).is_err());
+    }
+
+    #[test]
+    fn fault_kind_display() {
+        assert_eq!(FaultKind::Crash.to_string(), "crash");
+        assert_eq!(FaultKind::Byzantine.to_string(), "byzantine");
+    }
+}

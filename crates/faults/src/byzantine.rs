@@ -1,0 +1,390 @@
+//! Byzantine faults: silent *and* lying robots, and a sound verifier.
+//!
+//! In the ISAAC'16 model a Byzantine robot "may stay silent even when it
+//! detects or visits the target, or may claim that it has found the target
+//! when, in fact, it has not found it". Two consequences drive this
+//! module:
+//!
+//! * every crash-fault lower bound is a Byzantine lower bound (silence is
+//!   a Byzantine option) — this is how the paper improves `B(3,1) ≥ 3.93`
+//!   to `≥ 5.2326`;
+//! * a searcher that waits for `f+1` *distinct robots to corroborate the
+//!   same location* is never fooled: among any `f+1` claimants at least one
+//!   is honest. The price is waiting for up to `2f+1` distinct visitors in
+//!   the worst case (`f` silent faulty visitors first, then `f+1` honest
+//!   ones).
+//!
+//! [`ByzantineSimulation`] plays the game on concrete trajectories:
+//! honest robots claim the target whenever they pass it; faulty robots
+//! stay silent there and (optionally) file false claims at decoy points.
+//! [`ConservativeVerifier`] implements the corroboration rule; the tests
+//! machine-check soundness and the `2f+1` completeness bound.
+
+use raysearch_sim::{trajectory::Track, RobotId, Time, VisitEngine};
+
+use crate::{FaultAssignment, FaultError};
+
+/// How a Byzantine robot misbehaves in a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ByzantineBehavior {
+    /// Stay silent at the target; never lie. (Exactly crash behaviour —
+    /// the reduction behind the paper's Byzantine corollary.)
+    SilentOnly,
+    /// Stay silent at the target *and* claim "target here" at every decoy
+    /// visit.
+    LieAtDecoys,
+}
+
+/// A claim "the target is at this point" filed by a robot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Claim {
+    /// When the claim was filed (the moment of the visit).
+    pub time: Time,
+    /// The claiming robot.
+    pub robot: RobotId,
+    /// Index of the claimed point in the simulation's point table
+    /// (`0` is the true target).
+    pub point_index: usize,
+    /// Whether the claim is true (for analysis only — the verifier never
+    /// sees this field).
+    pub truthful: bool,
+}
+
+/// The verifier's final decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Verdict {
+    /// When the decision became certain.
+    pub time: Time,
+    /// Index of the confirmed point in the simulation's point table.
+    pub point_index: usize,
+}
+
+/// A claim-level simulation of Byzantine search on concrete trajectories.
+///
+/// The point table is `[target, decoy₁, decoy₂, …]`; index `0` is the true
+/// target throughout.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_faults::{
+///     ByzantineBehavior, ByzantineSimulation, ConservativeVerifier, FaultAssignment, FaultKind,
+/// };
+/// use raysearch_sim::{Direction, LineItinerary, LinePoint, LineTrajectory, RobotId, VisitEngine};
+///
+/// let fleet: Vec<LineTrajectory> = [8.0, 8.0, 8.0]
+///     .iter()
+///     .map(|&t| LineTrajectory::compile(&LineItinerary::new(Direction::Positive, vec![t]).unwrap()))
+///     .collect();
+/// let engine = VisitEngine::new(fleet)?;
+/// let faults = FaultAssignment::new(3, FaultKind::Byzantine, [RobotId(1)])?;
+/// let sim = ByzantineSimulation::new(
+///     engine,
+///     LinePoint::new(2.0)?,
+///     vec![LinePoint::new(5.0)?],
+///     faults,
+///     ByzantineBehavior::LieAtDecoys,
+/// )?;
+/// let claims = sim.run();
+/// let verdict = ConservativeVerifier::new(1).decide(&claims).expect("confirmed");
+/// assert_eq!(verdict.point_index, 0); // never fooled
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ByzantineSimulation<T: Track> {
+    engine: VisitEngine<T>,
+    points: Vec<T::Point>,
+    faults: FaultAssignment,
+    behavior: ByzantineBehavior,
+}
+
+impl<T: Track> ByzantineSimulation<T> {
+    /// Creates a simulation with the given true target and decoys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidSimulation`] if the fault assignment's
+    /// fleet size differs from the engine's.
+    pub fn new(
+        engine: VisitEngine<T>,
+        target: T::Point,
+        decoys: Vec<T::Point>,
+        faults: FaultAssignment,
+        behavior: ByzantineBehavior,
+    ) -> Result<Self, FaultError> {
+        if faults.k() != engine.num_robots() {
+            return Err(FaultError::simulation(format!(
+                "fault assignment is for {} robots but the fleet has {}",
+                faults.k(),
+                engine.num_robots()
+            )));
+        }
+        let mut points = Vec::with_capacity(decoys.len() + 1);
+        points.push(target);
+        points.extend(decoys);
+        Ok(ByzantineSimulation {
+            engine,
+            points,
+            faults,
+            behavior,
+        })
+    }
+
+    /// The number of points in the table (target + decoys).
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Runs the simulation, producing all claims in time order.
+    ///
+    /// Honest robots claim at every visit to the target (index 0) and stay
+    /// silent elsewhere; faulty robots are silent at the target and lie at
+    /// decoys according to the configured behaviour.
+    pub fn run(&self) -> Vec<Claim> {
+        let events = self.engine.event_stream(&self.points);
+        let mut claims = Vec::new();
+        for ev in events {
+            let faulty = self.faults.is_faulty(ev.robot);
+            let at_target = ev.point_index == 0;
+            let claim = match (faulty, at_target, self.behavior) {
+                (false, true, _) => Some(true),
+                (false, false, _) => None,
+                (true, true, _) => None, // silent at the target
+                (true, false, ByzantineBehavior::LieAtDecoys) => Some(false),
+                (true, false, ByzantineBehavior::SilentOnly) => None,
+            };
+            if let Some(truthful) = claim {
+                claims.push(Claim {
+                    time: ev.time,
+                    robot: ev.robot,
+                    point_index: ev.point_index,
+                    truthful,
+                });
+            }
+        }
+        claims
+    }
+
+    /// The time of the `n`-th distinct-robot visit to the true target
+    /// (used by the completeness tests).
+    pub fn nth_distinct_target_visit(&self, n: usize) -> Option<Time> {
+        self.engine
+            .schedule(self.points[0])
+            .nth_distinct_robot_visit(n)
+    }
+}
+
+/// The sound corroboration verifier: confirm a location once `f+1`
+/// distinct robots have claimed it.
+///
+/// With at most `f` Byzantine robots, any `f+1` distinct claimants include
+/// an honest robot, so a confirmed location is always the true target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ConservativeVerifier {
+    f: usize,
+}
+
+impl ConservativeVerifier {
+    /// Creates a verifier tolerating `f` Byzantine robots.
+    pub fn new(f: usize) -> Self {
+        ConservativeVerifier { f }
+    }
+
+    /// The corroboration threshold, `f + 1` distinct claimants.
+    #[inline]
+    pub fn claims_required(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Scans claims in time order and returns the first confirmation, if
+    /// any.
+    pub fn decide(&self, claims: &[Claim]) -> Option<Verdict> {
+        // per-point distinct claimant lists (tiny cardinalities: linear scan)
+        let mut claimants: Vec<(usize, Vec<RobotId>)> = Vec::new();
+        for c in claims {
+            let entry = match claimants.iter_mut().find(|(p, _)| *p == c.point_index) {
+                Some(e) => e,
+                None => {
+                    claimants.push((c.point_index, Vec::new()));
+                    claimants.last_mut().expect("just pushed")
+                }
+            };
+            if !entry.1.contains(&c.robot) {
+                entry.1.push(c.robot);
+                if entry.1.len() >= self.claims_required() {
+                    return Some(Verdict {
+                        time: c.time,
+                        point_index: c.point_index,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+    use raysearch_sim::{Direction, LineItinerary, LinePoint, LineTrajectory};
+
+    fn fleet(specs: &[&[f64]]) -> VisitEngine<LineTrajectory> {
+        VisitEngine::new(
+            specs
+                .iter()
+                .map(|turns| {
+                    LineTrajectory::compile(
+                        &LineItinerary::new(Direction::Positive, turns.to_vec()).unwrap(),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn lp(x: f64) -> LinePoint {
+        LinePoint::new(x).unwrap()
+    }
+
+    fn sim(
+        specs: &[&[f64]],
+        target: f64,
+        decoys: &[f64],
+        faulty: &[usize],
+        behavior: ByzantineBehavior,
+    ) -> ByzantineSimulation<LineTrajectory> {
+        let engine = fleet(specs);
+        let k = engine.num_robots();
+        let faults =
+            FaultAssignment::new(k, FaultKind::Byzantine, faulty.iter().map(|&i| RobotId(i)))
+                .unwrap();
+        ByzantineSimulation::new(
+            engine,
+            lp(target),
+            decoys.iter().map(|&x| lp(x)).collect(),
+            faults,
+            behavior,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fleet_size_mismatch_rejected() {
+        let engine = fleet(&[&[4.0], &[4.0]]);
+        let faults = FaultAssignment::none(3).unwrap();
+        assert!(ByzantineSimulation::new(
+            engine,
+            lp(1.0),
+            vec![],
+            faults,
+            ByzantineBehavior::SilentOnly
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn honest_robots_claim_only_at_target() {
+        let s = sim(&[&[8.0], &[8.0]], 2.0, &[5.0], &[], ByzantineBehavior::LieAtDecoys);
+        let claims = s.run();
+        assert!(!claims.is_empty());
+        assert!(claims.iter().all(|c| c.point_index == 0 && c.truthful));
+    }
+
+    #[test]
+    fn liars_file_false_claims_at_decoys() {
+        let s = sim(
+            &[&[8.0], &[8.0], &[8.0]],
+            5.0,
+            &[2.0],
+            &[1],
+            ByzantineBehavior::LieAtDecoys,
+        );
+        let claims = s.run();
+        // robot 1 lies at the decoy (x=2, earlier than the target at 5)
+        let lies: Vec<&Claim> = claims.iter().filter(|c| !c.truthful).collect();
+        assert!(!lies.is_empty());
+        assert!(lies.iter().all(|c| c.robot == RobotId(1) && c.point_index == 1));
+        // and stays silent at the target
+        assert!(!claims
+            .iter()
+            .any(|c| c.robot == RobotId(1) && c.point_index == 0));
+    }
+
+    #[test]
+    fn verifier_is_never_fooled() {
+        // the lying robot reaches the decoy first, but a single claim
+        // cannot confirm with f = 1
+        let s = sim(
+            &[&[8.0], &[8.0], &[1.0, 8.0]],
+            5.0,
+            &[0.5, 2.0],
+            &[2],
+            ByzantineBehavior::LieAtDecoys,
+        );
+        let claims = s.run();
+        let verdict = ConservativeVerifier::new(1).decide(&claims).unwrap();
+        assert_eq!(verdict.point_index, 0);
+    }
+
+    #[test]
+    fn soundness_over_all_single_fault_assignments() {
+        for bad in 0..3usize {
+            for behavior in [ByzantineBehavior::SilentOnly, ByzantineBehavior::LieAtDecoys] {
+                let s = sim(
+                    &[&[0.5, 8.0], &[2.0, 8.0], &[8.0]],
+                    3.0,
+                    &[1.5, 6.0],
+                    &[bad],
+                    behavior,
+                );
+                let claims = s.run();
+                if let Some(v) = ConservativeVerifier::new(1).decide(&claims) {
+                    assert_eq!(v.point_index, 0, "fooled by robot {bad} with {behavior:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn completeness_within_2f_plus_1_distinct_visits() {
+        // 3 robots, f = 1: confirmation must come by the 3rd distinct visit
+        let s = sim(
+            &[&[8.0], &[1.0, 0.5, 8.0], &[2.0, 0.5, 8.0]],
+            3.0,
+            &[],
+            &[0],
+            ByzantineBehavior::SilentOnly,
+        );
+        let claims = s.run();
+        let verdict = ConservativeVerifier::new(1).decide(&claims).unwrap();
+        let bound = s.nth_distinct_target_visit(3).unwrap();
+        assert!(verdict.time <= bound);
+    }
+
+    #[test]
+    fn silent_byzantine_equals_crash_detection_when_honest_quorum_first() {
+        // If the first f+1 distinct visitors are honest, the verifier
+        // confirms exactly at the crash detection time.
+        let s = sim(
+            &[&[8.0], &[1.0, 0.5, 8.0], &[2.0, 0.5, 8.0]],
+            3.0,
+            &[],
+            &[2], // the *last* visitor is faulty
+            ByzantineBehavior::SilentOnly,
+        );
+        let claims = s.run();
+        let verdict = ConservativeVerifier::new(1).decide(&claims).unwrap();
+        let crash_time = s.nth_distinct_target_visit(2).unwrap();
+        assert_eq!(verdict.time, crash_time);
+    }
+
+    #[test]
+    fn no_verdict_without_quorum() {
+        // 2 robots, f = 1, but only one robot ever reaches the target
+        let s = sim(&[&[8.0], &[1.0, 1.0]], 3.0, &[], &[], ByzantineBehavior::SilentOnly);
+        let claims = s.run();
+        assert!(ConservativeVerifier::new(1).decide(&claims).is_none());
+    }
+}

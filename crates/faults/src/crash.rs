@@ -1,0 +1,211 @@
+//! The crash-fault adversary and its optimality.
+//!
+//! Section 2 of the paper opens with the reduction this module implements:
+//! *"the point x has to be visited by at least f + 1 robots in time
+//! (otherwise the adversary will place the target there and choose the
+//! first f robots arriving at x to be faulty and stay silent)"*. Hence the
+//! worst-case detection time at a point is exactly the time of the
+//! `(f+1)`-st distinct-robot visit, and the witnessing fault assignment
+//! marks the first `f` distinct visitors faulty.
+
+use raysearch_sim::{RobotId, Time, VisitSchedule};
+
+use crate::{FaultAssignment, FaultError, FaultKind};
+
+/// The worst-case crash-fault adversary for a given fault budget `f`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_faults::CrashAdversary;
+/// let adv = CrashAdversary::new(2);
+/// assert_eq!(adv.f(), 2);
+/// assert_eq!(adv.visits_required(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct CrashAdversary {
+    f: usize,
+}
+
+impl CrashAdversary {
+    /// Creates an adversary controlling `f` crash-faulty robots.
+    pub fn new(f: usize) -> Self {
+        CrashAdversary { f }
+    }
+
+    /// The fault budget.
+    #[inline]
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Number of distinct robot visits needed to confirm a target,
+    /// `f + 1`.
+    #[inline]
+    pub fn visits_required(&self) -> usize {
+        self.f + 1
+    }
+
+    /// Worst-case detection time at a point with the given visit schedule:
+    /// the `(f+1)`-st distinct-robot visit time, or `None` if fewer than
+    /// `f+1` robots ever visit (the adversary wins outright).
+    pub fn detection_time(&self, schedule: &VisitSchedule) -> Option<Time> {
+        schedule.nth_distinct_robot_visit(self.visits_required())
+    }
+
+    /// The fault assignment realizing the worst case: the first `f`
+    /// distinct visitors are faulty.
+    ///
+    /// If fewer than `f` robots ever visit, all visitors (plus arbitrary
+    /// non-visitors, lowest ids first) are marked faulty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidAssignment`] if `f > k` or `k = 0`.
+    pub fn worst_assignment(
+        &self,
+        schedule: &VisitSchedule,
+        k: usize,
+    ) -> Result<FaultAssignment, FaultError> {
+        if self.f > k {
+            return Err(FaultError::assignment(format!(
+                "fault budget {} exceeds fleet size {k}",
+                self.f
+            )));
+        }
+        let mut faulty: Vec<RobotId> = schedule
+            .distinct_visitors()
+            .into_iter()
+            .take(self.f)
+            .collect();
+        // pad with non-visitors if the point is visited by fewer than f
+        let mut next = 0usize;
+        while faulty.len() < self.f {
+            let candidate = RobotId(next);
+            if !faulty.contains(&candidate) {
+                faulty.push(candidate);
+            }
+            next += 1;
+        }
+        FaultAssignment::new(k, FaultKind::Crash, faulty)
+    }
+
+    /// Detection time under a *specific* fault assignment: the first visit
+    /// by a non-faulty robot.
+    ///
+    /// Guaranteed to be at most [`CrashAdversary::detection_time`] when the
+    /// assignment has at most `f` faulty robots — the property that makes
+    /// the first-f-visitors assignment worst-case.
+    pub fn detection_with_assignment(
+        schedule: &VisitSchedule,
+        assignment: &FaultAssignment,
+    ) -> Option<Time> {
+        schedule
+            .events()
+            .iter()
+            .find(|ev| !assignment.is_faulty(ev.robot))
+            .map(|ev| ev.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysearch_sim::{Direction, LineItinerary, LinePoint, LineTrajectory, VisitEngine};
+
+    fn engine(specs: &[&[f64]]) -> VisitEngine<LineTrajectory> {
+        VisitEngine::new(
+            specs
+                .iter()
+                .map(|turns| {
+                    LineTrajectory::compile(
+                        &LineItinerary::new(Direction::Positive, turns.to_vec()).unwrap(),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn lp(x: f64) -> LinePoint {
+        LinePoint::new(x).unwrap()
+    }
+
+    #[test]
+    fn detection_is_f_plus_first_distinct_visit() {
+        // robot 0 arrives at +3 at t=3; robot 1 at t = 2*(1+0.5) + 3 = 6;
+        // robot 2 at t = 2*(2+0.5) + 3 = 8.
+        let eng = engine(&[&[8.0], &[1.0, 0.5, 8.0], &[2.0, 0.5, 8.0]]);
+        let sched = eng.schedule(lp(3.0));
+        assert_eq!(CrashAdversary::new(0).detection_time(&sched).unwrap().as_f64(), 3.0);
+        assert_eq!(CrashAdversary::new(1).detection_time(&sched).unwrap().as_f64(), 6.0);
+        assert_eq!(CrashAdversary::new(2).detection_time(&sched).unwrap().as_f64(), 8.0);
+        assert!(CrashAdversary::new(3).detection_time(&sched).is_none());
+    }
+
+    #[test]
+    fn worst_assignment_marks_first_visitors() {
+        let eng = engine(&[&[8.0], &[1.0, 0.5, 8.0], &[2.0, 0.5, 8.0]]);
+        let sched = eng.schedule(lp(3.0));
+        let a = CrashAdversary::new(2).worst_assignment(&sched, 3).unwrap();
+        assert!(a.is_faulty(RobotId(0)));
+        assert!(a.is_faulty(RobotId(1)));
+        assert!(!a.is_faulty(RobotId(2)));
+    }
+
+    #[test]
+    fn worst_assignment_pads_when_few_visitors() {
+        // only robot 0 ever reaches +3
+        let eng = engine(&[&[8.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let sched = eng.schedule(lp(3.0));
+        let a = CrashAdversary::new(2).worst_assignment(&sched, 3).unwrap();
+        assert_eq!(a.num_faulty(), 2);
+        assert!(a.is_faulty(RobotId(0)), "the sole visitor must be faulty");
+        assert!(CrashAdversary::new(4).worst_assignment(&sched, 3).is_err());
+    }
+
+    #[test]
+    fn first_visitors_assignment_is_worst_case_exhaustively() {
+        // For every assignment of f faulty robots, detection is no later
+        // than under the adversary's choice — checked exhaustively.
+        let eng = engine(&[&[8.0], &[2.0, 8.0], &[1.0, 1.5, 8.0], &[0.5, 6.0, 8.0]]);
+        for x in [0.75, 1.5, 3.0, 5.5] {
+            let sched = eng.schedule(lp(x));
+            for f in 0..=3usize {
+                let adv = CrashAdversary::new(f);
+                let worst = adv.detection_time(&sched);
+                for a in FaultAssignment::enumerate_all(4, f, FaultKind::Crash).unwrap() {
+                    let t = CrashAdversary::detection_with_assignment(&sched, &a);
+                    match (t, worst) {
+                        (Some(t), Some(w)) => assert!(
+                            t <= w,
+                            "assignment {a:?} detects later ({t}) than adversary ({w}) at x={x}, f={f}"
+                        ),
+                        (None, None) => {}
+                        (None, Some(_)) => {
+                            panic!("specific assignment blocks detection but adversary does not")
+                        }
+                        (Some(_), None) => {} // adversary blocks entirely: fine
+                    }
+                }
+                // and the worst assignment achieves the bound
+                if let Some(w) = worst {
+                    let wa = adv.worst_assignment(&sched, 4).unwrap();
+                    let t = CrashAdversary::detection_with_assignment(&sched, &wa).unwrap();
+                    assert_eq!(t, w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_faults_is_plain_first_visit() {
+        let eng = engine(&[&[4.0], &[1.0, 4.0]]);
+        let sched = eng.schedule(lp(2.0));
+        let adv = CrashAdversary::new(0);
+        assert_eq!(
+            adv.detection_time(&sched).unwrap(),
+            sched.first_visit().unwrap()
+        );
+    }
+}

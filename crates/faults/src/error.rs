@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Error raised when constructing fault models or simulations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// The fault assignment does not fit the fleet.
+    InvalidAssignment {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A simulation input was inconsistent.
+    InvalidSimulation {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl FaultError {
+    pub(crate) fn assignment(reason: impl Into<String>) -> Self {
+        FaultError::InvalidAssignment {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn simulation(reason: impl Into<String>) -> Self {
+        FaultError::InvalidSimulation {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidAssignment { reason } => {
+                write!(f, "invalid fault assignment: {reason}")
+            }
+            FaultError::InvalidSimulation { reason } => {
+                write!(f, "invalid simulation: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FaultError::assignment("too many")
+            .to_string()
+            .contains("too many"));
+        assert!(FaultError::simulation("no target")
+            .to_string()
+            .contains("no target"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Fault models and adversaries for robot search.
+//!
+//! Two fault models appear in the literature this paper builds on:
+//!
+//! * **Crash-type** (Czyzowitz et al. PODC'16, and this paper's Theorem 1):
+//!   a faulty robot moves as instructed but *silently fails to report* the
+//!   target when passing it. The worst-case adversary places the target and
+//!   declares the first `f` distinct robots to reach it faulty, so the
+//!   detection time is exactly the `(f+1)`-st distinct-robot visit time —
+//!   implemented by [`CrashAdversary`].
+//! * **Byzantine** (Czyzowitz et al. ISAAC'16): a faulty robot may stay
+//!   silent *or claim a target where there is none*. Lower bounds for crash
+//!   faults carry over verbatim (silent behaviour is available to Byzantine
+//!   robots); [`ByzantineSimulation`] plus [`ConservativeVerifier`]
+//!   simulate the claim/verification game and exhibit the sound
+//!   `(f+1)`-corroboration rule, whose detection time is bounded by the
+//!   `(2f+1)`-st distinct visit.
+//!
+//! # Example
+//!
+//! ```
+//! use raysearch_faults::CrashAdversary;
+//! use raysearch_sim::{Direction, LineItinerary, LinePoint, LineTrajectory, VisitEngine};
+//!
+//! // Two robots sweep outwards; one may be faulty.
+//! let t0 = LineTrajectory::compile(&LineItinerary::new(Direction::Positive, vec![8.0])?);
+//! let t1 = LineTrajectory::compile(&LineItinerary::new(Direction::Positive, vec![2.0, 8.0])?);
+//! let engine = VisitEngine::new(vec![t0, t1])?;
+//!
+//! let adversary = CrashAdversary::new(1);
+//! let sched = engine.schedule(LinePoint::new(1.0)?);
+//! // robot 0 passes +1 at t=1, robot 1 at t=1 too; the 2nd distinct visit
+//! // is at t=1, so even with one fault the target is confirmed then.
+//! assert_eq!(adversary.detection_time(&sched).unwrap().as_f64(), 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod assignment;
+pub mod byzantine;
+pub mod crash;
+
+pub use assignment::{FaultAssignment, FaultKind};
+pub use byzantine::{ByzantineBehavior, ByzantineSimulation, Claim, ConservativeVerifier, Verdict};
+pub use crash::CrashAdversary;
+pub use error::FaultError;

@@ -1,0 +1,328 @@
+//! Discrete-event visit engine for robot fleets.
+//!
+//! [`VisitEngine`] owns one compiled trajectory per robot and answers
+//! fleet-level questions: the globally time-ordered schedule of visits to a
+//! point, the time of the `n`-th visit by distinct robots (the crash-fault
+//! adversary's quantity of interest), and merged event streams over many
+//! query points for the claim-level simulations in `raysearch-faults`.
+
+use std::collections::BinaryHeap;
+
+use crate::trajectory::Track;
+use crate::{RobotId, SimError, Time};
+
+/// A visit of one robot to one query point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct VisitEvent {
+    /// When the visit happened.
+    pub time: Time,
+    /// Which robot visited.
+    pub robot: RobotId,
+    /// Index of the query point in the batch that produced this event.
+    pub point_index: usize,
+    /// Leg/excursion of the robot's trajectory during which it happened.
+    pub leg: usize,
+}
+
+/// The time-ordered visit schedule of a fleet at a single point.
+///
+/// Constructed by [`VisitEngine::schedule`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VisitSchedule {
+    events: Vec<VisitEvent>,
+}
+
+impl VisitSchedule {
+    /// All events in non-decreasing time order.
+    #[inline]
+    pub fn events(&self) -> &[VisitEvent] {
+        &self.events
+    }
+
+    /// Returns `true` if the point is never visited.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of visit events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Time at which `n` *distinct* robots have visited the point.
+    ///
+    /// This is the detection time against a crash-fault adversary that
+    /// silences the first `n - 1` visitors: the target is known to be found
+    /// only once the `n`-th distinct robot has passed over it.
+    ///
+    /// Returns `None` if fewer than `n` distinct robots ever visit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use raysearch_sim::{Direction, LineItinerary, LineTrajectory, LinePoint, VisitEngine};
+    ///
+    /// let a = LineTrajectory::compile(&LineItinerary::new(Direction::Positive, vec![4.0])?);
+    /// let b = LineTrajectory::compile(&LineItinerary::new(Direction::Positive, vec![2.0, 8.0])?);
+    /// let engine = VisitEngine::new(vec![a, b])?;
+    /// let sched = engine.schedule(LinePoint::new(1.0)?);
+    /// // both robots pass +1 at t=1; second *distinct* robot is also at t=1
+    /// assert_eq!(sched.nth_distinct_robot_visit(2).unwrap().as_f64(), 1.0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn nth_distinct_robot_visit(&self, n: usize) -> Option<Time> {
+        if n == 0 {
+            return Some(Time::ZERO);
+        }
+        let mut seen: Vec<RobotId> = Vec::with_capacity(n);
+        for ev in &self.events {
+            if !seen.contains(&ev.robot) {
+                seen.push(ev.robot);
+                if seen.len() == n {
+                    return Some(ev.time);
+                }
+            }
+        }
+        None
+    }
+
+    /// Time of the first visit by any robot.
+    pub fn first_visit(&self) -> Option<Time> {
+        self.events.first().map(|e| e.time)
+    }
+
+    /// The distinct robots that ever visit, in order of first visit.
+    pub fn distinct_visitors(&self) -> Vec<RobotId> {
+        let mut seen = Vec::new();
+        for ev in &self.events {
+            if !seen.contains(&ev.robot) {
+                seen.push(ev.robot);
+            }
+        }
+        seen
+    }
+}
+
+/// A fleet of compiled trajectories with fleet-level visit queries.
+///
+/// Generic over the [`Track`] implementation so the same engine drives both
+/// line fleets ([`LineTrajectory`](crate::LineTrajectory)) and ray fleets
+/// ([`RayTrajectory`](crate::RayTrajectory)).
+#[derive(Debug, Clone)]
+pub struct VisitEngine<T: Track> {
+    tracks: Vec<T>,
+}
+
+impl<T: Track> VisitEngine<T> {
+    /// Creates an engine over one trajectory per robot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFleet`] if `tracks` is empty.
+    pub fn new(tracks: Vec<T>) -> Result<Self, SimError> {
+        if tracks.is_empty() {
+            return Err(SimError::InvalidFleet {
+                reason: "a fleet must contain at least one robot".to_owned(),
+            });
+        }
+        Ok(VisitEngine { tracks })
+    }
+
+    /// Number of robots.
+    #[inline]
+    pub fn num_robots(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// The underlying trajectories, indexed by robot.
+    #[inline]
+    pub fn tracks(&self) -> &[T] {
+        &self.tracks
+    }
+
+    /// The time at which the last robot halts.
+    pub fn end_time(&self) -> Time {
+        self.tracks
+            .iter()
+            .map(Track::end_time)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// The time-ordered schedule of all visits to `p`.
+    pub fn schedule(&self, p: T::Point) -> VisitSchedule {
+        let mut events: Vec<VisitEvent> = Vec::new();
+        for (r, track) in self.tracks.iter().enumerate() {
+            for v in track.visits(p) {
+                events.push(VisitEvent {
+                    time: v.time,
+                    robot: RobotId(r),
+                    point_index: 0,
+                    leg: v.leg,
+                });
+            }
+        }
+        events.sort_by(|a, b| a.time.cmp(&b.time).then(a.robot.cmp(&b.robot)));
+        VisitSchedule { events }
+    }
+
+    /// First visit to `p` by any robot.
+    pub fn first_visit(&self, p: T::Point) -> Option<Time> {
+        self.tracks
+            .iter()
+            .filter_map(|t| t.first_visit(p))
+            .min()
+    }
+
+    /// Merges the visit events of a batch of query points into one global,
+    /// time-ordered stream.
+    ///
+    /// Events carry the index of the originating point in `points`. This is
+    /// the event feed consumed by the Byzantine claim simulator and the
+    /// application examples.
+    pub fn event_stream(&self, points: &[T::Point]) -> Vec<VisitEvent> {
+        // Build per-(robot, point) sorted event lists, then k-way merge via
+        // a heap keyed on (time, robot, point).
+        #[derive(PartialEq, Eq)]
+        struct HeapItem {
+            time: Time,
+            robot: RobotId,
+            point_index: usize,
+            leg: usize,
+        }
+        impl Ord for HeapItem {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // BinaryHeap is a max-heap; invert for earliest-first.
+                other
+                    .time
+                    .cmp(&self.time)
+                    .then(other.robot.cmp(&self.robot))
+                    .then(other.point_index.cmp(&self.point_index))
+            }
+        }
+        impl PartialOrd for HeapItem {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        for (r, track) in self.tracks.iter().enumerate() {
+            for (pi, &p) in points.iter().enumerate() {
+                for v in track.visits(p) {
+                    heap.push(HeapItem {
+                        time: v.time,
+                        robot: RobotId(r),
+                        point_index: pi,
+                        leg: v.leg,
+                    });
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(heap.len());
+        while let Some(item) = heap.pop() {
+            out.push(VisitEvent {
+                time: item.time,
+                robot: item.robot,
+                point_index: item.point_index,
+                leg: item.leg,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Direction, LineItinerary, LinePoint, LineTrajectory};
+
+    fn fleet(specs: &[&[f64]]) -> VisitEngine<LineTrajectory> {
+        let tracks = specs
+            .iter()
+            .map(|turns| {
+                LineTrajectory::compile(
+                    &LineItinerary::new(Direction::Positive, turns.to_vec()).unwrap(),
+                )
+            })
+            .collect();
+        VisitEngine::new(tracks).unwrap()
+    }
+
+    fn lp(x: f64) -> LinePoint {
+        LinePoint::new(x).unwrap()
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        assert!(VisitEngine::<LineTrajectory>::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn schedule_is_time_ordered() {
+        let engine = fleet(&[&[1.0, 2.0, 4.0], &[3.0]]);
+        let sched = engine.schedule(lp(0.5));
+        let times: Vec<f64> = sched.events().iter().map(|e| e.time.as_f64()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(times, sorted);
+        assert!(sched.len() >= 4);
+    }
+
+    #[test]
+    fn nth_distinct_robot_visit_ignores_repeat_visits() {
+        // robot 0 oscillates over +0.5 many times before robot 1 arrives.
+        let engine = fleet(&[&[1.0, 1.0, 1.0, 1.0], &[20.0]]);
+        let sched = engine.schedule(lp(0.5));
+        // first distinct visit: robot 0 at t = 0.5
+        assert_eq!(sched.nth_distinct_robot_visit(1).unwrap().as_f64(), 0.5);
+        // second distinct robot: robot 1 at t = 0.5 as well (goes straight out)
+        assert_eq!(sched.nth_distinct_robot_visit(2).unwrap().as_f64(), 0.5);
+        // no third robot
+        assert!(sched.nth_distinct_robot_visit(3).is_none());
+        assert_eq!(sched.nth_distinct_robot_visit(0), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn distinct_visitors_in_first_visit_order() {
+        let engine = fleet(&[&[0.25, 1.0], &[0.1, 0.05, 0.5], &[10.0]]);
+        let sched = engine.schedule(lp(0.2));
+        let visitors = sched.distinct_visitors();
+        assert_eq!(visitors, vec![RobotId(0), RobotId(2), RobotId(1)]);
+    }
+
+    #[test]
+    fn first_visit_fleet_minimum() {
+        let engine = fleet(&[&[1.0, 4.0], &[2.0]]);
+        assert_eq!(engine.first_visit(lp(1.5)).unwrap().as_f64(), 1.5);
+        assert_eq!(engine.first_visit(lp(-3.0)).unwrap().as_f64(), 5.0);
+        assert!(engine.first_visit(lp(-5.0)).is_none());
+    }
+
+    #[test]
+    fn event_stream_merges_points_in_time_order() {
+        let engine = fleet(&[&[1.0, 2.0], &[4.0]]);
+        let events = engine.event_stream(&[lp(0.5), lp(-1.0), lp(3.5)]);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        // point 2 (= +3.5) is only reached by robot 1 at t = 3.5
+        let p2: Vec<&VisitEvent> = events.iter().filter(|e| e.point_index == 2).collect();
+        assert_eq!(p2.len(), 1);
+        assert_eq!(p2[0].robot, RobotId(1));
+        assert_eq!(p2[0].time.as_f64(), 3.5);
+    }
+
+    #[test]
+    fn end_time_is_fleet_maximum() {
+        let engine = fleet(&[&[1.0, 2.0], &[4.0]]);
+        // robot 0: 1 + 3 = 4; robot 1: 4.
+        assert_eq!(engine.end_time().as_f64(), 4.0);
+        let engine = fleet(&[&[1.0, 2.0, 4.0], &[4.0]]);
+        // robot 0: 1 + 3 + 6 = 10
+        assert_eq!(engine.end_time().as_f64(), 10.0);
+    }
+}

@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Error raised when constructing or operating on simulation primitives.
+///
+/// All validation in this crate reports failures through `SimError`; see
+/// the individual variants for the invariant that was violated.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A time value was negative, NaN or infinite.
+    InvalidTime {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A distance or turning point was not a positive finite number.
+    InvalidDistance {
+        /// The offending raw value.
+        value: f64,
+    },
+    /// A ray index was out of range for the configured number of rays.
+    RayOutOfRange {
+        /// The offending ray index.
+        ray: usize,
+        /// The number of rays in the instance.
+        num_rays: usize,
+    },
+    /// An itinerary was structurally invalid (e.g. empty where forbidden).
+    InvalidItinerary {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A fleet-level parameter was inconsistent (e.g. zero robots).
+    InvalidFleet {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTime { value } => {
+                write!(f, "invalid time value {value}: must be finite and non-negative")
+            }
+            SimError::InvalidDistance { value } => {
+                write!(f, "invalid distance {value}: must be finite and positive")
+            }
+            SimError::RayOutOfRange { ray, num_rays } => {
+                write!(f, "ray index {ray} out of range for {num_rays} rays")
+            }
+            SimError::InvalidItinerary { reason } => {
+                write!(f, "invalid itinerary: {reason}")
+            }
+            SimError::InvalidFleet { reason } => {
+                write!(f, "invalid fleet: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offending_value() {
+        let e = SimError::InvalidTime { value: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = SimError::InvalidDistance { value: 0.0 };
+        assert!(e.to_string().contains('0'));
+        let e = SimError::RayOutOfRange { ray: 5, num_rays: 3 };
+        let s = e.to_string();
+        assert!(s.contains('5') && s.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,361 @@
+//! Points on the search domain: the real line and `m` rays from the origin.
+//!
+//! The paper's two settings share one geometry: the real line is exactly the
+//! `m = 2` instance of the star of rays, with the positive half-line as ray
+//! `0` and the negative half-line as ray `1`. The conversions
+//! [`LinePoint::to_ray_point`] and [`RayPoint::to_line_point`] realize that
+//! identification and are used by the cross-setting consistency tests.
+
+use crate::SimError;
+
+/// Direction of travel on the line.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::Direction;
+/// assert_eq!(Direction::Positive.sign(), 1.0);
+/// assert_eq!(Direction::Positive.opposite(), Direction::Negative);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Direction {
+    /// Towards `+∞`.
+    Positive,
+    /// Towards `-∞`.
+    Negative,
+}
+
+impl Direction {
+    /// Returns the sign of this direction as `±1.0`.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::Positive => 1.0,
+            Direction::Negative => -1.0,
+        }
+    }
+
+    /// Returns the opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Positive => Direction::Negative,
+            Direction::Negative => Direction::Positive,
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Positive => write!(f, "+"),
+            Direction::Negative => write!(f, "-"),
+        }
+    }
+}
+
+/// Index of a ray in a star of `m` rays emanating from the origin.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::RayId;
+/// let r = RayId::new(2, 5)?;
+/// assert_eq!(r.index(), 2);
+/// assert!(RayId::new(5, 5).is_err());
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct RayId(usize);
+
+impl RayId {
+    /// Creates a ray id, validated against the number of rays `num_rays`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RayOutOfRange`] if `ray >= num_rays`.
+    pub fn new(ray: usize, num_rays: usize) -> Result<Self, SimError> {
+        if ray < num_rays {
+            Ok(RayId(ray))
+        } else {
+            Err(SimError::RayOutOfRange { ray, num_rays })
+        }
+    }
+
+    /// Creates a ray id without range validation.
+    ///
+    /// Use only where the instance's ray count is enforced elsewhere.
+    #[inline]
+    pub fn new_unvalidated(ray: usize) -> Self {
+        RayId(ray)
+    }
+
+    /// Returns the dense ray index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for RayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ray#{}", self.0)
+    }
+}
+
+/// A point on the real line, identified by its signed coordinate.
+///
+/// The coordinate must be finite; the origin (`0.0`) is allowed so that
+/// trajectories can start there, but search targets are always at
+/// `|x| ≥ 1` in the paper's normalization.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::LinePoint;
+/// let p = LinePoint::new(-3.0)?;
+/// assert_eq!(p.distance(), 3.0);
+/// assert_eq!(p.coordinate(), -3.0);
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct LinePoint(f64);
+
+impl LinePoint {
+    /// The origin of the line.
+    pub const ORIGIN: LinePoint = LinePoint(0.0);
+
+    /// Creates a line point from a signed coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDistance`] if `x` is NaN or infinite.
+    pub fn new(x: f64) -> Result<Self, SimError> {
+        if x.is_finite() {
+            Ok(LinePoint(x))
+        } else {
+            Err(SimError::InvalidDistance { value: x })
+        }
+    }
+
+    /// Returns the signed coordinate.
+    #[inline]
+    pub fn coordinate(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the distance to the origin, `|x|`.
+    #[inline]
+    pub fn distance(self) -> f64 {
+        self.0.abs()
+    }
+
+    /// Returns the side of the origin this point lies on, or `None` at the
+    /// origin itself.
+    #[inline]
+    pub fn side(self) -> Option<Direction> {
+        if self.0 > 0.0 {
+            Some(Direction::Positive)
+        } else if self.0 < 0.0 {
+            Some(Direction::Negative)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the mirror image `-x`.
+    #[inline]
+    pub fn mirrored(self) -> LinePoint {
+        LinePoint(-self.0)
+    }
+
+    /// Maps this point to the canonical two-ray representation of the line:
+    /// the positive half-line is ray `0`, the negative half-line is ray `1`.
+    ///
+    /// The origin maps to distance `0` on ray `0` by convention.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use raysearch_sim::LinePoint;
+    /// let p = LinePoint::new(-2.5)?;
+    /// let rp = p.to_ray_point();
+    /// assert_eq!(rp.ray().index(), 1);
+    /// assert_eq!(rp.distance(), 2.5);
+    /// # Ok::<(), raysearch_sim::SimError>(())
+    /// ```
+    pub fn to_ray_point(self) -> RayPoint {
+        if self.0 >= 0.0 {
+            RayPoint {
+                ray: RayId(0),
+                dist: self.0,
+            }
+        } else {
+            RayPoint {
+                ray: RayId(1),
+                dist: -self.0,
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for LinePoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x={}", self.0)
+    }
+}
+
+impl TryFrom<f64> for LinePoint {
+    type Error = SimError;
+    fn try_from(x: f64) -> Result<Self, Self::Error> {
+        LinePoint::new(x)
+    }
+}
+
+impl From<LinePoint> for f64 {
+    fn from(p: LinePoint) -> f64 {
+        p.0
+    }
+}
+
+/// A point on a star of rays: a ray index and a non-negative distance from
+/// the common origin.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::{RayId, RayPoint};
+/// let p = RayPoint::new(RayId::new(1, 3)?, 4.0)?;
+/// assert_eq!(p.distance(), 4.0);
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RayPoint {
+    ray: RayId,
+    dist: f64,
+}
+
+impl RayPoint {
+    /// Creates a ray point at distance `dist` on ray `ray`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDistance`] if `dist` is negative, NaN or
+    /// infinite.
+    pub fn new(ray: RayId, dist: f64) -> Result<Self, SimError> {
+        if dist.is_finite() && dist >= 0.0 {
+            Ok(RayPoint { ray, dist })
+        } else {
+            Err(SimError::InvalidDistance { value: dist })
+        }
+    }
+
+    /// Returns the ray this point lies on.
+    #[inline]
+    pub fn ray(self) -> RayId {
+        self.ray
+    }
+
+    /// Returns the distance from the origin.
+    #[inline]
+    pub fn distance(self) -> f64 {
+        self.dist
+    }
+
+    /// Interprets this point on the two-ray star as a signed line
+    /// coordinate (ray `0` positive, ray `1` negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RayOutOfRange`] if the ray index is not `0` or
+    /// `1`.
+    pub fn to_line_point(self) -> Result<LinePoint, SimError> {
+        match self.ray.index() {
+            0 => Ok(LinePoint(self.dist)),
+            1 => Ok(LinePoint(-self.dist)),
+            r => Err(SimError::RayOutOfRange {
+                ray: r,
+                num_rays: 2,
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for RayPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.ray, self.dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_sign_and_opposite() {
+        assert_eq!(Direction::Positive.sign(), 1.0);
+        assert_eq!(Direction::Negative.sign(), -1.0);
+        assert_eq!(Direction::Negative.opposite(), Direction::Positive);
+        assert_eq!(Direction::Positive.to_string(), "+");
+    }
+
+    #[test]
+    fn ray_id_validation() {
+        assert!(RayId::new(0, 1).is_ok());
+        assert!(RayId::new(1, 1).is_err());
+        assert_eq!(RayId::new_unvalidated(7).index(), 7);
+    }
+
+    #[test]
+    fn line_point_basics() {
+        let p = LinePoint::new(-3.5).unwrap();
+        assert_eq!(p.distance(), 3.5);
+        assert_eq!(p.side(), Some(Direction::Negative));
+        assert_eq!(p.mirrored().coordinate(), 3.5);
+        assert_eq!(LinePoint::ORIGIN.side(), None);
+        assert!(LinePoint::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn line_to_two_rays_round_trip() {
+        for x in [-5.0, -1.0, 0.5, 2.0] {
+            let p = LinePoint::new(x).unwrap();
+            let rp = p.to_ray_point();
+            let back = rp.to_line_point().unwrap();
+            assert_eq!(back.coordinate(), x);
+        }
+        // origin convention: ray 0
+        assert_eq!(LinePoint::ORIGIN.to_ray_point().ray().index(), 0);
+    }
+
+    #[test]
+    fn ray_point_validation() {
+        let ray = RayId::new(2, 4).unwrap();
+        assert!(RayPoint::new(ray, -1.0).is_err());
+        assert!(RayPoint::new(ray, f64::INFINITY).is_err());
+        let p = RayPoint::new(ray, 0.0).unwrap();
+        assert_eq!(p.distance(), 0.0);
+        // a ray-2 point has no line interpretation
+        assert!(p.to_line_point().is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let ray = RayId::new(1, 2).unwrap();
+        let p = RayPoint::new(ray, 2.0).unwrap();
+        assert_eq!(p.to_string(), "ray#1@2");
+        assert_eq!(LinePoint::new(1.5).unwrap().to_string(), "x=1.5");
+    }
+}

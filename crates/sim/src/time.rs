@@ -1,0 +1,239 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use crate::SimError;
+
+/// A validated, totally ordered point in simulation time.
+///
+/// `Time` wraps a finite, non-negative `f64`. Because all robots move at
+/// unit speed, times and distances share the same scale; the wrapper exists
+/// so that the two cannot be confused and so that ordering is total (no
+/// NaNs can enter).
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::Time;
+///
+/// let a = Time::new(1.5)?;
+/// let b = Time::new(2.5)?;
+/// assert!(a < b);
+/// assert_eq!((a + b).as_f64(), 4.0);
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Time(f64);
+
+impl Time {
+    /// The time origin.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a new `Time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTime`] if `value` is negative, NaN or
+    /// infinite.
+    pub fn new(value: f64) -> Result<Self, SimError> {
+        if value.is_finite() && value >= 0.0 {
+            Ok(Time(value))
+        } else {
+            Err(SimError::InvalidTime { value })
+        }
+    }
+
+    /// Creates a new `Time` without validation.
+    ///
+    /// Intended for internal arithmetic where the invariant is maintained
+    /// structurally. Debug builds still assert validity.
+    #[inline]
+    pub(crate) fn new_unchecked(value: f64) -> Self {
+        debug_assert!(value.is_finite() && value >= 0.0, "invalid time {value}");
+        Time(value)
+    }
+
+    /// Returns the raw `f64` value.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if this time equals `other` within `tol`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use raysearch_sim::Time;
+    /// let a = Time::new(1.0)?;
+    /// let b = Time::new(1.0 + 1e-13)?;
+    /// assert!(a.approx_eq(b, 1e-9));
+    /// # Ok::<(), raysearch_sim::SimError>(())
+    /// ```
+    #[inline]
+    pub fn approx_eq(self, other: Time, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are validated finite, so total_cmp agrees with the usual
+        // order; it additionally makes the impl auditable as total.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl Default for Time {
+    fn default() -> Self {
+        Time::ZERO
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time::new_unchecked(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    /// Saturating subtraction: times cannot go negative.
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time::new_unchecked((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time::new_unchecked(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time::new_unchecked(self.0 / rhs)
+    }
+}
+
+impl TryFrom<f64> for Time {
+    type Error = SimError;
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Time::new(value)
+    }
+}
+
+impl From<Time> for f64 {
+    fn from(t: Time) -> f64 {
+        t.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_negative_nan_inf() {
+        assert!(Time::new(-0.5).is_err());
+        assert!(Time::new(f64::NAN).is_err());
+        assert!(Time::new(f64::INFINITY).is_err());
+        assert!(Time::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        let mut v = vec![
+            Time::new(3.0).unwrap(),
+            Time::new(1.0).unwrap(),
+            Time::new(2.0).unwrap(),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(Time::as_f64).collect();
+        assert_eq!(raw, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Time::new(2.0).unwrap();
+        let b = Time::new(0.5).unwrap();
+        assert_eq!((a + b).as_f64(), 2.5);
+        assert_eq!((a - b).as_f64(), 1.5);
+        // saturating subtraction
+        assert_eq!((b - a).as_f64(), 0.0);
+        assert_eq!((a * 3.0).as_f64(), 6.0);
+        assert_eq!((a / 4.0).as_f64(), 0.5);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::new(2.0).unwrap();
+        let b = Time::new(0.5).unwrap();
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Time = 1.25f64.try_into().unwrap();
+        let back: f64 = t.into();
+        assert_eq!(back, 1.25);
+        assert!(Time::try_from(-1.0).is_err());
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+}

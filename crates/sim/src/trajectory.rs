@@ -1,0 +1,526 @@
+//! Compiled piecewise-linear robot motions with exact visit queries.
+//!
+//! Trajectories are the time-resolved form of [itineraries](crate::itinerary).
+//! Because robots move at unit speed along straight legs, every visit time
+//! is available in closed form; no time-stepping is involved anywhere in the
+//! workspace.
+
+use crate::{Excursion, LineItinerary, LinePoint, RayId, RayPoint, Time, TourItinerary};
+
+/// A single recorded visit of a trajectory to a query point.
+///
+/// The `leg` index identifies the leg (line) or excursion (rays) during
+/// which the visit happened; the ORC covering rules need this to count at
+/// most one covering per excursion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Visit {
+    /// When the visit happened.
+    pub time: Time,
+    /// Index of the leg or excursion during which it happened.
+    pub leg: usize,
+}
+
+/// Common interface of compiled trajectories, used by the
+/// [`VisitEngine`](crate::VisitEngine).
+///
+/// This trait is sealed in spirit: it is implemented by
+/// [`LineTrajectory`] and [`RayTrajectory`] and downstream crates are not
+/// expected to implement it, though they may for exotic motion models
+/// (e.g. robots with different speeds in future extensions).
+pub trait Track {
+    /// The type of points this track moves over.
+    type Point: Copy;
+
+    /// Time of the first visit to `p`, if the trajectory ever reaches it.
+    fn first_visit(&self, p: Self::Point) -> Option<Time>;
+
+    /// All visits to `p` in time order.
+    fn visits(&self, p: Self::Point) -> Vec<Visit>;
+
+    /// The time at which the trajectory ends (the robot then halts).
+    fn end_time(&self) -> Time;
+}
+
+/// A compiled line trajectory: a unit-speed polyline through signed
+/// coordinates, starting at the origin at time `0`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::{Direction, LineItinerary, LineTrajectory};
+///
+/// let plan = LineItinerary::new(Direction::Positive, vec![1.0, 2.0])?;
+/// let traj = LineTrajectory::compile(&plan);
+/// // +0.5 is reached on the way out at t = 0.5
+/// assert_eq!(traj.first_visit(0.5).unwrap().as_f64(), 0.5);
+/// // -1.0 requires walking to +1, back to the origin, then on to -1:
+/// // 1 + 1 + 1 = 3.
+/// assert_eq!(traj.first_visit(-1.0).unwrap().as_f64(), 3.0);
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LineTrajectory {
+    /// `(time, position)` waypoints; consecutive pairs delimit unit-speed
+    /// legs. Always starts with `(0, 0)`.
+    waypoints: Vec<(f64, f64)>,
+}
+
+impl LineTrajectory {
+    /// Compiles an itinerary into a trajectory.
+    ///
+    /// Waypoint `i ≥ 1` is the `i`-th turning point; the elapsed time
+    /// accumulates leg lengths exactly.
+    pub fn compile(itinerary: &LineItinerary) -> Self {
+        let mut waypoints = Vec::with_capacity(itinerary.len() + 1);
+        waypoints.push((0.0, 0.0));
+        let mut now = 0.0;
+        let mut pos = 0.0;
+        for target in itinerary.signed_turns() {
+            now += (target - pos).abs();
+            pos = target;
+            waypoints.push((now, pos));
+        }
+        LineTrajectory { waypoints }
+    }
+
+    /// The waypoints `(time, position)` of this trajectory.
+    #[inline]
+    pub fn waypoints(&self) -> &[(f64, f64)] {
+        &self.waypoints
+    }
+
+    /// Position at time `t`; after the last waypoint the robot halts.
+    pub fn position_at(&self, t: Time) -> LinePoint {
+        let t = t.as_f64();
+        match self
+            .waypoints
+            .windows(2)
+            .find(|w| t >= w[0].0 && t <= w[1].0)
+        {
+            Some(w) => {
+                let (t0, p0) = w[0];
+                let (_, p1) = w[1];
+                let dir = if p1 >= p0 { 1.0 } else { -1.0 };
+                LinePoint::new(p0 + dir * (t - t0)).expect("interpolation stays finite")
+            }
+            None => {
+                let (_, p) = *self.waypoints.last().expect("never empty");
+                LinePoint::new(p).expect("waypoints are finite")
+            }
+        }
+    }
+
+    /// The furthest signed coordinate reached in the given direction
+    /// (`0.0` if the robot never went that way).
+    pub fn max_reach(&self, dir: crate::Direction) -> f64 {
+        let s = dir.sign();
+        self.waypoints
+            .iter()
+            .map(|&(_, p)| p * s)
+            .fold(0.0, f64::max)
+    }
+
+    /// First visit to signed coordinate `x`, in closed form.
+    pub fn first_visit_coord(&self, x: f64) -> Option<Time> {
+        if x == 0.0 {
+            return Some(Time::ZERO);
+        }
+        for w in self.waypoints.windows(2) {
+            let (t0, p0) = w[0];
+            let (_, p1) = w[1];
+            let (lo, hi) = if p0 <= p1 { (p0, p1) } else { (p1, p0) };
+            if x >= lo && x <= hi {
+                return Some(Time::new_unchecked(t0 + (x - p0).abs()));
+            }
+        }
+        None
+    }
+
+    /// All visits to signed coordinate `x`, one per crossing leg.
+    ///
+    /// A position exactly at a turning point is reported once, at the
+    /// moment of the turn (legs are half-open at their start).
+    pub fn visits_coord(&self, x: f64) -> Vec<Visit> {
+        let mut out = Vec::new();
+        if x == 0.0 {
+            out.push(Visit {
+                time: Time::ZERO,
+                leg: 0,
+            });
+        }
+        for (leg, w) in self.waypoints.windows(2).enumerate() {
+            let (t0, p0) = w[0];
+            let (_, p1) = w[1];
+            // Half-open at the start: x == p0 was recorded by the previous
+            // leg's arrival (or by the origin special case above).
+            let crossed = if p0 < p1 {
+                x > p0 && x <= p1
+            } else {
+                x < p0 && x >= p1
+            };
+            if crossed {
+                out.push(Visit {
+                    time: Time::new_unchecked(t0 + (x - p0).abs()),
+                    leg,
+                });
+            }
+        }
+        out
+    }
+
+    /// Convenience wrapper over [`LineTrajectory::first_visit_coord`].
+    pub fn first_visit(&self, x: f64) -> Option<Time> {
+        self.first_visit_coord(x)
+    }
+
+    /// Time at which both `+x` and `-x` have been visited, i.e. the paper's
+    /// symmetric line-cover visit time (Definition 2, ±-cover setting).
+    ///
+    /// Returns `None` if either side is never reached.
+    pub fn both_sides_visited(&self, x: f64) -> Option<Time> {
+        let a = self.first_visit_coord(x)?;
+        let b = self.first_visit_coord(-x)?;
+        Some(a.max(b))
+    }
+}
+
+impl Track for LineTrajectory {
+    type Point = LinePoint;
+
+    fn first_visit(&self, p: LinePoint) -> Option<Time> {
+        self.first_visit_coord(p.coordinate())
+    }
+
+    fn visits(&self, p: LinePoint) -> Vec<Visit> {
+        self.visits_coord(p.coordinate())
+    }
+
+    fn end_time(&self) -> Time {
+        Time::new_unchecked(self.waypoints.last().expect("never empty").0)
+    }
+}
+
+/// A compiled excursion trajectory on a star of rays.
+///
+/// The robot performs the tour's excursions back to back: each excursion on
+/// ray `i` with turning distance `t` occupies a time window of length `2t`,
+/// going out at unit speed and straight back to the origin.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::{Excursion, RayId, RayPoint, RayTrajectory, TourItinerary};
+///
+/// let m = 2;
+/// let tour = TourItinerary::new(
+///     m,
+///     vec![
+///         Excursion::new(RayId::new(0, m)?, 1.0)?,
+///         Excursion::new(RayId::new(1, m)?, 2.0)?,
+///     ],
+/// )?;
+/// let traj = RayTrajectory::compile(&tour);
+/// let p = RayPoint::new(RayId::new(1, m)?, 1.5)?;
+/// // excursion 0 takes 2 time units; then 1.5 further on ray 1.
+/// assert_eq!(traj.first_visit_at(p).unwrap().as_f64(), 3.5);
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RayTrajectory {
+    num_rays: usize,
+    /// `(start_time, excursion)` pairs in tour order.
+    excursions: Vec<(f64, Excursion)>,
+}
+
+impl RayTrajectory {
+    /// Compiles a tour into a trajectory.
+    pub fn compile(tour: &TourItinerary) -> Self {
+        let mut excursions = Vec::with_capacity(tour.len());
+        let mut now = 0.0;
+        for &e in tour.excursions() {
+            excursions.push((now, e));
+            now += e.round_trip_length();
+        }
+        RayTrajectory {
+            num_rays: tour.num_rays(),
+            excursions,
+        }
+    }
+
+    /// Number of rays of the underlying star.
+    #[inline]
+    pub fn num_rays(&self) -> usize {
+        self.num_rays
+    }
+
+    /// The `(start_time, excursion)` pairs in tour order.
+    #[inline]
+    pub fn timed_excursions(&self) -> &[(f64, Excursion)] {
+        &self.excursions
+    }
+
+    /// Position at time `t`; after the tour the robot halts at the origin.
+    pub fn position_at(&self, t: Time) -> RayPoint {
+        let t = t.as_f64();
+        for &(start, e) in &self.excursions {
+            let end = start + e.round_trip_length();
+            if t >= start && t <= end {
+                let within = t - start;
+                let dist = if within <= e.turn {
+                    within
+                } else {
+                    2.0 * e.turn - within
+                };
+                return RayPoint::new(e.ray, dist).expect("interpolation stays finite");
+            }
+        }
+        RayPoint::new(RayId::new_unvalidated(0), 0.0).expect("origin is valid")
+    }
+
+    /// First visit to `p`, in closed form.
+    ///
+    /// A point at distance `0` is considered visited at time `0`.
+    pub fn first_visit_at(&self, p: RayPoint) -> Option<Time> {
+        if p.distance() == 0.0 {
+            return Some(Time::ZERO);
+        }
+        for &(start, e) in &self.excursions {
+            if e.ray == p.ray() && e.turn >= p.distance() {
+                return Some(Time::new_unchecked(start + p.distance()));
+            }
+        }
+        None
+    }
+
+    /// All visits to `p`: up to two per excursion (outbound and inbound),
+    /// merged when the point is exactly the turning point.
+    pub fn visits_at(&self, p: RayPoint) -> Vec<Visit> {
+        let mut out = Vec::new();
+        if p.distance() == 0.0 {
+            out.push(Visit {
+                time: Time::ZERO,
+                leg: 0,
+            });
+            return out;
+        }
+        for (leg, &(start, e)) in self.excursions.iter().enumerate() {
+            if e.ray == p.ray() && e.turn >= p.distance() {
+                let outbound = start + p.distance();
+                out.push(Visit {
+                    time: Time::new_unchecked(outbound),
+                    leg,
+                });
+                let inbound = start + 2.0 * e.turn - p.distance();
+                if inbound > outbound {
+                    out.push(Visit {
+                        time: Time::new_unchecked(inbound),
+                        leg,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// First visit per excursion — the ORC covering events for `p`.
+    ///
+    /// Each entry is `(excursion index, first visit time within it)`. In the
+    /// ORC setting coverings of the same robot only count once per return
+    /// to the origin, which is exactly once per excursion.
+    pub fn excursion_visits(&self, p: RayPoint) -> Vec<(usize, Time)> {
+        if p.distance() == 0.0 {
+            return vec![(0, Time::ZERO)];
+        }
+        self.excursions
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, e))| e.ray == p.ray() && e.turn >= p.distance())
+            .map(|(i, &(start, _))| (i, Time::new_unchecked(start + p.distance())))
+            .collect()
+    }
+}
+
+impl Track for RayTrajectory {
+    type Point = RayPoint;
+
+    fn first_visit(&self, p: RayPoint) -> Option<Time> {
+        self.first_visit_at(p)
+    }
+
+    fn visits(&self, p: RayPoint) -> Vec<Visit> {
+        self.visits_at(p)
+    }
+
+    fn end_time(&self) -> Time {
+        match self.excursions.last() {
+            Some(&(start, e)) => Time::new_unchecked(start + e.round_trip_length()),
+            None => Time::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Direction;
+
+    fn line(turns: &[f64]) -> LineTrajectory {
+        LineTrajectory::compile(
+            &LineItinerary::new(Direction::Positive, turns.to_vec()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn compile_doubling_waypoints() {
+        let traj = line(&[1.0, 2.0, 4.0]);
+        assert_eq!(
+            traj.waypoints(),
+            &[(0.0, 0.0), (1.0, 1.0), (4.0, -2.0), (10.0, 4.0)]
+        );
+    }
+
+    #[test]
+    fn first_visit_closed_form_matches_paper_formula() {
+        // For t_{i-1} < x <= t_i (same-sign turning points), the first visit
+        // of +x happens at 2(t1+...+t_{i-1}) + x... for odd i; verify on the
+        // doubling strategy.
+        let traj = line(&[1.0, 2.0, 4.0, 8.0]);
+        // x = 3 on the positive side: first covered by turn t3 = 4 (legs
+        // 1: +1, 2: -2, 3: +4). Time = 2*(1+2) + 3 = 9.
+        assert_eq!(traj.first_visit(3.0).unwrap().as_f64(), 9.0);
+        // x = -5: covered by t4 = 8: time = 2*(1+2+4) + 5 = 19.
+        assert_eq!(traj.first_visit(-5.0).unwrap().as_f64(), 19.0);
+    }
+
+    #[test]
+    fn first_visit_unreached_is_none() {
+        let traj = line(&[1.0, 2.0]);
+        assert!(traj.first_visit(1.5).is_none());
+        assert!(traj.first_visit(-3.0).is_none());
+    }
+
+    #[test]
+    fn visits_count_each_crossing_once() {
+        let traj = line(&[1.0, 2.0, 4.0]);
+        // +0.5 is crossed on leg 0 (out), leg 1 (down through), leg 2 (up).
+        let v = traj.visits_coord(0.5);
+        assert_eq!(v.len(), 3);
+        let times: Vec<f64> = v.iter().map(|v| v.time.as_f64()).collect();
+        assert_eq!(times, vec![0.5, 1.5, 6.5]);
+        // exactly at a turning point: single visit at the turn
+        let v = traj.visits_coord(1.0);
+        assert_eq!(v.len(), 2); // arrival at turn (leg 0) + pass on leg 2
+        assert_eq!(v[0].time.as_f64(), 1.0);
+        assert_eq!(v[1].time.as_f64(), 7.0);
+    }
+
+    #[test]
+    fn origin_visited_at_time_zero() {
+        let traj = line(&[1.0]);
+        assert_eq!(traj.first_visit(0.0).unwrap(), Time::ZERO);
+        let v = traj.visits_coord(0.0);
+        assert_eq!(v[0].time, Time::ZERO);
+    }
+
+    #[test]
+    fn position_interpolation() {
+        let traj = line(&[1.0, 2.0]);
+        assert_eq!(traj.position_at(Time::new(0.5).unwrap()).coordinate(), 0.5);
+        assert_eq!(traj.position_at(Time::new(1.0).unwrap()).coordinate(), 1.0);
+        assert_eq!(traj.position_at(Time::new(2.0).unwrap()).coordinate(), 0.0);
+        assert_eq!(traj.position_at(Time::new(4.0).unwrap()).coordinate(), -2.0);
+        // after the plan: halted
+        assert_eq!(traj.position_at(Time::new(99.0).unwrap()).coordinate(), -2.0);
+    }
+
+    #[test]
+    fn both_sides_visited_is_symmetric_cover_time() {
+        let traj = line(&[1.0, 2.0, 4.0]);
+        // x = 1: +1 at t=1, -1 at t=3 => 3. Formula: 2(t1)+x with i=... the
+        // paper's 2(t1+...+ti)+x for t_{i-1} < x <= t_i uses the *covering*
+        // index; for x=1, both sides visited at t=3 = 2*1 + 1.
+        assert_eq!(traj.both_sides_visited(1.0).unwrap().as_f64(), 3.0);
+        // x = 2: +2 reached only on leg 3 at 2*(1+2)+2 = 8; -2 at t=4; => 8.
+        assert_eq!(traj.both_sides_visited(2.0).unwrap().as_f64(), 8.0);
+        assert!(traj.both_sides_visited(4.0).is_none()); // -4 never reached
+    }
+
+    #[test]
+    fn max_reach() {
+        let traj = line(&[1.0, 2.0, 4.0]);
+        assert_eq!(traj.max_reach(Direction::Positive), 4.0);
+        assert_eq!(traj.max_reach(Direction::Negative), 2.0);
+    }
+
+    fn ray_traj(m: usize, spec: &[(usize, f64)]) -> RayTrajectory {
+        let tour = TourItinerary::new(
+            m,
+            spec.iter()
+                .map(|&(r, t)| Excursion::new(RayId::new(r, m).unwrap(), t).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        RayTrajectory::compile(&tour)
+    }
+
+    fn rp(r: usize, m: usize, d: f64) -> RayPoint {
+        RayPoint::new(RayId::new(r, m).unwrap(), d).unwrap()
+    }
+
+    #[test]
+    fn ray_first_visit_accumulates_round_trips() {
+        let traj = ray_traj(3, &[(0, 1.0), (1, 2.0), (2, 4.0), (0, 8.0)]);
+        // ray 2 at distance 3: excursions 0,1 take 2+4=6; then 3 more.
+        assert_eq!(traj.first_visit_at(rp(2, 3, 3.0)).unwrap().as_f64(), 9.0);
+        // ray 0 at distance 2: first excursion only reaches 1; excursion 3
+        // starts at 2+4+8=14, so t = 16.
+        assert_eq!(traj.first_visit_at(rp(0, 3, 2.0)).unwrap().as_f64(), 16.0);
+        // never reached
+        assert!(traj.first_visit_at(rp(1, 3, 3.0)).is_none());
+    }
+
+    #[test]
+    fn ray_visits_outbound_and_inbound() {
+        let traj = ray_traj(2, &[(0, 2.0)]);
+        let v = traj.visits_at(rp(0, 2, 1.0));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].time.as_f64(), 1.0);
+        assert_eq!(v[1].time.as_f64(), 3.0);
+        // exactly at the turning point: merged single visit
+        let v = traj.visits_at(rp(0, 2, 2.0));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].time.as_f64(), 2.0);
+    }
+
+    #[test]
+    fn ray_excursion_visits_count_once_per_excursion() {
+        let traj = ray_traj(2, &[(0, 2.0), (1, 1.0), (0, 3.0)]);
+        let cov = traj.excursion_visits(rp(0, 2, 1.5));
+        assert_eq!(cov.len(), 2);
+        assert_eq!(cov[0], (0, Time::new(1.5).unwrap()));
+        // excursion 2 starts at 4+2=6
+        assert_eq!(cov[1], (2, Time::new(7.5).unwrap()));
+    }
+
+    #[test]
+    fn ray_position_at() {
+        let traj = ray_traj(2, &[(0, 2.0), (1, 1.0)]);
+        let p = traj.position_at(Time::new(1.0).unwrap());
+        assert_eq!((p.ray().index(), p.distance()), (0, 1.0));
+        let p = traj.position_at(Time::new(3.0).unwrap());
+        assert_eq!((p.ray().index(), p.distance()), (0, 1.0));
+        let p = traj.position_at(Time::new(4.5).unwrap());
+        assert_eq!((p.ray().index(), p.distance()), (1, 0.5));
+        // after the tour: origin
+        let p = traj.position_at(Time::new(100.0).unwrap());
+        assert_eq!(p.distance(), 0.0);
+    }
+
+    #[test]
+    fn ray_end_time() {
+        let traj = ray_traj(2, &[(0, 2.0), (1, 1.0)]);
+        assert_eq!(Track::end_time(&traj).as_f64(), 6.0);
+        let empty = ray_traj(2, &[]);
+        assert_eq!(Track::end_time(&empty), Time::ZERO);
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic target workload generators.
+//!
+//! The evaluation engine computes suprema exactly from breakpoints, but
+//! tests, examples and benchmarks also need concrete target positions:
+//! geometric grids, log-uniform random draws and adversarial positions just
+//! past a strategy's turning points. All randomness is seeded, so every
+//! workload is reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimError;
+
+/// A geometric grid of distances `x₀, x₀·r, x₀·r², …` clipped to `[x0, max]`.
+///
+/// Geometric grids match the scale-invariance of competitive analysis: the
+/// worst-case ratio of a geometric strategy is (asymptotically) periodic in
+/// `log x`, so a geometric grid probes each period evenly.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidDistance`] if `x0` is not positive finite or
+/// `ratio <= 1` or `max < x0`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::workload::geometric_grid;
+/// let xs = geometric_grid(1.0, 2.0, 10.0)?;
+/// assert_eq!(xs, vec![1.0, 2.0, 4.0, 8.0]);
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+pub fn geometric_grid(x0: f64, ratio: f64, max: f64) -> Result<Vec<f64>, SimError> {
+    if !(x0.is_finite() && x0 > 0.0) {
+        return Err(SimError::InvalidDistance { value: x0 });
+    }
+    if !(ratio.is_finite() && ratio > 1.0) {
+        return Err(SimError::InvalidDistance { value: ratio });
+    }
+    if !(max.is_finite() && max >= x0) {
+        return Err(SimError::InvalidDistance { value: max });
+    }
+    let mut out = Vec::new();
+    let mut x = x0;
+    while x <= max {
+        out.push(x);
+        x *= ratio;
+    }
+    Ok(out)
+}
+
+/// `n` random distances log-uniform in `[lo, hi]`, deterministic in `seed`.
+///
+/// Log-uniform sampling gives every distance scale equal weight, matching
+/// how competitive ratios weight targets.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidDistance`] if the range is empty or invalid.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::workload::log_uniform;
+/// let xs = log_uniform(42, 1.0, 100.0, 5)?;
+/// assert_eq!(xs.len(), 5);
+/// assert!(xs.iter().all(|&x| (1.0..=100.0).contains(&x)));
+/// // deterministic
+/// assert_eq!(xs, log_uniform(42, 1.0, 100.0, 5)?);
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+pub fn log_uniform(seed: u64, lo: f64, hi: f64, n: usize) -> Result<Vec<f64>, SimError> {
+    if !(lo.is_finite() && lo > 0.0) {
+        return Err(SimError::InvalidDistance { value: lo });
+    }
+    if !(hi.is_finite() && hi >= lo) {
+        return Err(SimError::InvalidDistance { value: hi });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    Ok((0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(llo..=lhi);
+            u.exp().clamp(lo, hi)
+        })
+        .collect())
+}
+
+/// Adversarial distances just past each breakpoint.
+///
+/// For strategies built from turning points, the worst target positions sit
+/// immediately *past* a turning magnitude (the robot just missed them).
+/// Given the breakpoints, this returns `b·(1+eps)` for each `b ≥ min_x`,
+/// deduplicated and sorted.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidDistance`] if `eps` is not positive finite.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_sim::workload::past_breakpoints;
+/// let xs = past_breakpoints(&[1.0, 2.0, 2.0, 4.0], 1.0, 1e-9)?;
+/// assert_eq!(xs.len(), 3);
+/// assert!(xs[0] > 1.0 && xs[0] < 1.0 + 1e-6);
+/// # Ok::<(), raysearch_sim::SimError>(())
+/// ```
+pub fn past_breakpoints(
+    breakpoints: &[f64],
+    min_x: f64,
+    eps: f64,
+) -> Result<Vec<f64>, SimError> {
+    if !(eps.is_finite() && eps > 0.0) {
+        return Err(SimError::InvalidDistance { value: eps });
+    }
+    let mut bs: Vec<f64> = breakpoints
+        .iter()
+        .copied()
+        .filter(|&b| b.is_finite() && b >= min_x)
+        .collect();
+    bs.sort_by(f64::total_cmp);
+    bs.dedup();
+    Ok(bs.into_iter().map(|b| b * (1.0 + eps)).collect())
+}
+
+/// Mixed workload: a geometric backbone plus seeded random fill-in, the
+/// default target set for simulation-based cross-checks.
+///
+/// # Errors
+///
+/// Propagates errors from [`geometric_grid`] and [`log_uniform`].
+pub fn standard_workload(seed: u64, max: f64, n_random: usize) -> Result<Vec<f64>, SimError> {
+    let mut xs = geometric_grid(1.0, 1.1, max)?;
+    xs.extend(log_uniform(seed, 1.0, max, n_random)?);
+    xs.sort_by(f64::total_cmp);
+    Ok(xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_grid_validation() {
+        assert!(geometric_grid(0.0, 2.0, 8.0).is_err());
+        assert!(geometric_grid(1.0, 1.0, 8.0).is_err());
+        assert!(geometric_grid(1.0, 2.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn geometric_grid_spans_range() {
+        let xs = geometric_grid(1.0, 3.0, 100.0).unwrap();
+        assert_eq!(xs, vec![1.0, 3.0, 9.0, 27.0, 81.0]);
+    }
+
+    #[test]
+    fn log_uniform_is_deterministic_and_in_range() {
+        let a = log_uniform(7, 2.0, 50.0, 100).unwrap();
+        let b = log_uniform(7, 2.0, 50.0, 100).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (2.0..=50.0).contains(&x)));
+        let c = log_uniform(8, 2.0, 50.0, 100).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn log_uniform_rejects_bad_range() {
+        assert!(log_uniform(1, -1.0, 5.0, 3).is_err());
+        assert!(log_uniform(1, 5.0, 4.0, 3).is_err());
+    }
+
+    #[test]
+    fn past_breakpoints_dedups_and_filters() {
+        let xs = past_breakpoints(&[4.0, 1.0, 0.5, 1.0], 1.0, 1e-9).unwrap();
+        assert_eq!(xs.len(), 2);
+        assert!(xs[0] > 1.0);
+        assert!(xs[1] > 4.0);
+        assert!(past_breakpoints(&[1.0], 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn standard_workload_is_sorted() {
+        let xs = standard_workload(3, 50.0, 20).unwrap();
+        assert!(!xs.is_empty());
+        for w in xs.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

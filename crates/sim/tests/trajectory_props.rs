@@ -1,0 +1,100 @@
+//! Property tests for the kinematic substrate.
+
+use proptest::prelude::*;
+use raysearch_sim::{
+    trajectory::Track, Direction, Excursion, LineItinerary, LineTrajectory, RayId, RayPoint,
+    RayTrajectory, TourItinerary,
+};
+
+fn tour_strategy() -> impl Strategy<Value = TourItinerary> {
+    prop::collection::vec((0usize..3, 0.1f64..50.0), 1..15).prop_map(|spec| {
+        TourItinerary::new(
+            3,
+            spec.into_iter()
+                .map(|(r, t)| Excursion::new(RayId::new(r, 3).unwrap(), t).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A line trajectory's end time is twice the turn total minus the
+    /// last magnitude (out-and-back for every leg except the final stay).
+    #[test]
+    fn line_end_time_identity(turns in prop::collection::vec(0.1f64..40.0, 1..12)) {
+        let it = LineItinerary::new(Direction::Positive, turns.clone()).unwrap();
+        let traj = LineTrajectory::compile(&it);
+        let expect = 2.0 * it.total_turn_sum() - turns.last().unwrap();
+        prop_assert!((Track::end_time(&traj).as_f64() - expect).abs() < 1e-9);
+    }
+
+    /// First visit is the minimum of all visits, and visits are strictly
+    /// increasing in time.
+    #[test]
+    fn line_visits_ordered_and_min(
+        turns in prop::collection::vec(0.1f64..40.0, 1..12),
+        x in -30.0f64..30.0,
+    ) {
+        prop_assume!(x != 0.0);
+        let it = LineItinerary::new(Direction::Positive, turns).unwrap();
+        let traj = LineTrajectory::compile(&it);
+        let visits = traj.visits_coord(x);
+        for w in visits.windows(2) {
+            prop_assert!(w[0].time < w[1].time, "visits not strictly ordered");
+        }
+        match (traj.first_visit(x), visits.first()) {
+            (Some(t), Some(v)) => prop_assert_eq!(t, v.time),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "mismatch: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// Ray trajectories: per-excursion ORC visits are a subset of raw
+    /// visits, one per covering excursion, at the outbound time.
+    #[test]
+    fn ray_excursion_visits_consistent(tour in tour_strategy(), ray in 0usize..3, d in 0.1f64..60.0) {
+        let traj = RayTrajectory::compile(&tour);
+        let p = RayPoint::new(RayId::new(ray, 3).unwrap(), d).unwrap();
+        let raw = traj.visits_at(p);
+        let per_exc = traj.excursion_visits(p);
+        // each ORC event corresponds to a raw visit with the same time
+        for (leg, t) in &per_exc {
+            prop_assert!(
+                raw.iter().any(|v| v.leg == *leg && v.time == *t),
+                "ORC event (leg {leg}) missing from raw visits"
+            );
+        }
+        // the number of covering excursions matches the tour structure
+        let expected = tour
+            .excursions()
+            .iter()
+            .filter(|e| e.ray.index() == ray && e.turn >= d)
+            .count();
+        prop_assert_eq!(per_exc.len(), expected);
+        // first visit agrees
+        match (traj.first_visit_at(p), per_exc.first()) {
+            (Some(t), Some((_, t0))) => prop_assert_eq!(t, *t0),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "mismatch: {:?} vs {:?}", a, b),
+        }
+    }
+
+    /// Position queries stay on the stated ray and within the turn
+    /// distance.
+    #[test]
+    fn ray_position_in_bounds(tour in tour_strategy(), frac in 0.0f64..1.0) {
+        let traj = RayTrajectory::compile(&tour);
+        let end = Track::end_time(&traj).as_f64();
+        let t = raysearch_sim::Time::new(end * frac).unwrap();
+        let p = traj.position_at(t);
+        let max_turn = tour
+            .excursions()
+            .iter()
+            .map(|e| e.turn)
+            .fold(0.0f64, f64::max);
+        prop_assert!(p.distance() <= max_turn + 1e-9);
+    }
+}

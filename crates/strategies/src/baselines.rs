@@ -1,0 +1,319 @@
+//! Baseline strategies the optimal construction is compared against.
+//!
+//! * [`ReplicatedDoubling`] — all `k` robots run the *same* doubling
+//!   cow-path. Every point is visited by all robots simultaneously, so the
+//!   fleet tolerates any `f < k` faults at ratio 9 — a surprisingly strong
+//!   baseline that the optimal strategy only beats when `ρ < 2`.
+//! * [`ZonePartition`] — robots are pinned to rays round-robin and walk
+//!   straight out. Ratio 1 when `k ≥ m(f+1)` (the trivial regime), but
+//!   *fails entirely* otherwise: some ray has at most `f` robots and the
+//!   adversary hides the target there. This realizes the paper's regime
+//!   boundary in executable form (experiment E2).
+
+use raysearch_sim::{Direction, Excursion, LineItinerary, RayId, RobotId, TourItinerary};
+
+use crate::{DoublingCowPath, LineStrategy, RayStrategy, StrategyError};
+
+/// All `k` robots run identical doubling cow-paths.
+///
+/// Since the robots move in lock-step, the `(f+1)`-st *distinct-robot*
+/// visit to any point coincides with the first visit, so the fleet is
+/// 9-competitive for every `f < k`. It never beats 9, though — the optimal
+/// strategy's advantage for `ρ < 2` is exactly what experiment E1's
+/// baseline column shows.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_strategies::{LineStrategy, ReplicatedDoubling};
+///
+/// let fleet = ReplicatedDoubling::new(3)?;
+/// let its = fleet.fleet_itineraries(10.0)?;
+/// assert_eq!(its.len(), 3);
+/// assert_eq!(its[0], its[2]); // identical plans
+/// # Ok::<(), raysearch_strategies::StrategyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplicatedDoubling {
+    k: u32,
+    base: DoublingCowPath,
+}
+
+impl ReplicatedDoubling {
+    /// Creates a replicated-doubling fleet of `k ≥ 1` robots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidParameters`] if `k = 0`.
+    pub fn new(k: u32) -> Result<Self, StrategyError> {
+        if k == 0 {
+            return Err(StrategyError::invalid("need at least one robot"));
+        }
+        Ok(ReplicatedDoubling {
+            k,
+            base: DoublingCowPath::classic(),
+        })
+    }
+
+    /// The worst-case ratio of the fleet (9, independent of `f < k`).
+    pub fn theoretical_ratio(&self) -> f64 {
+        self.base.theoretical_ratio()
+    }
+}
+
+impl LineStrategy for ReplicatedDoubling {
+    fn name(&self) -> String {
+        format!("replicated-doubling(k={})", self.k)
+    }
+
+    fn num_robots(&self) -> usize {
+        self.k as usize
+    }
+
+    fn itinerary(&self, robot: RobotId, horizon: f64) -> Result<LineItinerary, StrategyError> {
+        if robot.index() >= self.k as usize {
+            return Err(StrategyError::invalid(format!(
+                "robot index {} out of range for k = {}",
+                robot.index(),
+                self.k
+            )));
+        }
+        self.base.itinerary(RobotId(0), horizon)
+    }
+}
+
+/// Robots pinned to rays round-robin, each walking straight out.
+///
+/// Robot `r` explores ray `r mod m` and nothing else. Every point on a ray
+/// with `c` assigned robots is visited by exactly `c` distinct robots, at
+/// time equal to its distance. Hence: ratio `1` when every ray has at
+/// least `f+1` robots (`k ≥ m(f+1)`), and *unbounded* otherwise.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_strategies::{RayStrategy, ZonePartition};
+///
+/// let z = ZonePartition::new(2, 4, 1)?; // k = m(f+1): trivial regime
+/// assert!(z.covers_all_rays());
+/// let z = ZonePartition::new(3, 4, 1)?; // 4 < 3·2: some ray undercovered
+/// assert!(!z.covers_all_rays());
+/// # Ok::<(), raysearch_strategies::StrategyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ZonePartition {
+    m: u32,
+    k: u32,
+    f: u32,
+}
+
+impl ZonePartition {
+    /// Creates a zone partition of `k` robots over `m` rays with `f`
+    /// faults to tolerate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidParameters`] if `m = 0` or `k = 0`.
+    pub fn new(m: u32, k: u32, f: u32) -> Result<Self, StrategyError> {
+        if m == 0 {
+            return Err(StrategyError::invalid("need at least one ray"));
+        }
+        if k == 0 {
+            return Err(StrategyError::invalid("need at least one robot"));
+        }
+        Ok(ZonePartition { m, k, f })
+    }
+
+    /// Number of robots assigned to `ray`.
+    pub fn robots_on_ray(&self, ray: usize) -> usize {
+        let (k, m) = (self.k as usize, self.m as usize);
+        k / m + usize::from(ray < k % m)
+    }
+
+    /// Returns `true` if every ray has at least `f+1` robots — i.e. the
+    /// partition actually tolerates `f` faults (ratio 1).
+    pub fn covers_all_rays(&self) -> bool {
+        (0..self.m as usize).all(|ray| self.robots_on_ray(ray) >= self.f as usize + 1)
+    }
+}
+
+impl RayStrategy for ZonePartition {
+    fn name(&self) -> String {
+        format!("zone-partition(m={}, k={}, f={})", self.m, self.k, self.f)
+    }
+
+    fn num_rays(&self) -> usize {
+        self.m as usize
+    }
+
+    fn num_robots(&self) -> usize {
+        self.k as usize
+    }
+
+    fn tour(&self, robot: RobotId, horizon: f64) -> Result<TourItinerary, StrategyError> {
+        StrategyError::check_horizon(horizon)?;
+        if robot.index() >= self.k as usize {
+            return Err(StrategyError::invalid(format!(
+                "robot index {} out of range for k = {}",
+                robot.index(),
+                self.k
+            )));
+        }
+        let ray = RayId::new_unvalidated(robot.index() % self.m as usize);
+        // One excursion, straight out past the horizon; the robot never
+        // comes back (the finite plan turns at 2·horizon, far enough that
+        // the return leg is irrelevant for targets within the horizon).
+        let excursion = Excursion::new(ray, 2.0 * horizon)?;
+        Ok(TourItinerary::new(self.m as usize, vec![excursion])?)
+    }
+}
+
+/// A two-sided straight-out fleet on the line: `f+1` robots to `+∞`,
+/// `f+1` to `-∞` — the paper's witness that `k ≥ 2(f+1)` gives ratio 1.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_strategies::{baselines::TwoWaySaturation, LineStrategy};
+///
+/// let s = TwoWaySaturation::new(4, 1)?;
+/// let trajs = s.fleet_trajectories(50.0)?;
+/// // robots 0,1 go positive; robots 2,3 negative.
+/// assert!(trajs[0].first_visit(50.0).is_some());
+/// assert!(trajs[3].first_visit(-50.0).is_some());
+/// # Ok::<(), raysearch_strategies::StrategyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TwoWaySaturation {
+    k: u32,
+    f: u32,
+}
+
+impl TwoWaySaturation {
+    /// Creates the saturation fleet; requires `k ≥ 2(f+1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidParameters`] if `k < 2(f+1)`.
+    pub fn new(k: u32, f: u32) -> Result<Self, StrategyError> {
+        if k < 2 * (f + 1) {
+            return Err(StrategyError::invalid(format!(
+                "two-way saturation needs k >= 2(f+1), got k={k}, f={f}"
+            )));
+        }
+        Ok(TwoWaySaturation { k, f })
+    }
+}
+
+impl LineStrategy for TwoWaySaturation {
+    fn name(&self) -> String {
+        format!("two-way-saturation(k={}, f={})", self.k, self.f)
+    }
+
+    fn num_robots(&self) -> usize {
+        self.k as usize
+    }
+
+    fn itinerary(&self, robot: RobotId, horizon: f64) -> Result<LineItinerary, StrategyError> {
+        StrategyError::check_horizon(horizon)?;
+        if robot.index() >= self.k as usize {
+            return Err(StrategyError::invalid(format!(
+                "robot index {} out of range for k = {}",
+                robot.index(),
+                self.k
+            )));
+        }
+        // First f+1 robots positive, next f+1 negative, any spare robots
+        // alternate.
+        let v = self.f as usize + 1;
+        let dir = if robot.index() < v {
+            Direction::Positive
+        } else if robot.index() < 2 * v {
+            Direction::Negative
+        } else if robot.index() % 2 == 0 {
+            Direction::Positive
+        } else {
+            Direction::Negative
+        };
+        Ok(LineItinerary::new(dir, vec![2.0 * horizon])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysearch_sim::{LinePoint, VisitEngine};
+
+    #[test]
+    fn replicated_doubling_validation() {
+        assert!(ReplicatedDoubling::new(0).is_err());
+        let s = ReplicatedDoubling::new(3).unwrap();
+        assert!(s.itinerary(RobotId(3), 10.0).is_err());
+    }
+
+    #[test]
+    fn replicated_doubling_detects_at_first_visit_time() {
+        let s = ReplicatedDoubling::new(3).unwrap();
+        let engine = VisitEngine::new(s.fleet_trajectories(100.0).unwrap()).unwrap();
+        let sched = engine.schedule(LinePoint::new(-5.0).unwrap());
+        // with f = 2 faults the 3rd distinct visit still happens at the
+        // first visit time because the robots are in lock-step
+        let t1 = sched.nth_distinct_robot_visit(1).unwrap();
+        let t3 = sched.nth_distinct_robot_visit(3).unwrap();
+        assert_eq!(t1, t3);
+    }
+
+    #[test]
+    fn zone_partition_counts() {
+        let z = ZonePartition::new(3, 7, 1).unwrap();
+        assert_eq!(z.robots_on_ray(0), 3);
+        assert_eq!(z.robots_on_ray(1), 2);
+        assert_eq!(z.robots_on_ray(2), 2);
+        assert!(z.covers_all_rays()); // all rays have >= 2
+        let z = ZonePartition::new(3, 5, 1).unwrap();
+        assert!(!z.covers_all_rays()); // ray 2 has 1 < 2
+    }
+
+    #[test]
+    fn zone_partition_ratio_one_when_saturated() {
+        use raysearch_sim::{RayId, RayPoint};
+        let z = ZonePartition::new(2, 4, 1).unwrap();
+        let engine = VisitEngine::new(z.fleet_trajectories(50.0).unwrap()).unwrap();
+        for (ray, d) in [(0usize, 7.0), (1, 29.0)] {
+            let p = RayPoint::new(RayId::new(ray, 2).unwrap(), d).unwrap();
+            let sched = engine.schedule(p);
+            // 2 distinct robots at time exactly d: ratio 1
+            let t = sched.nth_distinct_robot_visit(2).unwrap();
+            assert!((t.as_f64() - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zone_partition_fails_when_undersized() {
+        use raysearch_sim::{RayId, RayPoint};
+        let z = ZonePartition::new(3, 4, 1).unwrap(); // ray 2 has 1 robot
+        let engine = VisitEngine::new(z.fleet_trajectories(50.0).unwrap()).unwrap();
+        let p = RayPoint::new(RayId::new(2, 3).unwrap(), 5.0).unwrap();
+        let sched = engine.schedule(p);
+        assert!(sched.nth_distinct_robot_visit(2).is_none());
+    }
+
+    #[test]
+    fn two_way_saturation_ratio_one() {
+        let s = TwoWaySaturation::new(4, 1).unwrap();
+        let engine = VisitEngine::new(s.fleet_trajectories(100.0).unwrap()).unwrap();
+        for x in [1.0, -17.0, 99.0] {
+            let sched = engine.schedule(LinePoint::new(x).unwrap());
+            let t = sched.nth_distinct_robot_visit(2).unwrap();
+            assert!((t.as_f64() - x.abs()).abs() < 1e-12, "not ratio 1 at {x}");
+        }
+    }
+
+    #[test]
+    fn two_way_saturation_validation() {
+        assert!(TwoWaySaturation::new(3, 1).is_err());
+        assert!(TwoWaySaturation::new(4, 1).is_ok());
+        let s = TwoWaySaturation::new(4, 1).unwrap();
+        assert!(s.itinerary(RobotId(4), 10.0).is_err());
+    }
+}

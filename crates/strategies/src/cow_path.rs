@@ -1,0 +1,170 @@
+//! The classic single-robot cow-path strategy.
+//!
+//! One robot alternates sides with geometrically growing turning points
+//! `1, b, b², …`. At base `b = 2` this is the optimal 9-competitive
+//! doubling strategy (Beck–Newman 1970; Baeza-Yates–Culberson–Rawlins
+//! 1988); other bases give ratio `1 + 2·b²/(b−1)` on the line, which the
+//! E10 boundary experiment sweeps.
+
+use raysearch_sim::{Direction, LineItinerary, RobotId};
+
+use crate::{LineStrategy, StrategyError};
+
+/// The geometric cow-path strategy for a single fault-free robot.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_strategies::{DoublingCowPath, LineStrategy};
+/// use raysearch_sim::RobotId;
+///
+/// let cow = DoublingCowPath::classic();
+/// let it = cow.itinerary(RobotId(0), 10.0)?;
+/// assert_eq!(&it.turns()[..4], &[1.0, 2.0, 4.0, 8.0]);
+/// # Ok::<(), raysearch_strategies::StrategyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DoublingCowPath {
+    base: f64,
+    start: Direction,
+}
+
+impl DoublingCowPath {
+    /// Creates a cow-path strategy with geometric base `base > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidParameters`] unless `base > 1` and
+    /// finite.
+    pub fn new(base: f64) -> Result<Self, StrategyError> {
+        if !(base.is_finite() && base > 1.0) {
+            return Err(StrategyError::invalid(format!(
+                "cow-path base must satisfy base > 1, got {base}"
+            )));
+        }
+        Ok(DoublingCowPath {
+            base,
+            start: Direction::Positive,
+        })
+    }
+
+    /// The classic optimal doubling strategy (`base = 2`).
+    pub fn classic() -> Self {
+        DoublingCowPath {
+            base: 2.0,
+            start: Direction::Positive,
+        }
+    }
+
+    /// Returns a copy starting in the given direction.
+    pub fn starting(mut self, start: Direction) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// The geometric base.
+    #[inline]
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// The worst-case competitive ratio of this base on the line,
+    /// `1 + 2·b²/(b−1)`.
+    pub fn theoretical_ratio(&self) -> f64 {
+        1.0 + 2.0 * self.base * self.base / (self.base - 1.0)
+    }
+}
+
+impl LineStrategy for DoublingCowPath {
+    fn name(&self) -> String {
+        format!("cow-path(base={})", self.base)
+    }
+
+    fn num_robots(&self) -> usize {
+        1
+    }
+
+    fn itinerary(&self, robot: RobotId, horizon: f64) -> Result<LineItinerary, StrategyError> {
+        StrategyError::check_horizon(horizon)?;
+        if robot.index() != 0 {
+            return Err(StrategyError::invalid(format!(
+                "cow path has a single robot, got index {}",
+                robot.index()
+            )));
+        }
+        let mut turns = vec![1.0];
+        // Continue until both sides have been swept past the horizon: the
+        // last two turns each exceed it.
+        loop {
+            let n = turns.len();
+            if n >= 2 && turns[n - 1] >= horizon && turns[n - 2] >= horizon {
+                break;
+            }
+            let next = turns[n - 1] * self.base;
+            turns.push(next);
+        }
+        Ok(LineItinerary::new(self.start, turns)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysearch_sim::LineTrajectory;
+
+    #[test]
+    fn validation() {
+        assert!(DoublingCowPath::new(1.0).is_err());
+        assert!(DoublingCowPath::new(f64::INFINITY).is_err());
+        assert!(DoublingCowPath::new(1.5).is_ok());
+    }
+
+    #[test]
+    fn classic_ratio_is_nine() {
+        assert!((DoublingCowPath::classic().theoretical_ratio() - 9.0).abs() < 1e-12);
+        // any other base is worse
+        for b in [1.5, 1.9, 2.1, 3.0, 4.0] {
+            assert!(DoublingCowPath::new(b).unwrap().theoretical_ratio() > 9.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn covers_both_sides_past_horizon() {
+        let cow = DoublingCowPath::classic();
+        let it = cow.itinerary(RobotId(0), 100.0).unwrap();
+        let traj = LineTrajectory::compile(&it);
+        assert!(traj.max_reach(Direction::Positive) >= 100.0);
+        assert!(traj.max_reach(Direction::Negative) >= 100.0);
+    }
+
+    #[test]
+    fn worst_case_ratio_on_trajectory_is_nine() {
+        // For the doubling strategy the supremum of visit_time(x)/|x| is 9,
+        // approached by targets just past a turning point on the sparser
+        // side. Check a near-worst target: x = -(2^j + eps).
+        let cow = DoublingCowPath::classic();
+        let traj = LineTrajectory::compile(&cow.itinerary(RobotId(0), 1e5).unwrap());
+        // negative turning points are 2^odd; pick one deep enough that the
+        // ratio 9 - 2^(2-i) is within 1e-3 of the supremum.
+        let x = -(8192.0 * (1.0 + 1e-9));
+        let t = traj.first_visit(x).unwrap().as_f64();
+        let ratio = t / x.abs();
+        assert!(ratio <= 9.0 + 1e-6, "ratio {ratio} exceeds 9");
+        assert!(ratio >= 9.0 - 1e-3, "ratio {ratio} not near the sup 9");
+    }
+
+    #[test]
+    fn single_robot_only() {
+        let cow = DoublingCowPath::classic();
+        assert!(cow.itinerary(RobotId(1), 10.0).is_err());
+        assert_eq!(cow.num_robots(), 1);
+    }
+
+    #[test]
+    fn starting_direction_respected() {
+        let cow = DoublingCowPath::classic().starting(Direction::Negative);
+        let it = cow.itinerary(RobotId(0), 4.0).unwrap();
+        let first: Vec<f64> = it.signed_turns().take(1).collect();
+        assert!(first[0] < 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The dedicated-robots strategy — distance-optimal, time-suboptimal.
+//!
+//! Kao–Ma–Sipser–Yin resolved the *total-distance* version of parallel
+//! ray search, and the paper remarks: *"Somewhat unfortunately, the
+//! optimal algorithm does not really use multiple robots simultaneously:
+//! all but one robot search on one ray each, while the last robot
+//! performs the search on all remaining rays."* This module implements
+//! that shape so the time-competitive evaluation can show exactly how
+//! much it loses to the cyclic strategy under the paper's time measure —
+//! the ablation motivating Theorem 6's "all strategies" claim.
+//!
+//! With `k ≤ m` robots and no faults: robots `0..k-1` each walk straight
+//! out a dedicated ray (ratio 1 there); robot `k-1` runs a single-robot
+//! geometric search over the remaining `m-k+1` rays (classic ratio
+//! `1 + 2·m'^{m'}/(m'-1)^{m'-1}` with `m' = m-k+1`). Its worst-case time
+//! ratio is therefore the single-searcher constant for `m'` rays — worse
+//! than `A(m,k,0)` whenever `k ≥ 2`.
+
+use raysearch_bounds::{optimal_alpha, BoundsError};
+use raysearch_sim::{Excursion, RayId, RobotId, TourItinerary};
+
+use crate::{RayStrategy, StrategyError};
+
+/// Dedicated robots plus one sweeper (the distance-optimal shape).
+///
+/// # Example
+///
+/// ```
+/// use raysearch_strategies::{dedicated::DedicatedPlusSweeper, RayStrategy};
+///
+/// let s = DedicatedPlusSweeper::new(4, 3)?;
+/// // robots 0 and 1 are dedicated; robot 2 sweeps rays 2 and 3.
+/// assert_eq!(s.num_robots(), 3);
+/// assert_eq!(s.sweeper_rays(), 2);
+/// # Ok::<(), raysearch_strategies::StrategyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DedicatedPlusSweeper {
+    m: u32,
+    k: u32,
+}
+
+impl DedicatedPlusSweeper {
+    /// Creates the strategy for `k` robots on `m` rays (no faults).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidParameters`] unless
+    /// `2 ≤ k ≤ m` and the sweeper has at least two rays
+    /// (`m − k + 1 ≥ 2`; with exactly one ray left the strategy is the
+    /// trivial saturation).
+    pub fn new(m: u32, k: u32) -> Result<Self, StrategyError> {
+        if k < 2 {
+            return Err(StrategyError::invalid(
+                "dedicated-plus-sweeper needs at least 2 robots",
+            ));
+        }
+        if k > m {
+            return Err(StrategyError::invalid(format!(
+                "more robots than rays (k={k} > m={m}): use saturation instead"
+            )));
+        }
+        if m - k + 1 < 2 {
+            return Err(StrategyError::invalid(format!(
+                "sweeper must have at least 2 rays, got m-k+1 = {}",
+                m - k + 1
+            )));
+        }
+        Ok(DedicatedPlusSweeper { m, k })
+    }
+
+    /// Number of rays the sweeper is responsible for, `m − k + 1`.
+    #[inline]
+    pub fn sweeper_rays(&self) -> u32 {
+        self.m - self.k + 1
+    }
+
+    /// The worst-case *time* ratio of this strategy: the single-searcher
+    /// constant on the sweeper's rays,
+    /// `1 + 2·m'^{m'}/(m'−1)^{m'−1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bound-computation errors (none for valid instances).
+    pub fn theoretical_time_ratio(&self) -> Result<f64, BoundsError> {
+        raysearch_bounds::literature::single_robot_m_rays(self.sweeper_rays())
+    }
+}
+
+impl RayStrategy for DedicatedPlusSweeper {
+    fn name(&self) -> String {
+        format!("dedicated-plus-sweeper(m={}, k={})", self.m, self.k)
+    }
+
+    fn num_rays(&self) -> usize {
+        self.m as usize
+    }
+
+    fn num_robots(&self) -> usize {
+        self.k as usize
+    }
+
+    fn tour(&self, robot: RobotId, horizon: f64) -> Result<TourItinerary, StrategyError> {
+        StrategyError::check_horizon(horizon)?;
+        let r = robot.index();
+        if r >= self.k as usize {
+            return Err(StrategyError::invalid(format!(
+                "robot index {r} out of range for k = {}",
+                self.k
+            )));
+        }
+        let m = self.m as usize;
+        if r + 1 < self.k as usize {
+            // dedicated robot: straight out its own ray
+            let ray = RayId::new_unvalidated(r);
+            return Ok(TourItinerary::new(
+                m,
+                vec![Excursion::new(ray, 2.0 * horizon)?],
+            )?);
+        }
+        // the sweeper: single-robot cyclic geometric search on the last
+        // m' rays, with the classic optimal base (q = m', k = 1)
+        let m_prime = self.sweeper_rays();
+        let alpha = optimal_alpha(m_prime, 1)?;
+        let first_sweeper_ray = self.k as usize - 1;
+        let mut excursions = Vec::new();
+        let mut n = 1 - 2 * i64::from(m_prime);
+        let mut beyond = vec![0usize; m_prime as usize];
+        while beyond.iter().any(|&c| c < 2) {
+            let local = n.rem_euclid(i64::from(m_prime)) as usize;
+            let ray = RayId::new_unvalidated(first_sweeper_ray + local);
+            let turn = (n as f64 * alpha.ln()).exp();
+            excursions.push(Excursion::new(ray, turn)?);
+            if turn >= horizon {
+                beyond[local] += 1;
+            }
+            n += 1;
+        }
+        Ok(TourItinerary::new(m, excursions)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(DedicatedPlusSweeper::new(3, 1).is_err());
+        assert!(DedicatedPlusSweeper::new(3, 4).is_err());
+        assert!(DedicatedPlusSweeper::new(3, 3).is_err()); // sweeper gets 1 ray
+        assert!(DedicatedPlusSweeper::new(3, 2).is_ok());
+        let s = DedicatedPlusSweeper::new(4, 3).unwrap();
+        assert!(s.tour(RobotId(3), 10.0).is_err());
+        assert!(s.tour(RobotId(0), 0.1).is_err());
+    }
+
+    #[test]
+    fn dedicated_robots_go_straight_out() {
+        let s = DedicatedPlusSweeper::new(4, 3).unwrap();
+        for r in 0..2usize {
+            let tour = s.tour(RobotId(r), 50.0).unwrap();
+            assert_eq!(tour.len(), 1);
+            assert_eq!(tour.excursions()[0].ray.index(), r);
+            assert!(tour.excursions()[0].turn >= 50.0);
+        }
+    }
+
+    #[test]
+    fn sweeper_cycles_its_rays_geometrically() {
+        let s = DedicatedPlusSweeper::new(4, 3).unwrap();
+        let tour = s.tour(RobotId(2), 50.0).unwrap();
+        // sweeper owns rays 2 and 3 only
+        for e in tour.excursions() {
+            assert!(e.ray.index() >= 2);
+        }
+        // turns grow geometrically with the classic base for m' = 2 (= 2)
+        for w in tour.excursions().windows(2) {
+            assert!((w[1].turn / w[0].turn - 2.0).abs() < 1e-9);
+        }
+        // warm-up reaches below distance 1
+        assert!(tour.excursions()[0].turn <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn time_ratio_is_the_single_searcher_constant() {
+        // m=4, k=3: sweeper has 2 rays: classic 9
+        let s = DedicatedPlusSweeper::new(4, 3).unwrap();
+        assert!((s.theoretical_time_ratio().unwrap() - 9.0).abs() < 1e-12);
+        // m=5, k=2: sweeper has 4 rays
+        let s = DedicatedPlusSweeper::new(5, 2).unwrap();
+        let m4 = raysearch_bounds::literature::single_robot_m_rays(4).unwrap();
+        assert!((s.theoretical_time_ratio().unwrap() - m4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loses_to_the_cyclic_strategy_in_time() {
+        // the paper's remark, quantified: distance-optimal shape is
+        // strictly worse for time whenever it is nontrivial
+        for (m, k) in [(3u32, 2u32), (4, 2), (4, 3), (5, 3)] {
+            let dedicated = DedicatedPlusSweeper::new(m, k).unwrap();
+            let optimal = raysearch_bounds::a_rays(m, k, 0).unwrap();
+            assert!(
+                dedicated.theoretical_time_ratio().unwrap() > optimal + 0.5,
+                "(m={m}, k={k}): dedicated not clearly worse"
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+use std::fmt;
+
+use raysearch_bounds::BoundsError;
+use raysearch_sim::SimError;
+
+/// Error raised when constructing or materializing a strategy.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StrategyError {
+    /// The strategy's parameters are structurally invalid.
+    InvalidParameters {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The requested horizon is not a finite value `≥ 1`.
+    InvalidHorizon {
+        /// The offending horizon.
+        horizon: f64,
+    },
+    /// An underlying simulation primitive rejected the generated plan.
+    Sim(SimError),
+    /// An underlying bound computation rejected the parameters.
+    Bounds(BoundsError),
+}
+
+impl StrategyError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        StrategyError::InvalidParameters {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn check_horizon(horizon: f64) -> Result<(), StrategyError> {
+        if horizon.is_finite() && horizon >= 1.0 {
+            Ok(())
+        } else {
+            Err(StrategyError::InvalidHorizon { horizon })
+        }
+    }
+}
+
+impl fmt::Display for StrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyError::InvalidParameters { reason } => {
+                write!(f, "invalid strategy parameters: {reason}")
+            }
+            StrategyError::InvalidHorizon { horizon } => {
+                write!(f, "invalid horizon {horizon}: must be finite and >= 1")
+            }
+            StrategyError::Sim(e) => write!(f, "simulation error: {e}"),
+            StrategyError::Bounds(e) => write!(f, "bounds error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StrategyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StrategyError::Sim(e) => Some(e),
+            StrategyError::Bounds(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for StrategyError {
+    fn from(e: SimError) -> Self {
+        StrategyError::Sim(e)
+    }
+}
+
+impl From<BoundsError> for StrategyError {
+    fn from(e: BoundsError) -> Self {
+        StrategyError::Bounds(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_validation() {
+        assert!(StrategyError::check_horizon(1.0).is_ok());
+        assert!(StrategyError::check_horizon(1e9).is_ok());
+        assert!(StrategyError::check_horizon(0.5).is_err());
+        assert!(StrategyError::check_horizon(f64::NAN).is_err());
+        assert!(StrategyError::check_horizon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: StrategyError = SimError::InvalidDistance { value: -1.0 }.into();
+        assert!(e.to_string().contains("simulation error"));
+        assert!(e.source().is_some());
+        let e = StrategyError::invalid("bad");
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Search strategies for robot fleets on the line and on `m` rays.
+//!
+//! A *strategy* is a rule producing, for each robot of a fleet, a plan
+//! ([`LineItinerary`](raysearch_sim::LineItinerary) or
+//! [`TourItinerary`](raysearch_sim::TourItinerary)). Strategies here are
+//! *horizon-parameterized*: the paper's strategies are infinite geometric
+//! progressions, and [`LineStrategy::itinerary`] /
+//! [`RayStrategy::tour`] materialize the finite prefix that fully
+//! determines all detection times for targets up to a requested distance.
+//!
+//! The star of the crate is [`CyclicExponential`], the appendix strategy of
+//! Kupavskii–Welzl (originally from Czyzowitz et al. PODC'16 for the line
+//! and Bernstein–Finkelstein–Zilberstein IJCAI'03 for rays): robots tour the
+//! rays cyclically with geometrically growing turning points
+//! `α^(k·n + m·r)`, which at the optimal base `α* = (q/(q−k))^(1/k)`
+//! achieves the tight competitive ratio `Λ(q/k)` of Theorems 1 and 6.
+//!
+//! Baselines ([`ReplicatedDoubling`], [`ZonePartition`]) and seeded random
+//! strategies ([`RandomGeometric`], [`Perturbed`]) support the experiment
+//! suite's comparisons and falsification tests.
+//!
+//! # Example
+//!
+//! ```
+//! use raysearch_strategies::{CyclicExponential, RayStrategy};
+//!
+//! // 3 robots, 1 faulty, on 2 rays (the line): the PODC'16 strategy.
+//! let strat = CyclicExponential::optimal(2, 3, 1)?;
+//! let tours = strat.fleet_tours(100.0)?;
+//! assert_eq!(tours.len(), 3);
+//! // every excursion's turning point grows by alpha^k
+//! let turns: Vec<f64> = tours[0].excursions().iter().map(|e| e.turn).collect();
+//! for w in turns.windows(2) {
+//!     assert!(w[1] > w[0]);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod baselines;
+pub mod cow_path;
+pub mod cyclic;
+pub mod dedicated;
+pub mod random;
+pub mod traits;
+
+pub use baselines::{ReplicatedDoubling, ZonePartition};
+pub use cow_path::DoublingCowPath;
+pub use cyclic::{CyclicExponential, CyclicExponentialLine};
+pub use dedicated::DedicatedPlusSweeper;
+pub use error::StrategyError;
+pub use random::{Perturbed, RandomGeometric};
+pub use traits::{LineStrategy, RayStrategy};

@@ -1,0 +1,283 @@
+//! Seeded random strategies for falsification testing.
+//!
+//! Theorem 6 says *no* strategy beats `Λ(q/k)`. That is not checkable by
+//! enumeration, but it is falsifiable: the property-based tests throw
+//! thousands of randomized strategies at the evaluator and assert none of
+//! them ever lands below the bound. These types provide the randomness in
+//! reproducible, seeded form.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use raysearch_sim::{Excursion, RayId, RobotId, TourItinerary};
+
+use crate::{RayStrategy, StrategyError};
+
+/// A randomized geometric tour strategy: each robot gets its own seeded
+/// base and phase, and tours rays cyclically from a random offset.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_strategies::{RandomGeometric, RayStrategy};
+///
+/// let s = RandomGeometric::new(2, 3, 1, 42, (1.2, 3.0))?;
+/// let a = s.fleet_tours(50.0)?;
+/// let b = s.fleet_tours(50.0)?;
+/// assert_eq!(a, b); // fully deterministic in the seed
+/// # Ok::<(), raysearch_strategies::StrategyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RandomGeometric {
+    m: u32,
+    k: u32,
+    f: u32,
+    seed: u64,
+    alpha_lo: f64,
+    alpha_hi: f64,
+}
+
+impl RandomGeometric {
+    /// Creates a random geometric strategy family member.
+    ///
+    /// `alpha_range` bounds each robot's per-cycle growth base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidParameters`] if `m = 0`, `k = 0` or
+    /// the range is invalid (`1 < lo ≤ hi` required).
+    pub fn new(
+        m: u32,
+        k: u32,
+        f: u32,
+        seed: u64,
+        alpha_range: (f64, f64),
+    ) -> Result<Self, StrategyError> {
+        if m == 0 || k == 0 {
+            return Err(StrategyError::invalid("need m >= 1 and k >= 1"));
+        }
+        let (lo, hi) = alpha_range;
+        if !(lo.is_finite() && hi.is_finite() && 1.0 < lo && lo <= hi) {
+            return Err(StrategyError::invalid(format!(
+                "alpha range must satisfy 1 < lo <= hi, got ({lo}, {hi})"
+            )));
+        }
+        Ok(RandomGeometric {
+            m,
+            k,
+            f,
+            seed,
+            alpha_lo: lo,
+            alpha_hi: hi,
+        })
+    }
+
+    fn rng_for(&self, robot: usize) -> StdRng {
+        // Mix the robot index into the seed so robots are independent but
+        // the whole fleet is reproducible.
+        StdRng::seed_from_u64(self.seed ^ (robot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl RayStrategy for RandomGeometric {
+    fn name(&self) -> String {
+        format!(
+            "random-geometric(m={}, k={}, f={}, seed={})",
+            self.m, self.k, self.f, self.seed
+        )
+    }
+
+    fn num_rays(&self) -> usize {
+        self.m as usize
+    }
+
+    fn num_robots(&self) -> usize {
+        self.k as usize
+    }
+
+    fn tour(&self, robot: RobotId, horizon: f64) -> Result<TourItinerary, StrategyError> {
+        StrategyError::check_horizon(horizon)?;
+        if robot.index() >= self.k as usize {
+            return Err(StrategyError::invalid(format!(
+                "robot index {} out of range for k = {}",
+                robot.index(),
+                self.k
+            )));
+        }
+        let mut rng = self.rng_for(robot.index());
+        let alpha: f64 = rng.gen_range(self.alpha_lo..=self.alpha_hi);
+        let phase: f64 = rng.gen_range(0.05..=1.0);
+        let ray_offset: usize = rng.gen_range(0..self.m as usize);
+        let m = self.m as usize;
+
+        // Warm-up: start low enough that every ray is swept below distance
+        // 1 at least twice before real coverage begins.
+        let mut turn = phase;
+        while turn > 1.0 / (alpha * alpha) {
+            turn /= alpha;
+        }
+        for _ in 0..(2 * m) {
+            turn /= alpha;
+        }
+
+        let needed = self.f as usize + 2;
+        let mut beyond = vec![0usize; m];
+        let mut excursions = Vec::new();
+        let mut n = 0usize;
+        while beyond.iter().any(|&c| c < needed) {
+            let ray = RayId::new_unvalidated((ray_offset + n) % m);
+            excursions.push(Excursion::new(ray, turn)?);
+            if turn >= horizon {
+                beyond[ray.index()] += 1;
+            }
+            turn *= alpha;
+            n += 1;
+        }
+        Ok(TourItinerary::new(m, excursions)?)
+    }
+}
+
+/// A wrapper that perturbs every turning point of an inner strategy by a
+/// seeded multiplicative jitter in `[1/(1+eps), 1+eps]`.
+///
+/// Used to verify that the optimal strategy sits on a ridge: any jitter can
+/// only raise the measured competitive ratio (up to evaluation slack).
+///
+/// # Example
+///
+/// ```
+/// use raysearch_strategies::{CyclicExponential, Perturbed, RayStrategy};
+///
+/// let base = CyclicExponential::optimal(2, 1, 0)?;
+/// let jittered = Perturbed::new(base, 0.05, 7)?;
+/// let tour = jittered.tour(raysearch_sim::RobotId(0), 10.0)?;
+/// assert!(!tour.is_empty());
+/// # Ok::<(), raysearch_strategies::StrategyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Perturbed<S> {
+    inner: S,
+    eps: f64,
+    seed: u64,
+}
+
+impl<S: RayStrategy> Perturbed<S> {
+    /// Wraps `inner`, jittering turns by at most a factor `1 + eps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidParameters`] unless `0 < eps < 1`.
+    pub fn new(inner: S, eps: f64, seed: u64) -> Result<Self, StrategyError> {
+        if !(eps.is_finite() && 0.0 < eps && eps < 1.0) {
+            return Err(StrategyError::invalid(format!(
+                "perturbation must satisfy 0 < eps < 1, got {eps}"
+            )));
+        }
+        Ok(Perturbed { inner, eps, seed })
+    }
+
+    /// The wrapped strategy.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: RayStrategy> RayStrategy for Perturbed<S> {
+    fn name(&self) -> String {
+        format!("perturbed(eps={}, seed={}, {})", self.eps, self.seed, self.inner.name())
+    }
+
+    fn num_rays(&self) -> usize {
+        self.inner.num_rays()
+    }
+
+    fn num_robots(&self) -> usize {
+        self.inner.num_robots()
+    }
+
+    fn tour(&self, robot: RobotId, horizon: f64) -> Result<TourItinerary, StrategyError> {
+        // Ask the inner strategy for a slightly larger horizon so that the
+        // shrink direction of the jitter cannot pull coverage below the
+        // caller's horizon.
+        let tour = self.inner.tour(robot, horizon * (1.0 + self.eps))?;
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (robot.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let excursions = tour
+            .excursions()
+            .iter()
+            .map(|e| {
+                let factor: f64 = rng.gen_range((1.0 / (1.0 + self.eps))..=(1.0 + self.eps));
+                Excursion::new(e.ray, e.turn * factor)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TourItinerary::new(tour.num_rays(), excursions)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CyclicExponential;
+
+    #[test]
+    fn random_geometric_validation() {
+        assert!(RandomGeometric::new(0, 1, 0, 1, (1.5, 2.0)).is_err());
+        assert!(RandomGeometric::new(2, 0, 0, 1, (1.5, 2.0)).is_err());
+        assert!(RandomGeometric::new(2, 1, 0, 1, (1.0, 2.0)).is_err());
+        assert!(RandomGeometric::new(2, 1, 0, 1, (2.0, 1.5)).is_err());
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic() {
+        let s = RandomGeometric::new(3, 4, 1, 99, (1.3, 2.5)).unwrap();
+        assert_eq!(
+            s.tour(RobotId(2), 40.0).unwrap(),
+            s.tour(RobotId(2), 40.0).unwrap()
+        );
+        // different robots differ (with overwhelming probability)
+        assert_ne!(
+            s.tour(RobotId(0), 40.0).unwrap(),
+            s.tour(RobotId(1), 40.0).unwrap()
+        );
+    }
+
+    #[test]
+    fn random_geometric_warms_up_and_extends() {
+        let s = RandomGeometric::new(2, 2, 1, 5, (1.5, 2.0)).unwrap();
+        let tour = s.tour(RobotId(0), 30.0).unwrap();
+        let first = tour.excursions().first().unwrap().turn;
+        assert!(first < 1.0, "warm-up starts at {first}");
+        let last = tour.excursions().last().unwrap().turn;
+        assert!(last >= 30.0);
+    }
+
+    #[test]
+    fn random_geometric_turns_grow() {
+        let s = RandomGeometric::new(2, 1, 0, 11, (1.4, 1.9)).unwrap();
+        let tour = s.tour(RobotId(0), 25.0).unwrap();
+        for w in tour.excursions().windows(2) {
+            assert!(w[1].turn > w[0].turn);
+        }
+    }
+
+    #[test]
+    fn perturbed_stays_close_to_inner() {
+        let base = CyclicExponential::optimal(2, 3, 1).unwrap();
+        let p = Perturbed::new(base.clone(), 0.1, 3).unwrap();
+        let t_base = base.tour(RobotId(0), 20.0 * 1.1).unwrap();
+        let t_pert = p.tour(RobotId(0), 20.0).unwrap();
+        assert_eq!(t_base.len(), t_pert.len());
+        for (a, b) in t_base.excursions().iter().zip(t_pert.excursions()) {
+            assert_eq!(a.ray, b.ray);
+            let factor = b.turn / a.turn;
+            assert!(factor >= 1.0 / 1.1 - 1e-12 && factor <= 1.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn perturbed_validation() {
+        let base = CyclicExponential::optimal(2, 1, 0).unwrap();
+        assert!(Perturbed::new(base.clone(), 0.0, 1).is_err());
+        assert!(Perturbed::new(base.clone(), 1.0, 1).is_err());
+        assert!(Perturbed::new(base, 0.5, 1).is_ok());
+    }
+}

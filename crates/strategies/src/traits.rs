@@ -1,0 +1,156 @@
+//! The strategy traits.
+//!
+//! Both traits are object-safe so heterogeneous strategy collections can be
+//! benchmarked side by side (`Vec<Box<dyn LineStrategy>>`).
+
+use raysearch_sim::{LineItinerary, LineTrajectory, RayTrajectory, RobotId, TourItinerary};
+
+use crate::StrategyError;
+
+/// A deterministic strategy for `k` robots searching the real line.
+///
+/// # Horizon contract
+///
+/// `itinerary(robot, horizon)` must return a finite plan that *behaves like
+/// the infinite strategy* for every target with `1 ≤ |x| ≤ horizon`: all
+/// visits to such targets that the infinite strategy would ever make in
+/// finite time must be present, far enough past `horizon` that the
+/// `(f+1)`-st distinct-robot visit time of any such target is final.
+/// Implementations typically extend the plan until each side has been
+/// swept past `horizon` a fleet-dependent number of times.
+pub trait LineStrategy {
+    /// Short human-readable description (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Fleet size `k`.
+    fn num_robots(&self) -> usize;
+
+    /// The finite plan of one robot, valid for targets up to `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidHorizon`] for a non-finite or
+    /// sub-unit horizon, and implementation-specific errors otherwise.
+    fn itinerary(&self, robot: RobotId, horizon: f64) -> Result<LineItinerary, StrategyError>;
+
+    /// Plans for the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing robot's error.
+    fn fleet_itineraries(&self, horizon: f64) -> Result<Vec<LineItinerary>, StrategyError> {
+        (0..self.num_robots())
+            .map(|r| self.itinerary(RobotId(r), horizon))
+            .collect()
+    }
+
+    /// Compiled trajectories for the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LineStrategy::fleet_itineraries`] errors.
+    fn fleet_trajectories(&self, horizon: f64) -> Result<Vec<LineTrajectory>, StrategyError> {
+        Ok(self
+            .fleet_itineraries(horizon)?
+            .iter()
+            .map(LineTrajectory::compile)
+            .collect())
+    }
+}
+
+/// A deterministic strategy for `k` robots searching `m` rays.
+///
+/// The same horizon contract as [`LineStrategy`] applies, per ray.
+pub trait RayStrategy {
+    /// Short human-readable description (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Number of rays `m`.
+    fn num_rays(&self) -> usize;
+
+    /// Fleet size `k`.
+    fn num_robots(&self) -> usize;
+
+    /// The finite tour of one robot, valid for targets up to `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidHorizon`] for a non-finite or
+    /// sub-unit horizon, and implementation-specific errors otherwise.
+    fn tour(&self, robot: RobotId, horizon: f64) -> Result<TourItinerary, StrategyError>;
+
+    /// Tours for the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing robot's error.
+    fn fleet_tours(&self, horizon: f64) -> Result<Vec<TourItinerary>, StrategyError> {
+        (0..self.num_robots())
+            .map(|r| self.tour(RobotId(r), horizon))
+            .collect()
+    }
+
+    /// Compiled trajectories for the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RayStrategy::fleet_tours`] errors.
+    fn fleet_trajectories(&self, horizon: f64) -> Result<Vec<RayTrajectory>, StrategyError> {
+        Ok(self
+            .fleet_tours(horizon)?
+            .iter()
+            .map(RayTrajectory::compile)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysearch_sim::Direction;
+
+    /// A minimal strategy to exercise the default methods.
+    struct OneRobotOut;
+
+    impl LineStrategy for OneRobotOut {
+        fn name(&self) -> String {
+            "one-robot-out".to_owned()
+        }
+        fn num_robots(&self) -> usize {
+            2
+        }
+        fn itinerary(
+            &self,
+            robot: RobotId,
+            horizon: f64,
+        ) -> Result<LineItinerary, StrategyError> {
+            StrategyError::check_horizon(horizon)?;
+            let dir = if robot.index() == 0 {
+                Direction::Positive
+            } else {
+                Direction::Negative
+            };
+            Ok(LineItinerary::new(dir, vec![2.0 * horizon])?)
+        }
+    }
+
+    #[test]
+    fn default_fleet_methods() {
+        let s = OneRobotOut;
+        let its = s.fleet_itineraries(10.0).unwrap();
+        assert_eq!(its.len(), 2);
+        let trajs = s.fleet_trajectories(10.0).unwrap();
+        assert_eq!(trajs.len(), 2);
+        // robot 1 goes negative
+        assert!(trajs[1].first_visit(-10.0).is_some());
+        assert!(trajs[1].first_visit(10.0).is_none());
+        // horizon validation propagates
+        assert!(s.fleet_itineraries(0.0).is_err());
+    }
+
+    #[test]
+    fn traits_are_object_safe() {
+        let s: Box<dyn LineStrategy> = Box::new(OneRobotOut);
+        assert_eq!(s.num_robots(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Contract algorithms on k processors — the Bernstein–Finkelstein–
+//! Zilberstein connection from the paper's Section 3.
+//!
+//! A *contract algorithm* must be given its runtime in advance; stopping
+//! it early yields nothing. A scheduler runs contracts of increasing
+//! lengths for `m` problems on `k` processors; interrupted at time `T`
+//! and queried on problem `i`, it answers with the longest contract for
+//! `i` that has *completed*. The *acceleration ratio* is the worst-case
+//! `T / (answered contract length)`.
+//!
+//! Interpreting each problem as a ray turns schedules into robot tours,
+//! and the optimal acceleration ratio for `(m, k)` is the paper's master
+//! expression at `q = m + k`:
+//!
+//! ```text
+//! theta(m, k) = mu(m+k, k) = ((m+k)/k) · ((m+k)/m)^(m/k)
+//! ```
+//!
+//! (classically 4 for one processor and one problem — the doubling
+//! schedule). This example builds the geometric schedule, simulates
+//! adversarial interruptions, and compares the measured ratio with the
+//! closed form.
+//!
+//! ```text
+//! cargo run --example contract_scheduling
+//! ```
+
+use raysearch::bounds::mu_threshold;
+
+/// One completed contract: for which problem, how long, and when it
+/// finished.
+#[derive(Debug, Clone, Copy)]
+struct Completed {
+    problem: usize,
+    length: f64,
+    finish: f64,
+}
+
+/// Builds the geometric schedule for processor `r`: contracts of length
+/// `alpha^(k·n + m·r)` cycling over problems, and returns completions up
+/// to `horizon` wall-clock time.
+fn schedule_processor(
+    m: usize,
+    k: usize,
+    r: usize,
+    alpha: f64,
+    horizon: f64,
+) -> Vec<Completed> {
+    let mut out = Vec::new();
+    let mut clock = 0.0;
+    // warm-up start as in the search strategy: n from 1-2m
+    let mut n = 1 - 2 * m as i64;
+    loop {
+        let expo = k as f64 * n as f64 + m as f64 * (r as f64 + 1.0);
+        let length = (expo * alpha.ln()).exp();
+        clock += length;
+        if clock > horizon {
+            return out;
+        }
+        out.push(Completed {
+            problem: n.rem_euclid(m as i64) as usize,
+            length,
+            finish: clock,
+        });
+        n += 1;
+    }
+}
+
+/// Measures the acceleration ratio over adversarial interruptions: just
+/// before each completion, query that completion's problem.
+fn measured_acceleration(completions: &mut Vec<Completed>, m: usize, settle: f64) -> f64 {
+    completions.sort_by(|a, b| a.finish.total_cmp(&b.finish));
+    let mut best_done = vec![0.0f64; m];
+    let mut worst: f64 = 0.0;
+    for c in completions.iter() {
+        // interrupt immediately before c completes and ask for c.problem
+        if c.finish > settle && best_done[c.problem] > 0.0 {
+            worst = worst.max(c.finish / best_done[c.problem]);
+        }
+        best_done[c.problem] = best_done[c.problem].max(c.length);
+    }
+    worst
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("contract scheduling: measured vs optimal acceleration ratio\n");
+    println!("  m   k    theta (theory)   measured");
+    for (m, k) in [(1u32, 1u32), (2, 1), (3, 1), (1, 2), (3, 2), (4, 3)] {
+        let q = m + k;
+        let theory = mu_threshold(k, q)?;
+        // the optimal geometric base: alpha^k = (m+k)/m
+        let alpha = (f64::from(q) / f64::from(m)).powf(1.0 / f64::from(k));
+        let horizon = 1e7;
+        let mut completions: Vec<Completed> = (0..k as usize)
+            .flat_map(|r| schedule_processor(m as usize, k as usize, r, alpha, horizon))
+            .collect();
+        let measured = measured_acceleration(&mut completions, m as usize, horizon / 100.0);
+        println!("  {m}   {k}    {theory:>12.6}    {measured:>9.6}");
+        assert!(
+            measured <= theory * (1.0 + 1e-6),
+            "measured acceleration exceeds the optimum"
+        );
+        assert!(
+            measured >= theory * (1.0 - 1e-2),
+            "schedule does not realize the optimal ratio"
+        );
+    }
+    println!("\nclassic sanity check: one processor, one problem  =>  theta = 4 (doubling).");
+    Ok(())
+}

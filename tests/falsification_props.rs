@@ -1,0 +1,122 @@
+//! Property-based falsification of the lower bounds and invariants of the
+//! substrates, using proptest across crates.
+
+use proptest::prelude::*;
+use raysearch::bounds::{c_orc, lambda_big, lambda_to_mu, mu_threshold};
+use raysearch::cover::settings::{merge_fleet_intervals, OrcSetting, PmSetting};
+use raysearch::cover::standardize::{canonicalize, pm_covers_at_least};
+use raysearch::cover::CoverageProfile;
+use raysearch::sim::{Direction, LineItinerary, LineTrajectory};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Λ is increasing and dominated by the trivial 2η+... sanity band:
+    /// 2η + 1 <= Λ(η) (AM-GM-ish) and Λ(η) <= 2·e·η^η for η in (1, 4].
+    #[test]
+    fn lambda_band(eta in 1.0001f64..4.0) {
+        let v = lambda_big(eta).unwrap();
+        prop_assert!(v >= 2.0 * eta + 1.0 - 1e-9);
+        let crude = 2.0 * eta.powf(eta) * std::f64::consts::E + 1.0;
+        prop_assert!(v <= crude);
+    }
+
+    /// Scale invariance of the threshold under integer scaling.
+    #[test]
+    fn mu_threshold_scales(k in 1u32..20, extra in 1u32..20, c in 1u32..5) {
+        let q = k + extra;
+        let a = mu_threshold(k, q).unwrap();
+        let b = mu_threshold(c * k, c * q).unwrap();
+        prop_assert!((a - b).abs() < 1e-9 * a.max(1.0));
+    }
+
+    /// C(k, q) is achieved by the formula from both printed forms.
+    #[test]
+    fn c_orc_forms_agree(k in 1u32..12, extra in 1u32..12) {
+        let q = k + extra;
+        let v = c_orc(k, q).unwrap();
+        let eta = f64::from(q) / f64::from(k);
+        prop_assert!((v - lambda_big(eta).unwrap()).abs() < 1e-9);
+    }
+
+    /// Trajectory compilation round-trips: position at a visit time is the
+    /// visited coordinate.
+    #[test]
+    fn visit_position_consistency(
+        turns in prop::collection::vec(0.1f64..50.0, 1..12),
+        x_frac in 0.01f64..0.99,
+    ) {
+        let it = LineItinerary::new(Direction::Positive, turns.clone()).unwrap();
+        let traj = LineTrajectory::compile(&it);
+        let reach = traj.max_reach(Direction::Positive);
+        prop_assume!(reach > 0.2);
+        let x = reach * x_frac;
+        if let Some(t) = traj.first_visit(x) {
+            let pos = traj.position_at(t);
+            prop_assert!((pos.coordinate() - x).abs() < 1e-9);
+        }
+        for v in traj.visits_coord(x) {
+            let pos = traj.position_at(v.time);
+            prop_assert!((pos.coordinate() - x).abs() < 1e-9);
+        }
+    }
+
+    /// Canonicalization never loses λ-coverage (with a settled tail).
+    #[test]
+    fn canonicalize_preserves_coverage(
+        mut turns in prop::collection::vec(0.2f64..30.0, 2..10),
+        lambda in 3.0f64..15.0,
+    ) {
+        // append a long settled tail, modelling the infinite strategy
+        let max = turns.iter().cloned().fold(0.0f64, f64::max);
+        turns.push(max * 8.0);
+        turns.push(max * 16.0);
+        turns.push(max * 32.0);
+        let cleaned = canonicalize(&turns).unwrap();
+        let probes: Vec<f64> = (1..40).map(|i| max * f64::from(i) / 40.0).collect();
+        prop_assert!(
+            pm_covers_at_least(&turns, &cleaned, lambda, &probes).unwrap(),
+            "coverage lost: {turns:?} -> {cleaned:?}"
+        );
+    }
+
+    /// The ±-cover interval formula matches trajectory ground truth on
+    /// geometric strategies of random base.
+    #[test]
+    fn pm_formula_matches_ground_truth(base in 1.2f64..3.0, lambda in 4.0f64..12.0) {
+        let mu = lambda_to_mu(lambda).unwrap();
+        let turns: Vec<f64> = (0..14).map(|i| base.powi(i)).collect();
+        let extended: Vec<f64> = (0..16).map(|i| base.powi(i)).collect();
+        let ivs = PmSetting::covered_intervals(&turns, mu).unwrap();
+        let mut x = 0.51;
+        while x < base.powi(10) {
+            let by_formula = ivs.iter().any(|iv| iv.contains(x));
+            let truth = PmSetting::is_lambda_covered(&extended, x, lambda).unwrap();
+            prop_assert_eq!(by_formula, truth, "x = {}", x);
+            x *= 1.37;
+        }
+    }
+
+    /// No random geometric fleet ever q-fold ORC-covers below C(k, q):
+    /// the falsification side of Theorem 6, hammered with random bases.
+    #[test]
+    fn random_fleets_fail_below_bound(seed in 0u64..500) {
+        use raysearch::strategies::{RandomGeometric, RayStrategy};
+        let (m, k, f) = (3u32, 2u32, 0u32);
+        let q = (m * (f + 1)) as usize;
+        let lambda = 0.97 * c_orc(k, m * (f + 1)).unwrap();
+        let mu = lambda_to_mu(lambda).unwrap();
+        let strategy = RandomGeometric::new(m, k, f, seed, (1.05, 4.0)).unwrap();
+        let fleet = strategy.fleet_tours(2e4).unwrap();
+        let per_robot: Vec<_> = fleet
+            .iter()
+            .map(|t| OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(t), mu).unwrap())
+            .collect();
+        let merged = merge_fleet_intervals(per_robot);
+        let profile = CoverageProfile::build(&merged, 1.0, 5e3).unwrap();
+        prop_assert!(
+            profile.first_undercovered(q).is_some(),
+            "seed {} beat the bound", seed
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration tests for the lower-bound machinery: standardization,
+//! exact assignment and the potential function, run on *real* strategies
+//! from the strategies crate (the unit tests inside `raysearch-cover` use
+//! hand-built fleets).
+
+use raysearch::bounds::{delta_growth, lambda_to_mu, mu_threshold, RayInstance};
+use raysearch::cover::potential::{PotentialSeries, Setting};
+use raysearch::cover::settings::OrcSetting;
+use raysearch::cover::ExactAssigner;
+use raysearch::strategies::{CyclicExponential, RayStrategy};
+
+fn per_robot_intervals(
+    strategy: &CyclicExponential,
+    mu: f64,
+    horizon: f64,
+) -> Vec<Vec<raysearch::cover::settings::CoveredInterval>> {
+    strategy
+        .fleet_tours(horizon)
+        .unwrap()
+        .iter()
+        .enumerate()
+        .map(|(r, tour)| {
+            let mut ivs =
+                OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(tour), mu).unwrap();
+            for iv in &mut ivs {
+                iv.robot = r;
+            }
+            ivs
+        })
+        .collect()
+}
+
+/// The optimal strategy admits an exact q-fold assignment at its own
+/// lambda (slightly above, for slack), and the potential's mean step
+/// ratio hovers at 1 — the quantitative signature of tightness.
+#[test]
+fn optimal_strategy_assignment_and_potential_at_threshold() {
+    for (m, k, f) in [(2u32, 1u32, 0u32), (2, 3, 1), (3, 2, 0)] {
+        let instance = RayInstance::new(m, k, f).unwrap();
+        let q = instance.q();
+        let mu_star = mu_threshold(k, q).unwrap();
+        let mu = 1.04 * mu_star;
+        let strategy = CyclicExponential::optimal(m, k, f).unwrap();
+        let per_robot = per_robot_intervals(&strategy, mu, 4e4);
+        let (assignment, stuck) = ExactAssigner::new(q as usize, mu)
+            .unwrap()
+            .assign_partial(&per_robot, 1e4)
+            .unwrap();
+        assert!(
+            stuck.is_none(),
+            "(m={m},k={k},f={f}): optimal strategy stuck above threshold at {stuck:?}"
+        );
+        let series = PotentialSeries::compute(&assignment, Setting::Orc { q }).unwrap();
+        let report = series.growth_report(k as usize, q - k, mu).unwrap();
+        assert!(
+            report.satisfies_lemma5(1e-9),
+            "(m={m},k={k},f={f}): min ratio {} below delta {}",
+            report.min_step_ratio,
+            report.theoretical_delta
+        );
+        assert!(
+            (report.mean_step_ratio - 1.0).abs() < 0.3,
+            "(m={m},k={k},f={f}): mean ratio {} far from 1",
+            report.mean_step_ratio
+        );
+    }
+}
+
+/// Below the threshold the same machinery refuses: the assignment gets
+/// stuck, and while it lives every potential step grows by at least the
+/// Lemma 5 delta.
+#[test]
+fn sub_threshold_assignment_dies_with_growing_potential() {
+    let (m, k, f) = (2u32, 3u32, 1u32);
+    let q = m * (f + 1);
+    let mu_star = mu_threshold(k, q).unwrap();
+    let mu = 0.93 * mu_star;
+    let delta = delta_growth(mu, q - k, k).unwrap();
+    assert!(delta > 1.0);
+
+    let strategy = CyclicExponential::optimal(m, k, f).unwrap();
+    let per_robot = per_robot_intervals(&strategy, mu, 1e6);
+    let (assignment, stuck) = ExactAssigner::new(q as usize, mu)
+        .unwrap()
+        .assign_partial(&per_robot, 1e5)
+        .unwrap();
+    assert!(stuck.is_some(), "sub-threshold cover must die");
+    if let Ok(series) = PotentialSeries::compute(&assignment, Setting::Orc { q }) {
+        let report = series.growth_report(k as usize, q - k, mu).unwrap();
+        assert!(
+            report.satisfies_lemma5(1e-9),
+            "min ratio {} below delta {}",
+            report.min_step_ratio,
+            report.theoretical_delta
+        );
+    }
+}
+
+/// How far a sub-threshold cover can reach shrinks as lambda drops — the
+/// quantitative shadow of "N(eps) grows as eps -> 0" in ineq. (12).
+#[test]
+fn stuck_frontier_moves_inward_as_lambda_drops() {
+    let (m, k, f) = (2u32, 1u32, 0u32);
+    let q = m * (f + 1);
+    let strategy = CyclicExponential::optimal(m, k, f).unwrap();
+    let mut last_frontier = f64::INFINITY;
+    for factor in [0.995, 0.95, 0.85, 0.7] {
+        let mu = factor * mu_threshold(k, q).unwrap();
+        let per_robot = per_robot_intervals(&strategy, mu, 1e8);
+        let (assignment, stuck) = ExactAssigner::new(q as usize, mu)
+            .unwrap()
+            .assign_partial(&per_robot, 1e7)
+            .unwrap();
+        assert!(stuck.is_some(), "factor {factor} should be sub-threshold");
+        assert!(
+            assignment.frontier <= last_frontier,
+            "frontier {} did not shrink at factor {factor}",
+            assignment.frontier
+        );
+        last_frontier = assignment.frontier;
+    }
+    // at 30% below the threshold the cover dies almost immediately
+    assert!(last_frontier < 100.0);
+}
+
+/// Standardization interplay: the line view of the optimal strategy is
+/// already standardized — canonicalize and drop_unfruitful are identities
+/// on it.
+#[test]
+fn optimal_line_strategy_is_already_standard() {
+    use raysearch::cover::standardize::{canonicalize, drop_unfruitful_pm};
+    use raysearch::strategies::LineStrategy;
+
+    let (k, f) = (3u32, 1u32);
+    let lambda = raysearch::bounds::a_line(k, f).unwrap();
+    let mu = lambda_to_mu(lambda * 1.01).unwrap();
+    let strategy = CyclicExponential::optimal(2, k, f).unwrap().to_line().unwrap();
+    for itinerary in strategy.fleet_itineraries(1e4).unwrap() {
+        let turns = itinerary.turns().to_vec();
+        let canon = canonicalize(&turns).unwrap();
+        assert_eq!(canon, turns, "canonicalize altered an optimal plan");
+        let fruitful = drop_unfruitful_pm(&canon, mu).unwrap();
+        assert_eq!(fruitful, turns, "optimal plan had unfruitful rounds");
+    }
+}
