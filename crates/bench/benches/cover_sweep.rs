@@ -35,7 +35,9 @@ fn bench_interval_extraction(c: &mut Criterion) {
         b.iter(|| {
             let mut n = 0;
             for t in &turns {
-                n += OrcSetting::covered_intervals(black_box(t), 2.11).unwrap().len();
+                n += OrcSetting::covered_intervals(black_box(t), 2.11)
+                    .unwrap()
+                    .len();
             }
             black_box(n)
         })
@@ -73,5 +75,10 @@ fn bench_witness_query(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_interval_extraction, bench_sweep, bench_witness_query);
+criterion_group!(
+    benches,
+    bench_interval_extraction,
+    bench_sweep,
+    bench_witness_query
+);
 criterion_main!(benches);

@@ -6,7 +6,10 @@ use raysearch_sim::{LinePoint, LineTrajectory, VisitEngine};
 use raysearch_strategies::{CyclicExponential, LineStrategy};
 
 fn engine(k: u32, f: u32, horizon: f64) -> VisitEngine<LineTrajectory> {
-    let strategy = CyclicExponential::optimal(2, k, f).unwrap().to_line().unwrap();
+    let strategy = CyclicExponential::optimal(2, k, f)
+        .unwrap()
+        .to_line()
+        .unwrap();
     VisitEngine::new(
         strategy
             .fleet_itineraries(horizon)

@@ -8,7 +8,10 @@ use raysearch_strategies::{CyclicExponential, LineStrategy};
 fn bench_eval_by_fleet(c: &mut Criterion) {
     let mut group = c.benchmark_group("eval_line/by_fleet");
     for &(k, f) in &[(1u32, 0u32), (3, 1), (5, 2), (7, 3)] {
-        let strategy = CyclicExponential::optimal(2, k, f).unwrap().to_line().unwrap();
+        let strategy = CyclicExponential::optimal(2, k, f)
+            .unwrap()
+            .to_line()
+            .unwrap();
         let fleet = strategy.fleet_itineraries(1e5).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("k{k}_f{f}")),
@@ -24,7 +27,10 @@ fn bench_eval_by_fleet(c: &mut Criterion) {
 
 fn bench_eval_by_horizon(c: &mut Criterion) {
     let mut group = c.benchmark_group("eval_line/by_horizon");
-    let strategy = CyclicExponential::optimal(2, 3, 1).unwrap().to_line().unwrap();
+    let strategy = CyclicExponential::optimal(2, 3, 1)
+        .unwrap()
+        .to_line()
+        .unwrap();
     for &hi in &[1e3, 1e5, 1e7] {
         let fleet = strategy.fleet_itineraries(hi * 10.0).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(hi), &fleet, |b, fleet| {
@@ -36,7 +42,10 @@ fn bench_eval_by_horizon(c: &mut Criterion) {
 }
 
 fn bench_detection_queries(c: &mut Criterion) {
-    let strategy = CyclicExponential::optimal(2, 5, 2).unwrap().to_line().unwrap();
+    let strategy = CyclicExponential::optimal(2, 5, 2)
+        .unwrap()
+        .to_line()
+        .unwrap();
     let fleet = strategy.fleet_itineraries(1e5).unwrap();
     let evaluator = LineEvaluator::new(2, 1.0, 1e4).unwrap();
     c.bench_function("eval_line/detection_time_1k_points", |b| {

@@ -10,7 +10,7 @@
 //! experiment id) instead of text tables.
 
 use raysearch_bench::experiments::{
-    self, e1_theorem1, e10_boundary, e2_regimes, e3_byzantine, e4_rays, e5_alpha, e6_potential,
+    self, e10_boundary, e1_theorem1, e2_regimes, e3_byzantine, e4_rays, e5_alpha, e6_potential,
     e7_orc, e8_fractional, e9_applications,
 };
 
@@ -63,7 +63,10 @@ fn main() {
         }
     }
     if want("e3") {
-        header("e3", "Byzantine bands: B(k,f) >= A(k,f), conservative UB A(k,2f)");
+        header(
+            "e3",
+            "Byzantine bands: B(k,f) >= A(k,f), conservative UB A(k,2f)",
+        );
         let rows = e3_byzantine::run(8);
         if json {
             emit_json("e3", &rows);
@@ -72,7 +75,10 @@ fn main() {
         }
     }
     if want("e4") {
-        header("e4", "Theorem 6: A(m,k,f) grid (f = 0 rows answer the open question)");
+        header(
+            "e4",
+            "Theorem 6: A(m,k,f) grid (f = 0 rows answer the open question)",
+        );
         let rows = e4_rays::run(6, 7, 5e3);
         if json {
             emit_json("e4", &rows);
@@ -81,7 +87,10 @@ fn main() {
         }
     }
     if want("e5") {
-        header("e5", "alpha ablation: ratio vs geometric base, minimum at alpha*");
+        header(
+            "e5",
+            "alpha ablation: ratio vs geometric base, minimum at alpha*",
+        );
         for (m, k, f) in [(2u32, 1u32, 0u32), (2, 3, 1), (3, 4, 1)] {
             let rows = e5_alpha::run(m, k, f, 4, 5e3);
             if json {
@@ -110,13 +119,7 @@ fn main() {
     if want("e7") {
         header("e7", "sub-threshold cover reach vs lambda (ineq. (12))");
         for (m, k, f) in [(2u32, 1u32, 0u32), (3, 2, 0)] {
-            let rows = e7_orc::run(
-                m,
-                k,
-                f,
-                &[1.02, 0.999, 0.995, 0.98, 0.95, 0.9, 0.8],
-                1e5,
-            );
+            let rows = e7_orc::run(m, k, f, &[1.02, 0.999, 0.995, 0.98, 0.95, 0.9, 0.8], 1e5);
             if json {
                 emit_json("e7", &rows);
             } else {
@@ -126,11 +129,11 @@ fn main() {
         }
     }
     if want("e8") {
-        header("e8", "fractional C(eta) and the rational sandwich (Eq. (11))");
-        let rows = e8_fractional::run(
-            &[1.25, 1.5, 1.75, 2.0, std::f64::consts::E, 3.0, 3.5],
-            64,
+        header(
+            "e8",
+            "fractional C(eta) and the rational sandwich (Eq. (11))",
         );
+        let rows = e8_fractional::run(&[1.25, 1.5, 1.75, 2.0, std::f64::consts::E, 3.0, 3.5], 64);
         if json {
             emit_json("e8", &rows);
         } else {
@@ -138,7 +141,10 @@ fn main() {
         }
     }
     if want("e9") {
-        header("e9", "applications: contract scheduling & hybrid algorithms");
+        header(
+            "e9",
+            "applications: contract scheduling & hybrid algorithms",
+        );
         let rows = e9_applications::run(&[(1, 1), (2, 1), (3, 1), (3, 2), (4, 3), (5, 3)], 1e6);
         if json {
             emit_json("e9", &rows);
@@ -147,7 +153,10 @@ fn main() {
         }
     }
     if want("e10") {
-        header("e10", "boundaries: rho -> 1+ discontinuity and the rho = 2 cow path");
+        header(
+            "e10",
+            "boundaries: rho -> 1+ discontinuity and the rho = 2 cow path",
+        );
         let rho_rows = e10_boundary::run_rho(12);
         let base_rows = e10_boundary::run_bases(&[1.3, 1.5, 1.8, 2.0, 2.2, 2.5, 3.0, 4.0], 1e4);
         if json {
@@ -161,9 +170,6 @@ fn main() {
     }
 
     if !json {
-        println!(
-            "\nexperiments available: {}",
-            experiments::ALL.join(", ")
-        );
+        println!("\nexperiments available: {}", experiments::ALL.join(", "));
     }
 }

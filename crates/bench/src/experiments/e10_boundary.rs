@@ -68,7 +68,9 @@ pub fn run_bases(bases: &[f64], horizon: f64) -> Vec<BaseRow> {
         .iter()
         .map(|&base| {
             let cow = DoublingCowPath::new(base).expect("base > 1");
-            let fleet = cow.fleet_itineraries(horizon * 10.0).expect("valid horizon");
+            let fleet = cow
+                .fleet_itineraries(horizon * 10.0)
+                .expect("valid horizon");
             let measured = LineEvaluator::new(0, 1.0, horizon)
                 .expect("valid range")
                 .evaluate(&fleet)
@@ -85,7 +87,11 @@ pub fn run_bases(bases: &[f64], horizon: f64) -> Vec<BaseRow> {
 
 /// Renders the `ρ → 1⁺` series.
 pub fn rho_table(rows: &[RhoRow]) -> Table {
-    let mut t = Table::new(["k", "eta = (k+1)/k", "Lambda(eta)"].map(String::from).to_vec());
+    let mut t = Table::new(
+        ["k", "eta = (k+1)/k", "Lambda(eta)"]
+            .map(String::from)
+            .to_vec(),
+    );
     for r in rows {
         t.push(vec![
             r.k.to_string(),
@@ -98,7 +104,11 @@ pub fn rho_table(rows: &[RhoRow]) -> Table {
 
 /// Renders the base sweep.
 pub fn base_table(rows: &[BaseRow]) -> Table {
-    let mut t = Table::new(["base", "1+2b^2/(b-1)", "measured"].map(String::from).to_vec());
+    let mut t = Table::new(
+        ["base", "1+2b^2/(b-1)", "measured"]
+            .map(String::from)
+            .to_vec(),
+    );
     for r in rows {
         t.push(vec![
             format!("{:.3}", r.base),

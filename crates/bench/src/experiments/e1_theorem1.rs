@@ -81,9 +81,17 @@ pub fn run(max_k: u32, horizon: f64) -> Vec<Row> {
 /// Renders the E1 table.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        ["k", "f", "rho", "A(k,f) closed", "numeric min", "measured", "baseline(9)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "f",
+            "rho",
+            "A(k,f) closed",
+            "numeric min",
+            "measured",
+            "baseline(9)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for r in rows {
         t.push(vec![

@@ -41,14 +41,15 @@ pub fn run(max_k: u32) -> Vec<Row> {
         .expect("grid parameters are valid")
         .into_iter()
         .map(|r| {
-            let conservative_upper = LineInstance::new(r.k, (2 * r.f).min(r.k))
-                .ok()
-                .and_then(|i| match i.regime() {
-                    Regime::Searchable { .. } if 2 * r.f < r.k => {
-                        Some(a_line(r.k, 2 * r.f).expect("searchable"))
-                    }
-                    _ => None,
-                });
+            let conservative_upper =
+                LineInstance::new(r.k, (2 * r.f).min(r.k))
+                    .ok()
+                    .and_then(|i| match i.regime() {
+                        Regime::Searchable { .. } if 2 * r.f < r.k => {
+                            Some(a_line(r.k, 2 * r.f).expect("searchable"))
+                        }
+                        _ => None,
+                    });
             Row {
                 k: r.k,
                 f: r.f,
@@ -63,9 +64,15 @@ pub fn run(max_k: u32) -> Vec<Row> {
 /// Renders the E3 table.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        ["k", "f", "prior LB", "new LB = A(k,f)", "conservative UB = A(k,2f)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "k",
+            "f",
+            "prior LB",
+            "new LB = A(k,f)",
+            "conservative UB = A(k,2f)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for r in rows {
         t.push(vec![

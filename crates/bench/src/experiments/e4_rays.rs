@@ -74,9 +74,18 @@ pub fn run(max_m: u32, max_k: u32, horizon: f64) -> Vec<Row> {
 /// Renders the E4 table.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        ["m", "k", "f", "q", "eta", "A(m,k,f)", "measured", "A(k,f) [m=2]"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "m",
+            "k",
+            "f",
+            "q",
+            "eta",
+            "A(m,k,f)",
+            "measured",
+            "A(k,f) [m=2]",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for r in rows {
         t.push(vec![

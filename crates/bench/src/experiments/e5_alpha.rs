@@ -79,7 +79,11 @@ pub fn table(rows: &[Row]) -> Table {
             r.k.to_string(),
             r.f.to_string(),
             format!("{:.6}", r.alpha),
-            if r.is_optimal { "*".to_owned() } else { String::new() },
+            if r.is_optimal {
+                "*".to_owned()
+            } else {
+                String::new()
+            },
             fnum(r.formula),
             fnum(r.measured),
         ]);

@@ -99,9 +99,17 @@ pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], target: f64) -> Vec<Row> {
 /// Renders the E6 series.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        ["mu/mu*", "mu", "delta", "min growth", "mean growth", "steps", "died at"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "mu/mu*",
+            "mu",
+            "delta",
+            "min growth",
+            "mean growth",
+            "steps",
+            "died at",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for r in rows {
         t.push(vec![

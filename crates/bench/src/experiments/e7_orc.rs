@@ -60,8 +60,7 @@ pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], horizon: f64) -> Vec<Row> 
                 })
                 .collect();
             let merged = merge_fleet_intervals(per_robot.clone());
-            let profile =
-                CoverageProfile::build(&merged, 1.0, horizon).expect("valid range");
+            let profile = CoverageProfile::build(&merged, 1.0, horizon).expect("valid range");
             let sweep_witness = profile.first_undercovered(q);
             let (_, stuck_frontier) = ExactAssigner::new(q, mu)
                 .expect("valid q, mu")
@@ -80,9 +79,14 @@ pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], horizon: f64) -> Vec<Row> 
 /// Renders the E7 series.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        ["lambda/lambda0", "lambda", "sweep witness", "assignment stuck at"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "lambda/lambda0",
+            "lambda",
+            "sweep witness",
+            "assignment stuck at",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for r in rows {
         t.push(vec![
@@ -113,7 +117,11 @@ mod tests {
         let mut last = f64::INFINITY;
         for r in &rows[1..] {
             let w = r.sweep_witness.expect("sub-threshold must fail");
-            assert!(w <= last * (1.0 + 1e-9), "witness moved outward at {}", r.lambda_fraction);
+            assert!(
+                w <= last * (1.0 + 1e-9),
+                "witness moved outward at {}",
+                r.lambda_fraction
+            );
             last = w;
             // the assignment agrees qualitatively
             assert!(r.stuck_frontier.is_some());

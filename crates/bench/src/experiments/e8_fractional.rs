@@ -44,9 +44,16 @@ pub fn run(etas: &[f64], max_k: u32) -> Vec<Row> {
 /// Renders the E8 table.
 pub fn table(rows: &[Row]) -> Table {
     let mut t = Table::new(
-        ["eta", "C(eta)", "lower q/k", "lower value", "upper q/k", "upper value"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "eta",
+            "C(eta)",
+            "lower q/k",
+            "lower value",
+            "upper q/k",
+            "upper value",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for r in rows {
         let fmt_step = |s: &Option<RationalStep>| match s {

@@ -1,7 +1,7 @@
 //! The executable experiment suite (see crate docs for the index).
 
-pub mod e1_theorem1;
 pub mod e10_boundary;
+pub mod e1_theorem1;
 pub mod e2_regimes;
 pub mod e3_byzantine;
 pub mod e4_rays;
@@ -12,6 +12,4 @@ pub mod e8_fractional;
 pub mod e9_applications;
 
 /// Identifiers of all experiments, in order.
-pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-];
+pub const ALL: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

@@ -256,7 +256,10 @@ mod tests {
     #[test]
     fn line_regimes_match_paper_case_analysis() {
         // k = f: impossible
-        assert_eq!(LineInstance::new(3, 3).unwrap().regime(), Regime::Impossible);
+        assert_eq!(
+            LineInstance::new(3, 3).unwrap().regime(),
+            Regime::Impossible
+        );
         // k >= 2(f+1): trivial
         assert_eq!(LineInstance::new(4, 1).unwrap().regime(), Regime::Trivial);
         assert_eq!(LineInstance::new(9, 2).unwrap().regime(), Regime::Trivial);
@@ -292,7 +295,10 @@ mod tests {
         assert!(RayInstance::new(0, 1, 0).is_err());
         assert!(RayInstance::new(3, 0, 0).is_err());
         assert!(RayInstance::new(3, 1, 2).is_err());
-        assert_eq!(RayInstance::new(3, 2, 2).unwrap().regime(), Regime::Impossible);
+        assert_eq!(
+            RayInstance::new(3, 2, 2).unwrap().regime(),
+            Regime::Impossible
+        );
         assert_eq!(RayInstance::new(3, 6, 1).unwrap().regime(), Regime::Trivial);
         assert_eq!(RayInstance::new(1, 1, 0).unwrap().regime(), Regime::Trivial);
         match RayInstance::new(3, 5, 1).unwrap().regime() {
@@ -320,7 +326,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(LineInstance::new(3, 1).unwrap().to_string(), "line(k=3, f=1)");
+        assert_eq!(
+            LineInstance::new(3, 1).unwrap().to_string(),
+            "line(k=3, f=1)"
+        );
         assert_eq!(
             RayInstance::new(4, 3, 1).unwrap().to_string(),
             "rays(m=4, k=3, f=1)"

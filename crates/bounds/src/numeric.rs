@@ -87,12 +87,7 @@ pub fn golden_section_min(
 /// assert!((r - 2f64.sqrt()).abs() < 1e-10);
 /// # Ok::<(), raysearch_bounds::BoundsError>(())
 /// ```
-pub fn bisect_root(
-    f: impl Fn(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> Result<f64, BoundsError> {
+pub fn bisect_root(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<f64, BoundsError> {
     if !(a.is_finite() && b.is_finite() && a < b) {
         return Err(BoundsError::OutOfDomain {
             name: "interval",

@@ -121,7 +121,15 @@ mod tests {
 
     #[test]
     fn min_gamma_equals_mu_threshold() {
-        for (q, k) in [(2u32, 1u32), (3, 1), (3, 2), (4, 3), (6, 5), (9, 4), (12, 7)] {
+        for (q, k) in [
+            (2u32, 1u32),
+            (3, 1),
+            (3, 2),
+            (4, 3),
+            (6, 5),
+            (9, 4),
+            (12, 7),
+        ] {
             let g = min_gamma(q, k).unwrap();
             let mu = mu_threshold(k, q).unwrap();
             assert!(

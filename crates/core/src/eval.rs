@@ -142,18 +142,35 @@ fn check_range(lo: f64, hi: f64) -> Result<(), CoreError> {
     Ok(())
 }
 
+/// Mutable state threaded through the per-domain sup computations: the
+/// running worst target, the first uncovered witness, and the breakpoint
+/// count.
+#[derive(Debug, Default)]
+struct SupAccum {
+    best: Option<WorstTarget>,
+    uncovered: Option<WorstTarget>,
+    examined: usize,
+}
+
+impl SupAccum {
+    /// Finalizes the accumulated state into an [`EvalReport`].
+    fn into_report(self) -> EvalReport {
+        EvalReport {
+            ratio: match (&self.uncovered, &self.best) {
+                (Some(_), _) => f64::INFINITY,
+                (None, Some(w)) => w.detection_limit / w.x,
+                (None, None) => f64::INFINITY,
+            },
+            worst: self.best,
+            uncovered: self.uncovered,
+            num_breakpoints: self.examined,
+        }
+    }
+}
+
 /// Core sup computation over one domain (side or ray) given per-robot
 /// piece functions.
-fn sup_over_domain(
-    per_robot: &[Pieces],
-    f: u32,
-    lo: f64,
-    hi: f64,
-    ray: usize,
-    best: &mut Option<WorstTarget>,
-    uncovered: &mut Option<WorstTarget>,
-    examined: &mut usize,
-) {
+fn sup_over_domain(per_robot: &[Pieces], f: u32, lo: f64, hi: f64, ray: usize, acc: &mut SupAccum) {
     let needed = f as usize + 1;
     // candidate left-ends: lo plus all piece boundaries in (lo, hi)
     let mut bs: Vec<f64> = vec![lo];
@@ -165,7 +182,7 @@ fn sup_over_domain(
 
     let mut constants: Vec<f64> = Vec::with_capacity(per_robot.len());
     for (i, &b) in bs.iter().enumerate() {
-        *examined += 1;
+        acc.examined += 1;
         let next = bs.get(i + 1).copied().unwrap_or(hi);
         // an interior probe point of (b, next): no boundary lies inside,
         // so every robot's constant is uniform on the whole open segment
@@ -173,8 +190,8 @@ fn sup_over_domain(
         constants.clear();
         constants.extend(per_robot.iter().filter_map(|p| p.constant_at(probe)));
         if constants.len() < needed {
-            if uncovered.is_none() {
-                *uncovered = Some(WorstTarget {
+            if acc.uncovered.is_none() {
+                acc.uncovered = Some(WorstTarget {
                     ray,
                     x: probe,
                     detection_limit: f64::INFINITY,
@@ -190,12 +207,12 @@ fn sup_over_domain(
             detection_limit: c + b,
         };
         let ratio = candidate.detection_limit / candidate.x;
-        let better = match best {
+        let better = match &acc.best {
             Some(w) => ratio > w.detection_limit / w.x,
             None => true,
         };
         if better {
-            *best = Some(candidate);
+            acc.best = Some(candidate);
         }
     }
 }
@@ -248,35 +265,12 @@ impl LineEvaluator {
                 fleet.len()
             )));
         }
-        let mut best = None;
-        let mut uncovered = None;
-        let mut examined = 0usize;
+        let mut acc = SupAccum::default();
         for (ray, side) in [(0, Direction::Positive), (1, Direction::Negative)] {
-            let pieces: Vec<Pieces> = fleet
-                .iter()
-                .map(|it| Pieces::from_line(it, side))
-                .collect();
-            sup_over_domain(
-                &pieces,
-                self.f,
-                self.lo,
-                self.hi,
-                ray,
-                &mut best,
-                &mut uncovered,
-                &mut examined,
-            );
+            let pieces: Vec<Pieces> = fleet.iter().map(|it| Pieces::from_line(it, side)).collect();
+            sup_over_domain(&pieces, self.f, self.lo, self.hi, ray, &mut acc);
         }
-        Ok(EvalReport {
-            ratio: match (&uncovered, &best) {
-                (Some(_), _) => f64::INFINITY,
-                (None, Some(w)) => w.detection_limit / w.x,
-                (None, None) => f64::INFINITY,
-            },
-            worst: best,
-            uncovered,
-            num_breakpoints: examined,
-        })
+        Ok(acc.into_report())
     }
 
     /// Exact adversarial detection time of a single signed target: the
@@ -380,35 +374,12 @@ impl RayEvaluator {
                 )));
             }
         }
-        let mut best = None;
-        let mut uncovered = None;
-        let mut examined = 0usize;
+        let mut acc = SupAccum::default();
         for ray in 0..self.m {
-            let pieces: Vec<Pieces> = fleet
-                .iter()
-                .map(|t| Pieces::from_tour(t, ray))
-                .collect();
-            sup_over_domain(
-                &pieces,
-                self.f,
-                self.lo,
-                self.hi,
-                ray,
-                &mut best,
-                &mut uncovered,
-                &mut examined,
-            );
+            let pieces: Vec<Pieces> = fleet.iter().map(|t| Pieces::from_tour(t, ray)).collect();
+            sup_over_domain(&pieces, self.f, self.lo, self.hi, ray, &mut acc);
         }
-        Ok(EvalReport {
-            ratio: match (&uncovered, &best) {
-                (Some(_), _) => f64::INFINITY,
-                (None, Some(w)) => w.detection_limit / w.x,
-                (None, None) => f64::INFINITY,
-            },
-            worst: best,
-            uncovered,
-            num_breakpoints: examined,
-        })
+        Ok(acc.into_report())
     }
 
     /// Exact adversarial detection time of a target on a given ray.
@@ -458,7 +429,10 @@ mod tests {
     #[test]
     fn cow_path_evaluates_to_nine() {
         let fleet = DoublingCowPath::classic().fleet_itineraries(1e6).unwrap();
-        let r = LineEvaluator::new(0, 1.0, 1e5).unwrap().evaluate(&fleet).unwrap();
+        let r = LineEvaluator::new(0, 1.0, 1e5)
+            .unwrap()
+            .evaluate(&fleet)
+            .unwrap();
         assert!(r.is_covered());
         // the finite-horizon sup is 9 - 2/b at the largest breakpoint b;
         // it approaches 9 from below as the horizon grows
@@ -471,7 +445,10 @@ mod tests {
         for base in [1.5, 3.0] {
             let cow = DoublingCowPath::new(base).unwrap();
             let fleet = cow.fleet_itineraries(1e6).unwrap();
-            let r = LineEvaluator::new(0, 1.0, 1e5).unwrap().evaluate(&fleet).unwrap();
+            let r = LineEvaluator::new(0, 1.0, 1e5)
+                .unwrap()
+                .evaluate(&fleet)
+                .unwrap();
             assert!(
                 (r.ratio - cow.theoretical_ratio()).abs() < 1e-3,
                 "base {base}: measured {} vs theory {}",
@@ -484,14 +461,21 @@ mod tests {
     #[test]
     fn optimal_line_strategy_matches_theorem1() {
         for (k, f) in [(1u32, 0u32), (3, 1), (5, 2), (5, 3), (7, 3)] {
-            let strat = CyclicExponential::optimal(2, k, f).unwrap().to_line().unwrap();
+            let strat = CyclicExponential::optimal(2, k, f)
+                .unwrap()
+                .to_line()
+                .unwrap();
             let fleet = strat.fleet_itineraries(1e6).unwrap();
             let r = LineEvaluator::new(f, 1.0, 1e4)
                 .unwrap()
                 .evaluate(&fleet)
                 .unwrap();
             let theory = raysearch_bounds::a_line(k, f).unwrap();
-            assert!(r.is_covered(), "(k={k}, f={f}) uncovered: {:?}", r.uncovered);
+            assert!(
+                r.is_covered(),
+                "(k={k}, f={f}) uncovered: {:?}",
+                r.uncovered
+            );
             assert!(r.ratio <= theory + 1e-9, "(k={k}, f={f}) exceeds theory");
             assert!(
                 (r.ratio - theory).abs() < 1e-3,
@@ -503,7 +487,13 @@ mod tests {
 
     #[test]
     fn optimal_ray_strategy_matches_theorem6() {
-        for (m, k, f) in [(3u32, 1u32, 0u32), (3, 2, 0), (4, 3, 0), (3, 5, 1), (5, 4, 0)] {
+        for (m, k, f) in [
+            (3u32, 1u32, 0u32),
+            (3, 2, 0),
+            (4, 3, 0),
+            (3, 5, 1),
+            (5, 4, 0),
+        ] {
             let strat = CyclicExponential::optimal(m, k, f).unwrap();
             let fleet = strat.fleet_tours(1e6).unwrap();
             let r = RayEvaluator::new(m as usize, f, 1.0, 1e4)
@@ -512,7 +502,10 @@ mod tests {
                 .unwrap();
             let theory = raysearch_bounds::a_rays(m, k, f).unwrap();
             assert!(r.is_covered(), "(m={m},k={k},f={f}) uncovered");
-            assert!(r.ratio <= theory + 1e-9, "(m={m},k={k},f={f}) exceeds theory");
+            assert!(
+                r.ratio <= theory + 1e-9,
+                "(m={m},k={k},f={f}) exceeds theory"
+            );
             assert!(
                 (r.ratio - theory).abs() < 1e-3,
                 "(m={m},k={k},f={f}): measured {} vs theory {theory}",
@@ -540,7 +533,10 @@ mod tests {
     fn zone_partition_saturated_is_ratio_one() {
         let z = ZonePartition::new(2, 4, 1).unwrap();
         let fleet = z.fleet_tours(1e4).unwrap();
-        let r = RayEvaluator::new(2, 1, 1.0, 1e3).unwrap().evaluate(&fleet).unwrap();
+        let r = RayEvaluator::new(2, 1, 1.0, 1e3)
+            .unwrap()
+            .evaluate(&fleet)
+            .unwrap();
         assert!(r.is_covered());
         assert!((r.ratio - 1.0).abs() < 1e-9);
     }
@@ -549,7 +545,10 @@ mod tests {
     fn zone_partition_undersized_is_uncovered() {
         let z = ZonePartition::new(3, 4, 1).unwrap();
         let fleet = z.fleet_tours(1e4).unwrap();
-        let r = RayEvaluator::new(3, 1, 1.0, 1e3).unwrap().evaluate(&fleet).unwrap();
+        let r = RayEvaluator::new(3, 1, 1.0, 1e3)
+            .unwrap()
+            .evaluate(&fleet)
+            .unwrap();
         assert!(!r.is_covered());
         assert!(r.ratio.is_infinite());
         // rays 1 and 2 each have a single robot; the first
@@ -562,11 +561,17 @@ mod tests {
         use raysearch_faults::CrashAdversary;
         use raysearch_sim::{LinePoint, LineTrajectory, VisitEngine};
 
-        let strat = CyclicExponential::optimal(2, 3, 1).unwrap().to_line().unwrap();
+        let strat = CyclicExponential::optimal(2, 3, 1)
+            .unwrap()
+            .to_line()
+            .unwrap();
         let fleet = strat.fleet_itineraries(1e4).unwrap();
         let evaluator = LineEvaluator::new(1, 1.0, 1e3).unwrap();
         let engine = VisitEngine::new(
-            fleet.iter().map(LineTrajectory::compile).collect::<Vec<_>>(),
+            fleet
+                .iter()
+                .map(LineTrajectory::compile)
+                .collect::<Vec<_>>(),
         )
         .unwrap();
         let adv = CrashAdversary::new(1);
@@ -607,10 +612,17 @@ mod tests {
     #[test]
     fn worst_target_is_just_past_a_turning_point() {
         let fleet = DoublingCowPath::classic().fleet_itineraries(1e6).unwrap();
-        let r = LineEvaluator::new(0, 1.0, 1e5).unwrap().evaluate(&fleet).unwrap();
+        let r = LineEvaluator::new(0, 1.0, 1e5)
+            .unwrap()
+            .evaluate(&fleet)
+            .unwrap();
         let w = r.worst.unwrap();
         // the worst target hides just past a power of two
         let log = w.x.log2();
-        assert!((log - log.round()).abs() < 1e-9, "worst x = {} not a power of 2", w.x);
+        assert!(
+            (log - log.round()).abs() < 1e-9,
+            "worst x = {} not a power of 2",
+            w.x
+        );
     }
 }

@@ -13,7 +13,7 @@
 //! * [`verdict`] — ties theory to measurement: the closed-form `Λ(q/k)`,
 //!   the measured ratio of the optimal strategy, and the covering
 //!   falsification just below the bound;
-//! * [`sweep`] — a small work-stealing parallel runner (crossbeam scoped
+//! * [`sweep`] — a small work-stealing parallel runner (std scoped
 //!   threads) used by the benchmark harness for parameter sweeps.
 //!
 //! # Example: Theorem 1 tightness for (k, f) = (3, 1)

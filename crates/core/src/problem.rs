@@ -80,10 +80,12 @@ impl LineProblem {
     pub fn optimal_strategy(
         &self,
     ) -> Result<raysearch_strategies::CyclicExponentialLine, CoreError> {
-        Ok(
-            raysearch_strategies::CyclicExponential::optimal(2, self.instance.k(), self.instance.f())?
-                .to_line()?,
-        )
+        Ok(raysearch_strategies::CyclicExponential::optimal(
+            2,
+            self.instance.k(),
+            self.instance.f(),
+        )?
+        .to_line()?)
     }
 
     /// Runs the full tightness verdict for this problem (see
@@ -163,9 +165,7 @@ impl RayProblem {
     ///
     /// Returns an error outside the searchable regime (in the trivial
     /// regime use [`ZonePartition`](raysearch_strategies::ZonePartition)).
-    pub fn optimal_strategy(
-        &self,
-    ) -> Result<raysearch_strategies::CyclicExponential, CoreError> {
+    pub fn optimal_strategy(&self) -> Result<raysearch_strategies::CyclicExponential, CoreError> {
         Ok(raysearch_strategies::CyclicExponential::optimal(
             self.instance.m(),
             self.instance.k(),
@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn trivial_and_impossible_regimes() {
-        assert_eq!(LineProblem::new(4, 1, 10.0).unwrap().optimal_ratio(), Some(1.0));
+        assert_eq!(
+            LineProblem::new(4, 1, 10.0).unwrap().optimal_ratio(),
+            Some(1.0)
+        );
         assert_eq!(LineProblem::new(2, 2, 10.0).unwrap().optimal_ratio(), None);
     }
 
@@ -238,7 +241,10 @@ mod tests {
         let s = p.optimal_strategy().unwrap();
         assert_eq!(s.num_robots(), 3);
         // trivial regime: no cyclic strategy
-        assert!(LineProblem::new(4, 1, 100.0).unwrap().optimal_strategy().is_err());
+        assert!(LineProblem::new(4, 1, 100.0)
+            .unwrap()
+            .optimal_strategy()
+            .is_err());
 
         let p = RayProblem::new(3, 2, 0, 100.0).unwrap();
         let s = p.optimal_strategy().unwrap();

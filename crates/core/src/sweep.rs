@@ -2,7 +2,7 @@
 //!
 //! The experiment harness evaluates hundreds of `(m, k, f, α, λ, …)`
 //! combinations; each is independent, so a work-stealing scoped-thread
-//! pool is all that is needed. Built on crossbeam's scoped threads (no
+//! pool is all that is needed. Built on `std::thread::scope` (no
 //! `'static` bound on the work items) with a `parking_lot` mutex guarding
 //! the result slots.
 
@@ -37,9 +37,9 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -48,8 +48,7 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
                 *slots[i].lock() = Some(value);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     slots
         .into_iter()

@@ -95,9 +95,7 @@ pub fn verify_tightness(
     let mu_below = lambda_to_mu(lambda_below)?;
     let per_robot: Vec<_> = fleet
         .iter()
-        .map(|tour| {
-            OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(tour), mu_below)
-        })
+        .map(|tour| OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(tour), mu_below))
         .collect::<Result<_, _>>()?;
     let merged = merge_fleet_intervals(per_robot);
     let profile = CoverageProfile::build(&merged, 1.0, horizon)?;

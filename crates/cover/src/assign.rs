@@ -254,7 +254,10 @@ mod tests {
             iv(0, 1, 2.0, 9.0),
             iv(0, 2, 7.0, 27.0),
         ]];
-        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 20.0).unwrap();
+        let a = ExactAssigner::new(1, 4.0)
+            .unwrap()
+            .assign(&ivs, 20.0)
+            .unwrap();
         assert_eq!(a.steps.len(), 3);
         // each step starts at the previous end
         assert_eq!(a.steps[0].start, 1.0);
@@ -281,11 +284,11 @@ mod tests {
 
     #[test]
     fn greedy_is_earliest_deadline_first() {
-        let ivs = vec![
-            vec![iv(0, 0, 0.5, 2.0)],
-            vec![iv(1, 0, 0.5, 5.0)],
-        ];
-        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 4.0).unwrap();
+        let ivs = vec![vec![iv(0, 0, 0.5, 2.0)], vec![iv(1, 0, 0.5, 5.0)]];
+        let a = ExactAssigner::new(1, 4.0)
+            .unwrap()
+            .assign(&ivs, 4.0)
+            .unwrap();
         // the tighter interval is consumed first; the long one then takes
         // the frontier from 2 to 5
         assert_eq!(a.steps.len(), 2);
@@ -298,10 +301,15 @@ mod tests {
     #[test]
     fn dead_intervals_are_skipped() {
         // robot 0's second interval is already passed when its turn comes
-        let ivs = vec![
-            vec![iv(0, 0, 0.5, 4.0), iv(0, 1, 1.0, 2.0), iv(0, 2, 3.0, 9.0)],
-        ];
-        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 8.0).unwrap();
+        let ivs = vec![vec![
+            iv(0, 0, 0.5, 4.0),
+            iv(0, 1, 1.0, 2.0),
+            iv(0, 2, 3.0, 9.0),
+        ]];
+        let a = ExactAssigner::new(1, 4.0)
+            .unwrap()
+            .assign(&ivs, 8.0)
+            .unwrap();
         let rounds: Vec<usize> = a.steps.iter().map(|s| s.round).collect();
         assert_eq!(rounds, vec![0, 2]);
         // the skipped round's turning point does not enter the load
@@ -315,7 +323,10 @@ mod tests {
             vec![iv(0, 0, 0.5, 3.0), iv(0, 1, 2.0, 9.0)],
             vec![iv(1, 0, 0.5, 3.0), iv(1, 1, 2.0, 9.0)],
         ];
-        let a = ExactAssigner::new(2, 4.0).unwrap().assign(&ivs, 8.0).unwrap();
+        let a = ExactAssigner::new(2, 4.0)
+            .unwrap()
+            .assign(&ivs, 8.0)
+            .unwrap();
         assert_eq!(a.steps.len(), 4);
         // both robots must contribute
         assert!(a.steps.iter().any(|s| s.robot == 0));
@@ -342,26 +353,22 @@ mod tests {
         let turns_a: Vec<f64> = (0..16).map(|i| 1.9f64.powi(i - 4)).collect();
         let turns_b: Vec<f64> = (0..16).map(|i| 1.9f64.powi(i - 4) * 1.4).collect();
         let mu = 6.0;
-        let ivs = vec![
-            OrcSetting::covered_intervals(&turns_a, mu).unwrap(),
-            {
-                let mut v = OrcSetting::covered_intervals(&turns_b, mu).unwrap();
-                for iv in &mut v {
-                    iv.robot = 1;
-                }
-                v
-            },
-        ];
+        let ivs = vec![OrcSetting::covered_intervals(&turns_a, mu).unwrap(), {
+            let mut v = OrcSetting::covered_intervals(&turns_b, mu).unwrap();
+            for iv in &mut v {
+                iv.robot = 1;
+            }
+            v
+        }];
         let q = 2;
-        let a = ExactAssigner::new(q, mu).unwrap().assign(&ivs, 50.0).unwrap();
+        let a = ExactAssigner::new(q, mu)
+            .unwrap()
+            .assign(&ivs, 50.0)
+            .unwrap();
         // count coverage of probe points by assigned half-open intervals
         let mut x = 1.001;
         while x < a.frontier {
-            let c = a
-                .steps
-                .iter()
-                .filter(|s| s.start < x && x <= s.end)
-                .count();
+            let c = a.steps.iter().filter(|s| s.start < x && x <= s.end).count();
             assert_eq!(c, q, "coverage at {x} is {c}, expected {q}");
             x *= 1.07;
         }
@@ -373,7 +380,10 @@ mod tests {
             vec![iv(0, 0, 0.5, 3.0), iv(0, 1, 2.0, 9.0)],
             vec![iv(1, 0, 0.5, 4.0), iv(1, 1, 3.0, 12.0)],
         ];
-        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 8.0).unwrap();
+        let a = ExactAssigner::new(1, 4.0)
+            .unwrap()
+            .assign(&ivs, 8.0)
+            .unwrap();
         let by_robot = a.steps_by_robot();
         let total: usize = by_robot.iter().map(Vec::len).sum();
         assert_eq!(total, a.steps.len());

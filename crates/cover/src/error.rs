@@ -47,10 +47,7 @@ impl fmt::Display for CoverError {
                 value,
                 domain,
             } => write!(f, "parameter {name}={value} outside domain {domain}"),
-            CoverError::AssignmentStuck {
-                frontier,
-                assigned,
-            } => write!(
+            CoverError::AssignmentStuck { frontier, assigned } => write!(
                 f,
                 "exact assignment stuck at frontier {frontier} after {assigned} intervals"
             ),

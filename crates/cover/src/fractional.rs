@@ -240,7 +240,11 @@ mod tests {
             );
         }
         let last = steps.last().unwrap();
-        assert!((last.c_value - c).abs() < 0.05, "not converged: {}", last.c_value);
+        assert!(
+            (last.c_value - c).abs() < 0.05,
+            "not converged: {}",
+            last.c_value
+        );
     }
 
     #[test]
@@ -258,7 +262,11 @@ mod tests {
             );
         }
         let last = steps.last().unwrap();
-        assert!((last.c_value - c).abs() < 0.05, "not converged: {}", last.c_value);
+        assert!(
+            (last.c_value - c).abs() < 0.05,
+            "not converged: {}",
+            last.c_value
+        );
     }
 
     #[test]
@@ -266,8 +274,10 @@ mod tests {
         // eta = 3/2: at k even, q/k = eta exactly, C matches closed form.
         let eta = 1.5;
         let steps = upper_approximations(eta, 8).unwrap();
-        let exact: Vec<&RationalStep> =
-            steps.iter().filter(|s| (s.ratio - eta).abs() < 1e-12).collect();
+        let exact: Vec<&RationalStep> = steps
+            .iter()
+            .filter(|s| (s.ratio - eta).abs() < 1e-12)
+            .collect();
         assert!(!exact.is_empty());
         let c = c_fractional(eta).unwrap();
         for s in exact {

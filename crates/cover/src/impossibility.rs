@@ -130,7 +130,10 @@ mod tests {
         for (k, q) in [(1u32, 2u32), (2, 3), (3, 4), (5, 8)] {
             let bound = c_orc(k, q).unwrap();
             let ln_n = impossibility_horizon_log(k, q, 0.9 * bound).unwrap();
-            assert!(ln_n.is_finite() && ln_n > 0.0, "(k={k}, q={q}): ln N = {ln_n}");
+            assert!(
+                ln_n.is_finite() && ln_n > 0.0,
+                "(k={k}, q={q}): ln N = {ln_n}"
+            );
         }
     }
 

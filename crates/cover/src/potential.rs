@@ -423,7 +423,10 @@ mod tests {
                 end: 9.0,
             },
         ]];
-        let a = ExactAssigner::new(1, 4.0).unwrap().assign(&ivs, 8.0).unwrap();
+        let a = ExactAssigner::new(1, 4.0)
+            .unwrap()
+            .assign(&ivs, 8.0)
+            .unwrap();
         assert!(PotentialSeries::compute(&a, Setting::Orc { q: 1 }).is_err());
         // Pm with s = 1 works
         let series = PotentialSeries::compute(&a, Setting::Pm { s: 1 }).unwrap();

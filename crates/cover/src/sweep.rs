@@ -51,11 +51,7 @@ impl CoverageProfile {
     ///
     /// Returns [`CoverError::OutOfDomain`] unless `0 < lo < hi`, both
     /// finite.
-    pub fn build(
-        intervals: &[CoveredInterval],
-        lo: f64,
-        hi: f64,
-    ) -> Result<Self, CoverError> {
+    pub fn build(intervals: &[CoveredInterval], lo: f64, hi: f64) -> Result<Self, CoverError> {
         if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi) {
             return Err(CoverError::OutOfDomain {
                 name: "range",

@@ -286,7 +286,13 @@ mod tests {
 
     #[test]
     fn honest_robots_claim_only_at_target() {
-        let s = sim(&[&[8.0], &[8.0]], 2.0, &[5.0], &[], ByzantineBehavior::LieAtDecoys);
+        let s = sim(
+            &[&[8.0], &[8.0]],
+            2.0,
+            &[5.0],
+            &[],
+            ByzantineBehavior::LieAtDecoys,
+        );
         let claims = s.run();
         assert!(!claims.is_empty());
         assert!(claims.iter().all(|c| c.point_index == 0 && c.truthful));
@@ -305,7 +311,9 @@ mod tests {
         // robot 1 lies at the decoy (x=2, earlier than the target at 5)
         let lies: Vec<&Claim> = claims.iter().filter(|c| !c.truthful).collect();
         assert!(!lies.is_empty());
-        assert!(lies.iter().all(|c| c.robot == RobotId(1) && c.point_index == 1));
+        assert!(lies
+            .iter()
+            .all(|c| c.robot == RobotId(1) && c.point_index == 1));
         // and stays silent at the target
         assert!(!claims
             .iter()
@@ -331,7 +339,10 @@ mod tests {
     #[test]
     fn soundness_over_all_single_fault_assignments() {
         for bad in 0..3usize {
-            for behavior in [ByzantineBehavior::SilentOnly, ByzantineBehavior::LieAtDecoys] {
+            for behavior in [
+                ByzantineBehavior::SilentOnly,
+                ByzantineBehavior::LieAtDecoys,
+            ] {
                 let s = sim(
                     &[&[0.5, 8.0], &[2.0, 8.0], &[8.0]],
                     3.0,
@@ -383,7 +394,13 @@ mod tests {
     #[test]
     fn no_verdict_without_quorum() {
         // 2 robots, f = 1, but only one robot ever reaches the target
-        let s = sim(&[&[8.0], &[1.0, 1.0]], 3.0, &[], &[], ByzantineBehavior::SilentOnly);
+        let s = sim(
+            &[&[8.0], &[1.0, 1.0]],
+            3.0,
+            &[],
+            &[],
+            ByzantineBehavior::SilentOnly,
+        );
         let claims = s.run();
         assert!(ConservativeVerifier::new(1).decide(&claims).is_none());
     }

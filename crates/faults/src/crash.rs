@@ -137,9 +137,27 @@ mod tests {
         // robot 2 at t = 2*(2+0.5) + 3 = 8.
         let eng = engine(&[&[8.0], &[1.0, 0.5, 8.0], &[2.0, 0.5, 8.0]]);
         let sched = eng.schedule(lp(3.0));
-        assert_eq!(CrashAdversary::new(0).detection_time(&sched).unwrap().as_f64(), 3.0);
-        assert_eq!(CrashAdversary::new(1).detection_time(&sched).unwrap().as_f64(), 6.0);
-        assert_eq!(CrashAdversary::new(2).detection_time(&sched).unwrap().as_f64(), 8.0);
+        assert_eq!(
+            CrashAdversary::new(0)
+                .detection_time(&sched)
+                .unwrap()
+                .as_f64(),
+            3.0
+        );
+        assert_eq!(
+            CrashAdversary::new(1)
+                .detection_time(&sched)
+                .unwrap()
+                .as_f64(),
+            6.0
+        );
+        assert_eq!(
+            CrashAdversary::new(2)
+                .detection_time(&sched)
+                .unwrap()
+                .as_f64(),
+            8.0
+        );
         assert!(CrashAdversary::new(3).detection_time(&sched).is_none());
     }
 

@@ -170,10 +170,7 @@ impl<T: Track> VisitEngine<T> {
 
     /// First visit to `p` by any robot.
     pub fn first_visit(&self, p: T::Point) -> Option<Time> {
-        self.tracks
-            .iter()
-            .filter_map(|t| t.first_visit(p))
-            .min()
+        self.tracks.iter().filter_map(|t| t.first_visit(p)).min()
     }
 
     /// Merges the visit events of a batch of query points into one global,

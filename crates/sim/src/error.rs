@@ -40,7 +40,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::InvalidTime { value } => {
-                write!(f, "invalid time value {value}: must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid time value {value}: must be finite and non-negative"
+                )
             }
             SimError::InvalidDistance { value } => {
                 write!(f, "invalid distance {value}: must be finite and positive")
@@ -70,7 +73,10 @@ mod tests {
         assert!(e.to_string().contains("-1"));
         let e = SimError::InvalidDistance { value: 0.0 };
         assert!(e.to_string().contains('0'));
-        let e = SimError::RayOutOfRange { ray: 5, num_rays: 3 };
+        let e = SimError::RayOutOfRange {
+            ray: 5,
+            num_rays: 3,
+        };
         let s = e.to_string();
         assert!(s.contains('5') && s.contains('3'));
     }

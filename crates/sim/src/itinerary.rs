@@ -85,13 +85,10 @@ impl LineItinerary {
     /// `start·t₁, -start·t₂, start·t₃, …`.
     pub fn signed_turns(&self) -> impl Iterator<Item = f64> + '_ {
         let s0 = self.start.sign();
-        self.turns.iter().enumerate().map(move |(i, &t)| {
-            if i % 2 == 0 {
-                s0 * t
-            } else {
-                -s0 * t
-            }
-        })
+        self.turns
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| if i % 2 == 0 { s0 * t } else { -s0 * t })
     }
 
     /// Returns the prefix sums `t₁, t₁+t₂, …` of the turning magnitudes.
@@ -290,7 +287,10 @@ impl TourItinerary {
 
     /// Total length (and duration) of the whole tour.
     pub fn total_tour_length(&self) -> f64 {
-        self.excursions.iter().map(Excursion::round_trip_length).sum()
+        self.excursions
+            .iter()
+            .map(Excursion::round_trip_length)
+            .sum()
     }
 
     /// Returns the prefix sums `t₁, t₁+t₂, …` of the turning distances.
@@ -310,10 +310,7 @@ impl TourItinerary {
     }
 
     /// Iterates over the excursions on a given ray, with their tour index.
-    pub fn excursions_on_ray(
-        &self,
-        ray: RayId,
-    ) -> impl Iterator<Item = (usize, &Excursion)> + '_ {
+    pub fn excursions_on_ray(&self, ray: RayId) -> impl Iterator<Item = (usize, &Excursion)> + '_ {
         self.excursions
             .iter()
             .enumerate()

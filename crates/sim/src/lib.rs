@@ -71,16 +71,7 @@ pub use trajectory::{LineTrajectory, RayTrajectory, Visit};
 /// assert_eq!(format!("{r}"), "robot#3");
 /// ```
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct RobotId(pub usize);
 

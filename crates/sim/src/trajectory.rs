@@ -12,7 +12,9 @@ use crate::{Excursion, LineItinerary, LinePoint, RayId, RayPoint, Time, TourItin
 /// The `leg` index identifies the leg (line) or excursion (rays) during
 /// which the visit happened; the ORC covering rules need this to count at
 /// most one covering per excursion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Visit {
     /// When the visit happened.
     pub time: Time,
@@ -365,9 +367,7 @@ mod tests {
     use crate::Direction;
 
     fn line(turns: &[f64]) -> LineTrajectory {
-        LineTrajectory::compile(
-            &LineItinerary::new(Direction::Positive, turns.to_vec()).unwrap(),
-        )
+        LineTrajectory::compile(&LineItinerary::new(Direction::Positive, turns.to_vec()).unwrap())
     }
 
     #[test]
@@ -430,7 +430,10 @@ mod tests {
         assert_eq!(traj.position_at(Time::new(2.0).unwrap()).coordinate(), 0.0);
         assert_eq!(traj.position_at(Time::new(4.0).unwrap()).coordinate(), -2.0);
         // after the plan: halted
-        assert_eq!(traj.position_at(Time::new(99.0).unwrap()).coordinate(), -2.0);
+        assert_eq!(
+            traj.position_at(Time::new(99.0).unwrap()).coordinate(),
+            -2.0
+        );
     }
 
     #[test]

@@ -106,11 +106,7 @@ pub fn log_uniform(seed: u64, lo: f64, hi: f64, n: usize) -> Result<Vec<f64>, Si
 /// assert!(xs[0] > 1.0 && xs[0] < 1.0 + 1e-6);
 /// # Ok::<(), raysearch_sim::SimError>(())
 /// ```
-pub fn past_breakpoints(
-    breakpoints: &[f64],
-    min_x: f64,
-    eps: f64,
-) -> Result<Vec<f64>, SimError> {
+pub fn past_breakpoints(breakpoints: &[f64], min_x: f64, eps: f64) -> Result<Vec<f64>, SimError> {
     if !(eps.is_finite() && eps > 0.0) {
         return Err(SimError::InvalidDistance { value: eps });
     }

@@ -133,7 +133,7 @@ impl ZonePartition {
     /// Returns `true` if every ray has at least `f+1` robots — i.e. the
     /// partition actually tolerates `f` faults (ratio 1).
     pub fn covers_all_rays(&self) -> bool {
-        (0..self.m as usize).all(|ray| self.robots_on_ray(ray) >= self.f as usize + 1)
+        (0..self.m as usize).all(|ray| self.robots_on_ray(ray) > self.f as usize)
     }
 }
 
@@ -230,7 +230,7 @@ impl LineStrategy for TwoWaySaturation {
             Direction::Positive
         } else if robot.index() < 2 * v {
             Direction::Negative
-        } else if robot.index() % 2 == 0 {
+        } else if robot.index().is_multiple_of(2) {
             Direction::Positive
         } else {
             Direction::Negative

@@ -13,9 +13,7 @@
 //! `2·α^q/(α^k−1) + 1`; experiment E5 sweeps `α` to exhibit the minimum.
 
 use raysearch_bounds::{optimal_alpha, RayInstance, Regime};
-use raysearch_sim::{
-    Direction, Excursion, LineItinerary, RayId, RobotId, TourItinerary,
-};
+use raysearch_sim::{Direction, Excursion, LineItinerary, RayId, RobotId, TourItinerary};
 
 use crate::{LineStrategy, RayStrategy, StrategyError};
 
@@ -318,7 +316,13 @@ mod tests {
     #[test]
     fn warmup_reaches_below_distance_one() {
         // every robot's first excursion must turn at distance <= 1
-        for (m, k, f) in [(2u32, 1u32, 0u32), (2, 3, 1), (3, 2, 0), (4, 5, 1), (5, 9, 2)] {
+        for (m, k, f) in [
+            (2u32, 1u32, 0u32),
+            (2, 3, 1),
+            (3, 2, 0),
+            (4, 5, 1),
+            (5, 9, 2),
+        ] {
             let s = CyclicExponential::optimal(m, k, f).unwrap();
             for r in 0..k as usize {
                 let tour = s.tour(RobotId(r), 10.0).unwrap();
@@ -358,13 +362,22 @@ mod tests {
 
     #[test]
     fn line_view_requires_m2() {
-        assert!(CyclicExponential::optimal(3, 2, 0).unwrap().to_line().is_err());
-        assert!(CyclicExponential::optimal(2, 1, 0).unwrap().to_line().is_ok());
+        assert!(CyclicExponential::optimal(3, 2, 0)
+            .unwrap()
+            .to_line()
+            .is_err());
+        assert!(CyclicExponential::optimal(2, 1, 0)
+            .unwrap()
+            .to_line()
+            .is_ok());
     }
 
     #[test]
     fn line_view_is_doubling_for_cow_path() {
-        let line = CyclicExponential::optimal(2, 1, 0).unwrap().to_line().unwrap();
+        let line = CyclicExponential::optimal(2, 1, 0)
+            .unwrap()
+            .to_line()
+            .unwrap();
         let it = line.itinerary(RobotId(0), 16.0).unwrap();
         for w in it.turns().windows(2) {
             assert!((w[1] / w[0] - 2.0).abs() < 1e-9);

@@ -183,7 +183,12 @@ impl<S: RayStrategy> Perturbed<S> {
 
 impl<S: RayStrategy> RayStrategy for Perturbed<S> {
     fn name(&self) -> String {
-        format!("perturbed(eps={}, seed={}, {})", self.eps, self.seed, self.inner.name())
+        format!(
+            "perturbed(eps={}, seed={}, {})",
+            self.eps,
+            self.seed,
+            self.inner.name()
+        )
     }
 
     fn num_rays(&self) -> usize {
@@ -199,8 +204,9 @@ impl<S: RayStrategy> RayStrategy for Perturbed<S> {
         // shrink direction of the jitter cannot pull coverage below the
         // caller's horizon.
         let tour = self.inner.tour(robot, horizon * (1.0 + self.eps))?;
-        let mut rng =
-            StdRng::seed_from_u64(self.seed ^ (robot.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (robot.index() as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        );
         let excursions = tour
             .excursions()
             .iter()
@@ -269,7 +275,7 @@ mod tests {
         for (a, b) in t_base.excursions().iter().zip(t_pert.excursions()) {
             assert_eq!(a.ray, b.ray);
             let factor = b.turn / a.turn;
-            assert!(factor >= 1.0 / 1.1 - 1e-12 && factor <= 1.1 + 1e-12);
+            assert!((1.0 / 1.1 - 1e-12..=1.1 + 1e-12).contains(&factor));
         }
     }
 

@@ -119,11 +119,7 @@ mod tests {
         fn num_robots(&self) -> usize {
             2
         }
-        fn itinerary(
-            &self,
-            robot: RobotId,
-            horizon: f64,
-        ) -> Result<LineItinerary, StrategyError> {
+        fn itinerary(&self, robot: RobotId, horizon: f64) -> Result<LineItinerary, StrategyError> {
             StrategyError::check_horizon(horizon)?;
             let dir = if robot.index() == 0 {
                 Direction::Positive

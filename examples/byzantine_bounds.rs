@@ -15,8 +15,8 @@
 //! cargo run --example byzantine_bounds
 //! ```
 
-use raysearch::bounds::literature::{byzantine_table, PRIOR_BYZANTINE_LB_3_1};
 use raysearch::bounds::a_line;
+use raysearch::bounds::literature::{byzantine_table, PRIOR_BYZANTINE_LB_3_1};
 use raysearch::faults::{
     ByzantineBehavior, ByzantineSimulation, ConservativeVerifier, FaultAssignment, FaultKind,
 };

@@ -39,13 +39,7 @@ struct Completed {
 /// Builds the geometric schedule for processor `r`: contracts of length
 /// `alpha^(k·n + m·r)` cycling over problems, and returns completions up
 /// to `horizon` wall-clock time.
-fn schedule_processor(
-    m: usize,
-    k: usize,
-    r: usize,
-    alpha: f64,
-    horizon: f64,
-) -> Vec<Completed> {
+fn schedule_processor(m: usize, k: usize, r: usize, alpha: f64, horizon: f64) -> Vec<Completed> {
     let mut out = Vec::new();
     let mut clock = 0.0;
     // warm-up start as in the search strategy: n from 1-2m
@@ -68,7 +62,7 @@ fn schedule_processor(
 
 /// Measures the acceleration ratio over adversarial interruptions: just
 /// before each completion, query that completion's problem.
-fn measured_acceleration(completions: &mut Vec<Completed>, m: usize, settle: f64) -> f64 {
+fn measured_acceleration(completions: &mut [Completed], m: usize, settle: f64) -> f64 {
     completions.sort_by(|a, b| a.finish.total_cmp(&b.finish));
     let mut best_done = vec![0.0f64; m];
     let mut worst: f64 = 0.0;

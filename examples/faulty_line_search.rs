@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("fleet covers the target")
             .as_f64();
         let assignment = adversary.worst_assignment(&schedule, k as usize)?;
-        let culprits: Vec<String> = assignment
-            .faulty_robots()
-            .map(|r| format!("{r}"))
-            .collect();
+        let culprits: Vec<String> = assignment.faulty_robots().map(|r| format!("{r}")).collect();
         println!(
             "{x:>9.1}    {t:>10.3}    {:>6.4}    {}",
             t / x.abs(),

@@ -31,11 +31,7 @@ use raysearch::strategies::{CyclicExponential, RayStrategy};
 /// is a fresh run of algorithm `i` for `t` steps (then rewinds, costing
 /// another `t`). The run solves `Q` if `i == lucky` and `t >= x`, at
 /// elapsed in-run time `x`.
-fn solve_time(
-    tours: &[raysearch::sim::TourItinerary],
-    lucky: usize,
-    x: f64,
-) -> Option<f64> {
+fn solve_time(tours: &[raysearch::sim::TourItinerary], lucky: usize, x: f64) -> Option<f64> {
     let mut best: Option<f64> = None;
     for tour in tours {
         let mut clock = 0.0;
@@ -67,14 +63,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if !(1.0..=1e4).contains(&x) {
                     continue;
                 }
-                let t = solve_time(&tours, e.ray.index(), x)
-                    .expect("strategy hedges every algorithm");
+                let t =
+                    solve_time(&tours, e.ray.index(), x).expect("strategy hedges every algorithm");
                 worst = worst.max(t / x);
             }
         }
         println!("  {m}   {k}    {theory:>8.4}    {worst:>8.4}");
-        assert!(worst <= theory + 1e-6, "hybrid scheduler beats the lower bound?!");
-        assert!(worst >= theory - 0.05 * theory, "sweep missed the worst case");
+        assert!(
+            worst <= theory + 1e-6,
+            "hybrid scheduler beats the lower bound?!"
+        );
+        assert!(
+            worst >= theory - 0.05 * theory,
+            "sweep missed the worst case"
+        );
     }
     println!(
         "\nthe measured suprema match A(m,k,0) — the f = 0 case of Theorem 6, \

@@ -64,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nworst-case target: just past distance {:.4} on ray {}, detected at {:.4} \
          (ratio {:.6})",
-        w.x,
-        w.ray,
-        w.detection_limit,
-        report.ratio
+        w.x, w.ray, w.detection_limit, report.ratio
     );
     Ok(())
 }

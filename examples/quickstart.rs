@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let instance = LineInstance::new(k, f)?;
         match instance.regime() {
             Regime::Searchable { ratio } => {
-                println!("  k={k}, f={f}:  rho = {:.4}  A = {ratio:.6}", instance.rho());
+                println!(
+                    "  k={k}, f={f}:  rho = {:.4}  A = {ratio:.6}",
+                    instance.rho()
+                );
             }
             Regime::Trivial => println!("  k={k}, f={f}:  trivial (ratio 1)"),
             Regime::Impossible => println!("  k={k}, f={f}:  impossible"),
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let strategy = CyclicExponential::optimal(2, k, f)?.to_line()?;
     let fleet = strategy.fleet_itineraries(1e6)?;
     let report = LineEvaluator::new(f, 1.0, 1e5)?.evaluate(&fleet)?;
-    let theory = LineInstance::new(k, f)?.regime().ratio().expect("searchable");
+    let theory = LineInstance::new(k, f)?
+        .regime()
+        .ratio()
+        .expect("searchable");
     println!("\nOptimal strategy, k={k}, f={f}:");
     println!("  theory   A(k,f)    = {theory:.9}");
     println!("  measured sup t/x   = {:.9}", report.ratio);
@@ -43,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "  worst target: just past x = {:.3} on the {} side",
         worst.x,
-        if worst.ray == 0 { "positive" } else { "negative" }
+        if worst.ray == 0 {
+            "positive"
+        } else {
+            "negative"
+        }
     );
     assert!((report.ratio - theory).abs() < 1e-3);
 

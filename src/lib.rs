@@ -18,6 +18,7 @@
 //! | [`bounds`] | `raysearch-bounds` | closed forms `A(k,f)`, `A(m,k,f)`, `C(k,q)`, `C(η)` |
 //! | [`cover`] | `raysearch-cover` | covering settings, standardization, potential function |
 //! | [`core`] | `raysearch-core` | problems, exact evaluator, tightness verdicts, sweeps |
+//! | [`bench`] | `raysearch-bench` | experiments E1–E10, table rendering, `tablegen` binary |
 //!
 //! # Quickstart
 //!
@@ -39,7 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use raysearch_bench as bench;
 pub use raysearch_bounds as bounds;
+// NB: aliasing a member to `core` shadows the std `core` crate in paths
+// like `crate::core::...`; callers wanting the std one must use `::core`.
 pub use raysearch_core as core;
 pub use raysearch_cover as cover;
 pub use raysearch_faults as faults;
@@ -63,6 +67,7 @@ mod tests {
         let _ = crate::strategies::DoublingCowPath::classic();
         let _ = crate::cover::settings::OrcSetting;
         let _ = crate::core::LineProblem::new(3, 1, 10.0).unwrap();
+        let _ = crate::bench::Table::new(vec!["k".into()]);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Tier-1 smoke test: the closed forms of `raysearch-bounds` pinned
+//! against independently known literature constants, so a regression in
+//! `closed_form.rs` (or in `Λ`'s implementation) is caught immediately.
+
+use raysearch::bounds::literature::{
+    byzantine_lower_bound, single_robot_m_rays, COW_PATH_RATIO, PRIOR_BYZANTINE_LB_3_1,
+};
+use raysearch::bounds::{a_line, a_rays, c_fractional, c_orc, lambda_big};
+
+const TOL: f64 = 1e-9;
+
+#[test]
+fn cow_path_constant_from_every_formula() {
+    // The classical 9 must fall out of Theorem 1 (k=1, f=0), of the
+    // rho = 2 boundary cases, of Λ(2), and of the single-robot 2-ray
+    // literature constant — all independently.
+    assert!((a_line(1, 0).unwrap() - COW_PATH_RATIO).abs() < TOL);
+    assert!((a_line(2, 1).unwrap() - COW_PATH_RATIO).abs() < TOL);
+    assert!((lambda_big(2.0).unwrap() - COW_PATH_RATIO).abs() < TOL);
+    assert!((single_robot_m_rays(2).unwrap() - COW_PATH_RATIO).abs() < TOL);
+    assert!((a_rays(2, 1, 0).unwrap() - COW_PATH_RATIO).abs() < TOL);
+}
+
+#[test]
+fn single_robot_rays_matches_theorem6_f0() {
+    // Theorem 6 with k = 1, f = 0 must reduce to the classical
+    // Baeza-Yates–Culberson–Rawlins m-ray constants.
+    for m in 2..=8 {
+        let theorem6 = a_rays(m, 1, 0).unwrap();
+        let classical = single_robot_m_rays(m).unwrap();
+        assert!(
+            (theorem6 - classical).abs() < TOL,
+            "m = {m}: A(m,1,0) = {theorem6} vs literature {classical}"
+        );
+    }
+    // spot value: m = 3 gives 1 + 2*27/4 = 14.5
+    assert!((single_robot_m_rays(3).unwrap() - 14.5).abs() < TOL);
+}
+
+#[test]
+fn small_kf_closed_forms_pinned() {
+    // Hard-coded decimals (computed once from Λ(ρ) = 2ρ^ρ/(ρ−1)^(ρ−1)+1,
+    // ρ = 2(f+1)/k) so a silent change in the formula cannot pass.
+    let pinned = [
+        ((3u32, 1u32), 5.233_069_471_915_199),
+        ((4, 2), 6.196_152_422_706_631),
+        ((5, 2), 4.434_325_794_652_613),
+        ((5, 3), 6.764_096_164_354_617),
+        ((6, 4), 7.140_052_497_733_978),
+    ];
+    for ((k, f), want) in pinned {
+        let got = a_line(k, f).unwrap();
+        assert!(
+            (got - want).abs() < 1e-10,
+            "A({k},{f}) = {got}, pinned {want}"
+        );
+    }
+}
+
+#[test]
+fn byzantine_bound_improves_on_prior_literature() {
+    // The paper's headline comparison: B(3,1) >= A(3,1) = 5.2330...,
+    // improving the prior 3.93 of Czyzowitz et al. ISAAC 2016.
+    let new = byzantine_lower_bound(3, 1).unwrap();
+    assert!((new - a_line(3, 1).unwrap()).abs() < TOL);
+    assert!(new > PRIOR_BYZANTINE_LB_3_1 + 1.3);
+}
+
+#[test]
+fn relaxations_agree_with_lambda() {
+    // Eq. (10)/(11): both relaxations evaluate Λ at the same argument as
+    // the integral closed forms.
+    for (k, q) in [(1u32, 2u32), (2, 3), (3, 5), (4, 7)] {
+        let eta = f64::from(q) / f64::from(k);
+        let lam = lambda_big(eta).unwrap();
+        assert!((c_orc(k, q).unwrap() - lam).abs() < TOL);
+        assert!((c_fractional(eta).unwrap() - lam).abs() < TOL);
+    }
+}

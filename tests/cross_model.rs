@@ -7,9 +7,7 @@ use proptest::prelude::*;
 use raysearch::core::{LineEvaluator, RayEvaluator};
 use raysearch::faults::CrashAdversary;
 use raysearch::sim::{LinePoint, LineTrajectory, RayId, RayPoint, RayTrajectory, VisitEngine};
-use raysearch::strategies::{
-    CyclicExponential, LineStrategy, RandomGeometric, RayStrategy,
-};
+use raysearch::strategies::{CyclicExponential, LineStrategy, RandomGeometric, RayStrategy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

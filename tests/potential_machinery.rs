@@ -134,7 +134,10 @@ fn optimal_line_strategy_is_already_standard() {
     let (k, f) = (3u32, 1u32);
     let lambda = raysearch::bounds::a_line(k, f).unwrap();
     let mu = lambda_to_mu(lambda * 1.01).unwrap();
-    let strategy = CyclicExponential::optimal(2, k, f).unwrap().to_line().unwrap();
+    let strategy = CyclicExponential::optimal(2, k, f)
+        .unwrap()
+        .to_line()
+        .unwrap();
     for itinerary in strategy.fleet_itineraries(1e4).unwrap() {
         let turns = itinerary.turns().to_vec();
         let canon = canonicalize(&turns).unwrap();

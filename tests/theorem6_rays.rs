@@ -87,9 +87,15 @@ fn orc_value_monotonicity_and_consistency() {
         for k in 1..q {
             let v = c_orc(k, q).unwrap();
             if k + 1 < q {
-                assert!(c_orc(k + 1, q).unwrap() < v, "not decreasing in k at ({k},{q})");
+                assert!(
+                    c_orc(k + 1, q).unwrap() < v,
+                    "not decreasing in k at ({k},{q})"
+                );
             }
-            assert!(c_orc(k, q + 1).unwrap() > v, "not increasing in q at ({k},{q})");
+            assert!(
+                c_orc(k, q + 1).unwrap() > v,
+                "not increasing in q at ({k},{q})"
+            );
             let frac = c_fractional(f64::from(q) / f64::from(k)).unwrap();
             assert!((frac - v).abs() < 1e-9);
         }
@@ -163,7 +169,10 @@ fn dedicated_shape_measured_time_ratio() {
             "(m={m},k={k}): measured {measured} vs expected {expected}"
         );
         let optimal = a_rays(m, k, 0).unwrap();
-        assert!(measured > optimal + 0.5, "(m={m},k={k}): not worse than optimal");
+        assert!(
+            measured > optimal + 0.5,
+            "(m={m},k={k}): not worse than optimal"
+        );
     }
 }
 

@@ -1,0 +1,195 @@
+//! Vendored offline shim for the subset of `criterion` this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be fetched. This shim keeps every bench target compiling and
+//! *running* (`cargo bench`) with the same source: it measures a simple
+//! adaptive-iteration mean wall-clock time per benchmark and prints one
+//! line per benchmark. There is no statistical analysis, warm-up
+//! schedule, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on iterations per benchmark.
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Identifier for a benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing an iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // one calibration call, also serving as warm-up
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (TARGET.as_nanos() / first.as_nanos()).clamp(1, u128::from(MAX_ITERS)) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.last_ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.last_ns_per_iter;
+    if ns >= 1e9 {
+        println!("bench: {name:<48} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("bench: {name:<48} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("bench: {name:<48} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("bench: {name:<48} {:>12.1} ns/iter", ns);
+    }
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Runs a benchmark parameterized by borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group. (No-op in the shim; kept for source compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let data = vec![1u32, 2, 3];
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u32>())
+        });
+        group.finish();
+    }
+}

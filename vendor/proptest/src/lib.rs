@@ -1,0 +1,407 @@
+//! Vendored offline shim for the subset of `proptest` this workspace
+//! uses.
+//!
+//! The build environment has no crates.io access, so the real `proptest`
+//! cannot be fetched. This shim keeps the *call sites* identical — the
+//! `proptest!` macro with `#![proptest_config(...)]`, range / tuple /
+//! `prop::collection::vec` / `prop::bool::ANY` strategies, `prop_map`,
+//! and `prop_assert!`/`prop_assert_eq!`/`prop_assume!` — while replacing
+//! the shrinking machinery with plain deterministic random sampling:
+//! each test runs `cases` seeded samples and reports the first failing
+//! input verbatim (no shrinking). Sampling is seeded per test name, so
+//! failures are reproducible run to run.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Config and error types, mirroring `proptest::test_runner`.
+
+    /// How a single generated test case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; try another sample.
+        Reject,
+        /// The property failed with the given message.
+        Fail(String),
+    }
+
+    /// Test-runner configuration. Only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases to run.
+        pub cases: u32,
+        /// Maximum total rejected samples (`prop_assume!` failures)
+        /// tolerated before the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig::with_cases(256)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a
+    /// strategy is just a seeded sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut StdRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: vectors of `element` samples whose
+    /// length is uniform in `len_range`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies, mirroring `proptest::bool`.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding fair booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+/// Seeds the per-test RNG from the test's fully qualified name (FNV-1a),
+/// so every run of a given test draws the same samples.
+pub fn rng_for_test(name: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h)
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` paths (`prop::collection::vec`, `prop::bool::ANY`),
+    /// as re-exported by real proptest's prelude.
+    pub use crate as prop;
+}
+
+/// Fails the current test case with a formatted message unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        let msg = format!($($fmt)*);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left), stringify!($right), l, r, msg
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current sample (it is not counted towards `cases`) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The `proptest!` block: declares `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($parm:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $parm = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.max_global_rejects,
+                            "proptest shim: too many prop_assume! rejections in {} \
+                             ({} rejects for {} accepted cases)",
+                            stringify!($name), rejected, accepted
+                        );
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed: {}", msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1u32..10, y in -2.0f64..2.0) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0usize..3, 0.5f64..1.5), 1..6),
+            b in prop::bool::ANY,
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (i, f) in &v {
+                prop_assert!(*i < 3);
+                prop_assert!((0.5..1.5).contains(f));
+            }
+            let as_int = u8::from(b);
+            prop_assert!(as_int == 0 || as_int == 1);
+        }
+
+        #[test]
+        fn prop_map_and_assume(mut n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            n += 2;
+            let doubled = crate::strategy::Strategy::new_value(
+                &(1u32..5).prop_map(|k| k * 2),
+                &mut crate::rng_for_test("inner"),
+            );
+            prop_assert!(doubled % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = {
+            let mut rng = crate::rng_for_test("t");
+            (0..10).map(|_| s.new_value(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::rng_for_test("t");
+            (0..10).map(|_| s.new_value(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,363 @@
+//! Vendored offline shim for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `serde`
+//! cannot be fetched. The workspace's needs are narrow: `#[derive(
+//! serde::Serialize, serde::Deserialize)]` on plain structs and enums,
+//! `#[serde(transparent)]` newtypes, and `serde_json::{to_value,
+//! to_string}` over those types. This shim collapses the serializer
+//! abstraction to a single concrete [`Value`] tree (the only data model
+//! the workspace ever serializes into) while keeping every call site and
+//! derive attribute source-compatible.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree: the single serialization data model of the
+/// shim. Re-exported by the vendored `serde_json` as its `Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// Floating-point number. Non-finite values render as `null`.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Map),
+}
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json::Map`
+/// with `preserve_order` semantics (field order in JSON output matches
+/// declaration order).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, replacing and returning any previous
+    /// value for that key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Returns the value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Value {
+    /// Renders the value as compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        // match serde_json: whole floats keep a ".0"
+                        out.push_str(&format!("{f:.1}"));
+                    } else {
+                        out.push_str(&format!("{f}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+/// Types convertible into the shim's [`Value`] data model. Stands in for
+/// `serde::Serialize`; implemented by the derive macro and for the
+/// primitive/container types the workspace serializes.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Marker stand-in for `serde::Deserialize`. The workspace never
+/// deserializes, so the derive emits an empty impl.
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = u64::from(*self);
+                match i64::try_from(v) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(v),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        (*self as u64).serialize_value()
+    }
+}
+
+impl Serialize for isize {
+    fn serialize_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.to_string(), v.serialize_value());
+        }
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        assert!(m.insert("a".into(), Value::Int(1)).is_none());
+        assert_eq!(m.insert("a".into(), Value::Int(2)), Some(Value::Int(1)));
+        assert_eq!(m.get("a"), Some(&Value::Int(2)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn json_rendering() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Int(3));
+        m.insert("x".into(), Value::Float(2.5));
+        m.insert("s".into(), Value::String("a\"b".into()));
+        let v = Value::Object(m);
+        assert_eq!(v.to_json_string(), r#"{"k":3,"x":2.5,"s":"a\"b"}"#);
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal() {
+        assert_eq!(Value::Float(9.0).to_json_string(), "9.0");
+        assert_eq!(Value::Float(f64::NAN).to_json_string(), "null");
+    }
+
+    #[test]
+    fn primitive_impls() {
+        assert_eq!(3u32.serialize_value(), Value::Int(3));
+        assert_eq!(u64::MAX.serialize_value(), Value::UInt(u64::MAX));
+        assert_eq!(Some(1i32).serialize_value(), Value::Int(1));
+        assert_eq!(None::<i32>.serialize_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].serialize_value(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+}

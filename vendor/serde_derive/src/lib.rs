@@ -1,0 +1,391 @@
+//! Vendored offline derive macros for the `serde` shim.
+//!
+//! With no crates.io access there is no `syn`/`quote`, so the derive
+//! input is parsed directly from the compiler's `proc_macro` token
+//! stream. The grammar covered is exactly what this workspace declares:
+//!
+//! * named-field structs (→ JSON objects),
+//! * tuple structs (1 field → the inner value, matching serde's newtype
+//!   semantics and `#[serde(transparent)]`; n fields → arrays),
+//! * unit structs (→ `null`),
+//! * enums with unit / tuple / struct variants (externally tagged, as
+//!   in real serde),
+//! * a simple generic parameter list (each type parameter gets a
+//!   `serde::Serialize` bound).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Shape {
+    UnitStruct,
+    TupleStruct { arity: usize },
+    NamedStruct { fields: Vec<String> },
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    lifetimes: Vec<String>,
+    shape: Shape,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_str(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips outer attributes (`#[...]`, including doc comments).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, `pub(in ...)`).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && ident_str(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses a generic parameter list starting at the `<` in `tokens[i]`,
+/// returning (type params, lifetimes, index just past the closing `>`).
+fn parse_generics(tokens: &[TokenTree], mut i: usize) -> (Vec<String>, Vec<String>, usize) {
+    let mut types = Vec::new();
+    let mut lifetimes = Vec::new();
+    debug_assert!(is_punct(&tokens[i], '<'));
+    i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while i < tokens.len() && depth > 0 {
+        let tt = &tokens[i];
+        if is_punct(tt, '<') {
+            depth += 1;
+            at_param_start = false;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if depth == 1 && is_punct(tt, ',') {
+            at_param_start = true;
+        } else if depth == 1 && is_punct(tt, '\'') {
+            if at_param_start {
+                if let Some(name) = tokens.get(i + 1).and_then(ident_str) {
+                    lifetimes.push(format!("'{name}"));
+                }
+            }
+            i += 1; // consume the lifetime ident too
+            at_param_start = false;
+        } else if depth == 1 && at_param_start {
+            if let Some(name) = ident_str(tt) {
+                if name != "const" {
+                    types.push(name);
+                }
+            }
+            at_param_start = false;
+        }
+        i += 1;
+    }
+    (types, lifetimes, i)
+}
+
+/// Splits a delimited group body on top-level commas.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut depth = 0isize;
+    let mut prev_joint_dash = false;
+    for tt in tokens {
+        // `->` in a field type (fn pointers) contains a `>` that is not
+        // a generic closer; joint `-` marks it.
+        let arrow_tail = prev_joint_dash && is_punct(tt, '>');
+        prev_joint_dash = matches!(
+            tt,
+            TokenTree::Punct(p)
+                if p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint
+        );
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') && !arrow_tail {
+            depth -= 1;
+        }
+        if depth == 0 && is_punct(tt, ',') {
+            if !current.is_empty() {
+                parts.push(std::mem::take(&mut current));
+            }
+        } else {
+            current.push(tt.clone());
+        }
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Extracts `name` from one named-field declaration (`attrs vis name: ty`).
+fn field_name(part: &[TokenTree]) -> Option<String> {
+    let mut i = skip_attrs(part, 0);
+    i = skip_vis(part, i);
+    ident_str(part.get(i)?)
+}
+
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(group_tokens)
+        .iter()
+        .filter_map(|p| field_name(p))
+        .collect()
+}
+
+fn parse_enum_variants(group_tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(group_tokens)
+        .iter()
+        .filter_map(|part| {
+            let i = skip_attrs(part, 0);
+            let name = ident_str(part.get(i)?)?;
+            let kind = match part.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Tuple(split_top_level(&inner).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantKind::Named(parse_named_fields(&inner))
+                }
+                _ => VariantKind::Unit, // unit, possibly with `= discriminant`
+            };
+            Some(Variant { name, kind })
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kind = ident_str(tokens.get(i).ok_or("unexpected end of input")?)
+        .ok_or("expected `struct` or `enum`")?;
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("derive only supports struct/enum, got `{kind}`"));
+    }
+    i += 1;
+
+    let name =
+        ident_str(tokens.get(i).ok_or("expected a type name")?).ok_or("expected a type name")?;
+    i += 1;
+
+    let (generics, lifetimes) = if i < tokens.len() && is_punct(&tokens[i], '<') {
+        let (g, l, next) = parse_generics(&tokens, i);
+        i = next;
+        (g, l)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    // skip a `where` clause if present: everything up to the body group
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            tt if is_punct(tt, ';') => break,
+            _ => i += 1,
+        }
+    }
+
+    let shape = if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Enum {
+                    variants: parse_enum_variants(&inner),
+                }
+            }
+            _ => return Err("expected enum body".into()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct {
+                    fields: parse_named_fields(&inner),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct {
+                    arity: split_top_level(&inner).len(),
+                }
+            }
+            _ => Shape::UnitStruct,
+        }
+    };
+
+    Ok(Input {
+        name,
+        generics,
+        lifetimes,
+        shape,
+    })
+}
+
+/// `impl<...>` generic header + type argument list for the impl.
+fn generics_split(input: &Input, bound: Option<&str>) -> (String, String) {
+    if input.generics.is_empty() && input.lifetimes.is_empty() {
+        return (String::new(), String::new());
+    }
+    let mut params: Vec<String> = input.lifetimes.clone();
+    for g in &input.generics {
+        match bound {
+            Some(b) => params.push(format!("{g}: {b}")),
+            None => params.push(g.clone()),
+        }
+    }
+    let mut args: Vec<String> = input.lifetimes.clone();
+    args.extend(input.generics.iter().cloned());
+    (
+        format!("<{}>", params.join(", ")),
+        format!("<{}>", args.join(", ")),
+    )
+}
+
+fn serialize_body(input: &Input) -> String {
+    let name = &input.name;
+    match &input.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::TupleStruct { arity: 1 } => {
+            "::serde::Serialize::serialize_value(&self.0)".to_owned()
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct { fields } => {
+            let mut body = String::from("{ let mut map = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "map.insert(\"{f}\".to_owned(), ::serde::Serialize::serialize_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(map) }");
+            body
+        }
+        Shape::Enum { variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_owned()),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut tag = ::serde::Map::new(); tag.insert(\"{vn}\".to_owned(), {inner}); ::serde::Value::Object(tag) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = String::from("{ let mut map = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "map.insert(\"{f}\".to_owned(), ::serde::Serialize::serialize_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(map) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{ let mut tag = ::serde::Map::new(); tag.insert(\"{vn}\".to_owned(), {inner}); ::serde::Value::Object(tag) }},\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+/// Derives the shim's `serde::Serialize` (conversion into `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => {
+            return format!("compile_error!(\"serde_derive shim: {e}\");")
+                .parse()
+                .expect("valid error tokens")
+        }
+    };
+    let (impl_params, type_args) = generics_split(&parsed, Some("::serde::Serialize"));
+    let name = &parsed.name;
+    let body = serialize_body(&parsed);
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Serialize for {name}{type_args} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("generated impl parses")
+}
+
+/// Derives the shim's marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => {
+            return format!("compile_error!(\"serde_derive shim: {e}\");")
+                .parse()
+                .expect("valid error tokens")
+        }
+    };
+    let (impl_params, type_args) = generics_split(&parsed, None);
+    let name = &parsed.name;
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Deserialize for {name}{type_args} {{}}"
+    );
+    out.parse().expect("generated impl parses")
+}

@@ -1,0 +1,63 @@
+//! Vendored offline shim for the subset of `serde_json` this workspace
+//! uses: `Value`/`Map` (re-exported from the `serde` shim, which owns the
+//! data model) and the `to_value`/`to_string` entry points.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::{Map, Value};
+
+/// Serialization error. The shim's data model is infallible, so this is
+/// never actually produced; it exists to keep `Result`-based call sites
+/// source-compatible.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any `Serialize` type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Renders any `Serialize` type as compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_json_string())
+}
+
+/// Renders any `Serialize` type as JSON text (the shim does not indent;
+/// provided for source compatibility).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_value_and_string() {
+        let v = to_value(vec![1u32, 2, 3]).unwrap();
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&"hi").unwrap(), "\"hi\"");
+    }
+
+    #[test]
+    fn object_tagging_like_tablegen() {
+        let mut m = Map::new();
+        m.insert("a".to_owned(), Value::Int(1));
+        let mut v = Value::Object(m);
+        if let Value::Object(map) = &mut v {
+            map.insert("experiment".to_owned(), Value::String("e1".to_owned()));
+        }
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"experiment":"e1"}"#);
+    }
+}
