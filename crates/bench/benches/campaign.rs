@@ -1,0 +1,46 @@
+//! Microbenchmarks for the campaign engine: grid enumeration cost and
+//! the sharded runner's overhead over the raw per-cell work (E1 on a
+//! small grid).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raysearch_bench::experiments::e1_theorem1;
+use raysearch_core::campaign::ParamGrid;
+
+fn bench_grid_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/grid");
+    group.bench_function("cells_20x20_filtered", |b| {
+        b.iter(|| {
+            let grid = ParamGrid::new()
+                .axis_u32("k", 1..=20)
+                .axis_u32("f", 0..20)
+                .filter(|cell| cell.get_u32("f") < cell.get_u32("k"));
+            black_box(grid.cells().len())
+        })
+    });
+    group.bench_function("cells_zip_x_float", |b| {
+        b.iter(|| {
+            let grid = ParamGrid::new()
+                .axis_zip(
+                    &["m", "k", "f"],
+                    (0..32u32).map(|i| vec![(i % 5 + 2).into(), (i + 1).into(), 0u32.into()]),
+                )
+                .axis_f64("alpha", (0..32).map(|i| 1.0 + f64::from(i) / 32.0));
+            black_box(grid.cells().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_campaign_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign/e1");
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(e1_theorem1::campaign(5, 1e3).threads(Some(1)).run().len()))
+    });
+    group.bench_function("sharded", |b| {
+        b.iter(|| black_box(e1_theorem1::campaign(5, 1e3).threads(Some(4)).run().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_enumeration, bench_campaign_runner);
+criterion_main!(benches);

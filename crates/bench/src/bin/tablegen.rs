@@ -1,175 +1,176 @@
-//! `tablegen` — regenerate every experiment table/series of the
-//! reproduction.
+//! `tablegen` — regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! cargo run -p raysearch-bench --bin tablegen [--release] [--json] [e1 e4 ...]
+//! tablegen [--json PATH] [--experiment e1,e4] [--max-k N] [--threads N] [ids...]
 //! ```
 //!
-//! Without experiment arguments, all of E1–E10 run. With `--json`, rows
-//! are emitted as JSON lines (one object per row, tagged with the
-//! experiment id) instead of text tables.
+//! Without a selection, all of E1–E10 run. In text mode (the default)
+//! each campaign renders as an aligned table with run metadata. With
+//! `--json PATH` a single JSON document is written to PATH (`-` for
+//! stdout):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "paper": "1707.05077",
+//!   "config": {"max_k": 10, "threads": null},
+//!   "campaigns": [
+//!     {"id": "e1", "title": "...", "threads": 8, "micros": 12345,
+//!      "cells": 25, "rows": [{"k": 1, "f": 0, ...}, ...]},
+//!     ...
+//!   ]
+//! }
+//! ```
 
-use raysearch_bench::experiments::{
-    self, e10_boundary, e1_theorem1, e2_regimes, e3_byzantine, e4_rays, e5_alpha, e6_potential,
-    e7_orc, e8_fractional, e9_applications,
-};
+use raysearch_bench::experiments::{self, Config};
 
-fn emit_json<T: serde::Serialize>(experiment: &str, rows: &[T]) {
-    for row in rows {
-        let mut value = serde_json::to_value(row).expect("rows serialize");
-        if let serde_json::Value::Object(map) = &mut value {
-            map.insert(
-                "experiment".to_owned(),
-                serde_json::Value::String(experiment.to_owned()),
-            );
+const USAGE: &str = "\
+usage: tablegen [options] [ids...]
+
+options:
+  --json PATH        write one JSON document to PATH ('-' = stdout)
+                     instead of rendering text tables
+  --experiment LIST  comma-separated experiment ids (same as positional
+                     ids), e.g. --experiment e1,e4
+  --max-k N          ceiling for the k axes of E1-E4 (default 10)
+  --threads N        worker threads per campaign (N >= 1; 1 = sequential;
+                     default: machine parallelism)
+  --help             show this help
+
+experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 (default: all)";
+
+struct Cli {
+    json: Option<String>,
+    ids: Vec<String>,
+    cfg: Config,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut json = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut cfg = Config::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--json" => {
+                let path = value_of("--json")?;
+                // catch scripts written against the old `--json e3` CLI
+                // (a flag without a value) before they clobber a file
+                if path.starts_with("--") || experiments::ALL.contains(&path.as_str()) {
+                    return Err(format!(
+                        "--json requires an output PATH ('-' = stdout), got {path:?}"
+                    ));
+                }
+                json = Some(path);
+            }
+            "--experiment" | "--experiments" => {
+                ids.extend(
+                    value_of("--experiment")?
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_lowercase),
+                );
+            }
+            "--max-k" => {
+                cfg.max_k = value_of("--max-k")?
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&k| k >= 1)
+                    .ok_or("--max-k expects an integer >= 1")?;
+            }
+            "--threads" => {
+                cfg.threads = Some(
+                    value_of("--threads")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .ok_or("--threads expects an integer >= 1")?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            id => ids.push(id.to_lowercase()),
         }
-        println!("{}", serde_json::to_string(&value).expect("valid json"));
     }
+    for id in &ids {
+        if !experiments::ALL.contains(&id.as_str()) {
+            return Err(format!(
+                "unknown experiment {id:?} (available: {})",
+                experiments::ALL.join(", ")
+            ));
+        }
+    }
+    Ok(Some(Cli { json, ids, cfg }))
+}
+
+fn json_document(cli: &Cli, reports: &[raysearch_core::campaign::Report]) -> serde_json::Value {
+    use serde_json::{Map, Value};
+    let mut config = Map::new();
+    config.insert("max_k".to_owned(), Value::Int(i64::from(cli.cfg.max_k)));
+    config.insert(
+        "threads".to_owned(),
+        cli.cfg
+            .threads
+            .map_or(Value::Null, |t| Value::Int(t as i64)),
+    );
+    let mut doc = Map::new();
+    doc.insert("schema_version".to_owned(), Value::Int(1));
+    doc.insert("paper".to_owned(), Value::String("1707.05077".to_owned()));
+    doc.insert("config".to_owned(), Value::Object(config));
+    doc.insert(
+        "campaigns".to_owned(),
+        Value::Array(reports.iter().map(|r| r.to_value()).collect()),
+    );
+    Value::Object(doc)
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some(cli) = parse_args(&args)? else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let selected: Vec<&str> = experiments::ALL
+        .iter()
+        .copied()
+        .filter(|id| cli.ids.is_empty() || cli.ids.iter().any(|w| w == id))
+        .collect();
+
+    let mut reports = Vec::new();
+    for id in &selected {
+        let batch =
+            experiments::run_experiment(id, &cli.cfg).expect("registry covers every id in ALL");
+        if cli.json.is_none() {
+            for report in &batch {
+                println!("{}", report.render_text());
+            }
+        }
+        reports.extend(batch);
+    }
+
+    match &cli.json {
+        Some(path) => {
+            let text =
+                serde_json::to_string(&json_document(&cli, &reports)).expect("document serializes");
+            if path == "-" {
+                println!("{text}");
+            } else {
+                std::fs::write(path, text + "\n")
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+            }
+        }
+        None => println!("experiments available: {}", experiments::ALL.join(", ")),
+    }
+    Ok(())
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
-    let run_all = wanted.is_empty();
-    let want = |id: &str| run_all || wanted.iter().any(|w| w == id);
-
-    let header = |id: &str, title: &str| {
-        if !json {
-            println!("\n=== {} — {title} ===\n", id.to_uppercase());
-        }
-    };
-
-    if want("e1") {
-        header("e1", "Theorem 1: A(k,f) closed form vs numeric vs measured");
-        let rows = e1_theorem1::run(10, 5e3);
-        if json {
-            emit_json("e1", &rows);
-        } else {
-            print!("{}", e1_theorem1::table(&rows).render());
-        }
-    }
-    if want("e2") {
-        header("e2", "regime map (impossible / trivial / searchable)");
-        let rows = e2_regimes::run(10);
-        if json {
-            emit_json("e2", &rows);
-        } else {
-            print!("{}", e2_regimes::table(&rows).render());
-        }
-    }
-    if want("e3") {
-        header(
-            "e3",
-            "Byzantine bands: B(k,f) >= A(k,f), conservative UB A(k,2f)",
-        );
-        let rows = e3_byzantine::run(8);
-        if json {
-            emit_json("e3", &rows);
-        } else {
-            print!("{}", e3_byzantine::table(&rows).render());
-        }
-    }
-    if want("e4") {
-        header(
-            "e4",
-            "Theorem 6: A(m,k,f) grid (f = 0 rows answer the open question)",
-        );
-        let rows = e4_rays::run(6, 7, 5e3);
-        if json {
-            emit_json("e4", &rows);
-        } else {
-            print!("{}", e4_rays::table(&rows).render());
-        }
-    }
-    if want("e5") {
-        header(
-            "e5",
-            "alpha ablation: ratio vs geometric base, minimum at alpha*",
-        );
-        for (m, k, f) in [(2u32, 1u32, 0u32), (2, 3, 1), (3, 4, 1)] {
-            let rows = e5_alpha::run(m, k, f, 4, 5e3);
-            if json {
-                emit_json("e5", &rows);
-            } else {
-                print!("{}", e5_alpha::table(&rows).render());
-                println!();
-            }
-        }
-    }
-    if want("e6") {
-        header("e6", "potential growth vs mu/mu* (Lemma 5 measured)");
-        let rows = e6_potential::run(
-            2,
-            3,
-            1,
-            &[0.9, 0.99, 0.999, 0.9999, 1.0, 1.02, 1.05, 1.15],
-            5e3,
-        );
-        if json {
-            emit_json("e6", &rows);
-        } else {
-            print!("{}", e6_potential::table(&rows).render());
-        }
-    }
-    if want("e7") {
-        header("e7", "sub-threshold cover reach vs lambda (ineq. (12))");
-        for (m, k, f) in [(2u32, 1u32, 0u32), (3, 2, 0)] {
-            let rows = e7_orc::run(m, k, f, &[1.02, 0.999, 0.995, 0.98, 0.95, 0.9, 0.8], 1e5);
-            if json {
-                emit_json("e7", &rows);
-            } else {
-                print!("{}", e7_orc::table(&rows).render());
-                println!();
-            }
-        }
-    }
-    if want("e8") {
-        header(
-            "e8",
-            "fractional C(eta) and the rational sandwich (Eq. (11))",
-        );
-        let rows = e8_fractional::run(&[1.25, 1.5, 1.75, 2.0, std::f64::consts::E, 3.0, 3.5], 64);
-        if json {
-            emit_json("e8", &rows);
-        } else {
-            print!("{}", e8_fractional::table(&rows).render());
-        }
-    }
-    if want("e9") {
-        header(
-            "e9",
-            "applications: contract scheduling & hybrid algorithms",
-        );
-        let rows = e9_applications::run(&[(1, 1), (2, 1), (3, 1), (3, 2), (4, 3), (5, 3)], 1e6);
-        if json {
-            emit_json("e9", &rows);
-        } else {
-            print!("{}", e9_applications::table(&rows).render());
-        }
-    }
-    if want("e10") {
-        header(
-            "e10",
-            "boundaries: rho -> 1+ discontinuity and the rho = 2 cow path",
-        );
-        let rho_rows = e10_boundary::run_rho(12);
-        let base_rows = e10_boundary::run_bases(&[1.3, 1.5, 1.8, 2.0, 2.2, 2.5, 3.0, 4.0], 1e4);
-        if json {
-            emit_json("e10_rho", &rho_rows);
-            emit_json("e10_base", &base_rows);
-        } else {
-            print!("{}", e10_boundary::rho_table(&rho_rows).render());
-            println!();
-            print!("{}", e10_boundary::base_table(&base_rows).render());
-        }
-    }
-
-    if !json {
-        println!("\nexperiments available: {}", experiments::ALL.join(", "));
+    if let Err(msg) = run(std::env::args().skip(1).collect()) {
+        eprintln!("tablegen: {msg}\n\n{USAGE}");
+        std::process::exit(2);
     }
 }

@@ -1,6 +1,6 @@
 //! E10 — the boundary behaviour of the master ratio.
 //!
-//! Two series:
+//! Two series (two campaigns, since the rows differ):
 //!
 //! * **`ρ → 1⁺`** — the paper notes the ratio is `1` *at* `s = 0` but the
 //!   formula tends to `3` as `s → 0⁺`: a genuine discontinuity between
@@ -12,10 +12,9 @@
 use raysearch_bounds::c_orc;
 #[cfg(test)]
 use raysearch_bounds::lambda_big;
+use raysearch_core::campaign::{Campaign, ParamGrid};
 use raysearch_core::LineEvaluator;
 use raysearch_strategies::{DoublingCowPath, LineStrategy};
-
-use crate::table::{fnum, Table};
 
 /// One point of the `ρ → 1⁺` series.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -39,34 +38,33 @@ pub struct BaseRow {
     pub measured: f64,
 }
 
-/// Runs the `ρ → 1⁺` series for `k = 1, 2, 4, …, 2^doublings`.
-///
-/// # Panics
-///
-/// Panics if bound computation rejects `q = k+1 > k` (a bug).
-pub fn run_rho(doublings: u32) -> Vec<RhoRow> {
-    (0..=doublings)
-        .map(|i| {
-            let k = 1u32 << i;
-            let eta = f64::from(k + 1) / f64::from(k);
+/// Builds the `ρ → 1⁺` campaign for `k = 1, 2, 4, …, 2^doublings`.
+pub fn rho_campaign(doublings: u32) -> Campaign<RhoRow> {
+    let grid = ParamGrid::new().axis_u32("k", (0..=doublings).map(|i| 1u32 << i));
+    Campaign::new(
+        "e10_rho",
+        "boundaries: rho -> 1+ discontinuity (Lambda tends to 3, never 1)",
+        grid,
+        |cell| {
+            let k = cell.get_u32("k");
             RhoRow {
                 k,
-                eta,
+                eta: f64::from(k + 1) / f64::from(k),
                 ratio: c_orc(k, k + 1).expect("q > k"),
             }
-        })
-        .collect()
+        },
+    )
 }
 
-/// Runs the cow-path base sweep.
-///
-/// # Panics
-///
-/// Panics if a base `≤ 1` is passed.
-pub fn run_bases(bases: &[f64], horizon: f64) -> Vec<BaseRow> {
-    bases
-        .iter()
-        .map(|&base| {
+/// Builds the cow-path base-sweep campaign.
+pub fn base_campaign(bases: &[f64], horizon: f64) -> Campaign<BaseRow> {
+    let grid = ParamGrid::new().axis_f64("base", bases.iter().copied());
+    Campaign::new(
+        "e10_base",
+        "boundaries: rho = 2 cow path, ratio vs doubling base",
+        grid,
+        move |cell| {
+            let base = cell.get_f64("base");
             let cow = DoublingCowPath::new(base).expect("base > 1");
             let fleet = cow
                 .fleet_itineraries(horizon * 10.0)
@@ -81,42 +79,26 @@ pub fn run_bases(bases: &[f64], horizon: f64) -> Vec<BaseRow> {
                 formula: cow.theoretical_ratio(),
                 measured,
             }
-        })
-        .collect()
+        },
+    )
 }
 
-/// Renders the `ρ → 1⁺` series.
-pub fn rho_table(rows: &[RhoRow]) -> Table {
-    let mut t = Table::new(
-        ["k", "eta = (k+1)/k", "Lambda(eta)"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            r.k.to_string(),
-            format!("{:.6}", r.eta),
-            fnum(r.ratio),
-        ]);
-    }
-    t
+/// Runs the `ρ → 1⁺` series for `k = 1, 2, 4, …, 2^doublings`.
+///
+/// # Panics
+///
+/// Panics if bound computation rejects `q = k+1 > k` (a bug).
+pub fn run_rho(doublings: u32) -> Vec<RhoRow> {
+    rho_campaign(doublings).run().into_rows()
 }
 
-/// Renders the base sweep.
-pub fn base_table(rows: &[BaseRow]) -> Table {
-    let mut t = Table::new(
-        ["base", "1+2b^2/(b-1)", "measured"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            format!("{:.3}", r.base),
-            fnum(r.formula),
-            fnum(r.measured),
-        ]);
-    }
-    t
+/// Runs the cow-path base sweep.
+///
+/// # Panics
+///
+/// Panics if a base `≤ 1` is passed.
+pub fn run_bases(bases: &[f64], horizon: f64) -> Vec<BaseRow> {
+    base_campaign(bases, horizon).run().into_rows()
 }
 
 #[cfg(test)]

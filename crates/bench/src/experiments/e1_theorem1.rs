@@ -7,10 +7,9 @@
 //! baseline (always 9). Matching columns are the tightness of Theorem 1.
 
 use raysearch_bounds::{cyclic_ratio, numeric::golden_section_min, LineInstance, Regime};
+use raysearch_core::campaign::{Campaign, ParamGrid};
 use raysearch_core::LineEvaluator;
 use raysearch_strategies::{CyclicExponential, LineStrategy};
-
-use crate::table::{fnum, Table};
 
 /// One row of the E1 table.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -31,18 +30,26 @@ pub struct Row {
     pub baseline: f64,
 }
 
-/// Runs E1 over all searchable `(k, f)` with `k ≤ max_k`.
-///
-/// # Panics
-///
-/// Panics if any substrate rejects in-regime parameters (a bug).
-pub fn run(max_k: u32, horizon: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for k in 1..=max_k {
-        for f in 0..k {
+/// Builds the E1 campaign over all searchable `(k, f)` with `k ≤ max_k`.
+pub fn campaign(max_k: u32, horizon: f64) -> Campaign<Row> {
+    let grid = ParamGrid::new()
+        .axis_u32("k", 1..=max_k)
+        .axis_u32("f", 0..max_k.max(1))
+        .filter(|c| c.get_u32("f") < c.get_u32("k"))
+        .filter(|c| {
+            LineInstance::new(c.get_u32("k"), c.get_u32("f"))
+                .map(|i| matches!(i.regime(), Regime::Searchable { .. }))
+                .unwrap_or(false)
+        });
+    Campaign::new(
+        "e1",
+        "Theorem 1: A(k,f) closed form vs numeric vs measured",
+        grid,
+        move |cell| {
+            let (k, f) = (cell.get_u32("k"), cell.get_u32("f"));
             let instance = LineInstance::new(k, f).expect("validated");
             let Regime::Searchable { ratio: closed_form } = instance.regime() else {
-                continue;
+                unreachable!("grid filter admits only searchable cells");
             };
             let q = instance.q();
             let (_, numeric_min) = golden_section_min(
@@ -64,7 +71,7 @@ pub fn run(max_k: u32, horizon: f64) -> Vec<Row> {
                 .evaluate(&fleet)
                 .expect("fleet large enough")
                 .ratio;
-            rows.push(Row {
+            Row {
                 k,
                 f,
                 rho: instance.rho(),
@@ -72,39 +79,18 @@ pub fn run(max_k: u32, horizon: f64) -> Vec<Row> {
                 numeric_min,
                 measured,
                 baseline: 9.0,
-            });
-        }
-    }
-    rows
+            }
+        },
+    )
 }
 
-/// Renders the E1 table.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        [
-            "k",
-            "f",
-            "rho",
-            "A(k,f) closed",
-            "numeric min",
-            "measured",
-            "baseline(9)",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            r.k.to_string(),
-            r.f.to_string(),
-            format!("{:.4}", r.rho),
-            fnum(r.closed_form),
-            fnum(r.numeric_min),
-            fnum(r.measured),
-            fnum(r.baseline),
-        ]);
-    }
-    t
+/// Runs E1 over all searchable `(k, f)` with `k ≤ max_k`.
+///
+/// # Panics
+///
+/// Panics if any substrate rejects in-regime parameters (a bug).
+pub fn run(max_k: u32, horizon: f64) -> Vec<Row> {
+    campaign(max_k, horizon).run().into_rows()
 }
 
 #[cfg(test)]
@@ -137,9 +123,11 @@ mod tests {
     }
 
     #[test]
-    fn table_renders_every_row() {
-        let rows = run(4, 1e3);
-        let t = table(&rows);
-        assert_eq!(t.len(), rows.len());
+    fn report_renders_every_row() {
+        let report = campaign(4, 1e3).threads(Some(2)).run().report();
+        assert_eq!(report.id(), "e1");
+        assert!(!report.rows().is_empty());
+        let text = report.render_text();
+        assert!(text.contains("closed_form") && text.contains("numeric_min"));
     }
 }

@@ -6,10 +6,9 @@
 //! saturation baseline in the trivial regime.
 
 use raysearch_bounds::{LineInstance, Regime};
+use raysearch_core::campaign::{Campaign, ParamGrid};
 use raysearch_core::LineEvaluator;
 use raysearch_strategies::{baselines::TwoWaySaturation, LineStrategy};
-
-use crate::table::{fnum, Table};
 
 /// One cell of the regime map.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -29,15 +28,18 @@ pub struct Row {
     pub trivial_witness: Option<f64>,
 }
 
-/// Runs E2 over the full grid `k ≤ max_k`, `f ≤ k`.
-///
-/// # Panics
-///
-/// Panics if a substrate rejects validated parameters (a bug).
-pub fn run(max_k: u32) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for k in 1..=max_k {
-        for f in 0..=k {
+/// Builds the E2 campaign over the full grid `k ≤ max_k`, `f ≤ k`.
+pub fn campaign(max_k: u32) -> Campaign<Row> {
+    let grid = ParamGrid::new()
+        .axis_u32("k", 1..=max_k)
+        .axis_u32("f", 0..=max_k)
+        .filter(|c| c.get_u32("f") <= c.get_u32("k"));
+    Campaign::new(
+        "e2",
+        "regime map (impossible / trivial / searchable)",
+        grid,
+        |cell| {
+            let (k, f) = (cell.get_u32("k"), cell.get_u32("f"));
             let instance = LineInstance::new(k, f).expect("validated");
             let regime = instance.regime();
             let trivial_witness = match regime {
@@ -54,7 +56,7 @@ pub fn run(max_k: u32) -> Vec<Row> {
                 }
                 _ => None,
             };
-            rows.push(Row {
+            Row {
                 k,
                 f,
                 s: instance.s(),
@@ -65,32 +67,18 @@ pub fn run(max_k: u32) -> Vec<Row> {
                 },
                 ratio: regime.ratio(),
                 trivial_witness,
-            });
-        }
-    }
-    rows
+            }
+        },
+    )
 }
 
-/// Renders the E2 table.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        ["k", "f", "s", "regime", "ratio", "trivial witness"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            r.k.to_string(),
-            r.f.to_string(),
-            r.s.to_string(),
-            r.regime.clone(),
-            r.ratio.map(fnum).unwrap_or_else(|| "-".to_owned()),
-            r.trivial_witness
-                .map(fnum)
-                .unwrap_or_else(|| "-".to_owned()),
-        ]);
-    }
-    t
+/// Runs E2 over the full grid `k ≤ max_k`, `f ≤ k`.
+///
+/// # Panics
+///
+/// Panics if a substrate rejects validated parameters (a bug).
+pub fn run(max_k: u32) -> Vec<Row> {
+    campaign(max_k).run().into_rows()
 }
 
 #[cfg(test)]

@@ -8,12 +8,13 @@
 //! that instance is searchable — the band `[A(k,f), A(k,2f)]` is where
 //! the true `B(k,f)` lives for these strategies.
 
-use raysearch_bounds::literature::byzantine_table;
 #[cfg(test)]
 use raysearch_bounds::literature::PRIOR_BYZANTINE_LB_3_1;
+use raysearch_bounds::literature::{
+    byzantine_lower_bound, byzantine_table, prior_byzantine_lower_bound,
+};
 use raysearch_bounds::{a_line, LineInstance, Regime};
-
-use crate::table::{fnum, Table};
+use raysearch_core::campaign::{Campaign, ParamGrid};
 
 /// One row of the Byzantine band table.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -31,61 +32,54 @@ pub struct Row {
     pub conservative_upper: Option<f64>,
 }
 
+/// Builds the E3 campaign over the nontrivial grid with `k ≤ max_k`.
+///
+/// The `(k, f)` row set is taken verbatim from
+/// [`byzantine_table`] —
+/// the literature module owns the regime window, this campaign only adds
+/// the conservative-verifier column.
+pub fn campaign(max_k: u32) -> Campaign<Row> {
+    let grid = ParamGrid::new().axis_zip(
+        &["k", "f"],
+        byzantine_table(max_k)
+            .expect("grid parameters are valid")
+            .into_iter()
+            .map(|r| vec![r.k.into(), r.f.into()])
+            .collect::<Vec<_>>(),
+    );
+    Campaign::new(
+        "e3",
+        "Byzantine bands: B(k,f) >= A(k,f), conservative UB A(k,2f)",
+        grid,
+        |cell| {
+            let (k, f) = (cell.get_u32("k"), cell.get_u32("f"));
+            let conservative_upper =
+                LineInstance::new(k, (2 * f).min(k))
+                    .ok()
+                    .and_then(|i| match i.regime() {
+                        Regime::Searchable { .. } if 2 * f < k => {
+                            Some(a_line(k, 2 * f).expect("searchable"))
+                        }
+                        _ => None,
+                    });
+            Row {
+                k,
+                f,
+                prior_lower: prior_byzantine_lower_bound(k, f),
+                new_lower: byzantine_lower_bound(k, f).expect("searchable regime"),
+                conservative_upper,
+            }
+        },
+    )
+}
+
 /// Runs E3 over the nontrivial grid with `k ≤ max_k`.
 ///
 /// # Panics
 ///
 /// Panics if a substrate rejects validated parameters (a bug).
 pub fn run(max_k: u32) -> Vec<Row> {
-    byzantine_table(max_k)
-        .expect("grid parameters are valid")
-        .into_iter()
-        .map(|r| {
-            let conservative_upper =
-                LineInstance::new(r.k, (2 * r.f).min(r.k))
-                    .ok()
-                    .and_then(|i| match i.regime() {
-                        Regime::Searchable { .. } if 2 * r.f < r.k => {
-                            Some(a_line(r.k, 2 * r.f).expect("searchable"))
-                        }
-                        _ => None,
-                    });
-            Row {
-                k: r.k,
-                f: r.f,
-                prior_lower: r.prior_lower_bound,
-                new_lower: r.new_lower_bound,
-                conservative_upper,
-            }
-        })
-        .collect()
-}
-
-/// Renders the E3 table.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        [
-            "k",
-            "f",
-            "prior LB",
-            "new LB = A(k,f)",
-            "conservative UB = A(k,2f)",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            r.k.to_string(),
-            r.f.to_string(),
-            r.prior_lower.map(fnum).unwrap_or_else(|| "-".to_owned()),
-            fnum(r.new_lower),
-            r.conservative_upper
-                .map(fnum)
-                .unwrap_or_else(|| "-".to_owned()),
-        ]);
-    }
-    t
+    campaign(max_k).run().into_rows()
 }
 
 #[cfg(test)]
@@ -116,6 +110,20 @@ mod tests {
             if let Some(p) = r.prior_lower {
                 assert!(r.new_lower > p, "no improvement at (k={}, f={})", r.k, r.f);
             }
+        }
+    }
+
+    #[test]
+    fn grid_matches_literature_table() {
+        // the campaign's grid must reproduce byzantine_table exactly,
+        // through the default tablegen extent (max_k = 10)
+        let rows = run(10);
+        let lit = byzantine_table(10).unwrap();
+        assert_eq!(rows.len(), lit.len());
+        for (r, l) in rows.iter().zip(&lit) {
+            assert_eq!((r.k, r.f), (l.k, l.f));
+            assert!((r.new_lower - l.new_lower_bound).abs() < 1e-12);
+            assert_eq!(r.prior_lower, l.prior_lower_bound);
         }
     }
 }

@@ -7,10 +7,9 @@
 //! appendix strategy.
 
 use raysearch_bounds::{a_line, RayInstance, Regime};
+use raysearch_core::campaign::{Campaign, ParamGrid};
 use raysearch_core::RayEvaluator;
 use raysearch_strategies::{CyclicExponential, RayStrategy};
-
-use crate::table::{fnum, Table};
 
 /// One row of the E4 grid.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -33,6 +32,50 @@ pub struct Row {
     pub line_value: Option<f64>,
 }
 
+/// Builds the E4 campaign over searchable instances with `m ≤ max_m`,
+/// `k ≤ max_k`, `f ≤ 2`.
+pub fn campaign(max_m: u32, max_k: u32, horizon: f64) -> Campaign<Row> {
+    let grid = ParamGrid::new()
+        .axis_u32("m", 2..=max_m)
+        .axis_u32("k", 1..=max_k)
+        .axis_u32("f", 0..=2)
+        .filter(|c| c.get_u32("f") < c.get_u32("k"))
+        .filter(|c| {
+            RayInstance::new(c.get_u32("m"), c.get_u32("k"), c.get_u32("f"))
+                .map(|i| matches!(i.regime(), Regime::Searchable { .. }))
+                .unwrap_or(false)
+        });
+    Campaign::new(
+        "e4",
+        "Theorem 6: A(m,k,f) grid (f = 0 rows answer the open question)",
+        grid,
+        move |cell| {
+            let (m, k, f) = (cell.get_u32("m"), cell.get_u32("k"), cell.get_u32("f"));
+            let instance = RayInstance::new(m, k, f).expect("validated");
+            let Regime::Searchable { ratio: closed_form } = instance.regime() else {
+                unreachable!("grid filter admits only searchable cells");
+            };
+            let strategy = CyclicExponential::optimal(m, k, f).expect("searchable");
+            let fleet = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
+            let measured = RayEvaluator::new(m as usize, f, 1.0, horizon)
+                .expect("valid range")
+                .evaluate(&fleet)
+                .expect("fleet large enough")
+                .ratio;
+            Row {
+                m,
+                k,
+                f,
+                q: instance.q(),
+                eta: instance.eta(),
+                closed_form,
+                measured,
+                line_value: (m == 2).then(|| a_line(k, f).expect("same regime")),
+            }
+        },
+    )
+}
+
 /// Runs E4 over searchable instances with `m ≤ max_m`, `k ≤ max_k`,
 /// `f ≤ 2`.
 ///
@@ -40,66 +83,7 @@ pub struct Row {
 ///
 /// Panics if a substrate rejects validated parameters (a bug).
 pub fn run(max_m: u32, max_k: u32, horizon: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for m in 2..=max_m {
-        for k in 1..=max_k {
-            for f in 0..=2u32.min(k.saturating_sub(1)) {
-                let instance = RayInstance::new(m, k, f).expect("validated");
-                let Regime::Searchable { ratio: closed_form } = instance.regime() else {
-                    continue;
-                };
-                let strategy = CyclicExponential::optimal(m, k, f).expect("searchable");
-                let fleet = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
-                let measured = RayEvaluator::new(m as usize, f, 1.0, horizon)
-                    .expect("valid range")
-                    .evaluate(&fleet)
-                    .expect("fleet large enough")
-                    .ratio;
-                rows.push(Row {
-                    m,
-                    k,
-                    f,
-                    q: instance.q(),
-                    eta: instance.eta(),
-                    closed_form,
-                    measured,
-                    line_value: (m == 2).then(|| a_line(k, f).expect("same regime")),
-                });
-            }
-        }
-    }
-    rows
-}
-
-/// Renders the E4 table.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        [
-            "m",
-            "k",
-            "f",
-            "q",
-            "eta",
-            "A(m,k,f)",
-            "measured",
-            "A(k,f) [m=2]",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            r.m.to_string(),
-            r.k.to_string(),
-            r.f.to_string(),
-            r.q.to_string(),
-            format!("{:.4}", r.eta),
-            fnum(r.closed_form),
-            fnum(r.measured),
-            r.line_value.map(fnum).unwrap_or_else(|| "-".to_owned()),
-        ]);
-    }
-    t
+    campaign(max_m, max_k, horizon).run().into_rows()
 }
 
 #[cfg(test)]

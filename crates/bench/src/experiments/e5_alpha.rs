@@ -8,10 +8,9 @@
 //! calculus.
 
 use raysearch_bounds::{cyclic_ratio, optimal_alpha, RayInstance};
+use raysearch_core::campaign::{Campaign, ParamGrid, ParamValue};
 use raysearch_core::RayEvaluator;
 use raysearch_strategies::{CyclicExponential, RayStrategy};
-
-use crate::table::{fnum, Table};
 
 /// One point of the ratio-vs-α series.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -32,6 +31,50 @@ pub struct Row {
     pub measured: f64,
 }
 
+/// Builds the E5 campaign: for each `(m, k, f)` instance, `steps` bases
+/// on each side of `α*` (geometric spacing relative to `α* − 1`).
+pub fn campaign(instances: &[(u32, u32, u32)], steps: i32, horizon: f64) -> Campaign<Row> {
+    let grid = ParamGrid::new()
+        .axis_zip(
+            &["m", "k", "f"],
+            instances
+                .iter()
+                .map(|&(m, k, f)| vec![m.into(), k.into(), f.into()])
+                .collect::<Vec<Vec<ParamValue>>>(),
+        )
+        .axis_i64("j", (-steps..=steps).map(i64::from));
+    Campaign::new(
+        "e5",
+        "alpha ablation: ratio vs geometric base, minimum at alpha*",
+        grid,
+        move |cell| {
+            let (m, k, f) = (cell.get_u32("m"), cell.get_u32("k"), cell.get_u32("f"));
+            let j = i32::try_from(cell.get_i64("j")).expect("small step index");
+            let instance = RayInstance::new(m, k, f).expect("validated");
+            let q = instance.q();
+            let astar = optimal_alpha(q, k).expect("searchable");
+            // scale relative to (alpha* - 1) so every base stays > 1
+            let alpha = 1.0 + (astar - 1.0) * 1.25f64.powi(j);
+            let strategy = CyclicExponential::with_alpha(m, k, f, alpha).expect("alpha > 1");
+            let fleet = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
+            let measured = RayEvaluator::new(m as usize, f, 1.0, horizon)
+                .expect("valid range")
+                .evaluate(&fleet)
+                .expect("fleet large enough")
+                .ratio;
+            Row {
+                m,
+                k,
+                f,
+                alpha,
+                is_optimal: j == 0,
+                formula: cyclic_ratio(alpha, q, k).expect("alpha > 1"),
+                measured,
+            }
+        },
+    )
+}
+
 /// Sweeps `α` around `α*` for one instance; `steps` points on each side.
 ///
 /// # Panics
@@ -39,56 +82,7 @@ pub struct Row {
 /// Panics on out-of-regime parameters (callers pass searchable
 /// instances).
 pub fn run(m: u32, k: u32, f: u32, steps: i32, horizon: f64) -> Vec<Row> {
-    let instance = RayInstance::new(m, k, f).expect("validated");
-    let q = instance.q();
-    let astar = optimal_alpha(q, k).expect("searchable");
-    let evaluator = RayEvaluator::new(m as usize, f, 1.0, horizon).expect("valid range");
-    let mut rows = Vec::new();
-    for j in -steps..=steps {
-        // scale relative to (alpha* - 1) so every base stays > 1
-        let alpha = 1.0 + (astar - 1.0) * 1.25f64.powi(j);
-        let strategy = CyclicExponential::with_alpha(m, k, f, alpha).expect("alpha > 1");
-        let fleet = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
-        let measured = evaluator
-            .evaluate(&fleet)
-            .expect("fleet large enough")
-            .ratio;
-        rows.push(Row {
-            m,
-            k,
-            f,
-            alpha,
-            is_optimal: j == 0,
-            formula: cyclic_ratio(alpha, q, k).expect("alpha > 1"),
-            measured,
-        });
-    }
-    rows
-}
-
-/// Renders the E5 series.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        ["m", "k", "f", "alpha", "opt?", "formula", "measured"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            r.m.to_string(),
-            r.k.to_string(),
-            r.f.to_string(),
-            format!("{:.6}", r.alpha),
-            if r.is_optimal {
-                "*".to_owned()
-            } else {
-                String::new()
-            },
-            fnum(r.formula),
-            fnum(r.measured),
-        ]);
-    }
-    t
+    campaign(&[(m, k, f)], steps, horizon).run().into_rows()
 }
 
 #[cfg(test)]
@@ -115,5 +109,17 @@ mod tests {
         }
         let theory = raysearch_bounds::a_line(3, 1).unwrap();
         assert!((opt.measured - theory).abs() < 1e-2 * theory);
+    }
+
+    #[test]
+    fn multi_instance_campaign_keeps_instance_order() {
+        let instances = [(2u32, 1u32, 0u32), (2, 3, 1)];
+        let rows = campaign(&instances, 1, 1e3).run().into_rows();
+        assert_eq!(rows.len(), 2 * 3);
+        // first instance's sweep precedes the second's
+        assert_eq!((rows[0].m, rows[0].k, rows[0].f), (2, 1, 0));
+        assert_eq!((rows[3].m, rows[3].k, rows[3].f), (2, 3, 1));
+        // one optimal point per instance
+        assert_eq!(rows.iter().filter(|r| r.is_optimal).count(), 2);
     }
 }

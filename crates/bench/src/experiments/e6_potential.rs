@@ -9,16 +9,21 @@
 //! pinned near 1.
 
 use raysearch_bounds::{delta_growth, mu_threshold, RayInstance};
+use raysearch_core::campaign::{Campaign, ParamGrid};
 use raysearch_cover::potential::{PotentialSeries, Setting};
 use raysearch_cover::settings::OrcSetting;
 use raysearch_cover::ExactAssigner;
 use raysearch_strategies::{CyclicExponential, RayStrategy};
 
-use crate::table::{fnum, Table};
-
 /// One point of the growth-vs-μ series.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Row {
+    /// Number of rays.
+    pub m: u32,
+    /// Number of robots.
+    pub k: u32,
+    /// Number of crash-faulty robots.
+    pub f: u32,
     /// The ratio `μ/μ*` probed.
     pub mu_fraction: f64,
     /// The absolute `μ`.
@@ -35,24 +40,25 @@ pub struct Row {
     pub stuck_frontier: Option<f64>,
 }
 
-/// Runs E6 for one instance across the given `μ/μ*` fractions.
-///
-/// # Panics
-///
-/// Panics on out-of-regime parameters.
-pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], target: f64) -> Vec<Row> {
+/// Builds the E6 campaign for one instance across `μ/μ*` fractions.
+pub fn campaign(m: u32, k: u32, f: u32, fractions: &[f64], target: f64) -> Campaign<Row> {
+    let grid = ParamGrid::new().axis_f64("mu_fraction", fractions.iter().copied());
+    // the instance, threshold and fleet are μ-independent: build once
     let instance = RayInstance::new(m, k, f).expect("validated");
     let q = instance.q();
     let mu_star = mu_threshold(k, q).expect("searchable");
-    let strategy = CyclicExponential::optimal(m, k, f).expect("searchable");
-
-    fractions
-        .iter()
-        .map(|&frac| {
+    let tours = CyclicExponential::optimal(m, k, f)
+        .expect("searchable")
+        .fleet_tours(target * 10.0)
+        .expect("valid horizon");
+    Campaign::new(
+        "e6",
+        "potential growth vs mu/mu* (Lemma 5 measured; stuck_frontier '-' = survived to target)",
+        grid,
+        move |cell| {
+            let frac = cell.get_f64("mu_fraction");
             let mu = frac * mu_star;
-            let per_robot: Vec<_> = strategy
-                .fleet_tours(target * 10.0)
-                .expect("valid horizon")
+            let per_robot: Vec<_> = tours
                 .iter()
                 .enumerate()
                 .map(|(r, tour)| {
@@ -84,6 +90,9 @@ pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], target: f64) -> Vec<Row> {
                     Err(_) => (f64::NAN, f64::NAN, 0),
                 };
             Row {
+                m,
+                k,
+                f,
                 mu_fraction: frac,
                 mu,
                 delta_theory: delta_growth(mu, q - k, k).expect("valid parameters"),
@@ -92,39 +101,17 @@ pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], target: f64) -> Vec<Row> {
                 steps,
                 stuck_frontier: stuck,
             }
-        })
-        .collect()
+        },
+    )
 }
 
-/// Renders the E6 series.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        [
-            "mu/mu*",
-            "mu",
-            "delta",
-            "min growth",
-            "mean growth",
-            "steps",
-            "died at",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            format!("{:.4}", r.mu_fraction),
-            fnum(r.mu),
-            fnum(r.delta_theory),
-            fnum(r.measured_min),
-            fnum(r.measured_mean),
-            r.steps.to_string(),
-            r.stuck_frontier
-                .map(fnum)
-                .unwrap_or_else(|| "survived".to_owned()),
-        ]);
-    }
-    t
+/// Runs E6 for one instance across the given `μ/μ*` fractions.
+///
+/// # Panics
+///
+/// Panics on out-of-regime parameters.
+pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], target: f64) -> Vec<Row> {
+    campaign(m, k, f, fractions, target).run().into_rows()
 }
 
 #[cfg(test)]
@@ -135,6 +122,7 @@ mod tests {
     fn growth_crosses_one_at_threshold_and_cover_dies_below() {
         let rows = run(2, 3, 1, &[0.9, 0.97, 1.0, 1.05, 1.15], 2e3);
         for r in &rows {
+            assert_eq!((r.m, r.k, r.f), (2, 3, 1));
             if r.mu_fraction < 1.0 {
                 assert!(r.delta_theory > 1.0);
                 assert!(r.stuck_frontier.is_some(), "survived below threshold");

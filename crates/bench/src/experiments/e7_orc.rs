@@ -8,15 +8,20 @@
 //! coverage sweep), alongside the exact-assignment stuck frontier.
 
 use raysearch_bounds::{a_rays, lambda_to_mu, RayInstance};
+use raysearch_core::campaign::{Campaign, ParamGrid, ParamValue};
 use raysearch_cover::settings::{merge_fleet_intervals, OrcSetting};
 use raysearch_cover::{CoverageProfile, ExactAssigner};
 use raysearch_strategies::{CyclicExponential, RayStrategy};
 
-use crate::table::{fnum, Table};
-
 /// One point of the reach-vs-λ series.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Row {
+    /// Number of rays.
+    pub m: u32,
+    /// Number of robots.
+    pub k: u32,
+    /// Number of crash-faulty robots.
+    pub f: u32,
     /// The fraction `λ/λ₀` probed.
     pub lambda_fraction: f64,
     /// The absolute `λ`.
@@ -29,21 +34,41 @@ pub struct Row {
     pub stuck_frontier: Option<f64>,
 }
 
-/// Runs E7 for one instance across `λ/λ₀` fractions over `[1, horizon]`.
-///
-/// # Panics
-///
-/// Panics on out-of-regime parameters.
-pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], horizon: f64) -> Vec<Row> {
-    let instance = RayInstance::new(m, k, f).expect("validated");
-    let q = instance.q() as usize;
-    let lambda0 = a_rays(m, k, f).expect("searchable");
-    let strategy = CyclicExponential::optimal(m, k, f).expect("searchable");
-    let fleet = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
-
-    fractions
+/// Builds the E7 campaign: every `(m, k, f)` instance crossed with the
+/// `λ/λ₀` fractions, over `[1, horizon]`.
+pub fn campaign(instances: &[(u32, u32, u32)], fractions: &[f64], horizon: f64) -> Campaign<Row> {
+    let grid = ParamGrid::new()
+        .axis_zip(
+            &["m", "k", "f"],
+            instances
+                .iter()
+                .map(|&(m, k, f)| vec![m.into(), k.into(), f.into()])
+                .collect::<Vec<Vec<ParamValue>>>(),
+        )
+        .axis_f64("lambda_fraction", fractions.iter().copied());
+    // λ0 and the fleet are per-instance, not per-cell: build them once
+    let prepared: Vec<_> = instances
         .iter()
-        .map(|&frac| {
+        .map(|&(m, k, f)| {
+            let instance = RayInstance::new(m, k, f).expect("validated");
+            let lambda0 = a_rays(m, k, f).expect("searchable");
+            let strategy = CyclicExponential::optimal(m, k, f).expect("searchable");
+            let fleet = strategy.fleet_tours(horizon * 10.0).expect("valid horizon");
+            ((m, k, f), instance.q() as usize, lambda0, fleet)
+        })
+        .collect();
+    Campaign::new(
+        "e7",
+        "sub-threshold cover reach vs lambda (ineq. (12); '-' = covered / reached horizon)",
+        grid,
+        move |cell| {
+            let (m, k, f) = (cell.get_u32("m"), cell.get_u32("k"), cell.get_u32("f"));
+            let frac = cell.get_f64("lambda_fraction");
+            let (_, q, lambda0, fleet) = prepared
+                .iter()
+                .find(|(mkf, ..)| *mkf == (m, k, f))
+                .expect("cell instance was prepared");
+            let (q, lambda0) = (*q, *lambda0);
             let lambda = frac * lambda0;
             let mu = lambda_to_mu(lambda).expect("lambda > 1");
             let per_robot: Vec<_> = fleet
@@ -67,40 +92,25 @@ pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], horizon: f64) -> Vec<Row> 
                 .assign_partial(&per_robot, horizon)
                 .expect("valid target");
             Row {
+                m,
+                k,
+                f,
                 lambda_fraction: frac,
                 lambda,
                 sweep_witness,
                 stuck_frontier,
             }
-        })
-        .collect()
+        },
+    )
 }
 
-/// Renders the E7 series.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        [
-            "lambda/lambda0",
-            "lambda",
-            "sweep witness",
-            "assignment stuck at",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            format!("{:.4}", r.lambda_fraction),
-            fnum(r.lambda),
-            r.sweep_witness
-                .map(fnum)
-                .unwrap_or_else(|| "covered".to_owned()),
-            r.stuck_frontier
-                .map(fnum)
-                .unwrap_or_else(|| "reached horizon".to_owned()),
-        ]);
-    }
-    t
+/// Runs E7 for one instance across `λ/λ₀` fractions over `[1, horizon]`.
+///
+/// # Panics
+///
+/// Panics on out-of-regime parameters.
+pub fn run(m: u32, k: u32, f: u32, fractions: &[f64], horizon: f64) -> Vec<Row> {
+    campaign(&[(m, k, f)], fractions, horizon).run().into_rows()
 }
 
 #[cfg(test)]

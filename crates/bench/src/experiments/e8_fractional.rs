@@ -5,21 +5,64 @@
 //! series shows the sandwich closing as `k` grows.
 
 use raysearch_bounds::c_fractional;
+use raysearch_core::campaign::{Campaign, ParamGrid};
 use raysearch_cover::fractional::{convergence, RationalStep};
 
-use crate::table::{fnum, Table};
-
-/// One `η` row with its sandwich at a chosen denominator budget.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+/// One `η` row with its sandwich at a chosen denominator budget. The
+/// sandwich sides are flattened to scalar columns (`lower_q/lower_k/…`)
+/// so both the text table and JSON rows stay one-level.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Row {
     /// The weight requirement `η`.
     pub eta: f64,
     /// Closed form `C(η)`.
     pub closed_form: f64,
-    /// Best lower approximation `C(k, ⌊ηk⌋)` with `k ≤ max_k`.
-    pub lower: Option<RationalStep>,
-    /// Best upper approximation `C(k, ⌈ηk⌉)` with `k ≤ max_k`.
-    pub upper: Option<RationalStep>,
+    /// Numerator of the best lower approximation `q/k ≤ η`, `k ≤ max_k`.
+    pub lower_q: Option<u32>,
+    /// Denominator of the best lower approximation.
+    pub lower_k: Option<u32>,
+    /// Its integral ORC value `C(k, ⌊ηk⌋)`.
+    pub lower_value: Option<f64>,
+    /// Numerator of the best upper approximation `q/k ≥ η`, `k ≤ max_k`.
+    pub upper_q: Option<u32>,
+    /// Denominator of the best upper approximation.
+    pub upper_k: Option<u32>,
+    /// Its integral ORC value `C(k, ⌈ηk⌉)`.
+    pub upper_value: Option<f64>,
+}
+
+fn flatten(step: Option<RationalStep>) -> (Option<u32>, Option<u32>, Option<f64>) {
+    match step {
+        Some(s) => (Some(s.q), Some(s.k), Some(s.c_value)),
+        None => (None, None, None),
+    }
+}
+
+/// Builds the E8 campaign for the given `η` values with denominators up
+/// to `max_k`.
+pub fn campaign(etas: &[f64], max_k: u32) -> Campaign<Row> {
+    let grid = ParamGrid::new().axis_f64("eta", etas.iter().copied());
+    Campaign::new(
+        "e8",
+        "fractional C(eta) and the rational sandwich (Eq. (11))",
+        grid,
+        move |cell| {
+            let eta = cell.get_f64("eta");
+            let conv = convergence(eta, max_k).expect("eta > 1");
+            let (lower_q, lower_k, lower_value) = flatten(conv.lower.last().copied());
+            let (upper_q, upper_k, upper_value) = flatten(conv.upper.last().copied());
+            Row {
+                eta,
+                closed_form: c_fractional(eta).expect("eta > 1"),
+                lower_q,
+                lower_k,
+                lower_value,
+                upper_q,
+                upper_k,
+                upper_value,
+            }
+        },
+    )
 }
 
 /// Runs E8 for the given `η` values with denominators up to `max_k`.
@@ -28,50 +71,7 @@ pub struct Row {
 ///
 /// Panics if `eta ≤ 1` appears in the list.
 pub fn run(etas: &[f64], max_k: u32) -> Vec<Row> {
-    etas.iter()
-        .map(|&eta| {
-            let conv = convergence(eta, max_k).expect("eta > 1");
-            Row {
-                eta,
-                closed_form: c_fractional(eta).expect("eta > 1"),
-                lower: conv.lower.last().copied(),
-                upper: conv.upper.last().copied(),
-            }
-        })
-        .collect()
-}
-
-/// Renders the E8 table.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        [
-            "eta",
-            "C(eta)",
-            "lower q/k",
-            "lower value",
-            "upper q/k",
-            "upper value",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for r in rows {
-        let fmt_step = |s: &Option<RationalStep>| match s {
-            Some(s) => (format!("{}/{}", s.q, s.k), fnum(s.c_value)),
-            None => ("-".to_owned(), "-".to_owned()),
-        };
-        let (lr, lv) = fmt_step(&r.lower);
-        let (ur, uv) = fmt_step(&r.upper);
-        t.push(vec![
-            format!("{:.6}", r.eta),
-            fnum(r.closed_form),
-            lr,
-            lv,
-            ur,
-            uv,
-        ]);
-    }
-    t
+    campaign(etas, max_k).run().into_rows()
 }
 
 #[cfg(test)]
@@ -82,8 +82,8 @@ mod tests {
     fn sandwich_closes() {
         let rows = run(&[1.25, 1.5, 2.0, std::f64::consts::E, 3.5], 64);
         for r in &rows {
-            let lower = r.lower.as_ref().expect("k budget suffices").c_value;
-            let upper = r.upper.as_ref().expect("k budget suffices").c_value;
+            let lower = r.lower_value.expect("k budget suffices");
+            let upper = r.upper_value.expect("k budget suffices");
             assert!(lower <= r.closed_form + 1e-9);
             assert!(upper >= r.closed_form - 1e-9);
             assert!(
@@ -91,11 +91,15 @@ mod tests {
                 "sandwich too wide at eta = {}: [{lower}, {upper}]",
                 r.eta
             );
+            // the approximations really straddle eta
+            let lq = f64::from(r.lower_q.unwrap()) / f64::from(r.lower_k.unwrap());
+            let uq = f64::from(r.upper_q.unwrap()) / f64::from(r.upper_k.unwrap());
+            assert!(lq <= r.eta + 1e-12 && uq >= r.eta - 1e-12);
         }
         // eta = 2 is the cow path: C(2) = 9 and both sides exact
         let two = rows.iter().find(|r| r.eta == 2.0).unwrap();
         assert!((two.closed_form - 9.0).abs() < 1e-12);
-        assert!((two.lower.unwrap().c_value - 9.0).abs() < 1e-9);
-        assert!((two.upper.unwrap().c_value - 9.0).abs() < 1e-9);
+        assert!((two.lower_value.unwrap() - 9.0).abs() < 1e-9);
+        assert!((two.upper_value.unwrap() - 9.0).abs() < 1e-9);
     }
 }

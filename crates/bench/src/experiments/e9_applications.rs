@@ -10,9 +10,8 @@
 //!   ratio is `A(m, k, 0)` — Theorem 6 at `f = 0`.
 
 use raysearch_bounds::{a_rays, mu_threshold};
+use raysearch_core::campaign::{Campaign, ParamGrid, ParamValue};
 use raysearch_strategies::{CyclicExponential, RayStrategy};
-
-use crate::table::{fnum, Table};
 
 /// One application row.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -98,51 +97,52 @@ fn hybrid_ratio(m: u32, k: u32, horizon: f64) -> f64 {
     worst
 }
 
+/// Builds the E9 campaign over the given `(m, k)` pairs: a `contract`
+/// row for every pair, and a `hybrid` row where `k < m`.
+pub fn campaign(pairs: &[(u32, u32)], horizon: f64) -> Campaign<Row> {
+    let grid = ParamGrid::new()
+        .axis_zip(
+            &["m", "k"],
+            pairs
+                .iter()
+                .map(|&(m, k)| vec![m.into(), k.into()])
+                .collect::<Vec<Vec<ParamValue>>>(),
+        )
+        .axis_str("application", ["contract", "hybrid"])
+        .filter(|c| c.get_str("application") == "contract" || c.get_u32("k") < c.get_u32("m"));
+    Campaign::new(
+        "e9",
+        "applications: contract scheduling & hybrid algorithms",
+        grid,
+        move |cell| {
+            let (m, k) = (cell.get_u32("m"), cell.get_u32("k"));
+            match cell.get_str("application") {
+                "contract" => Row {
+                    application: "contract".to_owned(),
+                    m,
+                    k,
+                    theory: mu_threshold(k, m + k).expect("q > k"),
+                    measured: contract_acceleration(m, k, horizon),
+                },
+                _ => Row {
+                    application: "hybrid".to_owned(),
+                    m,
+                    k,
+                    theory: a_rays(m, k, 0).expect("searchable"),
+                    measured: hybrid_ratio(m, k, horizon / 100.0),
+                },
+            }
+        },
+    )
+}
+
 /// Runs E9 over the given `(m, k)` pairs.
 ///
 /// # Panics
 ///
 /// Panics on out-of-regime parameters (`k < m` required for hybrid rows).
 pub fn run(pairs: &[(u32, u32)], horizon: f64) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &(m, k) in pairs {
-        rows.push(Row {
-            application: "contract".to_owned(),
-            m,
-            k,
-            theory: mu_threshold(k, m + k).expect("q > k"),
-            measured: contract_acceleration(m, k, horizon),
-        });
-        if k < m {
-            rows.push(Row {
-                application: "hybrid".to_owned(),
-                m,
-                k,
-                theory: a_rays(m, k, 0).expect("searchable"),
-                measured: hybrid_ratio(m, k, horizon / 100.0),
-            });
-        }
-    }
-    rows
-}
-
-/// Renders the E9 table.
-pub fn table(rows: &[Row]) -> Table {
-    let mut t = Table::new(
-        ["application", "m", "k", "theory", "measured"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for r in rows {
-        t.push(vec![
-            r.application.clone(),
-            r.m.to_string(),
-            r.k.to_string(),
-            fnum(r.theory),
-            fnum(r.measured),
-        ]);
-    }
-    t
+    campaign(pairs, horizon).run().into_rows()
 }
 
 #[cfg(test)]
@@ -176,5 +176,11 @@ mod tests {
             .find(|r| r.application == "contract" && (r.m, r.k) == (1, 1))
             .unwrap();
         assert!((classic.theory - 4.0).abs() < 1e-12);
+        // hybrid rows exist exactly where k < m
+        assert!(rows
+            .iter()
+            .filter(|r| r.application == "hybrid")
+            .all(|r| r.k < r.m));
+        assert!(rows.iter().any(|r| r.application == "hybrid"));
     }
 }

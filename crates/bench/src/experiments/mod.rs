@@ -1,4 +1,14 @@
 //! The executable experiment suite (see crate docs for the index).
+//!
+//! Every experiment is a [`Campaign`](raysearch_core::campaign::Campaign)
+//! — a declarative parameter grid plus a per-cell closure returning one
+//! typed row — so grid enumeration, thread sharding and rendering live
+//! in one place (`raysearch_core::campaign`). [`run_experiment`] is the
+//! registry the `tablegen` binary drives: it maps an experiment id and a
+//! [`Config`] to the finished [`Report`]s (E10 produces two, one per row
+//! type).
+
+use raysearch_core::campaign::Report;
 
 pub mod e10_boundary;
 pub mod e1_theorem1;
@@ -13,3 +23,122 @@ pub mod e9_applications;
 
 /// Identifiers of all experiments, in order.
 pub const ALL: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+
+/// Scaling knobs shared by the whole suite (the `tablegen` CLI flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Ceiling for the `k` axes (and `k`-like grid extents) of E1–E4.
+    pub max_k: u32,
+    /// Worker threads per campaign (`None` = machine parallelism,
+    /// `Some(1)` = sequential).
+    pub threads: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_k: 10,
+            threads: None,
+        }
+    }
+}
+
+/// Runs one experiment's campaign(s) and returns its report(s), or
+/// `None` for an unknown id. Ids are the entries of [`ALL`]; `"e10"`
+/// yields two reports (`e10_rho`, `e10_base`).
+///
+/// # Panics
+///
+/// Panics only if a substrate rejects in-regime parameters (a bug).
+pub fn run_experiment(id: &str, cfg: &Config) -> Option<Vec<Report>> {
+    let t = cfg.threads;
+    let reports = match id {
+        "e1" => vec![e1_theorem1::campaign(cfg.max_k, 5e3)
+            .threads(t)
+            .run()
+            .report()],
+        "e2" => vec![e2_regimes::campaign(cfg.max_k).threads(t).run().report()],
+        "e3" => vec![e3_byzantine::campaign(cfg.max_k).threads(t).run().report()],
+        "e4" => vec![e4_rays::campaign(6, cfg.max_k, 5e3)
+            .threads(t)
+            .run()
+            .report()],
+        "e5" => vec![
+            e5_alpha::campaign(&[(2, 1, 0), (2, 3, 1), (3, 4, 1)], 4, 5e3)
+                .threads(t)
+                .run()
+                .report(),
+        ],
+        "e6" => vec![e6_potential::campaign(
+            2,
+            3,
+            1,
+            &[0.9, 0.99, 0.999, 0.9999, 1.0, 1.02, 1.05, 1.15],
+            5e3,
+        )
+        .threads(t)
+        .run()
+        .report()],
+        "e7" => vec![e7_orc::campaign(
+            &[(2, 1, 0), (3, 2, 0)],
+            &[1.02, 0.999, 0.995, 0.98, 0.95, 0.9, 0.8],
+            1e5,
+        )
+        .threads(t)
+        .run()
+        .report()],
+        "e8" => vec![e8_fractional::campaign(
+            &[1.25, 1.5, 1.75, 2.0, std::f64::consts::E, 3.0, 3.5],
+            64,
+        )
+        .threads(t)
+        .run()
+        .report()],
+        "e9" => {
+            vec![
+                e9_applications::campaign(&[(1, 1), (2, 1), (3, 1), (3, 2), (4, 3), (5, 3)], 1e6)
+                    .threads(t)
+                    .run()
+                    .report(),
+            ]
+        }
+        "e10" => vec![
+            e10_boundary::rho_campaign(12).threads(t).run().report(),
+            e10_boundary::base_campaign(&[1.3, 1.5, 1.8, 2.0, 2.2, 2.5, 3.0, 4.0], 1e4)
+                .threads(t)
+                .run()
+                .report(),
+        ],
+        _ => return None,
+    };
+    Some(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_ids_and_rejects_unknown() {
+        let cfg = Config {
+            max_k: 4,
+            threads: Some(2),
+        };
+        // cheap spot-checks: the closed-form-only experiments
+        for id in ["e2", "e3", "e8", "e10"] {
+            let reports = run_experiment(id, &cfg).expect(id);
+            assert!(!reports.is_empty(), "{id} produced no report");
+            for r in &reports {
+                assert!(!r.rows().is_empty(), "{id} report {} is empty", r.id());
+                assert_eq!(r.threads(), 2.min(r.rows().len()).max(1));
+            }
+        }
+        assert_eq!(
+            run_experiment("e10", &cfg).map(|r| r.len()),
+            Some(2),
+            "e10 yields rho + base reports"
+        );
+        assert!(run_experiment("e99", &cfg).is_none());
+        assert!(run_experiment("", &cfg).is_none());
+    }
+}

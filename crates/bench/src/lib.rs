@@ -19,8 +19,32 @@
 //! | E9 | applications: contract scheduling and hybrid algorithms |
 //! | E10 | boundaries: `ρ → 1⁺` discontinuity and the `ρ = 2` cow path |
 //!
-//! Every experiment returns serde-serializable rows; the `tablegen` binary
-//! renders them as aligned text tables or JSON lines.
+//! Every experiment is a [`Campaign`](raysearch_core::campaign::Campaign):
+//! a declarative parameter grid plus a per-cell closure returning one
+//! serializable row. The engine shards cells across threads in
+//! deterministic grid order and renders a [`Report`](raysearch_core::campaign::Report)
+//! as an aligned text table or JSON; the `tablegen` binary drives the
+//! whole suite through [`experiments::run_experiment`].
+//!
+//! # Example: run E1 through the campaign engine
+//!
+//! ```
+//! use raysearch_bench::experiments::e1_theorem1;
+//!
+//! // Small grid, short horizon: every searchable (k, f) with k ≤ 3.
+//! let run = e1_theorem1::campaign(3, 500.0).threads(Some(2)).run();
+//! assert_eq!(run.len(), 4); // (1,0), (2,1), (3,1), (3,2)
+//!
+//! // Typed rows out of the run...
+//! let rows = run.rows().collect::<Vec<_>>();
+//! assert!((rows[0].closed_form - 9.0).abs() < 1e-12); // the cow path
+//!
+//! // ...and a type-erased report for rendering.
+//! let report = run.report();
+//! assert_eq!(report.id(), "e1");
+//! assert!(report.render_text().contains("closed_form"));
+//! assert_eq!(report.to_value().get("cells").and_then(|v| v.as_i64()), Some(4));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,111 +1,20 @@
-//! Minimal aligned-column table rendering for experiment output.
+//! Aligned-column table rendering, re-exported from the campaign engine.
+//!
+//! The renderer moved to [`raysearch_core::campaign`] when the campaign
+//! engine absorbed the per-experiment table code; this module keeps the
+//! historical `raysearch_bench::Table` / `fnum` paths working.
 
-/// A simple column-aligned text table.
-///
-/// # Example
-///
-/// ```
-/// use raysearch_bench::Table;
-/// let mut t = Table::new(vec!["k".into(), "value".into()]);
-/// t.push(vec!["1".into(), "9.0".into()]);
-/// let s = t.render();
-/// assert!(s.contains('k') && s.contains("9.0"));
-/// ```
-#[derive(Debug, Clone)]
-pub struct Table {
-    headers: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Creates a table with the given column headers.
-    pub fn new(headers: Vec<String>) -> Self {
-        Table {
-            headers,
-            rows: Vec::new(),
-        }
-    }
-
-    /// Appends one row; short rows are padded with empty cells.
-    pub fn push(&mut self, mut row: Vec<String>) {
-        row.resize(self.headers.len(), String::new());
-        self.rows.push(row);
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Whether the table has no data rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Renders the table with aligned columns.
-    pub fn render(&self) -> String {
-        let cols = self.headers.len();
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate().take(cols) {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut line = String::new();
-            for (i, cell) in cells.iter().enumerate() {
-                if i > 0 {
-                    line.push_str("  ");
-                }
-                line.push_str(&format!("{cell:>width$}", width = widths[i]));
-            }
-            line
-        };
-        out.push_str(&fmt_row(&self.headers, &widths));
-        out.push('\n');
-        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
-        out.push_str(&"-".repeat(total));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row, &widths));
-            out.push('\n');
-        }
-        out
-    }
-}
-
-/// Formats an `f64` compactly for tables.
-pub fn fnum(v: f64) -> String {
-    if v.is_infinite() {
-        "inf".to_owned()
-    } else if v == 0.0 || (0.001..1e6).contains(&v.abs()) {
-        format!("{v:.6}")
-    } else {
-        format!("{v:.3e}")
-    }
-}
+pub use raysearch_core::campaign::{fnum, Table};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn renders_aligned() {
-        let mut t = Table::new(vec!["a".into(), "bb".into()]);
-        t.push(vec!["111".into(), "2".into()]);
-        t.push(vec!["1".into()]);
+    fn reexported_table_renders() {
+        let mut t = Table::new(vec!["k".into(), "value".into()]);
+        t.push(vec!["1".into(), fnum(9.0)]);
         let s = t.render();
-        let lines: Vec<&str> = s.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(!t.is_empty());
-        assert_eq!(t.len(), 2);
-    }
-
-    #[test]
-    fn fnum_ranges() {
-        assert_eq!(fnum(9.0), "9.000000");
-        assert!(fnum(1e9).contains('e'));
-        assert_eq!(fnum(f64::INFINITY), "inf");
+        assert!(s.contains("9.000000"));
     }
 }

@@ -60,6 +60,13 @@ pub fn byzantine_lower_bound(k: u32, f: u32) -> Result<f64, BoundsError> {
     a_line(k, f)
 }
 
+/// The best previously published Byzantine lower bound quoted by the
+/// paper for `(k, f)`, if any — the single source for "prior bound"
+/// columns (currently only `(3, 1)` from ISAAC 2016).
+pub fn prior_byzantine_lower_bound(k: u32, f: u32) -> Option<f64> {
+    ((k, f) == (3, 1)).then_some(PRIOR_BYZANTINE_LB_3_1)
+}
+
 /// One row of the Byzantine-improvement table (experiment E3).
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ByzantineRow {
@@ -91,11 +98,7 @@ pub fn byzantine_table(max_k: u32) -> Result<Vec<ByzantineRow>, BoundsError> {
             rows.push(ByzantineRow {
                 k,
                 f,
-                prior_lower_bound: if (k, f) == (3, 1) {
-                    Some(PRIOR_BYZANTINE_LB_3_1)
-                } else {
-                    None
-                },
+                prior_lower_bound: prior_byzantine_lower_bound(k, f),
                 new_lower_bound: byzantine_lower_bound(k, f)?,
             });
         }

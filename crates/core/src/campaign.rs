@@ -1,0 +1,886 @@
+//! Campaign engine: declarative parameter grids, a sharded runner, and
+//! renderable reports.
+//!
+//! The paper's results are tables over `(k, f, m, α, λ)` grids; every
+//! experiment of the benchmark suite is "enumerate a grid, evaluate one
+//! closure per cell, render the rows". This module owns that shape once:
+//!
+//! * [`ParamGrid`] — a builder for cartesian products of named axes
+//!   (integers, floats, strings, or zipped tuples like `(m, k, f)`
+//!   instance lists) with arbitrary cell filters such as `f < k`;
+//! * [`Campaign`] — binds a grid to a per-cell closure producing one
+//!   typed, serializable row, and runs all cells sharded across threads
+//!   via [`par_map_threads`] in
+//!   deterministic grid order, with per-cell wall-clock timing;
+//! * [`Report`] — the type-erased result: renders the same rows as an
+//!   aligned text table ([`Report::render_text`]) or as machine-readable
+//!   JSON ([`Report::to_value`]), with column order following the row
+//!   struct's field order.
+//!
+//! # Example
+//!
+//! ```
+//! use raysearch_core::campaign::{Campaign, ParamGrid};
+//!
+//! #[derive(serde::Serialize)]
+//! struct Row {
+//!     k: u32,
+//!     f: u32,
+//!     spare: u32,
+//! }
+//!
+//! // All (k, f) pairs with f < k — the filter prunes the product.
+//! let grid = ParamGrid::new()
+//!     .axis_u32("k", 1..=3)
+//!     .axis_u32("f", 0..3)
+//!     .filter(|cell| cell.get_u32("f") < cell.get_u32("k"));
+//! let campaign = Campaign::new("demo", "spare robots per fleet", grid, |cell| {
+//!     let (k, f) = (cell.get_u32("k"), cell.get_u32("f"));
+//!     Row { k, f, spare: k - f }
+//! });
+//!
+//! let run = campaign.run();
+//! assert_eq!(run.results.len(), 6); // 3×3 product minus the f ≥ k cells
+//! let report = run.report();
+//! assert_eq!(report.rows().len(), 6);
+//! assert!(report.render_text().contains("spare"));
+//! # assert!(report.to_value().get("rows").is_some());
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+use serde_json::Value;
+
+use crate::sweep::{default_parallelism, par_map_threads};
+
+/// One coordinate value of a grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// An integer coordinate (robot counts, fault budgets, step indices).
+    Int(i64),
+    /// A floating-point coordinate (bases, fractions, horizons).
+    Float(f64),
+    /// A symbolic coordinate (e.g. an application name).
+    Str(String),
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(i) => write!(f, "{i}"),
+            ParamValue::Float(x) => write!(f, "{x}"),
+            ParamValue::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::Int(v)
+    }
+}
+
+impl From<u32> for ParamValue {
+    fn from(v: u32) -> Self {
+        ParamValue::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Float(v)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_owned())
+    }
+}
+
+/// One cell of a [`ParamGrid`]: named coordinates in axis order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cell {
+    entries: Vec<(String, ParamValue)>,
+}
+
+impl Cell {
+    /// Returns the coordinate named `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Returns the integer coordinate `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is absent or not an integer — a campaign spec
+    /// bug, not a data error.
+    pub fn get_i64(&self, name: &str) -> i64 {
+        match self.get(name) {
+            Some(ParamValue::Int(i)) => *i,
+            other => panic!("cell has no integer coordinate {name:?} (found {other:?})"),
+        }
+    }
+
+    /// Returns the integer coordinate `name` as a `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is absent, not an integer, or out of `u32` range.
+    pub fn get_u32(&self, name: &str) -> u32 {
+        u32::try_from(self.get_i64(name))
+            .unwrap_or_else(|_| panic!("coordinate {name:?} out of u32 range"))
+    }
+
+    /// Returns the coordinate `name` as an `f64` (integers convert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is absent or is a string coordinate.
+    pub fn get_f64(&self, name: &str) -> f64 {
+        match self.get(name) {
+            Some(ParamValue::Float(x)) => *x,
+            Some(ParamValue::Int(i)) => *i as f64,
+            other => panic!("cell has no numeric coordinate {name:?} (found {other:?})"),
+        }
+    }
+
+    /// Returns the string coordinate `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is absent or not a string.
+    pub fn get_str(&self, name: &str) -> &str {
+        match self.get(name) {
+            Some(ParamValue::Str(s)) => s,
+            other => panic!("cell has no string coordinate {name:?} (found {other:?})"),
+        }
+    }
+
+    /// Coordinate names in axis order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+/// One axis of the product: one or more coordinate names and the rows of
+/// values they take (a plain axis has one name and one value per row; a
+/// zipped axis advances several names in lockstep).
+#[derive(Debug, Clone)]
+struct Axis {
+    names: Vec<String>,
+    rows: Vec<Vec<ParamValue>>,
+}
+
+/// A cell predicate used to prune grid cells.
+type CellFilter = Box<dyn Fn(&Cell) -> bool + Send + Sync>;
+
+/// A builder for cartesian products of named parameter axes, with
+/// filters.
+///
+/// Axes are enumerated row-major: the first axis added varies slowest,
+/// the last varies fastest — matching the nested-loop order the
+/// experiments historically used, so refactoring onto a grid preserves
+/// row order exactly. An axis with no values yields an empty grid (no
+/// cells), not an error.
+#[derive(Default)]
+pub struct ParamGrid {
+    axes: Vec<Axis>,
+    filters: Vec<CellFilter>,
+}
+
+impl fmt::Debug for ParamGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParamGrid")
+            .field("axes", &self.axes)
+            .field("filters", &self.filters.len())
+            .finish()
+    }
+}
+
+impl ParamGrid {
+    /// Creates an empty grid (a single empty cell until axes are added —
+    /// in practice always extended with at least one axis).
+    pub fn new() -> Self {
+        ParamGrid::default()
+    }
+
+    fn push_axis(mut self, names: Vec<String>, rows: Vec<Vec<ParamValue>>) -> Self {
+        for name in &names {
+            assert!(
+                !self.axes.iter().any(|a| a.names.iter().any(|n| n == name)),
+                "duplicate axis name {name:?}"
+            );
+        }
+        for row in &rows {
+            assert_eq!(
+                row.len(),
+                names.len(),
+                "zipped axis row arity does not match its names"
+            );
+        }
+        self.axes.push(Axis { names, rows });
+        self
+    }
+
+    /// Adds an integer axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken by another axis.
+    pub fn axis_i64(self, name: &str, values: impl IntoIterator<Item = i64>) -> Self {
+        let rows = values.into_iter().map(|v| vec![v.into()]).collect();
+        self.push_axis(vec![name.to_owned()], rows)
+    }
+
+    /// Adds a `u32` axis (stored as integers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken by another axis.
+    pub fn axis_u32(self, name: &str, values: impl IntoIterator<Item = u32>) -> Self {
+        let rows = values.into_iter().map(|v| vec![v.into()]).collect();
+        self.push_axis(vec![name.to_owned()], rows)
+    }
+
+    /// Adds a floating-point axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken by another axis.
+    pub fn axis_f64(self, name: &str, values: impl IntoIterator<Item = f64>) -> Self {
+        let rows = values.into_iter().map(|v| vec![v.into()]).collect();
+        self.push_axis(vec![name.to_owned()], rows)
+    }
+
+    /// Adds a string axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken by another axis.
+    pub fn axis_str<S: Into<String>>(
+        self,
+        name: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let rows = values
+            .into_iter()
+            .map(|v| vec![ParamValue::Str(v.into())])
+            .collect();
+        self.push_axis(vec![name.to_owned()], rows)
+    }
+
+    /// Adds a zipped axis: several coordinates advancing in lockstep.
+    ///
+    /// This is how non-rectangular instance lists enter a grid — e.g.
+    /// `(m, k, f) ∈ {(2,1,0), (2,3,1), (3,4,1)}` as *one* axis that still
+    /// crosses with every other axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's arity differs from `names.len()`, or any name
+    /// is already taken.
+    pub fn axis_zip(self, names: &[&str], rows: impl IntoIterator<Item = Vec<ParamValue>>) -> Self {
+        self.push_axis(
+            names.iter().map(|n| (*n).to_owned()).collect(),
+            rows.into_iter().collect(),
+        )
+    }
+
+    /// Adds a cell filter; cells failing any filter are skipped.
+    pub fn filter(mut self, f: impl Fn(&Cell) -> bool + Send + Sync + 'static) -> Self {
+        self.filters.push(Box::new(f));
+        self
+    }
+
+    /// Number of cells before filtering (the raw product size).
+    pub fn product_len(&self) -> usize {
+        self.axes.iter().map(|a| a.rows.len()).product()
+    }
+
+    /// Enumerates the surviving cells in deterministic row-major order.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::new();
+        let total = self.product_len();
+        'cells: for mut index in 0..total {
+            let mut picks = vec![0usize; self.axes.len()];
+            for (a, axis) in self.axes.iter().enumerate().rev() {
+                picks[a] = index % axis.rows.len();
+                index /= axis.rows.len();
+            }
+            let mut cell = Cell::default();
+            for (axis, &pick) in self.axes.iter().zip(&picks) {
+                for (name, value) in axis.names.iter().zip(&axis.rows[pick]) {
+                    cell.entries.push((name.clone(), value.clone()));
+                }
+            }
+            for f in &self.filters {
+                if !f(&cell) {
+                    continue 'cells;
+                }
+            }
+            out.push(cell);
+        }
+        out
+    }
+}
+
+/// A runnable experiment: a [`ParamGrid`] plus a per-cell closure
+/// producing one serializable row, with an id/title for reporting.
+pub struct Campaign<R> {
+    id: String,
+    title: String,
+    grid: ParamGrid,
+    threads: Option<usize>,
+    cell_fn: Box<dyn Fn(&Cell) -> R + Send + Sync>,
+}
+
+impl<R> fmt::Debug for Campaign<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("id", &self.id)
+            .field("title", &self.title)
+            .field("grid", &self.grid)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<R: Send> Campaign<R> {
+    /// Binds `grid` to `cell_fn` under the given report id and title.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        grid: ParamGrid,
+        cell_fn: impl Fn(&Cell) -> R + Send + Sync + 'static,
+    ) -> Self {
+        Campaign {
+            id: id.into(),
+            title: title.into(),
+            grid,
+            threads: None,
+            cell_fn: Box::new(cell_fn),
+        }
+    }
+
+    /// Sets the worker-thread count (`None` = machine parallelism,
+    /// `Some(1)` = sequential). Rows come back in grid order either way.
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The report id (e.g. `"e1"`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &ParamGrid {
+        &self.grid
+    }
+
+    /// Enumerates the grid and evaluates every cell, sharded across
+    /// threads, timing each cell. Output order is grid order regardless
+    /// of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside the cell closure is re-raised with its original
+    /// payload (see
+    /// [`par_map_threads`]).
+    pub fn run(&self) -> CampaignRun<R> {
+        let cells = self.grid.cells();
+        let threads = self
+            .threads
+            .unwrap_or_else(default_parallelism)
+            .clamp(1, cells.len().max(1));
+        let started = Instant::now();
+        let results = par_map_threads(&cells, Some(threads), |cell| {
+            let cell_started = Instant::now();
+            let row = (self.cell_fn)(cell);
+            CellResult {
+                cell: cell.clone(),
+                micros: cell_started.elapsed().as_micros() as u64,
+                row,
+            }
+        });
+        CampaignRun {
+            id: self.id.clone(),
+            title: self.title.clone(),
+            threads,
+            micros: started.elapsed().as_micros() as u64,
+            results,
+        }
+    }
+}
+
+/// One evaluated cell: its coordinates, wall-clock cost, and row.
+#[derive(Debug, Clone)]
+pub struct CellResult<R> {
+    /// The grid coordinates this row was computed at.
+    pub cell: Cell,
+    /// Wall-clock microseconds spent in the cell closure.
+    pub micros: u64,
+    /// The row the closure produced.
+    pub row: R,
+}
+
+/// The outcome of [`Campaign::run`]: typed rows in grid order plus
+/// timing metadata.
+#[derive(Debug, Clone)]
+pub struct CampaignRun<R> {
+    /// The campaign id.
+    pub id: String,
+    /// The campaign title.
+    pub title: String,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Total wall-clock microseconds for the whole run.
+    pub micros: u64,
+    /// Per-cell results in grid order.
+    pub results: Vec<CellResult<R>>,
+}
+
+impl<R> CampaignRun<R> {
+    /// Iterates the typed rows in grid order.
+    pub fn rows(&self) -> impl Iterator<Item = &R> {
+        self.results.iter().map(|r| &r.row)
+    }
+
+    /// Consumes the run, returning the typed rows in grid order.
+    pub fn into_rows(self) -> Vec<R> {
+        self.results.into_iter().map(|r| r.row).collect()
+    }
+
+    /// Number of evaluated cells.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the run produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+impl<R: serde::Serialize> CampaignRun<R> {
+    /// Serializes the rows into a type-erased, renderable [`Report`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row fails to serialize (rows are plain data structs;
+    /// failure is a bug).
+    pub fn report(&self) -> Report {
+        Report {
+            id: self.id.clone(),
+            title: self.title.clone(),
+            threads: self.threads,
+            micros: self.micros,
+            rows: self
+                .results
+                .iter()
+                .map(|r| serde_json::to_value(&r.row).expect("experiment rows serialize"))
+                .collect(),
+        }
+    }
+}
+
+/// A rendered-or-renderable campaign result: JSON rows plus metadata,
+/// independent of the row type.
+#[derive(Debug, Clone)]
+pub struct Report {
+    id: String,
+    title: String,
+    threads: usize,
+    micros: u64,
+    rows: Vec<Value>,
+}
+
+impl Report {
+    /// The campaign id (e.g. `"e1"`).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The human-readable title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Worker threads used by the run.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total wall-clock microseconds of the run.
+    pub fn micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// The serialized rows, one JSON object per grid cell, in grid
+    /// order.
+    pub fn rows(&self) -> &[Value] {
+        &self.rows
+    }
+
+    /// Column headers: the union of row-object keys in first-seen order
+    /// (for derive-serialized structs, the field declaration order).
+    pub fn headers(&self) -> Vec<String> {
+        let mut headers: Vec<String> = Vec::new();
+        for row in &self.rows {
+            if let Value::Object(map) = row {
+                for (key, _) in map.iter() {
+                    if !headers.iter().any(|h| h == key) {
+                        headers.push(key.clone());
+                    }
+                }
+            }
+        }
+        if headers.is_empty() && !self.rows.is_empty() {
+            headers.push("value".to_owned());
+        }
+        headers
+    }
+
+    /// Renders the rows as an aligned-column [`Table`].
+    pub fn table(&self) -> Table {
+        let headers = self.headers();
+        let mut table = Table::new(headers.clone());
+        for row in &self.rows {
+            let cells = match row {
+                Value::Object(map) => headers
+                    .iter()
+                    .map(|h| map.get(h).map(value_cell_text).unwrap_or_default())
+                    .collect(),
+                other => vec![value_cell_text(other)],
+            };
+            table.push(cells);
+        }
+        table
+    }
+
+    /// Renders a complete text block: header banner, run metadata, and
+    /// the aligned table.
+    pub fn render_text(&self) -> String {
+        format!(
+            "=== {} — {} ===\n[{} cells · {} threads · {:.3} s]\n\n{}",
+            self.id.to_uppercase(),
+            self.title,
+            self.rows.len(),
+            self.threads,
+            self.micros as f64 / 1e6,
+            self.table().render()
+        )
+    }
+
+    /// Serializes the whole report as one JSON object:
+    /// `{id, title, threads, micros, cells, rows}`.
+    pub fn to_value(&self) -> Value {
+        let mut map = serde_json::Map::new();
+        map.insert("id".to_owned(), Value::String(self.id.clone()));
+        map.insert("title".to_owned(), Value::String(self.title.clone()));
+        map.insert("threads".to_owned(), Value::Int(self.threads as i64));
+        map.insert(
+            "micros".to_owned(),
+            serde_json::to_value(self.micros).expect("u64 serializes"),
+        );
+        map.insert("cells".to_owned(), Value::Int(self.rows.len() as i64));
+        map.insert("rows".to_owned(), Value::Array(self.rows.clone()));
+        Value::Object(map)
+    }
+}
+
+/// Formats one JSON value for a table cell: floats through [`fnum`],
+/// `null` as `-`, scalars bare, and containers as compact JSON.
+fn value_cell_text(v: &Value) -> String {
+    match v {
+        Value::Null => "-".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Float(x) => fnum(*x),
+        Value::String(s) => s.clone(),
+        other => other.to_json_string(),
+    }
+}
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_core::campaign::Table;
+/// let mut t = Table::new(vec!["k".into(), "value".into()]);
+/// t.push(vec!["1".into(), "9.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains('k') && s.contains("9.0"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn push(&mut self, mut row: Vec<String>) {
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>width$}", width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an `f64` compactly for tables.
+pub fn fnum(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_owned()
+    } else if v == 0.0 || (0.001..1e6).contains(&v.abs()) {
+        format!("{v:.6}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_product_is_row_major() {
+        let grid = ParamGrid::new()
+            .axis_u32("a", 1..=2)
+            .axis_str("b", ["x", "y"]);
+        let cells = grid.cells();
+        assert_eq!(grid.product_len(), 4);
+        let flat: Vec<(i64, String)> = cells
+            .iter()
+            .map(|c| (c.get_i64("a"), c.get_str("b").to_owned()))
+            .collect();
+        assert_eq!(
+            flat,
+            vec![
+                (1, "x".to_owned()),
+                (1, "y".to_owned()),
+                (2, "x".to_owned()),
+                (2, "y".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn filters_prune_cells() {
+        let grid = ParamGrid::new()
+            .axis_u32("k", 1..=4)
+            .axis_u32("f", 0..4)
+            .filter(|c| c.get_u32("f") < c.get_u32("k"));
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 1 + 2 + 3 + 4);
+        for c in &cells {
+            assert!(c.get_u32("f") < c.get_u32("k"));
+        }
+        // a second filter composes conjunctively
+        let strict = ParamGrid::new()
+            .axis_u32("k", 1..=4)
+            .axis_u32("f", 0..4)
+            .filter(|c| c.get_u32("f") < c.get_u32("k"))
+            .filter(|c| c.get_u32("k") >= 3);
+        assert_eq!(strict.cells().len(), 3 + 4);
+    }
+
+    #[test]
+    fn zipped_axis_crosses_with_plain_axes() {
+        let grid = ParamGrid::new()
+            .axis_zip(
+                &["m", "k"],
+                vec![
+                    vec![2u32.into(), 1u32.into()],
+                    vec![3u32.into(), 4u32.into()],
+                ],
+            )
+            .axis_f64("x", [0.5, 1.5, 2.5]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 6);
+        // first zip row crossed with all x before the second
+        assert_eq!(cells[0].get_u32("m"), 2);
+        assert_eq!(cells[2].get_u32("m"), 2);
+        assert_eq!(cells[3].get_u32("m"), 3);
+        assert_eq!(cells[3].get_u32("k"), 4);
+        assert!((cells[3].get_f64("x") - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_axis_means_empty_grid() {
+        let grid = ParamGrid::new().axis_u32("k", 1..=3).axis_u32("f", 1..1);
+        assert_eq!(grid.product_len(), 0);
+        assert!(grid.cells().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate axis name")]
+    fn duplicate_axis_name_panics() {
+        let _ = ParamGrid::new().axis_u32("k", 1..=2).axis_f64("k", [1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn zip_arity_mismatch_panics() {
+        let _ = ParamGrid::new().axis_zip(&["m", "k"], vec![vec![2u32.into()]]);
+    }
+
+    #[derive(serde::Serialize)]
+    struct DemoRow {
+        k: u32,
+        f: u32,
+        ratio: f64,
+        note: Option<f64>,
+    }
+
+    fn demo_campaign() -> Campaign<DemoRow> {
+        let grid = ParamGrid::new()
+            .axis_u32("k", 1..=5)
+            .axis_u32("f", 0..5)
+            .filter(|c| c.get_u32("f") < c.get_u32("k"));
+        Campaign::new("demo", "ratio demo", grid, |cell| {
+            let (k, f) = (cell.get_u32("k"), cell.get_u32("f"));
+            DemoRow {
+                k,
+                f,
+                ratio: f64::from(k) / f64::from(f + 1),
+                note: (f == 0).then_some(1.0),
+            }
+        })
+    }
+
+    #[test]
+    fn run_preserves_grid_order_across_thread_counts() {
+        let sequential = demo_campaign().threads(Some(1)).run();
+        assert_eq!(sequential.threads, 1);
+        for threads in [2, 8] {
+            let parallel = demo_campaign().threads(Some(threads)).run();
+            assert_eq!(parallel.len(), sequential.len());
+            for (a, b) in parallel.results.iter().zip(&sequential.results) {
+                assert_eq!(a.cell, b.cell);
+                assert_eq!(a.row.k, b.row.k);
+                assert!((a.row.ratio - b.row.ratio).abs() < 1e-15);
+            }
+            // serialized reports agree row-for-row too
+            let ra = parallel.report();
+            let rb = sequential.report();
+            assert_eq!(ra.rows(), rb.rows());
+        }
+    }
+
+    #[test]
+    fn report_renders_headers_in_field_order() {
+        let report = demo_campaign().run().report();
+        assert_eq!(report.headers(), vec!["k", "f", "ratio", "note"]);
+        let text = report.render_text();
+        assert!(text.starts_with("=== DEMO — ratio demo ==="));
+        // every data row rendered
+        assert_eq!(report.table().len(), report.rows().len());
+        // Option::None renders as '-'
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = demo_campaign().threads(Some(1)).run().report();
+        let doc = report.to_value();
+        assert_eq!(doc.get("id"), Some(&Value::String("demo".to_owned())));
+        let rows = match doc.get("rows") {
+            Some(Value::Array(rows)) => rows,
+            other => panic!("rows missing: {other:?}"),
+        };
+        assert_eq!(rows.len(), 15);
+        match &rows[0] {
+            Value::Object(map) => {
+                assert!(map.contains_key("ratio"));
+                assert_eq!(map.get("k"), Some(&Value::Int(1)));
+            }
+            other => panic!("row not an object: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_cell_timing_is_recorded() {
+        let run = demo_campaign().run();
+        assert!(run.micros > 0 || run.results.iter().all(|r| r.micros == 0));
+        assert_eq!(run.rows().count(), run.len());
+    }
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a".into(), "bb".into()]);
+        t.push(vec!["111".into(), "2".into()]);
+        t.push(vec!["1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(9.0), "9.000000");
+        assert!(fnum(1e9).contains('e'));
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+}

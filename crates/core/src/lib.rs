@@ -14,7 +14,12 @@
 //!   the measured ratio of the optimal strategy, and the covering
 //!   falsification just below the bound;
 //! * [`sweep`] — a small work-stealing parallel runner (std scoped
-//!   threads) used by the benchmark harness for parameter sweeps.
+//!   threads) used by the benchmark harness for parameter sweeps;
+//! * [`campaign`] — the campaign engine: declarative parameter grids
+//!   ([`campaign::ParamGrid`]), a sharded deterministic-order runner
+//!   ([`campaign::Campaign`]) and text/JSON reports
+//!   ([`campaign::Report`]) — the machinery behind the E1–E10
+//!   experiment suite in `raysearch-bench`.
 //!
 //! # Example: Theorem 1 tightness for (k, f) = (3, 1)
 //!
@@ -34,13 +39,15 @@
 
 mod error;
 
+pub mod campaign;
 pub mod eval;
 pub mod problem;
 pub mod sweep;
 pub mod verdict;
 
+pub use campaign::{Campaign, CampaignRun, Cell, ParamGrid, ParamValue, Report};
 pub use error::CoreError;
 pub use eval::{EvalReport, LineEvaluator, RayEvaluator, WorstTarget};
 pub use problem::{LineProblem, RayProblem};
-pub use sweep::par_map;
+pub use sweep::{par_map, par_map_threads};
 pub use verdict::{verify_tightness, TightnessReport};

@@ -5,15 +5,36 @@
 //! pool is all that is needed. Built on `std::thread::scope` (no
 //! `'static` bound on the work items) with a `parking_lot` mutex guarding
 //! the result slots.
+//!
+//! [`par_map`] picks a worker count automatically; [`par_map_threads`]
+//! takes an explicit one, which the [campaign engine](crate::campaign)
+//! uses to honour a `--threads` flag (and `Some(1)` to force a fully
+//! sequential, same-thread run).
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
+/// The worker count [`par_map`] uses by default: the machine's available
+/// parallelism, or `1` when it cannot be determined.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Applies `f` to every item, in parallel, preserving order.
 ///
 /// Spawns up to `min(items.len(), available_parallelism)` workers that
-/// pull indices from a shared counter. Panics in `f` propagate.
+/// pull indices from a shared counter.
+///
+/// # Panics
+///
+/// If `f` panics on some item, the original panic payload is re-raised
+/// on the calling thread once the workers have stopped (see
+/// [`par_map_threads`]).
 ///
 /// # Example
 ///
@@ -22,20 +43,49 @@ use parking_lot::Mutex;
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    par_map_threads(items, None, f)
+}
+
+/// [`par_map`] with an explicit worker count.
+///
+/// `threads = None` selects [`default_parallelism`]; `Some(1)` runs
+/// sequentially on the calling thread (no pool, fully deterministic
+/// scheduling); larger counts are clamped to the number of items. The
+/// output order is the input order regardless of the worker count.
+///
+/// # Panics
+///
+/// If `f` panics, the remaining work is abandoned (workers stop claiming
+/// new items) and the panic is re-raised on the calling thread with its
+/// *original payload* — `panic!("bad cell {i}")` inside `f` surfaces as
+/// that message, not as a generic poisoned-slot error. When several items
+/// panic concurrently, the lowest-indexed payload observed wins.
+///
+/// # Example
+///
+/// ```
+/// let doubled = raysearch_core::par_map_threads(&[1, 2, 3], Some(2), |&x| 2 * x);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+pub fn par_map_threads<T: Sync, U: Send>(
+    items: &[T],
+    threads: Option<usize>,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = threads.unwrap_or_else(default_parallelism).clamp(1, n);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
 
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // First panic payload by item index, so propagation is as
+    // deterministic as the scheduling allows.
+    let panicked: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -44,15 +94,33 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
                 if i >= n {
                     break;
                 }
-                let value = f(&items[i]);
-                *slots[i].lock() = Some(value);
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(value) => *slots[i].lock() = Some(value),
+                    Err(payload) => {
+                        let mut first = panicked.lock();
+                        if first.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *first = Some((i, payload));
+                        }
+                        drop(first);
+                        // Fail fast: park the counter past the end so no
+                        // worker claims further items.
+                        next.store(n, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     });
 
+    if let Some((_, payload)) = panicked.into_inner() {
+        resume_unwind(payload);
+    }
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("slot filled by worker"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker filled every non-panicking slot")
+        })
         .collect()
 }
 
@@ -76,6 +144,18 @@ mod tests {
     }
 
     #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<usize> = (0..257).collect();
+        let sequential = par_map_threads(&items, Some(1), |&x| x * x + 1);
+        for threads in [2, 3, 8, 64] {
+            let parallel = par_map_threads(&items, Some(threads), |&x| x * x + 1);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+        // None = auto matches too
+        assert_eq!(par_map_threads(&items, None, |&x| x * x + 1), sequential);
+    }
+
+    #[test]
     fn borrows_environment() {
         let offset = 7usize;
         let items = vec![1usize, 2, 3];
@@ -93,5 +173,39 @@ mod tests {
         for v in &out {
             assert!((v - 4.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn propagates_worker_panic_payload() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_threads(&items, Some(4), |&x| {
+                if x == 17 {
+                    panic!("boom at item {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("formatted panic payload is a String");
+        assert!(msg.contains("boom at item 17"), "payload lost: {msg}");
+    }
+
+    #[test]
+    fn sequential_panic_propagates_too() {
+        let items = vec![1u32, 2, 3];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_threads(&items, Some(1), |&x| {
+                if x == 2 {
+                    panic!("sequential boom");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&'static str>().copied();
+        assert_eq!(msg, Some("sequential boom"));
     }
 }

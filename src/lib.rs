@@ -17,8 +17,8 @@
 //! | [`faults`] | `raysearch-faults` | crash & Byzantine adversaries, claim verification |
 //! | [`bounds`] | `raysearch-bounds` | closed forms `A(k,f)`, `A(m,k,f)`, `C(k,q)`, `C(η)` |
 //! | [`cover`] | `raysearch-cover` | covering settings, standardization, potential function |
-//! | [`core`] | `raysearch-core` | problems, exact evaluator, tightness verdicts, sweeps |
-//! | [`bench`] | `raysearch-bench` | experiments E1–E10, table rendering, `tablegen` binary |
+//! | [`core`] | `raysearch-core` | problems, exact evaluator, tightness verdicts, sweeps, campaign engine |
+//! | [`bench`](mod@bench) | `raysearch-bench` | campaign-based experiments E1–E10, `tablegen` binary |
 //!
 //! # Quickstart
 //!

@@ -1,0 +1,116 @@
+//! Golden tests for the campaign engine: E1's JSON rows pinned against
+//! the closed forms `A(k, f)` (the same pins as `closed_form_smoke.rs`),
+//! plus deterministic ordering across worker-thread counts — the
+//! end-to-end guarantee the `tablegen --json` consumers rely on.
+
+use raysearch::bench::experiments::{self, e1_theorem1, Config};
+use raysearch::bounds::a_line;
+use serde_json::Value;
+
+const TOL: f64 = 1e-9;
+
+/// The pinned decimals of `closed_form_smoke.rs`, re-checked here
+/// through the full campaign → report → JSON → parse pipeline.
+const PINNED: &[((u32, u32), f64)] = &[
+    ((3, 1), 5.233_069_471_915_199),
+    ((4, 2), 6.196_152_422_706_631),
+    ((5, 2), 4.434_325_794_652_613),
+    ((5, 3), 6.764_096_164_354_617),
+    ((6, 4), 7.140_052_497_733_978),
+];
+
+#[test]
+fn e1_json_rows_match_closed_forms() {
+    let cfg = Config {
+        max_k: 6,
+        threads: Some(2),
+    };
+    let reports = experiments::run_experiment("e1", &cfg).expect("e1 is registered");
+    assert_eq!(reports.len(), 1);
+    let report = &reports[0];
+    assert_eq!(report.id(), "e1");
+
+    // Round-trip through JSON text, exactly like a tablegen consumer.
+    let text = serde_json::to_string(&report.to_value()).expect("report serializes");
+    let doc = serde_json::from_str(&text).expect("report JSON parses");
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .expect("rows array");
+    assert_eq!(
+        doc.get("cells").and_then(Value::as_u64),
+        Some(rows.len() as u64)
+    );
+    assert!(!rows.is_empty());
+
+    let mut seen = Vec::new();
+    for row in rows {
+        let k = row.get("k").and_then(Value::as_u64).expect("k") as u32;
+        let f = row.get("f").and_then(Value::as_u64).expect("f") as u32;
+        let closed = row
+            .get("closed_form")
+            .and_then(Value::as_f64)
+            .expect("closed_form");
+        let numeric = row
+            .get("numeric_min")
+            .and_then(Value::as_f64)
+            .expect("numeric_min");
+        let want = a_line(k, f).expect("searchable cell");
+        assert!(
+            (closed - want).abs() < TOL,
+            "A({k},{f}): JSON row {closed} vs closed form {want}"
+        );
+        assert!(
+            (numeric - want).abs() < 1e-6,
+            "A({k},{f}): numeric column drifted"
+        );
+        seen.push(((k, f), closed));
+    }
+    // the hard-coded decimals survive the whole pipeline
+    for &((k, f), want) in PINNED {
+        let (_, got) = seen
+            .iter()
+            .find(|((sk, sf), _)| (*sk, *sf) == (k, f))
+            .unwrap_or_else(|| panic!("pinned row ({k},{f}) missing"));
+        assert!(
+            (got - want).abs() < TOL,
+            "pinned A({k},{f}) = {got}, want {want}"
+        );
+    }
+}
+
+#[test]
+fn report_rows_are_identical_across_thread_counts() {
+    let sequential = e1_theorem1::campaign(6, 1e3)
+        .threads(Some(1))
+        .run()
+        .report();
+    for threads in [2usize, 4, 16] {
+        let parallel = e1_theorem1::campaign(6, 1e3)
+            .threads(Some(threads))
+            .run()
+            .report();
+        // byte-identical serialized rows: same cells, same order, same values
+        let a = serde_json::to_string(&Value::Array(sequential.rows().to_vec())).unwrap();
+        let b = serde_json::to_string(&Value::Array(parallel.rows().to_vec())).unwrap();
+        assert_eq!(a, b, "rows diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn every_registered_experiment_produces_parseable_json() {
+    let cfg = Config {
+        max_k: 4,
+        threads: Some(1),
+    };
+    for id in experiments::ALL {
+        let reports = experiments::run_experiment(id, &cfg).expect(id);
+        for report in &reports {
+            let text = serde_json::to_string(&report.to_value()).expect("serializes");
+            let doc = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("{id} JSON does not parse: {e}"));
+            let rows = doc.get("rows").and_then(Value::as_array).unwrap();
+            assert!(!rows.is_empty(), "{id} report {} has no rows", report.id());
+        }
+    }
+}

@@ -91,6 +91,77 @@ impl Map {
 }
 
 impl Value {
+    /// Whether this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`; integers convert (like `serde_json`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The map, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Index into an `Object` by key (`None` for other variants or a
+    /// missing key), mirroring `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+
     /// Renders the value as compact JSON text.
     pub fn to_json_string(&self) -> String {
         let mut out = String::new();
@@ -347,6 +418,32 @@ mod tests {
     fn whole_floats_keep_decimal() {
         assert_eq!(Value::Float(9.0).to_json_string(), "9.0");
         assert_eq!(Value::Float(f64::NAN).to_json_string(), "null");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut m = Map::new();
+        m.insert("n".into(), Value::Int(3));
+        m.insert("x".into(), Value::Float(2.5));
+        m.insert("s".into(), Value::String("hi".into()));
+        m.insert("a".into(), Value::Array(vec![Value::Bool(true)]));
+        let v = Value::Object(m);
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("x").and_then(Value::as_i64), None);
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[Value]>::len),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert!(v.as_object().is_some());
+        assert!(Value::Int(1).get("k").is_none());
     }
 
     #[test]

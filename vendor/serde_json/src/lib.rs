@@ -1,6 +1,8 @@
 //! Vendored offline shim for the subset of `serde_json` this workspace
 //! uses: `Value`/`Map` (re-exported from the `serde` shim, which owns the
-//! data model) and the `to_value`/`to_string` entry points.
+//! data model), the `to_value`/`to_string` entry points, and a
+//! [`from_str`] parser so reports can be round-tripped and validated
+//! without network access.
 
 #![forbid(unsafe_code)]
 
@@ -8,9 +10,8 @@ use std::fmt;
 
 pub use serde::{Map, Value};
 
-/// Serialization error. The shim's data model is infallible, so this is
-/// never actually produced; it exists to keep `Result`-based call sites
-/// source-compatible.
+/// Serialization/parse error. Serialization through the shim's data
+/// model is infallible; parsing reports the byte offset and cause.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -38,6 +39,273 @@ pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error>
     to_string(value)
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Divergence from the real `serde_json`: the shim's `Deserialize` is a
+/// marker trait with no data model, so `from_str` is not generic — it
+/// always produces a [`Value`]. Call sites reading into `Value` (the
+/// only deserialization this workspace does) are source-compatible.
+///
+/// # Errors
+///
+/// Returns [`Error`] with the byte offset on malformed input, including
+/// trailing non-whitespace after the document.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Maximum container nesting `from_str` accepts, matching the real
+/// `serde_json`'s default recursion limit; deeper input errors instead
+/// of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected literal {word:?}")))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair: require \uXXXX low half
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(ch);
+                            continue; // parse_hex4 already advanced
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // multi-byte UTF-8 is copied through by char
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = rest.chars().next().expect("peeked non-empty");
+                    if (ch as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .filter(|b| b.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn eat_digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        // strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        let int_digits = self.eat_digits();
+        if int_digits == 0 {
+            return Err(self.err("expected digit in number"));
+        }
+        if int_digits > 1 && self.bytes[int_start] == b'0' {
+            return Err(Error(format!("leading zero in number at byte {int_start}")));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if self.eat_digits() == 0 {
+                return Err(self.err("expected digit after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.eat_digits() == 0 {
+                return Err(self.err("expected digit in exponent"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number {text:?} at byte {start}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +327,94 @@ mod tests {
             map.insert("experiment".to_owned(), Value::String("e1".to_owned()));
         }
         assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"experiment":"e1"}"#);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::Int(42));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-1.25e-2").unwrap(), Value::Float(-0.0125));
+        assert_eq!(from_str(r#""hi""#).unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parse_containers_and_escapes() {
+        let v = from_str(r#"{"rows":[{"k":3,"x":2.5,"s":"a\"b\né"}],"n":null}"#).unwrap();
+        let rows = v.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(rows[0].get("k").and_then(Value::as_u64), Some(3));
+        assert_eq!(rows[0].get("x").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(rows[0].get("s").and_then(Value::as_str), Some("a\"b\né"));
+        assert!(v.get("n").unwrap().is_null());
+        // surrogate pair
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::String("😀".into()));
+    }
+
+    #[test]
+    fn round_trips_serialized_output() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Int(3));
+        m.insert("ratio".into(), Value::Float(5.233069471915199));
+        m.insert("note".into(), Value::Null);
+        m.insert(
+            "tags".into(),
+            Value::Array(vec![Value::String("e1".into())]),
+        );
+        let original = Value::Object(m);
+        let text = to_string(&original).unwrap();
+        assert_eq!(from_str(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            r#"{"a":}"#,
+            "tru",
+            "1 2",
+            r#""unterminated"#,
+        ] {
+            let err = from_str(bad).expect_err(bad);
+            assert!(err.to_string().contains("byte"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_lenient_number_and_escape_forms() {
+        // strict JSON: these are all invalid even though Rust's own
+        // f64/u32 parsers would accept the embedded fragments
+        for bad in [
+            "1.",
+            "1.e3",
+            ".5",
+            "-",
+            "01",
+            "-01",
+            "1e",
+            "1e+",
+            "2.5.3",
+            r#""\u+041""#,
+            r#""\u12g4""#,
+        ] {
+            assert!(from_str(bad).is_err(), "accepted invalid JSON {bad:?}");
+        }
+        // deep nesting errors instead of blowing the stack
+        let deep = "[".repeat(10_000);
+        let err = from_str(&deep).expect_err("unbounded nesting");
+        assert!(err.to_string().contains("recursion"), "{err}");
+        // ...while the strict forms stay accepted
+        assert_eq!(from_str("0").unwrap(), Value::Int(0));
+        assert_eq!(from_str("-0.5e+2").unwrap(), Value::Float(-50.0));
+        assert_eq!(from_str(r#""A""#).unwrap(), Value::String("A".into()));
     }
 }
