@@ -1,8 +1,11 @@
 //! `tablegen` — regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! tablegen [--json PATH] [--experiment e1,e4] [--max-k N] [--threads N] [ids...]
+//! tablegen [--list] [--json PATH] [--experiment e1,e4] [--max-k N] [--threads N] [ids...]
 //! ```
+//!
+//! `--list` prints the experiment registry (one line per campaign: id,
+//! title, default grid size) without running anything, and exits 0.
 //!
 //! Without a selection, all of E1–E10 run. In text mode (the default)
 //! each campaign renders as an aligned table with run metadata. With
@@ -28,6 +31,8 @@ const USAGE: &str = "\
 usage: tablegen [options] [ids...]
 
 options:
+  --list             print the experiment registry (id, title, default
+                     grid size) and exit
   --json PATH        write one JSON document to PATH ('-' = stdout)
                      instead of rendering text tables
   --experiment LIST  comma-separated experiment ids (same as positional
@@ -41,12 +46,14 @@ experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 (default: all)";
 
 struct Cli {
     json: Option<String>,
+    list: bool,
     ids: Vec<String>,
     cfg: Config,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     let mut json = None;
+    let mut list = false;
     let mut ids: Vec<String> = Vec::new();
     let mut cfg = Config::default();
     let mut iter = args.iter();
@@ -58,6 +65,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
         };
         match arg.as_str() {
             "--help" | "-h" => return Ok(None),
+            "--list" => list = true,
             "--json" => {
                 let path = value_of("--json")?;
                 // catch scripts written against the old `--json e3` CLI
@@ -105,7 +113,17 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             ));
         }
     }
-    Ok(Some(Cli { json, ids, cfg }))
+    if list && json.is_some() {
+        // a script expecting a JSON document must not silently get the
+        // text registry (and no output file) with exit 0
+        return Err("--list and --json are mutually exclusive".to_owned());
+    }
+    Ok(Some(Cli {
+        json,
+        list,
+        ids,
+        cfg,
+    }))
 }
 
 fn json_document(cli: &Cli, reports: &[raysearch_core::campaign::Report]) -> serde_json::Value {
@@ -139,6 +157,29 @@ fn run(args: Vec<String>) -> Result<(), String> {
         .copied()
         .filter(|id| cli.ids.is_empty() || cli.ids.iter().any(|w| w == id))
         .collect();
+
+    if cli.list {
+        let mut table = raysearch_bench::Table::new(vec![
+            "experiment".to_owned(),
+            "campaign".to_owned(),
+            "cells".to_owned(),
+            "title".to_owned(),
+        ]);
+        for id in &selected {
+            let infos =
+                experiments::describe_experiment(id, &cli.cfg).expect("registry covers ALL");
+            for info in infos {
+                table.push(vec![
+                    (*id).to_owned(),
+                    info.id,
+                    info.cells.to_string(),
+                    info.title,
+                ]);
+            }
+        }
+        print!("{}", table.render());
+        return Ok(());
+    }
 
     let mut reports = Vec::new();
     for id in &selected {

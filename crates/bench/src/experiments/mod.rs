@@ -1,6 +1,6 @@
 //! The executable experiment suite (see crate docs for the index).
 //!
-//! Every experiment is a [`Campaign`](raysearch_core::campaign::Campaign)
+//! Every experiment is a [`Campaign`]
 //! — a declarative parameter grid plus a per-cell closure returning one
 //! typed row — so grid enumeration, thread sharding and rendering live
 //! in one place (`raysearch_core::campaign`). [`run_experiment`] is the
@@ -8,7 +8,7 @@
 //! [`Config`] to the finished [`Report`]s (E10 produces two, one per row
 //! type).
 
-use raysearch_core::campaign::Report;
+use raysearch_core::campaign::{Campaign, Report};
 
 pub mod e10_boundary;
 pub mod e1_theorem1;
@@ -43,6 +43,74 @@ impl Default for Config {
     }
 }
 
+/// What one registered campaign looks like before it runs: its report
+/// id, title, and the number of grid cells the default spec enumerates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentInfo {
+    /// The report id (`"e1"`, ..., `"e10_rho"`, `"e10_base"`).
+    pub id: String,
+    /// The human-readable campaign title.
+    pub title: String,
+    /// Number of grid cells after filtering (the rows a run produces).
+    pub cells: usize,
+}
+
+/// A generic consumer of an experiment's campaign(s): the single point
+/// where the registry's campaign *construction* is shared between
+/// running ([`run_experiment`]) and introspection
+/// ([`describe_experiment`], `tablegen --list`).
+trait CampaignVisitor {
+    fn visit<R: Send + serde::Serialize>(&mut self, campaign: Campaign<R>);
+}
+
+/// Builds the campaign(s) registered under `id` and feeds them to the
+/// visitor. Returns `false` for an unknown id.
+fn visit_experiment(id: &str, cfg: &Config, v: &mut impl CampaignVisitor) -> bool {
+    let t = cfg.threads;
+    match id {
+        "e1" => v.visit(e1_theorem1::campaign(cfg.max_k, 5e3).threads(t)),
+        "e2" => v.visit(e2_regimes::campaign(cfg.max_k).threads(t)),
+        "e3" => v.visit(e3_byzantine::campaign(cfg.max_k).threads(t)),
+        "e4" => v.visit(e4_rays::campaign(6, cfg.max_k, 5e3).threads(t)),
+        "e5" => v.visit(e5_alpha::campaign(&[(2, 1, 0), (2, 3, 1), (3, 4, 1)], 4, 5e3).threads(t)),
+        "e6" => v.visit(
+            e6_potential::campaign(
+                2,
+                3,
+                1,
+                &[0.9, 0.99, 0.999, 0.9999, 1.0, 1.02, 1.05, 1.15],
+                5e3,
+            )
+            .threads(t),
+        ),
+        "e7" => v.visit(
+            e7_orc::campaign(
+                &[(2, 1, 0), (3, 2, 0)],
+                &[1.02, 0.999, 0.995, 0.98, 0.95, 0.9, 0.8],
+                1e5,
+            )
+            .threads(t),
+        ),
+        "e8" => v.visit(
+            e8_fractional::campaign(&[1.25, 1.5, 1.75, 2.0, std::f64::consts::E, 3.0, 3.5], 64)
+                .threads(t),
+        ),
+        "e9" => v.visit(
+            e9_applications::campaign(&[(1, 1), (2, 1), (3, 1), (3, 2), (4, 3), (5, 3)], 1e6)
+                .threads(t),
+        ),
+        "e10" => {
+            v.visit(e10_boundary::rho_campaign(12).threads(t));
+            v.visit(
+                e10_boundary::base_campaign(&[1.3, 1.5, 1.8, 2.0, 2.2, 2.5, 3.0, 4.0], 1e4)
+                    .threads(t),
+            );
+        }
+        _ => return false,
+    }
+    true
+}
+
 /// Runs one experiment's campaign(s) and returns its report(s), or
 /// `None` for an unknown id. Ids are the entries of [`ALL`]; `"e10"`
 /// yields two reports (`e10_rho`, `e10_base`).
@@ -51,67 +119,32 @@ impl Default for Config {
 ///
 /// Panics only if a substrate rejects in-regime parameters (a bug).
 pub fn run_experiment(id: &str, cfg: &Config) -> Option<Vec<Report>> {
-    let t = cfg.threads;
-    let reports = match id {
-        "e1" => vec![e1_theorem1::campaign(cfg.max_k, 5e3)
-            .threads(t)
-            .run()
-            .report()],
-        "e2" => vec![e2_regimes::campaign(cfg.max_k).threads(t).run().report()],
-        "e3" => vec![e3_byzantine::campaign(cfg.max_k).threads(t).run().report()],
-        "e4" => vec![e4_rays::campaign(6, cfg.max_k, 5e3)
-            .threads(t)
-            .run()
-            .report()],
-        "e5" => vec![
-            e5_alpha::campaign(&[(2, 1, 0), (2, 3, 1), (3, 4, 1)], 4, 5e3)
-                .threads(t)
-                .run()
-                .report(),
-        ],
-        "e6" => vec![e6_potential::campaign(
-            2,
-            3,
-            1,
-            &[0.9, 0.99, 0.999, 0.9999, 1.0, 1.02, 1.05, 1.15],
-            5e3,
-        )
-        .threads(t)
-        .run()
-        .report()],
-        "e7" => vec![e7_orc::campaign(
-            &[(2, 1, 0), (3, 2, 0)],
-            &[1.02, 0.999, 0.995, 0.98, 0.95, 0.9, 0.8],
-            1e5,
-        )
-        .threads(t)
-        .run()
-        .report()],
-        "e8" => vec![e8_fractional::campaign(
-            &[1.25, 1.5, 1.75, 2.0, std::f64::consts::E, 3.0, 3.5],
-            64,
-        )
-        .threads(t)
-        .run()
-        .report()],
-        "e9" => {
-            vec![
-                e9_applications::campaign(&[(1, 1), (2, 1), (3, 1), (3, 2), (4, 3), (5, 3)], 1e6)
-                    .threads(t)
-                    .run()
-                    .report(),
-            ]
+    struct Runner(Vec<Report>);
+    impl CampaignVisitor for Runner {
+        fn visit<R: Send + serde::Serialize>(&mut self, campaign: Campaign<R>) {
+            self.0.push(campaign.run().report());
         }
-        "e10" => vec![
-            e10_boundary::rho_campaign(12).threads(t).run().report(),
-            e10_boundary::base_campaign(&[1.3, 1.5, 1.8, 2.0, 2.2, 2.5, 3.0, 4.0], 1e4)
-                .threads(t)
-                .run()
-                .report(),
-        ],
-        _ => return None,
-    };
-    Some(reports)
+    }
+    let mut runner = Runner(Vec::new());
+    visit_experiment(id, cfg, &mut runner).then_some(runner.0)
+}
+
+/// Describes one experiment's campaign(s) — id, title, grid size —
+/// *without* evaluating any cell, or `None` for an unknown id. This is
+/// what `tablegen --list` prints.
+pub fn describe_experiment(id: &str, cfg: &Config) -> Option<Vec<ExperimentInfo>> {
+    struct Describer(Vec<ExperimentInfo>);
+    impl CampaignVisitor for Describer {
+        fn visit<R: Send + serde::Serialize>(&mut self, campaign: Campaign<R>) {
+            self.0.push(ExperimentInfo {
+                id: campaign.id().to_owned(),
+                title: campaign.title().to_owned(),
+                cells: campaign.grid().cells().len(),
+            });
+        }
+    }
+    let mut describer = Describer(Vec::new());
+    visit_experiment(id, cfg, &mut describer).then_some(describer.0)
 }
 
 #[cfg(test)]
@@ -140,5 +173,37 @@ mod tests {
         );
         assert!(run_experiment("e99", &cfg).is_none());
         assert!(run_experiment("", &cfg).is_none());
+    }
+
+    #[test]
+    fn describe_matches_what_a_run_produces() {
+        let cfg = Config {
+            max_k: 3,
+            threads: Some(1),
+        };
+        for id in ALL {
+            let infos = describe_experiment(id, &cfg).expect(id);
+            assert!(!infos.is_empty(), "{id} described no campaigns");
+            for info in &infos {
+                assert!(!info.title.is_empty(), "{id} has an untitled campaign");
+            }
+        }
+        assert_eq!(
+            describe_experiment("e10", &cfg).map(|i| i.len()),
+            Some(2),
+            "e10 describes rho + base"
+        );
+        assert!(describe_experiment("e99", &cfg).is_none());
+        // the description's cell count is exactly the run's row count
+        for id in ["e2", "e8"] {
+            let infos = describe_experiment(id, &cfg).unwrap();
+            let reports = run_experiment(id, &cfg).unwrap();
+            assert_eq!(infos.len(), reports.len());
+            for (info, report) in infos.iter().zip(&reports) {
+                assert_eq!(info.id, report.id(), "{id}");
+                assert_eq!(info.title, report.title(), "{id}");
+                assert_eq!(info.cells, report.rows().len(), "{id}");
+            }
+        }
     }
 }

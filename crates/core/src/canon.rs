@@ -1,0 +1,185 @@
+//! Canonical floating-point keys for memoization.
+//!
+//! A serving layer memoizes evaluations keyed by instance parameters, and
+//! some of those parameters are `f64`s (horizons, epsilons, bases). Raw
+//! `f64` is a poor hash key: it is not `Eq`/`Hash`, `NaN` never equals
+//! itself, and `-0.0 == 0.0` while their bit patterns differ — so two
+//! logically equal instances could land in different cache entries (or
+//! shards) and never share work. [`CanonF64`] fixes the key, not the
+//! arithmetic: construction rejects `NaN`, normalizes `-0.0` to `+0.0`,
+//! and then keys on the exact bit pattern, so logically equal finite
+//! parameters always canonicalize identically.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::CoreError;
+
+/// An `f64` canonicalized for use as (part of) a cache key.
+///
+/// Invariants established at construction:
+///
+/// * never `NaN` (rejected with [`CoreError::InvalidInput`]);
+/// * never `-0.0` (normalized to `+0.0`);
+///
+/// so `Eq`/`Hash`/`Ord` on the underlying bit pattern agree with the
+/// logical equality of the parameter values. Infinities are allowed —
+/// they are legitimate, self-equal parameter values.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_core::canon::CanonF64;
+///
+/// let a = CanonF64::new(0.0)?;
+/// let b = CanonF64::new(-0.0)?;
+/// assert_eq!(a, b); // -0.0 normalizes to +0.0
+/// assert!(CanonF64::new(f64::NAN).is_err());
+/// # Ok::<(), raysearch_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CanonF64(f64);
+
+impl CanonF64 {
+    /// Canonicalizes `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if `value` is `NaN`.
+    pub fn new(value: f64) -> Result<Self, CoreError> {
+        if value.is_nan() {
+            return Err(CoreError::InvalidInput {
+                reason: "NaN cannot be canonicalized into a cache key".to_owned(),
+            });
+        }
+        // collapse -0.0 onto +0.0 so the bit patterns agree
+        Ok(CanonF64(if value == 0.0 { 0.0 } else { value }))
+    }
+
+    /// The canonicalized value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The bit pattern the key hashes and compares by.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0.to_bits()
+    }
+}
+
+impl PartialEq for CanonF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.bits() == other.bits()
+    }
+}
+
+impl Eq for CanonF64 {}
+
+impl Hash for CanonF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.bits().hash(state);
+    }
+}
+
+impl PartialOrd for CanonF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CanonF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // NaN is unrepresentable, so total_cmp degenerates to the
+        // numeric order
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for CanonF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<f64> for CanonF64 {
+    type Error = CoreError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        CanonF64::new(value)
+    }
+}
+
+impl From<CanonF64> for f64 {
+    fn from(value: CanonF64) -> f64 {
+        value.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(k: CanonF64) -> u64 {
+        let mut h = DefaultHasher::new();
+        k.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        assert!(CanonF64::new(f64::NAN).is_err());
+        assert!(CanonF64::new(-f64::NAN).is_err());
+        // a NaN produced by arithmetic, not just the constant
+        assert!(CanonF64::new(f64::INFINITY - f64::INFINITY).is_err());
+        assert!(CanonF64::try_from(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let pos = CanonF64::new(0.0).unwrap();
+        let neg = CanonF64::new(-0.0).unwrap();
+        assert_eq!(pos, neg);
+        assert_eq!(pos.bits(), neg.bits());
+        assert_eq!(hash_of(pos), hash_of(neg));
+        assert!(neg.get().is_sign_positive());
+    }
+
+    #[test]
+    fn equal_values_share_bits_and_hash() {
+        for v in [1.0, 1e4, -2.5, 0.1 + 0.2, f64::INFINITY, f64::MIN_POSITIVE] {
+            let a = CanonF64::new(v).unwrap();
+            let b = CanonF64::new(v).unwrap();
+            assert_eq!(a, b, "{v}");
+            assert_eq!(hash_of(a), hash_of(b), "{v}");
+            assert_eq!(f64::from(a).to_bits(), v.to_bits(), "{v}");
+        }
+    }
+
+    #[test]
+    fn distinct_values_differ() {
+        let a = CanonF64::new(1e4).unwrap();
+        let b = CanonF64::new(1e4 + 1e-8).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a.bits(), b.bits());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut keys: Vec<CanonF64> = [2.5, -1.0, 0.0, f64::INFINITY, -0.0, 1.0]
+            .iter()
+            .map(|&v| CanonF64::new(v).unwrap())
+            .collect();
+        keys.sort();
+        let sorted: Vec<f64> = keys.iter().map(|k| k.get()).collect();
+        assert_eq!(sorted, vec![-1.0, 0.0, 0.0, 1.0, 2.5, f64::INFINITY]);
+    }
+
+    #[test]
+    fn displays_as_the_value() {
+        assert_eq!(CanonF64::new(2.5).unwrap().to_string(), "2.5");
+        assert_eq!(CanonF64::new(-0.0).unwrap().to_string(), "0");
+    }
+}

@@ -12,10 +12,11 @@
 //! enumerating boundaries; nothing is sampled.
 //!
 //! This is the measurement side of the paper: running it on the
-//! [`CyclicExponential`](raysearch_strategies::CyclicExponential) strategy
+//! [`CyclicExponential`] strategy
 //! reproduces `Λ(q/k)` to floating-point accuracy (experiments E1/E4/E5).
 
 use raysearch_sim::{Direction, LineItinerary, TourItinerary};
+use raysearch_strategies::{CyclicExponential, RayStrategy};
 
 use crate::CoreError;
 
@@ -131,6 +132,37 @@ impl EvalReport {
     pub fn is_covered(&self) -> bool {
         self.uncovered.is_none()
     }
+}
+
+/// Evaluates the *optimal* strategy for the instance `(m, k, f)` exactly
+/// over targets in `[1, horizon]`: builds the cyclic exponential fleet
+/// that attains `A(m, k, f)` and measures its worst-case ratio against
+/// the crash adversary.
+///
+/// This is the public one-shot entry point the serving layer memoizes:
+/// the whole computation is a pure function of `(m, k, f, horizon)`, so
+/// repeated calls are bit-identical and safe to cache.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_core::eval::evaluate_optimal;
+///
+/// let report = evaluate_optimal(2, 1, 0, 1e4)?; // the classic cow path
+/// assert!((report.ratio - 9.0).abs() < 1e-3);
+/// # Ok::<(), raysearch_core::CoreError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`]-style errors for out-of-regime
+/// `(m, k, f)` or a horizon outside `(1, ∞)`.
+pub fn evaluate_optimal(m: u32, k: u32, f: u32, horizon: f64) -> Result<EvalReport, CoreError> {
+    let strategy = CyclicExponential::optimal(m, k, f)?;
+    // the fleet prefix must extend past the horizon so every target in
+    // range lies strictly inside covered territory
+    let fleet = strategy.fleet_tours(horizon * 4.0)?;
+    RayEvaluator::new(m as usize, f, 1.0, horizon)?.evaluate(&fleet)
 }
 
 fn check_range(lo: f64, hi: f64) -> Result<(), CoreError> {

@@ -13,6 +13,8 @@
 //! * [`verdict`] — ties theory to measurement: the closed-form `Λ(q/k)`,
 //!   the measured ratio of the optimal strategy, and the covering
 //!   falsification just below the bound;
+//! * [`canon`] — canonical `f64` cache keys ([`CanonF64`]: no `NaN`, no
+//!   `-0.0`) so a memoizing serving layer can key on instance parameters;
 //! * [`sweep`] — a small work-stealing parallel runner (std scoped
 //!   threads) used by the benchmark harness for parameter sweeps;
 //! * [`campaign`] — the campaign engine: declarative parameter grids
@@ -40,14 +42,16 @@
 mod error;
 
 pub mod campaign;
+pub mod canon;
 pub mod eval;
 pub mod problem;
 pub mod sweep;
 pub mod verdict;
 
 pub use campaign::{Campaign, CampaignRun, Cell, ParamGrid, ParamValue, Report};
+pub use canon::CanonF64;
 pub use error::CoreError;
-pub use eval::{EvalReport, LineEvaluator, RayEvaluator, WorstTarget};
+pub use eval::{evaluate_optimal, EvalReport, LineEvaluator, RayEvaluator, WorstTarget};
 pub use problem::{LineProblem, RayProblem};
 pub use sweep::{par_map, par_map_threads};
 pub use verdict::{verify_tightness, TightnessReport};

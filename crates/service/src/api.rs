@@ -1,0 +1,517 @@
+//! Endpoint implementations and the shared service state.
+//!
+//! Every evaluation endpoint is a pure function of its canonicalized
+//! parameters, so each one is memoized in the sharded LRU cache behind a
+//! [`MemoKey`]. Responses wrap the cached payload as
+//! `{"cached": <bool>, "result": <payload>}` — the payload string is
+//! byte-for-byte identical between the computing request and every
+//! cache hit after it (deterministic JSON bodies), while the `cached`
+//! flag reflects this particular request.
+//!
+//! | endpoint | method | parameters | payload |
+//! |---|---|---|---|
+//! | `/healthz` | GET | — | service identity (never cached) |
+//! | `/stats` | GET | — | request + cache counters (never cached) |
+//! | `/closed_form` | GET/POST | `m?`, `k`, `f` *or* `eta` | regime + `A(m,k,f)` / `Λ(η)` |
+//! | `/evaluate` | POST | `m?`, `k`, `f`, `horizon?` | exact [`EvalReport`](raysearch_core::EvalReport) |
+//! | `/verdict` | POST | `m?`, `k`, `f`, `horizon?`, `eps?` | [`TightnessReport`](raysearch_core::TightnessReport) |
+//! | `/campaign` | POST | `id`, `max_k?`, `threads?` | schema-v1 report rows |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use raysearch_bounds::{lambda_big, RayInstance, Regime};
+use raysearch_core::{evaluate_optimal, verdict::verify_tightness, CanonF64};
+use serde_json::{Map, Value};
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::http::{Request, Response};
+
+/// Default evaluation horizon when a request omits `horizon`.
+pub const DEFAULT_HORIZON: f64 = 1e4;
+/// Default falsification margin when a `/verdict` request omits `eps`.
+pub const DEFAULT_EPS: f64 = 1e-2;
+/// Default `k`-axis ceiling for `/campaign` requests.
+pub const DEFAULT_CAMPAIGN_MAX_K: u32 = 4;
+/// Hard ceiling for `/campaign`'s `max_k` — a grid request is served
+/// inline by a worker thread, so its size must stay bounded.
+pub const MAX_CAMPAIGN_MAX_K: u32 = 12;
+/// Serving ceiling for `k` on `/evaluate` and `/verdict`. Fleet size
+/// (and with it memory and compute) grows superlinearly in `k`, so an
+/// unbounded `k` would let a single well-formed request exhaust server
+/// memory. 512 is far above anything the evaluator resolves before
+/// turning points overflow to `inf` (~139 at deep horizons).
+pub const MAX_INSTANCE_K: u32 = 512;
+/// Serving ceiling for `m` on `/evaluate` and `/verdict`.
+pub const MAX_INSTANCE_M: u32 = 128;
+/// Serving ceiling for `horizon` on `/evaluate` and `/verdict`.
+pub const MAX_HORIZON: f64 = 1e15;
+
+/// The endpoint names, the single source of truth for dispatch, the
+/// 405-vs-404 distinction, and the `/healthz` advertisement.
+pub const ENDPOINTS: &[&str] = &[
+    "closed_form",
+    "evaluate",
+    "verdict",
+    "campaign",
+    "healthz",
+    "stats",
+];
+
+/// The canonicalized identity of one memoizable computation.
+///
+/// Float parameters go through [`CanonF64`], so requests spelling the
+/// same instance differently (`-0.0` vs `0.0`, `1e4` vs `10000`) share
+/// one cache entry and one shard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MemoKey {
+    /// `/closed_form` over an `(m, k, f)` instance.
+    ClosedForm {
+        /// Number of rays.
+        m: u32,
+        /// Number of robots.
+        k: u32,
+        /// Number of faulty robots.
+        f: u32,
+    },
+    /// `/closed_form` over a raw ratio argument `η`.
+    Lambda {
+        /// The canonicalized `η`.
+        eta: CanonF64,
+    },
+    /// `/evaluate` of the optimal strategy for an instance.
+    Evaluate {
+        /// Number of rays.
+        m: u32,
+        /// Number of robots.
+        k: u32,
+        /// Number of faulty robots.
+        f: u32,
+        /// The canonicalized evaluation horizon.
+        horizon: CanonF64,
+    },
+    /// `/verdict` tightness verification for an instance.
+    Verdict {
+        /// Number of rays.
+        m: u32,
+        /// Number of robots.
+        k: u32,
+        /// Number of faulty robots.
+        f: u32,
+        /// The canonicalized evaluation horizon.
+        horizon: CanonF64,
+        /// The canonicalized falsification margin.
+        eps: CanonF64,
+    },
+    /// `/campaign` run of one registered experiment.
+    Campaign {
+        /// The experiment id (`"e1"` … `"e10"`).
+        id: String,
+        /// The `k`-axis ceiling.
+        max_k: u32,
+    },
+}
+
+/// An endpoint failure: an HTTP status plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// The HTTP status to respond with.
+    pub status: u16,
+    /// The message for the `{"error": ...}` body.
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Shared state of one server instance: the memo cache plus counters.
+#[derive(Debug)]
+pub struct ServiceState {
+    cache: ShardedLru<MemoKey, String>,
+    started: Instant,
+    requests: AtomicU64,
+}
+
+impl ServiceState {
+    /// Creates service state with a memo cache of `capacity` entries
+    /// over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        ServiceState {
+            cache: ShardedLru::new(capacity, shards),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Total requests dispatched so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Computes (or recalls) the deterministic payload for `key`.
+    /// Returns the payload JSON string and whether it was a cache hit.
+    /// Concurrent identical requests coalesce into one computation (the
+    /// shard stays locked while it runs), and failed computations are
+    /// never cached, so a transiently bad request cannot poison the
+    /// entry for a later valid one.
+    pub fn memoized(
+        &self,
+        key: MemoKey,
+        compute: impl FnOnce() -> Result<String, ApiError>,
+    ) -> Result<(String, bool), ApiError> {
+        self.cache.try_get_or_insert_with(key, compute)
+    }
+
+    /// Dispatches one parsed request to its endpoint. Infallible at the
+    /// HTTP layer: endpoint errors become JSON error responses.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let result = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Ok(self.healthz()),
+            ("GET", "/stats") => Ok(self.stats_response()),
+            ("GET" | "POST", "/closed_form") => self.closed_form(req),
+            ("POST", "/evaluate") => self.evaluate(req),
+            ("POST", "/verdict") => self.verdict(req),
+            ("POST", "/campaign") => self.campaign(req),
+            (_, path)
+                if path
+                    .strip_prefix('/')
+                    .is_some_and(|p| ENDPOINTS.contains(&p)) =>
+            {
+                Err(ApiError {
+                    status: 405,
+                    message: format!("method {} not allowed for {}", req.method, req.path),
+                })
+            }
+            (_, path) => Err(ApiError {
+                status: 404,
+                message: format!("no such endpoint {path:?}"),
+            }),
+        };
+        match result {
+            Ok(response) => response,
+            Err(e) => Response::error(e.status, &e.message),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let mut doc = Map::new();
+        doc.insert("status".to_owned(), Value::String("ok".to_owned()));
+        doc.insert("service".to_owned(), Value::String("raysearchd".to_owned()));
+        doc.insert("paper".to_owned(), Value::String("1707.05077".to_owned()));
+        doc.insert(
+            "endpoints".to_owned(),
+            Value::Array(
+                ENDPOINTS
+                    .iter()
+                    .map(|e| Value::String((*e).to_owned()))
+                    .collect(),
+            ),
+        );
+        Response::ok(Value::Object(doc).to_json_string())
+    }
+
+    fn stats_response(&self) -> Response {
+        let cache = self.cache.stats();
+        let mut doc = Map::new();
+        doc.insert(
+            "requests_total".to_owned(),
+            serde_json::to_value(self.requests_total()).expect("u64 serializes"),
+        );
+        doc.insert(
+            "uptime_micros".to_owned(),
+            serde_json::to_value(self.started.elapsed().as_micros() as u64)
+                .expect("u64 serializes"),
+        );
+        doc.insert(
+            "cache".to_owned(),
+            serde_json::to_value(cache).expect("stats serialize"),
+        );
+        Response::ok(Value::Object(doc).to_json_string())
+    }
+
+    fn closed_form(&self, req: &Request) -> Result<Response, ApiError> {
+        let params = RequestParams::from(req)?;
+        if let Some(eta) = params.opt_f64("eta")? {
+            let key = MemoKey::Lambda {
+                eta: canon(eta, "eta")?,
+            };
+            let (payload, cached) = self.memoized(key, || {
+                let lambda =
+                    lambda_big(eta).map_err(|e| ApiError::bad_request(format!("lambda: {e}")))?;
+                let mut doc = Map::new();
+                doc.insert("eta".to_owned(), Value::Float(eta));
+                doc.insert("lambda".to_owned(), Value::Float(lambda));
+                Ok(Value::Object(doc).to_json_string())
+            })?;
+            return Ok(wrap(payload, cached));
+        }
+
+        let (m, k, f) = params.instance()?;
+        let (payload, cached) = self.memoized(MemoKey::ClosedForm { m, k, f }, || {
+            let instance = RayInstance::new(m, k, f)
+                .map_err(|e| ApiError::bad_request(format!("instance: {e}")))?;
+            let (regime, a) = match instance.regime() {
+                Regime::Searchable { ratio } => ("searchable", Some(ratio)),
+                Regime::Trivial => ("trivial", None),
+                Regime::Impossible => ("impossible", None),
+            };
+            let mut doc = Map::new();
+            doc.insert("m".to_owned(), Value::Int(i64::from(m)));
+            doc.insert("k".to_owned(), Value::Int(i64::from(k)));
+            doc.insert("f".to_owned(), Value::Int(i64::from(f)));
+            doc.insert("q".to_owned(), Value::Int(i64::from(instance.q())));
+            doc.insert("eta".to_owned(), Value::Float(instance.eta()));
+            doc.insert("regime".to_owned(), Value::String(regime.to_owned()));
+            doc.insert("a".to_owned(), a.map_or(Value::Null, Value::Float));
+            Ok(Value::Object(doc).to_json_string())
+        })?;
+        Ok(wrap(payload, cached))
+    }
+
+    fn evaluate(&self, req: &Request) -> Result<Response, ApiError> {
+        let params = RequestParams::from(req)?;
+        let (m, k, f) = params.instance()?;
+        let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
+        check_eval_limits(m, k, horizon)?;
+        let key = MemoKey::Evaluate {
+            m,
+            k,
+            f,
+            horizon: canon(horizon, "horizon")?,
+        };
+        let (payload, cached) = self.memoized(key, || {
+            let report = evaluate_optimal(m, k, f, horizon)
+                .map_err(|e| ApiError::bad_request(format!("evaluate: {e}")))?;
+            let mut doc = Map::new();
+            doc.insert("m".to_owned(), Value::Int(i64::from(m)));
+            doc.insert("k".to_owned(), Value::Int(i64::from(k)));
+            doc.insert("f".to_owned(), Value::Int(i64::from(f)));
+            doc.insert("horizon".to_owned(), Value::Float(horizon));
+            doc.insert(
+                "report".to_owned(),
+                serde_json::to_value(report).expect("EvalReport serializes"),
+            );
+            Ok(Value::Object(doc).to_json_string())
+        })?;
+        Ok(wrap(payload, cached))
+    }
+
+    fn verdict(&self, req: &Request) -> Result<Response, ApiError> {
+        let params = RequestParams::from(req)?;
+        let (m, k, f) = params.instance()?;
+        let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
+        let eps = params.opt_f64("eps")?.unwrap_or(DEFAULT_EPS);
+        check_eval_limits(m, k, horizon)?;
+        let key = MemoKey::Verdict {
+            m,
+            k,
+            f,
+            horizon: canon(horizon, "horizon")?,
+            eps: canon(eps, "eps")?,
+        };
+        let (payload, cached) = self.memoized(key, || {
+            let report = verify_tightness(m, k, f, horizon, eps)
+                .map_err(|e| ApiError::bad_request(format!("verdict: {e}")))?;
+            Ok(serde_json::to_value(report)
+                .expect("TightnessReport serializes")
+                .to_json_string())
+        })?;
+        Ok(wrap(payload, cached))
+    }
+
+    fn campaign(&self, req: &Request) -> Result<Response, ApiError> {
+        let params = RequestParams::from(req)?;
+        let id = params
+            .opt_str("id")?
+            .ok_or_else(|| ApiError::bad_request("missing parameter \"id\""))?;
+        if !raysearch_bench::experiments::ALL.contains(&id.as_str()) {
+            return Err(ApiError::bad_request(format!(
+                "unknown experiment {id:?} (available: {})",
+                raysearch_bench::experiments::ALL.join(", ")
+            )));
+        }
+        let max_k = params
+            .opt_u32("max_k")?
+            .unwrap_or(DEFAULT_CAMPAIGN_MAX_K)
+            .max(1);
+        if max_k > MAX_CAMPAIGN_MAX_K {
+            return Err(ApiError::bad_request(format!(
+                "max_k {max_k} exceeds the serving ceiling {MAX_CAMPAIGN_MAX_K}"
+            )));
+        }
+        // threads shapes only the schedule, never the rows (the campaign
+        // engine is deterministic), so it is not part of the cache key
+        let threads = params.opt_u32("threads")?.map(|t| t.max(1) as usize);
+        let key = MemoKey::Campaign {
+            id: id.clone(),
+            max_k,
+        };
+        let (payload, cached) = self.memoized(key, || {
+            let cfg = raysearch_bench::experiments::Config { max_k, threads };
+            let reports = raysearch_bench::experiments::run_experiment(&id, &cfg)
+                .expect("id membership checked above");
+            let campaigns: Vec<Value> = reports
+                .iter()
+                .map(|r| {
+                    // schema-v1 rows, minus the timing/thread metadata so
+                    // the body is a pure function of (id, max_k)
+                    let mut doc = Map::new();
+                    doc.insert("id".to_owned(), Value::String(r.id().to_owned()));
+                    doc.insert("title".to_owned(), Value::String(r.title().to_owned()));
+                    doc.insert("cells".to_owned(), Value::Int(r.rows().len() as i64));
+                    doc.insert("rows".to_owned(), Value::Array(r.rows().to_vec()));
+                    Value::Object(doc)
+                })
+                .collect();
+            let mut doc = Map::new();
+            doc.insert("schema_version".to_owned(), Value::Int(1));
+            doc.insert("id".to_owned(), Value::String(id.clone()));
+            doc.insert("max_k".to_owned(), Value::Int(i64::from(max_k)));
+            doc.insert("campaigns".to_owned(), Value::Array(campaigns));
+            Ok(Value::Object(doc).to_json_string())
+        })?;
+        Ok(wrap(payload, cached))
+    }
+}
+
+/// Wraps a deterministic payload with the per-request `cached` flag.
+fn wrap(payload: String, cached: bool) -> Response {
+    Response::ok(format!("{{\"cached\":{cached},\"result\":{payload}}}"))
+}
+
+/// Rejects instances an inline evaluation must not attempt: fleet
+/// construction cost grows superlinearly in `k` and `m`, so these
+/// ceilings keep one request from exhausting server memory.
+fn check_eval_limits(m: u32, k: u32, horizon: f64) -> Result<(), ApiError> {
+    if m > MAX_INSTANCE_M {
+        return Err(ApiError::bad_request(format!(
+            "m {m} exceeds the serving ceiling {MAX_INSTANCE_M}"
+        )));
+    }
+    if k > MAX_INSTANCE_K {
+        return Err(ApiError::bad_request(format!(
+            "k {k} exceeds the serving ceiling {MAX_INSTANCE_K}"
+        )));
+    }
+    // NaN falls through here; canonicalization rejects it right after
+    if horizon > MAX_HORIZON {
+        return Err(ApiError::bad_request(format!(
+            "horizon {horizon} exceeds the serving ceiling {MAX_HORIZON:e}"
+        )));
+    }
+    Ok(())
+}
+
+fn canon(value: f64, name: &str) -> Result<CanonF64, ApiError> {
+    CanonF64::new(value).map_err(|e| ApiError::bad_request(format!("{name}: {e}")))
+}
+
+/// Uniform access to request parameters: a JSON object body (POST) or
+/// query-string parameters (GET), with the body taking precedence.
+struct RequestParams<'a> {
+    body: Option<Value>,
+    req: &'a Request,
+}
+
+impl<'a> RequestParams<'a> {
+    fn from(req: &'a Request) -> Result<Self, ApiError> {
+        let body = match req.body_utf8() {
+            Some(text) if !text.trim().is_empty() => {
+                let value = serde_json::from_str(text)
+                    .map_err(|e| ApiError::bad_request(format!("invalid JSON body: {e}")))?;
+                if !matches!(value, Value::Object(_)) {
+                    return Err(ApiError::bad_request("request body must be a JSON object"));
+                }
+                Some(value)
+            }
+            Some(_) => None,
+            None if req.body.is_empty() => None,
+            None => return Err(ApiError::bad_request("request body is not UTF-8")),
+        };
+        Ok(RequestParams { body, req })
+    }
+
+    /// The `(m, k, f)` instance triple; `m` defaults to 2 (the line).
+    fn instance(&self) -> Result<(u32, u32, u32), ApiError> {
+        let m = self.opt_u32("m")?.unwrap_or(2);
+        let k = self
+            .opt_u32("k")?
+            .ok_or_else(|| ApiError::bad_request("missing parameter \"k\""))?;
+        let f = self
+            .opt_u32("f")?
+            .ok_or_else(|| ApiError::bad_request("missing parameter \"f\""))?;
+        Ok((m, k, f))
+    }
+
+    fn raw(&self, name: &str) -> Option<Value> {
+        if let Some(body) = &self.body {
+            if let Some(v) = body.get(name) {
+                return Some(v.clone());
+            }
+        }
+        self.req
+            .query_param(name)
+            .map(|s| Value::String(s.to_owned()))
+    }
+
+    fn opt_u32(&self, name: &str) -> Result<Option<u32>, ApiError> {
+        match self.raw(name) {
+            None => Ok(None),
+            Some(Value::Int(i)) => u32::try_from(i)
+                .map(Some)
+                .map_err(|_| ApiError::bad_request(format!("{name} out of range: {i}"))),
+            Some(Value::UInt(u)) => u32::try_from(u)
+                .map(Some)
+                .map_err(|_| ApiError::bad_request(format!("{name} out of range: {u}"))),
+            Some(Value::String(s)) => s
+                .parse::<u32>()
+                .map(Some)
+                .map_err(|_| ApiError::bad_request(format!("{name} is not an integer: {s:?}"))),
+            Some(other) => Err(ApiError::bad_request(format!(
+                "{name} must be an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    fn opt_f64(&self, name: &str) -> Result<Option<f64>, ApiError> {
+        match self.raw(name) {
+            None => Ok(None),
+            Some(Value::Float(x)) => Ok(Some(x)),
+            Some(Value::Int(i)) => Ok(Some(i as f64)),
+            Some(Value::UInt(u)) => Ok(Some(u as f64)),
+            Some(Value::String(s)) => s
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|_| ApiError::bad_request(format!("{name} is not a number: {s:?}"))),
+            Some(other) => Err(ApiError::bad_request(format!(
+                "{name} must be a number, got {other:?}"
+            ))),
+        }
+    }
+
+    fn opt_str(&self, name: &str) -> Result<Option<String>, ApiError> {
+        match self.raw(name) {
+            None => Ok(None),
+            Some(Value::String(s)) => Ok(Some(s)),
+            Some(other) => Err(ApiError::bad_request(format!(
+                "{name} must be a string, got {other:?}"
+            ))),
+        }
+    }
+}

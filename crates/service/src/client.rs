@@ -1,0 +1,114 @@
+//! A minimal HTTP/1.1 client for the probe, the load generator and the
+//! integration tests — the same hand-rolled layer as the server, from
+//! the other side of the socket.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serde_json::Value;
+
+/// A persistent (keep-alive) connection to a `raysearchd` server.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:8077`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: &str) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Issues one request and reads the full response, reusing the
+    /// connection. `body = Some(json)` sends a POST-style entity.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a malformed response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        // single write: see Response::write_to on Nagle interactions
+        let wire = format!(
+            "{method} {path} HTTP/1.1\r\nHost: raysearchd\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before status line".to_owned()));
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(bad("connection closed inside headers".to_owned()));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                }
+            }
+        }
+        let length =
+            content_length.ok_or_else(|| bad("response without Content-Length".to_owned()))?;
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|text| (status, text))
+            .map_err(|_| bad("response body is not UTF-8".to_owned()))
+    }
+}
+
+/// One-shot convenience: connect, request, parse the body as JSON.
+///
+/// # Errors
+///
+/// Returns a human-readable message on transport, HTTP or JSON failure.
+pub fn fetch_json(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, Value), String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (status, text) = client
+        .request(method, path, body)
+        .map_err(|e| format!("{method} {path}: {e}"))?;
+    let value = serde_json::from_str(&text)
+        .map_err(|e| format!("{method} {path}: non-JSON body {text:?}: {e}"))?;
+    Ok((status, value))
+}

@@ -1,0 +1,58 @@
+//! Serving layer for the `raysearch` reproduction: a long-running,
+//! caching evaluation server (`raysearchd`) over plain `std::net`.
+//!
+//! Every answer the workspace can compute — `Λ(q/k)` closed forms from
+//! Kupavskii–Welzl's Theorem 1/6, exact competitive-ratio evaluations of
+//! the optimal strategies, tightness verdicts, whole campaign runs —
+//! previously required a one-shot `tablegen` invocation recomputing from
+//! scratch. This crate memoizes them behind a stable JSON-over-HTTP API:
+//!
+//! * [`http`] — a hand-rolled, dependency-free HTTP/1.1 layer (the
+//!   environment has no crates.io access: no hyper, no tiny_http);
+//! * [`cache`] — a sharded LRU memo cache with hit/miss/eviction
+//!   counters, keyed by canonicalized instance parameters
+//!   ([`raysearch_core::canon`]);
+//! * [`api`] — the endpoints (`/closed_form`, `/evaluate`, `/verdict`,
+//!   `/campaign`, `/healthz`, `/stats`) over the `raysearch-core`
+//!   evaluators and the E1–E10 campaign registry;
+//! * [`server`] — a fixed worker pool behind a bounded accept queue,
+//!   with load shedding (503) and cooperative shutdown;
+//! * [`client`] / [`probe`] / [`load`] — the self-client: CI smoke
+//!   probing (`raysearchd --probe`) and the hot-vs-cold load harness
+//!   (`raysearchd --bench`).
+//!
+//! # Example: an in-process server round trip
+//!
+//! ```
+//! use raysearch_service::client::fetch_json;
+//! use raysearch_service::server::{Server, ServerConfig};
+//! use serde_json::Value;
+//!
+//! let server = Server::bind(ServerConfig::default())?;
+//! let handle = server.spawn();
+//! let addr = handle.addr().to_string();
+//!
+//! let (status, doc) = fetch_json(&addr, "GET", "/closed_form?k=1&f=0", None).unwrap();
+//! assert_eq!(status, 200);
+//! // the classic cow path: A(1, 0) = 9
+//! let a = doc.get("result").and_then(|r| r.get("a")).and_then(Value::as_f64);
+//! assert_eq!(a, Some(9.0));
+//!
+//! handle.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod load;
+pub mod probe;
+pub mod server;
+
+pub use api::{MemoKey, ServiceState};
+pub use cache::{CacheStats, ShardedLru};
+pub use server::{Server, ServerConfig, ServerHandle};

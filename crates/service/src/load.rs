@@ -1,0 +1,211 @@
+//! The load-test harness behind `raysearchd --bench`.
+//!
+//! Measures requests/sec on a fixed instance mix twice: once against a
+//! cold cache (every request computes) and once hot (every request is a
+//! memo hit), reporting both throughputs and their ratio. The mix
+//! cycles through searchable `(m, k, f)` instances of varying cost, so
+//! the cold number is an honest "compute on demand" figure rather than
+//! a best case.
+//!
+//! Both phases run at the *same* client concurrency over persistent
+//! keep-alive connections, so the reported `speedup` isolates cache
+//! effectiveness — it is not inflated by concurrency scaling or TCP
+//! handshakes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::client::HttpClient;
+
+/// Evaluation horizon for the mix's *small-fleet* `/evaluate` requests
+/// (fixed so hot-phase requests are exact repeats of cold-phase ones).
+pub const BENCH_HORIZON: f64 = 1e6;
+
+/// Evaluation horizon for the mix's *large-fleet* requests. Cost grows
+/// with `k · log(horizon)` turning points, so big fleets at deep
+/// horizons are where memoization pays: milliseconds of exact
+/// evaluation behind a few hundred bytes of cached JSON.
+pub const BENCH_DEEP_HORIZON: f64 = 1e12;
+
+/// The request mix every phase cycles through: exact evaluations over
+/// searchable `(m, k, f)` instances spanning the line, few-ray, faulty
+/// and *large-fleet* regimes, tightness verdicts, and one small
+/// campaign run — the cacheable traffic a serving deployment would
+/// actually see.
+pub fn request_mix() -> Vec<(&'static str, String)> {
+    let evaluate = |m: u32, k: u32, f: u32, horizon: f64| {
+        (
+            "/evaluate",
+            format!("{{\"m\":{m},\"k\":{k},\"f\":{f},\"horizon\":{horizon}}}"),
+        )
+    };
+    let mut mix: Vec<(&'static str, String)> = [
+        (2u32, 1u32, 0u32),
+        (2, 3, 1),
+        (2, 5, 2),
+        (3, 2, 0),
+        (3, 4, 1),
+        (3, 5, 1),
+        (4, 3, 0),
+        (5, 4, 0),
+    ]
+    .iter()
+    .map(|&(m, k, f)| evaluate(m, k, f, BENCH_HORIZON))
+    .collect();
+    // q = k + 1 fleets: the slowest-growing bases, hence the most
+    // turning points within the horizon — the expensive tail of traffic
+    // (k beyond ~139 overflows the turning points to inf at this depth)
+    for (m, k, f) in [
+        (2, 79, 39),
+        (2, 89, 44),
+        (2, 99, 49),
+        (2, 109, 54),
+        (2, 119, 59),
+        (2, 129, 64),
+        (3, 61, 20),
+        (4, 62, 15),
+    ] {
+        mix.push(evaluate(m, k, f, BENCH_DEEP_HORIZON));
+    }
+    for (m, k, f) in [(2, 3, 1), (3, 2, 0)] {
+        mix.push((
+            "/verdict",
+            format!("{{\"m\":{m},\"k\":{k},\"f\":{f},\"horizon\":1e4,\"eps\":0.01}}"),
+        ));
+    }
+    mix.push(("/campaign", "{\"id\":\"e2\",\"max_k\":8}".to_owned()));
+    mix
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadConfig {
+    /// Total requests in the hot phase.
+    pub requests: usize,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+}
+
+/// The measured outcome of one load run.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct LoadReport {
+    /// Requests issued against the cold cache (one per mix instance).
+    pub cold_requests: usize,
+    /// Wall-clock microseconds of the cold phase.
+    pub cold_micros: u64,
+    /// Cold-cache throughput, requests per second.
+    pub cold_rps: f64,
+    /// Requests issued against the hot cache.
+    pub hot_requests: usize,
+    /// Wall-clock microseconds of the hot phase.
+    pub hot_micros: u64,
+    /// Hot-cache throughput, requests per second.
+    pub hot_rps: f64,
+    /// `hot_rps / cold_rps`.
+    pub speedup: f64,
+    /// Responses that were not `200` with a well-formed body.
+    pub errors: usize,
+}
+
+/// One benched request; returns whether it succeeded. Validation is a
+/// cheap substring check, not a full JSON parse — the harness measures
+/// the server, not the client's parser.
+fn one_request(client: &mut HttpClient, path: &str, body: &str) -> bool {
+    match client.request("POST", path, Some(body)) {
+        Ok((200, text)) => text.contains("\"result\""),
+        _ => false,
+    }
+}
+
+/// Runs the load test against the server at `addr`.
+///
+/// The server's memo cache must start empty for the cold numbers to
+/// mean anything; `raysearchd --bench` guarantees that by spawning a
+/// fresh in-process server.
+///
+/// # Errors
+///
+/// Returns a message if clients cannot connect or every request of a
+/// phase fails.
+pub fn run_load(addr: &str, cfg: LoadConfig) -> Result<LoadReport, String> {
+    let concurrency = cfg.concurrency.max(1);
+    let requests = cfg.requests.max(concurrency);
+    let mix = request_mix();
+
+    // both phases share this shape: `concurrency` clients, each with a
+    // persistent connection, issuing its share of the phase's requests
+    let run_phase =
+        |per_worker: &dyn Fn(usize) -> Vec<usize>| -> Result<(usize, u64, usize), String> {
+            let errors = AtomicUsize::new(0);
+            let issued = AtomicUsize::new(0);
+            let started = Instant::now();
+            std::thread::scope(|scope| -> Result<(), String> {
+                let mut joins = Vec::new();
+                for worker in 0..concurrency {
+                    let errors = &errors;
+                    let issued = &issued;
+                    let mix = &mix;
+                    let indices = per_worker(worker);
+                    joins.push(scope.spawn(move || -> Result<(), String> {
+                        if indices.is_empty() {
+                            return Ok(());
+                        }
+                        let mut client = HttpClient::connect(addr)
+                            .map_err(|e| format!("connect {addr}: {e}"))?;
+                        for idx in indices {
+                            let (path, body) = &mix[idx];
+                            if !one_request(&mut client, path, body) {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            issued.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(())
+                    }));
+                }
+                for join in joins {
+                    join.join()
+                        .map_err(|_| "bench client panicked".to_owned())??;
+                }
+                Ok(())
+            })?;
+            Ok((
+                issued.load(Ordering::Relaxed),
+                started.elapsed().as_micros() as u64,
+                errors.load(Ordering::Relaxed),
+            ))
+        };
+
+    // --- cold phase: each distinct request once, all misses ---
+    let mix_len = mix.len();
+    let (cold_requests, cold_micros, cold_errors) =
+        run_phase(&|worker| (worker..mix_len).step_by(concurrency).collect())?;
+    if cold_errors == cold_requests {
+        return Err(format!("every cold request against {addr} failed"));
+    }
+
+    // --- hot phase: the same mix round-robin, all hits ---
+    let (hot_requests, hot_micros, hot_errors) = run_phase(&|worker| {
+        let share = requests / concurrency + usize::from(worker < requests % concurrency);
+        (0..share).map(|i| (worker + i) % mix_len).collect()
+    })?;
+
+    let rps = |n: usize, micros: u64| {
+        if micros == 0 {
+            f64::INFINITY
+        } else {
+            n as f64 / (micros as f64 / 1e6)
+        }
+    };
+    let cold_rps = rps(cold_requests, cold_micros);
+    let hot_rps = rps(hot_requests, hot_micros);
+    Ok(LoadReport {
+        cold_requests,
+        cold_micros,
+        cold_rps,
+        hot_requests,
+        hot_micros,
+        hot_rps,
+        speedup: hot_rps / cold_rps,
+        errors: cold_errors + hot_errors,
+    })
+}

@@ -1,0 +1,159 @@
+//! The `--probe` self-client: a scripted smoke test of every endpoint,
+//! so CI can exercise a running `raysearchd` without curl or python.
+//!
+//! Each check issues a real request over TCP and validates the JSON
+//! shape *and* the mathematics (closed forms pinned to the paper's
+//! values), finishing with a cache check: the repeated `/evaluate` must
+//! come back `cached: true` and `/stats` must show the hit.
+
+use serde_json::Value;
+
+use crate::client::fetch_json;
+
+/// One passed probe check, for reporting.
+pub type CheckLine = String;
+
+fn expect(condition: bool, what: &str, got: &Value) -> Result<(), String> {
+    if condition {
+        Ok(())
+    } else {
+        Err(format!("{what}; response: {}", got.to_json_string()))
+    }
+}
+
+/// The `result` field of a wrapped endpoint response.
+fn result_of(doc: &Value) -> Result<&Value, String> {
+    doc.get("result")
+        .ok_or_else(|| format!("response without \"result\": {}", doc.to_json_string()))
+}
+
+/// Probes every endpoint of the server at `addr`.
+///
+/// Returns one line per passed check.
+///
+/// # Errors
+///
+/// Returns a description of the first failed check.
+pub fn run_probe(addr: &str) -> Result<Vec<CheckLine>, String> {
+    let mut lines = Vec::new();
+    let mut pass = |line: String| lines.push(line);
+
+    // 1. healthz identifies the service
+    let (status, doc) = fetch_json(addr, "GET", "/healthz", None)?;
+    expect(status == 200, "healthz should be 200", &doc)?;
+    expect(
+        doc.get("status").and_then(Value::as_str) == Some("ok"),
+        "healthz status should be \"ok\"",
+        &doc,
+    )?;
+    pass(format!("healthz: ok ({addr})"));
+
+    // 2. closed_form pins A(3,1) = Λ(4/3) from Theorem 1
+    let expected_a31 = raysearch_bounds::a_line(3, 1).expect("(3,1) is searchable");
+    let (status, doc) = fetch_json(addr, "GET", "/closed_form?k=3&f=1", None)?;
+    expect(status == 200, "closed_form should be 200", &doc)?;
+    let a = result_of(&doc)?.get("a").and_then(Value::as_f64);
+    expect(
+        a.is_some_and(|a| (a - expected_a31).abs() < 1e-12),
+        &format!("closed_form a should be {expected_a31}"),
+        &doc,
+    )?;
+    pass(format!("closed_form: A(3,1) = {expected_a31:.6}"));
+
+    // 3. closed_form over a raw eta computes Λ(η)
+    let (status, doc) = fetch_json(addr, "GET", "/closed_form?eta=1.5", None)?;
+    expect(
+        status == 200
+            && result_of(&doc)?
+                .get("lambda")
+                .and_then(Value::as_f64)
+                .is_some(),
+        "closed_form eta=1.5 should yield a lambda",
+        &doc,
+    )?;
+    pass("closed_form: Λ(1.5) computed".to_owned());
+
+    // 4. evaluate measures the optimal strategy at the closed form
+    let body = r#"{"m":2,"k":3,"f":1,"horizon":2000}"#;
+    let (status, doc) = fetch_json(addr, "POST", "/evaluate", Some(body))?;
+    expect(status == 200, "evaluate should be 200", &doc)?;
+    let ratio = result_of(&doc)?
+        .get("report")
+        .and_then(|r| r.get("ratio"))
+        .and_then(Value::as_f64);
+    expect(
+        ratio.is_some_and(|r| (r - expected_a31).abs() < 1e-2),
+        &format!("measured ratio should approach {expected_a31}"),
+        &doc,
+    )?;
+    pass(format!(
+        "evaluate: measured ratio {:.6} ≈ A(3,1)",
+        ratio.unwrap_or(f64::NAN)
+    ));
+
+    // 5. the identical evaluate must be served from cache
+    let (status, doc) = fetch_json(addr, "POST", "/evaluate", Some(body))?;
+    expect(
+        status == 200 && doc.get("cached").and_then(Value::as_bool) == Some(true),
+        "repeated evaluate should be cached",
+        &doc,
+    )?;
+    pass("evaluate: repeat request served from cache".to_owned());
+
+    // 6. verdict verifies tightness end to end (the cow-path instance)
+    let body = r#"{"m":2,"k":1,"f":0,"horizon":1000,"eps":0.01}"#;
+    let (status, doc) = fetch_json(addr, "POST", "/verdict", Some(body))?;
+    expect(status == 200, "verdict should be 200", &doc)?;
+    let result = result_of(&doc)?;
+    let theory = result.get("theory").and_then(Value::as_f64);
+    expect(
+        theory.is_some_and(|t| (t - 9.0).abs() < 1e-12)
+            && result.get("falsified_below").and_then(Value::as_bool) == Some(true),
+        "verdict should be tight at theory 9",
+        &doc,
+    )?;
+    pass("verdict: cow path tight at 9, falsified below".to_owned());
+
+    // 7. campaign returns schema-v1 rows
+    let (status, doc) = fetch_json(addr, "POST", "/campaign", Some(r#"{"id":"e2","max_k":3}"#))?;
+    expect(status == 200, "campaign should be 200", &doc)?;
+    let rows = result_of(&doc)?
+        .get("campaigns")
+        .and_then(Value::as_array)
+        .and_then(|cs| cs.first())
+        .and_then(|c| c.get("rows"))
+        .and_then(Value::as_array)
+        .map(<[Value]>::len)
+        .unwrap_or(0);
+    expect(rows > 0, "campaign e2 should produce rows", &doc)?;
+    pass(format!("campaign: e2 produced {rows} rows"));
+
+    // 8. stats reflects the traffic and the cache hit
+    let (status, doc) = fetch_json(addr, "GET", "/stats", None)?;
+    expect(status == 200, "stats should be 200", &doc)?;
+    let hits = doc
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let requests = doc
+        .get("requests_total")
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    expect(hits >= 1, "stats should show at least one cache hit", &doc)?;
+    expect(requests >= 7, "stats should count this session", &doc)?;
+    pass(format!("stats: {requests} requests, {hits} cache hits"));
+
+    // 9. error handling: unknown path and wrong method
+    let (status, doc) = fetch_json(addr, "GET", "/no_such_endpoint", None)?;
+    expect(
+        status == 404 && doc.get("error").is_some(),
+        "unknown path should be a JSON 404",
+        &doc,
+    )?;
+    let (status, doc) = fetch_json(addr, "DELETE", "/evaluate", None)?;
+    expect(status == 405, "DELETE /evaluate should be 405", &doc)?;
+    pass("errors: 404 and 405 are well-formed JSON".to_owned());
+
+    Ok(lines)
+}

@@ -1,0 +1,254 @@
+//! The TCP server: a fixed worker pool behind a bounded accept queue.
+//!
+//! One acceptor thread owns the `TcpListener` and pushes accepted
+//! connections into a bounded `sync_channel`; `workers` threads pop
+//! connections and drive each one through its whole keep-alive
+//! lifetime. When the queue is full the acceptor sheds load immediately
+//! with a `503` instead of letting the backlog grow without bound — a
+//! deliberate, visible failure mode for overload.
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] sets a flag,
+//! pokes the listener with a throwaway connection to unblock `accept`,
+//! closes the queue, and joins every thread.
+
+use std::io::{BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::api::ServiceState;
+use crate::http::{read_request, HttpError, Response};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded depth of the accept queue; beyond it, connections get 503.
+    pub queue_depth: usize,
+    /// Total memo-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Number of memo-cache shards.
+    pub cache_shards: usize,
+    /// Per-connection read timeout while waiting for the next request.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4),
+            queue_depth: 128,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    cfg: ServerConfig,
+}
+
+impl Server {
+    /// Binds the configured address and allocates the service state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let state = Arc::new(ServiceState::new(cfg.cache_capacity, cfg.cache_shards));
+        Ok(Server {
+            listener,
+            state,
+            cfg,
+        })
+    }
+
+    /// The actually bound address (resolves an ephemeral port request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared service state (for in-process probing and tests).
+    pub fn state(&self) -> Arc<ServiceState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Starts the acceptor and worker threads, returning a handle that
+    /// can stop them. The caller's thread is *not* consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listener's address cannot be introspected.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr().expect("bound listener has an address");
+        let stop = Arc::new(AtomicBool::new(false));
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(self.cfg.queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let mut threads: Vec<JoinHandle<()>> = Vec::with_capacity(self.cfg.workers + 1);
+        for _ in 0..self.cfg.workers.max(1) {
+            let receiver = Arc::clone(&receiver);
+            let state = Arc::clone(&self.state);
+            let timeout = self.cfg.read_timeout;
+            threads.push(std::thread::spawn(move || {
+                worker_loop(&receiver, &state, timeout)
+            }));
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(&self.listener, &sender, &stop))
+        };
+        threads.push(acceptor);
+
+        ServerHandle {
+            addr,
+            state: self.state,
+            stop,
+            threads,
+        }
+    }
+}
+
+/// A running server: its address, state, and the means to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    state: Arc<ServiceState>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state.
+    pub fn state(&self) -> Arc<ServiceState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // poke accept() awake; it will observe the flag and return
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks the calling thread until every server thread exits (i.e.
+    /// forever, unless another thread calls for shutdown). Used by the
+    /// `raysearchd` serve mode.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, sender: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    loop {
+        let accepted = listener.accept();
+        if stop.load(Ordering::SeqCst) {
+            // dropping the sender closes the queue; workers drain & exit
+            return;
+        }
+        let Ok((stream, _peer)) = accepted else {
+            // persistent failures (e.g. EMFILE under fd exhaustion)
+            // would otherwise busy-spin this thread at 100% CPU
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        match sender.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // shed load rather than queueing without bound
+                let _ = Response::error(503, "server overloaded, try again")
+                    .write_to(&mut stream, false);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, state: &ServiceState, timeout: Duration) {
+    loop {
+        // hold the lock only for the dequeue, not while serving
+        let next = receiver.lock().recv();
+        match next {
+            Ok(stream) => handle_connection(stream, state, timeout),
+            Err(_) => return, // queue closed: shutdown
+        }
+    }
+}
+
+/// Serves one connection for its whole keep-alive lifetime.
+fn handle_connection(stream: TcpStream, state: &ServiceState, timeout: Duration) {
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return;
+    }
+    // one response = one packet; without this, Nagle + delayed ACK can
+    // stretch a cache hit to ~40 ms
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(req) => {
+                let keep_alive = !req.wants_close();
+                // isolate handler panics: without this, one panicking
+                // request would silently shrink the worker pool for the
+                // rest of the server's life
+                let response =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| state.handle(&req)))
+                        .unwrap_or_else(|_| {
+                            Response::error(500, "internal error: request handler panicked")
+                        });
+                let close = response.status == 500 || !keep_alive;
+                if response.write_to(&mut writer, !close).is_err() || close {
+                    return;
+                }
+            }
+            Err(HttpError::Closed) => return,
+            Err(HttpError::Io(_)) => return, // timeout or broken transport
+            Err(HttpError::Malformed(why)) => {
+                let _ = Response::error(400, &why).write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::TooLarge(why)) => {
+                let _ = Response::error(413, &why).write_to(&mut writer, false);
+                return;
+            }
+        }
+        let _ = writer.flush();
+    }
+}

@@ -1,0 +1,287 @@
+//! Integration tests: a real `raysearchd` server on an ephemeral port,
+//! exercised over actual TCP sockets — endpoints, cache behaviour
+//! (verified through `/stats` counters), canonicalized keys, error
+//! paths, keep-alive, and the probe.
+
+use raysearch_service::client::{fetch_json, HttpClient};
+use raysearch_service::server::{Server, ServerConfig, ServerHandle};
+use serde_json::Value;
+
+fn spawn_server() -> (ServerHandle, String) {
+    let cfg = ServerConfig {
+        workers: 3,
+        cache_capacity: 64,
+        cache_shards: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind ephemeral port");
+    let handle = server.spawn();
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn result_of(doc: &Value) -> &Value {
+    doc.get("result").expect("wrapped response has a result")
+}
+
+#[test]
+fn all_endpoints_over_real_tcp() {
+    let (handle, addr) = spawn_server();
+
+    // healthz
+    let (status, doc) = fetch_json(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+
+    // closed_form: A(1,0) = 9, and the eta form
+    let (status, doc) = fetch_json(&addr, "GET", "/closed_form?k=1&f=0", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        result_of(&doc).get("a").and_then(Value::as_f64),
+        Some(9.0),
+        "cow path closed form"
+    );
+    let (_, doc) = fetch_json(&addr, "GET", "/closed_form?m=3&k=3&f=0", None).unwrap();
+    assert_eq!(
+        result_of(&doc).get("regime").and_then(Value::as_str),
+        Some("trivial"),
+        "k = m(f+1) is trivial"
+    );
+    let (_, doc) = fetch_json(&addr, "POST", "/closed_form", Some(r#"{"eta":2.0}"#)).unwrap();
+    assert!(result_of(&doc)
+        .get("lambda")
+        .and_then(Value::as_f64)
+        .is_some_and(|l| l > 1.0));
+
+    // evaluate matches the closed form
+    let body = r#"{"m":2,"k":3,"f":1,"horizon":2000}"#;
+    let (status, doc) = fetch_json(&addr, "POST", "/evaluate", Some(body)).unwrap();
+    assert_eq!(status, 200);
+    let expected = raysearch_bounds::a_line(3, 1).unwrap();
+    let ratio = result_of(&doc)
+        .get("report")
+        .and_then(|r| r.get("ratio"))
+        .and_then(Value::as_f64)
+        .expect("evaluate returns a ratio");
+    assert!((ratio - expected).abs() < 1e-2, "{ratio} vs {expected}");
+
+    // verdict on the cow path
+    let (status, doc) = fetch_json(
+        &addr,
+        "POST",
+        "/verdict",
+        Some(r#"{"k":1,"f":0,"horizon":1000,"eps":0.01}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        result_of(&doc)
+            .get("falsified_below")
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+
+    // campaign rows
+    let (status, doc) = fetch_json(
+        &addr,
+        "POST",
+        "/campaign",
+        Some(r#"{"id":"e8","max_k":3,"threads":2}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    let campaigns = result_of(&doc)
+        .get("campaigns")
+        .and_then(Value::as_array)
+        .expect("campaign response lists campaigns");
+    assert!(!campaigns.is_empty());
+    assert!(campaigns[0]
+        .get("rows")
+        .and_then(Value::as_array)
+        .is_some_and(|rows| !rows.is_empty()));
+
+    // stats shape
+    let (status, doc) = fetch_json(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(doc.get("requests_total").and_then(Value::as_u64).unwrap() >= 6);
+    assert!(doc.get("cache").and_then(|c| c.get("capacity")).is_some());
+
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_requests_hit_the_cache_per_stats() {
+    let (handle, addr) = spawn_server();
+    let body = r#"{"m":3,"k":2,"f":0,"horizon":3000}"#;
+
+    let hits_of = |addr: &str| {
+        let (_, doc) = fetch_json(addr, "GET", "/stats", None).unwrap();
+        doc.get("cache")
+            .and_then(|c| c.get("hits"))
+            .and_then(Value::as_u64)
+            .unwrap()
+    };
+
+    let (_, first) = fetch_json(&addr, "POST", "/evaluate", Some(body)).unwrap();
+    assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false));
+    let hits_before = hits_of(&addr);
+
+    let (_, second) = fetch_json(&addr, "POST", "/evaluate", Some(body)).unwrap();
+    assert_eq!(
+        second.get("cached").and_then(Value::as_bool),
+        Some(true),
+        "identical request must be served from cache"
+    );
+    assert_eq!(hits_of(&addr), hits_before + 1, "stats must count the hit");
+
+    // deterministic JSON bodies: the payloads are byte-identical
+    assert_eq!(
+        result_of(&first).to_json_string(),
+        result_of(&second).to_json_string()
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn canonicalized_keys_share_one_entry() {
+    let (handle, addr) = spawn_server();
+    // three spellings of the same instance: float, int, exponent form
+    let spellings = [
+        r#"{"m":2,"k":3,"f":1,"horizon":10000.0}"#,
+        r#"{"m":2,"k":3,"f":1,"horizon":10000}"#,
+        r#"{"m":2,"k":3,"f":1,"horizon":1e4}"#,
+        r#"{"m":2,"k":3,"f":1}"#, // DEFAULT_HORIZON is 1e4
+    ];
+    let mut cached_flags = Vec::new();
+    for body in spellings {
+        let (status, doc) = fetch_json(&addr, "POST", "/evaluate", Some(body)).unwrap();
+        assert_eq!(status, 200);
+        cached_flags.push(doc.get("cached").and_then(Value::as_bool).unwrap());
+    }
+    assert_eq!(
+        cached_flags,
+        vec![false, true, true, true],
+        "logically equal instances must share one cache entry"
+    );
+    let (_, doc) = fetch_json(&addr, "GET", "/stats", None).unwrap();
+    assert_eq!(
+        doc.get("cache")
+            .and_then(|c| c.get("entries"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn error_paths_are_well_formed_json() {
+    let (handle, addr) = spawn_server();
+
+    for (method, path, body, want) in [
+        ("GET", "/nope", None, 404),
+        ("DELETE", "/evaluate", None, 405),
+        ("POST", "/evaluate", Some(r#"{"m":2}"#), 400), // missing k/f
+        ("POST", "/evaluate", Some("not json"), 400),
+        ("POST", "/evaluate", Some(r#"{"k":2,"f":2}"#), 400), // f = k impossible
+        (
+            "POST",
+            "/evaluate",
+            Some(r#"{"k":3,"f":1,"horizon":"NaN"}"#),
+            400,
+        ),
+        ("POST", "/campaign", Some(r#"{"id":"e99"}"#), 400),
+        (
+            "POST",
+            "/campaign",
+            Some(r#"{"id":"e1","max_k":1000}"#),
+            400,
+        ),
+        ("GET", "/closed_form?k=abc&f=0", None, 400),
+        // serving ceilings: one request must not be able to OOM the server
+        ("POST", "/evaluate", Some(r#"{"k":100000,"f":49999}"#), 400),
+        (
+            "POST",
+            "/evaluate",
+            Some(r#"{"k":3,"f":1,"horizon":1e30}"#),
+            400,
+        ),
+        ("POST", "/verdict", Some(r#"{"m":1000,"k":3,"f":1}"#), 400),
+    ] {
+        let (status, doc) = fetch_json(&addr, method, path, body).unwrap();
+        assert_eq!(status, want, "{method} {path} {body:?}");
+        assert!(
+            doc.get("error").and_then(Value::as_str).is_some(),
+            "{method} {path}: error body missing"
+        );
+    }
+
+    // a failed computation must not poison the cache for a valid retry
+    let (status, doc) = fetch_json(
+        &addr,
+        "POST",
+        "/evaluate",
+        Some(r#"{"k":3,"f":1,"horizon":500}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(doc.get("cached").and_then(Value::as_bool), Some(false));
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (handle, addr) = spawn_server();
+    let mut client = HttpClient::connect(&addr).unwrap();
+    for i in 0..20 {
+        let (status, text) = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200, "request {i}");
+        assert!(text.contains("\"ok\""));
+    }
+    // a malformed request closes the connection with a 400
+    let (status, _) = client.request("BAD REQUEST LINE", "/x", None).unwrap();
+    assert_eq!(status, 400);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let (handle, addr) = spawn_server();
+    let bodies: Vec<String> = [(2u32, 1u32, 0u32), (2, 3, 1), (3, 2, 0), (4, 3, 0)]
+        .iter()
+        .map(|(m, k, f)| format!("{{\"m\":{m},\"k\":{k},\"f\":{f},\"horizon\":2000}}"))
+        .collect();
+    std::thread::scope(|scope| {
+        for worker in 0..3 {
+            let addr = &addr;
+            let bodies = &bodies;
+            scope.spawn(move || {
+                let mut client = HttpClient::connect(addr).unwrap();
+                let mut seen: Vec<Option<String>> = vec![None; bodies.len()];
+                for round in 0..10 {
+                    let idx = (worker + round) % bodies.len();
+                    let (status, text) = client
+                        .request("POST", "/evaluate", Some(&bodies[idx]))
+                        .unwrap();
+                    assert_eq!(status, 200);
+                    let doc: Value = serde_json::from_str(&text).unwrap();
+                    let payload = doc.get("result").unwrap().to_json_string();
+                    match &seen[idx] {
+                        None => seen[idx] = Some(payload),
+                        Some(prev) => assert_eq!(prev, &payload, "nondeterministic payload"),
+                    }
+                }
+            });
+        }
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn probe_passes_against_a_fresh_server() {
+    let (handle, addr) = spawn_server();
+    let lines = raysearch_service::probe::run_probe(&addr).expect("probe passes");
+    assert!(lines.len() >= 8, "probe should run all checks: {lines:?}");
+    handle.shutdown();
+}

@@ -19,6 +19,7 @@
 //! | [`cover`] | `raysearch-cover` | covering settings, standardization, potential function |
 //! | [`core`] | `raysearch-core` | problems, exact evaluator, tightness verdicts, sweeps, campaign engine |
 //! | [`bench`](mod@bench) | `raysearch-bench` | campaign-based experiments E1–E10, `tablegen` binary |
+//! | [`service`] | `raysearch-service` | `raysearchd`: caching evaluation server, HTTP layer, load harness |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use raysearch_bounds as bounds;
 pub use raysearch_core as core;
 pub use raysearch_cover as cover;
 pub use raysearch_faults as faults;
+pub use raysearch_service as service;
 pub use raysearch_sim as sim;
 pub use raysearch_strategies as strategies;
 
