@@ -1,7 +1,8 @@
 //! `tablegen` — regenerate every experiment table of the reproduction.
 //!
 //! ```text
-//! tablegen [--list] [--json PATH] [--experiment e1,e4] [--max-k N] [--threads N] [ids...]
+//! tablegen [--list] [--json PATH] [--experiment e1,e4] [--max-k N]
+//!          [--threads N] [--seed N] [--samples N] [ids...]
 //! ```
 //!
 //! `--list` prints the experiment registry (one line per campaign: id,
@@ -40,9 +41,14 @@ options:
   --max-k N          ceiling for the k axes of E1-E4 (default 10)
   --threads N        worker threads per campaign (N >= 1; 1 = sequential;
                      default: machine parallelism)
+  --seed N           master seed for the stochastic experiments (E11);
+                     the whole table is a pure function of it (default
+                     1707, never changes the deterministic E1-E10)
+  --samples N        Monte-Carlo samples per E11 cell (N >= 1;
+                     default 20000)
   --help             show this help
 
-experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 (default: all)";
+experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 (default: all)";
 
 struct Cli {
     json: Option<String>,
@@ -101,6 +107,18 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                         .ok_or("--threads expects an integer >= 1")?,
                 );
             }
+            "--seed" => {
+                cfg.seed = value_of("--seed")?
+                    .parse::<u64>()
+                    .map_err(|_| "--seed expects a non-negative integer")?;
+            }
+            "--samples" => {
+                cfg.mc_samples = value_of("--samples")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--samples expects an integer >= 1")?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => ids.push(id.to_lowercase()),
         }
@@ -135,6 +153,14 @@ fn json_document(cli: &Cli, reports: &[raysearch_core::campaign::Report]) -> ser
         cli.cfg
             .threads
             .map_or(Value::Null, |t| Value::Int(t as i64)),
+    );
+    config.insert(
+        "seed".to_owned(),
+        serde_json::to_value(cli.cfg.seed).expect("u64 serializes"),
+    );
+    config.insert(
+        "mc_samples".to_owned(),
+        serde_json::to_value(cli.cfg.mc_samples).expect("u64 serializes"),
     );
     let mut doc = Map::new();
     doc.insert("schema_version".to_owned(), Value::Int(1));

@@ -1,0 +1,216 @@
+//! E11 — Monte-Carlo average case vs the exact worst case.
+//!
+//! Everything before this experiment is adversarial; E11 asks what the
+//! same optimal fleets achieve against *random* fault sets and *random*
+//! targets. For each searchable instance the table contrasts four fault
+//! models — the exact adversary (`worst`), a uniform random `f`-subset
+//! (`uniform`), i.i.d. crashes after Bonato et al. 2020 (`iid`), and an
+//! i.i.d. Byzantine mix under the conservative `(f+1)`-corroboration
+//! rule (`byzantine`) — against the closed form `Λ(q/k)`. Targets are
+//! drawn log-uniformly over `[1, horizon]` on a uniform ray.
+//!
+//! The whole table is a pure function of `(samples, seed, horizon)`:
+//! the engine's counter-based sampling makes every cell bit-identical
+//! across thread counts.
+
+use raysearch_core::campaign::{Campaign, ParamGrid};
+use raysearch_mc::{estimate, FaultSampler, McConfig, Scenario, TargetSampler};
+
+/// Per-robot fault probability of the `iid` and `byzantine` models.
+pub const FAULT_P: f64 = 0.1;
+
+/// The searchable instances E11 samples.
+pub const INSTANCES: &[(u32, u32, u32)] = &[(2, 3, 1), (2, 5, 2), (3, 4, 1)];
+
+/// The fault models swept per instance, in grid order — the engine's
+/// full taxonomy.
+pub const MODELS: &[&str] = FaultSampler::NAMES;
+
+/// One row of the E11 table.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// Number of rays.
+    pub m: u32,
+    /// Number of robots.
+    pub k: u32,
+    /// Fault budget of the simulated optimal strategy.
+    pub f: u32,
+    /// Fault-sampler name (`worst`, `uniform`, `iid`, `byzantine`).
+    pub model: String,
+    /// Monte-Carlo samples drawn.
+    pub samples: u64,
+    /// The master seed.
+    pub seed: u64,
+    /// Mean detection ratio over detected samples.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// 95th-percentile detection ratio.
+    pub p95: f64,
+    /// Largest observed detection ratio.
+    pub max: f64,
+    /// Samples never confirmed by enough robots (possible only for the
+    /// i.i.d. models, which may exceed the fault budget).
+    pub undetected: u64,
+    /// The exact worst case `Λ(q/k)`.
+    pub closed_form: f64,
+    /// `closed_form − mean`: the average case's gain over the adversary.
+    pub mean_slack: f64,
+}
+
+/// Builds the E11 campaign: [`INSTANCES`] × [`MODELS`], `samples` draws
+/// per cell from `seed`, targets log-uniform over `[1, horizon]`.
+pub fn campaign(samples: u64, seed: u64, horizon: f64) -> Campaign<Row> {
+    let grid = ParamGrid::new()
+        .axis_zip(
+            &["m", "k", "f"],
+            INSTANCES
+                .iter()
+                .map(|&(m, k, f)| vec![m.into(), k.into(), f.into()]),
+        )
+        .axis_str("model", MODELS.iter().copied());
+    Campaign::new(
+        "e11",
+        "Monte-Carlo: average-case ratio vs the exact worst case Λ(q/k)",
+        grid,
+        move |cell| {
+            let (m, k, f) = (cell.get_u32("m"), cell.get_u32("k"), cell.get_u32("f"));
+            let model = cell.get_str("model");
+            let faults = FaultSampler::from_name(model, f, FAULT_P)
+                .expect("the E11 model axis is FaultSampler::NAMES");
+            let scenario = Scenario::new(
+                m,
+                k,
+                f,
+                horizon,
+                faults,
+                TargetSampler::LogUniform {
+                    lo: 1.0,
+                    hi: horizon,
+                },
+            )
+            .expect("E11 grid lists only searchable instances");
+            // cells are already sharded across the campaign's workers;
+            // the engine itself must stay sequential per cell
+            let cfg = McConfig {
+                threads: Some(1),
+                ..McConfig::with_seed(seed, samples)
+            };
+            match estimate(&scenario, &cfg) {
+                Ok(report) => Row {
+                    m,
+                    k,
+                    f,
+                    model: model.to_owned(),
+                    samples: report.samples,
+                    seed: report.seed,
+                    mean: report.mean,
+                    std_error: report.std_error,
+                    p95: report.p95,
+                    max: report.max,
+                    undetected: report.undetected,
+                    closed_form: report.closed_form,
+                    mean_slack: report.closed_form - report.mean,
+                },
+                // a tiny budget can leave an i.i.d. cell with every
+                // sample undetected; report that as a degenerate row
+                // (NaN statistics render as NaN text / JSON null)
+                // instead of panicking the whole table
+                Err(_) => Row {
+                    m,
+                    k,
+                    f,
+                    model: model.to_owned(),
+                    samples,
+                    seed,
+                    mean: f64::NAN,
+                    std_error: f64::NAN,
+                    p95: f64::NAN,
+                    max: f64::NAN,
+                    undetected: samples,
+                    closed_form: raysearch_bounds::a_rays(m, k, f)
+                        .expect("E11 grid lists only searchable instances"),
+                    mean_slack: f64::NAN,
+                },
+            }
+        },
+    )
+}
+
+/// Runs E11 with the given budget and seed.
+///
+/// # Panics
+///
+/// Panics only if a substrate rejects in-regime parameters (a bug).
+pub fn run(samples: u64, seed: u64, horizon: f64) -> Vec<Row> {
+    campaign(samples, seed, horizon).run().into_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_case_beats_the_adversary() {
+        let rows = run(2_000, 7, 500.0);
+        assert_eq!(rows.len(), INSTANCES.len() * MODELS.len());
+        for r in &rows {
+            assert!(
+                r.mean >= 1.0,
+                "({},{},{}) {}: mean below 1",
+                r.m,
+                r.k,
+                r.f,
+                r.model
+            );
+            assert!(
+                r.mean < r.closed_form,
+                "({},{},{}) {}: mean {} not below Λ {}",
+                r.m,
+                r.k,
+                r.f,
+                r.model,
+                r.mean,
+                r.closed_form
+            );
+            if matches!(r.model.as_str(), "worst" | "uniform") {
+                // budget-respecting models stay within the worst case
+                assert_eq!(r.undetected, 0, "{} lost targets", r.model);
+                assert!(
+                    r.max <= r.closed_form + 1e-9,
+                    "{}: max {} above Λ {}",
+                    r.model,
+                    r.max,
+                    r.closed_form
+                );
+            }
+        }
+        // the worst-case sampler dominates the uniform one on average
+        for &(m, k, f) in INSTANCES {
+            let by_model = |name: &str| {
+                rows.iter()
+                    .find(|r| (r.m, r.k, r.f, r.model.as_str()) == (m, k, f, name))
+                    .unwrap()
+            };
+            assert!(by_model("worst").mean >= by_model("uniform").mean);
+        }
+    }
+
+    #[test]
+    fn rows_are_a_pure_function_of_the_seed() {
+        let a = run(500, 42, 300.0);
+        let b = run(500, 42, 300.0);
+        assert_eq!(a, b);
+        let c = run(500, 43, 300.0);
+        assert_ne!(a, c, "changing the seed must change the table");
+    }
+
+    #[test]
+    fn report_renders_every_row() {
+        let report = campaign(200, 1, 200.0).threads(Some(2)).run().report();
+        assert_eq!(report.id(), "e11");
+        assert_eq!(report.rows().len(), 12);
+        let text = report.render_text();
+        assert!(text.contains("closed_form") && text.contains("byzantine"));
+    }
+}

@@ -11,6 +11,7 @@
 use raysearch_core::campaign::{Campaign, Report};
 
 pub mod e10_boundary;
+pub mod e11_montecarlo;
 pub mod e1_theorem1;
 pub mod e2_regimes;
 pub mod e3_byzantine;
@@ -22,7 +23,9 @@ pub mod e8_fractional;
 pub mod e9_applications;
 
 /// Identifiers of all experiments, in order.
-pub const ALL: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
 
 /// Scaling knobs shared by the whole suite (the `tablegen` CLI flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +35,12 @@ pub struct Config {
     /// Worker threads per campaign (`None` = machine parallelism,
     /// `Some(1)` = sequential).
     pub threads: Option<usize>,
+    /// Master seed for the stochastic experiments (E11). Each cell's
+    /// sample `i` draws from `SplitMix64::keyed(seed, i)`, so the whole
+    /// suite is reproducible from this one number.
+    pub seed: u64,
+    /// Monte-Carlo sample budget per E11 cell.
+    pub mc_samples: u64,
 }
 
 impl Default for Config {
@@ -39,6 +48,8 @@ impl Default for Config {
         Config {
             max_k: 10,
             threads: None,
+            seed: 1707, // arXiv:1707.05077
+            mc_samples: 20_000,
         }
     }
 }
@@ -106,6 +117,7 @@ fn visit_experiment(id: &str, cfg: &Config, v: &mut impl CampaignVisitor) -> boo
                     .threads(t),
             );
         }
+        "e11" => v.visit(e11_montecarlo::campaign(cfg.mc_samples, cfg.seed, 1e3).threads(t)),
         _ => return false,
     }
     true
@@ -156,6 +168,7 @@ mod tests {
         let cfg = Config {
             max_k: 4,
             threads: Some(2),
+            ..Config::default()
         };
         // cheap spot-checks: the closed-form-only experiments
         for id in ["e2", "e3", "e8", "e10"] {
@@ -180,6 +193,7 @@ mod tests {
         let cfg = Config {
             max_k: 3,
             threads: Some(1),
+            ..Config::default()
         };
         for id in ALL {
             let infos = describe_experiment(id, &cfg).expect(id);

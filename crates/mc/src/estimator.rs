@@ -1,0 +1,378 @@
+//! Streaming estimators with deterministic parallel merges.
+//!
+//! The engine shards samples into fixed batches; each batch folds its
+//! ratios into one [`BatchEstimate`] and the driver merges batch
+//! estimates in batch order. Because the batch boundaries depend only on
+//! the sample count (never on the thread count) and every merge is a
+//! fixed-order fold, the final estimate is bit-identical across thread
+//! counts.
+//!
+//! * [`Welford`] — numerically stable mean/variance (Welford's online
+//!   update, Chan's pairwise merge);
+//! * [`QuantileSketch`] — a fixed-bin histogram over `[lo, hi]` with an
+//!   overflow bin; merges are exact integer adds, quantile reads are
+//!   conservative (upper bin edge);
+//! * [`BatchEstimate`] — the per-batch roll-up: Welford + sketch +
+//!   exact min/max + the undetected counter.
+
+/// Welford's online mean/variance accumulator.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_mc::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 8);
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12); // sample variance
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one observation in.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator in (Chan et al.'s pairwise update).
+    /// Merge order matters for the low-order bits, so callers must merge
+    /// in a deterministic order.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * (other.n as f64 / n as f64);
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64 / n as f64);
+        *self = Welford { n, mean, m2 };
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The running mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// The unbiased sample variance (`NaN` below two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// The standard error of the mean, `sqrt(variance / n)`.
+    pub fn std_error(&self) -> f64 {
+        (self.variance() / self.n as f64).sqrt()
+    }
+}
+
+/// A fixed-bin histogram over `[lo, hi]` answering conservative quantile
+/// queries.
+///
+/// Observations above `hi` land in a dedicated overflow bin (below `lo`
+/// they clamp into the first bin); merging two sketches with the same
+/// layout is an exact element-wise add, so parallel accumulation cannot
+/// perturb the result.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_mc::QuantileSketch;
+///
+/// let mut q = QuantileSketch::new(1.0, 11.0, 100);
+/// for i in 0..1000 {
+///     q.push(1.0 + 10.0 * f64::from(i) / 1000.0);
+/// }
+/// let median = q.quantile(0.5).unwrap();
+/// assert!((median - 6.0).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+}
+
+impl QuantileSketch {
+    /// A sketch with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` (finite) and `bins ≥ 1` — sketch layout
+    /// is engine configuration, not data.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi && bins >= 1,
+            "sketch needs finite lo < hi and >= 1 bin"
+        );
+        QuantileSketch {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            overflow: 0,
+        }
+    }
+
+    /// Folds one observation in.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        if x > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Merges a sketch with the identical layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a layout mismatch (an engine bug, not a data error).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge sketches with different layouts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+    }
+
+    /// Total observations folded in.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// A conservative estimate of the `q`-quantile (`0 < q ≤ 1`): the
+    /// upper edge of the bin where the cumulative count crosses
+    /// `ceil(q · n)`, or `None` when the sketch is empty or the crossing
+    /// lands in the overflow bin (then the true quantile exceeds `hi`
+    /// and the caller should fall back to the tracked maximum).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        let bins = self.counts.len();
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let width = (self.hi - self.lo) / bins as f64;
+                return Some(self.lo + width * (i + 1) as f64);
+            }
+        }
+        None // crossing lies in the overflow bin
+    }
+
+    /// Observations that exceeded `hi`.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+}
+
+/// The per-batch accumulator the parallel driver folds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEstimate {
+    /// Mean/variance accumulator over detected samples.
+    pub welford: Welford,
+    /// Quantile sketch over detected samples.
+    pub sketch: QuantileSketch,
+    /// Exact smallest detected ratio (`+∞` when none).
+    pub min: f64,
+    /// Exact largest detected ratio (`-∞` when none).
+    pub max: f64,
+    /// Samples whose target was never confirmed by enough robots.
+    pub undetected: u64,
+}
+
+impl BatchEstimate {
+    /// An empty accumulator with the given sketch layout.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        BatchEstimate {
+            welford: Welford::new(),
+            sketch: QuantileSketch::new(lo, hi, bins),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            undetected: 0,
+        }
+    }
+
+    /// Folds one detected ratio in.
+    #[inline]
+    pub fn push_ratio(&mut self, ratio: f64) {
+        self.welford.push(ratio);
+        self.sketch.push(ratio);
+        self.min = self.min.min(ratio);
+        self.max = self.max.max(ratio);
+    }
+
+    /// Records one undetected sample.
+    #[inline]
+    pub fn push_undetected(&mut self) {
+        self.undetected += 1;
+    }
+
+    /// Merges a later batch in (call in batch order).
+    pub fn merge(&mut self, other: &BatchEstimate) {
+        self.welford.merge(&other.welford);
+        self.sketch.merge(&other.sketch);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.undetected += other.undetected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_merge_equals_single_stream() {
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| (f64::from(i) * 0.37).sin() * 5.0 + 10.0)
+            .collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut merged = Welford::new();
+        for chunk in xs.chunks(64) {
+            let mut part = Welford::new();
+            for &x in chunk {
+                part.push(x);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.mean() - whole.mean()).abs() < 1e-12);
+        assert!((merged.variance() - whole.variance()).abs() < 1e-9);
+        // merging in a fixed order is reproducible to the bit
+        let mut again = Welford::new();
+        for chunk in xs.chunks(64) {
+            let mut part = Welford::new();
+            for &x in chunk {
+                part.push(x);
+            }
+            again.merge(&part);
+        }
+        assert_eq!(merged, again);
+    }
+
+    #[test]
+    fn welford_empty_and_singleton() {
+        let w = Welford::new();
+        assert!(w.mean().is_nan());
+        assert!(w.variance().is_nan());
+        let mut one = Welford::new();
+        one.push(3.5);
+        assert_eq!(one.mean(), 3.5);
+        assert!(one.variance().is_nan());
+        let mut merged = Welford::new();
+        merged.merge(&one);
+        assert_eq!(merged, one);
+    }
+
+    #[test]
+    fn sketch_quantiles_bracket_the_truth() {
+        let mut q = QuantileSketch::new(0.0, 1.0, 200);
+        let n = 10_000;
+        for i in 0..n {
+            q.push(f64::from(i) / f64::from(n));
+        }
+        for (p, truth) in [(0.5, 0.5), (0.9, 0.9), (0.95, 0.95)] {
+            let est = q.quantile(p).unwrap();
+            assert!(est >= truth - 1e-9, "p={p}: {est} < {truth}");
+            assert!(est <= truth + 0.01, "p={p}: {est} too far above {truth}");
+        }
+    }
+
+    #[test]
+    fn sketch_overflow_and_clamp() {
+        let mut q = QuantileSketch::new(1.0, 2.0, 4);
+        q.push(0.5); // clamps into the first bin
+        q.push(1.5);
+        q.push(99.0); // overflow
+        assert_eq!(q.count(), 3);
+        assert_eq!(q.overflow_count(), 1);
+        // the 1.0-quantile crossing lies in the overflow bin
+        assert_eq!(q.quantile(1.0), None);
+        assert!(q.quantile(0.5).is_some());
+        assert_eq!(q.quantile(1.5), None);
+    }
+
+    #[test]
+    fn sketch_merge_is_exact() {
+        let mut a = QuantileSketch::new(0.0, 10.0, 10);
+        let mut b = QuantileSketch::new(0.0, 10.0, 10);
+        for i in 0..50 {
+            a.push(f64::from(i % 10));
+            b.push(f64::from(i % 7) + 3.5);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.count(), a.count() + b.count());
+    }
+
+    #[test]
+    #[should_panic(expected = "different layouts")]
+    fn sketch_merge_layout_mismatch_panics() {
+        let mut a = QuantileSketch::new(0.0, 10.0, 10);
+        let b = QuantileSketch::new(0.0, 10.0, 20);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn batch_estimate_tracks_extremes_and_undetected() {
+        let mut e = BatchEstimate::new(1.0, 10.0, 16);
+        e.push_ratio(3.0);
+        e.push_ratio(7.0);
+        e.push_undetected();
+        let mut f = BatchEstimate::new(1.0, 10.0, 16);
+        f.push_ratio(2.0);
+        e.merge(&f);
+        assert_eq!(e.min, 2.0);
+        assert_eq!(e.max, 7.0);
+        assert_eq!(e.undetected, 1);
+        assert_eq!(e.welford.count(), 3);
+    }
+}

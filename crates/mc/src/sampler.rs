@@ -1,0 +1,440 @@
+//! Pluggable fault and target samplers.
+//!
+//! A Monte-Carlo sample is a pair of draws — *where the target hides*
+//! and *which robots misbehave* — made from a counter-based
+//! [`SplitMix64`] stream so that sample `i` of seed `s` is the same
+//! bits no matter how samples are sharded across threads.
+//!
+//! ## Fault taxonomy
+//!
+//! | sampler | distribution | detection rule |
+//! |---|---|---|
+//! | [`FaultSampler::WorstCaseSubset`] | adversarial (no randomness) | `(f+1)`-st distinct visit (the crash adversary) |
+//! | [`FaultSampler::UniformSubset`] | uniform random `f`-subset crashes | first visit by a healthy robot |
+//! | [`FaultSampler::IidCrash`] | each robot crashes i.i.d. w.p. `p` (Bonato et al. 2020) | first visit by a healthy robot |
+//! | [`FaultSampler::ByzantineMix`] | each robot Byzantine i.i.d. w.p. `p` | `(budget+1)`-corroboration (conservative verifier; Byzantine robots stay silent, their worst sound behaviour) |
+//!
+//! Every sampler reduces to one uniform rule: given the set of *silent*
+//! robots and a count of *needed* confirmations, the detection time of a
+//! target is the `needed`-th smallest first-visit time among non-silent
+//! robots (infinite if fewer ever arrive). [`FaultSampler::WorstCaseSubset`]
+//! silences nobody and demands `f+1` confirmations — exactly the order
+//! statistic of the exact evaluator, which is what makes the
+//! degenerate-sampler equality tests possible.
+
+use rand::rngs::SplitMix64;
+use rand::Rng;
+use raysearch_faults::FaultKind;
+
+use crate::McError;
+
+/// The per-sample outcome of a fault draw, reduced to the uniform
+/// detection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDraw {
+    /// Bit `r` set ⇔ robot `r` never reports (crashed or Byzantine-silent).
+    pub silent: u128,
+    /// Confirmations required before the target counts as detected.
+    pub needed: usize,
+}
+
+impl FaultDraw {
+    /// Number of silenced robots.
+    pub fn num_silent(&self) -> u32 {
+        self.silent.count_ones()
+    }
+}
+
+/// A distribution over fault outcomes for a fleet of `k` robots.
+///
+/// See the [module docs](self) for the taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSampler {
+    /// The exact crash adversary: detection is the `(f+1)`-st distinct
+    /// visit, the worst case over all `f`-subsets.
+    WorstCaseSubset {
+        /// Fault budget `f`.
+        f: u32,
+    },
+    /// A uniform random `f`-subset of the robots crashes.
+    UniformSubset {
+        /// Number of crashed robots per sample.
+        f: u32,
+    },
+    /// Every robot crashes independently with probability `p`, after
+    /// "Probabilistically Faulty Searching on a Half-Line" (Bonato
+    /// et al. 2020). More than `f` robots may crash, so ratios above the
+    /// budgeted worst case — and undetected targets — are possible.
+    IidCrash {
+        /// Per-robot crash probability, in `[0, 1)`.
+        p: f64,
+    },
+    /// Every robot turns Byzantine independently with probability `p`;
+    /// a sound verifier with fault budget `budget` waits for
+    /// `budget + 1` corroborating visits, and Byzantine robots stay
+    /// silent (their worst behaviour against that rule).
+    ByzantineMix {
+        /// Per-robot Byzantine probability, in `[0, 1)`.
+        p: f64,
+        /// The verifier's fault budget.
+        budget: u32,
+    },
+}
+
+impl FaultSampler {
+    /// The canonical model names, in taxonomy order — the domain of
+    /// [`FaultSampler::from_name`] and the range of
+    /// [`FaultSampler::name`].
+    pub const NAMES: &'static [&'static str] = &["worst", "uniform", "iid", "byzantine"];
+
+    /// The sampler's canonical name (used in reports and cache keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultSampler::WorstCaseSubset { .. } => "worst",
+            FaultSampler::UniformSubset { .. } => "uniform",
+            FaultSampler::IidCrash { .. } => "iid",
+            FaultSampler::ByzantineMix { .. } => "byzantine",
+        }
+    }
+
+    /// The inverse of [`FaultSampler::name`]: builds the sampler
+    /// registered under `name` for fault budget `f`, with per-robot
+    /// probability `p` for the i.i.d. models (`worst`/`uniform` ignore
+    /// it; `byzantine` uses `f` as its verifier budget). Returns `None`
+    /// for an unknown name. This is the single mapping the `tablegen`
+    /// E11 experiment and the `/montecarlo` endpoint both dispatch on.
+    pub fn from_name(name: &str, f: u32, p: f64) -> Option<FaultSampler> {
+        match name {
+            "worst" => Some(FaultSampler::WorstCaseSubset { f }),
+            "uniform" => Some(FaultSampler::UniformSubset { f }),
+            "iid" => Some(FaultSampler::IidCrash { p }),
+            "byzantine" => Some(FaultSampler::ByzantineMix { p, budget: f }),
+            _ => None,
+        }
+    }
+
+    /// The per-robot fault probability, for the models that have one.
+    pub fn probability(&self) -> Option<f64> {
+        match *self {
+            FaultSampler::IidCrash { p } | FaultSampler::ByzantineMix { p, .. } => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The fault model the sampled robots exhibit.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            FaultSampler::ByzantineMix { .. } => FaultKind::Byzantine,
+            _ => FaultKind::Crash,
+        }
+    }
+
+    /// Checks the sampler against a fleet of `k` robots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::InvalidInput`] if a subset size is not below
+    /// `k`, a probability is outside `[0, 1)`, or a Byzantine budget is
+    /// not below `k`.
+    pub fn validate(&self, k: u32) -> Result<(), McError> {
+        match *self {
+            FaultSampler::WorstCaseSubset { f } | FaultSampler::UniformSubset { f } => {
+                if f >= k {
+                    return Err(McError::invalid(format!(
+                        "fault subset size f = {f} must be below k = {k}"
+                    )));
+                }
+            }
+            FaultSampler::IidCrash { p } => check_probability(p)?,
+            FaultSampler::ByzantineMix { p, budget } => {
+                check_probability(p)?;
+                if budget >= k {
+                    return Err(McError::invalid(format!(
+                        "byzantine budget {budget} must be below k = {k}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws one fault outcome for a fleet of `k` robots (`k ≤ 128`).
+    pub fn draw(&self, k: usize, rng: &mut SplitMix64) -> FaultDraw {
+        debug_assert!((1..=128).contains(&k), "fleet size {k} out of mask range");
+        match *self {
+            FaultSampler::WorstCaseSubset { f } => FaultDraw {
+                silent: 0,
+                needed: f as usize + 1,
+            },
+            FaultSampler::UniformSubset { f } => {
+                // rejection-sample f distinct robots; no allocation, and
+                // the draw count depends only on the rng stream
+                let mut silent = 0u128;
+                let mut chosen = 0u32;
+                while chosen < f {
+                    let r = rng.gen_range(0..k);
+                    let bit = 1u128 << r;
+                    if silent & bit == 0 {
+                        silent |= bit;
+                        chosen += 1;
+                    }
+                }
+                FaultDraw { silent, needed: 1 }
+            }
+            FaultSampler::IidCrash { p } => FaultDraw {
+                silent: bernoulli_mask(k, p, rng),
+                needed: 1,
+            },
+            FaultSampler::ByzantineMix { p, budget } => FaultDraw {
+                silent: bernoulli_mask(k, p, rng),
+                needed: budget as usize + 1,
+            },
+        }
+    }
+}
+
+fn check_probability(p: f64) -> Result<(), McError> {
+    if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+        return Err(McError::invalid(format!(
+            "fault probability must lie in [0, 1), got {p}"
+        )));
+    }
+    Ok(())
+}
+
+/// One Bernoulli(`p`) draw per robot, packed into a mask.
+fn bernoulli_mask(k: usize, p: f64, rng: &mut SplitMix64) -> u128 {
+    let mut mask = 0u128;
+    for r in 0..k {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        if u < p {
+            mask |= 1u128 << r;
+        }
+    }
+    mask
+}
+
+/// A distribution over target positions on `m` rays.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetSampler {
+    /// A point mass: every sample hides the target at the same spot.
+    Fixed {
+        /// Ray index (`0 ≤ ray < m`).
+        ray: usize,
+        /// Distance from the origin (`x ≥ 1`).
+        x: f64,
+    },
+    /// Uniform ray choice crossed with a log-uniform distance in
+    /// `[lo, hi]` — the scale-free prior matching the multiplicative
+    /// structure of competitive ratios.
+    LogUniform {
+        /// Smallest distance (`≥ 1`).
+        lo: f64,
+        /// Largest distance (`> lo`, finite).
+        hi: f64,
+    },
+    /// Replay of an explicit candidate list, sampled uniformly — used
+    /// with the exact adversary's piece-boundary grid to stress the
+    /// worst-case neighbourhoods.
+    GridReplay {
+        /// The `(ray, x)` candidates.
+        points: Vec<(usize, f64)>,
+    },
+}
+
+impl TargetSampler {
+    /// The sampler's canonical name (used in reports and cache keys).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TargetSampler::Fixed { .. } => "fixed",
+            TargetSampler::LogUniform { .. } => "loguniform",
+            TargetSampler::GridReplay { .. } => "grid",
+        }
+    }
+
+    /// Checks the sampler against `m` rays and the evaluation range
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::InvalidInput`] on an out-of-range ray, a
+    /// distance outside `[lo, hi]`, an inverted interval, or an empty
+    /// replay list.
+    pub fn validate(&self, m: usize, range_lo: f64, range_hi: f64) -> Result<(), McError> {
+        let check_point = |ray: usize, x: f64| -> Result<(), McError> {
+            if ray >= m {
+                return Err(McError::invalid(format!(
+                    "target ray {ray} out of range for m = {m}"
+                )));
+            }
+            if !(x.is_finite() && x >= range_lo && x <= range_hi) {
+                return Err(McError::invalid(format!(
+                    "target distance {x} outside [{range_lo}, {range_hi}]"
+                )));
+            }
+            Ok(())
+        };
+        match self {
+            TargetSampler::Fixed { ray, x } => check_point(*ray, *x),
+            TargetSampler::LogUniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && *lo >= range_lo && *lo < *hi) {
+                    return Err(McError::invalid(format!(
+                        "log-uniform range must satisfy {range_lo} <= lo < hi, got [{lo}, {hi}]"
+                    )));
+                }
+                if *hi > range_hi {
+                    return Err(McError::invalid(format!(
+                        "log-uniform hi {hi} exceeds the evaluation horizon {range_hi}"
+                    )));
+                }
+                Ok(())
+            }
+            TargetSampler::GridReplay { points } => {
+                if points.is_empty() {
+                    return Err(McError::invalid("grid replay needs at least one point"));
+                }
+                points.iter().try_for_each(|&(ray, x)| check_point(ray, x))
+            }
+        }
+    }
+
+    /// Draws one target `(ray, x)` on `m` rays.
+    pub fn draw(&self, m: usize, rng: &mut SplitMix64) -> (usize, f64) {
+        match self {
+            TargetSampler::Fixed { ray, x } => (*ray, *x),
+            TargetSampler::LogUniform { lo, hi } => {
+                let ray = rng.gen_range(0..m);
+                let u: f64 = rng.gen_range(lo.ln()..=hi.ln());
+                (ray, u.exp())
+            }
+            TargetSampler::GridReplay { points } => points[rng.gen_range(0..points.len())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_is_the_order_statistic_rule() {
+        let mut rng = SplitMix64::keyed(1, 0);
+        let d = FaultSampler::WorstCaseSubset { f: 2 }.draw(5, &mut rng);
+        assert_eq!(d.silent, 0);
+        assert_eq!(d.needed, 3);
+    }
+
+    #[test]
+    fn uniform_subset_silences_exactly_f() {
+        let s = FaultSampler::UniformSubset { f: 3 };
+        for i in 0..200 {
+            let mut rng = SplitMix64::keyed(9, i);
+            let d = s.draw(8, &mut rng);
+            assert_eq!(d.num_silent(), 3, "sample {i}");
+            assert_eq!(d.needed, 1);
+            assert!(d.silent < 1u128 << 8);
+        }
+    }
+
+    #[test]
+    fn iid_crash_matches_probability_roughly() {
+        let s = FaultSampler::IidCrash { p: 0.25 };
+        let mut total = 0u32;
+        for i in 0..2000 {
+            let mut rng = SplitMix64::keyed(11, i);
+            total += s.draw(4, &mut rng).num_silent();
+        }
+        let rate = f64::from(total) / (2000.0 * 4.0);
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        // p = 0 silences nobody
+        let mut rng = SplitMix64::keyed(11, 0);
+        assert_eq!(
+            FaultSampler::IidCrash { p: 0.0 }.draw(4, &mut rng).silent,
+            0
+        );
+    }
+
+    #[test]
+    fn byzantine_mix_raises_the_confirmation_bar() {
+        let mut rng = SplitMix64::keyed(3, 7);
+        let d = FaultSampler::ByzantineMix { p: 0.5, budget: 2 }.draw(6, &mut rng);
+        assert_eq!(d.needed, 3);
+        assert_eq!(
+            FaultSampler::ByzantineMix { p: 0.5, budget: 2 }.kind(),
+            FaultKind::Byzantine
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultSampler::UniformSubset { f: 4 }.validate(4).is_err());
+        assert!(FaultSampler::WorstCaseSubset { f: 1 }.validate(4).is_ok());
+        assert!(FaultSampler::IidCrash { p: 1.0 }.validate(4).is_err());
+        assert!(FaultSampler::IidCrash { p: -0.1 }.validate(4).is_err());
+        assert!(FaultSampler::IidCrash { p: f64::NAN }.validate(4).is_err());
+        assert!(FaultSampler::ByzantineMix { p: 0.2, budget: 4 }
+            .validate(4)
+            .is_err());
+
+        assert!(TargetSampler::Fixed { ray: 2, x: 5.0 }
+            .validate(2, 1.0, 100.0)
+            .is_err());
+        assert!(TargetSampler::Fixed { ray: 1, x: 0.5 }
+            .validate(2, 1.0, 100.0)
+            .is_err());
+        assert!(TargetSampler::LogUniform { lo: 10.0, hi: 2.0 }
+            .validate(2, 1.0, 100.0)
+            .is_err());
+        assert!(TargetSampler::LogUniform { lo: 1.0, hi: 1e9 }
+            .validate(2, 1.0, 100.0)
+            .is_err());
+        assert!(TargetSampler::GridReplay { points: vec![] }
+            .validate(2, 1.0, 100.0)
+            .is_err());
+    }
+
+    #[test]
+    fn log_uniform_targets_stay_in_range() {
+        let s = TargetSampler::LogUniform { lo: 1.0, hi: 1e4 };
+        for i in 0..500 {
+            let mut rng = SplitMix64::keyed(21, i);
+            let (ray, x) = s.draw(3, &mut rng);
+            assert!(ray < 3);
+            assert!((1.0..=1e4).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn from_name_round_trips_every_model() {
+        for &name in FaultSampler::NAMES {
+            let sampler = FaultSampler::from_name(name, 2, 0.3).expect(name);
+            assert_eq!(sampler.name(), name);
+        }
+        assert_eq!(FaultSampler::from_name("bogus", 1, 0.1), None);
+        // probability is surfaced only by the iid models
+        assert_eq!(
+            FaultSampler::from_name("iid", 1, 0.3)
+                .unwrap()
+                .probability(),
+            Some(0.3)
+        );
+        assert_eq!(
+            FaultSampler::from_name("worst", 1, 0.3)
+                .unwrap()
+                .probability(),
+            None
+        );
+    }
+
+    #[test]
+    fn draws_are_a_pure_function_of_the_key() {
+        let s = FaultSampler::UniformSubset { f: 2 };
+        let t = TargetSampler::LogUniform { lo: 1.0, hi: 100.0 };
+        for i in [0u64, 17, 123_456] {
+            let mut a = SplitMix64::keyed(5, i);
+            let mut b = SplitMix64::keyed(5, i);
+            assert_eq!(t.draw(4, &mut a), t.draw(4, &mut b));
+            assert_eq!(s.draw(6, &mut a), s.draw(6, &mut b));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Precompiled first-visit tables for fleets of ray tours.
+//!
+//! The exact evaluator in `raysearch-core` rebuilds its piecewise
+//! first-visit functions on every `detection_time` query; that is fine
+//! for a handful of sup computations but not for hundreds of thousands
+//! of Monte-Carlo samples. [`VisitTable`] compiles the same structure
+//! once — for each robot and ray, the sorted slope-1 pieces
+//! `(lo, hi, c]` such that targets in `(lo, hi]` are first visited at
+//! time `c + x` — and answers each query with one binary search.
+//!
+//! The piece construction is *identical* to the evaluator's (`c` is
+//! twice the turning mass before the covering leg), so a table query
+//! returns the bit-for-bit same `f64` as
+//! [`RayEvaluator::detection_time`](raysearch_core::RayEvaluator::detection_time)
+//! composed over the same robots. The degenerate-sampler tests pin this.
+
+use raysearch_sim::TourItinerary;
+
+use crate::McError;
+
+/// One slope-1 piece: targets in `(lo, hi]` are first visited at `c + x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Piece {
+    lo: f64,
+    hi: f64,
+    c: f64,
+}
+
+/// The compiled first-visit functions of a whole fleet, indexed by
+/// `(robot, ray)`.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_mc::VisitTable;
+/// use raysearch_strategies::{CyclicExponential, RayStrategy};
+///
+/// let fleet = CyclicExponential::optimal(2, 3, 1)?.fleet_tours(100.0)?;
+/// let table = VisitTable::from_fleet(&fleet)?;
+/// assert_eq!(table.num_robots(), 3);
+/// assert_eq!(table.num_rays(), 2);
+/// // some robot reaches distance 5 on ray 0 in finite time
+/// assert!((0..3).any(|r| table.first_visit(r, 0, 5.0).is_some()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisitTable {
+    m: usize,
+    /// `pieces[robot * m + ray]`, each sorted by strictly increasing `lo`.
+    pieces: Vec<Vec<Piece>>,
+}
+
+impl VisitTable {
+    /// Compiles the first-visit functions of every robot in `fleet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::InvalidInput`] if the fleet is empty or its
+    /// tours disagree on the number of rays.
+    pub fn from_fleet(fleet: &[TourItinerary]) -> Result<Self, McError> {
+        let Some(first) = fleet.first() else {
+            return Err(McError::invalid("fleet must have at least one robot"));
+        };
+        let m = first.num_rays();
+        let mut pieces = Vec::with_capacity(fleet.len() * m);
+        for tour in fleet {
+            if tour.num_rays() != m {
+                return Err(McError::invalid(format!(
+                    "tour is for {} rays, fleet started with {m}",
+                    tour.num_rays()
+                )));
+            }
+            for ray in 0..m {
+                // mirror of the exact evaluator's construction: a new
+                // piece opens whenever an excursion on `ray` pushes past
+                // the furthest distance visited so far, and its constant
+                // is twice the turning mass spent before that leg
+                let mut per_ray = Vec::new();
+                let mut reach = 0.0f64;
+                let mut prefix = 0.0f64;
+                for e in tour.excursions() {
+                    if e.ray.index() == ray && e.turn > reach {
+                        per_ray.push(Piece {
+                            lo: reach,
+                            hi: e.turn,
+                            c: 2.0 * prefix,
+                        });
+                        reach = e.turn;
+                    }
+                    prefix += e.turn;
+                }
+                pieces.push(per_ray);
+            }
+        }
+        Ok(VisitTable { m, pieces })
+    }
+
+    /// Number of robots in the compiled fleet.
+    pub fn num_robots(&self) -> usize {
+        self.pieces.len() / self.m
+    }
+
+    /// Number of rays.
+    pub fn num_rays(&self) -> usize {
+        self.m
+    }
+
+    /// First-visit time of `robot` to a target at distance `x` on `ray`,
+    /// or `None` if the robot's plan never reaches it.
+    #[inline]
+    pub fn first_visit(&self, robot: usize, ray: usize, x: f64) -> Option<f64> {
+        let per_ray = &self.pieces[robot * self.m + ray];
+        let idx = per_ray.partition_point(|p| p.lo < x);
+        if idx == 0 {
+            return None;
+        }
+        let p = &per_ray[idx - 1];
+        (x <= p.hi).then_some(p.c + x)
+    }
+
+    /// All piece boundaries on `ray` strictly inside `(lo, hi)`, sorted
+    /// and deduplicated — the exact adversary's candidate target set,
+    /// used by the adversarial-grid replay sampler.
+    pub fn boundaries_on_ray(&self, ray: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut bs: Vec<f64> = Vec::new();
+        for robot in 0..self.num_robots() {
+            for p in &self.pieces[robot * self.m + ray] {
+                for b in [p.lo, p.hi] {
+                    if b > lo && b < hi {
+                        bs.push(b);
+                    }
+                }
+            }
+        }
+        bs.sort_by(f64::total_cmp);
+        bs.dedup();
+        bs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raysearch_strategies::{CyclicExponential, RayStrategy};
+
+    fn fleet() -> Vec<TourItinerary> {
+        CyclicExponential::optimal(3, 4, 1)
+            .unwrap()
+            .fleet_tours(500.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_the_exact_evaluator_bit_for_bit() {
+        use raysearch_core::RayEvaluator;
+
+        let fleet = fleet();
+        let table = VisitTable::from_fleet(&fleet).unwrap();
+        let evaluator = RayEvaluator::new(3, 1, 1.0, 400.0).unwrap();
+        for ray in 0..3 {
+            for &x in &[1.0, 1.5, 7.3, 41.0, 333.0] {
+                // the (f+1)-st order statistic over the whole fleet,
+                // computed from the table exactly as the evaluator does
+                let mut times: Vec<f64> = (0..table.num_robots())
+                    .filter_map(|r| table.first_visit(r, ray, x))
+                    .collect();
+                times.sort_by(f64::total_cmp);
+                let ours = (times.len() >= 2).then(|| times[1]);
+                let truth = evaluator.detection_time(&fleet, ray, x).unwrap();
+                assert_eq!(ours, truth, "ray {ray}, x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn unreached_targets_are_none() {
+        let table = VisitTable::from_fleet(&fleet()).unwrap();
+        for robot in 0..table.num_robots() {
+            for ray in 0..table.num_rays() {
+                assert_eq!(table.first_visit(robot, ray, 1e12), None);
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_are_sorted_in_range() {
+        let table = VisitTable::from_fleet(&fleet()).unwrap();
+        let bs = table.boundaries_on_ray(0, 1.0, 400.0);
+        assert!(!bs.is_empty());
+        assert!(bs.windows(2).all(|w| w[0] < w[1]));
+        assert!(bs.iter().all(|&b| b > 1.0 && b < 400.0));
+    }
+
+    #[test]
+    fn rejects_bad_fleets() {
+        assert!(VisitTable::from_fleet(&[]).is_err());
+        let mut mixed = fleet();
+        mixed.push(
+            CyclicExponential::optimal(2, 3, 1)
+                .unwrap()
+                .fleet_tours(100.0)
+                .unwrap()
+                .remove(0),
+        );
+        assert!(VisitTable::from_fleet(&mixed).is_err());
+    }
+}

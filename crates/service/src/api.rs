@@ -16,12 +16,14 @@
 //! | `/evaluate` | POST | `m?`, `k`, `f`, `horizon?` | exact [`EvalReport`](raysearch_core::EvalReport) |
 //! | `/verdict` | POST | `m?`, `k`, `f`, `horizon?`, `eps?` | [`TightnessReport`](raysearch_core::TightnessReport) |
 //! | `/campaign` | POST | `id`, `max_k?`, `threads?` | schema-v1 report rows |
+//! | `/montecarlo` | POST | `m?`, `k`, `f`, `horizon?`, `samples?`, `seed?`, `faults?`, `p?` | [`McReport`](raysearch_mc::McReport) + closed-form comparison |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use raysearch_bounds::{lambda_big, RayInstance, Regime};
 use raysearch_core::{evaluate_optimal, verdict::verify_tightness, CanonF64};
+use raysearch_mc::{FaultSampler, McConfig, Scenario, TargetSampler};
 use serde_json::{Map, Value};
 
 use crate::cache::{CacheStats, ShardedLru};
@@ -46,6 +48,21 @@ pub const MAX_INSTANCE_K: u32 = 512;
 pub const MAX_INSTANCE_M: u32 = 128;
 /// Serving ceiling for `horizon` on `/evaluate` and `/verdict`.
 pub const MAX_HORIZON: f64 = 1e15;
+/// Default Monte-Carlo sample budget when a `/montecarlo` request omits
+/// `samples`.
+pub const DEFAULT_MC_SAMPLES: u64 = 20_000;
+/// Serving ceiling for `/montecarlo`'s `samples` — one request is served
+/// inline by a worker thread, so its budget must stay bounded.
+pub const MAX_MC_SAMPLES: u64 = 200_000;
+/// Default master seed when a `/montecarlo` request omits `seed`.
+pub const DEFAULT_MC_SEED: u64 = 1707;
+/// Monte-Carlo samples per cell when `/campaign` runs E11: 12 cells run
+/// inline on one worker thread, so the whole request stays within the
+/// same bounded-work envelope as a single `/montecarlo` request.
+pub const CAMPAIGN_MC_SAMPLES: u64 = 5_000;
+/// Default per-robot fault probability for the `iid` and `byzantine`
+/// fault models.
+pub const DEFAULT_MC_P: f64 = 0.1;
 
 /// The endpoint names, the single source of truth for dispatch, the
 /// 405-vs-404 distinction, and the `/healthz` advertisement.
@@ -54,6 +71,7 @@ pub const ENDPOINTS: &[&str] = &[
     "evaluate",
     "verdict",
     "campaign",
+    "montecarlo",
     "healthz",
     "stats",
 ];
@@ -105,10 +123,35 @@ pub enum MemoKey {
     },
     /// `/campaign` run of one registered experiment.
     Campaign {
-        /// The experiment id (`"e1"` … `"e10"`).
+        /// The experiment id (`"e1"` … `"e11"`).
         id: String,
         /// The `k`-axis ceiling.
         max_k: u32,
+    },
+    /// `/montecarlo` estimation of an instance under a fault model.
+    ///
+    /// The seed and sample count are part of the key — the engine is
+    /// bit-deterministic in them (and thread-count invariant), so the
+    /// cached payload is byte-identical to a cold computation.
+    MonteCarlo {
+        /// Number of rays.
+        m: u32,
+        /// Number of robots.
+        k: u32,
+        /// Number of faulty robots.
+        f: u32,
+        /// The canonicalized evaluation horizon.
+        horizon: CanonF64,
+        /// Monte-Carlo samples.
+        samples: u64,
+        /// The master seed.
+        seed: u64,
+        /// The fault-model name (`"worst"`, `"uniform"`, `"iid"`,
+        /// `"byzantine"`).
+        faults: String,
+        /// The canonicalized fault probability (normalized to `0` for
+        /// models that ignore it, so spelling variants share an entry).
+        p: CanonF64,
     },
 }
 
@@ -188,6 +231,7 @@ impl ServiceState {
             ("POST", "/evaluate") => self.evaluate(req),
             ("POST", "/verdict") => self.verdict(req),
             ("POST", "/campaign") => self.campaign(req),
+            ("POST", "/montecarlo") => self.montecarlo(req),
             (_, path)
                 if path
                     .strip_prefix('/')
@@ -363,7 +407,17 @@ impl ServiceState {
             max_k,
         };
         let (payload, cached) = self.memoized(key, || {
-            let cfg = raysearch_bench::experiments::Config { max_k, threads };
+            let cfg = raysearch_bench::experiments::Config {
+                max_k,
+                threads,
+                // bounded like /montecarlo: E11 runs 12 Monte-Carlo
+                // cells inline on one worker, so its per-cell budget is
+                // pinned far below the suite default (and is a fixed
+                // constant, keeping the payload a pure function of
+                // (id, max_k))
+                mc_samples: CAMPAIGN_MC_SAMPLES,
+                ..raysearch_bench::experiments::Config::default()
+            };
             let reports = raysearch_bench::experiments::run_experiment(&id, &cfg)
                 .expect("id membership checked above");
             let campaigns: Vec<Value> = reports
@@ -384,6 +438,87 @@ impl ServiceState {
             doc.insert("id".to_owned(), Value::String(id.clone()));
             doc.insert("max_k".to_owned(), Value::Int(i64::from(max_k)));
             doc.insert("campaigns".to_owned(), Value::Array(campaigns));
+            Ok(Value::Object(doc).to_json_string())
+        })?;
+        Ok(wrap(payload, cached))
+    }
+
+    fn montecarlo(&self, req: &Request) -> Result<Response, ApiError> {
+        let params = RequestParams::from(req)?;
+        let (m, k, f) = params.instance()?;
+        let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
+        check_eval_limits(m, k, horizon)?;
+        if k > raysearch_mc::MAX_FLEET {
+            return Err(ApiError::bad_request(format!(
+                "k {k} exceeds the Monte-Carlo fleet ceiling {}",
+                raysearch_mc::MAX_FLEET
+            )));
+        }
+        let samples = params.opt_u64("samples")?.unwrap_or(DEFAULT_MC_SAMPLES);
+        if samples == 0 || samples > MAX_MC_SAMPLES {
+            return Err(ApiError::bad_request(format!(
+                "samples {samples} outside the serving range 1..={MAX_MC_SAMPLES}"
+            )));
+        }
+        let seed = params.opt_u64("seed")?.unwrap_or(DEFAULT_MC_SEED);
+        let model = params
+            .opt_str("faults")?
+            .unwrap_or_else(|| "uniform".to_owned());
+        let p = params.opt_f64("p")?.unwrap_or(DEFAULT_MC_P);
+        let faults = FaultSampler::from_name(&model, f, p).ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "unknown fault model {model:?} (available: {})",
+                FaultSampler::NAMES.join(", ")
+            ))
+        })?;
+        // models without a probability normalize `p` out of the cache
+        // key, so spelling variants share one entry
+        let p_effective = faults.probability().unwrap_or(0.0);
+        // validate *before* touching the cache, so malformed requests
+        // never count as misses and can never be cached
+        let scenario = Scenario::new(
+            m,
+            k,
+            f,
+            horizon,
+            faults,
+            TargetSampler::LogUniform {
+                lo: 1.0,
+                hi: horizon,
+            },
+        )
+        .map_err(|e| ApiError::bad_request(format!("montecarlo: {e}")))?;
+        let key = MemoKey::MonteCarlo {
+            m,
+            k,
+            f,
+            horizon: canon(horizon, "horizon")?,
+            samples,
+            seed,
+            faults: model,
+            p: canon(p_effective, "p")?,
+        };
+        let (payload, cached) = self.memoized(key, || {
+            // one worker thread serves one request: the engine stays
+            // sequential here (its result is thread-count invariant, so
+            // this choice is invisible in the payload)
+            let cfg = McConfig {
+                seed,
+                samples,
+                threads: Some(1),
+                ..McConfig::default()
+            };
+            let report = raysearch_mc::estimate(&scenario, &cfg)
+                .map_err(|e| ApiError::bad_request(format!("montecarlo: {e}")))?;
+            let mut doc = Map::new();
+            doc.insert(
+                "report".to_owned(),
+                serde_json::to_value(&report).expect("McReport serializes"),
+            );
+            doc.insert(
+                "comparison".to_owned(),
+                serde_json::to_value(report.comparison()).expect("comparison serializes"),
+            );
             Ok(Value::Object(doc).to_json_string())
         })?;
         Ok(wrap(payload, cached))
@@ -481,6 +616,23 @@ impl<'a> RequestParams<'a> {
                 .map_err(|_| ApiError::bad_request(format!("{name} out of range: {u}"))),
             Some(Value::String(s)) => s
                 .parse::<u32>()
+                .map(Some)
+                .map_err(|_| ApiError::bad_request(format!("{name} is not an integer: {s:?}"))),
+            Some(other) => Err(ApiError::bad_request(format!(
+                "{name} must be an integer, got {other:?}"
+            ))),
+        }
+    }
+
+    fn opt_u64(&self, name: &str) -> Result<Option<u64>, ApiError> {
+        match self.raw(name) {
+            None => Ok(None),
+            Some(Value::Int(i)) => u64::try_from(i)
+                .map(Some)
+                .map_err(|_| ApiError::bad_request(format!("{name} out of range: {i}"))),
+            Some(Value::UInt(u)) => Ok(Some(u)),
+            Some(Value::String(s)) => s
+                .parse::<u64>()
                 .map(Some)
                 .map_err(|_| ApiError::bad_request(format!("{name} is not an integer: {s:?}"))),
             Some(other) => Err(ApiError::bad_request(format!(

@@ -3,8 +3,10 @@
 //!
 //! Each check issues a real request over TCP and validates the JSON
 //! shape *and* the mathematics (closed forms pinned to the paper's
-//! values), finishing with a cache check: the repeated `/evaluate` must
-//! come back `cached: true` and `/stats` must show the hit.
+//! values), plus cache behaviour: repeated `/evaluate` and
+//! `/montecarlo` requests must come back `cached: true` with the hit
+//! visible in `/stats`, and invalid `/montecarlo` requests must fail
+//! without touching any cache counter.
 
 use serde_json::Value;
 
@@ -131,11 +133,7 @@ pub fn run_probe(addr: &str) -> Result<Vec<CheckLine>, String> {
     // 8. stats reflects the traffic and the cache hit
     let (status, doc) = fetch_json(addr, "GET", "/stats", None)?;
     expect(status == 200, "stats should be 200", &doc)?;
-    let hits = doc
-        .get("cache")
-        .and_then(|c| c.get("hits"))
-        .and_then(Value::as_u64)
-        .unwrap_or(0);
+    let hits = cache_hits(&doc);
     let requests = doc
         .get("requests_total")
         .and_then(Value::as_u64)
@@ -155,5 +153,90 @@ pub fn run_probe(addr: &str) -> Result<Vec<CheckLine>, String> {
     expect(status == 405, "DELETE /evaluate should be 405", &doc)?;
     pass("errors: 404 and 405 are well-formed JSON".to_owned());
 
+    // 10. montecarlo: the average case stays below the exact worst case
+    let mc_body = r#"{"m":2,"k":3,"f":1,"horizon":1000,"samples":2000,"seed":7}"#;
+    let (status, doc) = fetch_json(addr, "POST", "/montecarlo", Some(mc_body))?;
+    expect(status == 200, "montecarlo should be 200", &doc)?;
+    let report = result_of(&doc)?
+        .get("report")
+        .ok_or_else(|| format!("montecarlo without report: {}", doc.to_json_string()))?;
+    let mean = report.get("mean").and_then(Value::as_f64);
+    let closed_form = report.get("closed_form").and_then(Value::as_f64);
+    expect(
+        matches!((mean, closed_form), (Some(mean), Some(cf)) if 1.0 <= mean && mean < cf),
+        "montecarlo mean should lie in [1, closed_form)",
+        &doc,
+    )?;
+    expect(
+        result_of(&doc)?
+            .get("comparison")
+            .and_then(|c| c.get("within_worst_case"))
+            .and_then(Value::as_bool)
+            == Some(true),
+        "uniform-subset faults should stay within the worst case",
+        &doc,
+    )?;
+    pass(format!(
+        "montecarlo: mean {:.6} < Λ {:.6} over 2000 samples",
+        mean.unwrap_or(f64::NAN),
+        closed_form.unwrap_or(f64::NAN)
+    ));
+
+    // 11. the identical montecarlo is a cache hit, visible in /stats
+    let (_, stats_before) = fetch_json(addr, "GET", "/stats", None)?;
+    let hits_before = cache_hits(&stats_before);
+    let (status, doc) = fetch_json(addr, "POST", "/montecarlo", Some(mc_body))?;
+    expect(
+        status == 200 && doc.get("cached").and_then(Value::as_bool) == Some(true),
+        "repeated montecarlo should be cached",
+        &doc,
+    )?;
+    let (_, stats_after) = fetch_json(addr, "GET", "/stats", None)?;
+    expect(
+        cache_hits(&stats_after) > hits_before,
+        "stats should record the montecarlo cache hit",
+        &stats_after,
+    )?;
+    pass("montecarlo: repeat request served from cache (hit visible in /stats)".to_owned());
+
+    // 12. montecarlo errors are rejected before the cache: two identical
+    // bad requests both fail and move no cache counter
+    let (_, stats_before) = fetch_json(addr, "GET", "/stats", None)?;
+    let bad_body = r#"{"m":2,"k":3,"f":1,"faults":"bogus"}"#;
+    for round in ["first", "second"] {
+        let (status, doc) = fetch_json(addr, "POST", "/montecarlo", Some(bad_body))?;
+        expect(
+            status == 400 && doc.get("error").is_some() && doc.get("cached").is_none(),
+            &format!("{round} bad montecarlo should be an uncached JSON 400"),
+            &doc,
+        )?;
+    }
+    let (_, stats_after) = fetch_json(addr, "GET", "/stats", None)?;
+    expect(
+        cache_hits(&stats_after) == cache_hits(&stats_before)
+            && cache_misses(&stats_after) == cache_misses(&stats_before),
+        "bad montecarlo requests must not touch the cache",
+        &stats_after,
+    )?;
+    pass("montecarlo: invalid fault model rejected, cache counters untouched".to_owned());
+
     Ok(lines)
+}
+
+/// The cache hit counter of a `/stats` document.
+fn cache_hits(stats: &Value) -> u64 {
+    stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// The cache miss counter of a `/stats` document.
+fn cache_misses(stats: &Value) -> u64 {
+    stats
+        .get("cache")
+        .and_then(|c| c.get("misses"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
 }

@@ -231,6 +231,87 @@ fn error_paths_are_well_formed_json() {
 }
 
 #[test]
+fn montecarlo_endpoint_end_to_end() {
+    let (handle, addr) = spawn_server();
+    let body = r#"{"m":2,"k":3,"f":1,"horizon":1000,"samples":3000,"seed":77,"faults":"uniform"}"#;
+
+    // cold compute
+    let (status, first) = fetch_json(&addr, "POST", "/montecarlo", Some(body)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false));
+    let report = result_of(&first).get("report").expect("report");
+    let mean = report.get("mean").and_then(Value::as_f64).unwrap();
+    let closed_form = report.get("closed_form").and_then(Value::as_f64).unwrap();
+    let max = report.get("max").and_then(Value::as_f64).unwrap();
+    assert!(
+        mean >= 1.0 && mean < closed_form,
+        "{mean} vs Λ {closed_form}"
+    );
+    assert!(max <= closed_form + 1e-9, "max {max} above Λ {closed_form}");
+    assert_eq!(report.get("samples").and_then(Value::as_u64), Some(3000));
+    assert_eq!(
+        result_of(&first)
+            .get("comparison")
+            .and_then(|c| c.get("within_worst_case"))
+            .and_then(Value::as_bool),
+        Some(true)
+    );
+
+    // cache hit: byte-identical payload
+    let (status, second) = fetch_json(&addr, "POST", "/montecarlo", Some(body)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(second.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        result_of(&first).to_json_string(),
+        result_of(&second).to_json_string(),
+        "cache hit must replay the cold bytes"
+    );
+
+    // a *different* server instance cold-computes the same bytes: the
+    // engine (not the cache) is the source of determinism
+    let (handle2, addr2) = spawn_server();
+    let (_, other) = fetch_json(&addr2, "POST", "/montecarlo", Some(body)).unwrap();
+    assert_eq!(other.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        result_of(&first).to_json_string(),
+        result_of(&other).to_json_string(),
+        "independent servers must agree bit-for-bit"
+    );
+    handle2.shutdown();
+
+    // a different seed changes the payload (the seed is in the key)
+    let reseeded =
+        r#"{"m":2,"k":3,"f":1,"horizon":1000,"samples":3000,"seed":78,"faults":"uniform"}"#;
+    let (_, third) = fetch_json(&addr, "POST", "/montecarlo", Some(reseeded)).unwrap();
+    assert_eq!(third.get("cached").and_then(Value::as_bool), Some(false));
+    assert_ne!(
+        result_of(&first).to_json_string(),
+        result_of(&third).to_json_string()
+    );
+
+    // error paths: bad model, oversized budget, out-of-regime instance,
+    // oversized fleet — all uncached JSON 400s
+    for bad in [
+        r#"{"m":2,"k":3,"f":1,"faults":"bogus"}"#,
+        r#"{"m":2,"k":3,"f":1,"samples":100000000}"#,
+        r#"{"m":2,"k":3,"f":1,"samples":0}"#,
+        r#"{"m":2,"k":4,"f":1}"#,   // k = m(f+1): trivial regime
+        r#"{"m":2,"k":140,"f":1}"#, // above the Monte-Carlo fleet ceiling
+        r#"{"m":2,"k":3,"f":1,"faults":"iid","p":1.5}"#,
+    ] {
+        let (status, doc) = fetch_json(&addr, "POST", "/montecarlo", Some(bad)).unwrap();
+        assert_eq!(status, 400, "{bad}");
+        assert!(doc.get("error").is_some(), "{bad}: no error body");
+        assert!(
+            doc.get("cached").is_none(),
+            "{bad}: error carried a cache flag"
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
 fn keep_alive_serves_many_requests_on_one_connection() {
     let (handle, addr) = spawn_server();
     let mut client = HttpClient::connect(&addr).unwrap();

@@ -18,7 +18,8 @@
 //! | [`bounds`] | `raysearch-bounds` | closed forms `A(k,f)`, `A(m,k,f)`, `C(k,q)`, `C(η)` |
 //! | [`cover`] | `raysearch-cover` | covering settings, standardization, potential function |
 //! | [`core`] | `raysearch-core` | problems, exact evaluator, tightness verdicts, sweeps, campaign engine |
-//! | [`bench`](mod@bench) | `raysearch-bench` | campaign-based experiments E1–E10, `tablegen` binary |
+//! | [`mc`] | `raysearch-mc` | deterministic Monte-Carlo engine: random faults/targets, average-case ratios |
+//! | [`bench`](mod@bench) | `raysearch-bench` | campaign-based experiments E1–E11, `tablegen` binary |
 //! | [`service`] | `raysearch-service` | `raysearchd`: caching evaluation server, HTTP layer, load harness |
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@ pub use raysearch_bounds as bounds;
 pub use raysearch_core as core;
 pub use raysearch_cover as cover;
 pub use raysearch_faults as faults;
+pub use raysearch_mc as mc;
 pub use raysearch_service as service;
 pub use raysearch_sim as sim;
 pub use raysearch_strategies as strategies;
@@ -69,6 +71,7 @@ mod tests {
         let _ = crate::strategies::DoublingCowPath::classic();
         let _ = crate::cover::settings::OrcSetting;
         let _ = crate::core::LineProblem::new(3, 1, 10.0).unwrap();
+        let _ = crate::mc::McConfig::default();
         let _ = crate::bench::Table::new(vec!["k".into()]);
     }
 

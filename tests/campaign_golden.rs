@@ -24,6 +24,7 @@ fn e1_json_rows_match_closed_forms() {
     let cfg = Config {
         max_k: 6,
         threads: Some(2),
+        ..Config::default()
     };
     let reports = experiments::run_experiment("e1", &cfg).expect("e1 is registered");
     assert_eq!(reports.len(), 1);
@@ -102,6 +103,9 @@ fn every_registered_experiment_produces_parseable_json() {
     let cfg = Config {
         max_k: 4,
         threads: Some(1),
+        // a small budget: this test sweeps every experiment incl. E11
+        mc_samples: 2_000,
+        ..Config::default()
     };
     for id in experiments::ALL {
         let reports = experiments::run_experiment(id, &cfg).expect(id);
