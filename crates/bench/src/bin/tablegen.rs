@@ -38,7 +38,9 @@ options:
                      instead of rendering text tables
   --experiment LIST  comma-separated experiment ids (same as positional
                      ids), e.g. --experiment e1,e4
-  --max-k N          ceiling for the k axes of E1-E4 (default 10)
+  --max-k N          ceiling for the k axes of E1-E4 and the E12 fleet
+                     sizes (E12 sweeps {128,...,4096} capped at
+                     max(N, 128)) (default 10)
   --threads N        worker threads per campaign (N >= 1; 1 = sequential;
                      default: machine parallelism)
   --seed N           master seed for the stochastic experiments (E11);
@@ -48,7 +50,7 @@ options:
                      default 20000)
   --help             show this help
 
-experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 (default: all)";
+experiments: e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 (default: all)";
 
 struct Cli {
     json: Option<String>,

@@ -12,6 +12,7 @@ use raysearch_core::campaign::{Campaign, Report};
 
 pub mod e10_boundary;
 pub mod e11_montecarlo;
+pub mod e12_large_fleet;
 pub mod e1_theorem1;
 pub mod e2_regimes;
 pub mod e3_byzantine;
@@ -24,7 +25,7 @@ pub mod e9_applications;
 
 /// Identifiers of all experiments, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// Scaling knobs shared by the whole suite (the `tablegen` CLI flags).
@@ -118,6 +119,11 @@ fn visit_experiment(id: &str, cfg: &Config, v: &mut impl CampaignVisitor) -> boo
             );
         }
         "e11" => v.visit(e11_montecarlo::campaign(cfg.mc_samples, cfg.seed, 1e3).threads(t)),
+        // the deep horizon is the point: E12 exists to exercise the
+        // asymptotic regime the log-domain core opened (its k axis is
+        // FLEET_SIZES capped at max(max_k, 128), so default suite runs
+        // stay on the cheap k = 128 slice)
+        "e12" => v.visit(e12_large_fleet::campaign(cfg.max_k, 1e12).threads(t)),
         _ => return false,
     }
     true

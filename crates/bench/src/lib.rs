@@ -3,7 +3,7 @@
 //!
 //! The paper is a theory paper: its "evaluation" is a set of closed forms,
 //! inequalities and constructions rather than measured tables. This crate
-//! regenerates each of them as an executable experiment (E1–E10, indexed
+//! regenerates each of them as an executable experiment (E1–E12, indexed
 //! in `DESIGN.md` and recorded in `EXPERIMENTS.md`):
 //!
 //! | id | claim |
@@ -18,6 +18,8 @@
 //! | E8 | Eq. (11): fractional `C(η)` and the rational sandwich |
 //! | E9 | applications: contract scheduling and hybrid algorithms |
 //! | E10 | boundaries: `ρ → 1⁺` discontinuity and the `ρ = 2` cow path |
+//! | E11 | Monte-Carlo: average-case detection ratios vs the exact `Λ(q/k)` |
+//! | E12 | large fleets `k ≤ 4096`: exact ratio vs `Λ(q/k)` across the formerly-overflowing range |
 //!
 //! Every experiment is a [`Campaign`](raysearch_core::campaign::Campaign):
 //! a declarative parameter grid plus a per-cell closure returning one

@@ -51,6 +51,7 @@ pub mod closed_form;
 pub mod growth;
 pub mod instance;
 pub mod literature;
+pub mod logscaled;
 pub mod numeric;
 pub mod strategy_math;
 
@@ -60,4 +61,5 @@ pub use closed_form::{
 pub use error::BoundsError;
 pub use growth::{delta_growth, lemma4_argmax, lemma5_min_ratio, potential_poly};
 pub use instance::{LineInstance, RayInstance, Regime};
+pub use logscaled::LogScaled;
 pub use strategy_math::{cyclic_ratio, gamma_factor, optimal_alpha};

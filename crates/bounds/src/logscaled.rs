@@ -1,0 +1,416 @@
+//! Log-domain scalars for quantities that overflow `f64`.
+//!
+//! The exact pipeline is dominated by geometric magnitudes `α^i` whose
+//! exponents grow linearly with fleet size: a cyclic tour must pad
+//! `f + 2` excursions past the horizon *per ray*, each a factor
+//! `α^k = q/(q−k)` larger than the last, so the padding tail of a
+//! `k = 4096` fleet reaches `≈ 10^13000` — far beyond `f64::MAX`.
+//! [`LogScaled`] represents such values as a sign plus the natural log
+//! of the magnitude, so products and comparisons stay exact-in-`f64`
+//! at any scale, and extraction back to linear `f64` saturates instead
+//! of poisoning downstream arithmetic with `inf`.
+//!
+//! Linear `f64` remains the right representation wherever values are
+//! *known* bounded (piece constants within the evaluation range, prefix
+//! sums below the horizon); this type is the carrier for everything
+//! beyond.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A real number stored as `sign · exp(ln_mag)`.
+///
+/// The invariant is `sign ∈ {-1, 0, +1}` with `ln_mag = -∞` exactly
+/// when `sign = 0`. Magnitudes may exceed (or undershoot) anything
+/// `f64` can express linearly: `ln_mag` itself is an ordinary finite
+/// `f64` (or `±∞` for zero / overflow poles).
+///
+/// # Example
+///
+/// ```
+/// use raysearch_bounds::LogScaled;
+///
+/// // 2^10000 is far beyond f64::MAX, but its log-domain form is exact.
+/// let huge = LogScaled::from_ln(10_000.0 * 2f64.ln());
+/// assert!(huge > LogScaled::from_f64(f64::MAX));
+/// assert_eq!(huge.to_f64(), f64::INFINITY); // extraction saturates
+///
+/// // products are sums of logs: no overflow on the way
+/// let sq = huge * huge;
+/// assert!((sq.ln_abs() - 20_000.0 * 2f64.ln()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LogScaled {
+    sign: i8,
+    ln_mag: f64,
+}
+
+impl LogScaled {
+    /// The additive identity.
+    pub const ZERO: LogScaled = LogScaled {
+        sign: 0,
+        ln_mag: f64::NEG_INFINITY,
+    };
+
+    /// The multiplicative identity.
+    pub const ONE: LogScaled = LogScaled {
+        sign: 1,
+        ln_mag: 0.0,
+    };
+
+    /// The positive value `exp(ln)`.
+    ///
+    /// This is the lossless entry point for quantities already computed
+    /// as logarithms (e.g. `i·ln α`): no rounding beyond the caller's
+    /// own happens here.
+    #[inline]
+    pub fn from_ln(ln: f64) -> LogScaled {
+        if ln == f64::NEG_INFINITY {
+            LogScaled::ZERO
+        } else {
+            LogScaled {
+                sign: 1,
+                ln_mag: ln,
+            }
+        }
+    }
+
+    /// Converts a linear `f64` (must not be NaN; `±0.0` maps to zero).
+    #[inline]
+    pub fn from_f64(x: f64) -> LogScaled {
+        if x == 0.0 {
+            LogScaled::ZERO
+        } else {
+            LogScaled {
+                sign: if x < 0.0 { -1 } else { 1 },
+                ln_mag: x.abs().ln(),
+            }
+        }
+    }
+
+    /// Extracts the linear value, *saturating*: magnitudes beyond
+    /// `f64::MAX` come back as `±∞`, magnitudes below the smallest
+    /// subnormal as `±0.0`. This is the only place log-domain state
+    /// meets linear arithmetic, so the saturation is explicit and
+    /// local rather than smeared through a computation.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.sign) * self.ln_mag.exp()
+    }
+
+    /// The natural log of the magnitude (`-∞` for zero).
+    #[inline]
+    pub fn ln_abs(self) -> f64 {
+        self.ln_mag
+    }
+
+    /// The sign as `-1`, `0` or `+1`.
+    #[inline]
+    pub fn signum(self) -> i8 {
+        self.sign
+    }
+
+    /// Whether this is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.sign == 0
+    }
+
+    /// Whether this is strictly positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.sign > 0
+    }
+
+    /// Whether the magnitude fits a finite linear `f64`, i.e.
+    /// [`LogScaled::to_f64`] neither saturates to `±∞` nor is already a
+    /// pole.
+    #[inline]
+    pub fn is_f64_finite(self) -> bool {
+        self.ln_mag.exp().is_finite()
+    }
+
+    /// The absolute value.
+    #[inline]
+    pub fn abs(self) -> LogScaled {
+        LogScaled {
+            sign: self.sign.abs(),
+            ln_mag: self.ln_mag,
+        }
+    }
+
+    /// Integer power: exact in the log domain (`ln` scales by `n`).
+    pub fn powi(self, n: i32) -> LogScaled {
+        if self.sign == 0 {
+            return if n == 0 {
+                LogScaled::ONE
+            } else {
+                LogScaled::ZERO
+            };
+        }
+        let sign = if self.sign < 0 && n % 2 != 0 { -1 } else { 1 };
+        LogScaled {
+            sign,
+            ln_mag: self.ln_mag * f64::from(n),
+        }
+    }
+
+    /// The reciprocal. The reciprocal of zero is a positive pole
+    /// (`ln_mag = +∞`).
+    pub fn recip(self) -> LogScaled {
+        LogScaled {
+            sign: if self.sign == 0 { 1 } else { self.sign },
+            ln_mag: -self.ln_mag,
+        }
+    }
+
+    /// Total order consistent with the represented real numbers
+    /// (negatives below zero below positives; NaN magnitudes order via
+    /// [`f64::total_cmp`] and should not arise from valid inputs).
+    pub fn total_cmp(&self, other: &LogScaled) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {
+                let mag = self.ln_mag.total_cmp(&other.ln_mag);
+                if self.sign < 0 {
+                    mag.reverse()
+                } else {
+                    mag
+                }
+            }
+            unequal => unequal,
+        }
+    }
+}
+
+impl PartialOrd for LogScaled {
+    fn partial_cmp(&self, other: &LogScaled) -> Option<Ordering> {
+        if self.ln_mag.is_nan() || other.ln_mag.is_nan() {
+            None
+        } else {
+            Some(self.total_cmp(other))
+        }
+    }
+}
+
+impl std::ops::Mul for LogScaled {
+    type Output = LogScaled;
+    fn mul(self, rhs: LogScaled) -> LogScaled {
+        if self.sign == 0 || rhs.sign == 0 {
+            return LogScaled::ZERO;
+        }
+        LogScaled {
+            sign: self.sign * rhs.sign,
+            ln_mag: self.ln_mag + rhs.ln_mag,
+        }
+    }
+}
+
+impl std::ops::Div for LogScaled {
+    type Output = LogScaled;
+    fn div(self, rhs: LogScaled) -> LogScaled {
+        if self.sign == 0 {
+            return LogScaled::ZERO;
+        }
+        LogScaled {
+            sign: self.sign * if rhs.sign == 0 { 1 } else { rhs.sign },
+            ln_mag: self.ln_mag - rhs.ln_mag,
+        }
+    }
+}
+
+impl std::ops::Neg for LogScaled {
+    type Output = LogScaled;
+    fn neg(self) -> LogScaled {
+        LogScaled {
+            sign: -self.sign,
+            ln_mag: self.ln_mag,
+        }
+    }
+}
+
+impl std::ops::Add for LogScaled {
+    type Output = LogScaled;
+    /// Log-sum-exp addition: the result's log is taken relative to the
+    /// larger magnitude, so no intermediate ever leaves the log domain.
+    fn add(self, rhs: LogScaled) -> LogScaled {
+        if self.sign == 0 {
+            return rhs;
+        }
+        if rhs.sign == 0 {
+            return self;
+        }
+        let (big, small) = if self.ln_mag >= rhs.ln_mag {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let d = small.ln_mag - big.ln_mag; // ≤ 0
+        if self.sign == rhs.sign {
+            LogScaled {
+                sign: big.sign,
+                ln_mag: big.ln_mag + d.exp().ln_1p(),
+            }
+        } else if small.ln_mag == big.ln_mag {
+            LogScaled::ZERO // exact cancellation
+        } else {
+            LogScaled {
+                sign: big.sign,
+                ln_mag: big.ln_mag + (-d.exp_m1()).ln(),
+            }
+        }
+    }
+}
+
+impl std::ops::Sub for LogScaled {
+    type Output = LogScaled;
+    fn sub(self, rhs: LogScaled) -> LogScaled {
+        self + (-rhs)
+    }
+}
+
+impl fmt::Display for LogScaled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sign {
+            0 => write!(f, "0"),
+            s => write!(f, "{}exp({})", if s < 0 { "-" } else { "" }, self.ln_mag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-12 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn round_trips_linear_values() {
+        for x in [0.0, 1.0, -1.0, 2.5, -1e300, 1e-300, f64::MAX] {
+            let v = LogScaled::from_f64(x);
+            assert!(close(v.to_f64(), x), "{x}: {}", v.to_f64());
+        }
+        assert_eq!(LogScaled::from_f64(-0.0), LogScaled::ZERO);
+        assert_eq!(LogScaled::from_ln(f64::NEG_INFINITY), LogScaled::ZERO);
+    }
+
+    #[test]
+    fn extraction_saturates_instead_of_poisoning() {
+        let huge = LogScaled::from_ln(1e6);
+        assert_eq!(huge.to_f64(), f64::INFINITY);
+        assert!(!huge.is_f64_finite());
+        let tiny = LogScaled::from_ln(-1e6);
+        assert_eq!(tiny.to_f64(), 0.0);
+        assert_eq!((-huge).to_f64(), f64::NEG_INFINITY);
+        // but the log-domain state itself stays exact
+        assert!(close((huge * tiny).ln_abs(), 0.0));
+    }
+
+    #[test]
+    fn multiplication_is_log_addition() {
+        let a = LogScaled::from_f64(3.0);
+        let b = LogScaled::from_f64(-7.0);
+        assert!(close((a * b).to_f64(), -21.0));
+        assert!(close((a * b * b).to_f64(), 147.0));
+        assert_eq!(a * LogScaled::ZERO, LogScaled::ZERO);
+        assert!(close((a / b).to_f64(), 3.0 / -7.0));
+        // huge exponents never overflow
+        let big = LogScaled::from_ln(500.0);
+        let sq = big * big;
+        assert!(close(sq.ln_abs(), 1000.0));
+    }
+
+    #[test]
+    fn addition_matches_linear_arithmetic() {
+        let cases = [
+            (1.0, 2.0),
+            (2.0, -1.0),
+            (-2.0, 1.0),
+            (-2.0, -3.0),
+            (1e-200, 1e200),
+            (5.0, -5.0),
+            (0.0, 3.5),
+            (3.5, 0.0),
+        ];
+        for (x, y) in cases {
+            let got = (LogScaled::from_f64(x) + LogScaled::from_f64(y)).to_f64();
+            assert!(close(got, x + y), "{x} + {y} = {got}");
+        }
+        // subtraction delegates to addition
+        let got = (LogScaled::from_f64(9.0) - LogScaled::from_f64(2.0)).to_f64();
+        assert!(close(got, 7.0));
+    }
+
+    #[test]
+    fn exact_cancellation_is_zero() {
+        let a = LogScaled::from_ln(1234.5);
+        assert_eq!(a - a, LogScaled::ZERO);
+        assert_eq!((a - a).signum(), 0);
+    }
+
+    #[test]
+    fn powi_and_recip() {
+        let two = LogScaled::from_f64(2.0);
+        assert!(close(two.powi(10).to_f64(), 1024.0));
+        assert!(close(two.powi(-2).to_f64(), 0.25));
+        assert_eq!(two.powi(0), LogScaled::ONE);
+        let neg = LogScaled::from_f64(-2.0);
+        assert!(close(neg.powi(3).to_f64(), -8.0));
+        assert!(close(neg.powi(2).to_f64(), 4.0));
+        assert_eq!(LogScaled::ZERO.powi(3), LogScaled::ZERO);
+        assert_eq!(LogScaled::ZERO.powi(0), LogScaled::ONE);
+        assert!(close(two.recip().to_f64(), 0.5));
+        assert_eq!(LogScaled::ZERO.recip().ln_abs(), f64::INFINITY);
+    }
+
+    #[test]
+    fn ordering_is_the_real_line_order() {
+        let mut values = [
+            LogScaled::from_f64(-3.0),
+            LogScaled::from_ln(900.0), // > f64::MAX
+            LogScaled::ZERO,
+            LogScaled::from_f64(0.5),
+            LogScaled::from_f64(-1e-5),
+            LogScaled::ONE,
+        ];
+        values.sort_by(LogScaled::total_cmp);
+        let as_f64: Vec<f64> = values.iter().map(|v| v.to_f64()).collect();
+        for (got, want) in as_f64
+            .iter()
+            .zip([-3.0, -1e-5, 0.0, 0.5, 1.0, f64::INFINITY])
+        {
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0) || *got == want,
+                "sorted order wrong: {as_f64:?}"
+            );
+        }
+        // deeper negative magnitude sorts *below* shallower negative
+        assert!(LogScaled::from_f64(-10.0) < LogScaled::from_f64(-2.0));
+        assert!(LogScaled::from_f64(2.0) > LogScaled::ZERO);
+        assert!(LogScaled::partial_cmp(
+            &LogScaled {
+                sign: 1,
+                ln_mag: f64::NAN
+            },
+            &LogScaled::ONE
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LogScaled::ZERO.to_string(), "0");
+        assert_eq!(LogScaled::ONE.to_string(), "exp(0)");
+        assert_eq!(LogScaled::from_ln(2.5).to_string(), "exp(2.5)");
+        assert!(LogScaled::from_f64(-1.0).to_string().starts_with('-'));
+    }
+
+    #[test]
+    fn serializes_sign_and_log_magnitude() {
+        let v = LogScaled::from_ln(12345.678);
+        let json = serde_json::to_value(v).unwrap();
+        assert_eq!(json.get("sign").and_then(|s| s.as_i64()), Some(1));
+        assert_eq!(json.get("ln_mag").and_then(|l| l.as_f64()), Some(12345.678));
+    }
+}

@@ -16,6 +16,15 @@ pub enum CoreError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// An evaluation horizon that cannot be padded to a finite fleet:
+    /// the evaluator extends plans to `4×` the horizon (and baseline
+    /// tours walk to twice that), so values above `f64::MAX / 8` (or
+    /// non-finite ones) would silently overflow to `inf` before any
+    /// range check.
+    HorizonOverflow {
+        /// The offending horizon.
+        horizon: f64,
+    },
     /// The fleet does not cover some target within the horizon, so the
     /// competitive ratio is unbounded.
     Uncovered {
@@ -48,6 +57,11 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            CoreError::HorizonOverflow { horizon } => write!(
+                f,
+                "invalid horizon {horizon:e}: must be finite and at most f64::MAX/8 \
+                 (fleets are padded to 4x the horizon, baseline tours to twice that)"
+            ),
             CoreError::Uncovered { witness, ray } => write!(
                 f,
                 "target at distance {witness} on ray {ray} is never confirmed: ratio unbounded"

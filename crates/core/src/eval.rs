@@ -15,26 +15,104 @@
 //! [`CyclicExponential`] strategy
 //! reproduces `Λ(q/k)` to floating-point accuracy (experiments E1/E4/E5).
 
-use raysearch_sim::{Direction, LineItinerary, TourItinerary};
-use raysearch_strategies::{CyclicExponential, RayStrategy};
+use raysearch_bounds::{RayInstance, Regime};
+use raysearch_sim::{Direction, LineItinerary, LogTourItinerary, RobotId, TourItinerary};
+use raysearch_strategies::{CyclicExponential, RayStrategy, ZonePartition};
 
 use crate::CoreError;
 
-/// One slope-1 piece of a first-visit function: targets in `(lo, hi]` are
-/// first visited at time `c + x`.
+/// One slope-1 piece of a first-visit function: targets in `(lo, hi]`
+/// are first visited at time `c + x`.
+///
+/// `hi = ∞` marks a *straddling* piece compiled from a log-domain tour
+/// whose true right end lies beyond linear `f64`; its `c` is still
+/// exact, and `hi` only ever participates in `x ≤ hi` comparisons.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Piece {
-    lo: f64,
-    hi: f64,
-    c: f64,
+pub struct FirstVisitPiece {
+    /// Left end of the covered interval (exclusive).
+    pub lo: f64,
+    /// Right end of the covered interval (inclusive).
+    pub hi: f64,
+    /// The first-visit constant: twice the turning mass spent before
+    /// the covering leg.
+    pub c: f64,
+}
+
+/// Compiles the per-ray first-visit pieces of one log-domain tour in a
+/// single pass, each ray truncated at `cap`: element `r` of the result
+/// is ray `r`'s pieces, sorted by strictly increasing `lo`.
+///
+/// This is the *one* compilation shared by the exact evaluator and
+/// `raysearch-mc`'s `VisitTable` (their documented bit-for-bit
+/// agreement rests on it). Pieces are extracted to linear `f64` one
+/// excursion at a time, so the construction is bit-identical to a
+/// linear-tour compilation for every piece whose `lo` is below `cap` —
+/// and those are the only pieces a query in `(0, cap]` can consult
+/// (both boundary enumeration and constant lookups need `lo < x`). The
+/// overflowing post-horizon padding tail of a large fleet is never
+/// materialized: iteration ends once every ray has its straddling
+/// piece. The single pass matters: a per-ray scan would walk the
+/// `O(m·f)`-excursion tour `m` times, turning many-ray instances
+/// quadratic in `m`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] if `cap` is not positive and
+/// finite, or if a piece *constant* inside the cap overflows `f64` —
+/// at caps within a factor `α^(k·m)` of `f64::MAX`, the turning mass
+/// ahead of a straddling leg can exceed linear range, and answering
+/// with a saturated `∞` would be the silent wrong answer this pipeline
+/// exists to eliminate.
+pub fn compile_first_visit_pieces(
+    tour: &LogTourItinerary,
+    cap: f64,
+) -> Result<Vec<Vec<FirstVisitPiece>>, CoreError> {
+    if !(cap.is_finite() && cap > 0.0) {
+        return Err(CoreError::invalid(format!(
+            "piece cap must be positive and finite, got {cap}"
+        )));
+    }
+    let m = tour.num_rays();
+    let mut pieces: Vec<Vec<FirstVisitPiece>> = vec![Vec::new(); m];
+    let mut reach = vec![0.0f64; m];
+    let mut open = m;
+    let mut prefix = 0.0f64;
+    for e in tour.excursions() {
+        if open == 0 {
+            break;
+        }
+        let turn = e.turn.to_f64();
+        let ray = e.ray.index();
+        if reach[ray] < cap && turn > reach[ray] {
+            let c = 2.0 * prefix;
+            if !c.is_finite() {
+                return Err(CoreError::invalid(format!(
+                    "first-visit constant on ray {ray} overflows f64 within the \
+                     evaluation cap {cap:e}: the horizon is too deep for this \
+                     fleet's turning-point growth"
+                )));
+            }
+            pieces[ray].push(FirstVisitPiece {
+                lo: reach[ray],
+                hi: turn,
+                c,
+            });
+            reach[ray] = turn;
+            if reach[ray] >= cap {
+                open -= 1;
+            }
+        }
+        prefix += turn;
+    }
+    Ok(pieces)
 }
 
 /// The first-visit function of one robot on one side/ray.
 #[derive(Debug, Clone, PartialEq, Default)]
-struct Pieces {
+pub(crate) struct Pieces {
     /// Sorted by `lo`; `lo` values strictly increase and intervals are
     /// disjoint by construction.
-    pieces: Vec<Piece>,
+    pieces: Vec<FirstVisitPiece>,
 }
 
 impl Pieces {
@@ -47,7 +125,7 @@ impl Pieces {
             let magnitude = signed.abs();
             let on_side = (signed > 0.0) == (side == Direction::Positive);
             if on_side && magnitude > reach {
-                pieces.push(Piece {
+                pieces.push(FirstVisitPiece {
                     lo: reach,
                     hi: magnitude,
                     c: 2.0 * prefix,
@@ -67,7 +145,7 @@ impl Pieces {
         let mut prefix = 0.0f64;
         for e in tour.excursions() {
             if e.ray.index() == ray && e.turn > reach {
-                pieces.push(Piece {
+                pieces.push(FirstVisitPiece {
                     lo: reach,
                     hi: e.turn,
                     c: 2.0 * prefix,
@@ -77,6 +155,16 @@ impl Pieces {
             prefix += e.turn;
         }
         Pieces { pieces }
+    }
+
+    /// Builds the pieces of *every* ray for a log-domain tour in one
+    /// pass via [`compile_first_visit_pieces`] (see there for the
+    /// truncation and bit-compatibility guarantees).
+    fn per_ray_from_log_tour(tour: &LogTourItinerary, cap: f64) -> Result<Vec<Pieces>, CoreError> {
+        Ok(compile_first_visit_pieces(tour, cap)?
+            .into_iter()
+            .map(|pieces| Pieces { pieces })
+            .collect())
     }
 
     /// The first-visit constant for a target at `x` (`lo < x ≤ hi`), or
@@ -135,9 +223,18 @@ impl EvalReport {
 }
 
 /// Evaluates the *optimal* strategy for the instance `(m, k, f)` exactly
-/// over targets in `[1, horizon]`: builds the cyclic exponential fleet
-/// that attains `A(m, k, f)` and measures its worst-case ratio against
-/// the crash adversary.
+/// over targets in `[1, horizon]`: builds the fleet that attains
+/// `A(m, k, f)` and measures its worst-case ratio against the crash
+/// adversary.
+///
+/// In the searchable regime `f < k < m(f+1)` the fleet is the cyclic
+/// exponential strategy, generated and evaluated through the log-domain
+/// pipeline — turn points are never materialized in linear space, so
+/// fleets of thousands of robots at deep horizons evaluate to finite
+/// ratios (the linear pipeline overflowed to an error from `k ≈ 139`).
+/// In the trivial regime `k ≥ m(f+1)` the fleet is the saturating
+/// [`ZonePartition`] (ratio exactly 1, matching
+/// [`Regime::Trivial`](raysearch_bounds::Regime)).
 ///
 /// This is the public one-shot entry point the serving layer memoizes:
 /// the whole computation is a pure function of `(m, k, f, horizon)`, so
@@ -150,19 +247,54 @@ impl EvalReport {
 ///
 /// let report = evaluate_optimal(2, 1, 0, 1e4)?; // the classic cow path
 /// assert!((report.ratio - 9.0).abs() < 1e-3);
-/// # Ok::<(), raysearch_core::CoreError>(())
+///
+/// // a formerly-overflowing large fleet: finite, at the closed form
+/// let large = evaluate_optimal(2, 139, 69, 1e6)?;
+/// let theory = raysearch_bounds::a_rays(2, 139, 69)?;
+/// assert!((large.ratio - theory).abs() / theory < 1e-6);
+///
+/// // the trivial regime evaluates to ratio 1 instead of erroring
+/// assert!((evaluate_optimal(2, 4, 1, 1e3)?.ratio - 1.0).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::InvalidInput`]-style errors for out-of-regime
-/// `(m, k, f)` or a horizon outside `(1, ∞)`.
+/// Returns [`CoreError::HorizonOverflow`] for a horizon that is not
+/// finite or exceeds `f64::MAX / 8` (fleets are padded to four times
+/// the horizon and the trivial-regime baseline walks out to twice the
+/// pad, so larger values would silently become `inf` before any range
+/// check), and [`CoreError::InvalidInput`]-style errors for impossible
+/// `(m, k, f)`, a horizon outside `(1, ∞)`, or a horizon so deep that
+/// a first-visit constant within range overflows `f64` (possible only
+/// within a factor `α^(k·m)` of `f64::MAX`).
 pub fn evaluate_optimal(m: u32, k: u32, f: u32, horizon: f64) -> Result<EvalReport, CoreError> {
-    let strategy = CyclicExponential::optimal(m, k, f)?;
     // the fleet prefix must extend past the horizon so every target in
-    // range lies strictly inside covered territory
-    let fleet = strategy.fleet_tours(horizon * 4.0)?;
-    RayEvaluator::new(m as usize, f, 1.0, horizon)?.evaluate(&fleet)
+    // range lies strictly inside covered territory; validate *before*
+    // the padding multiplications can turn a finite horizon into inf
+    // (4x for the fleet, a further 2x inside the zone-partition tours)
+    if !(horizon.is_finite() && horizon <= f64::MAX / 8.0) {
+        return Err(CoreError::HorizonOverflow { horizon });
+    }
+    let padded = horizon * 4.0;
+    let instance = RayInstance::new(m, k, f)?;
+    if instance.regime() == Regime::Trivial {
+        let fleet = ZonePartition::new(m, k, f)?.fleet_tours(padded)?;
+        return RayEvaluator::new(m as usize, f, 1.0, horizon)?.evaluate(&fleet);
+    }
+    // searchable — or impossible, which the strategy constructor rejects
+    let strategy = CyclicExponential::optimal(m, k, f)?;
+    let evaluator = RayEvaluator::new(m as usize, f, 1.0, horizon)?;
+    // stream one log tour at a time: only the bounded in-range pieces
+    // are kept, so peak memory is independent of the padding tail
+    let mut per_ray: Vec<Vec<Pieces>> = (0..m as usize)
+        .map(|_| Vec::with_capacity(k as usize))
+        .collect();
+    for r in 0..k as usize {
+        let tour = strategy.log_tour(RobotId(r), padded)?;
+        evaluator.push_log_pieces(&mut per_ray, &tour)?;
+    }
+    Ok(evaluator.sup_of_compiled(&per_ray))
 }
 
 fn check_range(lo: f64, hi: f64) -> Result<(), CoreError> {
@@ -231,8 +363,9 @@ fn sup_over_domain(per_robot: &[Pieces], f: u32, lo: f64, hi: f64, ray: usize, a
             }
             continue;
         }
-        constants.sort_by(f64::total_cmp);
-        let c = constants[needed - 1];
+        // the (f+1)-st smallest constant: an exact order statistic, so
+        // selection is equivalent to (and cheaper than) a full sort
+        let (_, &mut c, _) = constants.select_nth_unstable_by(needed - 1, |a, b| a.total_cmp(b));
         let candidate = WorstTarget {
             ray,
             x: b,
@@ -412,6 +545,87 @@ impl RayEvaluator {
             sup_over_domain(&pieces, self.f, self.lo, self.hi, ray, &mut acc);
         }
         Ok(acc.into_report())
+    }
+
+    /// Evaluates the exact worst-case ratio of a fleet of *log-domain*
+    /// tours — the overflow-proof twin of [`RayEvaluator::evaluate`].
+    ///
+    /// Wherever the corresponding linear fleet exists (no turn point
+    /// overflows `f64`), the report is bit-identical to evaluating it:
+    /// in-range pieces are extracted to the same linear values in the
+    /// same order, and pieces past the evaluation range — the only ones
+    /// a log tour may carry that a linear tour cannot — never influence
+    /// the supremum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the fleet has fewer than
+    /// `f+1` robots, a tour is for the wrong number of rays, or a
+    /// first-visit constant within range overflows `f64` (see
+    /// [`compile_first_visit_pieces`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use raysearch_core::RayEvaluator;
+    /// use raysearch_strategies::CyclicExponential;
+    ///
+    /// // k = 199 on the line: the linear fleet overflows, the log fleet
+    /// // evaluates to the closed form
+    /// let strat = CyclicExponential::optimal(2, 199, 99)?;
+    /// let fleet = strat.fleet_log_tours(4e5)?;
+    /// let report = RayEvaluator::new(2, 99, 1.0, 1e5)?.evaluate_log(&fleet)?;
+    /// let theory = raysearch_bounds::a_rays(2, 199, 99)?;
+    /// assert!((report.ratio - theory).abs() / theory < 1e-6);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn evaluate_log(&self, fleet: &[LogTourItinerary]) -> Result<EvalReport, CoreError> {
+        if fleet.len() <= self.f as usize {
+            return Err(CoreError::invalid(format!(
+                "need more than f = {} robots, got {}",
+                self.f,
+                fleet.len()
+            )));
+        }
+        let mut per_ray: Vec<Vec<Pieces>> = (0..self.m).map(|_| Vec::new()).collect();
+        for tour in fleet {
+            self.push_log_pieces(&mut per_ray, tour)?;
+        }
+        Ok(self.sup_of_compiled(&per_ray))
+    }
+
+    /// Compiles one robot's log tour (truncated at this evaluator's
+    /// range) and appends its pieces to each ray's bucket — the shared
+    /// streaming step of [`RayEvaluator::evaluate_log`],
+    /// [`evaluate_optimal`] and the verdict pipeline.
+    pub(crate) fn push_log_pieces(
+        &self,
+        per_ray: &mut [Vec<Pieces>],
+        tour: &LogTourItinerary,
+    ) -> Result<(), CoreError> {
+        if tour.num_rays() != self.m {
+            return Err(CoreError::invalid(format!(
+                "tour is for {} rays, evaluator expects {}",
+                tour.num_rays(),
+                self.m
+            )));
+        }
+        for (robots, compiled) in per_ray
+            .iter_mut()
+            .zip(Pieces::per_ray_from_log_tour(tour, self.hi)?)
+        {
+            robots.push(compiled);
+        }
+        Ok(())
+    }
+
+    /// Runs the per-ray sup over compiled piece tables.
+    pub(crate) fn sup_of_compiled(&self, per_ray: &[Vec<Pieces>]) -> EvalReport {
+        let mut acc = SupAccum::default();
+        for (ray, robots) in per_ray.iter().enumerate() {
+            sup_over_domain(robots, self.f, self.lo, self.hi, ray, &mut acc);
+        }
+        acc.into_report()
     }
 
     /// Exact adversarial detection time of a target on a given ray.
@@ -639,6 +853,87 @@ mod tests {
         let fleet = strat.fleet_tours(100.0).unwrap();
         let e = RayEvaluator::new(4, 0, 1.0, 10.0).unwrap();
         assert!(e.evaluate(&fleet).is_err());
+    }
+
+    #[test]
+    fn evaluate_log_is_bit_identical_to_evaluate() {
+        for (m, k, f) in [(2u32, 5u32, 2u32), (3, 5, 1), (5, 4, 0)] {
+            let strat = CyclicExponential::optimal(m, k, f).unwrap();
+            let linear = strat.fleet_tours(4e4).unwrap();
+            let log = strat.fleet_log_tours(4e4).unwrap();
+            let e = RayEvaluator::new(m as usize, f, 1.0, 1e4).unwrap();
+            let a = e.evaluate(&linear).unwrap();
+            let b = e.evaluate_log(&log).unwrap();
+            assert_eq!(a.ratio.to_bits(), b.ratio.to_bits(), "({m},{k},{f})");
+            assert_eq!(a.num_breakpoints, b.num_breakpoints);
+            assert_eq!(a.worst, b.worst);
+            assert_eq!(a.uncovered, b.uncovered);
+        }
+    }
+
+    #[test]
+    fn evaluate_log_validates_like_evaluate() {
+        let strat = CyclicExponential::optimal(3, 2, 0).unwrap();
+        let fleet = strat.fleet_log_tours(100.0).unwrap();
+        // wrong ray count
+        assert!(RayEvaluator::new(4, 0, 1.0, 10.0)
+            .unwrap()
+            .evaluate_log(&fleet)
+            .is_err());
+        // fleet smaller than f+1
+        assert!(RayEvaluator::new(3, 2, 1.0, 10.0)
+            .unwrap()
+            .evaluate_log(&fleet)
+            .is_err());
+    }
+
+    #[test]
+    fn evaluate_optimal_covers_the_formerly_overflowing_range() {
+        // q = k + 1 fleets past the old k ≈ 139 linear-overflow wall
+        for (k, f) in [(139u32, 69u32), (199, 99)] {
+            let r = evaluate_optimal(2, k, f, 1e8).unwrap();
+            let theory = raysearch_bounds::a_rays(2, k, f).unwrap();
+            assert!(r.is_covered(), "(2,{k},{f}) uncovered");
+            assert!(r.ratio.is_finite(), "(2,{k},{f}) ratio not finite");
+            assert!(
+                (r.ratio - theory).abs() / theory < 1e-6,
+                "(2,{k},{f}): measured {} vs theory {theory}",
+                r.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_optimal_trivial_regime_is_ratio_one() {
+        for (m, k, f) in [(2u32, 4u32, 1u32), (2, 512, 1), (3, 7, 1)] {
+            let r = evaluate_optimal(m, k, f, 1e4).unwrap();
+            assert!(r.is_covered(), "({m},{k},{f}) uncovered");
+            assert!(
+                (r.ratio - 1.0).abs() < 1e-12,
+                "({m},{k},{f}): ratio {} != 1",
+                r.ratio
+            );
+        }
+        // impossible stays an error
+        assert!(evaluate_optimal(2, 3, 3, 1e4).is_err());
+    }
+
+    #[test]
+    fn evaluate_optimal_rejects_unpaddable_horizons() {
+        for h in [f64::MAX / 2.0, f64::INFINITY, f64::NAN] {
+            match evaluate_optimal(2, 3, 1, h) {
+                Err(CoreError::HorizonOverflow { horizon }) => {
+                    assert_eq!(horizon.to_bits(), h.to_bits())
+                }
+                other => panic!("horizon {h}: expected HorizonOverflow, got {other:?}"),
+            }
+        }
+        // the largest paddable horizon passes the overflow gate (and
+        // fails later only on evaluator-range grounds, if at all)
+        assert!(!matches!(
+            evaluate_optimal(2, 1, 0, 1e4),
+            Err(CoreError::HorizonOverflow { .. })
+        ));
     }
 
     #[test]

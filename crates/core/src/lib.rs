@@ -51,7 +51,10 @@ pub mod verdict;
 pub use campaign::{Campaign, CampaignRun, Cell, ParamGrid, ParamValue, Report};
 pub use canon::CanonF64;
 pub use error::CoreError;
-pub use eval::{evaluate_optimal, EvalReport, LineEvaluator, RayEvaluator, WorstTarget};
+pub use eval::{
+    compile_first_visit_pieces, evaluate_optimal, EvalReport, FirstVisitPiece, LineEvaluator,
+    RayEvaluator, WorstTarget,
+};
 pub use problem::{LineProblem, RayProblem};
 pub use sweep::{par_map, par_map_threads};
 pub use verdict::{verify_tightness, TightnessReport};

@@ -16,7 +16,8 @@
 use raysearch_bounds::{a_rays, lambda_to_mu, RayInstance};
 use raysearch_cover::settings::{merge_fleet_intervals, OrcSetting};
 use raysearch_cover::CoverageProfile;
-use raysearch_strategies::{CyclicExponential, RayStrategy};
+use raysearch_sim::RobotId;
+use raysearch_strategies::CyclicExponential;
 
 use crate::{CoreError, RayEvaluator};
 
@@ -78,10 +79,46 @@ pub fn verify_tightness(
     let instance = RayInstance::new(m, k, f)?;
     let theory = a_rays(m, k, f)?;
     let strategy = CyclicExponential::optimal(m, k, f)?;
-    let fleet = strategy.fleet_tours(horizon * 4.0)?;
+    let evaluator = RayEvaluator::new(m as usize, f, 1.0, horizon)?;
+    let lambda_below = theory * (1.0 - eps);
+    let mu_below = lambda_to_mu(lambda_below)?;
 
-    // (2) measure the upper bound exactly
-    let report = RayEvaluator::new(m as usize, f, 1.0, horizon)?.evaluate(&fleet)?;
+    // One log tour per robot feeds both checks, so the verdict pipeline
+    // shares the exact evaluator's overflow-proof path (linear tours
+    // stop existing from k ≈ 139). The ORC side needs linear turns, but
+    // only while an interval's start `sum_before/μ` can still land in
+    // `[1, horizon]` — beyond that cutoff every interval lies past the
+    // horizon and cannot move the coverage profile.
+    let sum_cutoff = mu_below * horizon;
+    let mut per_ray: Vec<Vec<crate::eval::Pieces>> = (0..m as usize)
+        .map(|_| Vec::with_capacity(k as usize))
+        .collect();
+    let mut per_robot = Vec::with_capacity(k as usize);
+    for r in 0..k as usize {
+        let tour = strategy.log_tour(RobotId(r), horizon * 4.0)?;
+        // (2) measure the upper bound exactly
+        evaluator.push_log_pieces(&mut per_ray, &tour)?;
+        // (3) the bounded turn prefix of the q-fold ORC covering
+        let mut turns = Vec::new();
+        let mut sum_before = 0.0f64;
+        for e in tour.excursions() {
+            if sum_before > sum_cutoff {
+                break;
+            }
+            let turn = e.turn.to_f64();
+            // warm-up turns of very large fleets underflow linear f64;
+            // their true mass is below one ulp of any later sum and
+            // their intervals end far under distance 1, so they cannot
+            // move the profile over [1, horizon]
+            if turn > 0.0 {
+                turns.push(turn);
+                sum_before += turn;
+            }
+        }
+        per_robot.push(OrcSetting::covered_intervals(&turns, mu_below)?);
+    }
+
+    let report = evaluator.sup_of_compiled(&per_ray);
     if !report.is_covered() {
         return Err(CoreError::Uncovered {
             witness: report.uncovered.map(|w| w.x).unwrap_or(f64::NAN),
@@ -89,14 +126,6 @@ pub fn verify_tightness(
         });
     }
 
-    // (3) falsify coverage just below the bound: the q-fold ORC covering
-    // of *this* strategy must break somewhere in [1, horizon]
-    let lambda_below = theory * (1.0 - eps);
-    let mu_below = lambda_to_mu(lambda_below)?;
-    let per_robot: Vec<_> = fleet
-        .iter()
-        .map(|tour| OrcSetting::covered_intervals(&OrcSetting::turns_from_tour(tour), mu_below))
-        .collect::<Result<_, _>>()?;
     let merged = merge_fleet_intervals(per_robot);
     let profile = CoverageProfile::build(&merged, 1.0, horizon)?;
     let witness = profile.first_undercovered(instance.q() as usize);
@@ -155,6 +184,18 @@ mod tests {
             );
             assert!(r.falsified_below, "(m={m},k={k},f={f}) not falsified");
         }
+    }
+
+    #[test]
+    fn large_fleet_verdict_goes_through_the_log_pipeline() {
+        // k = 256 has no linear fleet (turn points overflow f64); both
+        // verdict sides must still run, sharing the log tours
+        let r = verify_tightness(2, 256, 128, 1e6, 1e-2).unwrap();
+        let expect = raysearch_bounds::a_rays(2, 256, 128).unwrap();
+        assert!(r.measured_upper.is_finite());
+        assert!((r.measured_upper - expect).abs() < 1e-6 * expect);
+        assert!(r.falsified_below, "coverage did not fail below Λ");
+        assert!(r.is_tight(1e-4));
     }
 
     #[test]

@@ -19,15 +19,19 @@
 
 use rand::rngs::SplitMix64;
 use raysearch_core::par_map_threads;
-use raysearch_strategies::{CyclicExponential, RayStrategy};
+use raysearch_sim::RobotId;
+use raysearch_strategies::CyclicExponential;
 
 use crate::estimator::BatchEstimate;
 use crate::sampler::{FaultSampler, TargetSampler};
 use crate::visits::VisitTable;
 use crate::McError;
 
-/// Largest fleet the engine accepts (fault draws are `u128` masks).
-pub const MAX_FLEET: u32 = 128;
+/// Largest fleet the engine accepts (fault draws are fixed-width
+/// [`SilentMask`](crate::SilentMask) bitsets of this many bits, and the
+/// fleet compiles through the log-domain tour pipeline, so turn-point
+/// overflow no longer caps `k`).
+pub const MAX_FLEET: u32 = 4096;
 
 /// A fully specified average-case experiment: the instance `(m, k, f)`
 /// whose *optimal* cyclic exponential fleet is simulated, the evaluation
@@ -147,7 +151,7 @@ impl Scenario {
     /// Returns [`McError::InvalidInput`] if the fleet cannot be
     /// materialized (a regression — construction already validated it).
     pub fn adversarial_grid(&self) -> Result<TargetSampler, McError> {
-        let table = VisitTable::from_fleet(&self.fleet()?)?;
+        let table = self.visit_table()?;
         let mut points = Vec::new();
         for ray in 0..self.m as usize {
             points.push((ray, 1.0));
@@ -163,12 +167,20 @@ impl Scenario {
         Ok(TargetSampler::GridReplay { points })
     }
 
-    /// Materializes the optimal fleet, extended past the horizon exactly
-    /// like [`evaluate_optimal`](raysearch_core::eval::evaluate_optimal)
-    /// so the two paths agree bit-for-bit.
-    fn fleet(&self) -> Result<Vec<raysearch_sim::TourItinerary>, McError> {
+    /// Compiles the optimal fleet's first-visit table through the
+    /// log-domain tour pipeline, one robot at a time — extended past
+    /// the horizon exactly like
+    /// [`evaluate_optimal`](raysearch_core::eval::evaluate_optimal), so
+    /// the two paths agree bit-for-bit, and without ever materializing
+    /// a turn point in linear space (which overflowed from `k ≈ 139`).
+    fn visit_table(&self) -> Result<VisitTable, McError> {
         let strategy = CyclicExponential::optimal(self.m, self.k, self.f)?;
-        Ok(strategy.fleet_tours(self.horizon * 4.0)?)
+        let mut table = VisitTable::new(self.m as usize)?;
+        for r in 0..self.k as usize {
+            let tour = strategy.log_tour(RobotId(r), self.horizon * 4.0)?;
+            table.push_log_tour(&tour, self.horizon)?;
+        }
+        Ok(table)
     }
 }
 
@@ -368,7 +380,7 @@ pub fn estimate(scenario: &Scenario, cfg: &McConfig) -> Result<McReport, McError
     if cfg.bins < 2 {
         return Err(McError::invalid("quantile sketch needs at least 2 bins"));
     }
-    let table = VisitTable::from_fleet(&scenario.fleet()?)?;
+    let table = scenario.visit_table()?;
     let closed_form = scenario.closed_form();
     let m = scenario.m as usize;
     let k = scenario.k as usize;
@@ -386,7 +398,7 @@ pub fn estimate(scenario: &Scenario, cfg: &McConfig) -> Result<McReport, McError
             let draw = scenario.faults.draw(k, &mut rng);
             times.clear();
             for robot in 0..k {
-                if draw.silent & (1u128 << robot) == 0 {
+                if !draw.silent.is_silent(robot) {
                     if let Some(t) = table.first_visit(robot, ray, x) {
                         times.push(t);
                     }
@@ -547,6 +559,57 @@ mod tests {
         // and the identical call errs identically
         let again = estimate(&s, &McConfig::with_seed(0, 3)).unwrap_err();
         assert_eq!(err, again);
+    }
+
+    #[test]
+    fn iid_p_one_is_valid_and_errs_all_undetected_for_any_seed() {
+        // p = 1 (every robot silent, deterministically) is a legitimate
+        // distribution: the scenario validates, and every run surfaces
+        // the stable all-undetected error regardless of seed
+        let s = scenario(
+            FaultSampler::IidCrash { p: 1.0 },
+            TargetSampler::LogUniform { lo: 1.0, hi: 1e3 },
+        );
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let err = estimate(&s, &McConfig::with_seed(seed, 50)).unwrap_err();
+            assert!(err.to_string().contains("undetected"), "seed {seed}: {err}");
+        }
+    }
+
+    #[test]
+    fn large_fleets_estimate_beyond_the_old_128_ceiling() {
+        // k = 256 > the retired u128-mask ceiling; q = k + 2
+        let s = Scenario::new(
+            2,
+            256,
+            128,
+            1e6,
+            FaultSampler::WorstCaseSubset { f: 128 },
+            TargetSampler::LogUniform { lo: 1.0, hi: 1e6 },
+        )
+        .unwrap();
+        let base = estimate(&s, &McConfig::with_seed(9, 600)).unwrap();
+        assert_eq!(base.detected, 600);
+        assert!(base.max <= base.closed_form + 1e-9);
+        assert!(base.mean >= 1.0 && base.mean < base.closed_form);
+        // thread-count bit-identity holds at the new fleet sizes
+        for threads in [2usize, 8] {
+            let cfg = McConfig {
+                threads: Some(threads),
+                ..McConfig::with_seed(9, 600)
+            };
+            assert_eq!(estimate(&s, &cfg).unwrap(), base, "threads = {threads}");
+        }
+        // the ceiling itself is enforced at the new value
+        assert!(Scenario::new(
+            2,
+            MAX_FLEET + 1,
+            2049,
+            1e6,
+            FaultSampler::WorstCaseSubset { f: 2049 },
+            TargetSampler::LogUniform { lo: 1.0, hi: 1e6 },
+        )
+        .is_err());
     }
 
     #[test]

@@ -66,5 +66,5 @@ pub mod visits;
 pub use engine::{estimate, ClosedFormComparison, McConfig, McReport, Scenario, MAX_FLEET};
 pub use error::McError;
 pub use estimator::{BatchEstimate, QuantileSketch, Welford};
-pub use sampler::{FaultDraw, FaultSampler, TargetSampler};
+pub use sampler::{FaultDraw, FaultSampler, SilentMask, TargetSampler};
 pub use visits::VisitTable;

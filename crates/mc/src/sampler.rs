@@ -11,8 +11,8 @@
 //! |---|---|---|
 //! | [`FaultSampler::WorstCaseSubset`] | adversarial (no randomness) | `(f+1)`-st distinct visit (the crash adversary) |
 //! | [`FaultSampler::UniformSubset`] | uniform random `f`-subset crashes | first visit by a healthy robot |
-//! | [`FaultSampler::IidCrash`] | each robot crashes i.i.d. w.p. `p` (Bonato et al. 2020) | first visit by a healthy robot |
-//! | [`FaultSampler::ByzantineMix`] | each robot Byzantine i.i.d. w.p. `p` | `(budget+1)`-corroboration (conservative verifier; Byzantine robots stay silent, their worst sound behaviour) |
+//! | [`FaultSampler::IidCrash`] | each robot crashes i.i.d. w.p. `p ∈ [0, 1]` (Bonato et al. 2020) | first visit by a healthy robot |
+//! | [`FaultSampler::ByzantineMix`] | each robot Byzantine i.i.d. w.p. `p ∈ [0, 1]` | `(budget+1)`-corroboration (conservative verifier; Byzantine robots stay silent, their worst sound behaviour) |
 //!
 //! Every sampler reduces to one uniform rule: given the set of *silent*
 //! robots and a count of *needed* confirmations, the detection time of a
@@ -28,12 +28,79 @@ use raysearch_faults::FaultKind;
 
 use crate::McError;
 
+/// A fixed-width bitset over the robots of one fleet, bit `r` set ⇔
+/// robot `r` is silenced for the sample.
+///
+/// Sized for [`MAX_FLEET`](crate::MAX_FLEET) = 4096 robots (the old
+/// `u128` representation capped the engine at `k ≤ 128`). A mask is a
+/// plain `Copy` value, so per-sample draws stay allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_mc::SilentMask;
+///
+/// let mut mask = SilentMask::EMPTY;
+/// mask.set(3);
+/// mask.set(1000); // far beyond the old 128-robot ceiling
+/// assert!(mask.is_silent(1000) && !mask.is_silent(999));
+/// assert_eq!(mask.count_ones(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SilentMask {
+    words: [u64; SilentMask::WORDS],
+}
+
+impl SilentMask {
+    /// Backing words: `64 × 64 = 4096` bits, one per possible robot.
+    const WORDS: usize = 64;
+
+    /// The mask with no robot silenced.
+    pub const EMPTY: SilentMask = SilentMask {
+        words: [0u64; SilentMask::WORDS],
+    };
+
+    /// Silences robot `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r ≥ 4096` (beyond [`MAX_FLEET`](crate::MAX_FLEET)).
+    #[inline]
+    pub fn set(&mut self, r: usize) {
+        self.words[r / 64] |= 1u64 << (r % 64);
+    }
+
+    /// Whether robot `r` is silenced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r ≥ 4096` (beyond [`MAX_FLEET`](crate::MAX_FLEET)).
+    #[inline]
+    pub fn is_silent(&self, r: usize) -> bool {
+        self.words[r / 64] & (1u64 << (r % 64)) != 0
+    }
+
+    /// Number of silenced robots.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+impl std::fmt::Debug for SilentMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let silenced: Vec<usize> = (0..SilentMask::WORDS * 64)
+            .filter(|&r| self.is_silent(r))
+            .collect();
+        write!(f, "SilentMask{silenced:?}")
+    }
+}
+
 /// The per-sample outcome of a fault draw, reduced to the uniform
 /// detection rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultDraw {
     /// Bit `r` set ⇔ robot `r` never reports (crashed or Byzantine-silent).
-    pub silent: u128,
+    pub silent: SilentMask,
     /// Confirmations required before the target counts as detected.
     pub needed: usize,
 }
@@ -64,9 +131,12 @@ pub enum FaultSampler {
     /// Every robot crashes independently with probability `p`, after
     /// "Probabilistically Faulty Searching on a Half-Line" (Bonato
     /// et al. 2020). More than `f` robots may crash, so ratios above the
-    /// budgeted worst case — and undetected targets — are possible.
+    /// budgeted worst case — and undetected targets — are possible. At
+    /// the `p = 1` extreme every robot is silent in every sample, and
+    /// [`estimate`](crate::estimate) reports its stable, deterministic
+    /// all-undetected error.
     IidCrash {
-        /// Per-robot crash probability, in `[0, 1)`.
+        /// Per-robot crash probability, in `[0, 1]`.
         p: f64,
     },
     /// Every robot turns Byzantine independently with probability `p`;
@@ -74,7 +144,7 @@ pub enum FaultSampler {
     /// `budget + 1` corroborating visits, and Byzantine robots stay
     /// silent (their worst behaviour against that rule).
     ByzantineMix {
-        /// Per-robot Byzantine probability, in `[0, 1)`.
+        /// Per-robot Byzantine probability, in `[0, 1]`.
         p: f64,
         /// The verifier's fault budget.
         budget: u32,
@@ -134,7 +204,7 @@ impl FaultSampler {
     /// # Errors
     ///
     /// Returns [`McError::InvalidInput`] if a subset size is not below
-    /// `k`, a probability is outside `[0, 1)`, or a Byzantine budget is
+    /// `k`, a probability is outside `[0, 1]`, or a Byzantine budget is
     /// not below `k`.
     pub fn validate(&self, k: u32) -> Result<(), McError> {
         match *self {
@@ -158,24 +228,33 @@ impl FaultSampler {
         Ok(())
     }
 
-    /// Draws one fault outcome for a fleet of `k` robots (`k ≤ 128`).
+    /// Draws one fault outcome for a fleet of `k` robots
+    /// (`k ≤ `[`MAX_FLEET`](crate::MAX_FLEET)).
+    ///
+    /// The RNG consumption per draw is identical to the historical
+    /// `u128`-mask implementation (one uniform per robot for the
+    /// i.i.d. models, rejection sampling for the subset model), so
+    /// reports for fleets within the old `k ≤ 128` ceiling are
+    /// bit-for-bit unchanged.
     pub fn draw(&self, k: usize, rng: &mut SplitMix64) -> FaultDraw {
-        debug_assert!((1..=128).contains(&k), "fleet size {k} out of mask range");
+        debug_assert!(
+            (1..=crate::MAX_FLEET as usize).contains(&k),
+            "fleet size {k} out of mask range"
+        );
         match *self {
             FaultSampler::WorstCaseSubset { f } => FaultDraw {
-                silent: 0,
+                silent: SilentMask::EMPTY,
                 needed: f as usize + 1,
             },
             FaultSampler::UniformSubset { f } => {
                 // rejection-sample f distinct robots; no allocation, and
                 // the draw count depends only on the rng stream
-                let mut silent = 0u128;
+                let mut silent = SilentMask::EMPTY;
                 let mut chosen = 0u32;
                 while chosen < f {
                     let r = rng.gen_range(0..k);
-                    let bit = 1u128 << r;
-                    if silent & bit == 0 {
-                        silent |= bit;
+                    if !silent.is_silent(r) {
+                        silent.set(r);
                         chosen += 1;
                     }
                 }
@@ -194,21 +273,21 @@ impl FaultSampler {
 }
 
 fn check_probability(p: f64) -> Result<(), McError> {
-    if !(p.is_finite() && (0.0..1.0).contains(&p)) {
+    if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
         return Err(McError::invalid(format!(
-            "fault probability must lie in [0, 1), got {p}"
+            "fault probability must lie in [0, 1], got {p}"
         )));
     }
     Ok(())
 }
 
 /// One Bernoulli(`p`) draw per robot, packed into a mask.
-fn bernoulli_mask(k: usize, p: f64, rng: &mut SplitMix64) -> u128 {
-    let mut mask = 0u128;
+fn bernoulli_mask(k: usize, p: f64, rng: &mut SplitMix64) -> SilentMask {
+    let mut mask = SilentMask::EMPTY;
     for r in 0..k {
         let u: f64 = rng.gen_range(0.0f64..1.0);
         if u < p {
-            mask |= 1u128 << r;
+            mask.set(r);
         }
     }
     mask
@@ -320,7 +399,7 @@ mod tests {
     fn worst_case_is_the_order_statistic_rule() {
         let mut rng = SplitMix64::keyed(1, 0);
         let d = FaultSampler::WorstCaseSubset { f: 2 }.draw(5, &mut rng);
-        assert_eq!(d.silent, 0);
+        assert_eq!(d.silent, SilentMask::EMPTY);
         assert_eq!(d.needed, 3);
     }
 
@@ -332,7 +411,7 @@ mod tests {
             let d = s.draw(8, &mut rng);
             assert_eq!(d.num_silent(), 3, "sample {i}");
             assert_eq!(d.needed, 1);
-            assert!(d.silent < 1u128 << 8);
+            assert!((8..4096).all(|r| !d.silent.is_silent(r)));
         }
     }
 
@@ -346,11 +425,18 @@ mod tests {
         }
         let rate = f64::from(total) / (2000.0 * 4.0);
         assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
-        // p = 0 silences nobody
+        // p = 0 silences nobody, p = 1 silences everybody
         let mut rng = SplitMix64::keyed(11, 0);
         assert_eq!(
             FaultSampler::IidCrash { p: 0.0 }.draw(4, &mut rng).silent,
-            0
+            SilentMask::EMPTY
+        );
+        let mut rng = SplitMix64::keyed(11, 0);
+        assert_eq!(
+            FaultSampler::IidCrash { p: 1.0 }
+                .draw(200, &mut rng)
+                .num_silent(),
+            200
         );
     }
 
@@ -369,7 +455,11 @@ mod tests {
     fn validation_rejects_bad_parameters() {
         assert!(FaultSampler::UniformSubset { f: 4 }.validate(4).is_err());
         assert!(FaultSampler::WorstCaseSubset { f: 1 }.validate(4).is_ok());
-        assert!(FaultSampler::IidCrash { p: 1.0 }.validate(4).is_err());
+        // the closed interval [0, 1] is the valid probability domain:
+        // p = 1 (every robot silent) is a legitimate distribution whose
+        // all-undetected outcome surfaces as estimate()'s stable error
+        assert!(FaultSampler::IidCrash { p: 1.0 }.validate(4).is_ok());
+        assert!(FaultSampler::IidCrash { p: 1.1 }.validate(4).is_err());
         assert!(FaultSampler::IidCrash { p: -0.1 }.validate(4).is_err());
         assert!(FaultSampler::IidCrash { p: f64::NAN }.validate(4).is_err());
         assert!(FaultSampler::ByzantineMix { p: 0.2, budget: 4 }

@@ -14,17 +14,10 @@
 //! [`RayEvaluator::detection_time`](raysearch_core::RayEvaluator::detection_time)
 //! composed over the same robots. The degenerate-sampler tests pin this.
 
-use raysearch_sim::TourItinerary;
+use raysearch_core::FirstVisitPiece;
+use raysearch_sim::{LogTourItinerary, TourItinerary};
 
 use crate::McError;
-
-/// One slope-1 piece: targets in `(lo, hi]` are first visited at `c + x`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Piece {
-    lo: f64,
-    hi: f64,
-    c: f64,
-}
 
 /// The compiled first-visit functions of a whole fleet, indexed by
 /// `(robot, ray)`.
@@ -47,7 +40,7 @@ struct Piece {
 pub struct VisitTable {
     m: usize,
     /// `pieces[robot * m + ray]`, each sorted by strictly increasing `lo`.
-    pieces: Vec<Vec<Piece>>,
+    pieces: Vec<Vec<FirstVisitPiece>>,
 }
 
 impl VisitTable {
@@ -80,7 +73,7 @@ impl VisitTable {
                 let mut prefix = 0.0f64;
                 for e in tour.excursions() {
                     if e.ray.index() == ray && e.turn > reach {
-                        per_ray.push(Piece {
+                        per_ray.push(FirstVisitPiece {
                             lo: reach,
                             hi: e.turn,
                             c: 2.0 * prefix,
@@ -93,6 +86,75 @@ impl VisitTable {
             }
         }
         Ok(VisitTable { m, pieces })
+    }
+
+    /// An empty table over `m` rays, to be filled one robot at a time
+    /// with [`VisitTable::push_log_tour`] — the streaming construction
+    /// path for large fleets, where materializing every log tour at
+    /// once would cost hundreds of megabytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::InvalidInput`] if `m = 0`.
+    pub fn new(m: usize) -> Result<Self, McError> {
+        if m == 0 {
+            return Err(McError::invalid("a ray star must have at least one ray"));
+        }
+        Ok(VisitTable {
+            m,
+            pieces: Vec::new(),
+        })
+    }
+
+    /// Appends one robot's first-visit pieces, compiled from a
+    /// log-domain tour and truncated at `cap` through the *same*
+    /// [`compile_first_visit_pieces`](raysearch_core::compile_first_visit_pieces)
+    /// the exact evaluator uses — the shared compilation is what makes
+    /// the table's answers bit-for-bit identical to the evaluator's.
+    ///
+    /// Construction stops at the first piece reaching past `cap`:
+    /// queries are only valid for `x ≤ cap`, and every piece that can
+    /// answer such a query has `lo < cap`. This is what keeps the
+    /// overflowing post-horizon padding tail of a large fleet out of
+    /// linear space entirely — answers for `x ≤ cap` are bit-for-bit
+    /// identical to a `from_fleet` table of the same (finite) fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::InvalidInput`] if the tour's ray count
+    /// disagrees with the table's, `cap` is not positive and finite, or
+    /// a first-visit constant within the cap overflows `f64` (a horizon
+    /// too deep for the fleet's turning-point growth).
+    pub fn push_log_tour(&mut self, tour: &LogTourItinerary, cap: f64) -> Result<(), McError> {
+        if tour.num_rays() != self.m {
+            return Err(McError::invalid(format!(
+                "tour is for {} rays, table expects {}",
+                tour.num_rays(),
+                self.m
+            )));
+        }
+        let compiled = raysearch_core::compile_first_visit_pieces(tour, cap)
+            .map_err(|e| McError::invalid(format!("first-visit compilation: {e}")))?;
+        self.pieces.extend(compiled);
+        Ok(())
+    }
+
+    /// Compiles a whole fleet of log-domain tours (see
+    /// [`VisitTable::push_log_tour`] for the `cap` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::InvalidInput`] if the fleet is empty, its
+    /// tours disagree on the number of rays, or `cap` is invalid.
+    pub fn from_log_fleet(fleet: &[LogTourItinerary], cap: f64) -> Result<Self, McError> {
+        let Some(first) = fleet.first() else {
+            return Err(McError::invalid("fleet must have at least one robot"));
+        };
+        let mut table = VisitTable::new(first.num_rays())?;
+        for tour in fleet {
+            table.push_log_tour(tour, cap)?;
+        }
+        Ok(table)
     }
 
     /// Number of robots in the compiled fleet.
@@ -189,6 +251,71 @@ mod tests {
         assert!(!bs.is_empty());
         assert!(bs.windows(2).all(|w| w[0] < w[1]));
         assert!(bs.iter().all(|&b| b > 1.0 && b < 400.0));
+    }
+
+    #[test]
+    fn log_fleet_table_answers_bit_for_bit_like_the_linear_one() {
+        let strat = CyclicExponential::optimal(3, 4, 1).unwrap();
+        let linear = VisitTable::from_fleet(&strat.fleet_tours(500.0).unwrap()).unwrap();
+        let log =
+            VisitTable::from_log_fleet(&strat.fleet_log_tours(500.0).unwrap(), 125.0).unwrap();
+        assert_eq!(log.num_robots(), 4);
+        assert_eq!(log.num_rays(), 3);
+        for robot in 0..4 {
+            for ray in 0..3 {
+                for &x in &[1.0, 1.5, 7.3, 41.0, 124.9] {
+                    let a = linear.first_visit(robot, ray, x);
+                    let b = log.first_visit(robot, ray, x);
+                    assert_eq!(
+                        a.map(f64::to_bits),
+                        b.map(f64::to_bits),
+                        "robot {robot}, ray {ray}, x {x}"
+                    );
+                }
+            }
+            for ray in 0..3 {
+                assert_eq!(
+                    linear.boundaries_on_ray(ray, 1.0, 125.0),
+                    log.boundaries_on_ray(ray, 1.0, 125.0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log_fleet_table_handles_formerly_overflowing_fleets() {
+        // k = 149 on the line: the linear fleet does not exist
+        let strat = CyclicExponential::optimal(2, 149, 74).unwrap();
+        assert!(strat.fleet_tours(4e12).is_err());
+        let table =
+            VisitTable::from_log_fleet(&strat.fleet_log_tours(4e12).unwrap(), 1e12).unwrap();
+        assert_eq!(table.num_robots(), 149);
+        // every in-range target is eventually visited by some robot
+        for &x in &[1.0, 1e3, 1e9, 1e12] {
+            assert!(
+                (0..149).any(|r| table.first_visit(r, 0, x).is_some()),
+                "x = {x} unreachable"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_builder_validates() {
+        assert!(VisitTable::new(0).is_err());
+        let mut table = VisitTable::new(2).unwrap();
+        let three_ray = CyclicExponential::optimal(3, 4, 1)
+            .unwrap()
+            .log_tour(raysearch_sim::RobotId(0), 100.0)
+            .unwrap();
+        assert!(table.push_log_tour(&three_ray, 100.0).is_err());
+        let two_ray = CyclicExponential::optimal(2, 3, 1)
+            .unwrap()
+            .log_tour(raysearch_sim::RobotId(0), 100.0)
+            .unwrap();
+        assert!(table.push_log_tour(&two_ray, f64::INFINITY).is_err());
+        assert!(table.push_log_tour(&two_ray, 100.0).is_ok());
+        assert_eq!(table.num_robots(), 1);
+        assert!(VisitTable::from_log_fleet(&[], 10.0).is_err());
     }
 
     #[test]

@@ -38,14 +38,25 @@ pub const DEFAULT_CAMPAIGN_MAX_K: u32 = 4;
 /// Hard ceiling for `/campaign`'s `max_k` — a grid request is served
 /// inline by a worker thread, so its size must stay bounded.
 pub const MAX_CAMPAIGN_MAX_K: u32 = 12;
-/// Serving ceiling for `k` on `/evaluate` and `/verdict`. Fleet size
-/// (and with it memory and compute) grows superlinearly in `k`, so an
-/// unbounded `k` would let a single well-formed request exhaust server
-/// memory. 512 is far above anything the evaluator resolves before
-/// turning points overflow to `inf` (~139 at deep horizons).
-pub const MAX_INSTANCE_K: u32 = 512;
-/// Serving ceiling for `m` on `/evaluate` and `/verdict`.
-pub const MAX_INSTANCE_M: u32 = 128;
+/// Serving ceiling for `k` on `/evaluate` and `/verdict`. The
+/// log-domain evaluation pipeline is finite at any fleet size (the old
+/// linear pipeline overflowed to an error from `k ≈ 139` at deep
+/// horizons), so this is purely a bounded-work ceiling: compute grows
+/// superlinearly in `k`, and one `k = 4096` deep-horizon request is
+/// already seconds of worker time.
+pub const MAX_INSTANCE_K: u32 = 4096;
+/// Serving ceiling for `m` on `/evaluate` and `/verdict` — like
+/// [`MAX_INSTANCE_K`] a bounded-work limit, not a numeric one, raised
+/// from the overflow-era 128. It stays below the `k` ceiling because
+/// per-request memory carries an `m × k` piece table.
+pub const MAX_INSTANCE_M: u32 = 512;
+/// Bounded-work envelope for one inline `/evaluate` / `/verdict`
+/// request: the evaluator walks `k` tours of `O(m·(f+2))` excursions
+/// each, so `k·m·(f+2)` is proportional to worker time. The cap admits
+/// the heaviest supported large-fleet instance (`m = 2`, `k = 4096`,
+/// `f = k−1` ≈ 34M units, seconds of compute) while rejecting shapes
+/// that would tie up a fixed-pool worker for minutes.
+pub const MAX_EVAL_WORK: u64 = 1 << 26;
 /// Serving ceiling for `horizon` on `/evaluate` and `/verdict`.
 pub const MAX_HORIZON: f64 = 1e15;
 /// Default Monte-Carlo sample budget when a `/montecarlo` request omits
@@ -54,6 +65,13 @@ pub const DEFAULT_MC_SAMPLES: u64 = 20_000;
 /// Serving ceiling for `/montecarlo`'s `samples` — one request is served
 /// inline by a worker thread, so its budget must stay bounded.
 pub const MAX_MC_SAMPLES: u64 = 200_000;
+/// Bounded-work envelope for one `/montecarlo` request: each sample
+/// costs one first-visit lookup per robot, so `samples·k` is
+/// proportional to worker time. The cap preserves the historical
+/// heaviest request (200k samples at the old `k = 128` ceiling is
+/// 25.6M) while keeping the raised fleet ceiling honest — `k = 4096`
+/// is served with proportionally smaller sample budgets.
+pub const MAX_MC_WORK: u64 = 1 << 25;
 /// Default master seed when a `/montecarlo` request omits `seed`.
 pub const DEFAULT_MC_SEED: u64 = 1707;
 /// Monte-Carlo samples per cell when `/campaign` runs E11: 12 cells run
@@ -332,7 +350,7 @@ impl ServiceState {
         let params = RequestParams::from(req)?;
         let (m, k, f) = params.instance()?;
         let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
-        check_eval_limits(m, k, horizon)?;
+        check_eval_limits(m, k, f, horizon)?;
         let key = MemoKey::Evaluate {
             m,
             k,
@@ -361,7 +379,7 @@ impl ServiceState {
         let (m, k, f) = params.instance()?;
         let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
         let eps = params.opt_f64("eps")?.unwrap_or(DEFAULT_EPS);
-        check_eval_limits(m, k, horizon)?;
+        check_eval_limits(m, k, f, horizon)?;
         let key = MemoKey::Verdict {
             m,
             k,
@@ -447,7 +465,7 @@ impl ServiceState {
         let params = RequestParams::from(req)?;
         let (m, k, f) = params.instance()?;
         let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
-        check_eval_limits(m, k, horizon)?;
+        check_eval_limits(m, k, f, horizon)?;
         if k > raysearch_mc::MAX_FLEET {
             return Err(ApiError::bad_request(format!(
                 "k {k} exceeds the Monte-Carlo fleet ceiling {}",
@@ -458,6 +476,12 @@ impl ServiceState {
         if samples == 0 || samples > MAX_MC_SAMPLES {
             return Err(ApiError::bad_request(format!(
                 "samples {samples} outside the serving range 1..={MAX_MC_SAMPLES}"
+            )));
+        }
+        let work = samples.saturating_mul(u64::from(k));
+        if work > MAX_MC_WORK {
+            return Err(ApiError::bad_request(format!(
+                "sampling work samples·k = {work} exceeds the serving envelope {MAX_MC_WORK}"
             )));
         }
         let seed = params.opt_u64("seed")?.unwrap_or(DEFAULT_MC_SEED);
@@ -532,8 +556,9 @@ fn wrap(payload: String, cached: bool) -> Response {
 
 /// Rejects instances an inline evaluation must not attempt: fleet
 /// construction cost grows superlinearly in `k` and `m`, so these
-/// ceilings keep one request from exhausting server memory.
-fn check_eval_limits(m: u32, k: u32, horizon: f64) -> Result<(), ApiError> {
+/// ceilings (and the `k·m·(f+2)` work envelope) keep one well-formed
+/// request from exhausting server memory or monopolizing a worker.
+fn check_eval_limits(m: u32, k: u32, f: u32, horizon: f64) -> Result<(), ApiError> {
     if m > MAX_INSTANCE_M {
         return Err(ApiError::bad_request(format!(
             "m {m} exceeds the serving ceiling {MAX_INSTANCE_M}"
@@ -542,6 +567,12 @@ fn check_eval_limits(m: u32, k: u32, horizon: f64) -> Result<(), ApiError> {
     if k > MAX_INSTANCE_K {
         return Err(ApiError::bad_request(format!(
             "k {k} exceeds the serving ceiling {MAX_INSTANCE_K}"
+        )));
+    }
+    let work = u64::from(k) * u64::from(m) * (u64::from(f) + 2);
+    if work > MAX_EVAL_WORK {
+        return Err(ApiError::bad_request(format!(
+            "instance work k·m·(f+2) = {work} exceeds the serving envelope {MAX_EVAL_WORK}"
         )));
     }
     // NaN falls through here; canonicalization rejects it right after

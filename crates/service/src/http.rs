@@ -37,6 +37,11 @@ pub enum HttpError {
     Malformed(String),
     /// The request exceeds one of the hard limits (413-worthy).
     TooLarge(String),
+    /// A body-bearing method arrived without `Content-Length`
+    /// (411-worthy): the server cannot know where the entity ends, and
+    /// guessing "no body" would desynchronize the keep-alive stream —
+    /// the entity's bytes would be misparsed as the next request line.
+    LengthRequired(String),
     /// Transport-level I/O failure (includes read timeouts).
     Io(std::io::Error),
 }
@@ -47,6 +52,7 @@ impl fmt::Display for HttpError {
             HttpError::Closed => write!(f, "connection closed"),
             HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
             HttpError::TooLarge(why) => write!(f, "request too large: {why}"),
+            HttpError::LengthRequired(why) => write!(f, "length required: {why}"),
             HttpError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -226,8 +232,19 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
             v.parse::<usize>()
                 .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))
         })
-        .transpose()?
-        .unwrap_or(0);
+        .transpose()?;
+    // body-bearing methods must declare their length: defaulting to "no
+    // body" would leave any actual entity bytes in the stream to be
+    // misparsed as the next keep-alive request (or stall the reader)
+    let content_length = match content_length {
+        Some(n) => n,
+        None if matches!(method, "POST" | "PUT" | "PATCH") => {
+            return Err(HttpError::LengthRequired(format!(
+                "{method} requests must carry a Content-Length header"
+            )))
+        }
+        None => 0,
+    };
     if content_length > MAX_BODY {
         return Err(HttpError::TooLarge(format!(
             "body of {content_length} bytes exceeds {MAX_BODY}"
@@ -280,6 +297,7 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            411 => "Length Required",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -433,6 +451,22 @@ mod tests {
         // identity is a no-op and stays accepted
         let req = parse(b"GET /healthz HTTP/1.1\r\nTransfer-Encoding: identity\r\n\r\n").unwrap();
         assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn post_without_content_length_is_length_required() {
+        for method in ["POST", "PUT", "PATCH"] {
+            let wire = format!("{method} /evaluate HTTP/1.1\r\nHost: x\r\n\r\n");
+            assert!(
+                matches!(parse(wire.as_bytes()), Err(HttpError::LengthRequired(_))),
+                "{method} without Content-Length must be 411-worthy"
+            );
+        }
+        // explicit zero-length bodies remain fine…
+        let req = parse(b"POST /evaluate HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert!(req.body.is_empty());
+        // …and GET stays exempt (no entity expected)
+        assert!(parse(b"GET /healthz HTTP/1.1\r\n\r\n").is_ok());
     }
 
     #[test]

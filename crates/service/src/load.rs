@@ -53,15 +53,17 @@ pub fn request_mix() -> Vec<(&'static str, String)> {
     .map(|&(m, k, f)| evaluate(m, k, f, BENCH_HORIZON))
     .collect();
     // q = k + 1 fleets: the slowest-growing bases, hence the most
-    // turning points within the horizon — the expensive tail of traffic
-    // (k beyond ~139 overflows the turning points to inf at this depth)
+    // turning points within the horizon — the expensive tail of
+    // traffic. The log-domain pipeline keeps these finite well past the
+    // old k ≈ 139 linear-overflow wall, so the mix now reaches into the
+    // formerly unservable large-fleet regime.
     for (m, k, f) in [
         (2, 79, 39),
-        (2, 89, 44),
         (2, 99, 49),
-        (2, 109, 54),
-        (2, 119, 59),
         (2, 129, 64),
+        (2, 149, 74),
+        (2, 199, 99),
+        (2, 257, 128),
         (3, 61, 20),
         (4, 62, 15),
     ] {

@@ -220,6 +220,67 @@ pub fn run_probe(addr: &str) -> Result<Vec<CheckLine>, String> {
     )?;
     pass("montecarlo: invalid fault model rejected, cache counters untouched".to_owned());
 
+    // 13. iid crash p = 1.0 (every robot silent): a *valid* scenario
+    // whose deterministic all-undetected outcome must surface as an
+    // uncached 4xx — each identical retry recomputes (miss counters
+    // move, hit and entry counters do not), proving errors never enter
+    // the cache
+    let (_, stats_before) = fetch_json(addr, "GET", "/stats", None)?;
+    let p1_body = r#"{"m":2,"k":3,"f":1,"faults":"iid","p":1.0,"samples":100,"seed":5}"#;
+    for round in ["first", "second"] {
+        let (status, doc) = fetch_json(addr, "POST", "/montecarlo", Some(p1_body))?;
+        expect(
+            status == 400
+                && doc.get("cached").is_none()
+                && doc
+                    .get("error")
+                    .and_then(Value::as_str)
+                    .is_some_and(|e| e.contains("undetected")),
+            &format!("{round} p=1.0 montecarlo should be an uncached all-undetected 400"),
+            &doc,
+        )?;
+    }
+    let (_, stats_after) = fetch_json(addr, "GET", "/stats", None)?;
+    expect(
+        cache_hits(&stats_after) == cache_hits(&stats_before)
+            && cache_misses(&stats_after) == cache_misses(&stats_before) + 2
+            && cache_entries(&stats_after) == cache_entries(&stats_before),
+        "p=1.0 runs must recompute every time and cache nothing",
+        &stats_after,
+    )?;
+    pass("montecarlo: iid p=1.0 is a stable uncached 400 (miss counters advance)".to_owned());
+
+    // 14. large fleets past the old k ≈ 139 overflow wall evaluate to
+    // finite ratios at the closed form, and the trivial regime serves
+    // ratio 1 under the raised k ceiling
+    let body = r#"{"m":2,"k":256,"f":128,"horizon":1e6}"#;
+    let (status, doc) = fetch_json(addr, "POST", "/evaluate", Some(body))?;
+    expect(status == 200, "large-fleet evaluate should be 200", &doc)?;
+    let theory = raysearch_bounds::a_rays(2, 256, 128).expect("(2,256,128) is searchable");
+    let ratio = result_of(&doc)?
+        .get("report")
+        .and_then(|r| r.get("ratio"))
+        .and_then(Value::as_f64);
+    expect(
+        ratio.is_some_and(|r| r.is_finite() && ((r - theory) / theory).abs() < 1e-6),
+        &format!("k=256 ratio should be finite at the closed form {theory}"),
+        &doc,
+    )?;
+    let trivial = r#"{"m":2,"k":512,"f":1,"horizon":1e6}"#;
+    let (status, doc) = fetch_json(addr, "POST", "/evaluate", Some(trivial))?;
+    let one = result_of(&doc)?
+        .get("report")
+        .and_then(|r| r.get("ratio"))
+        .and_then(Value::as_f64);
+    expect(
+        status == 200 && one.is_some_and(|r| (r - 1.0).abs() < 1e-12),
+        "trivial-regime evaluate should serve ratio 1",
+        &doc,
+    )?;
+    pass(format!(
+        "evaluate: k=256 fleet finite at Λ = {theory:.6}; trivial k=512 serves ratio 1"
+    ));
+
     Ok(lines)
 }
 
@@ -237,6 +298,15 @@ fn cache_misses(stats: &Value) -> u64 {
     stats
         .get("cache")
         .and_then(|c| c.get("misses"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// The resident-entry counter of a `/stats` document.
+fn cache_entries(stats: &Value) -> u64 {
+    stats
+        .get("cache")
+        .and_then(|c| c.get("entries"))
         .and_then(Value::as_u64)
         .unwrap_or(0)
 }

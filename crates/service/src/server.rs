@@ -244,6 +244,12 @@ fn handle_connection(stream: TcpStream, state: &ServiceState, timeout: Duration)
                 let _ = Response::error(400, &why).write_to(&mut writer, false);
                 return;
             }
+            Err(HttpError::LengthRequired(why)) => {
+                // close rather than keep alive: without a length we do
+                // not know where (or if) the entity ends in the stream
+                let _ = Response::error(411, &why).write_to(&mut writer, false);
+                return;
+            }
             Err(HttpError::TooLarge(why)) => {
                 let _ = Response::error(413, &why).write_to(&mut writer, false);
                 return;

@@ -206,7 +206,22 @@ fn error_paths_are_well_formed_json() {
             Some(r#"{"k":3,"f":1,"horizon":1e30}"#),
             400,
         ),
-        ("POST", "/verdict", Some(r#"{"m":1000,"k":3,"f":1}"#), 400),
+        ("POST", "/verdict", Some(r#"{"m":100000,"k":3,"f":1}"#), 400),
+        // within the m/k ceilings but outside the k·m·(f+2) work
+        // envelope: one request must not monopolize a worker
+        (
+            "POST",
+            "/evaluate",
+            Some(r#"{"m":512,"k":511,"f":500}"#),
+            400,
+        ),
+        // same principle for /montecarlo: the samples·k envelope
+        (
+            "POST",
+            "/montecarlo",
+            Some(r#"{"m":2,"k":4096,"f":4095,"samples":200000}"#),
+            400,
+        ),
     ] {
         let (status, doc) = fetch_json(&addr, method, path, body).unwrap();
         assert_eq!(status, want, "{method} {path} {body:?}");
@@ -356,6 +371,72 @@ fn concurrent_clients_get_consistent_answers() {
             });
         }
     });
+    handle.shutdown();
+}
+
+#[test]
+fn post_without_content_length_gets_a_clean_411() {
+    use std::io::{Read, Write};
+
+    let (handle, addr) = spawn_server();
+    // a raw socket, below HttpClient: the client always sends
+    // Content-Length, and this test exists precisely to cover peers
+    // that do not
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /evaluate HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\n\r\n{\"k\":3,\"f\":1}")
+        .unwrap();
+    // the server must answer 411 immediately (no stall waiting for an
+    // entity it cannot delimit) and close, never misparsing the stray
+    // body bytes as a second request
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(
+        response.starts_with("HTTP/1.1 411 Length Required\r\n"),
+        "expected 411, got: {response:?}"
+    );
+    assert!(response.contains("Connection: close"));
+    assert!(response.contains("Content-Length"));
+    assert_eq!(
+        response.matches("HTTP/1.1").count(),
+        1,
+        "body bytes must not be parsed as a second request: {response:?}"
+    );
+
+    // the server stays healthy for well-formed traffic afterwards
+    let (status, _) = fetch_json(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn large_fleet_evaluate_end_to_end() {
+    let (handle, addr) = spawn_server();
+    // k = 199 was unservable before the log-domain core (turn points
+    // overflowed to an error); now it serves the closed form exactly
+    let body = r#"{"m":2,"k":199,"f":99,"horizon":1e6}"#;
+    let (status, doc) = fetch_json(&addr, "POST", "/evaluate", Some(body)).unwrap();
+    assert_eq!(status, 200);
+    let ratio = result_of(&doc)
+        .get("report")
+        .and_then(|r| r.get("ratio"))
+        .and_then(Value::as_f64)
+        .expect("large-fleet evaluate returns a ratio");
+    let theory = raysearch_bounds::a_rays(2, 199, 99).unwrap();
+    assert!(
+        ratio.is_finite() && ((ratio - theory) / theory).abs() < 1e-6,
+        "{ratio} vs {theory}"
+    );
+    // and the repeat is a byte-identical cache hit
+    let (_, doc2) = fetch_json(&addr, "POST", "/evaluate", Some(body)).unwrap();
+    assert_eq!(doc2.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        result_of(&doc).to_json_string(),
+        result_of(&doc2).to_json_string()
+    );
     handle.shutdown();
 }
 

@@ -12,8 +12,10 @@
 //! and 6 forbids improving. Away from `α*`, the ratio is
 //! `2·α^q/(α^k−1) + 1`; experiment E5 sweeps `α` to exhibit the minimum.
 
-use raysearch_bounds::{optimal_alpha, RayInstance, Regime};
-use raysearch_sim::{Direction, Excursion, LineItinerary, RayId, RobotId, TourItinerary};
+use raysearch_bounds::{optimal_alpha, LogScaled, RayInstance, Regime};
+use raysearch_sim::{
+    Direction, LineItinerary, LogExcursion, LogTourItinerary, RayId, RobotId, TourItinerary,
+};
 
 use crate::{LineStrategy, RayStrategy, StrategyError};
 
@@ -113,11 +115,95 @@ impl CyclicExponential {
         RayId::new_unvalidated(n.rem_euclid(i64::from(self.m)) as usize)
     }
 
-    /// Turning distance of robot `r` (0-based) on excursion `n`:
-    /// `α^(k·n + m·(r+1))`.
-    fn turn_of(&self, robot: usize, n: i64) -> f64 {
+    /// Natural log of the turning distance of robot `r` (0-based) on
+    /// excursion `n`: `(k·n + m·(r+1)) · ln α`. This is the primary
+    /// representation — the exponent grows linearly in `k·n`, so the
+    /// linear-space magnitude `α^(k·n + m·(r+1))` overflows `f64` long
+    /// before the tour contract's post-horizon padding is satisfied on
+    /// large fleets (k ≳ 139 at deep horizons).
+    fn turn_ln_of(&self, robot: usize, n: i64) -> f64 {
         let expo = f64::from(self.k) * n as f64 + f64::from(self.m) * (robot as f64 + 1.0);
-        (expo * self.alpha.ln()).exp()
+        expo * self.alpha.ln()
+    }
+
+    /// The finite log-domain tour of one robot, valid for targets up to
+    /// `horizon` — the overflow-proof form of [`RayStrategy::tour`].
+    ///
+    /// Turn points are generated and stored as logarithms; nothing here
+    /// ever materializes `α^i` in linear space, so the tour exists for
+    /// any fleet size. Wherever the linear tour is finite, its turns
+    /// are exactly the saturating extraction of these (`tour` is
+    /// implemented on top of this method).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidHorizon`] for a non-finite or
+    /// sub-unit horizon and [`StrategyError::InvalidParameters`] for an
+    /// out-of-range robot index.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use raysearch_sim::RobotId;
+    /// use raysearch_strategies::CyclicExponential;
+    ///
+    /// // k = 139 overflows the linear tour; the log tour is fine
+    /// let s = CyclicExponential::optimal(2, 139, 69)?;
+    /// let tour = s.log_tour(RobotId(0), 1e12)?;
+    /// assert!(tour.to_linear().is_err());
+    /// assert!(tour.len() > 140);
+    /// # Ok::<(), raysearch_strategies::StrategyError>(())
+    /// ```
+    pub fn log_tour(
+        &self,
+        robot: RobotId,
+        horizon: f64,
+    ) -> Result<LogTourItinerary, StrategyError> {
+        StrategyError::check_horizon(horizon)?;
+        if robot.index() >= self.k as usize {
+            return Err(StrategyError::invalid(format!(
+                "robot index {} out of range for k = {}",
+                robot.index(),
+                self.k
+            )));
+        }
+        // The paper starts at j = -2, i.e. excursion n0 = 1 - 2m, which
+        // guarantees every robot has swept every ray before distance 1.
+        let n0 = 1 - 2 * i64::from(self.m);
+        let mut excursions = Vec::new();
+        // Per-ray count of excursions whose turn already exceeds the
+        // horizon; we stop once every ray has f+2 of them, which makes all
+        // (f+1)-st distinct-robot visit times below the horizon final.
+        let needed = self.f as usize + 2;
+        let mut beyond = vec![0usize; self.m as usize];
+        let mut n = n0;
+        while beyond.iter().any(|&c| c < needed) {
+            let ray = self.ray_of(n);
+            let ln_turn = self.turn_ln_of(robot.index(), n);
+            excursions.push(
+                LogExcursion::new(ray, LogScaled::from_ln(ln_turn))
+                    .expect("finite exponent times finite ln(alpha) is a valid log turn"),
+            );
+            // same comparison the linear pipeline made: the extraction
+            // saturates to inf past f64::MAX, which still counts as
+            // beyond any finite horizon
+            if ln_turn.exp() >= horizon {
+                beyond[ray.index()] += 1;
+            }
+            n += 1;
+        }
+        Ok(LogTourItinerary::new(self.m as usize, excursions)?)
+    }
+
+    /// Log-domain tours for the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing robot's error.
+    pub fn fleet_log_tours(&self, horizon: f64) -> Result<Vec<LogTourItinerary>, StrategyError> {
+        (0..self.k as usize)
+            .map(|r| self.log_tour(RobotId(r), horizon))
+            .collect()
     }
 
     /// Restriction of this strategy to the line (`m = 2`), with ray `0`
@@ -160,35 +246,12 @@ impl RayStrategy for CyclicExponential {
         self.k as usize
     }
 
+    /// The linear-space view of [`CyclicExponential::log_tour`]: same
+    /// turn points bit-for-bit wherever they fit `f64`, an
+    /// invalid-distance error where they overflow (large fleets at deep
+    /// horizons — use `log_tour` there).
     fn tour(&self, robot: RobotId, horizon: f64) -> Result<TourItinerary, StrategyError> {
-        StrategyError::check_horizon(horizon)?;
-        if robot.index() >= self.k as usize {
-            return Err(StrategyError::invalid(format!(
-                "robot index {} out of range for k = {}",
-                robot.index(),
-                self.k
-            )));
-        }
-        // The paper starts at j = -2, i.e. excursion n0 = 1 - 2m, which
-        // guarantees every robot has swept every ray before distance 1.
-        let n0 = 1 - 2 * i64::from(self.m);
-        let mut excursions = Vec::new();
-        // Per-ray count of excursions whose turn already exceeds the
-        // horizon; we stop once every ray has f+2 of them, which makes all
-        // (f+1)-st distinct-robot visit times below the horizon final.
-        let needed = self.f as usize + 2;
-        let mut beyond = vec![0usize; self.m as usize];
-        let mut n = n0;
-        while beyond.iter().any(|&c| c < needed) {
-            let ray = self.ray_of(n);
-            let turn = self.turn_of(robot.index(), n);
-            excursions.push(Excursion::new(ray, turn)?);
-            if turn >= horizon {
-                beyond[ray.index()] += 1;
-            }
-            n += 1;
-        }
-        Ok(TourItinerary::new(self.m as usize, excursions)?)
+        Ok(self.log_tour(robot, horizon)?.to_linear()?)
     }
 }
 
@@ -351,6 +414,49 @@ mod tests {
                 assert!(beyond >= (f as usize) + 2, "ray {ray} undercovered");
             }
         }
+    }
+
+    #[test]
+    fn log_tour_matches_linear_tour_bit_for_bit() {
+        for (m, k, f) in [(2u32, 3u32, 1u32), (3, 4, 1), (5, 9, 2)] {
+            let s = CyclicExponential::optimal(m, k, f).unwrap();
+            for r in 0..k as usize {
+                let linear = s.tour(RobotId(r), 300.0).unwrap();
+                let log = s.log_tour(RobotId(r), 300.0).unwrap();
+                assert_eq!(linear.len(), log.len());
+                for (a, b) in linear.excursions().iter().zip(log.excursions()) {
+                    assert_eq!(a.ray, b.ray);
+                    assert_eq!(a.turn.to_bits(), b.turn.to_f64().to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_tour_exists_where_the_linear_tour_overflows() {
+        // q = k + 1 on the line: the slowest-growing base, whose
+        // padding tail overflows f64 from k ≈ 139 at deep horizons
+        let s = CyclicExponential::optimal(2, 149, 74).unwrap();
+        assert!(s.tour(RobotId(0), 1e12).is_err(), "linear tour overflows");
+        let tour = s.log_tour(RobotId(0), 1e12).unwrap();
+        // per-excursion growth is exactly k·ln(alpha) in log space
+        let step = f64::from(s.k) * s.alpha().ln();
+        for w in tour.excursions().windows(2) {
+            let got = w[1].turn.ln_abs() - w[0].turn.ln_abs();
+            assert!((got - step).abs() < 1e-6, "growth {got} != {step}");
+        }
+        // the contract holds: each ray has f + 2 excursions past horizon
+        let ln_h = 1e12f64.ln();
+        for ray in 0..2usize {
+            let beyond = tour
+                .excursions()
+                .iter()
+                .filter(|e| e.ray.index() == ray && e.turn.ln_abs() >= ln_h)
+                .count();
+            assert!(beyond >= 76, "ray {ray} has only {beyond} beyond");
+        }
+        // fleet construction scales to every robot
+        assert_eq!(s.fleet_log_tours(1e6).unwrap().len(), 149);
     }
 
     #[test]
