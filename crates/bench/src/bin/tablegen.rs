@@ -21,10 +21,19 @@
 //!   "campaigns": [
 //!     {"id": "e1", "title": "...", "threads": 8, "micros": 12345,
 //!      "cells": 25, "rows": [{"k": 1, "f": 0, ...}, ...]},
+//!     {"id": "e12", ..., "micros": 12345,
+//!      "compile": {"hits": 0, "misses": 24, "entries": 24,
+//!                  "compile_micros": 2345, "evaluate_micros": 10000},
+//!      "rows": [...]},
 //!     ...
 //!   ]
 //! }
 //! ```
+//!
+//! Campaigns that attach a compile memo (E12) also report the
+//! compile/evaluate wall-time split: `compile_micros` is time spent
+//! building [`raysearch_core::CompiledFleet`] artifacts, and
+//! `evaluate_micros` is the remainder of `micros`.
 
 use raysearch_bench::experiments::{self, Config};
 

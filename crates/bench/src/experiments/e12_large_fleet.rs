@@ -15,9 +15,11 @@
 //! error at the `10^-6` scale; the CI large-fleet smoke job asserts
 //! exactly that over the emitted JSON.
 
+use std::sync::Arc;
+
 use raysearch_bounds::{a_rays, RayInstance, Regime};
 use raysearch_core::campaign::{Campaign, ParamGrid};
-use raysearch_core::evaluate_optimal;
+use raysearch_core::{evaluate_optimal_cached, CompileMemo};
 
 /// The fleet sizes of the sweep: doublings from the last size the old
 /// linear pipeline served (128) to the engine ceiling (4096).
@@ -64,6 +66,14 @@ pub struct Row {
 /// sweep — the `k` axis never drops below 128, because smaller fleets
 /// are E1/E4 territory.
 pub fn campaign(max_k: u32, horizon: f64) -> Campaign<Row> {
+    campaign_with_memo(max_k, horizon, Arc::new(CompileMemo::new()))
+}
+
+/// [`campaign`] with a caller-supplied compile memo, so repeated runs
+/// (benchmark iterations, the serving layer) reuse compiled fleets
+/// across campaigns and the run's report carries the compile/evaluate
+/// time split.
+pub fn campaign_with_memo(max_k: u32, horizon: f64, memo: Arc<CompileMemo>) -> Campaign<Row> {
     let cap = max_k.max(FLEET_SIZES[0]);
     let cells: Vec<(u32, u32)> = FLEET_SIZES
         .iter()
@@ -74,6 +84,7 @@ pub fn campaign(max_k: u32, horizon: f64) -> Campaign<Row> {
         &["k", "f"],
         cells.iter().map(|&(k, f)| vec![k.into(), f.into()]),
     );
+    let cell_memo = Arc::clone(&memo);
     Campaign::new(
         "e12",
         "Large fleets: exact ratio vs Λ(q/k) across the formerly-overflowing range",
@@ -83,7 +94,7 @@ pub fn campaign(max_k: u32, horizon: f64) -> Campaign<Row> {
             let instance = RayInstance::new(2, k, f).expect("validated");
             debug_assert!(matches!(instance.regime(), Regime::Searchable { .. }));
             let closed_form = a_rays(2, k, f).expect("E12 sweeps only the searchable band");
-            let report = evaluate_optimal(2, k, f, horizon)
+            let report = evaluate_optimal_cached(&cell_memo, 2, k, f, horizon)
                 .expect("the log-domain pipeline is finite at any fleet size");
             Row {
                 m: 2,
@@ -98,6 +109,7 @@ pub fn campaign(max_k: u32, horizon: f64) -> Campaign<Row> {
             }
         },
     )
+    .with_compile_memo(memo)
 }
 
 /// Runs E12 up to fleet size `max(max_k, 128)` at `horizon`.
@@ -169,5 +181,30 @@ mod tests {
         assert_eq!(report.rows().len(), 4);
         let text = report.render_text();
         assert!(text.contains("closed_form") && text.contains("rel_err"));
+    }
+
+    #[test]
+    fn shared_memo_makes_the_second_run_all_hits_with_identical_rows() {
+        let memo = Arc::new(CompileMemo::new());
+        let cold = campaign_with_memo(128, 1e5, Arc::clone(&memo))
+            .threads(Some(2))
+            .run();
+        let cold_stats = cold.compile.expect("memo attached");
+        assert_eq!(cold_stats.hits, 0, "first run compiles everything");
+        assert_eq!(cold_stats.misses, 4, "one distinct α per (k, f) cell");
+        let warm = campaign_with_memo(128, 1e5, Arc::clone(&memo))
+            .threads(Some(2))
+            .run();
+        let warm_stats = warm.compile.expect("memo attached");
+        assert_eq!(warm_stats.misses, 0, "second run compiles nothing");
+        assert_eq!(warm_stats.hits, 4);
+        for (a, b) in cold.rows().zip(warm.rows()) {
+            assert_eq!(a.measured.to_bits(), b.measured.to_bits());
+            assert_eq!(a.breakpoints, b.breakpoints);
+        }
+        // the default entry point is bit-identical to the memoized one
+        for (a, b) in run(1, 1e5).iter().zip(cold.rows()) {
+            assert_eq!(a.measured.to_bits(), b.measured.to_bits());
+        }
     }
 }

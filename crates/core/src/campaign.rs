@@ -48,10 +48,12 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde_json::Value;
 
+use crate::compiled::{CompileMemo, CompileStats};
 use crate::sweep::{default_parallelism, par_map_threads};
 
 /// One coordinate value of a grid cell.
@@ -334,6 +336,7 @@ pub struct Campaign<R> {
     title: String,
     grid: ParamGrid,
     threads: Option<usize>,
+    memo: Option<Arc<CompileMemo>>,
     cell_fn: Box<dyn Fn(&Cell) -> R + Send + Sync>,
 }
 
@@ -344,6 +347,7 @@ impl<R> fmt::Debug for Campaign<R> {
             .field("title", &self.title)
             .field("grid", &self.grid)
             .field("threads", &self.threads)
+            .field("memo", &self.memo.is_some())
             .finish()
     }
 }
@@ -361,6 +365,7 @@ impl<R: Send> Campaign<R> {
             title: title.into(),
             grid,
             threads: None,
+            memo: None,
             cell_fn: Box::new(cell_fn),
         }
     }
@@ -369,6 +374,20 @@ impl<R: Send> Campaign<R> {
     /// `Some(1)` = sequential). Rows come back in grid order either way.
     pub fn threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches the compile memo the cell closure routes through, so the
+    /// run can report the compile/evaluate time split and hit counters.
+    ///
+    /// The campaign never compiles anything itself: the closure decides
+    /// what to cache (typically by calling
+    /// [`evaluate_optimal_cached`](crate::evaluate_optimal_cached) with a
+    /// clone of the same `Arc`). Attaching the memo here only makes the
+    /// run snapshot its [`CompileStats`] before and after, attributing
+    /// the delta to this run.
+    pub fn with_compile_memo(mut self, memo: Arc<CompileMemo>) -> Self {
+        self.memo = Some(memo);
         self
     }
 
@@ -402,6 +421,7 @@ impl<R: Send> Campaign<R> {
             .threads
             .unwrap_or_else(default_parallelism)
             .clamp(1, cells.len().max(1));
+        let before = self.memo.as_ref().map(|m| m.stats());
         let started = Instant::now();
         let results = par_map_threads(&cells, Some(threads), |cell| {
             let cell_started = Instant::now();
@@ -412,11 +432,17 @@ impl<R: Send> Campaign<R> {
                 row,
             }
         });
+        let micros = started.elapsed().as_micros() as u64;
+        let compile = before
+            .as_ref()
+            .zip(self.memo.as_ref())
+            .map(|(before, memo)| memo.stats().since(before));
         CampaignRun {
             id: self.id.clone(),
             title: self.title.clone(),
             threads,
-            micros: started.elapsed().as_micros() as u64,
+            micros,
+            compile,
             results,
         }
     }
@@ -445,6 +471,9 @@ pub struct CampaignRun<R> {
     pub threads: usize,
     /// Total wall-clock microseconds for the whole run.
     pub micros: u64,
+    /// Compile-memo activity attributed to this run, when a memo was
+    /// attached via [`Campaign::with_compile_memo`].
+    pub compile: Option<CompileStats>,
     /// Per-cell results in grid order.
     pub results: Vec<CellResult<R>>,
 }
@@ -484,6 +513,7 @@ impl<R: serde::Serialize> CampaignRun<R> {
             title: self.title.clone(),
             threads: self.threads,
             micros: self.micros,
+            compile: self.compile,
             rows: self
                 .results
                 .iter()
@@ -501,6 +531,7 @@ pub struct Report {
     title: String,
     threads: usize,
     micros: u64,
+    compile: Option<CompileStats>,
     rows: Vec<Value>,
 }
 
@@ -523,6 +554,12 @@ impl Report {
     /// Total wall-clock microseconds of the run.
     pub fn micros(&self) -> u64 {
         self.micros
+    }
+
+    /// Compile-memo activity attributed to the run, when one was
+    /// attached.
+    pub fn compile(&self) -> Option<&CompileStats> {
+        self.compile.as_ref()
     }
 
     /// The serialized rows, one JSON object per grid cell, in grid
@@ -582,7 +619,9 @@ impl Report {
     }
 
     /// Serializes the whole report as one JSON object:
-    /// `{id, title, threads, micros, cells, rows}`.
+    /// `{id, title, threads, micros, cells, rows}`, plus a `compile`
+    /// object (`{hits, misses, entries, compile_micros,
+    /// evaluate_micros}`) when a compile memo was attached to the run.
     pub fn to_value(&self) -> Value {
         let mut map = serde_json::Map::new();
         map.insert("id".to_owned(), Value::String(self.id.clone()));
@@ -593,6 +632,31 @@ impl Report {
             serde_json::to_value(self.micros).expect("u64 serializes"),
         );
         map.insert("cells".to_owned(), Value::Int(self.rows.len() as i64));
+        if let Some(compile) = &self.compile {
+            let mut split = serde_json::Map::new();
+            split.insert(
+                "hits".to_owned(),
+                serde_json::to_value(compile.hits).expect("u64 serializes"),
+            );
+            split.insert(
+                "misses".to_owned(),
+                serde_json::to_value(compile.misses).expect("u64 serializes"),
+            );
+            split.insert(
+                "entries".to_owned(),
+                serde_json::to_value(compile.entries).expect("u64 serializes"),
+            );
+            split.insert(
+                "compile_micros".to_owned(),
+                serde_json::to_value(compile.compile_micros).expect("u64 serializes"),
+            );
+            split.insert(
+                "evaluate_micros".to_owned(),
+                serde_json::to_value(self.micros.saturating_sub(compile.compile_micros))
+                    .expect("u64 serializes"),
+            );
+            map.insert("compile".to_owned(), Value::Object(split));
+        }
         map.insert("rows".to_owned(), Value::Array(self.rows.clone()));
         Value::Object(map)
     }
@@ -856,6 +920,48 @@ mod tests {
             }
             other => panic!("row not an object: {other:?}"),
         }
+    }
+
+    #[test]
+    fn attached_memo_stats_flow_into_run_report_and_json() {
+        use crate::evaluate_optimal_cached;
+
+        let memo = Arc::new(CompileMemo::new());
+        let grid = ParamGrid::new().axis_u32("f", [1u32, 3, 7]);
+        let cell_memo = Arc::clone(&memo);
+        // trivial-regime cells: the zone fleet is f-free, one compile
+        let campaign = Campaign::new("memo", "shared geometry", grid, move |cell| {
+            let f = cell.get_u32("f");
+            let r = evaluate_optimal_cached(&cell_memo, 2, 512, f, 1e4).unwrap();
+            DemoRow {
+                k: 512,
+                f,
+                ratio: r.ratio,
+                note: None,
+            }
+        })
+        .threads(Some(2))
+        .with_compile_memo(Arc::clone(&memo));
+        let run = campaign.run();
+        let compile = run.compile.expect("memo attached, stats recorded");
+        assert_eq!((compile.misses, compile.hits), (1, 2));
+        let report = run.report();
+        assert_eq!(report.compile(), Some(&compile));
+        let doc = report.to_value();
+        let split = match doc.get("compile") {
+            Some(Value::Object(map)) => map,
+            other => panic!("compile split missing: {other:?}"),
+        };
+        assert_eq!(
+            split.get("misses"),
+            serde_json::to_value(1u64).ok().as_ref()
+        );
+        assert!(split.contains_key("compile_micros"));
+        assert!(split.contains_key("evaluate_micros"));
+        // without a memo the key is absent and the run records nothing
+        let bare = demo_campaign().threads(Some(1)).run();
+        assert!(bare.compile.is_none());
+        assert!(bare.report().to_value().get("compile").is_none());
     }
 
     #[test]

@@ -19,6 +19,8 @@ use raysearch_bounds::{RayInstance, Regime};
 use raysearch_sim::{Direction, LineItinerary, LogTourItinerary, RobotId, TourItinerary};
 use raysearch_strategies::{CyclicExponential, RayStrategy, ZonePartition};
 
+use crate::canon::CanonF64;
+use crate::compiled::{CompileCache, CompiledFleet, FleetBuilder, FleetKey, NoCache};
 use crate::CoreError;
 
 /// One slope-1 piece of a first-visit function: targets in `(lo, hi]`
@@ -178,11 +180,6 @@ impl Pieces {
         let p = &self.pieces[idx - 1];
         (x <= p.hi).then_some(p.c)
     }
-
-    /// All piece boundaries (both endpoints).
-    fn boundaries(&self) -> impl Iterator<Item = f64> + '_ {
-        self.pieces.iter().flat_map(|p| [p.lo, p.hi])
-    }
 }
 
 /// The target realizing (in the limit) the worst-case ratio.
@@ -269,6 +266,29 @@ impl EvalReport {
 /// a first-visit constant within range overflows `f64` (possible only
 /// within a factor `α^(k·m)` of `f64::MAX`).
 pub fn evaluate_optimal(m: u32, k: u32, f: u32, horizon: f64) -> Result<EvalReport, CoreError> {
+    evaluate_optimal_cached(&NoCache, m, k, f, horizon)
+}
+
+/// [`evaluate_optimal`] with an explicit compile cache: the fleet's
+/// compiled artifact is fetched through `cache` (keyed by its `f`-free
+/// [`FleetKey`]), so repeated evaluations over shared geometry — an
+/// η-sweep at fixed `k`, a service answering many `f`s, a verdict
+/// following an evaluation — compile once.
+///
+/// The report is bit-identical to [`evaluate_optimal`]'s for every
+/// `(m, k, f, horizon)` regardless of the cache's hit pattern: the
+/// artifact holds exactly the pieces a fresh compilation produces.
+///
+/// # Errors
+///
+/// As [`evaluate_optimal`]; build errors propagate uncached.
+pub fn evaluate_optimal_cached<C: CompileCache>(
+    cache: &C,
+    m: u32,
+    k: u32,
+    f: u32,
+    horizon: f64,
+) -> Result<EvalReport, CoreError> {
     // the fleet prefix must extend past the horizon so every target in
     // range lies strictly inside covered territory; validate *before*
     // the padding multiplications can turn a finite horizon into inf
@@ -279,22 +299,42 @@ pub fn evaluate_optimal(m: u32, k: u32, f: u32, horizon: f64) -> Result<EvalRepo
     let padded = horizon * 4.0;
     let instance = RayInstance::new(m, k, f)?;
     if instance.regime() == Regime::Trivial {
-        let fleet = ZonePartition::new(m, k, f)?.fleet_tours(padded)?;
-        return RayEvaluator::new(m as usize, f, 1.0, horizon)?.evaluate(&fleet);
+        // the zone-partition tours depend only on (m, k, cap): every
+        // trivial-regime f shares one artifact
+        let key = FleetKey::Zone {
+            m,
+            k,
+            cap: CanonF64::new(padded)?,
+        };
+        let fleet = cache.get_or_compile(key, &mut || {
+            let tours = ZonePartition::new(m, k, f)?.fleet_tours(padded)?;
+            let mut builder = FleetBuilder::new(m as usize, padded)?;
+            for tour in &tours {
+                builder.push_tour(tour)?;
+            }
+            Ok(builder.finish())
+        })?;
+        return RayEvaluator::new(m as usize, f, 1.0, horizon)?.evaluate_compiled(&fleet);
     }
     // searchable — or impossible, which the strategy constructor rejects
     let strategy = CyclicExponential::optimal(m, k, f)?;
     let evaluator = RayEvaluator::new(m as usize, f, 1.0, horizon)?;
-    // stream one log tour at a time: only the bounded in-range pieces
-    // are kept, so peak memory is independent of the padding tail
-    let mut per_ray: Vec<Vec<Pieces>> = (0..m as usize)
-        .map(|_| Vec::with_capacity(k as usize))
-        .collect();
-    for r in 0..k as usize {
-        let tour = strategy.log_tour(RobotId(r), padded)?;
-        evaluator.push_log_pieces(&mut per_ray, &tour)?;
-    }
-    Ok(evaluator.sup_of_compiled(&per_ray))
+    let key = FleetKey::Cyclic {
+        m,
+        k,
+        alpha: CanonF64::new(strategy.alpha())?,
+        cap: CanonF64::new(horizon)?,
+    };
+    let fleet = cache.get_or_compile(key, &mut || {
+        // one bounded tour prefix at a time: peak memory stays
+        // independent of the post-horizon padding tail
+        let mut builder = FleetBuilder::new(m as usize, horizon)?;
+        for r in 0..k as usize {
+            builder.push_log_tour(&strategy.log_tour_prefix(RobotId(r), horizon)?)?;
+        }
+        Ok(builder.finish())
+    })?;
+    evaluator.evaluate_compiled(&fleet)
 }
 
 fn check_range(lo: f64, hi: f64) -> Result<(), CoreError> {
@@ -333,27 +373,127 @@ impl SupAccum {
 }
 
 /// Core sup computation over one domain (side or ray) given per-robot
-/// piece functions.
+/// piece functions: flattens the lists and delegates to the event-sweep
+/// engine (robot identity is irrelevant to the order statistic, so the
+/// sweep never needs to know which piece came from whom).
 fn sup_over_domain(per_robot: &[Pieces], f: u32, lo: f64, hi: f64, ray: usize, acc: &mut SupAccum) {
+    let mut flat: Vec<FirstVisitPiece> = Vec::new();
+    for p in per_robot {
+        flat.extend_from_slice(&p.pieces);
+    }
+    sup_over_flat_pieces(&flat, f, lo, hi, ray, acc);
+}
+
+/// A Fenwick (binary indexed) tree of counts over compressed constant
+/// indices, supporting point updates and order-statistic selection.
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Adds `delta` to index `i` (0-based).
+    fn add(&mut self, i: usize, delta: i64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// The smallest 0-based index whose prefix count reaches `k`
+    /// (1-based rank). Precondition: the total count is at least `k`.
+    fn select(&self, mut k: i64) -> usize {
+        let n = self.tree.len() - 1;
+        let mut pos = 0usize;
+        let mut mask = n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= n && self.tree[next] < k {
+                k -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos
+    }
+}
+
+/// The event-sweep sup engine over one ray's flattened piece multiset.
+///
+/// Semantically identical to probing every boundary's right-limit with
+/// a per-robot lookup and selecting the `(f+1)`-st smallest active
+/// constant — the historical `O(B·k·log P)` inner loop — but organized
+/// as one left-to-right sweep: pieces activate (`lo`) and deactivate
+/// (`hi`) as interval events, a Fenwick tree over the
+/// coordinate-compressed constants maintains the active multiset, and
+/// each boundary costs one `O(log U)` order-statistic selection. Since
+/// a robot's pieces on a ray tile `(0, reach]` disjointly, the active
+/// piece count at a probe equals the number of robots whose plan covers
+/// the probe, so coverage and selection agree exactly — every reported
+/// value is bit-for-bit the one the per-robot scan produced
+/// (comparisons are `total_cmp` throughout, and constants are
+/// deduplicated by bit pattern).
+fn sup_over_flat_pieces(
+    pieces: &[FirstVisitPiece],
+    f: u32,
+    lo: f64,
+    hi: f64,
+    ray: usize,
+    acc: &mut SupAccum,
+) {
     let needed = f as usize + 1;
     // candidate left-ends: lo plus all piece boundaries in (lo, hi)
     let mut bs: Vec<f64> = vec![lo];
-    for p in per_robot {
-        bs.extend(p.boundaries().filter(|&b| b > lo && b < hi));
+    // activation/deactivation events; a piece is active at probe `x`
+    // iff `p.lo < x && x <= p.hi`, so `lo` enters and `hi` leaves as
+    // soon as the probe passes them (straddling `hi = ∞` never leaves)
+    let mut events: Vec<(f64, f64, i64)> = Vec::with_capacity(2 * pieces.len());
+    let mut constants: Vec<f64> = Vec::with_capacity(pieces.len());
+    for p in pieces {
+        if p.lo > lo && p.lo < hi {
+            bs.push(p.lo);
+        }
+        if p.hi > lo && p.hi < hi {
+            bs.push(p.hi);
+        }
+        events.push((p.lo, p.c, 1));
+        if p.hi.is_finite() {
+            events.push((p.hi, p.c, -1));
+        }
+        constants.push(p.c);
     }
     bs.sort_by(f64::total_cmp);
     bs.dedup();
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // compress the constant values; dedup by bit pattern so selection
+    // returns exactly the value the uncompressed order statistic would
+    constants.sort_by(f64::total_cmp);
+    constants.dedup_by(|a, b| a.to_bits() == b.to_bits());
 
-    let mut constants: Vec<f64> = Vec::with_capacity(per_robot.len());
+    let mut counts = Fenwick::new(constants.len());
+    let mut active = 0i64;
+    let mut next_event = 0usize;
     for (i, &b) in bs.iter().enumerate() {
         acc.examined += 1;
         let next = bs.get(i + 1).copied().unwrap_or(hi);
         // an interior probe point of (b, next): no boundary lies inside,
         // so every robot's constant is uniform on the whole open segment
         let probe = 0.5 * (b + next);
-        constants.clear();
-        constants.extend(per_robot.iter().filter_map(|p| p.constant_at(probe)));
-        if constants.len() < needed {
+        // probes strictly increase, so the event pointer only advances
+        while next_event < events.len() && events[next_event].0 < probe {
+            let (_, c, delta) = events[next_event];
+            let idx = constants.partition_point(|x| x.total_cmp(&c).is_lt());
+            counts.add(idx, delta);
+            active += delta;
+            next_event += 1;
+        }
+        if (active as usize) < needed {
             if acc.uncovered.is_none() {
                 acc.uncovered = Some(WorstTarget {
                     ray,
@@ -363,9 +503,8 @@ fn sup_over_domain(per_robot: &[Pieces], f: u32, lo: f64, hi: f64, ray: usize, a
             }
             continue;
         }
-        // the (f+1)-st smallest constant: an exact order statistic, so
-        // selection is equivalent to (and cheaper than) a full sort
-        let (_, &mut c, _) = constants.select_nth_unstable_by(needed - 1, |a, b| a.total_cmp(b));
+        // the (f+1)-st smallest active constant, straight off the tree
+        let c = constants[counts.select(needed as i64)];
         let candidate = WorstTarget {
             ray,
             x: b,
@@ -628,6 +767,52 @@ impl RayEvaluator {
         acc.into_report()
     }
 
+    /// Evaluates the exact worst-case ratio of a [`CompiledFleet`]
+    /// artifact — the compile-once/evaluate-many twin of
+    /// [`RayEvaluator::evaluate_log`], and bit-identical to it for a
+    /// fleet compiled from the same tours at a cap covering this
+    /// evaluator's range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the fleet has fewer than
+    /// `f+1` robots, is compiled for the wrong number of rays, or its
+    /// compilation cap falls short of the evaluation range (its pieces
+    /// could silently miss coverage past the cap).
+    pub fn evaluate_compiled(&self, fleet: &CompiledFleet) -> Result<EvalReport, CoreError> {
+        if fleet.num_robots() <= self.f as usize {
+            return Err(CoreError::invalid(format!(
+                "need more than f = {} robots, got {}",
+                self.f,
+                fleet.num_robots()
+            )));
+        }
+        if fleet.num_rays() != self.m {
+            return Err(CoreError::invalid(format!(
+                "fleet is compiled for {} rays, evaluator expects {}",
+                fleet.num_rays(),
+                self.m
+            )));
+        }
+        if fleet.cap() < self.hi {
+            return Err(CoreError::invalid(format!(
+                "fleet is compiled for targets up to {:e}, evaluator range ends at {:e}",
+                fleet.cap(),
+                self.hi
+            )));
+        }
+        let mut acc = SupAccum::default();
+        let mut flat: Vec<FirstVisitPiece> = Vec::new();
+        for ray in 0..self.m {
+            flat.clear();
+            fleet.for_each_piece_on_ray(ray, |lo, hi, c| {
+                flat.push(FirstVisitPiece { lo, hi, c });
+            });
+            sup_over_flat_pieces(&flat, self.f, self.lo, self.hi, ray, &mut acc);
+        }
+        Ok(acc.into_report())
+    }
+
     /// Exact adversarial detection time of a target on a given ray.
     ///
     /// # Errors
@@ -885,6 +1070,102 @@ mod tests {
             .unwrap()
             .evaluate_log(&fleet)
             .is_err());
+    }
+
+    #[test]
+    fn evaluate_compiled_is_bit_identical_to_evaluate_log() {
+        use crate::compiled::FleetBuilder;
+
+        for (m, k, f) in [(2u32, 5u32, 2u32), (3, 5, 1), (2, 149, 74)] {
+            let strat = CyclicExponential::optimal(m, k, f).unwrap();
+            let e = RayEvaluator::new(m as usize, f, 1.0, 1e4).unwrap();
+            let log = strat.fleet_log_tours(4e4).unwrap();
+            let a = e.evaluate_log(&log).unwrap();
+            // the artifact path: bounded tour prefixes, arena storage
+            let mut builder = FleetBuilder::new(m as usize, 1e4).unwrap();
+            for r in 0..k as usize {
+                builder
+                    .push_log_tour(&strat.log_tour_prefix(RobotId(r), 1e4).unwrap())
+                    .unwrap();
+            }
+            let b = e.evaluate_compiled(&builder.finish()).unwrap();
+            assert_eq!(a.ratio.to_bits(), b.ratio.to_bits(), "({m},{k},{f})");
+            assert_eq!(a.num_breakpoints, b.num_breakpoints);
+            assert_eq!(a.worst, b.worst);
+            assert_eq!(a.uncovered, b.uncovered);
+        }
+    }
+
+    #[test]
+    fn evaluate_compiled_validates() {
+        use crate::compiled::FleetBuilder;
+
+        let strat = CyclicExponential::optimal(3, 2, 0).unwrap();
+        let mut builder = FleetBuilder::new(3, 100.0).unwrap();
+        for r in 0..2usize {
+            builder
+                .push_log_tour(&strat.log_tour_prefix(RobotId(r), 100.0).unwrap())
+                .unwrap();
+        }
+        let fleet = builder.finish();
+        // wrong ray count
+        assert!(RayEvaluator::new(4, 0, 1.0, 10.0)
+            .unwrap()
+            .evaluate_compiled(&fleet)
+            .is_err());
+        // fleet smaller than f+1
+        assert!(RayEvaluator::new(3, 2, 1.0, 10.0)
+            .unwrap()
+            .evaluate_compiled(&fleet)
+            .is_err());
+        // cap short of the evaluation range
+        assert!(RayEvaluator::new(3, 0, 1.0, 200.0)
+            .unwrap()
+            .evaluate_compiled(&fleet)
+            .is_err());
+        // in range: fine
+        assert!(RayEvaluator::new(3, 0, 1.0, 100.0)
+            .unwrap()
+            .evaluate_compiled(&fleet)
+            .is_ok());
+    }
+
+    #[test]
+    fn evaluate_optimal_cached_is_bit_identical_across_hits_and_regimes() {
+        use crate::compiled::CompileMemo;
+
+        let memo = CompileMemo::new();
+        // searchable and trivial instances, each evaluated twice: the
+        // second pass is all cache hits and must not move a single bit
+        for (m, k, f) in [(2u32, 5u32, 2u32), (3, 5, 1), (2, 4, 1), (2, 512, 1)] {
+            let fresh = evaluate_optimal(m, k, f, 1e4).unwrap();
+            let cold = evaluate_optimal_cached(&memo, m, k, f, 1e4).unwrap();
+            let warm = evaluate_optimal_cached(&memo, m, k, f, 1e4).unwrap();
+            for r in [&cold, &warm] {
+                assert_eq!(fresh.ratio.to_bits(), r.ratio.to_bits(), "({m},{k},{f})");
+                assert_eq!(fresh.num_breakpoints, r.num_breakpoints);
+                assert_eq!(fresh.worst, r.worst);
+                assert_eq!(fresh.uncovered, r.uncovered);
+            }
+        }
+        let stats = memo.stats();
+        assert_eq!(stats.misses, 4, "one compile per distinct geometry");
+        assert_eq!(stats.hits, 4, "one hit per repeated evaluation");
+    }
+
+    #[test]
+    fn trivial_regime_cells_share_one_zone_artifact_across_f() {
+        use crate::compiled::CompileMemo;
+
+        let memo = CompileMemo::new();
+        // (2, 512, f) is trivial for every f ≥ 1 shown here, and the
+        // zone fleet is f-free: one compile serves all three
+        for f in [1u32, 3, 7] {
+            let r = evaluate_optimal_cached(&memo, 2, 512, f, 1e4).unwrap();
+            assert!((r.ratio - 1.0).abs() < 1e-12, "f={f}: ratio {}", r.ratio);
+        }
+        let stats = memo.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
     }
 
     #[test]

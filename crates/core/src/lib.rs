@@ -13,6 +13,11 @@
 //! * [`verdict`] — ties theory to measurement: the closed-form `Λ(q/k)`,
 //!   the measured ratio of the optimal strategy, and the covering
 //!   falsification just below the bound;
+//! * [`compiled`] — the compilation layer: an arena-backed
+//!   [`CompiledFleet`] artifact keyed by fleet geometry ([`FleetKey`])
+//!   and a sharded memo ([`CompileMemo`]) so evaluations, verdicts,
+//!   Monte-Carlo tables and campaign cells sharing geometry compile
+//!   once;
 //! * [`canon`] — canonical `f64` cache keys ([`CanonF64`]: no `NaN`, no
 //!   `-0.0`) so a memoizing serving layer can key on instance parameters;
 //! * [`sweep`] — a small work-stealing parallel runner (std scoped
@@ -43,6 +48,7 @@ mod error;
 
 pub mod campaign;
 pub mod canon;
+pub mod compiled;
 pub mod eval;
 pub mod problem;
 pub mod sweep;
@@ -50,11 +56,14 @@ pub mod verdict;
 
 pub use campaign::{Campaign, CampaignRun, Cell, ParamGrid, ParamValue, Report};
 pub use canon::CanonF64;
+pub use compiled::{
+    CompileCache, CompileMemo, CompileStats, CompiledFleet, FleetBuilder, FleetKey, NoCache,
+};
 pub use error::CoreError;
 pub use eval::{
-    compile_first_visit_pieces, evaluate_optimal, EvalReport, FirstVisitPiece, LineEvaluator,
-    RayEvaluator, WorstTarget,
+    compile_first_visit_pieces, evaluate_optimal, evaluate_optimal_cached, EvalReport,
+    FirstVisitPiece, LineEvaluator, RayEvaluator, WorstTarget,
 };
 pub use problem::{LineProblem, RayProblem};
 pub use sweep::{par_map, par_map_threads};
-pub use verdict::{verify_tightness, TightnessReport};
+pub use verdict::{verify_tightness, verify_tightness_cached, TightnessReport};

@@ -19,6 +19,8 @@ use raysearch_cover::CoverageProfile;
 use raysearch_sim::RobotId;
 use raysearch_strategies::CyclicExponential;
 
+use crate::canon::CanonF64;
+use crate::compiled::{CompileCache, FleetBuilder, FleetKey, NoCache};
 use crate::{CoreError, RayEvaluator};
 
 /// The outcome of a tightness verification for one instance.
@@ -71,6 +73,31 @@ pub fn verify_tightness(
     horizon: f64,
     eps: f64,
 ) -> Result<TightnessReport, CoreError> {
+    verify_tightness_cached(&NoCache, m, k, f, horizon, eps)
+}
+
+/// [`verify_tightness`] with a shared compilation cache for the
+/// measurement side.
+///
+/// The upper-bound measurement consumes the same
+/// [`CompiledFleet`](crate::CompiledFleet) artifact as
+/// [`evaluate_optimal_cached`](crate::evaluate_optimal_cached) at the
+/// same horizon, so verdicts piggyback on artifacts already compiled by
+/// evaluations (and vice versa). The ORC falsification side still walks
+/// the full log tours: its turn prefix is governed by the `μ·horizon`
+/// mass cutoff, not the first-visit piece cap.
+///
+/// # Errors
+///
+/// As [`verify_tightness`].
+pub fn verify_tightness_cached<C: CompileCache>(
+    cache: &C,
+    m: u32,
+    k: u32,
+    f: u32,
+    horizon: f64,
+    eps: f64,
+) -> Result<TightnessReport, CoreError> {
     if !(eps.is_finite() && 0.0 < eps && eps < 1.0) {
         return Err(CoreError::invalid(format!(
             "eps must lie in (0, 1), got {eps}"
@@ -83,22 +110,33 @@ pub fn verify_tightness(
     let lambda_below = theory * (1.0 - eps);
     let mu_below = lambda_to_mu(lambda_below)?;
 
-    // One log tour per robot feeds both checks, so the verdict pipeline
-    // shares the exact evaluator's overflow-proof path (linear tours
-    // stop existing from k ≈ 139). The ORC side needs linear turns, but
-    // only while an interval's start `sum_before/μ` can still land in
-    // `[1, horizon]` — beyond that cutoff every interval lies past the
-    // horizon and cannot move the coverage profile.
+    // Both checks ride the exact evaluator's overflow-proof log-domain
+    // path (linear tours stop existing from k ≈ 139).
     let sum_cutoff = mu_below * horizon;
-    let mut per_ray: Vec<Vec<crate::eval::Pieces>> = (0..m as usize)
-        .map(|_| Vec::with_capacity(k as usize))
-        .collect();
+
+    // (2) measure the upper bound exactly, through the shared artifact:
+    // the key matches `evaluate_optimal_cached` at the same horizon, so
+    // one compilation serves both entry points
+    let key = FleetKey::Cyclic {
+        m,
+        k,
+        alpha: CanonF64::new(strategy.alpha())?,
+        cap: CanonF64::new(horizon)?,
+    };
+    let fleet = cache.get_or_compile(key, &mut || {
+        let mut builder = FleetBuilder::new(m as usize, horizon)?;
+        for r in 0..k as usize {
+            builder.push_log_tour(&strategy.log_tour_prefix(RobotId(r), horizon)?)?;
+        }
+        Ok(builder.finish())
+    })?;
+
+    // (3) the bounded turn prefix of the q-fold ORC covering; this side
+    // needs linear turns, but only while an interval's start
+    // `sum_before/μ` can still land in `[1, horizon]`
     let mut per_robot = Vec::with_capacity(k as usize);
     for r in 0..k as usize {
         let tour = strategy.log_tour(RobotId(r), horizon * 4.0)?;
-        // (2) measure the upper bound exactly
-        evaluator.push_log_pieces(&mut per_ray, &tour)?;
-        // (3) the bounded turn prefix of the q-fold ORC covering
         let mut turns = Vec::new();
         let mut sum_before = 0.0f64;
         for e in tour.excursions() {
@@ -118,7 +156,7 @@ pub fn verify_tightness(
         per_robot.push(OrcSetting::covered_intervals(&turns, mu_below)?);
     }
 
-    let report = evaluator.sup_of_compiled(&per_ray);
+    let report = evaluator.evaluate_compiled(&fleet)?;
     if !report.is_covered() {
         return Err(CoreError::Uncovered {
             witness: report.uncovered.map(|w| w.x).unwrap_or(f64::NAN),
@@ -196,6 +234,33 @@ mod tests {
         assert!((r.measured_upper - expect).abs() < 1e-6 * expect);
         assert!(r.falsified_below, "coverage did not fail below Λ");
         assert!(r.is_tight(1e-4));
+    }
+
+    #[test]
+    fn cached_verdict_is_bit_identical_and_shares_the_evaluate_artifact() {
+        use crate::compiled::CompileMemo;
+        use crate::evaluate_optimal_cached;
+
+        let memo = CompileMemo::new();
+        for (m, k, f) in [(2u32, 3u32, 1u32), (3, 5, 1)] {
+            let fresh = verify_tightness(m, k, f, 1e4, 1e-2).unwrap();
+            let cached = verify_tightness_cached(&memo, m, k, f, 1e4, 1e-2).unwrap();
+            assert_eq!(
+                fresh.measured_upper.to_bits(),
+                cached.measured_upper.to_bits(),
+                "({m},{k},{f})"
+            );
+            assert_eq!(fresh.falsified_below, cached.falsified_below);
+            assert_eq!(fresh.witness_below, cached.witness_below);
+            // the evaluation entry point reuses the verdict's artifact
+            evaluate_optimal_cached(&memo, m, k, f, 1e4).unwrap();
+        }
+        let stats = memo.stats();
+        assert_eq!(
+            (stats.misses, stats.hits),
+            (2, 2),
+            "verdict and evaluation share one artifact per instance"
+        );
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Property suite for the compilation layer: over randomized grids of
+//! `(m, k, f, horizon)` cells — searchable and trivial, with forced
+//! geometry duplicates — a campaign evaluated through one shared
+//! [`CompileMemo`] must produce rows bit-identical to per-cell fresh
+//! compiles, at every thread count, while the memo's miss count lands
+//! exactly on the number of distinct fleet geometries.
+//!
+//! The generator is a self-contained SplitMix64, so every run of the
+//! suite sees the same grids; failures reproduce from the seed alone.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use raysearch_core::campaign::{Campaign, ParamGrid};
+use raysearch_core::{evaluate_optimal, evaluate_optimal_cached, CompileMemo};
+
+/// The classic SplitMix64 sequence (Steele et al.) — the same generator
+/// the Monte-Carlo crate builds its counter-based streams from.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// One evaluation cell: `(m, k, f, horizon)`.
+type Instance = (u32, u32, u32, f64);
+
+/// A randomized cell list mixing regimes and horizons, with a
+/// trivial-regime family sharing one zone geometry across `f` and a
+/// tail of exact duplicates — the sharing opportunities the memo must
+/// exploit without changing a single bit of output.
+fn random_cells(seed: u64) -> Vec<Instance> {
+    let mut rng = SplitMix64(seed);
+    let horizons = [1e4, 1e5, 1e6];
+    let mut cells: Vec<Instance> = Vec::new();
+    for _ in 0..10 {
+        let m = 2 + rng.below(2) as u32;
+        let k = 2 + rng.below(12) as u32;
+        let f = rng.below(u64::from(k)) as u32;
+        let horizon = horizons[rng.below(3) as usize];
+        cells.push((m, k, f, horizon));
+    }
+    // trivial regime (k ≥ m(f+1)): the zone fleet is f-free, so these
+    // three cells must share ONE compiled artifact
+    for f in [1, 2, 3] {
+        cells.push((2, 64, f, 1e5));
+    }
+    // exact duplicates: guaranteed searchable-regime sharing too
+    let n = cells.len() as u64;
+    for _ in 0..6 {
+        let copy = cells[rng.below(n) as usize];
+        cells.push(copy);
+    }
+    cells
+}
+
+/// The number of distinct fleet geometries in `cells`: trivial-regime
+/// cells key on `(m, k, horizon)` (their zone fleet ignores `f`),
+/// searchable cells on the full `(m, k, f, horizon)` — mirroring
+/// `FleetKey::Zone` vs `FleetKey::Cyclic` without peeking at either.
+fn distinct_geometries(cells: &[Instance]) -> usize {
+    let mut keys: HashSet<(u32, u32, u32, u64)> = HashSet::new();
+    for &(m, k, f, horizon) in cells {
+        let f_key = if k >= m * (f + 1) { u32::MAX } else { f };
+        keys.insert((m, k, f_key, horizon.to_bits()));
+    }
+    keys.len()
+}
+
+/// One row of the test campaign, reduced to exactly the bits the
+/// determinism contract covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+struct RowBits {
+    ratio: u64,
+    worst: Option<(usize, u64, u64)>,
+    breakpoints: usize,
+}
+
+/// Runs all `cells` through one shared memo at `threads` workers,
+/// returning the rows (in grid order) and the memo's final counters.
+fn run_shared(cells: &[Instance], threads: usize) -> (Vec<RowBits>, u64, u64) {
+    let memo = Arc::new(CompileMemo::new());
+    let cell_memo = Arc::clone(&memo);
+    let owned: Vec<Instance> = cells.to_vec();
+    let grid = ParamGrid::new().axis_u32("i", 0..owned.len() as u32);
+    let run = Campaign::new("memo-prop", "shared-memo determinism", grid, move |cell| {
+        let (m, k, f, horizon) = owned[cell.get_u32("i") as usize];
+        let report = evaluate_optimal_cached(&cell_memo, m, k, f, horizon)
+            .unwrap_or_else(|e| panic!("({m},{k},{f}) at {horizon}: {e}"));
+        RowBits {
+            ratio: report.ratio.to_bits(),
+            worst: report
+                .worst
+                .map(|w| (w.ray, w.x.to_bits(), w.detection_limit.to_bits())),
+            breakpoints: report.num_breakpoints,
+        }
+    })
+    .with_compile_memo(Arc::clone(&memo))
+    .threads(Some(threads))
+    .run();
+    let stats = run.compile.expect("memo attached");
+    (run.rows().copied().collect(), stats.hits, stats.misses)
+}
+
+#[test]
+fn shared_memo_campaigns_match_fresh_compiles_at_every_thread_count() {
+    for seed in [1707, 5077, 2018] {
+        let cells = random_cells(seed);
+        // the ground truth: every cell freshly compiled, no cache at all
+        let fresh: Vec<RowBits> = cells
+            .iter()
+            .map(|&(m, k, f, horizon)| {
+                let report = evaluate_optimal(m, k, f, horizon)
+                    .unwrap_or_else(|e| panic!("({m},{k},{f}) at {horizon}: {e}"));
+                RowBits {
+                    ratio: report.ratio.to_bits(),
+                    worst: report
+                        .worst
+                        .map(|w| (w.ray, w.x.to_bits(), w.detection_limit.to_bits())),
+                    breakpoints: report.num_breakpoints,
+                }
+            })
+            .collect();
+        let expected_misses = distinct_geometries(&cells) as u64;
+        assert!(
+            expected_misses < cells.len() as u64,
+            "seed {seed}: the grid must contain shared geometry"
+        );
+        for threads in [1, 2, 8] {
+            let (rows, hits, misses) = run_shared(&cells, threads);
+            assert_eq!(
+                rows, fresh,
+                "seed {seed}, {threads} threads: shared-memo rows diverge from fresh compiles"
+            );
+            assert_eq!(
+                misses, expected_misses,
+                "seed {seed}, {threads} threads: one compile per distinct geometry"
+            );
+            assert_eq!(
+                hits + misses,
+                cells.len() as u64,
+                "seed {seed}, {threads} threads: every cell goes through the memo"
+            );
+            assert!(
+                hits > 0,
+                "seed {seed}, {threads} threads: no reuse happened"
+            );
+        }
+    }
+}

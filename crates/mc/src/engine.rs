@@ -18,7 +18,7 @@
 //! 2, 8, …}`, which is what makes the serving layer's cache sound.
 
 use rand::rngs::SplitMix64;
-use raysearch_core::par_map_threads;
+use raysearch_core::{par_map_threads, CanonF64, CompileCache, FleetBuilder, FleetKey, NoCache};
 use raysearch_sim::RobotId;
 use raysearch_strategies::CyclicExponential;
 
@@ -168,19 +168,40 @@ impl Scenario {
     }
 
     /// Compiles the optimal fleet's first-visit table through the
-    /// log-domain tour pipeline, one robot at a time — extended past
-    /// the horizon exactly like
-    /// [`evaluate_optimal`](raysearch_core::eval::evaluate_optimal), so
-    /// the two paths agree bit-for-bit, and without ever materializing
-    /// a turn point in linear space (which overflowed from `k ≈ 139`).
+    /// log-domain tour pipeline — the same pieces
+    /// [`evaluate_optimal`](raysearch_core::eval::evaluate_optimal)
+    /// compiles, so the two paths agree bit-for-bit, and without ever
+    /// materializing a turn point in linear space (which overflowed
+    /// from `k ≈ 139`).
     fn visit_table(&self) -> Result<VisitTable, McError> {
+        self.visit_table_cached(&NoCache)
+    }
+
+    /// [`Scenario::visit_table`] through a shared compile cache. The
+    /// artifact key matches
+    /// [`evaluate_optimal_cached`](raysearch_core::evaluate_optimal_cached)
+    /// at the same horizon, so Monte-Carlo runs reuse fleets the exact
+    /// evaluator (or the serving layer) already compiled.
+    fn visit_table_cached<C: CompileCache>(&self, cache: &C) -> Result<VisitTable, McError> {
         let strategy = CyclicExponential::optimal(self.m, self.k, self.f)?;
-        let mut table = VisitTable::new(self.m as usize)?;
-        for r in 0..self.k as usize {
-            let tour = strategy.log_tour(RobotId(r), self.horizon * 4.0)?;
-            table.push_log_tour(&tour, self.horizon)?;
-        }
-        Ok(table)
+        let key = FleetKey::Cyclic {
+            m: self.m,
+            k: self.k,
+            alpha: CanonF64::new(strategy.alpha())
+                .map_err(|e| McError::invalid(format!("first-visit compilation: {e}")))?,
+            cap: CanonF64::new(self.horizon)
+                .map_err(|e| McError::invalid(format!("first-visit compilation: {e}")))?,
+        };
+        let fleet = cache
+            .get_or_compile(key, &mut || {
+                let mut builder = FleetBuilder::new(self.m as usize, self.horizon)?;
+                for r in 0..self.k as usize {
+                    builder.push_log_tour(&strategy.log_tour_prefix(RobotId(r), self.horizon)?)?;
+                }
+                Ok(builder.finish())
+            })
+            .map_err(|e| McError::invalid(format!("first-visit compilation: {e}")))?;
+        Ok(VisitTable::from_compiled(&fleet))
     }
 }
 
@@ -371,6 +392,25 @@ pub struct ClosedFormComparison {
 /// # Ok::<(), raysearch_mc::McError>(())
 /// ```
 pub fn estimate(scenario: &Scenario, cfg: &McConfig) -> Result<McReport, McError> {
+    estimate_cached(scenario, cfg, &NoCache)
+}
+
+/// [`estimate`] with a shared compile cache for the fleet's first-visit
+/// table.
+///
+/// The report is bit-identical to [`estimate`]'s — the cached artifact
+/// holds the same pieces a fresh compilation produces — so the serving
+/// layer can route Monte-Carlo requests through its compile memo
+/// without perturbing cached payloads.
+///
+/// # Errors
+///
+/// As [`estimate`].
+pub fn estimate_cached<C: CompileCache>(
+    scenario: &Scenario,
+    cfg: &McConfig,
+    cache: &C,
+) -> Result<McReport, McError> {
     if cfg.samples == 0 {
         return Err(McError::invalid("sample budget must be at least 1"));
     }
@@ -380,7 +420,7 @@ pub fn estimate(scenario: &Scenario, cfg: &McConfig) -> Result<McReport, McError
     if cfg.bins < 2 {
         return Err(McError::invalid("quantile sketch needs at least 2 bins"));
     }
-    let table = scenario.visit_table()?;
+    let table = scenario.visit_table_cached(cache)?;
     let closed_form = scenario.closed_form();
     let m = scenario.m as usize;
     let k = scenario.k as usize;
@@ -610,6 +650,25 @@ mod tests {
             TargetSampler::LogUniform { lo: 1.0, hi: 1e6 },
         )
         .is_err());
+    }
+
+    #[test]
+    fn cached_estimate_is_bit_identical_and_shares_the_evaluator_artifact() {
+        use raysearch_core::{evaluate_optimal_cached, CompileMemo};
+
+        let s = scenario(
+            FaultSampler::WorstCaseSubset { f: 1 },
+            TargetSampler::LogUniform { lo: 1.0, hi: 1e3 },
+        );
+        let memo = CompileMemo::new();
+        // the exact evaluator compiles (2, 3, α, 1e3) first...
+        evaluate_optimal_cached(&memo, 2, 3, 1, 1e3).unwrap();
+        let fresh = estimate(&s, &McConfig::with_seed(11, 2_000)).unwrap();
+        // ...and the Monte-Carlo run is a pure cache hit on it
+        let cached = estimate_cached(&s, &McConfig::with_seed(11, 2_000), &memo).unwrap();
+        assert_eq!(fresh, cached, "cache must not move a single bit");
+        let stats = memo.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
     }
 
     #[test]

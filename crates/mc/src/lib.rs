@@ -63,7 +63,9 @@ pub mod estimator;
 pub mod sampler;
 pub mod visits;
 
-pub use engine::{estimate, ClosedFormComparison, McConfig, McReport, Scenario, MAX_FLEET};
+pub use engine::{
+    estimate, estimate_cached, ClosedFormComparison, McConfig, McReport, Scenario, MAX_FLEET,
+};
 pub use error::McError;
 pub use estimator::{BatchEstimate, QuantileSketch, Welford};
 pub use sampler::{FaultDraw, FaultSampler, SilentMask, TargetSampler};

@@ -157,6 +157,26 @@ impl VisitTable {
         Ok(table)
     }
 
+    /// Materializes a table from a shared
+    /// [`CompiledFleet`](raysearch_core::CompiledFleet) artifact.
+    ///
+    /// The artifact's pieces were produced by the same
+    /// [`compile_first_visit_pieces`](raysearch_core::compile_first_visit_pieces)
+    /// this table's own builders use, so the resulting table answers
+    /// bit-for-bit like one built fresh from the same tours — this is
+    /// how Monte-Carlo estimation piggybacks on fleets already compiled
+    /// by the exact evaluator or the serving layer.
+    pub fn from_compiled(fleet: &raysearch_core::CompiledFleet) -> Self {
+        let m = fleet.num_rays();
+        let mut pieces = Vec::with_capacity(fleet.num_robots() * m);
+        for robot in 0..fleet.num_robots() {
+            for ray in 0..m {
+                pieces.push(fleet.pieces(robot, ray).collect());
+            }
+        }
+        VisitTable { m, pieces }
+    }
+
     /// Number of robots in the compiled fleet.
     pub fn num_robots(&self) -> usize {
         self.pieces.len() / self.m
@@ -297,6 +317,24 @@ mod tests {
                 "x = {x} unreachable"
             );
         }
+    }
+
+    #[test]
+    fn compiled_artifact_table_is_bit_identical_to_the_streamed_one() {
+        use raysearch_core::FleetBuilder;
+        use raysearch_sim::RobotId;
+
+        let strat = CyclicExponential::optimal(3, 4, 1).unwrap();
+        let streamed =
+            VisitTable::from_log_fleet(&strat.fleet_log_tours(500.0).unwrap(), 125.0).unwrap();
+        let mut builder = FleetBuilder::new(3, 125.0).unwrap();
+        for r in 0..4 {
+            builder
+                .push_log_tour(&strat.log_tour_prefix(RobotId(r), 125.0).unwrap())
+                .unwrap();
+        }
+        let shared = VisitTable::from_compiled(&builder.finish());
+        assert_eq!(shared, streamed, "piece-for-piece identical tables");
     }
 
     #[test]

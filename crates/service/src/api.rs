@@ -19,10 +19,14 @@
 //! | `/montecarlo` | POST | `m?`, `k`, `f`, `horizon?`, `samples?`, `seed?`, `faults?`, `p?` | [`McReport`](raysearch_mc::McReport) + closed-form comparison |
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use raysearch_bounds::{lambda_big, RayInstance, Regime};
-use raysearch_core::{evaluate_optimal, verdict::verify_tightness, CanonF64};
+use raysearch_core::{
+    evaluate_optimal_cached, verdict::verify_tightness_cached, CanonF64, CompileCache,
+    CompiledFleet, CoreError, FleetKey,
+};
 use raysearch_mc::{FaultSampler, McConfig, Scenario, TargetSampler};
 use serde_json::{Map, Value};
 
@@ -81,6 +85,13 @@ pub const CAMPAIGN_MC_SAMPLES: u64 = 5_000;
 /// Default per-robot fault probability for the `iid` and `byzantine`
 /// fault models.
 pub const DEFAULT_MC_P: f64 = 0.1;
+/// Capacity of the compiled-fleet memo tier (entries, LRU). Artifacts
+/// are keyed by fleet *geometry* — deliberately `f`-free — so one entry
+/// serves every `/evaluate`, `/verdict` and `/montecarlo` request over
+/// the same `(strategy, m, k, α-or-η, horizon)`.
+pub const COMPILE_CACHE_CAPACITY: usize = 64;
+/// Shards of the compiled-fleet memo tier.
+pub const COMPILE_CACHE_SHARDS: usize = 8;
 
 /// The endpoint names, the single source of truth for dispatch, the
 /// 405-vs-404 distinction, and the `/healthz` advertisement.
@@ -191,17 +202,44 @@ impl ApiError {
     }
 }
 
-/// Shared state of one server instance: the memo cache plus counters.
+/// Shared state of one server instance: the result memo cache, the
+/// compiled-fleet memo tier beneath it, and counters.
+///
+/// The two tiers cache different things: the result LRU holds finished
+/// payload *strings* keyed by the full request identity ([`MemoKey`],
+/// including `f`, `eps`, seeds…), while the compile tier holds shared
+/// [`CompiledFleet`] artifacts keyed by geometry alone ([`FleetKey`]).
+/// A result-cache miss that shares geometry with an earlier request —
+/// same `(m, k, horizon)`, different `f` in the trivial regime, or a
+/// `/verdict` after an `/evaluate` — still skips recompilation.
 #[derive(Debug)]
 pub struct ServiceState {
     cache: ShardedLru<MemoKey, String>,
+    compile: ShardedLru<FleetKey, Arc<CompiledFleet>>,
     started: Instant,
     requests: AtomicU64,
 }
 
+/// The compile tier viewed through the core's [`CompileCache`] seam, so
+/// `_cached` entry points can consume it directly.
+struct CompileTier<'a>(&'a ShardedLru<FleetKey, Arc<CompiledFleet>>);
+
+impl CompileCache for CompileTier<'_> {
+    fn get_or_compile(
+        &self,
+        key: FleetKey,
+        build: &mut dyn FnMut() -> Result<CompiledFleet, CoreError>,
+    ) -> Result<Arc<CompiledFleet>, CoreError> {
+        self.0
+            .try_get_or_insert_with(key, || build().map(Arc::new))
+            .map(|(fleet, _hit)| fleet)
+    }
+}
+
 impl ServiceState {
     /// Creates service state with a memo cache of `capacity` entries
-    /// over `shards` shards.
+    /// over `shards` shards (the compile tier is sized independently by
+    /// [`COMPILE_CACHE_CAPACITY`] / [`COMPILE_CACHE_SHARDS`]).
     ///
     /// # Panics
     ///
@@ -209,14 +247,20 @@ impl ServiceState {
     pub fn new(capacity: usize, shards: usize) -> Self {
         ServiceState {
             cache: ShardedLru::new(capacity, shards),
+            compile: ShardedLru::new(COMPILE_CACHE_CAPACITY, COMPILE_CACHE_SHARDS),
             started: Instant::now(),
             requests: AtomicU64::new(0),
         }
     }
 
-    /// Snapshot of the cache counters.
+    /// Snapshot of the result-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Snapshot of the compiled-fleet memo tier's counters.
+    pub fn compile_stats(&self) -> CacheStats {
+        self.compile.stats()
     }
 
     /// Total requests dispatched so far.
@@ -290,6 +334,7 @@ impl ServiceState {
 
     fn stats_response(&self) -> Response {
         let cache = self.cache.stats();
+        let compile = self.compile.stats();
         let mut doc = Map::new();
         doc.insert(
             "requests_total".to_owned(),
@@ -303,6 +348,18 @@ impl ServiceState {
         doc.insert(
             "cache".to_owned(),
             serde_json::to_value(cache).expect("stats serialize"),
+        );
+        doc.insert(
+            "compile_hits".to_owned(),
+            serde_json::to_value(compile.hits).expect("u64 serializes"),
+        );
+        doc.insert(
+            "compile_misses".to_owned(),
+            serde_json::to_value(compile.misses).expect("u64 serializes"),
+        );
+        doc.insert(
+            "compile_entries".to_owned(),
+            serde_json::to_value(compile.entries as u64).expect("u64 serializes"),
         );
         Response::ok(Value::Object(doc).to_json_string())
     }
@@ -358,7 +415,7 @@ impl ServiceState {
             horizon: canon(horizon, "horizon")?,
         };
         let (payload, cached) = self.memoized(key, || {
-            let report = evaluate_optimal(m, k, f, horizon)
+            let report = evaluate_optimal_cached(&CompileTier(&self.compile), m, k, f, horizon)
                 .map_err(|e| ApiError::bad_request(format!("evaluate: {e}")))?;
             let mut doc = Map::new();
             doc.insert("m".to_owned(), Value::Int(i64::from(m)));
@@ -388,8 +445,9 @@ impl ServiceState {
             eps: canon(eps, "eps")?,
         };
         let (payload, cached) = self.memoized(key, || {
-            let report = verify_tightness(m, k, f, horizon, eps)
-                .map_err(|e| ApiError::bad_request(format!("verdict: {e}")))?;
+            let report =
+                verify_tightness_cached(&CompileTier(&self.compile), m, k, f, horizon, eps)
+                    .map_err(|e| ApiError::bad_request(format!("verdict: {e}")))?;
             Ok(serde_json::to_value(report)
                 .expect("TightnessReport serializes")
                 .to_json_string())
@@ -532,8 +590,9 @@ impl ServiceState {
                 threads: Some(1),
                 ..McConfig::default()
             };
-            let report = raysearch_mc::estimate(&scenario, &cfg)
-                .map_err(|e| ApiError::bad_request(format!("montecarlo: {e}")))?;
+            let report =
+                raysearch_mc::estimate_cached(&scenario, &cfg, &CompileTier(&self.compile))
+                    .map_err(|e| ApiError::bad_request(format!("montecarlo: {e}")))?;
             let mut doc = Map::new();
             doc.insert(
                 "report".to_owned(),

@@ -281,6 +281,48 @@ pub fn run_probe(addr: &str) -> Result<Vec<CheckLine>, String> {
         "evaluate: k=256 fleet finite at Λ = {theory:.6}; trivial k=512 serves ratio 1"
     ));
 
+    // 15. the compile tier deduplicates by geometry, not by fault
+    // budget: two /evaluate calls at the same (m, k, horizon) with
+    // *different* f are distinct result-cache entries, but the second
+    // must hit the compiled-fleet memo (the trivial-regime zone fleet
+    // is f-free), visible as a compile_hits advance in /stats
+    let (_, stats_before) = fetch_json(addr, "GET", "/stats", None)?;
+    let compile_hits_before = compile_hits(&stats_before);
+    let (status, doc) = fetch_json(
+        addr,
+        "POST",
+        "/evaluate",
+        Some(r#"{"m":2,"k":768,"f":1,"horizon":1e6}"#),
+    )?;
+    expect(status == 200, "k=768 f=1 evaluate should be 200", &doc)?;
+    let (status, doc) = fetch_json(
+        addr,
+        "POST",
+        "/evaluate",
+        Some(r#"{"m":2,"k":768,"f":3,"horizon":1e6}"#),
+    )?;
+    expect(
+        status == 200 && doc.get("cached").and_then(Value::as_bool) == Some(false),
+        "k=768 f=3 evaluate should compute fresh (distinct result key)",
+        &doc,
+    )?;
+    let (_, stats_after) = fetch_json(addr, "GET", "/stats", None)?;
+    expect(
+        compile_hits(&stats_after) > compile_hits_before,
+        "same-geometry evaluate with different f should hit the compile cache",
+        &stats_after,
+    )?;
+    expect(
+        compile_entries(&stats_after) > 0,
+        "stats should report resident compiled fleets",
+        &stats_after,
+    )?;
+    pass(format!(
+        "compile cache: k=768 f=1→f=3 reused one zone fleet ({} hits, {} entries)",
+        compile_hits(&stats_after),
+        compile_entries(&stats_after)
+    ));
+
     Ok(lines)
 }
 
@@ -307,6 +349,22 @@ fn cache_entries(stats: &Value) -> u64 {
     stats
         .get("cache")
         .and_then(|c| c.get("entries"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// The compiled-fleet hit counter of a `/stats` document.
+fn compile_hits(stats: &Value) -> u64 {
+    stats
+        .get("compile_hits")
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// The compiled-fleet resident-entry counter of a `/stats` document.
+fn compile_entries(stats: &Value) -> u64 {
+    stats
+        .get("compile_entries")
         .and_then(Value::as_u64)
         .unwrap_or(0)
 }

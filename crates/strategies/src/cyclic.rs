@@ -195,6 +195,61 @@ impl CyclicExponential {
         Ok(LogTourItinerary::new(self.m as usize, excursions)?)
     }
 
+    /// The shortest prefix of [`CyclicExponential::log_tour`] that a
+    /// first-visit compilation capped at `cap` can consume: generation
+    /// stops as soon as *every* ray has one excursion turning at or past
+    /// `cap`.
+    ///
+    /// The excursion sequence depends only on the excursion index, so
+    /// this is an elementwise-identical prefix of `log_tour(h)` for any
+    /// `h ≥ cap` — and the piece compiler
+    /// (`raysearch_core::compile_first_visit_pieces` with the same
+    /// `cap`) stops within exactly this prefix: it closes a ray at that
+    /// ray's first excursion reaching `cap`, and later excursions only
+    /// contribute turning mass to pieces that are never created. For
+    /// large fleets the prefix is tens of excursions where the padded
+    /// full tour is thousands, which is what makes fleet compilation
+    /// cheap enough to be a cacheable artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyError::InvalidHorizon`] for a non-finite or
+    /// sub-unit `cap` and [`StrategyError::InvalidParameters`] for an
+    /// out-of-range robot index.
+    pub fn log_tour_prefix(
+        &self,
+        robot: RobotId,
+        cap: f64,
+    ) -> Result<LogTourItinerary, StrategyError> {
+        StrategyError::check_horizon(cap)?;
+        if robot.index() >= self.k as usize {
+            return Err(StrategyError::invalid(format!(
+                "robot index {} out of range for k = {}",
+                robot.index(),
+                self.k
+            )));
+        }
+        let n0 = 1 - 2 * i64::from(self.m);
+        let mut excursions = Vec::new();
+        let mut beyond = vec![false; self.m as usize];
+        let mut n = n0;
+        while beyond.iter().any(|&b| !b) {
+            let ray = self.ray_of(n);
+            let ln_turn = self.turn_ln_of(robot.index(), n);
+            excursions.push(
+                LogExcursion::new(ray, LogScaled::from_ln(ln_turn))
+                    .expect("finite exponent times finite ln(alpha) is a valid log turn"),
+            );
+            // same threshold extraction the compiler applies: the
+            // excursion's linear turn, saturating past f64::MAX
+            if ln_turn.exp() >= cap {
+                beyond[ray.index()] = true;
+            }
+            n += 1;
+        }
+        Ok(LogTourItinerary::new(self.m as usize, excursions)?)
+    }
+
     /// Log-domain tours for the whole fleet.
     ///
     /// # Errors
@@ -457,6 +512,44 @@ mod tests {
         }
         // fleet construction scales to every robot
         assert_eq!(s.fleet_log_tours(1e6).unwrap().len(), 149);
+    }
+
+    #[test]
+    fn log_tour_prefix_is_an_elementwise_prefix_of_the_full_tour() {
+        for (m, k, f) in [(2u32, 3u32, 1u32), (3, 4, 1), (2, 256, 128)] {
+            let s = CyclicExponential::optimal(m, k, f).unwrap();
+            for r in [0usize, k as usize - 1] {
+                let cap = 1e6;
+                let full = s.log_tour(RobotId(r), cap * 4.0).unwrap();
+                let prefix = s.log_tour_prefix(RobotId(r), cap).unwrap();
+                assert!(
+                    prefix.len() <= full.len(),
+                    "(m={m},k={k},f={f}) robot {r}: prefix longer than full tour"
+                );
+                for (a, b) in prefix.excursions().iter().zip(full.excursions()) {
+                    assert_eq!(a.ray, b.ray);
+                    assert_eq!(a.turn, b.turn);
+                }
+                // the prefix ends exactly when every ray has one
+                // excursion at or past the cap — no later, no earlier
+                for ray in 0..m as usize {
+                    let beyond = prefix
+                        .excursions()
+                        .iter()
+                        .filter(|e| e.ray.index() == ray && e.turn.to_f64() >= cap)
+                        .count();
+                    assert_eq!(beyond, 1, "ray {ray} not closed exactly once");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_tour_prefix_validates_like_log_tour() {
+        let s = CyclicExponential::optimal(2, 3, 1).unwrap();
+        assert!(s.log_tour_prefix(RobotId(3), 100.0).is_err());
+        assert!(s.log_tour_prefix(RobotId(0), 0.5).is_err());
+        assert!(s.log_tour_prefix(RobotId(0), f64::NAN).is_err());
     }
 
     #[test]
