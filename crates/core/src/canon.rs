@@ -1,4 +1,5 @@
-//! Canonical floating-point keys for memoization.
+//! Canonical floating-point keys for memoization, and the stable hash
+//! that routing layers build on.
 //!
 //! A serving layer memoizes evaluations keyed by instance parameters, and
 //! some of those parameters are `f64`s (horizons, epsilons, bases). Raw
@@ -9,11 +10,110 @@
 //! arithmetic: construction rejects `NaN`, normalizes `-0.0` to `+0.0`,
 //! and then keys on the exact bit pattern, so logically equal finite
 //! parameters always canonicalize identically.
+//!
+//! [`stable_hash64`] / [`StableHasher`] extend the same idea across
+//! *process boundaries*: a sharding router that rendezvous-hashes
+//! canonicalized keys must agree with itself after a restart, and a
+//! recorded request tape must replay to the same shard assignment on any
+//! host. `std`'s `DefaultHasher` makes no such promise, so routing keys
+//! hash through this fixed, dependency-free FNV-1a implementation whose
+//! outputs are pinned by test vectors.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use crate::CoreError;
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A process- and platform-stable 64-bit streaming hasher (FNV-1a).
+///
+/// Unlike `std::collections::hash_map::DefaultHasher`, whose algorithm
+/// is explicitly unspecified, this hasher is *pinned*: the same byte
+/// stream produces the same value in every process, on every
+/// architecture, forever (guarded by test vectors). That is the property
+/// a consistent-hash router needs — shard assignment must survive
+/// restarts and be reproducible from a recorded tape.
+///
+/// It implements [`std::hash::Hasher`], so `Hash` types can feed it, but
+/// routing code should prefer hashing canonical *byte strings* (see
+/// [`stable_hash64`]): derived `Hash` impls make no cross-version
+/// layout promises.
+///
+/// # Example
+///
+/// ```
+/// use raysearch_core::canon::{stable_hash64, StableHasher};
+/// use std::hash::Hasher;
+///
+/// let mut h = StableHasher::new();
+/// h.write(b"evaluate:m=2,k=3,f=1");
+/// assert_eq!(h.finish(), stable_hash64(b"evaluate:m=2,k=3,f=1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// A hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// Hashes `bytes` with the pinned FNV-1a 64-bit function.
+///
+/// This is the routing hash: a rendezvous router scores each backend by
+/// `stable_hash64` over `backend-id ++ 0x00 ++ routing-key` and picks
+/// the maximum, and replay harnesses recompute the same scores to
+/// predict shard placement offline.
+#[must_use]
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut hasher = StableHasher::new();
+    hasher.write(bytes);
+    hasher.finish()
+}
+
+/// Hashes the concatenation `parts[0] ++ 0x00 ++ parts[1] ++ 0x00 ++ …`
+/// with [`stable_hash64`]'s function. The `0x00` separator keeps
+/// distinct part boundaries from colliding (`("ab", "c")` never hashes
+/// like `("a", "bc")`); routing keys are printable strings, so the
+/// separator cannot occur inside a part.
+#[must_use]
+pub fn stable_hash64_parts(parts: &[&[u8]]) -> u64 {
+    let mut hasher = StableHasher::new();
+    for (i, part) in parts.iter().enumerate() {
+        if i > 0 {
+            hasher.write(&[0u8]);
+        }
+        hasher.write(part);
+    }
+    hasher.finish()
+}
 
 /// An `f64` canonicalized for use as (part of) a cache key.
 ///
@@ -181,5 +281,42 @@ mod tests {
     fn displays_as_the_value() {
         assert_eq!(CanonF64::new(2.5).unwrap().to_string(), "2.5");
         assert_eq!(CanonF64::new(-0.0).unwrap().to_string(), "0");
+    }
+
+    /// The published FNV-1a 64-bit test vectors. If any of these ever
+    /// moves, every recorded tape's shard assignment silently changes —
+    /// this test is the tripwire.
+    #[test]
+    fn stable_hash_matches_fnv1a_reference_vectors() {
+        assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(stable_hash64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(stable_hash64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_writes_equal_one_shot() {
+        let mut h = StableHasher::new();
+        h.write(b"evaluate:");
+        h.write(b"m=2,k=3,f=1");
+        assert_eq!(h.finish(), stable_hash64(b"evaluate:m=2,k=3,f=1"));
+    }
+
+    #[test]
+    fn parts_are_boundary_sensitive() {
+        // the separator keeps ("ab","c") and ("a","bc") apart...
+        assert_ne!(
+            stable_hash64_parts(&[b"ab", b"c"]),
+            stable_hash64_parts(&[b"a", b"bc"])
+        );
+        // ...and a single part hashes exactly like the flat bytes
+        assert_eq!(
+            stable_hash64_parts(&[b"backend-0"]),
+            stable_hash64(b"backend-0")
+        );
+        // two parts equal the explicit 0x00-joined stream
+        assert_eq!(
+            stable_hash64_parts(&[b"b0", b"key"]),
+            stable_hash64(b"b0\x00key")
+        );
     }
 }

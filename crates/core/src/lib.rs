@@ -19,7 +19,9 @@
 //!   Monte-Carlo tables and campaign cells sharing geometry compile
 //!   once;
 //! * [`canon`] — canonical `f64` cache keys ([`CanonF64`]: no `NaN`, no
-//!   `-0.0`) so a memoizing serving layer can key on instance parameters;
+//!   `-0.0`) so a memoizing serving layer can key on instance parameters,
+//!   plus the pinned cross-process hash ([`stable_hash64`]) consistent-hash
+//!   routers and replay harnesses agree on;
 //! * [`sweep`] — a small work-stealing parallel runner (std scoped
 //!   threads) used by the benchmark harness for parameter sweeps;
 //! * [`campaign`] — the campaign engine: declarative parameter grids
@@ -55,7 +57,7 @@ pub mod sweep;
 pub mod verdict;
 
 pub use campaign::{Campaign, CampaignRun, Cell, ParamGrid, ParamValue, Report};
-pub use canon::CanonF64;
+pub use canon::{stable_hash64, stable_hash64_parts, CanonF64, StableHasher};
 pub use compiled::{
     CompileCache, CompileMemo, CompileStats, CompiledFleet, FleetBuilder, FleetKey, NoCache,
 };

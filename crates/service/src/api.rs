@@ -32,6 +32,7 @@ use serde_json::{Map, Value};
 
 use crate::cache::{CacheStats, ShardedLru};
 use crate::http::{Request, Response};
+use crate::server::Handler;
 
 /// Default evaluation horizon when a request omits `horizon`.
 pub const DEFAULT_HORIZON: f64 = 1e4;
@@ -184,6 +185,152 @@ pub enum MemoKey {
     },
 }
 
+impl MemoKey {
+    /// Renders the key as a stable, human-readable canonical string —
+    /// the representation the consistent-hash router scores backends
+    /// against (see [`routing_key`]). Distinct keys always render
+    /// distinctly: integer fields print exactly, and the float fields
+    /// go through [`CanonF64`]'s shortest-round-trip `Display`, which is
+    /// injective on the canonicalized (NaN-free, `-0.0`-free) domain.
+    pub fn canonical_string(&self) -> String {
+        match self {
+            MemoKey::ClosedForm { m, k, f } => format!("closed_form:m={m},k={k},f={f}"),
+            MemoKey::Lambda { eta } => format!("lambda:eta={eta}"),
+            MemoKey::Evaluate { m, k, f, horizon } => {
+                format!("evaluate:m={m},k={k},f={f},h={horizon}")
+            }
+            MemoKey::Verdict {
+                m,
+                k,
+                f,
+                horizon,
+                eps,
+            } => format!("verdict:m={m},k={k},f={f},h={horizon},eps={eps}"),
+            MemoKey::Campaign { id, max_k } => format!("campaign:id={id},max_k={max_k}"),
+            MemoKey::MonteCarlo {
+                m,
+                k,
+                f,
+                horizon,
+                samples,
+                seed,
+                faults,
+                p,
+            } => format!(
+                "montecarlo:m={m},k={k},f={f},h={horizon},samples={samples},seed={seed},faults={faults},p={p}"
+            ),
+        }
+    }
+}
+
+/// Derives the canonical routing key for one request — the string a
+/// consistent-hash router rendezvous-scores backends against.
+///
+/// For memoizable endpoints this is the [`MemoKey`]'s canonical string
+/// with the same parameter canonicalization the backend's cache applies
+/// (defaults filled in, floats through [`CanonF64`], fault-model `p`
+/// normalized), so every spelling of the same logical request —
+/// query-string vs JSON body, `1e4` vs `10000` — routes to the same
+/// backend and meets the same memo entry there. Requests that do not
+/// parse into a memo key (unknown paths, malformed parameters) fall
+/// back to a raw `method:path?query:body` key: they still route
+/// *deterministically* (a replayed tape reproduces shard placement
+/// exactly), they just cannot share a shard with a well-formed spelling.
+pub fn routing_key(req: &Request) -> String {
+    match routing_memo_key(req) {
+        Some(key) => key.canonical_string(),
+        None => {
+            let mut raw = format!("raw:{}:{}", req.method, req.path);
+            for (i, (k, v)) in req.query.iter().enumerate() {
+                raw.push(if i == 0 { '?' } else { '&' });
+                raw.push_str(k);
+                raw.push('=');
+                raw.push_str(v);
+            }
+            raw.push(':');
+            raw.push_str(&String::from_utf8_lossy(&req.body));
+            raw
+        }
+    }
+}
+
+/// Parses `req` into the [`MemoKey`] its target endpoint would memoize
+/// under, applying the same defaults and canonicalization. `None` when
+/// the path is not a memoizable endpoint or the parameters do not parse
+/// — the router then routes on the raw fallback key.
+fn routing_memo_key(req: &Request) -> Option<MemoKey> {
+    let params = RequestParams::from(req).ok()?;
+    match req.path.as_str() {
+        "/closed_form" => {
+            if let Some(eta) = params.opt_f64("eta").ok()? {
+                return Some(MemoKey::Lambda {
+                    eta: CanonF64::new(eta).ok()?,
+                });
+            }
+            let (m, k, f) = params.instance().ok()?;
+            Some(MemoKey::ClosedForm { m, k, f })
+        }
+        "/evaluate" => {
+            let (m, k, f) = params.instance().ok()?;
+            let horizon = params.opt_f64("horizon").ok()?.unwrap_or(DEFAULT_HORIZON);
+            Some(MemoKey::Evaluate {
+                m,
+                k,
+                f,
+                horizon: CanonF64::new(horizon).ok()?,
+            })
+        }
+        "/verdict" => {
+            let (m, k, f) = params.instance().ok()?;
+            let horizon = params.opt_f64("horizon").ok()?.unwrap_or(DEFAULT_HORIZON);
+            let eps = params.opt_f64("eps").ok()?.unwrap_or(DEFAULT_EPS);
+            Some(MemoKey::Verdict {
+                m,
+                k,
+                f,
+                horizon: CanonF64::new(horizon).ok()?,
+                eps: CanonF64::new(eps).ok()?,
+            })
+        }
+        "/campaign" => {
+            let id = params.opt_str("id").ok()??;
+            let max_k = params
+                .opt_u32("max_k")
+                .ok()?
+                .unwrap_or(DEFAULT_CAMPAIGN_MAX_K)
+                .max(1);
+            Some(MemoKey::Campaign { id, max_k })
+        }
+        "/montecarlo" => {
+            let (m, k, f) = params.instance().ok()?;
+            let horizon = params.opt_f64("horizon").ok()?.unwrap_or(DEFAULT_HORIZON);
+            let samples = params
+                .opt_u64("samples")
+                .ok()?
+                .unwrap_or(DEFAULT_MC_SAMPLES);
+            let seed = params.opt_u64("seed").ok()?.unwrap_or(DEFAULT_MC_SEED);
+            let model = params
+                .opt_str("faults")
+                .ok()?
+                .unwrap_or_else(|| "uniform".to_owned());
+            let p = params.opt_f64("p").ok()?.unwrap_or(DEFAULT_MC_P);
+            let faults = FaultSampler::from_name(&model, f, p)?;
+            let p_effective = faults.probability().unwrap_or(0.0);
+            Some(MemoKey::MonteCarlo {
+                m,
+                k,
+                f,
+                horizon: CanonF64::new(horizon).ok()?,
+                samples,
+                seed,
+                faults: model,
+                p: CanonF64::new(p_effective).ok()?,
+            })
+        }
+        _ => None,
+    }
+}
+
 /// An endpoint failure: an HTTP status plus a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
@@ -218,6 +365,7 @@ pub struct ServiceState {
     compile: ShardedLru<FleetKey, Arc<CompiledFleet>>,
     started: Instant,
     requests: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// The compile tier viewed through the core's [`CompileCache`] seam, so
@@ -250,6 +398,7 @@ impl ServiceState {
             compile: ShardedLru::new(COMPILE_CACHE_CAPACITY, COMPILE_CACHE_SHARDS),
             started: Instant::now(),
             requests: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         }
     }
 
@@ -266,6 +415,11 @@ impl ServiceState {
     /// Total requests dispatched so far.
     pub fn requests_total(&self) -> u64 {
         self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with a `503` by the acceptor so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Computes (or recalls) the deterministic payload for `key`.
@@ -339,6 +493,10 @@ impl ServiceState {
         doc.insert(
             "requests_total".to_owned(),
             serde_json::to_value(self.requests_total()).expect("u64 serializes"),
+        );
+        doc.insert(
+            "shed_total".to_owned(),
+            serde_json::to_value(self.shed_total()).expect("u64 serializes"),
         );
         doc.insert(
             "uptime_micros".to_owned(),
@@ -605,6 +763,16 @@ impl ServiceState {
             Ok(Value::Object(doc).to_json_string())
         })?;
         Ok(wrap(payload, cached))
+    }
+}
+
+impl Handler for ServiceState {
+    fn handle(&self, req: &Request) -> Response {
+        ServiceState::handle(self, req)
+    }
+
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 }
 

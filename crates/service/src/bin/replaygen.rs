@@ -1,0 +1,352 @@
+//! `replaygen` — deterministic record/replay load harness.
+//!
+//! ```text
+//! replaygen --record PATH [--requests N] [--backends N]
+//! replaygen --tape PATH [--addr ADDR | --backends N] [--concurrency C]
+//!           [--passes P] [--report PATH] [--max-shed-rate F]
+//!           [--require-warm-hits]
+//! ```
+//!
+//! Record mode spins up a fresh router fleet, streams the canonical
+//! smoke mix through it (cycled to `--requests`), and writes the tape
+//! — requests plus response digests — to `PATH`. Replay mode re-issues
+//! a tape in tick order at `--concurrency`, `--passes` times against
+//! one fleet (pass 1 is cold, later passes warm), verifies every
+//! response byte-identical to the tape's digests, and emits a JSON
+//! report (per-pass rps / hit rate / shed rate / counters). Gates for
+//! CI: any digest mismatch or transport error fails; `--max-shed-rate`
+//! bounds the shed fraction; `--require-warm-hits` demands a non-zero
+//! cache-hit rate on the final pass.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use raysearch_service::backends::{raysearchd_bin, BackendFleet};
+use raysearch_service::client::HttpClient;
+use raysearch_service::replay::{replay, smoke_mix, ReplayReport};
+use raysearch_service::route::{spawn_health_thread, RouterState};
+use raysearch_service::server::{Server, ServerConfig, ServerHandle};
+use raysearch_service::tape::{Tape, TapeRecorder};
+use serde_json::{Map, Value};
+
+const USAGE: &str = "\
+usage: replaygen (--record PATH | --tape PATH) [options]
+
+record mode:
+  --record PATH      record the smoke mix through a fresh fleet into PATH
+  --requests N       total requests to record (default: one mix pass)
+
+replay mode:
+  --tape PATH        the tape to replay and verify
+  --addr ADDR        replay against a running router/backend at ADDR
+                     (default: spawn a fresh fleet)
+  --concurrency C    concurrent replay connections (default 4)
+  --passes P         replay passes against the same fleet (default 2:
+                     pass 1 cold, pass 2 warm)
+  --report PATH      also write the JSON report to PATH
+  --max-shed-rate F  fail if any pass sheds more than this fraction
+  --require-warm-hits  fail if the final pass has a zero hit rate
+
+common:
+  --backends N       backends in a spawned fleet (default 2)
+
+the raysearchd binary for spawned backends is found next to this
+executable, or via the RAYSEARCHD_BIN environment variable
+
+  --help             show this help";
+
+#[derive(Debug, Default)]
+struct Cli {
+    record: Option<PathBuf>,
+    tape: Option<PathBuf>,
+    addr: Option<String>,
+    requests: Option<usize>,
+    backends: usize,
+    concurrency: usize,
+    passes: usize,
+    report: Option<PathBuf>,
+    max_shed_rate: Option<f64>,
+    require_warm_hits: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        backends: 2,
+        concurrency: 4,
+        passes: 2,
+        ..Cli::default()
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let parse_count = |flag: &str, v: String| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("{flag} expects an integer >= 1"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--record" => cli.record = Some(PathBuf::from(value_of("--record")?)),
+            "--tape" => cli.tape = Some(PathBuf::from(value_of("--tape")?)),
+            "--addr" => cli.addr = Some(value_of("--addr")?),
+            "--requests" => {
+                cli.requests = Some(parse_count("--requests", value_of("--requests")?)?);
+            }
+            "--backends" => cli.backends = parse_count("--backends", value_of("--backends")?)?,
+            "--concurrency" => {
+                cli.concurrency = parse_count("--concurrency", value_of("--concurrency")?)?;
+            }
+            "--passes" => cli.passes = parse_count("--passes", value_of("--passes")?)?,
+            "--report" => cli.report = Some(PathBuf::from(value_of("--report")?)),
+            "--max-shed-rate" => {
+                let v = value_of("--max-shed-rate")?;
+                let rate = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| "--max-shed-rate expects a fraction in [0, 1]".to_owned())?;
+                cli.max_shed_rate = Some(rate);
+            }
+            "--require-warm-hits" => cli.require_warm_hits = true,
+            flag => return Err(format!("unknown flag {flag}")),
+        }
+    }
+    match (&cli.record, &cli.tape) {
+        (None, None) => Err("one of --record or --tape is required".to_owned()),
+        (Some(_), Some(_)) => Err("--record and --tape are mutually exclusive".to_owned()),
+        _ => Ok(Some(cli)),
+    }
+}
+
+/// A self-spawned fleet: child backends plus an in-process router.
+/// Held together so everything shuts down in one place.
+struct Fleet {
+    /// Keeps the children alive for the router's lifetime.
+    _backends: BackendFleet,
+    router: ServerHandle<RouterState>,
+    stop: Arc<AtomicBool>,
+    health: std::thread::JoinHandle<()>,
+}
+
+impl Fleet {
+    fn spawn(
+        backends: usize,
+        concurrency: usize,
+        recorder: Option<TapeRecorder>,
+    ) -> Result<Fleet, String> {
+        let dir = std::env::temp_dir().join(format!("replaygen-{}", std::process::id()));
+        let fleet = BackendFleet::spawn(&raysearchd_bin()?, backends, &dir)?;
+        fleet.wait_ready(Duration::from_secs(10))?;
+        let state = Arc::new(RouterState::new(fleet.specs(), recorder));
+        let healthy = state.check_backends_now();
+        if healthy != backends {
+            return Err(format!(
+                "only {healthy}/{backends} backends came up healthy"
+            ));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let health = spawn_health_thread(
+            Arc::clone(&state),
+            Duration::from_millis(250),
+            Arc::clone(&stop),
+        );
+        // enough router workers that `concurrency` forwarded requests
+        // can block on slow backends without starving the accept queue
+        let cfg = ServerConfig {
+            workers: (concurrency + 4).max(8),
+            ..ServerConfig::default()
+        };
+        let router = Server::bind_with(cfg, state)
+            .map_err(|e| format!("bind router: {e}"))?
+            .spawn();
+        Ok(Fleet {
+            _backends: fleet,
+            router,
+            stop,
+            health,
+        })
+    }
+
+    fn addr(&self) -> String {
+        self.router.addr().to_string()
+    }
+
+    fn shutdown(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = self.health.join();
+        self.router.shutdown();
+    }
+}
+
+fn record(cli: &Cli, path: &Path) -> Result<(), String> {
+    let recorder =
+        TapeRecorder::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    let fleet = Fleet::spawn(cli.backends, 1, Some(recorder))?;
+    let addr = fleet.addr();
+
+    let mix = smoke_mix();
+    let total = cli.requests.unwrap_or(mix.len());
+    // sequential on one keep-alive connection: arrival ticks equal mix
+    // order, so recorded tapes are reproducible artifacts
+    let mut client = HttpClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut errors = 0usize;
+    for i in 0..total {
+        let (method, target, body) = &mix[i % mix.len()];
+        if client.request(method, target, Some(body)).is_err() {
+            errors += 1;
+            client = HttpClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        }
+    }
+    fleet.shutdown();
+    if errors > 0 {
+        return Err(format!("{errors}/{total} recording requests failed"));
+    }
+    let tape = Tape::load(path)?;
+    println!(
+        "replaygen: recorded {} entries to {}",
+        tape.entries.len(),
+        path.display()
+    );
+    if tape.entries.len() != total {
+        return Err(format!(
+            "expected {total} recorded entries, found {}",
+            tape.entries.len()
+        ));
+    }
+    Ok(())
+}
+
+fn replay_mode(cli: &Cli, path: &Path) -> Result<(), String> {
+    let tape = Tape::load(path)?;
+    if tape.entries.is_empty() {
+        return Err(format!("{} is empty", path.display()));
+    }
+    let (addr, fleet) = match &cli.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let fleet = Fleet::spawn(cli.backends, cli.concurrency, None)?;
+            (fleet.addr(), Some(fleet))
+        }
+    };
+
+    let mut passes: Vec<ReplayReport> = Vec::with_capacity(cli.passes);
+    let mut outcome = Ok(());
+    for pass in 1..=cli.passes {
+        match replay(&addr, &tape, cli.concurrency) {
+            Ok(report) => {
+                eprintln!(
+                    "replaygen: pass {pass}/{} {} ({:.0} rps, hit rate {:.3}, shed rate {:.4})",
+                    cli.passes,
+                    report.fingerprint(),
+                    report.rps(),
+                    report.hit_rate(),
+                    report.shed_rate()
+                );
+                passes.push(report);
+            }
+            Err(e) => {
+                outcome = Err(format!("pass {pass}: {e}"));
+                break;
+            }
+        }
+    }
+    if let Some(fleet) = fleet {
+        fleet.shutdown();
+    }
+    outcome?;
+
+    let mut doc = Map::new();
+    doc.insert("tape".to_owned(), Value::String(path.display().to_string()));
+    doc.insert(
+        "entries".to_owned(),
+        serde_json::to_value(tape.entries.len() as u64).expect("u64 serializes"),
+    );
+    doc.insert(
+        "concurrency".to_owned(),
+        serde_json::to_value(cli.concurrency as u64).expect("u64 serializes"),
+    );
+    doc.insert(
+        "passes".to_owned(),
+        Value::Array(passes.iter().map(ReplayReport::to_json).collect()),
+    );
+    let report_json = Value::Object(doc).to_json_string();
+    println!("{report_json}");
+    if let Some(report_path) = &cli.report {
+        std::fs::write(report_path, format!("{report_json}\n"))
+            .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+    }
+
+    // --- the CI gates ---
+    let mut failures = Vec::new();
+    for (i, report) in passes.iter().enumerate() {
+        if report.mismatched > 0 {
+            failures.push(format!(
+                "pass {}: {} response(s) differed from the tape: {}",
+                i + 1,
+                report.mismatched,
+                report.mismatch_details.join("; ")
+            ));
+        }
+        if report.transport_errors > 0 {
+            failures.push(format!(
+                "pass {}: {} transport error(s)",
+                i + 1,
+                report.transport_errors
+            ));
+        }
+        if let Some(max) = cli.max_shed_rate {
+            if report.shed_rate() > max {
+                failures.push(format!(
+                    "pass {}: shed rate {:.4} exceeds {max}",
+                    i + 1,
+                    report.shed_rate()
+                ));
+            }
+        }
+    }
+    if cli.require_warm_hits {
+        if let Some(last) = passes.last() {
+            if last.hits == 0 {
+                failures.push(format!(
+                    "final pass had zero cache hits ({})",
+                    last.fingerprint()
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("\n"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let parsed = match parse_args(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(msg) => {
+            eprintln!("replaygen: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let outcome = if let Some(path) = parsed.record.clone() {
+        record(&parsed, &path)
+    } else {
+        let path = parsed.tape.clone().expect("parse_args requires a mode");
+        replay_mode(&parsed, &path)
+    };
+    if let Err(msg) = outcome {
+        eprintln!("replaygen: {msg}");
+        std::process::exit(1);
+    }
+}

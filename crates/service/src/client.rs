@@ -23,7 +23,29 @@ impl HttpClient {
     /// Propagates connect/configure failures.
     pub fn connect(addr: &str) -> std::io::Result<HttpClient> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        HttpClient::from_stream(stream, Duration::from_secs(60))
+    }
+
+    /// Connects to `addr` with `timeout` bounding both the TCP connect
+    /// and every subsequent read — the health-check variant, where a
+    /// wedged backend must fail the check, not wedge the checker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures (including the timeout).
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<HttpClient> {
+        let sock: std::net::SocketAddr = addr.parse().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("bad address {addr:?}: {e}"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        HttpClient::from_stream(stream, timeout)
+    }
+
+    fn from_stream(stream: TcpStream, read_timeout: Duration) -> std::io::Result<HttpClient> {
+        stream.set_read_timeout(Some(read_timeout))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(HttpClient {

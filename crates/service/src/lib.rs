@@ -18,8 +18,22 @@
 //! * [`server`] — a fixed worker pool behind a bounded accept queue,
 //!   with load shedding (503) and cooperative shutdown;
 //! * [`client`] / [`probe`] / [`load`] — the self-client: CI smoke
-//!   probing (`raysearchd --probe`) and the hot-vs-cold load harness
-//!   (`raysearchd --bench`).
+//!   probing (`raysearchd --probe`, `raysearch-router --probe`) and the
+//!   hot-vs-cold load harness (`raysearchd --bench`).
+//!
+//! The scale-out tier shards requests across many `raysearchd`
+//! processes and regression-tests the whole fleet at the byte level:
+//!
+//! * [`route`] — the consistent-hash router (`raysearch-router`):
+//!   rendezvous hashing over canonical routing keys, health checks,
+//!   failover, aggregated `/stats`;
+//! * [`backends`] — child-process backend fleets behind port-file
+//!   handshakes (spawn / kill / respawn on fresh ephemeral ports);
+//! * [`tape`] — the record/replay tape format with normalized response
+//!   digests;
+//! * [`replay`] — deterministic tape replay (`replaygen`): concurrent
+//!   re-issue in tick order, byte-identity verification, counter
+//!   fingerprints that are concurrency-invariant by construction.
 //!
 //! # Example: an in-process server round trip
 //!
@@ -46,13 +60,19 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod backends;
 pub mod cache;
 pub mod client;
 pub mod http;
 pub mod load;
 pub mod probe;
+pub mod replay;
+pub mod route;
 pub mod server;
+pub mod tape;
 
-pub use api::{MemoKey, ServiceState};
+pub use api::{routing_key, MemoKey, ServiceState};
 pub use cache::{CacheStats, ShardedLru};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use route::{rendezvous_rank, BackendSpec, RouterState};
+pub use server::{Handler, Server, ServerConfig, ServerHandle};
+pub use tape::{Tape, TapeEntry, TapeRecorder};

@@ -8,9 +8,16 @@
 //! visible in `/stats`, and invalid `/montecarlo` requests must fail
 //! without touching any cache counter.
 
-use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use serde_json::{Map, Value};
+
+use crate::api::routing_key;
 use crate::client::fetch_json;
+use crate::http::{Request, Response};
+use crate::route::{rendezvous_rank, BackendSpec, RouterState};
+use crate::server::{Handler, Server, ServerConfig};
 
 /// One passed probe check, for reporting.
 pub type CheckLine = String;
@@ -321,6 +328,263 @@ pub fn run_probe(addr: &str) -> Result<Vec<CheckLine>, String> {
         "compile cache: k=768 f=1→f=3 reused one zone fleet ({} hits, {} entries)",
         compile_hits(&stats_after),
         compile_entries(&stats_after)
+    ));
+
+    Ok(lines)
+}
+
+/// A backend that sheds everything: `200` on `/healthz`, a minimal
+/// counter document on `/stats`, `503` for every routable request. The
+/// self-hosted router probe uses it to test shed passthrough
+/// *deterministically* — real overload (a full accept queue) cannot be
+/// provoked reliably, but a backend that always answers `503` can.
+#[derive(Debug, Default)]
+struct ShedStub {
+    requests: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Handler for ShedStub {
+    fn handle(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match req.path.as_str() {
+            "/healthz" => {
+                let mut doc = Map::new();
+                doc.insert("status".to_owned(), Value::String("ok".to_owned()));
+                doc.insert("service".to_owned(), Value::String("shed-stub".to_owned()));
+                Response::ok(Value::Object(doc).to_json_string())
+            }
+            "/stats" => {
+                let mut doc = Map::new();
+                doc.insert(
+                    "requests_total".to_owned(),
+                    serde_json::to_value(self.requests.load(Ordering::Relaxed))
+                        .expect("u64 serializes"),
+                );
+                doc.insert(
+                    "shed_total".to_owned(),
+                    serde_json::to_value(self.shed.load(Ordering::Relaxed))
+                        .expect("u64 serializes"),
+                );
+                let mut cache = Map::new();
+                for counter in ["hits", "misses", "entries"] {
+                    cache.insert(
+                        counter.to_owned(),
+                        serde_json::to_value(0u64).expect("u64 serializes"),
+                    );
+                }
+                doc.insert("cache".to_owned(), Value::Object(cache));
+                Response::ok(Value::Object(doc).to_json_string())
+            }
+            _ => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                Response::error(503, "shed-stub sheds every request")
+            }
+        }
+    }
+}
+
+/// A GET request against `target` as the router would parse it, for
+/// computing routing keys probe-side.
+fn probe_request(target: &str) -> Request {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (
+            p.to_owned(),
+            q.split('&')
+                .filter(|part| !part.is_empty())
+                .map(|part| match part.split_once('=') {
+                    Some((k, v)) => (k.to_owned(), v.to_owned()),
+                    None => (part.to_owned(), String::new()),
+                })
+                .collect(),
+        ),
+        None => (target.to_owned(), Vec::new()),
+    };
+    Request {
+        method: "GET".to_owned(),
+        version: "HTTP/1.1".to_owned(),
+        path,
+        query,
+        headers: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+/// The per-backend entry for `id` in a router `/stats` document.
+fn backend_entry<'a>(stats: &'a Value, id: &str) -> Result<&'a Value, String> {
+    stats
+        .get("backends")
+        .and_then(Value::as_array)
+        .and_then(|bs| {
+            bs.iter()
+                .find(|b| b.get("id").and_then(Value::as_str) == Some(id))
+        })
+        .ok_or_else(|| {
+            format!(
+                "router stats missing backend {id:?}: {}",
+                stats.to_json_string()
+            )
+        })
+}
+
+fn routed_of(stats: &Value, id: &str) -> Result<u64, String> {
+    Ok(backend_entry(stats, id)?
+        .get("routed")
+        .and_then(Value::as_u64)
+        .unwrap_or(0))
+}
+
+/// Probes a self-hosted router: one real in-process backend plus one
+/// always-shedding stub, fronted by a [`RouterState`] server. The checks
+/// continue the single-backend probe's numbering (16–18): rendezvous
+/// routing lands on the predicted shard (visible in per-backend
+/// `/stats` deltas), the aggregated `/stats` arithmetic is internally
+/// consistent, and a backend's `503` passes through to the client.
+///
+/// # Errors
+///
+/// Returns a description of the first failed check.
+pub fn run_router_probe() -> Result<Vec<CheckLine>, String> {
+    // one real backend, one shedding stub, and the router over both
+    let small = ServerConfig {
+        workers: 4,
+        cache_capacity: 256,
+        cache_shards: 4,
+        ..ServerConfig::default()
+    };
+    let backend = Server::bind(small.clone())
+        .map_err(|e| format!("bind backend: {e}"))?
+        .spawn();
+    let stub = Server::bind_with(small.clone(), Arc::new(ShedStub::default()))
+        .map_err(|e| format!("bind stub: {e}"))?
+        .spawn();
+    let state = Arc::new(RouterState::new(
+        vec![
+            BackendSpec::fixed("backend-0", &backend.addr().to_string()),
+            BackendSpec::fixed("shed-stub", &stub.addr().to_string()),
+        ],
+        None,
+    ));
+    state.check_backends_now();
+    let router = Server::bind_with(small, Arc::clone(&state))
+        .map_err(|e| format!("bind router: {e}"))?
+        .spawn();
+
+    let outcome = router_checks(&router.addr().to_string(), &state);
+    router.shutdown();
+    stub.shutdown();
+    backend.shutdown();
+    outcome
+}
+
+fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, String> {
+    let mut lines = Vec::new();
+    let mut pass = |line: String| lines.push(line);
+    let ids = state.backend_ids();
+
+    // pick, by the same pure rendezvous function the router runs, one
+    // target owned by each backend — the probe *predicts* placement
+    let owned_target = |id: &str| -> Result<String, String> {
+        (1u32..200)
+            .map(|k| format!("/closed_form?k={k}&f=0"))
+            .find(|target| {
+                let rank = rendezvous_rank(&ids, &routing_key(&probe_request(target)));
+                ids[rank[0]] == id
+            })
+            .ok_or_else(|| format!("no probe target ranks {id:?} first"))
+    };
+
+    // 16. routing lands on the predicted shard, visible as a
+    // per-backend routed delta, and the repeat is that shard's memo hit
+    let target = owned_target("backend-0")?;
+    let (_, before) = fetch_json(addr, "GET", "/stats", None)?;
+    let (status, first) = fetch_json(addr, "GET", &target, None)?;
+    expect(status == 200, "routed closed_form should be 200", &first)?;
+    let (status, second) = fetch_json(addr, "GET", &target, None)?;
+    expect(
+        status == 200 && second.get("cached").and_then(Value::as_bool) == Some(true),
+        "repeat through the router should hit the owning shard's cache",
+        &second,
+    )?;
+    let (_, after) = fetch_json(addr, "GET", "/stats", None)?;
+    let delta_owner = routed_of(&after, "backend-0")? - routed_of(&before, "backend-0")?;
+    let delta_stub = routed_of(&after, "shed-stub")? - routed_of(&before, "shed-stub")?;
+    expect(
+        delta_owner == 2 && delta_stub == 0,
+        "both requests should route to the predicted backend only",
+        &after,
+    )?;
+    pass(format!(
+        "check 16 - route: {target} routed to backend-0 twice (predicted), repeat cached"
+    ));
+
+    // 17. aggregated /stats arithmetic: router totals equal the sum of
+    // the per-backend columns in one snapshot
+    let (status, stats) = fetch_json(addr, "GET", "/stats", None)?;
+    expect(status == 200, "router stats should be 200", &stats)?;
+    let uint = |doc: &Value, name: &str| doc.get(name).and_then(Value::as_u64).unwrap_or(0);
+    let backends = stats
+        .get("backends")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("router stats without backends: {}", stats.to_json_string()))?;
+    let sum = |field: &str| -> u64 { backends.iter().map(|b| uint(b, field)).sum() };
+    expect(
+        uint(&stats, "routed_total") == sum("routed"),
+        "routed_total should equal the per-backend routed sum",
+        &stats,
+    )?;
+    expect(
+        uint(&stats, "cache_hits") == sum("hits")
+            && uint(&stats, "cache_misses") == sum("misses")
+            && uint(&stats, "backend_shed") == sum("shed")
+            && uint(&stats, "backend_requests") == sum("requests"),
+        "aggregated cache/shed/request sums should match the per-backend columns",
+        &stats,
+    )?;
+    expect(
+        backends
+            .iter()
+            .all(|b| b.get("reachable").and_then(Value::as_bool) == Some(true)),
+        "both probe backends should be reachable",
+        &stats,
+    )?;
+    expect(
+        uint(&stats, "cache_hits") >= 1,
+        "the check-16 repeat should be visible as an aggregated hit",
+        &stats,
+    )?;
+    pass(format!(
+        "check 17 - stats: totals consistent over {} backends ({} routed, {} hits)",
+        backends.len(),
+        uint(&stats, "routed_total"),
+        uint(&stats, "cache_hits")
+    ));
+
+    // 18. a backend's 503 passes through: the router reports the shed
+    // verbatim, counts it, and does not fail over (overload is an
+    // answer, not a transport error)
+    let target = owned_target("shed-stub")?;
+    let (_, before) = fetch_json(addr, "GET", "/stats", None)?;
+    let failovers_before = state.failover_total();
+    let (status, doc) = fetch_json(addr, "GET", &target, None)?;
+    expect(
+        status == 503 && doc.get("error").is_some(),
+        "a stub-owned request should come back as the stub's JSON 503",
+        &doc,
+    )?;
+    let (_, after) = fetch_json(addr, "GET", "/stats", None)?;
+    expect(
+        uint(&after, "shed_passthrough") == uint(&before, "shed_passthrough") + 1,
+        "the passthrough should advance shed_passthrough by exactly one",
+        &after,
+    )?;
+    expect(
+        state.failover_total() == failovers_before,
+        "a 503 answer must not trigger failover",
+        &after,
+    )?;
+    pass(format!(
+        "check 18 - shed: {target} passed the stub's 503 through, no failover"
     ));
 
     Ok(lines)

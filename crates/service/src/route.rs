@@ -1,0 +1,592 @@
+//! The consistent-hash router: rendezvous (highest-random-weight)
+//! sharding of requests across `raysearchd` backends, with health
+//! checks, bounded retry-with-failover, and aggregated `/stats`.
+//!
+//! # Why rendezvous hashing
+//!
+//! Every evaluation endpoint is memoized, so throughput scales with the
+//! *hit rate*, and the hit rate survives scale-out only if every
+//! spelling of the same logical request lands on the same backend. The
+//! router therefore scores each backend by the pinned FNV-1a hash of
+//! `backend-id ++ 0x00 ++ routing-key` (see [`routing_key`]) and
+//! forwards to the
+//! highest score. Rendezvous hashing has the minimal-disruption
+//! property a cache fleet wants: removing one of `N` backends remaps
+//! only the keys that backend owned (~`1/N` of the population), and
+//! every surviving key keeps its backend — no ring to rebalance, no
+//! token table to persist. Because the hash is process-stable, the
+//! assignment is reproducible across restarts and predictable offline
+//! by a replay harness.
+//!
+//! # Failure model
+//!
+//! Requests are idempotent pure computations, so failover is safe:
+//! transport errors (backend died, connection refused) retry down the
+//! rendezvous ranking — each hop counted in `failover_total` — until a
+//! backend answers or every backend has been tried (then `502`). A
+//! backend's *HTTP* answer is never second-guessed: a `503` from an
+//! overloaded backend passes through to the client (counted as
+//! `shed_passthrough`), because retrying overload elsewhere just
+//! spreads it. A background health thread probes `/healthz` and
+//! re-reads port files, so a backend respawned on a new ephemeral port
+//! is rediscovered without reconfiguration; unhealthy backends are
+//! deprioritized but still tried as a last resort (they may have just
+//! come back).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use raysearch_core::stable_hash64_parts;
+use serde_json::{Map, Value};
+
+use crate::api::routing_key;
+use crate::client::HttpClient;
+use crate::http::{Request, Response};
+use crate::server::Handler;
+use crate::tape::{is_recordable, TapeEntry, TapeRecorder};
+
+/// How long a health probe waits before declaring a backend unhealthy.
+pub const HEALTH_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// How long a forwarded request may take end to end. Generous: exact
+/// large-fleet evaluations legitimately run for seconds.
+pub const FORWARD_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Where a backend's address comes from.
+#[derive(Debug, Clone)]
+pub enum AddrSource {
+    /// A fixed `HOST:PORT` address.
+    Fixed(String),
+    /// A file the backend writes its bound address into (`--port-file`).
+    /// Re-read by every health pass, so a backend respawned on a new
+    /// ephemeral port is rediscovered automatically.
+    PortFile(PathBuf),
+}
+
+/// One backend as configured: a stable logical identity plus an address
+/// source. The *identity* is what rendezvous hashing scores — it stays
+/// fixed across respawns even when the port changes, so a restart does
+/// not reshuffle the keyspace.
+#[derive(Debug, Clone)]
+pub struct BackendSpec {
+    /// The stable logical id (`"backend-0"`, …).
+    pub id: String,
+    /// Where to find it.
+    pub source: AddrSource,
+}
+
+impl BackendSpec {
+    /// A backend at a fixed address.
+    #[must_use]
+    pub fn fixed(id: &str, addr: &str) -> BackendSpec {
+        BackendSpec {
+            id: id.to_owned(),
+            source: AddrSource::Fixed(addr.to_owned()),
+        }
+    }
+
+    /// A backend discovered through a port file.
+    #[must_use]
+    pub fn port_file(id: &str, path: PathBuf) -> BackendSpec {
+        BackendSpec {
+            id: id.to_owned(),
+            source: AddrSource::PortFile(path),
+        }
+    }
+}
+
+/// Ranks backend ids for `key` by rendezvous (HRW) score, best first.
+///
+/// Pure and process-stable: the ranking depends only on the id strings
+/// and the key bytes, so any process — the router, a test, an offline
+/// replay harness — computes the same assignment. Ties (a ~2⁻⁶⁴ event)
+/// break toward the lexicographically smaller id to keep the order a
+/// total function of the inputs.
+#[must_use]
+pub fn rendezvous_rank(ids: &[String], key: &str) -> Vec<usize> {
+    let mut scored: Vec<(u64, &str, usize)> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| {
+            (
+                stable_hash64_parts(&[id.as_bytes(), key.as_bytes()]),
+                id.as_str(),
+                i,
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+    scored.into_iter().map(|(_, _, i)| i).collect()
+}
+
+/// One backend at runtime: the spec plus live state and counters.
+#[derive(Debug)]
+struct Backend {
+    id: String,
+    source: AddrSource,
+    /// The last known address (`None` until the port file appears).
+    addr: Mutex<Option<String>>,
+    healthy: AtomicBool,
+    /// Requests this backend answered (any HTTP status).
+    routed: AtomicU64,
+    /// Transport failures observed talking to this backend.
+    failed: AtomicU64,
+}
+
+impl Backend {
+    fn current_addr(&self) -> Option<String> {
+        self.addr.lock().clone()
+    }
+}
+
+/// The router's shared state — the [`Handler`] behind `raysearch-router`.
+#[derive(Debug)]
+pub struct RouterState {
+    backends: Vec<Backend>,
+    started: Instant,
+    /// Requests the router accepted (including `/healthz`, `/stats`).
+    requests: AtomicU64,
+    /// Requests answered by some backend.
+    routed_total: AtomicU64,
+    /// Failover hops: transport failures that moved a request down the
+    /// rendezvous ranking.
+    failover_total: AtomicU64,
+    /// Backend `503`s passed through to clients.
+    shed_passthrough: AtomicU64,
+    /// Connections the router's own acceptor shed with a `503`.
+    shed: AtomicU64,
+    /// Requests that exhausted every backend (answered `502`).
+    no_backend_total: AtomicU64,
+    recorder: Option<TapeRecorder>,
+}
+
+impl RouterState {
+    /// Builds router state over `specs`, optionally recording forwarded
+    /// traffic to a tape. All backends start unknown/unhealthy; call
+    /// [`RouterState::check_backends_now`] (or run the health thread)
+    /// before serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty or contains duplicate ids — both are
+    /// configuration errors worth failing fast on.
+    #[must_use]
+    pub fn new(specs: Vec<BackendSpec>, recorder: Option<TapeRecorder>) -> RouterState {
+        assert!(!specs.is_empty(), "router needs at least one backend");
+        let mut ids: Vec<&str> = specs.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), specs.len(), "backend ids must be unique");
+        RouterState {
+            backends: specs
+                .into_iter()
+                .map(|spec| Backend {
+                    id: spec.id,
+                    addr: Mutex::new(match &spec.source {
+                        AddrSource::Fixed(addr) => Some(addr.clone()),
+                        AddrSource::PortFile(_) => None,
+                    }),
+                    source: spec.source,
+                    healthy: AtomicBool::new(false),
+                    routed: AtomicU64::new(0),
+                    failed: AtomicU64::new(0),
+                })
+                .collect(),
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            routed_total: AtomicU64::new(0),
+            failover_total: AtomicU64::new(0),
+            shed_passthrough: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            no_backend_total: AtomicU64::new(0),
+            recorder,
+        }
+    }
+
+    /// The configured backend ids, in configuration order — the
+    /// population [`rendezvous_rank`] scores.
+    #[must_use]
+    pub fn backend_ids(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.id.clone()).collect()
+    }
+
+    /// Failover hops so far.
+    #[must_use]
+    pub fn failover_total(&self) -> u64 {
+        self.failover_total.load(Ordering::Relaxed)
+    }
+
+    /// Backends currently marked healthy.
+    #[must_use]
+    pub fn healthy_backends(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| b.healthy.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Runs one synchronous health pass: refresh each backend's address
+    /// from its source (re-reading port files, so respawned backends on
+    /// new ports are picked up) and probe its `/healthz` with
+    /// [`HEALTH_TIMEOUT`]. Returns the number of healthy backends.
+    pub fn check_backends_now(&self) -> usize {
+        for backend in &self.backends {
+            if let AddrSource::PortFile(path) = &backend.source {
+                let read = std::fs::read_to_string(path)
+                    .ok()
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty());
+                *backend.addr.lock() = read;
+            }
+            let healthy = backend.current_addr().is_some_and(|addr| {
+                HttpClient::connect_with_timeout(&addr, HEALTH_TIMEOUT)
+                    .and_then(|mut c| c.request("GET", "/healthz", None))
+                    .map(|(status, _)| status == 200)
+                    .unwrap_or(false)
+            });
+            backend.healthy.store(healthy, Ordering::Relaxed);
+        }
+        self.healthy_backends()
+    }
+
+    /// The router's own `/healthz`: `"ok"` when every backend is
+    /// healthy, `"degraded"` when some are not, `"down"` when none are.
+    fn healthz(&self) -> Response {
+        let healthy = self.healthy_backends();
+        let status = if healthy == self.backends.len() {
+            "ok"
+        } else if healthy > 0 {
+            "degraded"
+        } else {
+            "down"
+        };
+        let mut doc = Map::new();
+        doc.insert("status".to_owned(), Value::String(status.to_owned()));
+        doc.insert(
+            "service".to_owned(),
+            Value::String("raysearch-router".to_owned()),
+        );
+        doc.insert(
+            "backend_count".to_owned(),
+            serde_json::to_value(self.backends.len() as u64).expect("u64 serializes"),
+        );
+        doc.insert(
+            "healthy_backends".to_owned(),
+            serde_json::to_value(healthy as u64).expect("u64 serializes"),
+        );
+        doc.insert(
+            "backends".to_owned(),
+            Value::Array(
+                self.backends
+                    .iter()
+                    .map(|b| {
+                        let mut bd = Map::new();
+                        bd.insert("id".to_owned(), Value::String(b.id.clone()));
+                        bd.insert(
+                            "addr".to_owned(),
+                            match b.current_addr() {
+                                Some(addr) => Value::String(addr),
+                                None => Value::Null,
+                            },
+                        );
+                        bd.insert(
+                            "healthy".to_owned(),
+                            Value::Bool(b.healthy.load(Ordering::Relaxed)),
+                        );
+                        Value::Object(bd)
+                    })
+                    .collect(),
+            ),
+        );
+        Response::ok(Value::Object(doc).to_json_string())
+    }
+
+    /// The router's `/stats`: router-level counters plus a live
+    /// aggregation over every reachable backend's own `/stats`
+    /// (hit/miss/shed/request counters), per backend and summed.
+    fn stats(&self) -> Response {
+        let mut per_backend = Vec::new();
+        let mut hits_sum = 0u64;
+        let mut misses_sum = 0u64;
+        let mut shed_sum = 0u64;
+        let mut requests_sum = 0u64;
+        for backend in &self.backends {
+            let mut bd = Map::new();
+            bd.insert("id".to_owned(), Value::String(backend.id.clone()));
+            bd.insert(
+                "healthy".to_owned(),
+                Value::Bool(backend.healthy.load(Ordering::Relaxed)),
+            );
+            bd.insert(
+                "routed".to_owned(),
+                serde_json::to_value(backend.routed.load(Ordering::Relaxed))
+                    .expect("u64 serializes"),
+            );
+            bd.insert(
+                "failed".to_owned(),
+                serde_json::to_value(backend.failed.load(Ordering::Relaxed))
+                    .expect("u64 serializes"),
+            );
+            let fetched = backend.current_addr().and_then(|addr| {
+                HttpClient::connect_with_timeout(&addr, HEALTH_TIMEOUT)
+                    .and_then(|mut c| c.request("GET", "/stats", None))
+                    .ok()
+                    .filter(|(status, _)| *status == 200)
+                    .and_then(|(_, text)| serde_json::from_str(&text).ok())
+            });
+            let reachable = fetched.is_some();
+            if let Some(stats) = &fetched {
+                let uint = |v: Option<&Value>| v.and_then(Value::as_u64).unwrap_or(0);
+                let hits = uint(stats.get("cache").and_then(|c| c.get("hits")));
+                let misses = uint(stats.get("cache").and_then(|c| c.get("misses")));
+                let shed = uint(stats.get("shed_total"));
+                let requests = uint(stats.get("requests_total"));
+                hits_sum += hits;
+                misses_sum += misses;
+                shed_sum += shed;
+                requests_sum += requests;
+                bd.insert(
+                    "hits".to_owned(),
+                    serde_json::to_value(hits).expect("u64 serializes"),
+                );
+                bd.insert(
+                    "misses".to_owned(),
+                    serde_json::to_value(misses).expect("u64 serializes"),
+                );
+                bd.insert(
+                    "shed".to_owned(),
+                    serde_json::to_value(shed).expect("u64 serializes"),
+                );
+                bd.insert(
+                    "requests".to_owned(),
+                    serde_json::to_value(requests).expect("u64 serializes"),
+                );
+            }
+            bd.insert("reachable".to_owned(), Value::Bool(reachable));
+            per_backend.push(Value::Object(bd));
+        }
+
+        let mut doc = Map::new();
+        let mut counter = |name: &str, value: u64| {
+            doc.insert(
+                name.to_owned(),
+                serde_json::to_value(value).expect("u64 serializes"),
+            );
+        };
+        counter("requests_total", self.requests.load(Ordering::Relaxed));
+        counter("routed_total", self.routed_total.load(Ordering::Relaxed));
+        counter(
+            "failover_total",
+            self.failover_total.load(Ordering::Relaxed),
+        );
+        counter(
+            "shed_passthrough",
+            self.shed_passthrough.load(Ordering::Relaxed),
+        );
+        counter("shed_total", self.shed.load(Ordering::Relaxed));
+        counter(
+            "no_backend_total",
+            self.no_backend_total.load(Ordering::Relaxed),
+        );
+        counter("cache_hits", hits_sum);
+        counter("cache_misses", misses_sum);
+        counter("backend_shed", shed_sum);
+        counter("backend_requests", requests_sum);
+        counter("uptime_micros", self.started.elapsed().as_micros() as u64);
+        doc.insert("backends".to_owned(), Value::Array(per_backend));
+        Response::ok(Value::Object(doc).to_json_string())
+    }
+
+    /// Issues `req` against the backend at `addr` over a fresh
+    /// connection. A fresh connection per forward keeps the failure
+    /// semantics crisp: any transport error means *this backend, now* —
+    /// never a stale pooled socket from before a crash.
+    fn forward_once(addr: &str, req: &Request, target: &str) -> std::io::Result<(u16, String)> {
+        let body = String::from_utf8_lossy(&req.body);
+        let mut client = HttpClient::connect_with_timeout(addr, FORWARD_TIMEOUT)?;
+        client.request(&req.method, target, Some(&body))
+    }
+
+    /// Routes one request: rendezvous-rank the backends for its
+    /// canonical key, try them healthy-first in rank order, fail over
+    /// on transport errors, give up with a `502` after every backend
+    /// has failed once.
+    fn route(&self, req: &Request) -> Response {
+        let key = routing_key(req);
+        let ids = self.backend_ids();
+        let ranked = rendezvous_rank(&ids, &key);
+        let target = request_target(req);
+
+        // healthy backends in rank order first; unhealthy ones after,
+        // as a last resort (the health view may be stale in both
+        // directions)
+        let healthy_first: Vec<usize> = ranked
+            .iter()
+            .copied()
+            .filter(|&i| self.backends[i].healthy.load(Ordering::Relaxed))
+            .chain(
+                ranked
+                    .iter()
+                    .copied()
+                    .filter(|&i| !self.backends[i].healthy.load(Ordering::Relaxed)),
+            )
+            .collect();
+
+        let mut attempted = 0usize;
+        for idx in healthy_first {
+            let backend = &self.backends[idx];
+            let Some(addr) = backend.current_addr() else {
+                continue;
+            };
+            attempted += 1;
+            match RouterState::forward_once(&addr, req, &target) {
+                Ok((status, body)) => {
+                    backend.routed.fetch_add(1, Ordering::Relaxed);
+                    self.routed_total.fetch_add(1, Ordering::Relaxed);
+                    if status == 503 {
+                        // the backend's overload answer stands; retrying
+                        // elsewhere would just spread the overload
+                        self.shed_passthrough.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let response = Response { status, body };
+                    self.record(req, &target, &response);
+                    return response;
+                }
+                Err(_) => {
+                    // transport failure: this backend is gone right now
+                    backend.failed.fetch_add(1, Ordering::Relaxed);
+                    backend.healthy.store(false, Ordering::Relaxed);
+                    self.failover_total.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.no_backend_total.fetch_add(1, Ordering::Relaxed);
+        let response =
+            Response::error(502, &format!("no backend answered ({attempted} attempted)"));
+        self.record(req, &target, &response);
+        response
+    }
+
+    fn record(&self, req: &Request, target: &str, response: &Response) {
+        let Some(recorder) = &self.recorder else {
+            return;
+        };
+        if !is_recordable(&req.path) {
+            return;
+        }
+        let body = String::from_utf8_lossy(&req.body);
+        let entry = TapeEntry::observe(recorder.next_tick(), &req.method, target, &body, response);
+        recorder.record(&entry);
+    }
+}
+
+impl Handler for RouterState {
+    fn handle(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/stats") => self.stats(),
+            _ => self.route(req),
+        }
+    }
+
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Reconstructs the request target (`path?query`) for forwarding.
+#[must_use]
+pub fn request_target(req: &Request) -> String {
+    let mut target = req.path.clone();
+    for (i, (k, v)) in req.query.iter().enumerate() {
+        target.push(if i == 0 { '?' } else { '&' });
+        target.push_str(k);
+        if !v.is_empty() {
+            target.push('=');
+            target.push_str(v);
+        }
+    }
+    target
+}
+
+/// Spawns the background health thread: one
+/// [`check_backends_now`](RouterState::check_backends_now) pass every
+/// `interval` until `stop` is set.
+pub fn spawn_health_thread(
+    state: Arc<RouterState>,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            state.check_backends_now();
+            std::thread::sleep(interval);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn rank_is_a_permutation_and_deterministic() {
+        let ids = ids(&["backend-0", "backend-1", "backend-2"]);
+        for key in ["evaluate:m=2,k=3,f=1,h=10000", "lambda:eta=1.5", ""] {
+            let rank = rendezvous_rank(&ids, key);
+            let mut sorted = rank.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "key {key:?}");
+            assert_eq!(rank, rendezvous_rank(&ids, key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn rank_depends_only_on_id_strings_not_order() {
+        let a = ids(&["backend-0", "backend-1", "backend-2"]);
+        let b = ids(&["backend-2", "backend-0", "backend-1"]);
+        for key in ["evaluate:m=2,k=3,f=1,h=10000", "closed_form:m=2,k=5,f=2"] {
+            let top_a = rendezvous_rank(&a, key)[0];
+            let top_b = rendezvous_rank(&b, key)[0];
+            assert_eq!(a[top_a], b[top_b], "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn request_target_reconstructs_the_query() {
+        let req = Request {
+            method: "GET".to_owned(),
+            version: "HTTP/1.1".to_owned(),
+            path: "/closed_form".to_owned(),
+            query: vec![
+                ("k".to_owned(), "3".to_owned()),
+                ("f".to_owned(), "1".to_owned()),
+                ("flag".to_owned(), String::new()),
+            ],
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(request_target(&req), "/closed_form?k=3&f=1&flag");
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_backend_ids_are_rejected() {
+        let _ = RouterState::new(
+            vec![
+                BackendSpec::fixed("b0", "127.0.0.1:1"),
+                BackendSpec::fixed("b0", "127.0.0.1:2"),
+            ],
+            None,
+        );
+    }
+}

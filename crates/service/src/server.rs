@@ -1,11 +1,20 @@
-//! The TCP server: a fixed worker pool behind a bounded accept queue.
+//! The TCP server: a fixed worker pool behind a bounded accept queue,
+//! generic over the request [`Handler`].
 //!
 //! One acceptor thread owns the `TcpListener` and pushes accepted
 //! connections into a bounded `sync_channel`; `workers` threads pop
 //! connections and drive each one through its whole keep-alive
 //! lifetime. When the queue is full the acceptor sheds load immediately
 //! with a `503` instead of letting the backlog grow without bound — a
-//! deliberate, visible failure mode for overload.
+//! deliberate, visible failure mode for overload (and counted through
+//! [`Handler::note_shed`], so `/stats` can report it).
+//!
+//! The transport knows nothing about endpoints: everything above the
+//! HTTP layer goes through the [`Handler`] trait, which both the
+//! evaluation backend ([`ServiceState`]) and the consistent-hash router
+//! ([`RouterState`](crate::route::RouterState)) implement — one
+//! worker-pool/accept-queue/keep-alive implementation serves both
+//! binaries.
 //!
 //! Shutdown is cooperative: [`ServerHandle::shutdown`] sets a flag,
 //! pokes the listener with a throwaway connection to unblock `accept`,
@@ -22,7 +31,20 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::api::ServiceState;
-use crate::http::{read_request, HttpError, Response};
+use crate::http::{read_request, HttpError, Request, Response};
+
+/// What the transport needs from the layer above it: turn one parsed
+/// request into one response, and (optionally) account for connections
+/// the acceptor had to shed.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one request. Must be infallible at the
+    /// HTTP layer — internal errors become JSON error responses.
+    fn handle(&self, req: &Request) -> Response;
+
+    /// Called by the acceptor each time it sheds a connection with a
+    /// `503` because the accept queue is full. Default: unobserved.
+    fn note_shed(&self) {}
+}
 
 /// Tunables for one server instance.
 #[derive(Debug, Clone)]
@@ -33,9 +55,10 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded depth of the accept queue; beyond it, connections get 503.
     pub queue_depth: usize,
-    /// Total memo-cache capacity (entries).
+    /// Total memo-cache capacity (entries) — used by the default
+    /// [`ServiceState`] construction in [`Server::bind`].
     pub cache_capacity: usize,
-    /// Number of memo-cache shards.
+    /// Number of memo-cache shards (ditto).
     pub cache_shards: usize,
     /// Per-connection read timeout while waiting for the next request.
     pub read_timeout: Duration,
@@ -57,26 +80,40 @@ impl Default for ServerConfig {
     }
 }
 
-/// A bound, not-yet-running server.
+/// A bound, not-yet-running server over handler `H`.
 #[derive(Debug)]
-pub struct Server {
+pub struct Server<H: Handler = ServiceState> {
     listener: TcpListener,
-    state: Arc<ServiceState>,
+    state: Arc<H>,
     cfg: ServerConfig,
 }
 
-impl Server {
-    /// Binds the configured address and allocates the service state.
+impl Server<ServiceState> {
+    /// Binds the configured address and allocates a fresh evaluation
+    /// [`ServiceState`] sized by the config's cache fields.
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
-    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.addr)?;
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server<ServiceState>> {
         let state = Arc::new(ServiceState::new(cfg.cache_capacity, cfg.cache_shards));
+        Server::bind_with(cfg, state)
+    }
+}
+
+impl<H: Handler> Server<H> {
+    /// Binds the configured address around a caller-provided handler
+    /// (the router binary passes its [`RouterState`](crate::route::RouterState)
+    /// here; tests can pass anything implementing [`Handler`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with(cfg: ServerConfig, handler: Arc<H>) -> std::io::Result<Server<H>> {
+        let listener = TcpListener::bind(&cfg.addr)?;
         Ok(Server {
             listener,
-            state,
+            state: handler,
             cfg,
         })
     }
@@ -90,8 +127,8 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// The shared service state (for in-process probing and tests).
-    pub fn state(&self) -> Arc<ServiceState> {
+    /// The shared handler state (for in-process probing and tests).
+    pub fn state(&self) -> Arc<H> {
         Arc::clone(&self.state)
     }
 
@@ -101,7 +138,7 @@ impl Server {
     /// # Panics
     ///
     /// Panics if the listener's address cannot be introspected.
-    pub fn spawn(self) -> ServerHandle {
+    pub fn spawn(self) -> ServerHandle<H> {
         let addr = self.local_addr().expect("bound listener has an address");
         let stop = Arc::new(AtomicBool::new(false));
         let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(self.cfg.queue_depth);
@@ -113,13 +150,14 @@ impl Server {
             let state = Arc::clone(&self.state);
             let timeout = self.cfg.read_timeout;
             threads.push(std::thread::spawn(move || {
-                worker_loop(&receiver, &state, timeout)
+                worker_loop(&receiver, &*state, timeout)
             }));
         }
 
         let acceptor = {
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || accept_loop(&self.listener, &sender, &stop))
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || accept_loop(&self.listener, &sender, &stop, &*state))
         };
         threads.push(acceptor);
 
@@ -134,21 +172,21 @@ impl Server {
 
 /// A running server: its address, state, and the means to stop it.
 #[derive(Debug)]
-pub struct ServerHandle {
+pub struct ServerHandle<H: Handler = ServiceState> {
     addr: std::net::SocketAddr,
-    state: Arc<ServiceState>,
+    state: Arc<H>,
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
 
-impl ServerHandle {
+impl<H: Handler> ServerHandle<H> {
     /// The address the server is listening on.
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
     }
 
-    /// The shared service state.
-    pub fn state(&self) -> Arc<ServiceState> {
+    /// The shared handler state.
+    pub fn state(&self) -> Arc<H> {
         Arc::clone(&self.state)
     }
 
@@ -172,7 +210,12 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, sender: &SyncSender<TcpStream>, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    sender: &SyncSender<TcpStream>,
+    stop: &AtomicBool,
+    state: &dyn Handler,
+) {
     loop {
         let accepted = listener.accept();
         if stop.load(Ordering::SeqCst) {
@@ -189,6 +232,7 @@ fn accept_loop(listener: &TcpListener, sender: &SyncSender<TcpStream>, stop: &At
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
                 // shed load rather than queueing without bound
+                state.note_shed();
                 let _ = Response::error(503, "server overloaded, try again")
                     .write_to(&mut stream, false);
             }
@@ -197,7 +241,7 @@ fn accept_loop(listener: &TcpListener, sender: &SyncSender<TcpStream>, stop: &At
     }
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, state: &ServiceState, timeout: Duration) {
+fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, state: &dyn Handler, timeout: Duration) {
     loop {
         // hold the lock only for the dequeue, not while serving
         let next = receiver.lock().recv();
@@ -209,7 +253,7 @@ fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, state: &ServiceState, time
 }
 
 /// Serves one connection for its whole keep-alive lifetime.
-fn handle_connection(stream: TcpStream, state: &ServiceState, timeout: Duration) {
+fn handle_connection(stream: TcpStream, state: &dyn Handler, timeout: Duration) {
     if stream.set_read_timeout(Some(timeout)).is_err() {
         return;
     }

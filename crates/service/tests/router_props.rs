@@ -1,0 +1,272 @@
+//! Property tests for the consistent-hash router.
+//!
+//! Three guarantees are pinned here, because the scale-out layer's
+//! whole value rests on them:
+//!
+//! 1. **Minimal disruption** — removing (or adding) one of `N` backends
+//!    remaps only the keys that backend owned, roughly `1/N` of the
+//!    population; every other key keeps its backend and therefore its
+//!    memo entries.
+//! 2. **Stability** — the key→backend assignment is a pure function of
+//!    the id strings and key bytes: byte-identical across thread counts
+//!    {1, 2, 8} and across process restarts (a golden fingerprint pins
+//!    it forever).
+//! 3. **Spelling invariance** — every spelling of the same logical
+//!    request (query string vs JSON body, `1e4` vs `10000`, defaulted
+//!    vs explicit parameters) derives the same routing key, so it lands
+//!    on the same backend's cache.
+//!
+//! All randomness is seeded: proptest's sampler is seeded per test
+//! name, and key populations are derived from the pinned FNV-1a hash —
+//! no ambient randomness anywhere.
+
+use proptest::prelude::*;
+use raysearch_core::stable_hash64;
+use raysearch_service::http::Request;
+use raysearch_service::route::rendezvous_rank;
+use raysearch_service::routing_key;
+
+fn backend_ids(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("backend-{i}")).collect()
+}
+
+/// A deterministic population of `count` keys derived from `seed` by
+/// the pinned hash — varied shapes (canonical-looking and raw-looking)
+/// but reproducible bytes on every machine.
+fn keys_from_seed(seed: u64, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| {
+            let h = stable_hash64(format!("{seed}:{i}").as_bytes());
+            match h % 3 {
+                0 => format!(
+                    "evaluate:m={},k={},f={},h={}",
+                    2 + h % 5,
+                    1 + (h >> 8) % 40,
+                    (h >> 16) % 4,
+                    1000 * (1 + (h >> 24) % 9)
+                ),
+                1 => format!(
+                    "closed_form:m={},k={},f={}",
+                    2 + h % 4,
+                    1 + (h >> 8) % 64,
+                    (h >> 20) % 8
+                ),
+                _ => format!("raw:GET:/p{}:{}", h % 97, h >> 32),
+            }
+        })
+        .collect()
+}
+
+/// The rendezvous winner for `key` over `ids`.
+fn owner(ids: &[String], key: &str) -> usize {
+    rendezvous_rank(ids, key)[0]
+}
+
+/// The full assignment as one comparable string: `key -> id` per line.
+fn assignment(ids: &[String], keys: &[String]) -> String {
+    let mut out = String::new();
+    for key in keys {
+        out.push_str(key);
+        out.push_str(" -> ");
+        out.push_str(&ids[owner(ids, key)]);
+        out.push('\n');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Removing one of `N` backends remaps exactly the keys it owned —
+    /// the survival invariant is exact, and the remapped fraction is
+    /// ~1/N (checked with wide tolerance; the exact invariant is the
+    /// load-bearing one).
+    #[test]
+    fn removing_a_backend_remaps_only_its_keys(
+        seed in 0u64..1_000_000_000,
+        n in 3usize..7,
+        victim in 0usize..7,
+    ) {
+        prop_assume!(victim < n);
+        let keys = keys_from_seed(seed, 512);
+        let full = backend_ids(n);
+        let mut reduced = full.clone();
+        let removed_id = reduced.remove(victim);
+
+        let mut remapped = 0usize;
+        for key in &keys {
+            let before = &full[owner(&full, key)];
+            let after = &reduced[owner(&reduced, key)];
+            if *before == removed_id {
+                remapped += 1;
+            } else {
+                // the exact minimal-disruption invariant: survivors
+                // keep every key they owned
+                prop_assert_eq!(before, after, "key {} moved between survivors", key);
+            }
+        }
+        // the removed backend owned ~1/n of the keys
+        let expected = keys.len() as f64 / n as f64;
+        prop_assert!(
+            (remapped as f64) < 2.5 * expected,
+            "{remapped} of {} keys remapped, expected ~{expected:.0}",
+            keys.len()
+        );
+        prop_assert!(
+            (remapped as f64) > expected / 4.0,
+            "{remapped} of {} keys remapped, expected ~{expected:.0}",
+            keys.len()
+        );
+    }
+
+    /// Adding a backend only *steals* keys for itself: every key either
+    /// keeps its backend or moves to the newcomer.
+    #[test]
+    fn adding_a_backend_only_steals_for_itself(
+        seed in 0u64..1_000_000_000,
+        n in 2usize..6,
+    ) {
+        let keys = keys_from_seed(seed, 256);
+        let old = backend_ids(n);
+        let grown = backend_ids(n + 1);
+        let new_id = &grown[n];
+        for key in &keys {
+            let before = &old[owner(&old, key)];
+            let after = &grown[owner(&grown, key)];
+            prop_assert!(
+                after == before || after == new_id,
+                "key {} moved from {} to {} (not the new backend)",
+                key, before, after
+            );
+        }
+    }
+}
+
+/// The assignment is byte-stable across thread counts: computing it
+/// from 1, 2 and 8 threads concurrently produces identical bytes.
+#[test]
+fn assignment_is_byte_stable_across_thread_counts() {
+    let ids = backend_ids(3);
+    let keys = keys_from_seed(42, 256);
+    let reference = assignment(&ids, &keys);
+    for threads in [1usize, 2, 8] {
+        let copies = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| assignment(&ids, &keys)))
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("assignment thread panicked"))
+                .collect::<Vec<String>>()
+        });
+        for copy in copies {
+            assert_eq!(copy, reference, "{threads}-thread assignment diverged");
+        }
+    }
+}
+
+/// The golden fingerprint: the pinned hash of a fixed assignment. This
+/// is the process-restart (and machine, and toolchain) stability
+/// guarantee — if this value ever changes, every deployed router would
+/// reshuffle its keyspace and cold every cache. Do not update it;
+/// a mismatch is a bug in the hash or the ranking.
+#[test]
+fn assignment_fingerprint_is_pinned() {
+    let ids = backend_ids(4);
+    let keys = keys_from_seed(7, 128);
+    let fingerprint = stable_hash64(assignment(&ids, &keys).as_bytes());
+    assert_eq!(
+        format!("{fingerprint:016x}"),
+        "00652ca21b88bdbc",
+        "rendezvous assignment drifted — routers would reshuffle on upgrade"
+    );
+}
+
+fn get(path: &str, query: &[(&str, &str)]) -> Request {
+    Request {
+        method: "GET".to_owned(),
+        version: "HTTP/1.1".to_owned(),
+        path: path.to_owned(),
+        query: query
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+fn post(path: &str, body: &str) -> Request {
+    Request {
+        method: "POST".to_owned(),
+        version: "HTTP/1.1".to_owned(),
+        path: path.to_owned(),
+        query: Vec::new(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+/// Every spelling of the same logical request derives the same routing
+/// key — the property that makes the hit rate survive scale-out.
+#[test]
+fn routing_key_is_spelling_invariant() {
+    // query string vs JSON body, scientific notation vs integer
+    let spellings = [
+        post("/evaluate", "{\"m\":2,\"k\":3,\"f\":1,\"horizon\":10000}"),
+        post("/evaluate", "{\"m\":2,\"k\":3,\"f\":1,\"horizon\":1e4}"),
+        get(
+            "/evaluate",
+            &[("m", "2"), ("k", "3"), ("f", "1"), ("horizon", "10000")],
+        ),
+        // horizon defaults to 1e4 when omitted
+        post("/evaluate", "{\"m\":2,\"k\":3,\"f\":1}"),
+    ];
+    let keys: Vec<String> = spellings.iter().map(routing_key).collect();
+    assert_eq!(keys[0], "evaluate:m=2,k=3,f=1,h=10000");
+    for key in &keys[1..] {
+        assert_eq!(key, &keys[0]);
+    }
+}
+
+/// Different logical requests derive different keys.
+#[test]
+fn routing_key_separates_distinct_requests() {
+    let a = routing_key(&post("/evaluate", "{\"m\":2,\"k\":3,\"f\":1}"));
+    let b = routing_key(&post("/evaluate", "{\"m\":2,\"k\":4,\"f\":1}"));
+    let c = routing_key(&post("/verdict", "{\"m\":2,\"k\":3,\"f\":1}"));
+    assert_ne!(a, b);
+    assert_ne!(a, c);
+    assert_ne!(b, c);
+}
+
+/// Requests that do not parse into a memo key still route
+/// deterministically on the raw fallback key.
+#[test]
+fn routing_key_falls_back_to_raw_for_unroutable_requests() {
+    let unknown = routing_key(&get("/no_such_endpoint", &[("a", "1")]));
+    assert_eq!(unknown, "raw:GET:/no_such_endpoint?a=1:");
+
+    let malformed = routing_key(&post("/evaluate", "{\"m\":\"not a number\"}"));
+    assert!(malformed.starts_with("raw:POST:/evaluate:"));
+
+    // raw keys still differ by body, so distinct requests spread out
+    let other = routing_key(&post("/evaluate", "{\"k\":\"also bad\"}"));
+    assert_ne!(malformed, other);
+}
+
+/// The ranking a router computes is the ranking any other process
+/// computes — an offline harness can predict shard placement.
+#[test]
+fn ranking_is_reproducible_from_id_strings_alone() {
+    let ids = backend_ids(5);
+    for key in keys_from_seed(3, 64) {
+        let rank = rendezvous_rank(&ids, &key);
+        let again = rendezvous_rank(&ids, &key);
+        assert_eq!(rank, again);
+        // every backend appears exactly once
+        let mut sorted = rank.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ids.len()).collect::<Vec<_>>());
+    }
+}

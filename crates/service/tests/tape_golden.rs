@@ -1,0 +1,153 @@
+//! Golden test pinning the tape wire format.
+//!
+//! Records the canonical 20-request smoke mix through an in-process
+//! router (one in-process backend — fully hermetic, no child
+//! processes) and byte-compares the resulting tape to the committed
+//! fixture `tests/fixtures/smoke.tape`. Any drift in the line format,
+//! the field order, the digest function, the canonicalization of
+//! request targets, *or* the service's response bytes shows up here as
+//! a fixture diff.
+//!
+//! To regenerate the fixture after an intentional format change:
+//!
+//! ```text
+//! RAYSEARCH_REGEN_TAPE=1 cargo test -p raysearch-service --test tape_golden
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use raysearch_service::client::HttpClient;
+use raysearch_service::replay::smoke_mix;
+use raysearch_service::route::{BackendSpec, RouterState};
+use raysearch_service::server::{Server, ServerConfig};
+use raysearch_service::tape::{Tape, TapeEntry, TapeRecorder};
+use raysearch_service::ServiceState;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("smoke.tape")
+}
+
+/// Records the smoke mix through a single-backend in-process router
+/// and returns the canonical tape text.
+fn record_smoke_tape() -> String {
+    let dir = std::env::temp_dir().join(format!("raysearch-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let tape_path = dir.join("smoke.tape");
+
+    // the backend: a real ServiceState server, in-process
+    let backend_cfg = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let backend = Server::bind_with(backend_cfg, Arc::new(ServiceState::new(256, 4)))
+        .expect("bind backend")
+        .spawn();
+    let backend_addr = backend.addr().to_string();
+
+    // the recording router over that one backend
+    let recorder = TapeRecorder::create(&tape_path).expect("create tape");
+    let state = Arc::new(RouterState::new(
+        vec![BackendSpec::fixed("backend-0", &backend_addr)],
+        Some(recorder),
+    ));
+    assert_eq!(state.check_backends_now(), 1, "backend must be healthy");
+    let router_cfg = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    let router = Server::bind_with(router_cfg, state)
+        .expect("bind router")
+        .spawn();
+    let router_addr = router.addr().to_string();
+
+    // one keep-alive connection, sequential: ticks equal mix order
+    let mut client = HttpClient::connect(&router_addr).expect("connect router");
+    for (method, target, body) in smoke_mix() {
+        client
+            .request(method, &target, Some(&body))
+            .expect("smoke request");
+    }
+
+    router.shutdown();
+    backend.shutdown();
+    let text = std::fs::read_to_string(&tape_path).expect("read recorded tape");
+    std::fs::remove_dir_all(&dir).ok();
+    text
+}
+
+/// The recorded smoke mix is byte-identical to the committed fixture.
+#[test]
+fn recorded_smoke_mix_matches_the_committed_fixture() {
+    let recorded = record_smoke_tape();
+    let path = fixture_path();
+    if std::env::var("RAYSEARCH_REGEN_TAPE").is_ok() {
+        std::fs::write(&path, &recorded).expect("write fixture");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run with RAYSEARCH_REGEN_TAPE=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        recorded,
+        committed,
+        "recorded tape differs from {} — the tape format or the service's \
+         response bytes drifted; regenerate with RAYSEARCH_REGEN_TAPE=1 only \
+         if the change is intentional",
+        path.display()
+    );
+}
+
+/// The fixture has the expected shape: 20 entries, dense ticks in mix
+/// order, targets matching the smoke mix, and the error statuses the
+/// mix deliberately includes.
+#[test]
+fn fixture_covers_the_smoke_mix() {
+    let tape = Tape::load(&fixture_path()).expect("load fixture");
+    let mix = smoke_mix();
+    assert_eq!(tape.entries.len(), mix.len());
+    for (i, (entry, (method, target, body))) in tape.entries.iter().zip(&mix).enumerate() {
+        assert_eq!(entry.tick, i as u64, "ticks are dense and in mix order");
+        assert_eq!(&entry.method, method);
+        assert_eq!(&entry.target, target);
+        assert_eq!(&entry.body, body);
+        assert_eq!(entry.digest.len(), 16, "digests are 16 hex digits");
+    }
+    // repeats pin identical digests: same logical request, same bytes
+    let by_target = |t: &str, b: &str| {
+        tape.entries
+            .iter()
+            .filter(|e| e.target == t && e.body == b)
+            .collect::<Vec<_>>()
+    };
+    let repeats = by_target("/evaluate", "{\"m\":2,\"k\":3,\"f\":1,\"horizon\":2000}");
+    assert_eq!(repeats.len(), 2);
+    assert_eq!(repeats[0].digest, repeats[1].digest);
+    assert_eq!(repeats[0].len, repeats[1].len);
+    // deterministic errors are recorded too
+    assert!(tape.entries.iter().any(|e| e.status == 400));
+    assert!(tape.entries.iter().any(|e| e.status == 404));
+    assert!(tape.entries.iter().all(|e| e.status != 503));
+}
+
+/// Every fixture line round-trips parse → re-serialize byte-identically,
+/// and the whole tape round-trips through `canonical_text`.
+#[test]
+fn fixture_round_trips_byte_identically() {
+    let path = fixture_path();
+    let text = std::fs::read_to_string(&path).expect("read fixture");
+    for (i, line) in text.lines().enumerate() {
+        let entry = TapeEntry::from_line(line)
+            .unwrap_or_else(|e| panic!("{}:{}: {e}", path.display(), i + 1));
+        assert_eq!(entry.to_line(), line, "line {} did not round-trip", i + 1);
+    }
+    let tape = Tape::load(&path).expect("load fixture");
+    assert_eq!(tape.canonical_text(), text);
+}
