@@ -23,7 +23,9 @@
 //!      "cells": 25, "rows": [{"k": 1, "f": 0, ...}, ...]},
 //!     {"id": "e12", ..., "micros": 12345,
 //!      "compile": {"hits": 0, "misses": 24, "entries": 24,
-//!                  "compile_micros": 2345, "evaluate_micros": 10000},
+//!                  "compile_micros": 2345, "evaluate_micros": 10000,
+//!                  "evaluate_p50_micros": 255, "evaluate_p95_micros": 511,
+//!                  "evaluate_max_micros": 489},
 //!      "rows": [...]},
 //!     ...
 //!   ]
@@ -33,7 +35,11 @@
 //! Campaigns that attach a compile memo (E12) also report the
 //! compile/evaluate wall-time split: `compile_micros` is time spent
 //! building [`raysearch_core::CompiledFleet`] artifacts, and
-//! `evaluate_micros` is the remainder of `micros`.
+//! `evaluate_micros` is the remainder of `micros`. The
+//! `evaluate_p50_micros` / `evaluate_p95_micros` / `evaluate_max_micros`
+//! fields summarize the *per-cell* wall times through the same
+//! log-bucketed histogram as the serving tier's `/metrics` (percentiles
+//! are bucket upper bounds, `p ≤ reported < 2p`; the max is exact).
 
 use raysearch_bench::experiments::{self, Config};
 

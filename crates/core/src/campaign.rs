@@ -55,6 +55,7 @@ use serde_json::Value;
 
 use crate::compiled::{CompileMemo, CompileStats};
 use crate::sweep::{default_parallelism, par_map_threads};
+use crate::telemetry::HistogramSnapshot;
 
 /// One coordinate value of a grid cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -508,12 +509,14 @@ impl<R: serde::Serialize> CampaignRun<R> {
     /// Panics if a row fails to serialize (rows are plain data structs;
     /// failure is a bug).
     pub fn report(&self) -> Report {
+        let cell_micros: Vec<u64> = self.results.iter().map(|r| r.micros).collect();
         Report {
             id: self.id.clone(),
             title: self.title.clone(),
             threads: self.threads,
             micros: self.micros,
             compile: self.compile,
+            cell_latency: HistogramSnapshot::from_values(&cell_micros),
             rows: self
                 .results
                 .iter()
@@ -532,6 +535,7 @@ pub struct Report {
     threads: usize,
     micros: u64,
     compile: Option<CompileStats>,
+    cell_latency: HistogramSnapshot,
     rows: Vec<Value>,
 }
 
@@ -621,7 +625,11 @@ impl Report {
     /// Serializes the whole report as one JSON object:
     /// `{id, title, threads, micros, cells, rows}`, plus a `compile`
     /// object (`{hits, misses, entries, compile_micros,
-    /// evaluate_micros}`) when a compile memo was attached to the run.
+    /// evaluate_micros, evaluate_p50_micros, evaluate_p95_micros,
+    /// evaluate_max_micros}`) when a compile memo was attached to the
+    /// run. The percentile fields summarize the *per-cell* evaluate
+    /// wall times through the same log-bucketed histogram the serving
+    /// tier's `/metrics` uses (`p ≤ reported < 2p`; max is exact).
     pub fn to_value(&self) -> Value {
         let mut map = serde_json::Map::new();
         map.insert("id".to_owned(), Value::String(self.id.clone()));
@@ -654,6 +662,18 @@ impl Report {
                 "evaluate_micros".to_owned(),
                 serde_json::to_value(self.micros.saturating_sub(compile.compile_micros))
                     .expect("u64 serializes"),
+            );
+            split.insert(
+                "evaluate_p50_micros".to_owned(),
+                serde_json::to_value(self.cell_latency.percentile(50)).expect("u64 serializes"),
+            );
+            split.insert(
+                "evaluate_p95_micros".to_owned(),
+                serde_json::to_value(self.cell_latency.percentile(95)).expect("u64 serializes"),
+            );
+            split.insert(
+                "evaluate_max_micros".to_owned(),
+                serde_json::to_value(self.cell_latency.max).expect("u64 serializes"),
             );
             map.insert("compile".to_owned(), Value::Object(split));
         }
@@ -958,6 +978,27 @@ mod tests {
         );
         assert!(split.contains_key("compile_micros"));
         assert!(split.contains_key("evaluate_micros"));
+        // the per-cell latency summary rides along in the same object:
+        // percentiles are histogram upper bounds (p ≤ reported < 2p),
+        // the max is the exact slowest cell
+        let uint = |key: &str| {
+            split
+                .get(key)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("{key} missing from compile split"))
+        };
+        let (p50, p95, max) = (
+            uint("evaluate_p50_micros"),
+            uint("evaluate_p95_micros"),
+            uint("evaluate_max_micros"),
+        );
+        assert!(p50 <= p95, "p50 {p50} must not exceed p95 {p95}");
+        let slowest_cell = run.results.iter().map(|r| r.micros).max().unwrap();
+        assert_eq!(max, slowest_cell);
+        assert!(
+            p95 >= slowest_cell.min(1),
+            "p95 {p95} vs max {slowest_cell}"
+        );
         // without a memo the key is absent and the run records nothing
         let bare = demo_campaign().threads(Some(1)).run();
         assert!(bare.compile.is_none());

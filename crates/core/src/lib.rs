@@ -28,7 +28,12 @@
 //!   ([`campaign::ParamGrid`]), a sharded deterministic-order runner
 //!   ([`campaign::Campaign`]) and text/JSON reports
 //!   ([`campaign::Report`]) — the machinery behind the E1–E10
-//!   experiment suite in `raysearch-bench`.
+//!   experiment suite in `raysearch-bench`;
+//! * [`telemetry`] — the measurement core shared by the serving tier and
+//!   the load harnesses: lock-free power-of-two latency histograms
+//!   ([`LatencyHistogram`]), mergeable plain-data snapshots with
+//!   integer-only percentile reads ([`HistogramSnapshot`]), and the
+//!   [`splitmix64`] mixer trace ids are minted from.
 //!
 //! # Example: Theorem 1 tightness for (k, f) = (3, 1)
 //!
@@ -54,6 +59,7 @@ pub mod compiled;
 pub mod eval;
 pub mod problem;
 pub mod sweep;
+pub mod telemetry;
 pub mod verdict;
 
 pub use campaign::{Campaign, CampaignRun, Cell, ParamGrid, ParamValue, Report};
@@ -68,4 +74,5 @@ pub use eval::{
 };
 pub use problem::{LineProblem, RayProblem};
 pub use sweep::{par_map, par_map_threads};
+pub use telemetry::{splitmix64, HistogramSnapshot, LatencyHistogram};
 pub use verdict::{verify_tightness, verify_tightness_cached, TightnessReport};

@@ -18,6 +18,7 @@
 //! | `/campaign` | POST | `id`, `max_k?`, `threads?` | schema-v1 report rows |
 //! | `/montecarlo` | POST | `m?`, `k`, `f`, `horizon?`, `samples?`, `seed?`, `faults?`, `p?` | [`McReport`](raysearch_mc::McReport) + closed-form comparison |
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,6 +34,9 @@ use serde_json::{Map, Value};
 use crate::cache::{CacheStats, ShardedLru};
 use crate::http::{Request, Response};
 use crate::server::Handler;
+use crate::telemetry::{
+    metrics_response, push_counter, push_gauge, Span, SpanSet, Telemetry, TRACE_HEADER,
+};
 
 /// Default evaluation horizon when a request omits `horizon`.
 pub const DEFAULT_HORIZON: f64 = 1e4;
@@ -104,6 +108,8 @@ pub const ENDPOINTS: &[&str] = &[
     "montecarlo",
     "healthz",
     "stats",
+    "metrics",
+    "debug/slow",
 ];
 
 /// The canonicalized identity of one memoizable computation.
@@ -366,11 +372,17 @@ pub struct ServiceState {
     started: Instant,
     requests: AtomicU64,
     shed: AtomicU64,
+    telemetry: Telemetry,
 }
 
 /// The compile tier viewed through the core's [`CompileCache`] seam, so
-/// `_cached` entry points can consume it directly.
-struct CompileTier<'a>(&'a ShardedLru<FleetKey, Arc<CompiledFleet>>);
+/// `_cached` entry points can consume it directly. Doubles as the
+/// compile-span capture point: actual fleet builds (never memo hits)
+/// accumulate their wall time into `compile_micros` when attached.
+struct CompileTier<'a> {
+    cache: &'a ShardedLru<FleetKey, Arc<CompiledFleet>>,
+    compile_micros: Option<&'a Cell<u64>>,
+}
 
 impl CompileCache for CompileTier<'_> {
     fn get_or_compile(
@@ -378,8 +390,15 @@ impl CompileCache for CompileTier<'_> {
         key: FleetKey,
         build: &mut dyn FnMut() -> Result<CompiledFleet, CoreError>,
     ) -> Result<Arc<CompiledFleet>, CoreError> {
-        self.0
-            .try_get_or_insert_with(key, || build().map(Arc::new))
+        self.cache
+            .try_get_or_insert_with(key, || {
+                let before = Instant::now();
+                let built = build().map(Arc::new);
+                if let Some(cell) = self.compile_micros {
+                    cell.set(cell.get() + before.elapsed().as_micros() as u64);
+                }
+                built
+            })
             .map(|(fleet, _hit)| fleet)
     }
 }
@@ -399,7 +418,16 @@ impl ServiceState {
             started: Instant::now(),
             requests: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// The service's telemetry registry (trace minting, span
+    /// histograms, slow log) — exposed so binaries can apply
+    /// `--slow-log-micros` and tests can assert on recorded counts.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Snapshot of the result-cache counters.
@@ -436,18 +464,61 @@ impl ServiceState {
         self.cache.try_get_or_insert_with(key, compute)
     }
 
+    /// [`ServiceState::memoized`] with span attribution: the lookup
+    /// overhead (total minus compute) lands in `cache_lookup`, actual
+    /// fleet builds land in `compile` (captured inside the
+    /// [`CompileTier`] handed to `compute`), and the rest of the compute
+    /// closure lands in `evaluate`. Cache hits record only
+    /// `cache_lookup`.
+    fn memoized_spanned(
+        &self,
+        spans: &mut SpanSet,
+        key: MemoKey,
+        compute: impl FnOnce(&CompileTier) -> Result<String, ApiError>,
+    ) -> Result<(String, bool), ApiError> {
+        let compute_micros = Cell::new(0u64);
+        let compile_micros = Cell::new(0u64);
+        let before = Instant::now();
+        let result = self.cache.try_get_or_insert_with(key, || {
+            let started = Instant::now();
+            let tier = CompileTier {
+                cache: &self.compile,
+                compile_micros: Some(&compile_micros),
+            };
+            let out = compute(&tier);
+            compute_micros.set(started.elapsed().as_micros() as u64);
+            out
+        });
+        let total = before.elapsed().as_micros() as u64;
+        let compute_t = compute_micros.get();
+        let compile_t = compile_micros.get();
+        spans.add(Span::CacheLookup, total.saturating_sub(compute_t));
+        if compute_t > 0 {
+            spans.add(Span::Compile, compile_t);
+            spans.add(Span::Evaluate, compute_t.saturating_sub(compile_t));
+        }
+        result
+    }
+
     /// Dispatches one parsed request to its endpoint. Infallible at the
-    /// HTTP layer: endpoint errors become JSON error responses.
+    /// HTTP layer: endpoint errors become JSON error responses. Every
+    /// response echoes the request's `x-raysearch-trace` id (minted
+    /// here when the client sent none), and the request's span set is
+    /// recorded into the telemetry registry.
     pub fn handle(&self, req: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let trace = self.telemetry.trace_for(req);
+        let mut spans = SpanSet::start();
         let result = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Ok(self.healthz()),
             ("GET", "/stats") => Ok(self.stats_response()),
-            ("GET" | "POST", "/closed_form") => self.closed_form(req),
-            ("POST", "/evaluate") => self.evaluate(req),
-            ("POST", "/verdict") => self.verdict(req),
-            ("POST", "/campaign") => self.campaign(req),
-            ("POST", "/montecarlo") => self.montecarlo(req),
+            ("GET", "/metrics") => Ok(self.metrics()),
+            ("GET", "/debug/slow") => Ok(Response::ok(self.telemetry.slow_log_json())),
+            ("GET" | "POST", "/closed_form") => self.closed_form(req, &mut spans),
+            ("POST", "/evaluate") => self.evaluate(req, &mut spans),
+            ("POST", "/verdict") => self.verdict(req, &mut spans),
+            ("POST", "/campaign") => self.campaign(req, &mut spans),
+            ("POST", "/montecarlo") => self.montecarlo(req, &mut spans),
             (_, path)
                 if path
                     .strip_prefix('/')
@@ -463,10 +534,13 @@ impl ServiceState {
                 message: format!("no such endpoint {path:?}"),
             }),
         };
-        match result {
+        let response = match result {
             Ok(response) => response,
             Err(e) => Response::error(e.status, &e.message),
-        }
+        };
+        let status = response.status;
+        self.telemetry.observe(req, &trace, status, spans);
+        response.with_header(TRACE_HEADER, trace)
     }
 
     fn healthz(&self) -> Response {
@@ -522,13 +596,85 @@ impl ServiceState {
         Response::ok(Value::Object(doc).to_json_string())
     }
 
-    fn closed_form(&self, req: &Request) -> Result<Response, ApiError> {
-        let params = RequestParams::from(req)?;
+    /// The service's `GET /metrics`: Prometheus text exposition of the
+    /// request/shed counters, both cache tiers, and the per-endpoint
+    /// span latency histograms.
+    fn metrics(&self) -> Response {
+        let cache = self.cache.stats();
+        let compile = self.compile.stats();
+        let mut out = String::new();
+        push_counter(
+            &mut out,
+            "raysearchd_requests_total",
+            "Requests dispatched by this backend.",
+            self.requests_total(),
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_shed_total",
+            "Connections shed with a 503 by the acceptor.",
+            self.shed_total(),
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_cache_hits_total",
+            "Result-cache lookups answered from the cache.",
+            cache.hits,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_cache_misses_total",
+            "Result-cache lookups that had to compute.",
+            cache.misses,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_cache_evictions_total",
+            "Result-cache entries displaced to make room.",
+            cache.evictions,
+        );
+        push_gauge(
+            &mut out,
+            "raysearchd_cache_entries",
+            "Result-cache entries currently resident.",
+            cache.entries as u64,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_compile_hits_total",
+            "Compile-tier lookups answered from the memo.",
+            compile.hits,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_compile_misses_total",
+            "Compile-tier lookups that had to build a fleet.",
+            compile.misses,
+        );
+        push_gauge(
+            &mut out,
+            "raysearchd_compile_entries",
+            "Compiled-fleet artifacts currently resident.",
+            compile.entries as u64,
+        );
+        push_gauge(
+            &mut out,
+            "raysearchd_uptime_micros",
+            "Microseconds since this backend started.",
+            self.started.elapsed().as_micros() as u64,
+        );
+        self.telemetry
+            .render_prometheus_histograms(&mut out, "raysearchd");
+        metrics_response(out)
+    }
+
+    fn closed_form(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
+        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
         if let Some(eta) = params.opt_f64("eta")? {
             let key = MemoKey::Lambda {
                 eta: canon(eta, "eta")?,
             };
-            let (payload, cached) = self.memoized(key, || {
+            let (payload, cached) = self.memoized_spanned(spans, key, |_tier| {
                 let lambda =
                     lambda_big(eta).map_err(|e| ApiError::bad_request(format!("lambda: {e}")))?;
                 let mut doc = Map::new();
@@ -536,11 +682,12 @@ impl ServiceState {
                 doc.insert("lambda".to_owned(), Value::Float(lambda));
                 Ok(Value::Object(doc).to_json_string())
             })?;
-            return Ok(wrap(payload, cached));
+            return Ok(spans.time(Span::Serialize, || wrap(payload, cached)));
         }
 
         let (m, k, f) = params.instance()?;
-        let (payload, cached) = self.memoized(MemoKey::ClosedForm { m, k, f }, || {
+        let key = MemoKey::ClosedForm { m, k, f };
+        let (payload, cached) = self.memoized_spanned(spans, key, |_tier| {
             let instance = RayInstance::new(m, k, f)
                 .map_err(|e| ApiError::bad_request(format!("instance: {e}")))?;
             let (regime, a) = match instance.regime() {
@@ -558,11 +705,11 @@ impl ServiceState {
             doc.insert("a".to_owned(), a.map_or(Value::Null, Value::Float));
             Ok(Value::Object(doc).to_json_string())
         })?;
-        Ok(wrap(payload, cached))
+        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
     }
 
-    fn evaluate(&self, req: &Request) -> Result<Response, ApiError> {
-        let params = RequestParams::from(req)?;
+    fn evaluate(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
+        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
         let (m, k, f) = params.instance()?;
         let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
         check_eval_limits(m, k, f, horizon)?;
@@ -572,8 +719,8 @@ impl ServiceState {
             f,
             horizon: canon(horizon, "horizon")?,
         };
-        let (payload, cached) = self.memoized(key, || {
-            let report = evaluate_optimal_cached(&CompileTier(&self.compile), m, k, f, horizon)
+        let (payload, cached) = self.memoized_spanned(spans, key, |tier| {
+            let report = evaluate_optimal_cached(tier, m, k, f, horizon)
                 .map_err(|e| ApiError::bad_request(format!("evaluate: {e}")))?;
             let mut doc = Map::new();
             doc.insert("m".to_owned(), Value::Int(i64::from(m)));
@@ -586,11 +733,11 @@ impl ServiceState {
             );
             Ok(Value::Object(doc).to_json_string())
         })?;
-        Ok(wrap(payload, cached))
+        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
     }
 
-    fn verdict(&self, req: &Request) -> Result<Response, ApiError> {
-        let params = RequestParams::from(req)?;
+    fn verdict(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
+        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
         let (m, k, f) = params.instance()?;
         let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
         let eps = params.opt_f64("eps")?.unwrap_or(DEFAULT_EPS);
@@ -602,19 +749,18 @@ impl ServiceState {
             horizon: canon(horizon, "horizon")?,
             eps: canon(eps, "eps")?,
         };
-        let (payload, cached) = self.memoized(key, || {
-            let report =
-                verify_tightness_cached(&CompileTier(&self.compile), m, k, f, horizon, eps)
-                    .map_err(|e| ApiError::bad_request(format!("verdict: {e}")))?;
+        let (payload, cached) = self.memoized_spanned(spans, key, |tier| {
+            let report = verify_tightness_cached(tier, m, k, f, horizon, eps)
+                .map_err(|e| ApiError::bad_request(format!("verdict: {e}")))?;
             Ok(serde_json::to_value(report)
                 .expect("TightnessReport serializes")
                 .to_json_string())
         })?;
-        Ok(wrap(payload, cached))
+        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
     }
 
-    fn campaign(&self, req: &Request) -> Result<Response, ApiError> {
-        let params = RequestParams::from(req)?;
+    fn campaign(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
+        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
         let id = params
             .opt_str("id")?
             .ok_or_else(|| ApiError::bad_request("missing parameter \"id\""))?;
@@ -640,7 +786,7 @@ impl ServiceState {
             id: id.clone(),
             max_k,
         };
-        let (payload, cached) = self.memoized(key, || {
+        let (payload, cached) = self.memoized_spanned(spans, key, |_tier| {
             let cfg = raysearch_bench::experiments::Config {
                 max_k,
                 threads,
@@ -674,11 +820,11 @@ impl ServiceState {
             doc.insert("campaigns".to_owned(), Value::Array(campaigns));
             Ok(Value::Object(doc).to_json_string())
         })?;
-        Ok(wrap(payload, cached))
+        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
     }
 
-    fn montecarlo(&self, req: &Request) -> Result<Response, ApiError> {
-        let params = RequestParams::from(req)?;
+    fn montecarlo(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
+        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
         let (m, k, f) = params.instance()?;
         let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
         check_eval_limits(m, k, f, horizon)?;
@@ -738,7 +884,7 @@ impl ServiceState {
             faults: model,
             p: canon(p_effective, "p")?,
         };
-        let (payload, cached) = self.memoized(key, || {
+        let (payload, cached) = self.memoized_spanned(spans, key, |tier| {
             // one worker thread serves one request: the engine stays
             // sequential here (its result is thread-count invariant, so
             // this choice is invisible in the payload)
@@ -748,9 +894,8 @@ impl ServiceState {
                 threads: Some(1),
                 ..McConfig::default()
             };
-            let report =
-                raysearch_mc::estimate_cached(&scenario, &cfg, &CompileTier(&self.compile))
-                    .map_err(|e| ApiError::bad_request(format!("montecarlo: {e}")))?;
+            let report = raysearch_mc::estimate_cached(&scenario, &cfg, tier)
+                .map_err(|e| ApiError::bad_request(format!("montecarlo: {e}")))?;
             let mut doc = Map::new();
             doc.insert(
                 "report".to_owned(),
@@ -762,7 +907,7 @@ impl ServiceState {
             );
             Ok(Value::Object(doc).to_json_string())
         })?;
-        Ok(wrap(payload, cached))
+        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
     }
 }
 

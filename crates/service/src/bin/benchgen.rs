@@ -1,7 +1,11 @@
 //! `benchgen` — generates the committed perf-trajectory artifact
-//! (`BENCH_6.json`): the E12 deep-horizon sweep timed cold and warm
+//! (`BENCH_8.json`): the E12 deep-horizon sweep timed cold and warm
 //! against a shared compile memo, plus the serving layer's hot/cold
-//! throughput, all pinned against the PR 5 baseline.
+//! throughput with per-endpoint latency percentiles from the shared
+//! telemetry histograms, all pinned against the PR 5 baseline. The
+//! document also records the warm-sweep wall time against the BENCH_6
+//! (pre-telemetry) warm median, so the observability layer's overhead
+//! stays an explicit, tracked number.
 //!
 //! ```text
 //! benchgen [--out PATH] [--max-k N] [--horizon X] [--iterations N]
@@ -30,11 +34,16 @@ use raysearch_service::{Server, ServerConfig};
 const BASELINE_PR: u32 = 5;
 const BASELINE_E12_SWEEP_MICROS: u64 = 24_212_644;
 
+/// The BENCH_6 warm-phase median (full sweep, shared memo, 1 thread)
+/// from before the telemetry layer existed — the reference point for
+/// the instrumentation-overhead figure in the artifact.
+const BENCH_6_WARM_MEDIAN_MICROS: u64 = 221_641;
+
 const USAGE: &str = "\
 usage: benchgen [options]
 
 options:
-  --out PATH         output path (default BENCH_6.json)
+  --out PATH         output path (default BENCH_8.json)
   --max-k N          E12 fleet-size cap (default 4096 = the full sweep)
   --horizon X        E12 evaluation horizon (default 1e12)
   --iterations N     timed runs per phase (default 3)
@@ -57,7 +66,7 @@ struct Cli {
 impl Default for Cli {
     fn default() -> Self {
         Cli {
-            out: "BENCH_6.json".to_owned(),
+            out: "BENCH_8.json".to_owned(),
             max_k: 4096,
             horizon: 1e12,
             iterations: 3,
@@ -171,6 +180,17 @@ struct ServiceBench {
     compile_entries: u64,
 }
 
+/// Warm-sweep wall time relative to the committed BENCH_6 warm median:
+/// the cost of the telemetry layer on the hottest all-memoized path.
+/// Only meaningful for full-size runs (`--max-k 4096`); smaller sweeps
+/// record the ratio anyway but it compares different workloads.
+#[derive(serde::Serialize)]
+struct TelemetryOverhead {
+    bench6_warm_median_micros: u64,
+    warm_median_micros: u64,
+    warm_ratio_vs_bench6: f64,
+}
+
 #[derive(serde::Serialize)]
 struct BenchDoc {
     schema_version: u32,
@@ -180,6 +200,7 @@ struct BenchDoc {
     config: Config,
     baseline: Baseline,
     e12_sweep: SweepBench,
+    telemetry_overhead: TelemetryOverhead,
     service: Option<ServiceBench>,
 }
 
@@ -374,9 +395,15 @@ fn generate(cli: &Cli) -> Result<(), String> {
     } else {
         Some(bench_service(cli)?)
     };
+    let telemetry_overhead = TelemetryOverhead {
+        bench6_warm_median_micros: BENCH_6_WARM_MEDIAN_MICROS,
+        warm_median_micros: e12_sweep.warm.median_micros,
+        warm_ratio_vs_bench6: e12_sweep.warm.median_micros as f64
+            / BENCH_6_WARM_MEDIAN_MICROS as f64,
+    };
     let doc = BenchDoc {
         schema_version: 1,
-        bench_id: "BENCH_6",
+        bench_id: "BENCH_8",
         paper: "1707.05077",
         generator: "benchgen",
         config: Config {
@@ -395,17 +422,20 @@ fn generate(cli: &Cli) -> Result<(), String> {
             threads: 1,
         },
         e12_sweep,
+        telemetry_overhead,
         service,
     };
     let json = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
     std::fs::write(&cli.out, format!("{json}\n")).map_err(|e| format!("write {}: {e}", cli.out))?;
     println!(
-        "benchgen: wrote {} (cold median {} µs, {:.1}x vs PR {} baseline, warm {:.1}x vs cold)",
+        "benchgen: wrote {} (cold median {} µs, {:.1}x vs PR {} baseline, warm {:.1}x vs cold, \
+         warm {:.3}x vs BENCH_6)",
         cli.out,
         doc.e12_sweep.cold.median_micros,
         doc.e12_sweep.speedup_vs_baseline,
         BASELINE_PR,
-        doc.e12_sweep.warm_speedup_vs_cold
+        doc.e12_sweep.warm_speedup_vs_cold,
+        doc.telemetry_overhead.warm_ratio_vs_bench6
     );
     Ok(())
 }

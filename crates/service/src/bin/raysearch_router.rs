@@ -14,7 +14,7 @@
 //! `/healthz` and aggregated `/stats`. `--record` captures forwarded
 //! traffic to a line-delimited JSON tape that `replaygen` can verify
 //! byte-for-byte later. `--probe` runs the self-hosted router smoke
-//! test (checks 16–18, after `raysearchd --probe`'s 15) against an
+//! test (checks 16–21, after `raysearchd --probe`'s 15) against an
 //! in-process fleet and exits 0 on success.
 
 use std::path::PathBuf;
@@ -46,6 +46,9 @@ serve options:
                      (default: a per-process temp directory)
   --workers N        router worker threads (default: max(4, cores))
   --queue N          bounded accept-queue depth (default 128)
+  --slow-log-micros N  requests slower than N microseconds land in the
+                     GET /debug/slow ring buffer (0 logs everything;
+                     default 100000)
 
 the raysearchd binary for spawned backends is found next to this
 executable, or via the RAYSEARCHD_BIN environment variable
@@ -63,6 +66,7 @@ struct Cli {
     state_dir: Option<PathBuf>,
     workers: Option<usize>,
     queue: Option<usize>,
+    slow_log_micros: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
@@ -93,6 +97,15 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
             "--state-dir" => cli.state_dir = Some(PathBuf::from(value_of("--state-dir")?)),
             "--workers" => cli.workers = Some(parse_count("--workers", value_of("--workers")?)?),
             "--queue" => cli.queue = Some(parse_count("--queue", value_of("--queue")?)?),
+            "--slow-log-micros" => {
+                // 0 is meaningful here (log every request), so this
+                // flag does not go through parse_count's >= 1 floor
+                cli.slow_log_micros = Some(
+                    value_of("--slow-log-micros")?
+                        .parse::<u64>()
+                        .map_err(|_| "--slow-log-micros expects an integer >= 0".to_owned())?,
+                );
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -135,6 +148,9 @@ fn serve(cli: &Cli) -> Result<(), String> {
         None => None,
     };
     let state = Arc::new(RouterState::new(specs, recorder));
+    if let Some(micros) = cli.slow_log_micros {
+        state.telemetry().set_slow_threshold(micros);
+    }
     let healthy = state.check_backends_now();
     println!(
         "raysearch-router: {healthy}/{} backends healthy",

@@ -35,6 +35,9 @@ serve options:
   --cache-capacity N total memo-cache entries (default 4096)
   --shards N         memo-cache shards (default 16)
   --port-file PATH   write the bound HOST:PORT to PATH once listening
+  --slow-log-micros N  requests slower than N microseconds land in the
+                     GET /debug/slow ring buffer (0 logs everything;
+                     default 100000)
 
 bench options:
   --concurrency C    concurrent connections for --bench (default 4)
@@ -52,6 +55,7 @@ struct Cli {
     queue: Option<usize>,
     cache_capacity: Option<usize>,
     shards: Option<usize>,
+    slow_log_micros: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
@@ -90,6 +94,15 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 )?);
             }
             "--shards" => cli.shards = Some(parse_count("--shards", value_of("--shards")?)?),
+            "--slow-log-micros" => {
+                // 0 is meaningful here (log every request), so this
+                // flag does not go through parse_count's >= 1 floor
+                cli.slow_log_micros = Some(
+                    value_of("--slow-log-micros")?
+                        .parse::<u64>()
+                        .map_err(|_| "--slow-log-micros expects an integer >= 0".to_owned())?,
+                );
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -122,6 +135,9 @@ fn server_config(cli: &Cli) -> ServerConfig {
 fn serve(cli: &Cli) -> Result<(), String> {
     let cfg = server_config(cli);
     let server = Server::bind(cfg.clone()).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    if let Some(micros) = cli.slow_log_micros {
+        server.state().telemetry().set_slow_threshold(micros);
+    }
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
         "raysearchd listening on {addr} ({} workers, cache {} x {} shards)",

@@ -8,6 +8,9 @@ use std::time::Duration;
 
 use serde_json::Value;
 
+/// A full decoded response: status, headers (names lowercased), body.
+pub type FullResponse = (u16, Vec<(String, String)>, String);
+
 /// A persistent (keep-alive) connection to a `raysearchd` server.
 #[derive(Debug)]
 pub struct HttpClient {
@@ -66,18 +69,44 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
+        self.request_with_headers(method, path, body, &[])
+            .map(|(status, _headers, body)| (status, body))
+    }
+
+    /// Like [`HttpClient::request`], but also sends `extra_headers` on
+    /// the request and returns the response headers (names lowercased)
+    /// alongside the status and body — the trace-propagation variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a malformed response.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<FullResponse> {
         let body = body.unwrap_or("");
         // single write: see Response::write_to on Nagle interactions
-        let wire = format!(
-            "{method} {path} HTTP/1.1\r\nHost: raysearchd\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        let mut wire = format!(
+            "{method} {path} HTTP/1.1\r\nHost: raysearchd\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             body.len()
         );
+        for (name, value) in extra_headers {
+            wire.push_str(name);
+            wire.push_str(": ");
+            wire.push_str(value);
+            wire.push_str("\r\n");
+        }
+        wire.push_str("\r\n");
+        wire.push_str(body);
         self.writer.write_all(wire.as_bytes())?;
         self.writer.flush()?;
         self.read_response()
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    fn read_response(&mut self) -> std::io::Result<FullResponse> {
         let bad = |why: String| std::io::Error::new(std::io::ErrorKind::InvalidData, why);
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
@@ -89,6 +118,7 @@ impl HttpClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
 
+        let mut headers = Vec::new();
         let mut content_length: Option<usize> = None;
         loop {
             let mut line = String::new();
@@ -100,9 +130,12 @@ impl HttpClient {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().ok();
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().ok();
                 }
+                headers.push((name, value.to_owned()));
             }
         }
         let length =
@@ -110,7 +143,7 @@ impl HttpClient {
         let mut body = vec![0u8; length];
         self.reader.read_exact(&mut body)?;
         String::from_utf8(body)
-            .map(|text| (status, text))
+            .map(|text| (status, headers, text))
             .map_err(|_| bad("response body is not UTF-8".to_owned()))
     }
 }

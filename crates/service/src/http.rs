@@ -263,13 +263,19 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     })
 }
 
-/// One HTTP response: a status code and a JSON body.
+/// One HTTP response: a status code, a body, and optional extra
+/// headers (trace echo, content-type overrides for `/metrics`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// The response body (always `application/json` on this server).
+    /// The response body (`application/json` unless a `Content-Type`
+    /// header override is present).
     pub body: String,
+    /// Extra response headers `(name, value)`, emitted after the
+    /// defaults. A `Content-Type` entry here replaces the default
+    /// `application/json`; names are matched case-insensitively.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -278,6 +284,7 @@ impl Response {
         Response {
             status: 200,
             body: body.into(),
+            headers: Vec::new(),
         }
     }
 
@@ -287,7 +294,15 @@ impl Response {
         Response {
             status,
             body: format!("{{\"error\":{}}}", payload.to_json_string()),
+            headers: Vec::new(),
         }
+    }
+
+    /// Returns `self` with an extra response header appended.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     /// The standard reason phrase for this status code.
@@ -315,14 +330,29 @@ impl Response {
     /// Propagates transport write failures.
     pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         let connection = if keep_alive { "keep-alive" } else { "close" };
-        let wire = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        let content_type = self
+            .headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("content-type"))
+            .map_or("application/json", |(_, v)| v.as_str());
+        let mut wire = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             self.reason(),
+            content_type,
             self.body.len(),
             connection,
-            self.body
         );
+        for (name, value) in &self.headers {
+            if !name.eq_ignore_ascii_case("content-type") {
+                wire.push_str(name);
+                wire.push_str(": ");
+                wire.push_str(value);
+                wire.push_str("\r\n");
+            }
+        }
+        wire.push_str("\r\n");
+        wire.push_str(&self.body);
         writer.write_all(wire.as_bytes())?;
         writer.flush()
     }
@@ -494,5 +524,30 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         // the error message is JSON-escaped
         assert!(text.contains(r#"{"error":"no such endpoint \"x\""}"#));
+    }
+
+    #[test]
+    fn extra_headers_and_content_type_override() {
+        let mut out = Vec::new();
+        Response::ok("{}")
+            .with_header("x-raysearch-trace", "00000000deadbeef")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("x-raysearch-trace: 00000000deadbeef\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        Response::ok("# HELP\n")
+            .with_header("Content-Type", "text/plain; version=0.0.4")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(
+            !text.contains("application/json"),
+            "the override must replace the default, not duplicate it"
+        );
     }
 }

@@ -33,7 +33,11 @@
 //!   digests;
 //! * [`replay`] — deterministic tape replay (`replaygen`): concurrent
 //!   re-issue in tick order, byte-identity verification, counter
-//!   fingerprints that are concurrency-invariant by construction.
+//!   fingerprints that are concurrency-invariant by construction;
+//! * [`telemetry`] — the observability layer: per-request span timing
+//!   into per-endpoint latency histograms, `x-raysearch-trace`
+//!   propagation, a bounded slow-request log (`GET /debug/slow`), and
+//!   the Prometheus text renderer behind `GET /metrics` on both tiers.
 //!
 //! # Example: an in-process server round trip
 //!
@@ -70,9 +74,11 @@ pub mod replay;
 pub mod route;
 pub mod server;
 pub mod tape;
+pub mod telemetry;
 
 pub use api::{routing_key, MemoKey, ServiceState};
 pub use cache::{CacheStats, ShardedLru};
 pub use route::{rendezvous_rank, BackendSpec, RouterState};
 pub use server::{Handler, Server, ServerConfig, ServerHandle};
 pub use tape::{Tape, TapeEntry, TapeRecorder};
+pub use telemetry::{Span, SpanSet, Telemetry, TRACE_HEADER};

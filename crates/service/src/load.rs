@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crate::client::HttpClient;
+use raysearch_core::telemetry::LatencyHistogram;
 
 /// Evaluation horizon for the mix's *small-fleet* `/evaluate` requests
 /// (fixed so hot-phase requests are exact repeats of cold-phase ones).
@@ -88,8 +89,30 @@ pub struct LoadConfig {
     pub concurrency: usize,
 }
 
+/// Client-observed latency percentiles for one endpoint of the mix,
+/// computed from the same log-bucketed histogram the servers use for
+/// their `/metrics` tier (so bench numbers and live metrics agree on
+/// bucketing semantics: `p ≤ reported < 2p`, max is exact).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct EndpointLatency {
+    /// Endpoint label, the request path without its leading slash.
+    pub endpoint: String,
+    /// Requests timed into this histogram (cold + hot phases).
+    pub requests: u64,
+    /// 50th-percentile round-trip latency, microseconds.
+    pub p50_micros: u64,
+    /// 90th-percentile round-trip latency, microseconds.
+    pub p90_micros: u64,
+    /// 95th-percentile round-trip latency, microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile round-trip latency, microseconds.
+    pub p99_micros: u64,
+    /// Exact slowest round trip, microseconds.
+    pub max_micros: u64,
+}
+
 /// The measured outcome of one load run.
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct LoadReport {
     /// Requests issued against the cold cache (one per mix instance).
     pub cold_requests: usize,
@@ -107,6 +130,8 @@ pub struct LoadReport {
     pub speedup: f64,
     /// Responses that were not `200` with a well-formed body.
     pub errors: usize,
+    /// Client-side latency percentiles per endpoint, over both phases.
+    pub endpoints: Vec<EndpointLatency>,
 }
 
 /// One benched request; returns whether it succeeded. Validation is a
@@ -134,6 +159,21 @@ pub fn run_load(addr: &str, cfg: LoadConfig) -> Result<LoadReport, String> {
     let requests = cfg.requests.max(concurrency);
     let mix = request_mix();
 
+    // per-endpoint latency histograms, shared lock-free across workers;
+    // `path_of[i]` maps mix entry i to its endpoint's histogram
+    let mut paths: Vec<&'static str> = Vec::new();
+    let path_of: Vec<usize> = mix
+        .iter()
+        .map(|(path, _)| match paths.iter().position(|p| p == path) {
+            Some(idx) => idx,
+            None => {
+                paths.push(path);
+                paths.len() - 1
+            }
+        })
+        .collect();
+    let hists: Vec<LatencyHistogram> = paths.iter().map(|_| LatencyHistogram::new()).collect();
+
     // both phases share this shape: `concurrency` clients, each with a
     // persistent connection, issuing its share of the phase's requests
     let run_phase =
@@ -147,6 +187,8 @@ pub fn run_load(addr: &str, cfg: LoadConfig) -> Result<LoadReport, String> {
                     let errors = &errors;
                     let issued = &issued;
                     let mix = &mix;
+                    let path_of = &path_of;
+                    let hists = &hists;
                     let indices = per_worker(worker);
                     joins.push(scope.spawn(move || -> Result<(), String> {
                         if indices.is_empty() {
@@ -156,7 +198,10 @@ pub fn run_load(addr: &str, cfg: LoadConfig) -> Result<LoadReport, String> {
                             .map_err(|e| format!("connect {addr}: {e}"))?;
                         for idx in indices {
                             let (path, body) = &mix[idx];
-                            if !one_request(&mut client, path, body) {
+                            let sent = Instant::now();
+                            let ok = one_request(&mut client, path, body);
+                            hists[path_of[idx]].record(sent.elapsed().as_micros() as u64);
+                            if !ok {
                                 errors.fetch_add(1, Ordering::Relaxed);
                             }
                             issued.fetch_add(1, Ordering::Relaxed);
@@ -200,6 +245,23 @@ pub fn run_load(addr: &str, cfg: LoadConfig) -> Result<LoadReport, String> {
     };
     let cold_rps = rps(cold_requests, cold_micros);
     let hot_rps = rps(hot_requests, hot_micros);
+    let endpoints = paths
+        .iter()
+        .zip(&hists)
+        .filter(|(_, hist)| hist.count() > 0)
+        .map(|(path, hist)| {
+            let snap = hist.snapshot();
+            EndpointLatency {
+                endpoint: path.trim_start_matches('/').to_owned(),
+                requests: snap.count,
+                p50_micros: snap.percentile(50),
+                p90_micros: snap.percentile(90),
+                p95_micros: snap.percentile(95),
+                p99_micros: snap.percentile(99),
+                max_micros: snap.max,
+            }
+        })
+        .collect();
     Ok(LoadReport {
         cold_requests,
         cold_micros,
@@ -209,5 +271,6 @@ pub fn run_load(addr: &str, cfg: LoadConfig) -> Result<LoadReport, String> {
         hot_rps,
         speedup: hot_rps / cold_rps,
         errors: cold_errors + hot_errors,
+        endpoints,
     })
 }

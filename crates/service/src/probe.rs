@@ -14,10 +14,11 @@ use std::sync::Arc;
 use serde_json::{Map, Value};
 
 use crate::api::routing_key;
-use crate::client::fetch_json;
+use crate::client::{fetch_json, HttpClient};
 use crate::http::{Request, Response};
 use crate::route::{rendezvous_rank, BackendSpec, RouterState};
 use crate::server::{Handler, Server, ServerConfig};
+use crate::telemetry::TRACE_HEADER;
 
 /// One passed probe check, for reporting.
 pub type CheckLine = String;
@@ -519,7 +520,10 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
     ));
 
     // 17. aggregated /stats arithmetic: router totals equal the sum of
-    // the per-backend columns in one snapshot
+    // the per-backend columns in one snapshot. /stats serves from the
+    // health thread's cached snapshots (zero synchronous polling), so
+    // run one explicit health pass first to fold check 16's traffic in.
+    state.check_backends_now();
     let (status, stats) = fetch_json(addr, "GET", "/stats", None)?;
     expect(status == 200, "router stats should be 200", &stats)?;
     let uint = |doc: &Value, name: &str| doc.get(name).and_then(Value::as_u64).unwrap_or(0);
@@ -553,11 +557,23 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         "the check-16 repeat should be visible as an aggregated hit",
         &stats,
     )?;
+    expect(
+        stats
+            .get("stats_age_micros")
+            .and_then(Value::as_u64)
+            .is_some()
+            && backends
+                .iter()
+                .all(|b| b.get("stats_age_micros").and_then(Value::as_u64).is_some()),
+        "cached snapshots should carry their staleness age",
+        &stats,
+    )?;
     pass(format!(
-        "check 17 - stats: totals consistent over {} backends ({} routed, {} hits)",
+        "check 17 - stats: totals consistent over {} backends ({} routed, {} hits, snapshot age {} us)",
         backends.len(),
         uint(&stats, "routed_total"),
-        uint(&stats, "cache_hits")
+        uint(&stats, "cache_hits"),
+        uint(&stats, "stats_age_micros")
     ));
 
     // 18. a backend's 503 passes through: the router reports the shed
@@ -585,6 +601,98 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
     )?;
     pass(format!(
         "check 18 - shed: {target} passed the stub's 503 through, no failover"
+    ));
+
+    // 19. trace echo: a client-supplied x-raysearch-trace id comes back
+    // verbatim; without one the router mints a 16-hex id
+    let target = owned_target("backend-0")?;
+    let mut client =
+        HttpClient::connect(addr).map_err(|e| format!("connect for trace check: {e}"))?;
+    let (status, headers, _) = client
+        .request_with_headers("GET", &target, None, &[(TRACE_HEADER, "00000000deadbeef")])
+        .map_err(|e| format!("traced request: {e}"))?;
+    let echoed = headers
+        .iter()
+        .find(|(n, _)| n == TRACE_HEADER)
+        .map(|(_, v)| v.as_str());
+    if !(status == 200 && echoed == Some("00000000deadbeef")) {
+        return Err(format!(
+            "check 19: expected the trace id echoed verbatim, got status {status}, header {echoed:?}"
+        ));
+    }
+    let (_, headers, _) = client
+        .request_with_headers("GET", &target, None, &[])
+        .map_err(|e| format!("untraced request: {e}"))?;
+    let minted = headers
+        .iter()
+        .find(|(n, _)| n == TRACE_HEADER)
+        .map(|(_, v)| v.clone())
+        .ok_or("check 19: response without a minted trace header")?;
+    if minted.len() != 16 || !minted.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!(
+            "check 19: minted trace {minted:?} is not 16 hex digits"
+        ));
+    }
+    pass(format!(
+        "check 19 - trace: echo verbatim, minted {minted} without one"
+    ));
+
+    // 20. /metrics speaks Prometheus text exposition: counters, TYPE
+    // lines, cumulative histogram buckets with an +Inf bound
+    let (status, headers, metrics) = client
+        .request_with_headers("GET", "/metrics", None, &[])
+        .map_err(|e| format!("metrics request: {e}"))?;
+    let content_type = headers
+        .iter()
+        .find(|(n, _)| n == "content-type")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("");
+    let well_formed = status == 200
+        && content_type.starts_with("text/plain")
+        && metrics.contains("# TYPE raysearch_router_requests_total counter\n")
+        && metrics.contains("# TYPE raysearch_router_span_latency_micros histogram\n")
+        && metrics.contains("raysearch_router_span_latency_micros_bucket{endpoint=\"closed_form\",span=\"request\",le=\"+Inf\"}")
+        && metrics.contains("raysearch_router_backend_cache_hits_total{backend=");
+    if !well_formed {
+        return Err(format!(
+            "check 20: /metrics not valid exposition (status {status}, content-type {content_type:?}):\n{metrics}"
+        ));
+    }
+    pass("check 20 - metrics: Prometheus exposition with counters and histograms".to_owned());
+
+    // 21. slow-log capture: with the threshold at zero every request is
+    // captured, trace id and span breakdown included
+    state.telemetry().set_slow_threshold(0);
+    let (status, _, _) = client
+        .request_with_headers("GET", &target, None, &[(TRACE_HEADER, "00000000cafef00d")])
+        .map_err(|e| format!("slow-logged request: {e}"))?;
+    if status != 200 {
+        return Err(format!("check 21: routed request failed with {status}"));
+    }
+    let (status, slow) = fetch_json(addr, "GET", "/debug/slow", None)?;
+    let entries = slow
+        .get("entries")
+        .and_then(Value::as_array)
+        .ok_or_else(|| {
+            format!(
+                "check 21: /debug/slow without entries: {}",
+                slow.to_json_string()
+            )
+        })?;
+    let captured = entries.iter().any(|e| {
+        e.get("trace").and_then(Value::as_str) == Some("00000000cafef00d")
+            && e.get("spans")
+                .is_some_and(|s| s.get("backend_wait").and_then(Value::as_u64).is_some())
+    });
+    if !(status == 200 && captured) {
+        return Err(format!(
+            "check 21: slow log should capture the traced request with its backend_wait span: {}",
+            slow.to_json_string()
+        ));
+    }
+    pass(format!(
+        "check 21 - slow log: captured trace 00000000cafef00d with span breakdown ({} entries)",
+        entries.len()
     ));
 
     Ok(lines)

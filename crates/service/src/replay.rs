@@ -22,7 +22,9 @@ use std::time::Instant;
 use serde_json::{Map, Value};
 
 use crate::client::HttpClient;
+use crate::load::EndpointLatency;
 use crate::tape::Tape;
+use raysearch_core::telemetry::LatencyHistogram;
 
 /// How many mismatches keep their full detail line in the report.
 pub const MAX_MISMATCH_DETAILS: usize = 8;
@@ -48,6 +50,9 @@ pub struct ReplayReport {
     pub wall_micros: u64,
     /// Details of the first [`MAX_MISMATCH_DETAILS`] mismatches.
     pub mismatch_details: Vec<String>,
+    /// Client-side latency percentiles per endpoint (wall-clock data,
+    /// so — like `wall_micros` — excluded from [`Self::fingerprint`]).
+    pub endpoints: Vec<EndpointLatency>,
 }
 
 impl ReplayReport {
@@ -128,6 +133,31 @@ impl ReplayReport {
                 self.mismatch_details
                     .iter()
                     .map(|d| Value::String(d.clone()))
+                    .collect(),
+            ),
+        );
+        doc.insert(
+            "endpoints".to_owned(),
+            Value::Array(
+                self.endpoints
+                    .iter()
+                    .map(|e| {
+                        let mut obj = Map::new();
+                        obj.insert("endpoint".to_owned(), Value::String(e.endpoint.clone()));
+                        let mut uint = |name: &str, value: u64| {
+                            obj.insert(
+                                name.to_owned(),
+                                serde_json::to_value(value).expect("u64 serializes"),
+                            );
+                        };
+                        uint("requests", e.requests);
+                        uint("p50_micros", e.p50_micros);
+                        uint("p90_micros", e.p90_micros);
+                        uint("p95_micros", e.p95_micros);
+                        uint("p99_micros", e.p99_micros);
+                        uint("max_micros", e.max_micros);
+                        Value::Object(obj)
+                    })
                     .collect(),
             ),
         );
@@ -214,16 +244,39 @@ pub fn smoke_mix() -> Vec<(&'static str, String, String)> {
 pub fn replay(addr: &str, tape: &Tape, concurrency: usize) -> Result<ReplayReport, String> {
     let concurrency = concurrency.max(1);
     let ordered = tape.in_tick_order();
+
+    // per-endpoint (path sans query) latency histograms, shared
+    // lock-free across workers, same bucketing as the live /metrics tier
+    fn path_part(target: &str) -> &str {
+        target.split('?').next().unwrap_or(target)
+    }
+    let mut paths: Vec<String> = Vec::new();
+    let path_of: Vec<usize> = ordered
+        .iter()
+        .map(|entry| {
+            let path = path_part(&entry.target);
+            match paths.iter().position(|p| p == path) {
+                Some(idx) => idx,
+                None => {
+                    paths.push(path.to_owned());
+                    paths.len() - 1
+                }
+            }
+        })
+        .collect();
+    let hists: Vec<LatencyHistogram> = paths.iter().map(|_| LatencyHistogram::new()).collect();
     let started = Instant::now();
 
     let partials = std::thread::scope(|scope| {
         let mut joins = Vec::new();
         for worker in 0..concurrency {
             let ordered = &ordered;
+            let path_of = &path_of;
+            let hists = &hists;
             joins.push(scope.spawn(move || {
                 let mut part = ReplayReport::default();
                 let mut client: Option<HttpClient> = None;
-                for entry in ordered.iter().skip(worker).step_by(concurrency) {
+                for (idx, entry) in ordered.iter().enumerate().skip(worker).step_by(concurrency) {
                     part.requests += 1;
                     let connected = match client.take() {
                         Some(c) => Some(c),
@@ -233,7 +286,10 @@ pub fn replay(addr: &str, tape: &Tape, concurrency: usize) -> Result<ReplayRepor
                         part.transport_errors += 1;
                         continue;
                     };
-                    match c.request(&entry.method, &entry.target, Some(&entry.body)) {
+                    let sent = Instant::now();
+                    let outcome = c.request(&entry.method, &entry.target, Some(&entry.body));
+                    hists[path_of[idx]].record(sent.elapsed().as_micros() as u64);
+                    match outcome {
                         Ok((status, body)) => {
                             client = Some(c);
                             if status == 503 {
@@ -286,6 +342,23 @@ pub fn replay(addr: &str, tape: &Tape, concurrency: usize) -> Result<ReplayRepor
         report.absorb(part);
     }
     report.wall_micros = started.elapsed().as_micros() as u64;
+    report.endpoints = paths
+        .iter()
+        .zip(&hists)
+        .filter(|(_, hist)| hist.count() > 0)
+        .map(|(path, hist)| {
+            let snap = hist.snapshot();
+            EndpointLatency {
+                endpoint: path.trim_start_matches('/').to_owned(),
+                requests: snap.count,
+                p50_micros: snap.percentile(50),
+                p90_micros: snap.percentile(90),
+                p95_micros: snap.percentile(95),
+                p99_micros: snap.percentile(99),
+                max_micros: snap.max,
+            }
+        })
+        .collect();
     if !tape.entries.is_empty() && report.transport_errors == report.requests {
         return Err(format!("every replayed request against {addr} failed"));
     }
@@ -319,10 +392,29 @@ mod tests {
             transport_errors: 0,
             wall_micros: 1000,
             mismatch_details: Vec::new(),
+            endpoints: vec![EndpointLatency {
+                endpoint: "evaluate".to_owned(),
+                requests: 10,
+                p50_micros: 127,
+                p90_micros: 255,
+                p95_micros: 255,
+                p99_micros: 511,
+                max_micros: 400,
+            }],
         };
         let doc = report.to_json();
         assert_eq!(doc.get("requests").and_then(Value::as_u64), Some(10));
         assert_eq!(doc.get("sheds").and_then(Value::as_u64), Some(1));
+        let endpoints = doc.get("endpoints").and_then(Value::as_array).unwrap();
+        assert_eq!(endpoints.len(), 1);
+        assert_eq!(
+            endpoints[0].get("endpoint"),
+            Some(&Value::String("evaluate".to_owned()))
+        );
+        assert_eq!(
+            endpoints[0].get("p99_micros").and_then(Value::as_u64),
+            Some(511)
+        );
         let hit_rate = doc.get("hit_rate").and_then(Value::as_f64).unwrap();
         assert!((hit_rate - 5.0 / 9.0).abs() < 1e-12);
         let shed_rate = doc.get("shed_rate").and_then(Value::as_f64).unwrap();

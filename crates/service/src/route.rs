@@ -48,6 +48,9 @@ use crate::client::HttpClient;
 use crate::http::{Request, Response};
 use crate::server::Handler;
 use crate::tape::{is_recordable, TapeEntry, TapeRecorder};
+use crate::telemetry::{
+    metrics_response, push_counter, push_gauge, push_metric, Span, SpanSet, Telemetry, TRACE_HEADER,
+};
 
 /// How long a health probe waits before declaring a backend unhealthy.
 pub const HEALTH_TIMEOUT: Duration = Duration::from_millis(500);
@@ -123,6 +126,33 @@ pub fn rendezvous_rank(ids: &[String], key: &str) -> Vec<usize> {
     scored.into_iter().map(|(_, _, i)| i).collect()
 }
 
+/// A backend's `/stats` counters as last seen by the health thread —
+/// what the router's `/stats` and `/metrics` aggregate instead of
+/// polling backends synchronously per request.
+#[derive(Debug, Clone)]
+struct BackendCounters {
+    hits: u64,
+    misses: u64,
+    shed: u64,
+    requests: u64,
+    /// When the health pass fetched this snapshot (drives the
+    /// `stats_age_micros` staleness field).
+    fetched: Instant,
+}
+
+impl BackendCounters {
+    fn from_stats(doc: &Value, fetched: Instant) -> BackendCounters {
+        let uint = |v: Option<&Value>| v.and_then(Value::as_u64).unwrap_or(0);
+        BackendCounters {
+            hits: uint(doc.get("cache").and_then(|c| c.get("hits"))),
+            misses: uint(doc.get("cache").and_then(|c| c.get("misses"))),
+            shed: uint(doc.get("shed_total")),
+            requests: uint(doc.get("requests_total")),
+            fetched,
+        }
+    }
+}
+
 /// One backend at runtime: the spec plus live state and counters.
 #[derive(Debug)]
 struct Backend {
@@ -135,11 +165,19 @@ struct Backend {
     routed: AtomicU64,
     /// Transport failures observed talking to this backend.
     failed: AtomicU64,
+    /// The backend's own counters as of the last successful health
+    /// pass. Kept (stale) when the backend stops answering, so
+    /// `/stats` can still show the last known numbers with their age.
+    stats_cache: Mutex<Option<BackendCounters>>,
 }
 
 impl Backend {
     fn current_addr(&self) -> Option<String> {
         self.addr.lock().clone()
+    }
+
+    fn cached_counters(&self) -> Option<BackendCounters> {
+        self.stats_cache.lock().clone()
     }
 }
 
@@ -162,6 +200,7 @@ pub struct RouterState {
     /// Requests that exhausted every backend (answered `502`).
     no_backend_total: AtomicU64,
     recorder: Option<TapeRecorder>,
+    telemetry: Telemetry,
 }
 
 impl RouterState {
@@ -194,6 +233,7 @@ impl RouterState {
                     healthy: AtomicBool::new(false),
                     routed: AtomicU64::new(0),
                     failed: AtomicU64::new(0),
+                    stats_cache: Mutex::new(None),
                 })
                 .collect(),
             started: Instant::now(),
@@ -204,7 +244,16 @@ impl RouterState {
             shed: AtomicU64::new(0),
             no_backend_total: AtomicU64::new(0),
             recorder,
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// The router's telemetry registry (trace minting, span histograms,
+    /// slow log) — exposed so binaries can apply `--slow-log-micros`
+    /// and tests can assert on recorded counts.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configured backend ids, in configuration order — the
@@ -231,8 +280,12 @@ impl RouterState {
 
     /// Runs one synchronous health pass: refresh each backend's address
     /// from its source (re-reading port files, so respawned backends on
-    /// new ports are picked up) and probe its `/healthz` with
-    /// [`HEALTH_TIMEOUT`]. Returns the number of healthy backends.
+    /// new ports are picked up), probe its `/healthz` with
+    /// [`HEALTH_TIMEOUT`], and — on the same keep-alive connection —
+    /// fetch its `/stats` into the cached counter snapshot that the
+    /// router's own `/stats` and `/metrics` serve from (so client-facing
+    /// endpoints never poll backends synchronously). Returns the number
+    /// of healthy backends.
     pub fn check_backends_now(&self) -> usize {
         for backend in &self.backends {
             if let AddrSource::PortFile(path) = &backend.source {
@@ -242,13 +295,27 @@ impl RouterState {
                     .filter(|s| !s.is_empty());
                 *backend.addr.lock() = read;
             }
-            let healthy = backend.current_addr().is_some_and(|addr| {
-                HttpClient::connect_with_timeout(&addr, HEALTH_TIMEOUT)
-                    .and_then(|mut c| c.request("GET", "/healthz", None))
-                    .map(|(status, _)| status == 200)
-                    .unwrap_or(false)
+            let probed = backend.current_addr().and_then(|addr| {
+                let mut client = HttpClient::connect_with_timeout(&addr, HEALTH_TIMEOUT).ok()?;
+                let (status, _) = client.request("GET", "/healthz", None).ok()?;
+                if status != 200 {
+                    return Some((false, None));
+                }
+                let counters = client
+                    .request("GET", "/stats", None)
+                    .ok()
+                    .filter(|(status, _)| *status == 200)
+                    .and_then(|(_, text)| serde_json::from_str(&text).ok())
+                    .map(|doc: Value| BackendCounters::from_stats(&doc, Instant::now()));
+                Some((true, counters))
             });
+            let (healthy, counters) = probed.unwrap_or((false, None));
             backend.healthy.store(healthy, Ordering::Relaxed);
+            if counters.is_some() {
+                // a failed fetch keeps the previous (stale) snapshot:
+                // last known numbers plus their age beat no numbers
+                *backend.stats_cache.lock() = counters;
+            }
         }
         self.healthy_backends()
     }
@@ -305,15 +372,20 @@ impl RouterState {
         Response::ok(Value::Object(doc).to_json_string())
     }
 
-    /// The router's `/stats`: router-level counters plus a live
-    /// aggregation over every reachable backend's own `/stats`
-    /// (hit/miss/shed/request counters), per backend and summed.
+    /// The router's `/stats`: router-level counters plus an aggregation
+    /// over every backend's counters **as cached by the health thread**
+    /// (hit/miss/shed/request counters), per backend and summed. No
+    /// synchronous backend polling happens here — `reachable` means "a
+    /// health pass has fetched this backend's stats at least once", and
+    /// each snapshot carries a `stats_age_micros` staleness field
+    /// (bounded by the health interval in steady state).
     fn stats(&self) -> Response {
         let mut per_backend = Vec::new();
         let mut hits_sum = 0u64;
         let mut misses_sum = 0u64;
         let mut shed_sum = 0u64;
         let mut requests_sum = 0u64;
+        let mut max_age = 0u64;
         for backend in &self.backends {
             let mut bd = Map::new();
             bd.insert("id".to_owned(), Value::String(backend.id.clone()));
@@ -331,40 +403,26 @@ impl RouterState {
                 serde_json::to_value(backend.failed.load(Ordering::Relaxed))
                     .expect("u64 serializes"),
             );
-            let fetched = backend.current_addr().and_then(|addr| {
-                HttpClient::connect_with_timeout(&addr, HEALTH_TIMEOUT)
-                    .and_then(|mut c| c.request("GET", "/stats", None))
-                    .ok()
-                    .filter(|(status, _)| *status == 200)
-                    .and_then(|(_, text)| serde_json::from_str(&text).ok())
-            });
-            let reachable = fetched.is_some();
-            if let Some(stats) = &fetched {
-                let uint = |v: Option<&Value>| v.and_then(Value::as_u64).unwrap_or(0);
-                let hits = uint(stats.get("cache").and_then(|c| c.get("hits")));
-                let misses = uint(stats.get("cache").and_then(|c| c.get("misses")));
-                let shed = uint(stats.get("shed_total"));
-                let requests = uint(stats.get("requests_total"));
-                hits_sum += hits;
-                misses_sum += misses;
-                shed_sum += shed;
-                requests_sum += requests;
-                bd.insert(
-                    "hits".to_owned(),
-                    serde_json::to_value(hits).expect("u64 serializes"),
-                );
-                bd.insert(
-                    "misses".to_owned(),
-                    serde_json::to_value(misses).expect("u64 serializes"),
-                );
-                bd.insert(
-                    "shed".to_owned(),
-                    serde_json::to_value(shed).expect("u64 serializes"),
-                );
-                bd.insert(
-                    "requests".to_owned(),
-                    serde_json::to_value(requests).expect("u64 serializes"),
-                );
+            let cached = backend.cached_counters();
+            let reachable = cached.is_some();
+            if let Some(counters) = &cached {
+                let age = counters.fetched.elapsed().as_micros() as u64;
+                max_age = max_age.max(age);
+                hits_sum += counters.hits;
+                misses_sum += counters.misses;
+                shed_sum += counters.shed;
+                requests_sum += counters.requests;
+                let mut field = |name: &str, value: u64| {
+                    bd.insert(
+                        name.to_owned(),
+                        serde_json::to_value(value).expect("u64 serializes"),
+                    );
+                };
+                field("hits", counters.hits);
+                field("misses", counters.misses);
+                field("shed", counters.shed);
+                field("requests", counters.requests);
+                field("stats_age_micros", age);
             }
             bd.insert("reachable".to_owned(), Value::Bool(reachable));
             per_backend.push(Value::Object(bd));
@@ -397,44 +455,177 @@ impl RouterState {
         counter("backend_shed", shed_sum);
         counter("backend_requests", requests_sum);
         counter("uptime_micros", self.started.elapsed().as_micros() as u64);
+        counter("stats_age_micros", max_age);
         doc.insert("backends".to_owned(), Value::Array(per_backend));
         Response::ok(Value::Object(doc).to_json_string())
     }
 
+    /// The router's `GET /metrics`: Prometheus text exposition of the
+    /// router counters, the per-backend counters from the health-thread
+    /// cache (zero synchronous polling, like [`RouterState::stats`]),
+    /// and the per-endpoint span latency histograms.
+    fn metrics(&self) -> Response {
+        let mut out = String::new();
+        push_counter(
+            &mut out,
+            "raysearch_router_requests_total",
+            "Requests accepted by the router (including local endpoints).",
+            self.requests.load(Ordering::Relaxed),
+        );
+        push_counter(
+            &mut out,
+            "raysearch_router_routed_total",
+            "Requests answered by some backend.",
+            self.routed_total.load(Ordering::Relaxed),
+        );
+        push_counter(
+            &mut out,
+            "raysearch_router_failover_total",
+            "Failover hops after backend transport failures.",
+            self.failover_total.load(Ordering::Relaxed),
+        );
+        push_counter(
+            &mut out,
+            "raysearch_router_shed_passthrough_total",
+            "Backend 503 responses passed through to clients.",
+            self.shed_passthrough.load(Ordering::Relaxed),
+        );
+        push_counter(
+            &mut out,
+            "raysearch_router_shed_total",
+            "Connections shed by the router's own acceptor.",
+            self.shed.load(Ordering::Relaxed),
+        );
+        push_counter(
+            &mut out,
+            "raysearch_router_no_backend_total",
+            "Requests that exhausted every backend (502).",
+            self.no_backend_total.load(Ordering::Relaxed),
+        );
+        push_gauge(
+            &mut out,
+            "raysearch_router_healthy_backends",
+            "Backends currently marked healthy.",
+            self.healthy_backends() as u64,
+        );
+
+        let label = |b: &Backend| format!("backend=\"{}\"", b.id);
+        let family = |picker: &dyn Fn(&Backend) -> Option<u64>| -> Vec<(String, u64)> {
+            self.backends
+                .iter()
+                .filter_map(|b| picker(b).map(|v| (label(b), v)))
+                .collect()
+        };
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_healthy",
+            "gauge",
+            "Backend health as seen by the health thread (1 healthy).",
+            &family(&|b| Some(u64::from(b.healthy.load(Ordering::Relaxed)))),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_routed_total",
+            "counter",
+            "Requests each backend answered (any HTTP status).",
+            &family(&|b| Some(b.routed.load(Ordering::Relaxed))),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_failed_total",
+            "counter",
+            "Transport failures observed per backend.",
+            &family(&|b| Some(b.failed.load(Ordering::Relaxed))),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_cache_hits_total",
+            "counter",
+            "Result-cache hits per backend (health-thread snapshot).",
+            &family(&|b| b.cached_counters().map(|c| c.hits)),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_cache_misses_total",
+            "counter",
+            "Result-cache misses per backend (health-thread snapshot).",
+            &family(&|b| b.cached_counters().map(|c| c.misses)),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_shed_total",
+            "counter",
+            "Requests each backend shed (health-thread snapshot).",
+            &family(&|b| b.cached_counters().map(|c| c.shed)),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_requests_total",
+            "counter",
+            "Requests each backend served (health-thread snapshot).",
+            &family(&|b| b.cached_counters().map(|c| c.requests)),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_stats_age_micros",
+            "gauge",
+            "Age of each backend's cached counter snapshot.",
+            &family(&|b| {
+                b.cached_counters()
+                    .map(|c| c.fetched.elapsed().as_micros() as u64)
+            }),
+        );
+        self.telemetry
+            .render_prometheus_histograms(&mut out, "raysearch_router");
+        metrics_response(out)
+    }
+
     /// Issues `req` against the backend at `addr` over a fresh
-    /// connection. A fresh connection per forward keeps the failure
-    /// semantics crisp: any transport error means *this backend, now* —
-    /// never a stale pooled socket from before a crash.
-    fn forward_once(addr: &str, req: &Request, target: &str) -> std::io::Result<(u16, String)> {
+    /// connection, forwarding the trace id so the backend's telemetry
+    /// joins the same trace. A fresh connection per forward keeps the
+    /// failure semantics crisp: any transport error means *this
+    /// backend, now* — never a stale pooled socket from before a crash.
+    fn forward_once(
+        addr: &str,
+        req: &Request,
+        target: &str,
+        trace: &str,
+    ) -> std::io::Result<(u16, String)> {
         let body = String::from_utf8_lossy(&req.body);
         let mut client = HttpClient::connect_with_timeout(addr, FORWARD_TIMEOUT)?;
-        client.request(&req.method, target, Some(&body))
+        client
+            .request_with_headers(&req.method, target, Some(&body), &[(TRACE_HEADER, trace)])
+            .map(|(status, _headers, body)| (status, body))
     }
 
     /// Routes one request: rendezvous-rank the backends for its
     /// canonical key, try them healthy-first in rank order, fail over
     /// on transport errors, give up with a `502` after every backend
-    /// has failed once.
-    fn route(&self, req: &Request) -> Response {
-        let key = routing_key(req);
-        let ids = self.backend_ids();
-        let ranked = rendezvous_rank(&ids, &key);
-        let target = request_target(req);
+    /// has failed once. Ranking time lands in the `route` span; time
+    /// spent waiting on backends (across failover attempts) accumulates
+    /// into `backend_wait`.
+    fn route(&self, req: &Request, trace: &str, spans: &mut SpanSet) -> Response {
+        let (target, healthy_first) = spans.time(Span::Route, || {
+            let key = routing_key(req);
+            let ids = self.backend_ids();
+            let ranked = rendezvous_rank(&ids, &key);
 
-        // healthy backends in rank order first; unhealthy ones after,
-        // as a last resort (the health view may be stale in both
-        // directions)
-        let healthy_first: Vec<usize> = ranked
-            .iter()
-            .copied()
-            .filter(|&i| self.backends[i].healthy.load(Ordering::Relaxed))
-            .chain(
-                ranked
-                    .iter()
-                    .copied()
-                    .filter(|&i| !self.backends[i].healthy.load(Ordering::Relaxed)),
-            )
-            .collect();
+            // healthy backends in rank order first; unhealthy ones
+            // after, as a last resort (the health view may be stale in
+            // both directions)
+            let healthy_first: Vec<usize> = ranked
+                .iter()
+                .copied()
+                .filter(|&i| self.backends[i].healthy.load(Ordering::Relaxed))
+                .chain(
+                    ranked
+                        .iter()
+                        .copied()
+                        .filter(|&i| !self.backends[i].healthy.load(Ordering::Relaxed)),
+                )
+                .collect();
+            (request_target(req), healthy_first)
+        });
 
         let mut attempted = 0usize;
         for idx in healthy_first {
@@ -443,7 +634,10 @@ impl RouterState {
                 continue;
             };
             attempted += 1;
-            match RouterState::forward_once(&addr, req, &target) {
+            let forwarded = spans.time(Span::BackendWait, || {
+                RouterState::forward_once(&addr, req, &target, trace)
+            });
+            match forwarded {
                 Ok((status, body)) => {
                     backend.routed.fetch_add(1, Ordering::Relaxed);
                     self.routed_total.fetch_add(1, Ordering::Relaxed);
@@ -452,7 +646,11 @@ impl RouterState {
                         // elsewhere would just spread the overload
                         self.shed_passthrough.fetch_add(1, Ordering::Relaxed);
                     }
-                    let response = Response { status, body };
+                    let response = Response {
+                        status,
+                        body,
+                        headers: Vec::new(),
+                    };
                     self.record(req, &target, &response);
                     return response;
                 }
@@ -487,11 +685,20 @@ impl RouterState {
 impl Handler for RouterState {
     fn handle(&self, req: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        match (req.method.as_str(), req.path.as_str()) {
+        let trace = self.telemetry.trace_for(req);
+        let mut spans = SpanSet::start();
+        let response = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => self.healthz(),
             ("GET", "/stats") => self.stats(),
-            _ => self.route(req),
-        }
+            ("GET", "/metrics") => self.metrics(),
+            ("GET", "/debug/slow") => Response::ok(self.telemetry.slow_log_json()),
+            _ => self.route(req, &trace, &mut spans),
+        };
+        let status = response.status;
+        self.telemetry.observe(req, &trace, status, spans);
+        // the echo is attached after recording: tape digests are
+        // body-only, and the tape entry was captured inside route()
+        response.with_header(TRACE_HEADER, trace)
     }
 
     fn note_shed(&self) {

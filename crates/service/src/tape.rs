@@ -35,13 +35,16 @@ use crate::http::Response;
 /// The tape format version; bumped on any incompatible change.
 pub const TAPE_VERSION: u64 = 1;
 
-/// Whether requests to `path` belong on a tape. `/healthz` and
-/// `/stats` answer with live, router-local state (uptime, counters),
-/// so their bytes are not request-determined and recording them would
-/// make every replay fail verification.
+/// Whether requests to `path` belong on a tape. `/healthz`, `/stats`,
+/// `/metrics` and `/debug/slow` answer with live, router-local state
+/// (uptime, counters, histograms), so their bytes are not
+/// request-determined and recording them would make every replay fail
+/// verification. Trace propagation never interferes with tapes at all:
+/// digests cover the (normalized) response *body* only, and the
+/// `x-raysearch-trace` echo lives in response headers.
 #[must_use]
 pub fn is_recordable(path: &str) -> bool {
-    !matches!(path, "/healthz" | "/stats")
+    !matches!(path, "/healthz" | "/stats" | "/metrics" | "/debug/slow")
 }
 
 /// Forces the `cached` flag of a wrapped response body to `false`, so
@@ -401,6 +404,8 @@ mod tests {
     fn router_local_paths_are_not_recordable() {
         assert!(!is_recordable("/healthz"));
         assert!(!is_recordable("/stats"));
+        assert!(!is_recordable("/metrics"));
+        assert!(!is_recordable("/debug/slow"));
         assert!(is_recordable("/evaluate"));
         assert!(is_recordable("/closed_form"));
         assert!(is_recordable("/no_such_endpoint"));

@@ -1,0 +1,540 @@
+//! The serving-tier observability layer: per-request span timing into a
+//! per-endpoint histogram registry, trace-id minting and propagation, a
+//! bounded slow-request log, and the Prometheus text renderer behind
+//! `GET /metrics`.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost**: recording a request is a handful of
+//!    `Instant::now()` calls plus relaxed atomic adds into
+//!    [`LatencyHistogram`]s — no locks (the slow log's mutex is only
+//!    taken when a request actually crosses the threshold), no floats,
+//!    no allocation beyond the trace-id string.
+//! 2. **Determinism**: trace ids come from [`splitmix64`] over a plain
+//!    counter, so a `--record` run mints the same id sequence every
+//!    time and tapes stay reproducible (response headers never enter
+//!    tape digests anyway — see `tape::digest_body`).
+//! 3. **Fixed schema**: endpoints × spans is a small static matrix
+//!    ([`ENDPOINT_LABELS`] × [`Span`]), allocated once, so the registry
+//!    needs no interior growth and `/metrics` output is stable.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use raysearch_core::telemetry::{splitmix64, HistogramSnapshot, LatencyHistogram};
+
+use crate::http::{Request, Response};
+
+/// The header trace ids ride in, router → backend → response.
+pub const TRACE_HEADER: &str = "x-raysearch-trace";
+
+/// Default slow-request threshold in microseconds (0 = log everything).
+pub const DEFAULT_SLOW_THRESHOLD_MICROS: u64 = 100_000;
+
+/// Capacity of the bounded slow-request ring buffer.
+pub const SLOW_LOG_CAPACITY: usize = 32;
+
+/// The fixed span schema every request records against.
+///
+/// Not every span fires on every endpoint — a router request has
+/// `route`/`backend_wait` but no `compile`; a cached backend hit has
+/// `cache_lookup` but no `evaluate`. Zero-duration spans that never
+/// fired are simply not recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Span {
+    /// End-to-end request handling (always recorded).
+    Request = 0,
+    /// Request-parameter parsing and validation.
+    Parse = 1,
+    /// Router-side backend ranking and selection.
+    Route = 2,
+    /// Time spent waiting on a proxied backend response.
+    BackendWait = 3,
+    /// Result-tier LRU lookup (everything in `memoized` outside the
+    /// compute closure).
+    CacheLookup = 4,
+    /// Fleet compilation inside the compile tier.
+    Compile = 5,
+    /// The evaluation compute itself (compute closure minus compile).
+    Evaluate = 6,
+    /// Response body serialization.
+    Serialize = 7,
+}
+
+/// Number of spans in the fixed schema.
+pub const SPAN_COUNT: usize = 8;
+
+/// All spans, in registry order.
+pub const SPANS: [Span; SPAN_COUNT] = [
+    Span::Request,
+    Span::Parse,
+    Span::Route,
+    Span::BackendWait,
+    Span::CacheLookup,
+    Span::Compile,
+    Span::Evaluate,
+    Span::Serialize,
+];
+
+impl Span {
+    /// The snake_case label used in metric names and slow-log dumps.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Span::Request => "request",
+            Span::Parse => "parse",
+            Span::Route => "route",
+            Span::BackendWait => "backend_wait",
+            Span::CacheLookup => "cache_lookup",
+            Span::Compile => "compile",
+            Span::Evaluate => "evaluate",
+            Span::Serialize => "serialize",
+        }
+    }
+}
+
+/// The fixed endpoint labels the registry shards over. Unknown paths
+/// land in `other` so the matrix never grows.
+pub const ENDPOINT_LABELS: [&str; 10] = [
+    "closed_form",
+    "evaluate",
+    "verdict",
+    "campaign",
+    "montecarlo",
+    "healthz",
+    "stats",
+    "metrics",
+    "debug_slow",
+    "other",
+];
+
+/// Maps a request path to its [`ENDPOINT_LABELS`] index.
+#[must_use]
+pub fn endpoint_index(path: &str) -> usize {
+    match path {
+        "/closed_form" => 0,
+        "/evaluate" => 1,
+        "/verdict" => 2,
+        "/campaign" => 3,
+        "/montecarlo" => 4,
+        "/healthz" => 5,
+        "/stats" => 6,
+        "/metrics" => 7,
+        "/debug/slow" => 8,
+        _ => 9,
+    }
+}
+
+/// One captured slow request, as dumped by `GET /debug/slow`.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The minted (or propagated) trace id, 16 hex digits.
+    pub trace: String,
+    /// Request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// Per-span durations in microseconds, indexed like [`SPANS`]
+    /// (`0` where the span never fired).
+    pub spans: [u64; SPAN_COUNT],
+}
+
+impl SlowEntry {
+    fn to_json(&self) -> String {
+        let mut spans = String::new();
+        for (i, span) in SPANS.iter().enumerate() {
+            if self.spans[i] > 0 {
+                if !spans.is_empty() {
+                    spans.push(',');
+                }
+                spans.push_str(&format!("\"{}\":{}", span.label(), self.spans[i]));
+            }
+        }
+        format!(
+            "{{\"trace\":\"{}\",\"method\":\"{}\",\"path\":{},\"status\":{},\"total_micros\":{},\"spans\":{{{}}}}}",
+            self.trace,
+            self.method,
+            serde_json::Value::String(self.path.clone()).to_json_string(),
+            self.status,
+            self.spans[Span::Request as usize],
+            spans
+        )
+    }
+}
+
+/// Per-request span accumulator: started once at request entry, fed by
+/// [`SpanSet::time`] / [`SpanSet::add`], then handed to
+/// [`Telemetry::observe`]. Lives on one worker thread's stack — plain
+/// `u64`s, no atomics.
+#[derive(Debug)]
+pub struct SpanSet {
+    started: Instant,
+    micros: [u64; SPAN_COUNT],
+}
+
+impl Default for SpanSet {
+    fn default() -> Self {
+        SpanSet::start()
+    }
+}
+
+impl SpanSet {
+    /// Starts the request clock.
+    #[must_use]
+    pub fn start() -> Self {
+        SpanSet {
+            started: Instant::now(),
+            micros: [0; SPAN_COUNT],
+        }
+    }
+
+    /// Adds `micros` to `span` (spans may fire multiple times per
+    /// request, e.g. `backend_wait` across failover attempts).
+    pub fn add(&mut self, span: Span, micros: u64) {
+        self.micros[span as usize] += micros;
+    }
+
+    /// Times `f` and attributes the elapsed microseconds to `span`.
+    pub fn time<T>(&mut self, span: Span, f: impl FnOnce() -> T) -> T {
+        let before = Instant::now();
+        let out = f();
+        self.add(span, before.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Microseconds recorded so far for `span`.
+    #[must_use]
+    pub fn get(&self, span: Span) -> u64 {
+        self.micros[span as usize]
+    }
+
+    /// Closes the request span (total wall time since `start`) and
+    /// returns the completed per-span array.
+    fn finish(mut self) -> [u64; SPAN_COUNT] {
+        self.micros[Span::Request as usize] = self.started.elapsed().as_micros() as u64;
+        self.micros
+    }
+}
+
+/// The per-process telemetry registry: endpoint × span histograms, the
+/// trace-id counter, and the slow-request ring buffer.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// `hists[endpoint * SPAN_COUNT + span]`.
+    hists: Vec<LatencyHistogram>,
+    trace_counter: AtomicU64,
+    slow_threshold_micros: AtomicU64,
+    slow: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A fresh registry with the default slow threshold.
+    #[must_use]
+    pub fn new() -> Self {
+        let cells = ENDPOINT_LABELS.len() * SPAN_COUNT;
+        Telemetry {
+            hists: (0..cells).map(|_| LatencyHistogram::new()).collect(),
+            trace_counter: AtomicU64::new(0),
+            slow_threshold_micros: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_MICROS),
+            slow: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+        }
+    }
+
+    /// Mints the next trace id: 16 lowercase hex digits, deterministic
+    /// (SplitMix64 over a process-local counter).
+    #[must_use]
+    pub fn mint_trace(&self) -> String {
+        let n = self.trace_counter.fetch_add(1, Ordering::Relaxed);
+        format!("{:016x}", splitmix64(n))
+    }
+
+    /// The trace id for `req`: a propagated `x-raysearch-trace` header
+    /// if the peer sent one, else freshly minted.
+    #[must_use]
+    pub fn trace_for(&self, req: &Request) -> String {
+        match req.header(TRACE_HEADER) {
+            Some(v) if !v.is_empty() => v.to_owned(),
+            _ => self.mint_trace(),
+        }
+    }
+
+    /// Sets the slow-log threshold (microseconds; 0 logs every request).
+    pub fn set_slow_threshold(&self, micros: u64) {
+        self.slow_threshold_micros.store(micros, Ordering::Relaxed);
+    }
+
+    /// The current slow-log threshold in microseconds.
+    #[must_use]
+    pub fn slow_threshold(&self) -> u64 {
+        self.slow_threshold_micros.load(Ordering::Relaxed)
+    }
+
+    fn hist(&self, endpoint: usize, span: Span) -> &LatencyHistogram {
+        &self.hists[endpoint * SPAN_COUNT + span as usize]
+    }
+
+    /// Records a finished request: closes the span set, feeds every
+    /// fired span into the endpoint's histograms, and captures a slow
+    /// log entry if the total crossed the threshold.
+    pub fn observe(&self, req: &Request, trace: &str, status: u16, spans: SpanSet) {
+        let endpoint = endpoint_index(&req.path);
+        let micros = spans.finish();
+        for (i, &v) in micros.iter().enumerate() {
+            // the request span always records; sub-spans only if fired
+            if i == Span::Request as usize || v > 0 {
+                self.hists[endpoint * SPAN_COUNT + i].record(v);
+            }
+        }
+        let total = micros[Span::Request as usize];
+        if total >= self.slow_threshold() {
+            let entry = SlowEntry {
+                trace: trace.to_owned(),
+                method: req.method.clone(),
+                path: req.path.clone(),
+                status,
+                spans: micros,
+            };
+            let mut slow = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+            if slow.len() == SLOW_LOG_CAPACITY {
+                slow.pop_front();
+            }
+            slow.push_back(entry);
+        }
+    }
+
+    /// Total requests observed for the endpoint `path` maps to.
+    #[must_use]
+    pub fn request_count(&self, path: &str) -> u64 {
+        self.hist(endpoint_index(path), Span::Request).count()
+    }
+
+    /// Snapshot of one endpoint × span histogram.
+    #[must_use]
+    pub fn snapshot(&self, endpoint: usize, span: Span) -> HistogramSnapshot {
+        self.hist(endpoint, span).snapshot()
+    }
+
+    /// The `GET /debug/slow` response body: threshold, capacity, and
+    /// the captured entries oldest-first.
+    #[must_use]
+    pub fn slow_log_json(&self) -> String {
+        let slow = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+        let entries: Vec<String> = slow.iter().map(SlowEntry::to_json).collect();
+        format!(
+            "{{\"threshold_micros\":{},\"capacity\":{},\"entries\":[{}]}}",
+            self.slow_threshold(),
+            SLOW_LOG_CAPACITY,
+            entries.join(",")
+        )
+    }
+
+    /// Renders the latency histograms in Prometheus text exposition
+    /// format (metric `{prefix}_span_latency_micros`, labels `endpoint`
+    /// and `span`). Endpoint × span cells that never fired are skipped.
+    pub fn render_prometheus_histograms(&self, out: &mut String, prefix: &str) {
+        let name = format!("{prefix}_span_latency_micros");
+        out.push_str(&format!(
+            "# HELP {name} Per-span request latency in microseconds.\n# TYPE {name} histogram\n"
+        ));
+        for (e, endpoint) in ENDPOINT_LABELS.iter().enumerate() {
+            for span in SPANS {
+                let snap = self.hist(e, span).snapshot();
+                if snap.count == 0 {
+                    continue;
+                }
+                let labels = format!("endpoint=\"{endpoint}\",span=\"{}\"", span.label());
+                let mut cumulative = 0u64;
+                for (b, &n) in snap.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative += n;
+                    let le = raysearch_core::telemetry::bucket_upper_bound(b);
+                    out.push_str(&format!(
+                        "{name}_bucket{{{labels},le=\"{le}\"}} {cumulative}\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "{name}_bucket{{{labels},le=\"+Inf\"}} {cumulative}\n"
+                ));
+                out.push_str(&format!("{name}_sum{{{labels}}} {}\n", snap.sum));
+                out.push_str(&format!("{name}_count{{{labels}}} {}\n", snap.count));
+            }
+        }
+    }
+}
+
+/// Appends one Prometheus metric family to `out`: HELP and TYPE once,
+/// then every `(labels, value)` sample (labels either empty or a
+/// comma-joined `k="v"` list). Grouping samples under one TYPE line is
+/// what the exposition format requires for labeled families.
+pub fn push_metric(
+    out: &mut String,
+    name: &str,
+    kind: &str,
+    help: &str,
+    samples: &[(String, u64)],
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    for (labels, value) in samples {
+        if labels.is_empty() {
+            out.push_str(&format!("{name} {value}\n"));
+        } else {
+            out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    }
+}
+
+/// Appends one unlabeled Prometheus counter to `out`.
+pub fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    push_metric(out, name, "counter", help, &[(String::new(), value)]);
+}
+
+/// Appends one unlabeled Prometheus gauge to `out`.
+pub fn push_gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    push_metric(out, name, "gauge", help, &[(String::new(), value)]);
+}
+
+/// Wraps a rendered exposition body into a `200` response with the
+/// Prometheus text content type.
+#[must_use]
+pub fn metrics_response(body: String) -> Response {
+    Response::ok(body).with_header("Content-Type", "text/plain; version=0.0.4")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str, headers: Vec<(String, String)>) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            version: "HTTP/1.1".to_owned(),
+            path: path.to_owned(),
+            query: Vec::new(),
+            headers,
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_well_formed() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        let first = a.mint_trace();
+        assert_eq!(first.len(), 16);
+        assert!(first.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(first, b.mint_trace(), "same counter, same id");
+        assert_ne!(first, a.mint_trace(), "ids advance");
+    }
+
+    #[test]
+    fn incoming_trace_headers_are_propagated_not_replaced() {
+        let t = Telemetry::new();
+        let req = get(
+            "/evaluate",
+            vec![(TRACE_HEADER.to_owned(), "00000000deadbeef".to_owned())],
+        );
+        assert_eq!(t.trace_for(&req), "00000000deadbeef");
+        let req = get("/evaluate", Vec::new());
+        assert_eq!(t.trace_for(&req).len(), 16);
+    }
+
+    #[test]
+    fn observe_feeds_the_right_endpoint_histograms() {
+        let t = Telemetry::new();
+        let req = get("/evaluate", Vec::new());
+        let mut spans = SpanSet::start();
+        spans.add(Span::Evaluate, 500);
+        t.observe(&req, "abc", 200, spans);
+        assert_eq!(t.request_count("/evaluate"), 1);
+        assert_eq!(t.request_count("/verdict"), 0);
+        assert_eq!(
+            t.snapshot(endpoint_index("/evaluate"), Span::Evaluate)
+                .count,
+            1
+        );
+        // unknown paths land in `other`
+        let req = get("/nope", Vec::new());
+        t.observe(&req, "abc", 404, SpanSet::start());
+        assert_eq!(t.request_count("/nope"), 1);
+        assert_eq!(t.request_count("/also-nope"), 1);
+    }
+
+    #[test]
+    fn slow_log_is_bounded_and_threshold_gated() {
+        let t = Telemetry::new();
+        t.set_slow_threshold(0); // log everything
+        for i in 0..(SLOW_LOG_CAPACITY + 5) {
+            let req = get("/evaluate", Vec::new());
+            t.observe(&req, &format!("{i:016x}"), 200, SpanSet::start());
+        }
+        let dump = t.slow_log_json();
+        let doc: serde_json::Value = serde_json::from_str(&dump).unwrap();
+        let entries = doc
+            .get("entries")
+            .and_then(serde_json::Value::as_array)
+            .unwrap();
+        assert_eq!(entries.len(), SLOW_LOG_CAPACITY, "ring buffer is bounded");
+        // oldest entries were evicted: the first surviving trace is #5
+        let first = entries[0].get("trace").unwrap();
+        assert_eq!(first, &serde_json::Value::String(format!("{:016x}", 5)));
+
+        let quiet = Telemetry::new();
+        quiet.set_slow_threshold(u64::MAX);
+        let req = get("/evaluate", Vec::new());
+        quiet.observe(&req, "x", 200, SpanSet::start());
+        let doc: serde_json::Value = serde_json::from_str(&quiet.slow_log_json()).unwrap();
+        let entries = doc
+            .get("entries")
+            .and_then(serde_json::Value::as_array)
+            .unwrap();
+        assert!(entries.is_empty(), "fast requests are not logged");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_skips_empty_cells() {
+        let t = Telemetry::new();
+        let req = get("/evaluate", Vec::new());
+        let mut spans = SpanSet::start();
+        spans.add(Span::Evaluate, 3); // bucket le=3
+        t.observe(&req, "x", 200, spans);
+        let mut spans = SpanSet::start();
+        spans.add(Span::Evaluate, 10); // bucket le=15
+        t.observe(&req, "x", 200, spans);
+
+        let mut out = String::new();
+        t.render_prometheus_histograms(&mut out, "raysearchd");
+        assert!(out.contains("# TYPE raysearchd_span_latency_micros histogram\n"));
+        assert!(out.contains(
+            "raysearchd_span_latency_micros_bucket{endpoint=\"evaluate\",span=\"evaluate\",le=\"3\"} 1\n"
+        ));
+        assert!(out.contains(
+            "raysearchd_span_latency_micros_bucket{endpoint=\"evaluate\",span=\"evaluate\",le=\"15\"} 2\n"
+        ));
+        assert!(out.contains(
+            "raysearchd_span_latency_micros_bucket{endpoint=\"evaluate\",span=\"evaluate\",le=\"+Inf\"} 2\n"
+        ));
+        assert!(out.contains(
+            "raysearchd_span_latency_micros_sum{endpoint=\"evaluate\",span=\"evaluate\"} 13\n"
+        ));
+        assert!(out.contains(
+            "raysearchd_span_latency_micros_count{endpoint=\"evaluate\",span=\"evaluate\"} 2\n"
+        ));
+        assert!(
+            !out.contains("endpoint=\"verdict\""),
+            "cells that never fired are skipped"
+        );
+    }
+}
