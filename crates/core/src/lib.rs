@@ -33,7 +33,13 @@
 //!   the load harnesses: lock-free power-of-two latency histograms
 //!   ([`LatencyHistogram`]), mergeable plain-data snapshots with
 //!   integer-only percentile reads ([`HistogramSnapshot`]), and the
-//!   [`splitmix64`] mixer trace ids are minted from.
+//!   [`splitmix64`] mixer trace ids are minted from;
+//! * [`trace`] — hierarchical request tracing: per-request span trees
+//!   ([`SpanData`]) captured through scoped guards ([`trace::ScopedSpan`]),
+//!   a lock-sharded bounded ring of completed traces keyed by the 64-bit
+//!   trace id ([`TraceRecorder`], deterministic SplitMix64 1-in-N
+//!   sampling), and Chrome trace-event export
+//!   ([`trace::chrome_trace_json`]).
 //!
 //! # Example: Theorem 1 tightness for (k, f) = (3, 1)
 //!
@@ -60,6 +66,7 @@ pub mod eval;
 pub mod problem;
 pub mod sweep;
 pub mod telemetry;
+pub mod trace;
 pub mod verdict;
 
 pub use campaign::{Campaign, CampaignRun, Cell, ParamGrid, ParamValue, Report};
@@ -75,4 +82,5 @@ pub use eval::{
 pub use problem::{LineProblem, RayProblem};
 pub use sweep::{par_map, par_map_threads};
 pub use telemetry::{splitmix64, HistogramSnapshot, LatencyHistogram};
+pub use trace::{CompletedTrace, SpanData, TraceBuilder, TraceRecorder};
 pub use verdict::{verify_tightness, verify_tightness_cached, TightnessReport};

@@ -35,7 +35,8 @@ use crate::cache::{CacheStats, ShardedLru};
 use crate::http::{Request, Response};
 use crate::server::Handler;
 use crate::telemetry::{
-    metrics_response, push_counter, push_gauge, Span, SpanSet, Telemetry, TRACE_HEADER,
+    metrics_response, push_counter, push_gauge, trace_index_json, trace_json, Span, SpanSet,
+    Telemetry, TRACE_HEADER,
 };
 
 /// Default evaluation horizon when a request omits `horizon`.
@@ -110,6 +111,7 @@ pub const ENDPOINTS: &[&str] = &[
     "stats",
     "metrics",
     "debug/slow",
+    "debug/trace",
 ];
 
 /// The canonicalized identity of one memoizable computation.
@@ -478,7 +480,7 @@ impl ServiceState {
     ) -> Result<(String, bool), ApiError> {
         let compute_micros = Cell::new(0u64);
         let compile_micros = Cell::new(0u64);
-        let before = Instant::now();
+        let entered = spans.elapsed_micros();
         let result = self.cache.try_get_or_insert_with(key, || {
             let started = Instant::now();
             let tier = CompileTier {
@@ -489,13 +491,29 @@ impl ServiceState {
             compute_micros.set(started.elapsed().as_micros() as u64);
             out
         });
-        let total = before.elapsed().as_micros() as u64;
+        let total = spans.elapsed_micros().saturating_sub(entered);
         let compute_t = compute_micros.get();
         let compile_t = compile_micros.get();
-        spans.add(Span::CacheLookup, total.saturating_sub(compute_t));
+        let hit = if matches!(&result, Ok((_, true))) {
+            "true"
+        } else {
+            "false"
+        };
+        // attribute the block as three consecutive intervals — lookup
+        // overhead, then compile, then the rest of the compute — so the
+        // trace tree shows disjoint, ordered children whose durations
+        // sum to the measured block
+        let lookup_end = entered + total.saturating_sub(compute_t);
+        spans.add_interval(Span::CacheLookup, entered, lookup_end, &[("hit", hit)]);
         if compute_t > 0 {
-            spans.add(Span::Compile, compile_t);
-            spans.add(Span::Evaluate, compute_t.saturating_sub(compile_t));
+            let compile_end = lookup_end + compile_t;
+            spans.add_interval(Span::Compile, lookup_end, compile_end, &[]);
+            spans.add_interval(
+                Span::Evaluate,
+                compile_end,
+                compile_end + compute_t.saturating_sub(compile_t),
+                &[],
+            );
         }
         result
     }
@@ -514,6 +532,10 @@ impl ServiceState {
             ("GET", "/stats") => Ok(self.stats_response()),
             ("GET", "/metrics") => Ok(self.metrics()),
             ("GET", "/debug/slow") => Ok(Response::ok(self.telemetry.slow_log_json())),
+            ("GET", "/debug/trace") => {
+                Ok(Response::ok(trace_index_json(self.telemetry.recorder())))
+            }
+            ("GET", path) if path.starts_with("/debug/trace/") => Ok(self.debug_trace(path)),
             ("GET" | "POST", "/closed_form") => self.closed_form(req, &mut spans),
             ("POST", "/evaluate") => self.evaluate(req, &mut spans),
             ("POST", "/verdict") => self.verdict(req, &mut spans),
@@ -541,6 +563,18 @@ impl ServiceState {
         let status = response.status;
         self.telemetry.observe(req, &trace, status, spans);
         response.with_header(TRACE_HEADER, trace)
+    }
+
+    /// `GET /debug/trace/{id}`: the stored span tree for one trace id,
+    /// or a 404 when the id was never sampled (or has been evicted from
+    /// the bounded ring).
+    fn debug_trace(&self, path: &str) -> Response {
+        let id = path.strip_prefix("/debug/trace/").unwrap_or_default();
+        let key = raysearch_core::TraceRecorder::key_for(id);
+        match self.telemetry.recorder().get(key) {
+            Some(trace) => Response::ok(trace_json(&trace, "raysearchd")),
+            None => Response::error(404, &format!("no stored trace {id:?}")),
+        }
     }
 
     fn healthz(&self) -> Response {
@@ -662,6 +696,25 @@ impl ServiceState {
             "raysearchd_uptime_micros",
             "Microseconds since this backend started.",
             self.started.elapsed().as_micros() as u64,
+        );
+        push_gauge(
+            &mut out,
+            "raysearchd_uptime_seconds",
+            "Seconds since this backend started.",
+            self.started.elapsed().as_secs(),
+        );
+        let recorder = self.telemetry.recorder();
+        push_gauge(
+            &mut out,
+            "raysearchd_traces_stored",
+            "Completed span traces resident in the trace ring.",
+            recorder.stored(),
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_traces_dropped_total",
+            "Span traces evicted from the bounded trace ring.",
+            recorder.dropped_total(),
         );
         self.telemetry
             .render_prometheus_histograms(&mut out, "raysearchd");

@@ -54,6 +54,7 @@ struct ChildBackend {
 #[derive(Debug)]
 pub struct BackendFleet {
     bin: PathBuf,
+    extra_args: Vec<String>,
     children: Vec<ChildBackend>,
 }
 
@@ -66,15 +67,34 @@ impl BackendFleet {
     /// Returns a message on directory or spawn failure (already-spawned
     /// children are cleaned up by `Drop`).
     pub fn spawn(bin: &Path, n: usize, dir: &Path) -> Result<BackendFleet, String> {
+        BackendFleet::spawn_with_args(bin, n, dir, &[])
+    }
+
+    /// Like [`BackendFleet::spawn`] but passes `extra_args` to every
+    /// child (and to [respawns](BackendFleet::respawn)) — how the
+    /// router CLI forwards `--slow-log-micros` / `--trace-sample` to
+    /// the backends it owns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on directory or spawn failure (already-spawned
+    /// children are cleaned up by `Drop`).
+    pub fn spawn_with_args(
+        bin: &Path,
+        n: usize,
+        dir: &Path,
+        extra_args: &[String],
+    ) -> Result<BackendFleet, String> {
         std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
         let mut fleet = BackendFleet {
             bin: bin.to_owned(),
+            extra_args: extra_args.to_vec(),
             children: Vec::with_capacity(n),
         };
         for i in 0..n {
             let id = format!("backend-{i}");
             let port_file = dir.join(format!("{id}.port"));
-            let child = spawn_backend(bin, &port_file)?;
+            let child = spawn_backend(bin, &port_file, extra_args)?;
             fleet.children.push(ChildBackend {
                 id,
                 port_file,
@@ -168,7 +188,7 @@ impl BackendFleet {
         self.kill(idx);
         let port_file = self.children[idx].port_file.clone();
         std::fs::remove_file(&port_file).ok();
-        self.children[idx].child = Some(spawn_backend(&self.bin, &port_file)?);
+        self.children[idx].child = Some(spawn_backend(&self.bin, &port_file, &self.extra_args)?);
         Ok(())
     }
 }
@@ -181,7 +201,7 @@ impl Drop for BackendFleet {
     }
 }
 
-fn spawn_backend(bin: &Path, port_file: &Path) -> Result<Child, String> {
+fn spawn_backend(bin: &Path, port_file: &Path, extra_args: &[String]) -> Result<Child, String> {
     // a stale file from a previous life must not be mistaken for this
     // spawn's handshake
     std::fs::remove_file(port_file).ok();
@@ -190,6 +210,7 @@ fn spawn_backend(bin: &Path, port_file: &Path) -> Result<Child, String> {
         .arg("127.0.0.1:0")
         .arg("--port-file")
         .arg(port_file)
+        .args(extra_args)
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::null())

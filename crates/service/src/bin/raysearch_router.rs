@@ -49,6 +49,13 @@ serve options:
   --slow-log-micros N  requests slower than N microseconds land in the
                      GET /debug/slow ring buffer (0 logs everything;
                      default 100000)
+  --trace-sample N   keep ~1-in-N span traces for GET /debug/trace/{id}
+                     (slow requests are always kept; 1 keeps every
+                     trace; default 64)
+
+--slow-log-micros and --trace-sample are forwarded to spawned backends
+so the whole fleet shares one sampling policy (joined backends keep
+their own configuration)
 
 the raysearchd binary for spawned backends is found next to this
 executable, or via the RAYSEARCHD_BIN environment variable
@@ -67,6 +74,7 @@ struct Cli {
     workers: Option<usize>,
     queue: Option<usize>,
     slow_log_micros: Option<u64>,
+    trace_sample: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
@@ -106,6 +114,15 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                         .map_err(|_| "--slow-log-micros expects an integer >= 0".to_owned())?,
                 );
             }
+            "--trace-sample" => {
+                cli.trace_sample = Some(
+                    value_of("--trace-sample")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "--trace-sample expects an integer >= 1".to_owned())?,
+                );
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -123,7 +140,19 @@ fn serve(cli: &Cli) -> Result<(), String> {
         let dir = cli.state_dir.clone().unwrap_or_else(|| {
             std::env::temp_dir().join(format!("raysearch-router-{}", std::process::id()))
         });
-        let fleet = BackendFleet::spawn(&raysearchd_bin()?, n, &dir)?;
+        // spawned backends inherit the fleet-wide observability knobs:
+        // trace assembly only works if the backend sampled the same
+        // requests the router did
+        let mut extra = Vec::new();
+        if let Some(micros) = cli.slow_log_micros {
+            extra.push("--slow-log-micros".to_owned());
+            extra.push(micros.to_string());
+        }
+        if let Some(sample) = cli.trace_sample {
+            extra.push("--trace-sample".to_owned());
+            extra.push(sample.to_string());
+        }
+        let fleet = BackendFleet::spawn_with_args(&raysearchd_bin()?, n, &dir, &extra)?;
         let addrs = fleet.wait_ready(Duration::from_secs(10))?;
         println!(
             "raysearch-router: spawned {n} backends ({})",
@@ -150,6 +179,9 @@ fn serve(cli: &Cli) -> Result<(), String> {
     let state = Arc::new(RouterState::new(specs, recorder));
     if let Some(micros) = cli.slow_log_micros {
         state.telemetry().set_slow_threshold(micros);
+    }
+    if let Some(n) = cli.trace_sample {
+        state.telemetry().set_trace_sample(n);
     }
     let healthy = state.check_backends_now();
     println!(

@@ -38,6 +38,9 @@ serve options:
   --slow-log-micros N  requests slower than N microseconds land in the
                      GET /debug/slow ring buffer (0 logs everything;
                      default 100000)
+  --trace-sample N   keep ~1-in-N span traces for GET /debug/trace/{id}
+                     (slow requests are always kept; 1 keeps every
+                     trace; default 64)
 
 bench options:
   --concurrency C    concurrent connections for --bench (default 4)
@@ -56,6 +59,7 @@ struct Cli {
     cache_capacity: Option<usize>,
     shards: Option<usize>,
     slow_log_micros: Option<u64>,
+    trace_sample: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
@@ -103,6 +107,15 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                         .map_err(|_| "--slow-log-micros expects an integer >= 0".to_owned())?,
                 );
             }
+            "--trace-sample" => {
+                cli.trace_sample = Some(
+                    value_of("--trace-sample")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "--trace-sample expects an integer >= 1".to_owned())?,
+                );
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -137,6 +150,9 @@ fn serve(cli: &Cli) -> Result<(), String> {
     let server = Server::bind(cfg.clone()).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     if let Some(micros) = cli.slow_log_micros {
         server.state().telemetry().set_slow_threshold(micros);
+    }
+    if let Some(n) = cli.trace_sample {
+        server.state().telemetry().set_trace_sample(n);
     }
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(

@@ -17,12 +17,21 @@
 //! CI: any digest mismatch or transport error fails; `--max-shed-rate`
 //! bounds the shed fraction; `--require-warm-hits` demands a non-zero
 //! cache-hit rate on the final pass.
+//!
+//! `--export-trace PATH` additionally dumps every span trace the
+//! router kept during the replay — assembled across tiers via the
+//! router's `GET /debug/trace/{id}` — as Chrome trace-event JSON
+//! (catapult format), loadable in Perfetto or `chrome://tracing`. A
+//! spawned fleet runs with sampling forced always-on so the timeline
+//! covers the whole replay.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
+use raysearch_core::trace::chrome_trace_json;
+use raysearch_core::SpanData;
 use raysearch_service::backends::{raysearchd_bin, BackendFleet};
 use raysearch_service::client::HttpClient;
 use raysearch_service::replay::{replay, smoke_mix, ReplayReport};
@@ -48,6 +57,10 @@ replay mode:
   --report PATH      also write the JSON report to PATH
   --max-shed-rate F  fail if any pass sheds more than this fraction
   --require-warm-hits  fail if the final pass has a zero hit rate
+  --export-trace PATH  dump the router's assembled span traces as
+                     Chrome trace-event JSON (open in Perfetto or
+                     chrome://tracing); a spawned fleet samples
+                     always-on, an --addr fleet exports whatever it kept
 
 common:
   --backends N       backends in a spawned fleet (default 2)
@@ -69,6 +82,7 @@ struct Cli {
     report: Option<PathBuf>,
     max_shed_rate: Option<f64>,
     require_warm_hits: bool,
+    export_trace: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
@@ -115,6 +129,9 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                 cli.max_shed_rate = Some(rate);
             }
             "--require-warm-hits" => cli.require_warm_hits = true,
+            "--export-trace" => {
+                cli.export_trace = Some(PathBuf::from(value_of("--export-trace")?));
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -140,11 +157,22 @@ impl Fleet {
         backends: usize,
         concurrency: usize,
         recorder: Option<TapeRecorder>,
+        trace_all: bool,
     ) -> Result<Fleet, String> {
         let dir = std::env::temp_dir().join(format!("replaygen-{}", std::process::id()));
-        let fleet = BackendFleet::spawn(&raysearchd_bin()?, backends, &dir)?;
+        // --export-trace wants a timeline of the *whole* replay, so the
+        // fleet samples every request rather than 1-in-N
+        let mut extra = Vec::new();
+        if trace_all {
+            extra.push("--trace-sample".to_owned());
+            extra.push("1".to_owned());
+        }
+        let fleet = BackendFleet::spawn_with_args(&raysearchd_bin()?, backends, &dir, &extra)?;
         fleet.wait_ready(Duration::from_secs(10))?;
         let state = Arc::new(RouterState::new(fleet.specs(), recorder));
+        if trace_all {
+            state.telemetry().set_trace_sample(1);
+        }
         let healthy = state.check_backends_now();
         if healthy != backends {
             return Err(format!(
@@ -188,7 +216,7 @@ impl Fleet {
 fn record(cli: &Cli, path: &Path) -> Result<(), String> {
     let recorder =
         TapeRecorder::create(path).map_err(|e| format!("create {}: {e}", path.display()))?;
-    let fleet = Fleet::spawn(cli.backends, 1, Some(recorder))?;
+    let fleet = Fleet::spawn(cli.backends, 1, Some(recorder), false)?;
     let addr = fleet.addr();
 
     let mix = smoke_mix();
@@ -231,7 +259,12 @@ fn replay_mode(cli: &Cli, path: &Path) -> Result<(), String> {
     let (addr, fleet) = match &cli.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let fleet = Fleet::spawn(cli.backends, cli.concurrency, None)?;
+            let fleet = Fleet::spawn(
+                cli.backends,
+                cli.concurrency,
+                None,
+                cli.export_trace.is_some(),
+            )?;
             (fleet.addr(), Some(fleet))
         }
     };
@@ -255,6 +288,18 @@ fn replay_mode(cli: &Cli, path: &Path) -> Result<(), String> {
                 outcome = Err(format!("pass {pass}: {e}"));
                 break;
             }
+        }
+    }
+    // export while the fleet is still up: assembly fetches backend
+    // traces live through the router
+    if outcome.is_ok() {
+        if let Some(export_path) = &cli.export_trace {
+            outcome = export_traces(&addr, export_path).map(|n| {
+                eprintln!(
+                    "replaygen: exported {n} assembled trace(s) to {}",
+                    export_path.display()
+                );
+            });
         }
     }
     if let Some(fleet) = fleet {
@@ -325,6 +370,65 @@ fn replay_mode(cli: &Cli, path: &Path) -> Result<(), String> {
         return Err(failures.join("\n"));
     }
     Ok(())
+}
+
+/// Fetches every trace id the router's ring holds, pulls each
+/// assembled (router + stitched backend) tree through
+/// `GET /debug/trace/{id}`, and writes the lot as one Chrome
+/// trace-event document.
+fn export_traces(addr: &str, path: &Path) -> Result<usize, String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (status, body) = client
+        .request("GET", "/debug/trace", None)
+        .map_err(|e| format!("fetch /debug/trace: {e}"))?;
+    if status != 200 {
+        return Err(format!("/debug/trace answered {status}"));
+    }
+    let index: Value =
+        serde_json::from_str(&body).map_err(|e| format!("parse /debug/trace: {e}"))?;
+    let ids: Vec<String> = match index.get("traces") {
+        Some(Value::Array(ids)) => ids
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_owned))
+            .collect(),
+        _ => return Err("/debug/trace has no traces array".to_owned()),
+    };
+
+    let mut assembled: Vec<(String, String, SpanData)> = Vec::with_capacity(ids.len());
+    for id in ids {
+        // a trace can age out of the ring between the index fetch and
+        // this one; skipping it beats failing the whole export
+        let Ok((status, body)) = client.request("GET", &format!("/debug/trace/{id}"), None) else {
+            client = HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            continue;
+        };
+        if status != 200 {
+            continue;
+        }
+        let Ok(doc): Result<Value, _> = serde_json::from_str(&body) else {
+            continue;
+        };
+        let service = doc
+            .get("service")
+            .and_then(Value::as_str)
+            .unwrap_or("raysearch-router")
+            .to_owned();
+        let Some(root) = doc.get("root").and_then(|v| SpanData::from_json(v).ok()) else {
+            continue;
+        };
+        assembled.push((id, service, root));
+    }
+    if assembled.is_empty() {
+        return Err("no traces to export (is sampling enabled?)".to_owned());
+    }
+    let json = chrome_trace_json(
+        assembled
+            .iter()
+            .map(|(t, s, r)| (t.as_str(), s.as_str(), r)),
+    );
+    std::fs::write(path, format!("{json}\n"))
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(assembled.len())
 }
 
 fn main() {

@@ -36,8 +36,14 @@
 //!   fingerprints that are concurrency-invariant by construction;
 //! * [`telemetry`] — the observability layer: per-request span timing
 //!   into per-endpoint latency histograms, `x-raysearch-trace`
-//!   propagation, a bounded slow-request log (`GET /debug/slow`), and
-//!   the Prometheus text renderer behind `GET /metrics` on both tiers.
+//!   propagation, a bounded slow-request log (`GET /debug/slow`), the
+//!   Prometheus text renderer behind `GET /metrics` on both tiers, and
+//!   hierarchical span traces: every measured span also lands in a
+//!   per-request tree ([`raysearch_core::trace`]), sampled traces are
+//!   served from `GET /debug/trace/{id}`, and the router assembles the
+//!   cross-tier view by stitching the backend's tree under its own
+//!   `backend_wait` span (exportable as a Chrome trace-event timeline
+//!   via `replaygen --export-trace`).
 //!
 //! # Example: an in-process server round trip
 //!
@@ -81,4 +87,4 @@ pub use cache::{CacheStats, ShardedLru};
 pub use route::{rendezvous_rank, BackendSpec, RouterState};
 pub use server::{Handler, Server, ServerConfig, ServerHandle};
 pub use tape::{Tape, TapeEntry, TapeRecorder};
-pub use telemetry::{Span, SpanSet, Telemetry, TRACE_HEADER};
+pub use telemetry::{trace_index_json, trace_json, Span, SpanSet, Telemetry, TRACE_HEADER};

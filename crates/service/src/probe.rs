@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use raysearch_core::SpanData;
 use serde_json::{Map, Value};
 
 use crate::api::routing_key;
@@ -453,9 +454,11 @@ pub fn run_router_probe() -> Result<Vec<CheckLine>, String> {
         cache_shards: 4,
         ..ServerConfig::default()
     };
-    let backend = Server::bind(small.clone())
-        .map_err(|e| format!("bind backend: {e}"))?
-        .spawn();
+    let backend_server = Server::bind(small.clone()).map_err(|e| format!("bind backend: {e}"))?;
+    // check 22 asserts on an assembled cross-tier trace, which needs
+    // the backend to have sampled the same request the router did
+    backend_server.state().telemetry().set_trace_sample(1);
+    let backend = backend_server.spawn();
     let stub = Server::bind_with(small.clone(), Arc::new(ShedStub::default()))
         .map_err(|e| format!("bind stub: {e}"))?
         .spawn();
@@ -694,6 +697,78 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         "check 21 - slow log: captured trace 00000000cafef00d with span breakdown ({} entries)",
         entries.len()
     ));
+
+    // 22. assembled trace: GET /debug/trace/{id} on the router returns
+    // one stitched tree — router spans at the top, the backend's tree
+    // grafted under backend_wait — with the leaf-duration invariant
+    state.telemetry().set_trace_sample(1);
+    let (status, _, _) = client
+        .request_with_headers("GET", &target, None, &[(TRACE_HEADER, "00000000feedface")])
+        .map_err(|e| format!("traced request for assembly: {e}"))?;
+    if status != 200 {
+        return Err(format!("check 22: routed request failed with {status}"));
+    }
+    let (status, doc) = fetch_json(addr, "GET", "/debug/trace/00000000feedface", None)?;
+    expect(status == 200, "assembled trace should be 200", &doc)?;
+    expect(
+        doc.get("service").and_then(Value::as_str) == Some("raysearch-router")
+            && doc.get("trace").and_then(Value::as_str) == Some("00000000feedface"),
+        "assembled trace should identify the router and the trace id",
+        &doc,
+    )?;
+    let root_value = doc
+        .get("root")
+        .ok_or_else(|| "check 22: assembled trace without a root".to_owned())?;
+    let root = SpanData::from_json(root_value).map_err(|e| format!("check 22: {e}"))?;
+    let wait = root
+        .children
+        .iter()
+        .find(|c| c.name == "backend_wait")
+        .ok_or("check 22: assembled trace has no backend_wait span")?;
+    let backend_tree = wait
+        .children
+        .iter()
+        .find(|c| c.attrs.iter().any(|(k, _)| k == "service"))
+        .ok_or("check 22: backend_wait has no stitched backend tree")?;
+    if backend_tree.name != "request" || backend_tree.children.is_empty() {
+        return Err(format!(
+            "check 22: stitched backend tree looks wrong: {}",
+            backend_tree.to_json()
+        ));
+    }
+    if root.leaf_duration_sum() > root.duration_micros() {
+        return Err(format!(
+            "check 22: leaf durations ({}) exceed the root ({})",
+            root.leaf_duration_sum(),
+            root.duration_micros()
+        ));
+    }
+    pass(format!(
+        "check 22 - trace assembly: stitched tree with {} backend spans, leaves {} us <= root {} us",
+        backend_tree.children.len(),
+        root.leaf_duration_sum(),
+        root.duration_micros()
+    ));
+
+    // 23. the trace index lists stored ids, and an unknown id is a
+    // well-formed 404
+    let (status, index) = fetch_json(addr, "GET", "/debug/trace", None)?;
+    let listed = index
+        .get("traces")
+        .and_then(Value::as_array)
+        .is_some_and(|ids| ids.iter().any(|v| v.as_str() == Some("00000000feedface")));
+    expect(
+        status == 200 && listed,
+        "trace index should list the assembled trace",
+        &index,
+    )?;
+    let (status, doc) = fetch_json(addr, "GET", "/debug/trace/fffffffffffffffe", None)?;
+    expect(
+        status == 404 && doc.get("error").is_some(),
+        "an unknown trace id should be a JSON 404",
+        &doc,
+    )?;
+    pass("check 23 - trace index: stored ids listed, unknown id is a JSON 404".to_owned());
 
     Ok(lines)
 }

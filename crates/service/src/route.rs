@@ -40,7 +40,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use raysearch_core::stable_hash64_parts;
+use raysearch_core::{stable_hash64_parts, SpanData, TraceRecorder};
 use serde_json::{Map, Value};
 
 use crate::api::routing_key;
@@ -49,7 +49,8 @@ use crate::http::{Request, Response};
 use crate::server::Handler;
 use crate::tape::{is_recordable, TapeEntry, TapeRecorder};
 use crate::telemetry::{
-    metrics_response, push_counter, push_gauge, push_metric, Span, SpanSet, Telemetry, TRACE_HEADER,
+    metrics_response, push_counter, push_gauge, push_metric, trace_index_json, trace_json, Span,
+    SpanSet, Telemetry, TRACE_HEADER,
 };
 
 /// How long a health probe waits before declaring a backend unhealthy.
@@ -508,6 +509,24 @@ impl RouterState {
             "Backends currently marked healthy.",
             self.healthy_backends() as u64,
         );
+        push_gauge(
+            &mut out,
+            "raysearch_router_uptime_seconds",
+            "Seconds since the router process started.",
+            self.started.elapsed().as_secs(),
+        );
+        push_gauge(
+            &mut out,
+            "raysearch_router_traces_stored",
+            "Completed span traces currently held in the trace ring.",
+            self.telemetry.recorder().stored(),
+        );
+        push_counter(
+            &mut out,
+            "raysearch_router_traces_dropped_total",
+            "Completed traces evicted from the trace ring (oldest-first).",
+            self.telemetry.recorder().dropped_total(),
+        );
 
         let label = |b: &Backend| format!("backend=\"{}\"", b.id);
         let family = |picker: &dyn Fn(&Backend) -> Option<u64>| -> Vec<(String, u64)> {
@@ -634,9 +653,26 @@ impl RouterState {
                 continue;
             };
             attempted += 1;
-            let forwarded = spans.time(Span::BackendWait, || {
-                RouterState::forward_once(&addr, req, &target, trace)
-            });
+            // Each attempt is its own trace span: a successful forward
+            // is `backend_wait`, a transport failure `failover` — but
+            // both accumulate into the `backend_wait` histogram bucket,
+            // so the histogram view keeps PR-8 semantics (total time
+            // spent waiting on backends, across failover hops).
+            let wait_start = spans.elapsed_micros();
+            let forwarded = RouterState::forward_once(&addr, req, &target, trace);
+            let wait_end = spans.elapsed_micros();
+            let span_name = if forwarded.is_ok() {
+                "backend_wait"
+            } else {
+                "failover"
+            };
+            spans.add_interval_as(
+                Span::BackendWait,
+                span_name,
+                wait_start,
+                wait_end,
+                &[("backend", &backend.id)],
+            );
             match forwarded {
                 Ok((status, body)) => {
                     backend.routed.fetch_add(1, Ordering::Relaxed);
@@ -669,6 +705,77 @@ impl RouterState {
         response
     }
 
+    /// `GET /debug/trace/{id}`: the router's stored span tree for the
+    /// trace, with each `backend_wait` span's backend-side tree fetched
+    /// on demand from that backend's own `/debug/trace/{id}` and
+    /// stitched underneath it. Assembly is best-effort: an unreachable
+    /// backend or an unsampled backend-side trace leaves the router-side
+    /// tree intact rather than failing the whole request.
+    fn debug_trace(&self, path: &str) -> Response {
+        let id = path.trim_start_matches("/debug/trace/");
+        let key = TraceRecorder::key_for(id);
+        let Some(mut trace) = self.telemetry.recorder().get(key) else {
+            return Response::error(404, &format!("no stored trace {id:?}"));
+        };
+        let id = trace.trace.clone();
+        self.stitch_backend_traces(&mut trace.root, &id);
+        Response::ok(trace_json(&trace, "raysearch-router"))
+    }
+
+    /// Attaches, under every `backend_wait` child of `root`, the span
+    /// tree the named backend stored for the same trace id. The backend
+    /// tree is tagged with a `service` attr (so exports can place it in
+    /// its own process track) and rebased onto the router's request
+    /// clock at the moment the forward started — network time shows up
+    /// as the gap between `backend_wait` and the backend's root span.
+    fn stitch_backend_traces(&self, root: &mut SpanData, trace: &str) {
+        for child in &mut root.children {
+            if child.name != "backend_wait" {
+                continue;
+            }
+            let Some(backend_id) = child
+                .attrs
+                .iter()
+                .find(|(k, _)| k == "backend")
+                .map(|(_, v)| v.clone())
+            else {
+                continue;
+            };
+            let addr = self
+                .backends
+                .iter()
+                .find(|b| b.id == backend_id)
+                .and_then(Backend::current_addr);
+            let Some(addr) = addr else { continue };
+            if let Some((service, mut sub)) = RouterState::fetch_backend_trace(&addr, trace) {
+                sub.attrs.push(("service".to_owned(), service));
+                sub.rebase(child.start_micros);
+                child.children.push(sub);
+            }
+        }
+    }
+
+    /// Fetches and parses one backend's stored trace. `None` on any
+    /// failure — connect, non-200 (the backend did not sample this
+    /// trace), or malformed JSON.
+    fn fetch_backend_trace(addr: &str, trace: &str) -> Option<(String, SpanData)> {
+        let mut client = HttpClient::connect_with_timeout(addr, HEALTH_TIMEOUT).ok()?;
+        let (status, body) = client
+            .request("GET", &format!("/debug/trace/{trace}"), None)
+            .ok()?;
+        if status != 200 {
+            return None;
+        }
+        let doc: Value = serde_json::from_str(&body).ok()?;
+        let service = doc
+            .get("service")
+            .and_then(Value::as_str)
+            .unwrap_or("raysearchd")
+            .to_owned();
+        let root = SpanData::from_json(doc.get("root")?).ok()?;
+        Some((service, root))
+    }
+
     fn record(&self, req: &Request, target: &str, response: &Response) {
         let Some(recorder) = &self.recorder else {
             return;
@@ -692,6 +799,8 @@ impl Handler for RouterState {
             ("GET", "/stats") => self.stats(),
             ("GET", "/metrics") => self.metrics(),
             ("GET", "/debug/slow") => Response::ok(self.telemetry.slow_log_json()),
+            ("GET", "/debug/trace") => Response::ok(trace_index_json(self.telemetry.recorder())),
+            ("GET", path) if path.starts_with("/debug/trace/") => self.debug_trace(path),
             _ => self.route(req, &trace, &mut spans),
         };
         let status = response.status;

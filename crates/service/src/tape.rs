@@ -36,15 +36,17 @@ use crate::http::Response;
 pub const TAPE_VERSION: u64 = 1;
 
 /// Whether requests to `path` belong on a tape. `/healthz`, `/stats`,
-/// `/metrics` and `/debug/slow` answer with live, router-local state
-/// (uptime, counters, histograms), so their bytes are not
-/// request-determined and recording them would make every replay fail
-/// verification. Trace propagation never interferes with tapes at all:
-/// digests cover the (normalized) response *body* only, and the
-/// `x-raysearch-trace` echo lives in response headers.
+/// `/metrics`, `/debug/slow` and the `/debug/trace` family answer with
+/// live, router-local state (uptime, counters, histograms, sampled
+/// span trees), so their bytes are not request-determined and
+/// recording them would make every replay fail verification. Trace
+/// propagation never interferes with tapes at all: digests cover the
+/// (normalized) response *body* only, and the `x-raysearch-trace` echo
+/// lives in response headers.
 #[must_use]
 pub fn is_recordable(path: &str) -> bool {
     !matches!(path, "/healthz" | "/stats" | "/metrics" | "/debug/slow")
+        && !path.starts_with("/debug/trace")
 }
 
 /// Forces the `cached` flag of a wrapped response body to `false`, so
@@ -406,6 +408,8 @@ mod tests {
         assert!(!is_recordable("/stats"));
         assert!(!is_recordable("/metrics"));
         assert!(!is_recordable("/debug/slow"));
+        assert!(!is_recordable("/debug/trace"));
+        assert!(!is_recordable("/debug/trace/00000000000000aa"));
         assert!(is_recordable("/evaluate"));
         assert!(is_recordable("/closed_form"));
         assert!(is_recordable("/no_such_endpoint"));

@@ -1,29 +1,36 @@
 //! The serving-tier observability layer: per-request span timing into a
 //! per-endpoint histogram registry, trace-id minting and propagation, a
-//! bounded slow-request log, and the Prometheus text renderer behind
-//! `GET /metrics`.
+//! bounded slow-request log, hierarchical span traces, and the
+//! Prometheus text renderer behind `GET /metrics`.
 //!
 //! Design constraints, in order:
 //!
 //! 1. **Hot-path cost**: recording a request is a handful of
 //!    `Instant::now()` calls plus relaxed atomic adds into
-//!    [`LatencyHistogram`]s — no locks (the slow log's mutex is only
-//!    taken when a request actually crosses the threshold), no floats,
-//!    no allocation beyond the trace-id string.
+//!    [`LatencyHistogram`]s — no locks on the histogram path (the slow
+//!    log's mutex is only taken when a request actually crosses the
+//!    threshold, the trace ring's shard lock only when a trace is
+//!    kept), no floats.
 //! 2. **Determinism**: trace ids come from [`splitmix64`] over a plain
 //!    counter, so a `--record` run mints the same id sequence every
 //!    time and tapes stay reproducible (response headers never enter
-//!    tape digests anyway — see `tape::digest_body`).
+//!    tape digests anyway — see `tape::digest_body`). Trace *sampling*
+//!    draws from the same mixer over its own counter, so replaying a
+//!    tape keeps the same number of traces at any thread count.
 //! 3. **Fixed schema**: endpoints × spans is a small static matrix
 //!    ([`ENDPOINT_LABELS`] × [`Span`]), allocated once, so the registry
 //!    needs no interior growth and `/metrics` output is stable.
+//! 4. **One measurement, two views**: [`SpanSet`] records each span
+//!    once and feeds *both* the flat histograms and the hierarchical
+//!    span tree stored in the [`TraceRecorder`], so `/metrics` and
+//!    `/debug/trace/{id}` can never disagree about a duration.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 use raysearch_core::telemetry::{splitmix64, HistogramSnapshot, LatencyHistogram};
+use raysearch_core::trace::{CompletedTrace, SpanData, TraceBuilder, TraceRecorder};
 
 use crate::http::{Request, Response};
 
@@ -98,7 +105,7 @@ impl Span {
 
 /// The fixed endpoint labels the registry shards over. Unknown paths
 /// land in `other` so the matrix never grows.
-pub const ENDPOINT_LABELS: [&str; 10] = [
+pub const ENDPOINT_LABELS: [&str; 11] = [
     "closed_form",
     "evaluate",
     "verdict",
@@ -108,6 +115,7 @@ pub const ENDPOINT_LABELS: [&str; 10] = [
     "stats",
     "metrics",
     "debug_slow",
+    "debug_trace",
     "other",
 ];
 
@@ -124,7 +132,8 @@ pub fn endpoint_index(path: &str) -> usize {
         "/stats" => 6,
         "/metrics" => 7,
         "/debug/slow" => 8,
-        _ => 9,
+        p if p.starts_with("/debug/trace") => 9,
+        _ => 10,
     }
 }
 
@@ -156,8 +165,9 @@ impl SlowEntry {
             }
         }
         format!(
-            "{{\"trace\":\"{}\",\"method\":\"{}\",\"path\":{},\"status\":{},\"total_micros\":{},\"spans\":{{{}}}}}",
+            "{{\"trace\":\"{}\",\"trace_url\":{},\"method\":\"{}\",\"path\":{},\"status\":{},\"total_micros\":{},\"spans\":{{{}}}}}",
             self.trace,
+            serde_json::Value::String(format!("/debug/trace/{}", self.trace)).to_json_string(),
             self.method,
             serde_json::Value::String(self.path.clone()).to_json_string(),
             self.status,
@@ -170,10 +180,17 @@ impl SlowEntry {
 /// Per-request span accumulator: started once at request entry, fed by
 /// [`SpanSet::time`] / [`SpanSet::add`], then handed to
 /// [`Telemetry::observe`]. Lives on one worker thread's stack — plain
-/// `u64`s, no atomics.
+/// `u64`s plus the trace-tree capture, no atomics.
+///
+/// Every recorded duration lands in two places at once: the flat
+/// per-span array (which feeds the endpoint histograms) and a
+/// [`SpanData`] child of the request's trace tree. A span may record a
+/// different *trace* name than its histogram bucket — the router's
+/// failed forward attempts count as `backend_wait` time in the
+/// histogram but appear as `failover` spans in the tree.
 #[derive(Debug)]
 pub struct SpanSet {
-    started: Instant,
+    trace: TraceBuilder,
     micros: [u64; SPAN_COUNT],
 }
 
@@ -188,23 +205,100 @@ impl SpanSet {
     #[must_use]
     pub fn start() -> Self {
         SpanSet {
-            started: Instant::now(),
+            trace: TraceBuilder::start(),
             micros: [0; SPAN_COUNT],
         }
     }
 
     /// Adds `micros` to `span` (spans may fire multiple times per
-    /// request, e.g. `backend_wait` across failover attempts).
+    /// request, e.g. `backend_wait` across failover attempts). The
+    /// trace span is synthesized as ending now.
     pub fn add(&mut self, span: Span, micros: u64) {
+        self.add_with_attrs(span, micros, &[]);
+    }
+
+    /// Like [`SpanSet::add`], with `key=value` attributes on the trace
+    /// span (attributes never affect the histograms).
+    pub fn add_with_attrs(&mut self, span: Span, micros: u64, attrs: &[(&str, &str)]) {
         self.micros[span as usize] += micros;
+        // the trace span must report the same duration the histogram
+        // recorded, so it ends now (or at `micros` if the clock has not
+        // advanced that far yet) and extends `micros` backwards
+        let end = self.trace.elapsed_micros().max(micros);
+        self.record_trace(span.label(), end - micros, end, attrs);
+    }
+
+    /// Records `span` over an explicit `[start, end]` interval of the
+    /// request clock (see [`SpanSet::elapsed_micros`]) — used when a
+    /// measured block is attributed to several consecutive spans after
+    /// the fact (cache lookup vs compile vs evaluate).
+    pub fn add_interval(
+        &mut self,
+        span: Span,
+        start_micros: u64,
+        end_micros: u64,
+        attrs: &[(&str, &str)],
+    ) {
+        self.add_interval_as(span, span.label(), start_micros, end_micros, attrs);
+    }
+
+    /// Like [`SpanSet::add_interval`] but names the trace span
+    /// `trace_name` instead of `span`'s label — for call sites where the
+    /// right name is only known after the measured block returns (a
+    /// failed forward is a `failover` span, a successful one
+    /// `backend_wait`, but both accumulate into the same histogram).
+    pub fn add_interval_as(
+        &mut self,
+        span: Span,
+        trace_name: &str,
+        start_micros: u64,
+        end_micros: u64,
+        attrs: &[(&str, &str)],
+    ) {
+        self.micros[span as usize] += end_micros.saturating_sub(start_micros);
+        self.record_trace(trace_name, start_micros, end_micros, attrs);
+    }
+
+    /// Microseconds since the request clock started.
+    #[must_use]
+    pub fn elapsed_micros(&self) -> u64 {
+        self.trace.elapsed_micros()
     }
 
     /// Times `f` and attributes the elapsed microseconds to `span`.
     pub fn time<T>(&mut self, span: Span, f: impl FnOnce() -> T) -> T {
-        let before = Instant::now();
+        self.time_as(span, span.label(), &[], f)
+    }
+
+    /// Times `f`, attributing the duration to `span`'s histogram but
+    /// recording the trace span under `trace_name` with `attrs` — the
+    /// failover variant.
+    pub fn time_as<T>(
+        &mut self,
+        span: Span,
+        trace_name: &str,
+        attrs: &[(&str, &str)],
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let start = self.trace.elapsed_micros();
         let out = f();
-        self.add(span, before.elapsed().as_micros() as u64);
+        let end = self.trace.elapsed_micros();
+        self.micros[span as usize] += end - start;
+        self.record_trace(trace_name, start, end, attrs);
         out
+    }
+
+    fn record_trace(&mut self, name: &str, start: u64, end: u64, attrs: &[(&str, &str)]) {
+        self.trace.record(SpanData {
+            name: name.to_owned(),
+            start_micros: start,
+            end_micros: end,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            children: Vec::new(),
+        });
     }
 
     /// Microseconds recorded so far for `span`.
@@ -214,15 +308,18 @@ impl SpanSet {
     }
 
     /// Closes the request span (total wall time since `start`) and
-    /// returns the completed per-span array.
-    fn finish(mut self) -> [u64; SPAN_COUNT] {
-        self.micros[Span::Request as usize] = self.started.elapsed().as_micros() as u64;
-        self.micros
+    /// returns the completed per-span array plus the trace tree, whose
+    /// root duration equals the array's `request` entry exactly.
+    fn finish(mut self, root_attrs: Vec<(String, String)>) -> ([u64; SPAN_COUNT], SpanData) {
+        let root = self.trace.finish(Span::Request.label(), root_attrs);
+        self.micros[Span::Request as usize] = root.duration_micros();
+        (self.micros, root)
     }
 }
 
 /// The per-process telemetry registry: endpoint × span histograms, the
-/// trace-id counter, and the slow-request ring buffer.
+/// trace-id counter, the slow-request ring buffer, and the completed
+/// span-trace ring behind `GET /debug/trace/{id}`.
 #[derive(Debug)]
 pub struct Telemetry {
     /// `hists[endpoint * SPAN_COUNT + span]`.
@@ -230,6 +327,7 @@ pub struct Telemetry {
     trace_counter: AtomicU64,
     slow_threshold_micros: AtomicU64,
     slow: Mutex<VecDeque<SlowEntry>>,
+    recorder: TraceRecorder,
 }
 
 impl Default for Telemetry {
@@ -248,7 +346,22 @@ impl Telemetry {
             trace_counter: AtomicU64::new(0),
             slow_threshold_micros: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_MICROS),
             slow: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+            recorder: TraceRecorder::new(),
         }
+    }
+
+    /// The completed-trace ring: lookups for `/debug/trace/{id}`, the
+    /// `traces_stored` / `traces_dropped_total` gauges, and the
+    /// sampling-rate knob.
+    #[must_use]
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// Sets the trace sampling rate: non-slow requests keep one trace
+    /// in `n` (`0` and `1` both mean every request).
+    pub fn set_trace_sample(&self, n: u64) {
+        self.recorder.set_sample_one_in(n);
     }
 
     /// Mints the next trace id: 16 lowercase hex digits, deterministic
@@ -285,11 +398,19 @@ impl Telemetry {
     }
 
     /// Records a finished request: closes the span set, feeds every
-    /// fired span into the endpoint's histograms, and captures a slow
+    /// fired span into the endpoint's histograms, offers the span tree
+    /// to the trace ring (kept when sampled 1-in-N, or unconditionally
+    /// when the total crossed the slow threshold), and captures a slow
     /// log entry if the total crossed the threshold.
     pub fn observe(&self, req: &Request, trace: &str, status: u16, spans: SpanSet) {
         let endpoint = endpoint_index(&req.path);
-        let micros = spans.finish();
+        let root_attrs = vec![
+            ("method".to_owned(), req.method.clone()),
+            ("path".to_owned(), req.path.clone()),
+            ("status".to_owned(), status.to_string()),
+            ("endpoint".to_owned(), ENDPOINT_LABELS[endpoint].to_owned()),
+        ];
+        let (micros, root) = spans.finish(root_attrs);
         for (i, &v) in micros.iter().enumerate() {
             // the request span always records; sub-spans only if fired
             if i == Span::Request as usize || v > 0 {
@@ -297,6 +418,17 @@ impl Telemetry {
             }
         }
         let total = micros[Span::Request as usize];
+        // the sampling draw happens for every request (not just fast
+        // ones) so the decision sequence — and therefore the number of
+        // kept traces over a replay — is independent of timing
+        let sampled = self.recorder.sample_decision();
+        if sampled || total >= self.slow_threshold() {
+            self.recorder.store(CompletedTrace {
+                key: TraceRecorder::key_for(trace),
+                trace: trace.to_owned(),
+                root,
+            });
+        }
         if total >= self.slow_threshold() {
             let entry = SlowEntry {
                 trace: trace.to_owned(),
@@ -411,6 +543,40 @@ pub fn push_gauge(out: &mut String, name: &str, help: &str, value: u64) {
 #[must_use]
 pub fn metrics_response(body: String) -> Response {
     Response::ok(body).with_header("Content-Type", "text/plain; version=0.0.4")
+}
+
+/// Renders one stored trace as the `GET /debug/trace/{id}` body:
+/// `{"trace":...,"service":...,"root":{span tree}}`. The `root` object
+/// is exactly [`SpanData::to_json`], so trees survive a
+/// fetch → parse → re-render round trip byte-identically.
+#[must_use]
+pub fn trace_json(trace: &CompletedTrace, service: &str) -> String {
+    format!(
+        "{{\"trace\":{},\"service\":{},\"root\":{}}}",
+        serde_json::Value::String(trace.trace.clone()).to_json_string(),
+        serde_json::Value::String(service.to_owned()).to_json_string(),
+        trace.root.to_json()
+    )
+}
+
+/// Renders the `GET /debug/trace` index: ring occupancy, sampling rate,
+/// and the stored trace ids (each one hop from its full tree at
+/// `/debug/trace/{id}`).
+#[must_use]
+pub fn trace_index_json(recorder: &TraceRecorder) -> String {
+    let ids: Vec<String> = recorder
+        .trace_ids()
+        .into_iter()
+        .map(|id| serde_json::Value::String(id).to_json_string())
+        .collect();
+    format!(
+        "{{\"stored\":{},\"capacity\":{},\"dropped_total\":{},\"sample_one_in\":{},\"traces\":[{}]}}",
+        recorder.stored(),
+        recorder.capacity(),
+        recorder.dropped_total(),
+        recorder.sample_one_in(),
+        ids.join(",")
+    )
 }
 
 #[cfg(test)]
@@ -536,5 +702,163 @@ mod tests {
             !out.contains("endpoint=\"verdict\""),
             "cells that never fired are skipped"
         );
+    }
+
+    #[test]
+    fn debug_trace_paths_have_their_own_endpoint_label() {
+        assert_eq!(
+            ENDPOINT_LABELS[endpoint_index("/debug/trace")],
+            "debug_trace"
+        );
+        assert_eq!(
+            ENDPOINT_LABELS[endpoint_index("/debug/trace/00000000deadbeef")],
+            "debug_trace"
+        );
+        assert_eq!(ENDPOINT_LABELS[endpoint_index("/nope")], "other");
+        assert_eq!(ENDPOINT_LABELS[endpoint_index("/debug/slow")], "debug_slow");
+    }
+
+    #[test]
+    fn observe_stores_a_trace_the_histograms_agree_with() {
+        let t = Telemetry::new();
+        t.set_trace_sample(1); // always keep
+        let req = get("/evaluate", Vec::new());
+        let mut spans = SpanSet::start();
+        spans.add(Span::Evaluate, 500);
+        spans.add_with_attrs(Span::CacheLookup, 40, &[("hit", "false")]);
+        t.observe(&req, "00000000deadbeef", 200, spans);
+
+        let key = TraceRecorder::key_for("00000000deadbeef");
+        let trace = t.recorder().get(key).expect("trace stored");
+        assert_eq!(trace.trace, "00000000deadbeef");
+        let root = &trace.root;
+        assert_eq!(root.name, "request");
+        assert!(root
+            .attrs
+            .contains(&("path".to_owned(), "/evaluate".to_owned())));
+        assert!(root
+            .attrs
+            .contains(&("status".to_owned(), "200".to_owned())));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "evaluate");
+        assert_eq!(root.children[0].duration_micros(), 500);
+        assert_eq!(root.children[1].name, "cache_lookup");
+        assert_eq!(
+            root.children[1].attrs,
+            vec![("hit".to_owned(), "false".to_owned())]
+        );
+        // the histogram and the tree measured the same span once
+        let snap = t.snapshot(endpoint_index("/evaluate"), Span::Evaluate);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 500);
+        // and the root covers the request-span total exactly
+        let total = t.snapshot(endpoint_index("/evaluate"), Span::Request).sum;
+        assert_eq!(root.duration_micros(), total);
+    }
+
+    #[test]
+    fn trace_sampling_keeps_slow_requests_and_one_in_n_of_the_rest() {
+        let t = Telemetry::new();
+        t.set_slow_threshold(u64::MAX); // nothing is "slow"
+        t.set_trace_sample(2);
+        let requests = 64u64;
+        for _ in 0..requests {
+            let req = get("/evaluate", Vec::new());
+            t.observe(&req, &t.mint_trace(), 200, SpanSet::start());
+        }
+        let expected = (0..requests)
+            .filter(|&c| splitmix64(c).is_multiple_of(2))
+            .count() as u64;
+        assert_eq!(t.recorder().stored(), expected, "1-in-2 of {requests}");
+
+        // threshold 0 makes every request slow, so everything is kept
+        // regardless of the sampling rate
+        let slow = Telemetry::new();
+        slow.set_slow_threshold(0);
+        slow.set_trace_sample(u64::MAX);
+        for _ in 0..5 {
+            let req = get("/evaluate", Vec::new());
+            slow.observe(&req, &slow.mint_trace(), 200, SpanSet::start());
+        }
+        assert_eq!(slow.recorder().stored(), 5);
+    }
+
+    #[test]
+    fn time_as_splits_histogram_bucket_from_trace_name() {
+        let t = Telemetry::new();
+        t.set_trace_sample(1);
+        let req = get("/closed_form", Vec::new());
+        let mut spans = SpanSet::start();
+        spans.time_as(
+            Span::BackendWait,
+            "failover",
+            &[("backend", "backend-1")],
+            || {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            },
+        );
+        spans.time(Span::BackendWait, || ());
+        let wait_micros = spans.get(Span::BackendWait);
+        assert!(
+            wait_micros >= 200,
+            "both attempts accumulate: {wait_micros}"
+        );
+        t.observe(&req, "ff", 200, spans);
+
+        let trace = t.recorder().get(0xff).expect("stored");
+        let names: Vec<&str> = trace
+            .root
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["failover", "backend_wait"]);
+        assert_eq!(
+            trace.root.children[0].attrs,
+            vec![("backend".to_owned(), "backend-1".to_owned())]
+        );
+        // histogram-side both attempts land in backend_wait
+        let snap = t.snapshot(endpoint_index("/closed_form"), Span::BackendWait);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, wait_micros);
+    }
+
+    #[test]
+    fn slow_entries_link_to_their_trace() {
+        let t = Telemetry::new();
+        t.set_slow_threshold(0);
+        let req = get("/evaluate", Vec::new());
+        t.observe(&req, "00000000deadbeef", 200, SpanSet::start());
+        let doc: serde_json::Value = serde_json::from_str(&t.slow_log_json()).unwrap();
+        let entries = doc
+            .get("entries")
+            .and_then(serde_json::Value::as_array)
+            .unwrap();
+        assert_eq!(
+            entries[0]
+                .get("trace_url")
+                .and_then(serde_json::Value::as_str),
+            Some("/debug/trace/00000000deadbeef")
+        );
+    }
+
+    #[test]
+    fn trace_json_round_trips_through_the_wire_format() {
+        let t = Telemetry::new();
+        t.set_trace_sample(1);
+        let req = get("/evaluate", Vec::new());
+        let mut spans = SpanSet::start();
+        spans.add(Span::Evaluate, 123);
+        t.observe(&req, "ab", 200, spans);
+        let stored = t.recorder().get(0xab).unwrap();
+        let body = trace_json(&stored, "raysearchd");
+        let doc: serde_json::Value = serde_json::from_str(&body).expect("trace JSON parses");
+        assert_eq!(
+            doc.get("service").and_then(serde_json::Value::as_str),
+            Some("raysearchd")
+        );
+        let root = SpanData::from_json(doc.get("root").expect("root")).expect("schema");
+        assert_eq!(root, stored.root);
+        assert_eq!(root.to_json(), stored.root.to_json());
     }
 }

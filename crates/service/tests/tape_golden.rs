@@ -22,7 +22,7 @@ use raysearch_service::replay::smoke_mix;
 use raysearch_service::route::{BackendSpec, RouterState};
 use raysearch_service::server::{Server, ServerConfig};
 use raysearch_service::tape::{Tape, TapeEntry, TapeRecorder};
-use raysearch_service::ServiceState;
+use raysearch_service::{ServiceState, TRACE_HEADER};
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -32,9 +32,12 @@ fn fixture_path() -> PathBuf {
 }
 
 /// Records the smoke mix through a single-backend in-process router
-/// and returns the canonical tape text.
-fn record_smoke_tape() -> String {
-    let dir = std::env::temp_dir().join(format!("raysearch-golden-{}", std::process::id()));
+/// and returns the canonical tape text. With `trace_all`, both tiers
+/// sample every span trace and a `/debug/trace` index + per-id fetch is
+/// interleaved after every smoke request — none of which may perturb
+/// the tape.
+fn record_smoke_tape_opts(tag: &str, trace_all: bool) -> String {
+    let dir = std::env::temp_dir().join(format!("raysearch-golden-{tag}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");
     let tape_path = dir.join("smoke.tape");
 
@@ -43,7 +46,11 @@ fn record_smoke_tape() -> String {
         workers: 2,
         ..ServerConfig::default()
     };
-    let backend = Server::bind_with(backend_cfg, Arc::new(ServiceState::new(256, 4)))
+    let backend_state = Arc::new(ServiceState::new(256, 4));
+    if trace_all {
+        backend_state.telemetry().set_trace_sample(1);
+    }
+    let backend = Server::bind_with(backend_cfg, backend_state)
         .expect("bind backend")
         .spawn();
     let backend_addr = backend.addr().to_string();
@@ -54,6 +61,9 @@ fn record_smoke_tape() -> String {
         vec![BackendSpec::fixed("backend-0", &backend_addr)],
         Some(recorder),
     ));
+    if trace_all {
+        state.telemetry().set_trace_sample(1);
+    }
     assert_eq!(state.check_backends_now(), 1, "backend must be healthy");
     let router_cfg = ServerConfig {
         workers: 2,
@@ -67,9 +77,21 @@ fn record_smoke_tape() -> String {
     // one keep-alive connection, sequential: ticks equal mix order
     let mut client = HttpClient::connect(&router_addr).expect("connect router");
     for (method, target, body) in smoke_mix() {
-        client
-            .request(method, &target, Some(&body))
+        let (_, headers, _) = client
+            .request_with_headers(method, &target, Some(&body), &[])
             .expect("smoke request");
+        if trace_all {
+            // hammer the trace endpoints mid-recording: they are
+            // router-local and must never land on the tape
+            client
+                .request("GET", "/debug/trace", None)
+                .expect("trace index fetch");
+            if let Some((_, id)) = headers.iter().find(|(n, _)| n == TRACE_HEADER) {
+                client
+                    .request("GET", &format!("/debug/trace/{id}"), None)
+                    .expect("trace fetch");
+            }
+        }
     }
 
     router.shutdown();
@@ -77,6 +99,11 @@ fn record_smoke_tape() -> String {
     let text = std::fs::read_to_string(&tape_path).expect("read recorded tape");
     std::fs::remove_dir_all(&dir).ok();
     text
+}
+
+/// The plain recording path the golden fixture pins.
+fn record_smoke_tape() -> String {
+    record_smoke_tape_opts("plain", false)
 }
 
 /// The recorded smoke mix is byte-identical to the committed fixture.
@@ -102,6 +129,27 @@ fn recorded_smoke_mix_matches_the_committed_fixture() {
          response bytes drifted; regenerate with RAYSEARCH_REGEN_TAPE=1 only \
          if the change is intentional",
         path.display()
+    );
+}
+
+/// Tracing is invisible to tapes: with sampling always-on on both
+/// tiers and `/debug/trace` fetches interleaved between the smoke
+/// requests, the recorded tape is still byte-identical to the
+/// committed fixture — trace endpoints are never recorded and span
+/// capture never changes a response body.
+#[test]
+fn tracing_leaves_the_tape_byte_identical() {
+    let traced = record_smoke_tape_opts("traced", true);
+    let path = fixture_path();
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run with RAYSEARCH_REGEN_TAPE=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        traced, committed,
+        "recording with tracing enabled changed the tape bytes"
     );
 }
 

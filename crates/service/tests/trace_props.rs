@@ -1,0 +1,203 @@
+//! Property tests for the tracing layer, plus the thread-count
+//! invariance gate for sampled trace *counts*.
+//!
+//! Three guarantees are pinned here:
+//!
+//! 1. **Bounded ring** — the completed-trace ring never holds more than
+//!    its configured capacity, evicts oldest-first within each shard,
+//!    and accounts every eviction in `dropped_total`.
+//! 2. **Byte-identical round trip** — any span tree serializes through
+//!    `SpanData::to_json`, reparses through the vendored JSON parser
+//!    and `SpanData::from_json`, and re-serializes to the *same bytes*,
+//!    including hostile names/attrs (quotes, backslashes, newlines,
+//!    non-ASCII).
+//! 3. **Thread-count invariance** — replaying the committed smoke tape
+//!    at concurrency {1, 2, 8} keeps the same *number* of sampled
+//!    traces on both tiers, because sampling draws from a deterministic
+//!    SplitMix64 counter sequence, never from timing.
+//!
+//! All randomness is seeded: proptest's sampler is seeded per test
+//! name, and tree shapes derive from [`splitmix64`] chains.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use raysearch_core::trace::CompletedTrace;
+use raysearch_core::{splitmix64, SpanData, TraceRecorder};
+use raysearch_service::replay::replay;
+use raysearch_service::route::{BackendSpec, RouterState};
+use raysearch_service::server::{Server, ServerConfig};
+use raysearch_service::tape::Tape;
+use raysearch_service::ServiceState;
+
+/// A leaf with a name drawn from a pool that covers every JSON escape
+/// class: plain, quote, backslash, control, non-ASCII.
+fn nasty_string(h: u64) -> String {
+    const POOL: [&str; 8] = [
+        "evaluate",
+        "with \"quotes\"",
+        "back\\slash",
+        "line\nbreak\ttab",
+        "ctrl\u{1}byte",
+        "émigré-λ",
+        "",
+        "plain_span_2",
+    ];
+    POOL[(h % POOL.len() as u64) as usize].to_owned()
+}
+
+/// A deterministic span tree derived from `seed`: up to three levels,
+/// with offsets, attrs and child counts all chained through the mixer.
+fn tree_from_seed(seed: u64, depth: u32) -> SpanData {
+    let a = splitmix64(seed);
+    let b = splitmix64(a);
+    let start = a % 1_000_000;
+    // attrs render as a JSON object, so keys must be unique — as they
+    // are for real spans, where each key is written once
+    let mut attrs: Vec<(String, String)> = (0..b % 3)
+        .map(|i| {
+            let h = splitmix64(b.wrapping_add(i));
+            (nasty_string(h), nasty_string(splitmix64(h)))
+        })
+        .collect();
+    let mut seen = std::collections::HashSet::new();
+    attrs.retain(|(k, _)| seen.insert(k.clone()));
+    let mut span = SpanData {
+        name: nasty_string(b),
+        start_micros: start,
+        end_micros: start + b % 1_000_000,
+        attrs,
+        children: Vec::new(),
+    };
+    if depth > 0 {
+        span.children = (0..a % 4)
+            .map(|i| tree_from_seed(splitmix64(seed ^ (i + 1)), depth - 1))
+            .collect();
+    }
+    span
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The ring never exceeds capacity, evicts oldest-first per shard,
+    /// and `stored + dropped` accounts for every insert.
+    #[test]
+    fn ring_is_bounded_and_drops_oldest_first(
+        shards in 1usize..5,
+        per_shard in 1usize..6,
+        inserts in 0usize..40,
+    ) {
+        let capacity = shards * per_shard;
+        let recorder = TraceRecorder::with_capacity(capacity, shards);
+        for key in 0..inserts as u64 {
+            recorder.store(CompletedTrace {
+                key,
+                trace: format!("{key:016x}"),
+                root: SpanData::leaf("request", 0, key),
+            });
+        }
+        prop_assert!(recorder.stored() <= capacity as u64);
+        prop_assert_eq!(
+            recorder.stored() + recorder.dropped_total(),
+            inserts as u64
+        );
+        // per shard, exactly the newest `per_shard` keys survive
+        for key in 0..inserts as u64 {
+            let later_same_shard = (key + 1..inserts as u64)
+                .filter(|k| k % shards as u64 == key % shards as u64)
+                .count();
+            let expect_kept = later_same_shard < per_shard;
+            prop_assert_eq!(
+                recorder.get(key).is_some(),
+                expect_kept,
+                "key {} (later same-shard inserts: {})",
+                key,
+                later_same_shard
+            );
+        }
+    }
+
+    /// Span trees round-trip to_json → parse → from_json → to_json
+    /// byte-identically, across hostile strings and nested shapes.
+    #[test]
+    fn span_trees_round_trip_byte_identically(seed in 0u64..u64::MAX) {
+        let tree = tree_from_seed(seed, 3);
+        let json = tree.to_json();
+        let value = serde_json::from_str(&json)
+            .map_err(|e| TestCaseError::Fail(format!("parse: {e:?}")))?;
+        let reparsed = SpanData::from_json(&value).map_err(TestCaseError::Fail)?;
+        prop_assert_eq!(reparsed.to_json(), json);
+    }
+}
+
+fn fixture_tape() -> Tape {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("smoke.tape");
+    Tape::load(&path).expect("load smoke fixture")
+}
+
+/// Replays the committed smoke tape at `concurrency` against a fresh
+/// in-process fleet with 1-in-2 sampling and the slow-path disabled
+/// (threshold `u64::MAX`), so every keep decision comes from the
+/// deterministic sample counter. Returns (router, backend) stored
+/// trace counts.
+fn traced_replay_counts(concurrency: usize) -> (u64, u64) {
+    let tape = fixture_tape();
+    let cfg = ServerConfig {
+        workers: concurrency.max(2) + 2,
+        ..ServerConfig::default()
+    };
+
+    let backend_state = Arc::new(ServiceState::new(256, 4));
+    backend_state.telemetry().set_trace_sample(2);
+    backend_state.telemetry().set_slow_threshold(u64::MAX);
+    let backend = Server::bind_with(cfg.clone(), Arc::clone(&backend_state))
+        .expect("bind backend")
+        .spawn();
+
+    let state = Arc::new(RouterState::new(
+        vec![BackendSpec::fixed("backend-0", &backend.addr().to_string())],
+        None,
+    ));
+    state.telemetry().set_trace_sample(2);
+    state.telemetry().set_slow_threshold(u64::MAX);
+    // one explicit health pass, no background thread: the number of
+    // requests each tier observes must not depend on wall time
+    assert_eq!(state.check_backends_now(), 1, "backend must be healthy");
+    let router = Server::bind_with(cfg, Arc::clone(&state))
+        .expect("bind router")
+        .spawn();
+
+    let report = replay(&router.addr().to_string(), &tape, concurrency).expect("replay");
+    assert_eq!(report.mismatched, 0, "replay must verify byte-identically");
+    let counts = (
+        state.telemetry().recorder().stored(),
+        backend_state.telemetry().recorder().stored(),
+    );
+    router.shutdown();
+    backend.shutdown();
+    counts
+}
+
+/// Concurrency changes which request gets which sampling draw, but
+/// never how many draws say "keep": trace counts match across thread
+/// counts {1, 2, 8}.
+#[test]
+fn sampled_trace_counts_are_thread_count_invariant() {
+    let baseline = traced_replay_counts(1);
+    assert!(
+        baseline.0 > 0 && baseline.1 > 0,
+        "1-in-2 sampling over 20 requests must keep something: {baseline:?}"
+    );
+    for concurrency in [2usize, 8] {
+        let counts = traced_replay_counts(concurrency);
+        assert_eq!(
+            counts, baseline,
+            "trace counts drifted at concurrency {concurrency}"
+        );
+    }
+}
