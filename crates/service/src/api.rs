@@ -17,11 +17,20 @@
 //! | `/verdict` | POST | `m?`, `k`, `f`, `horizon?`, `eps?` | [`TightnessReport`](raysearch_core::TightnessReport) |
 //! | `/campaign` | POST | `id`, `max_k?`, `threads?` | schema-v1 report rows |
 //! | `/montecarlo` | POST | `m?`, `k`, `f`, `horizon?`, `samples?`, `seed?`, `faults?`, `p?` | [`McReport`](raysearch_mc::McReport) + closed-form comparison |
+//! | `/jobs` | POST | endpoint payload + `endpoint` tag, `client?` | `202 {id, state}` (async job, never cached) |
+//! | `/jobs/{id}` | GET | `wait_micros?` (long-poll) | the job record; `result` bytes match the synchronous endpoint |
+//! | `/jobs/{id}` | DELETE | — | cancels a still-queued job |
+//!
+//! Every memoizable endpoint parses into a `Prepared` computation
+//! (key + validated compute closure) and resolves through one shared
+//! execute path — the synchronous handlers inline, the job tier on a
+//! compute worker — so a job's `result` payload is byte-identical to
+//! the synchronous response for the same parameters.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use raysearch_bounds::{lambda_big, RayInstance, Regime};
 use raysearch_core::{
@@ -33,6 +42,10 @@ use serde_json::{Map, Value};
 
 use crate::cache::{CacheStats, ShardedLru};
 use crate::http::{Request, Response};
+use crate::jobs::{
+    format_job_id, parse_job_id, CancelError, CostClass, JobConfig, JobQueue, JobRecord, JobSpec,
+    SubmitError,
+};
 use crate::server::Handler;
 use crate::telemetry::{
     metrics_response, push_counter, push_gauge, trace_index_json, trace_json, Span, SpanSet,
@@ -99,6 +112,16 @@ pub const COMPILE_CACHE_CAPACITY: usize = 64;
 /// Shards of the compiled-fleet memo tier.
 pub const COMPILE_CACHE_SHARDS: usize = 8;
 
+/// The endpoints a job may target (`POST /jobs` with this `endpoint`
+/// tag). `/closed_form` and `/verdict` stay synchronous-only: they are
+/// microsecond-scale and gain nothing from queueing.
+pub const JOB_ENDPOINTS: &[&str] = &["evaluate", "montecarlo", "campaign"];
+
+/// Ceiling for `GET /jobs/{id}?wait_micros=` long-polls, so a poll can
+/// never pin an HTTP worker much longer than the acceptor's own read
+/// timeout.
+pub const MAX_JOB_WAIT_MICROS: u64 = 5_000_000;
+
 /// The endpoint names, the single source of truth for dispatch, the
 /// 405-vs-404 distinction, and the `/healthz` advertisement.
 pub const ENDPOINTS: &[&str] = &[
@@ -107,6 +130,7 @@ pub const ENDPOINTS: &[&str] = &[
     "verdict",
     "campaign",
     "montecarlo",
+    "jobs",
     "healthz",
     "stats",
     "metrics",
@@ -375,6 +399,7 @@ pub struct ServiceState {
     requests: AtomicU64,
     shed: AtomicU64,
     telemetry: Telemetry,
+    jobs: JobQueue,
 }
 
 /// The compile tier viewed through the core's [`CompileCache`] seam, so
@@ -414,6 +439,17 @@ impl ServiceState {
     ///
     /// Panics if `capacity` or `shards` is zero.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_jobs(capacity, shards, JobConfig::default())
+    }
+
+    /// [`ServiceState::new`] with an explicit job-tier configuration
+    /// (queue depth, store capacity, admission limits, cost threshold,
+    /// node index, compute-worker count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `shards` is zero.
+    pub fn with_jobs(capacity: usize, shards: usize, jobs: JobConfig) -> Self {
         ServiceState {
             cache: ShardedLru::new(capacity, shards),
             compile: ShardedLru::new(COMPILE_CACHE_CAPACITY, COMPILE_CACHE_SHARDS),
@@ -421,7 +457,15 @@ impl ServiceState {
             requests: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             telemetry: Telemetry::new(),
+            jobs: JobQueue::new(jobs),
         }
+    }
+
+    /// The job subsystem (admission queue + record store) behind the
+    /// `/jobs` endpoints, shared with the compute-worker pool.
+    #[must_use]
+    pub fn jobs(&self) -> &JobQueue {
+        &self.jobs
     }
 
     /// The service's telemetry registry (trace minting, span
@@ -536,11 +580,14 @@ impl ServiceState {
                 Ok(Response::ok(trace_index_json(self.telemetry.recorder())))
             }
             ("GET", path) if path.starts_with("/debug/trace/") => Ok(self.debug_trace(path)),
-            ("GET" | "POST", "/closed_form") => self.closed_form(req, &mut spans),
-            ("POST", "/evaluate") => self.evaluate(req, &mut spans),
-            ("POST", "/verdict") => self.verdict(req, &mut spans),
-            ("POST", "/campaign") => self.campaign(req, &mut spans),
-            ("POST", "/montecarlo") => self.montecarlo(req, &mut spans),
+            ("GET" | "POST", "/closed_form") => self.sync_endpoint("closed_form", req, &mut spans),
+            ("POST", "/evaluate") => self.sync_endpoint("evaluate", req, &mut spans),
+            ("POST", "/verdict") => self.sync_endpoint("verdict", req, &mut spans),
+            ("POST", "/campaign") => self.sync_endpoint("campaign", req, &mut spans),
+            ("POST", "/montecarlo") => self.sync_endpoint("montecarlo", req, &mut spans),
+            ("POST", "/jobs") => self.submit_job(req, &mut spans),
+            ("GET", path) if path.starts_with("/jobs/") => self.poll_job(req, path),
+            ("DELETE", path) if path.starts_with("/jobs/") => self.cancel_job(path),
             (_, path)
                 if path
                     .strip_prefix('/')
@@ -627,6 +674,25 @@ impl ServiceState {
             "compile_entries".to_owned(),
             serde_json::to_value(compile.entries as u64).expect("u64 serializes"),
         );
+        let jobs = self.jobs.snapshot();
+        let mut jobs_doc = Map::new();
+        for (name, value) in [
+            ("queued", jobs.queued),
+            ("running", jobs.running),
+            ("stored", jobs.stored),
+            ("submitted", jobs.submitted),
+            ("completed", jobs.completed),
+            ("failed", jobs.failed),
+            ("cancelled", jobs.cancelled),
+            ("rejected", jobs.rejected),
+            ("evicted", jobs.evicted),
+        ] {
+            jobs_doc.insert(
+                name.to_owned(),
+                serde_json::to_value(value).expect("u64 serializes"),
+            );
+        }
+        doc.insert("jobs".to_owned(), Value::Object(jobs_doc));
         Response::ok(Value::Object(doc).to_json_string())
     }
 
@@ -691,6 +757,61 @@ impl ServiceState {
             "Compiled-fleet artifacts currently resident.",
             compile.entries as u64,
         );
+        let jobs = self.jobs.snapshot();
+        push_counter(
+            &mut out,
+            "raysearchd_jobs_submitted_total",
+            "Jobs admitted by POST /jobs.",
+            jobs.submitted,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_jobs_completed_total",
+            "Jobs that reached the done state.",
+            jobs.completed,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_jobs_failed_total",
+            "Jobs that reached the failed state.",
+            jobs.failed,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_jobs_cancelled_total",
+            "Queued jobs cancelled before execution.",
+            jobs.cancelled,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_jobs_rejected_total",
+            "Job submissions shed by admission control.",
+            jobs.rejected,
+        );
+        push_counter(
+            &mut out,
+            "raysearchd_jobs_evicted_total",
+            "Terminal job records evicted from the bounded store.",
+            jobs.evicted,
+        );
+        push_gauge(
+            &mut out,
+            "raysearchd_jobs_queued",
+            "Jobs currently waiting in the queue.",
+            jobs.queued,
+        );
+        push_gauge(
+            &mut out,
+            "raysearchd_jobs_running",
+            "Jobs currently executing on a compute worker.",
+            jobs.running,
+        );
+        push_gauge(
+            &mut out,
+            "raysearchd_jobs_stored",
+            "Job records currently resident in the store.",
+            jobs.stored,
+        );
         push_gauge(
             &mut out,
             "raysearchd_uptime_micros",
@@ -721,26 +842,288 @@ impl ServiceState {
         metrics_response(out)
     }
 
-    fn closed_form(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
-        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
-        if let Some(eta) = params.opt_f64("eta")? {
-            let key = MemoKey::Lambda {
-                eta: canon(eta, "eta")?,
+    /// One synchronous memoizable endpoint, end to end: parse and
+    /// validate into a [`Prepared`] computation, resolve it through the
+    /// shared execute path, wrap the payload. This replaced five
+    /// near-identical inline match arms — the per-endpoint logic now
+    /// lives entirely in the `prepare_*` fns, and the cache-wrap /
+    /// error-mapping block exists exactly once.
+    fn sync_endpoint(
+        &self,
+        endpoint: &str,
+        req: &Request,
+        spans: &mut SpanSet,
+    ) -> Result<Response, ApiError> {
+        let prepared = spans.time(Span::Parse, || {
+            prepare(endpoint, &RequestParams::from(req)?)
+        })?;
+        let (payload, cached) = self.execute(spans, prepared)?;
+        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
+    }
+
+    /// The single shared execute fn: resolves a [`Prepared`] computation
+    /// through the memo cache with span attribution. Synchronous
+    /// handlers and job compute workers both end here, which is what
+    /// keeps a job's `result` payload byte-identical to the synchronous
+    /// response and lets both routes share the memo/compile caches.
+    fn execute(&self, spans: &mut SpanSet, prepared: Prepared) -> Result<(String, bool), ApiError> {
+        self.memoized_spanned(spans, prepared.key, prepared.compute)
+    }
+
+    /// Executes one job spec on a compute worker: rebuild the endpoint
+    /// request from the stored body, re-enter the same parse / prepare /
+    /// execute path as the synchronous endpoint, and record the compute
+    /// spans under the `jobs` endpoint label.
+    ///
+    /// # Errors
+    ///
+    /// The [`ApiError`] the synchronous endpoint would have responded
+    /// with; the worker parks it in the job record as a `Failed`
+    /// outcome.
+    pub fn execute_job(&self, endpoint: &str, body: &str) -> Result<(String, bool), ApiError> {
+        let req = job_request(endpoint, body);
+        let prepared = prepare(endpoint, &RequestParams::from(&req)?)?;
+        let mut spans = SpanSet::start();
+        let out = self.execute(&mut spans, prepared);
+        for span in [Span::CacheLookup, Span::Compile, Span::Evaluate] {
+            let micros = spans.get(span);
+            if micros > 0 {
+                self.telemetry.record_span("/jobs", span, micros);
+            }
+        }
+        out
+    }
+
+    /// One compute worker: drains the job queue until `stop` is set,
+    /// recording each job's queue wait and executing it through
+    /// [`ServiceState::execute_job`]. Panics inside a job are caught
+    /// and parked as a `Failed` outcome so one poisoned payload cannot
+    /// take a worker down.
+    pub fn run_compute_worker(&self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Relaxed) {
+            let Some((id, endpoint, body, wait)) = self.jobs.next_job(Duration::from_millis(50))
+            else {
+                continue;
             };
-            let (payload, cached) = self.memoized_spanned(spans, key, |_tier| {
+            self.telemetry.record_span("/jobs", Span::QueueWait, wait);
+            let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.execute_job(&endpoint, &body)
+            })) {
+                Ok(Ok(pair)) => Ok(pair),
+                Ok(Err(e)) => Err((e.status, e.message)),
+                Err(_) => Err((500, "job execution panicked".to_owned())),
+            };
+            self.jobs.finish(id, outcome);
+        }
+    }
+
+    /// `POST /jobs`: validate and enqueue an asynchronous job. The body
+    /// is the target endpoint's usual JSON payload plus an `endpoint`
+    /// tag (and an optional `client` admission label). Accepted jobs
+    /// answer `202 {"id", "state"}`; admission refusals shed with
+    /// `503` + `Retry-After`, exactly like the acceptor.
+    fn submit_job(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
+        let spec = spans.time(Span::Parse, || self.parse_job_spec(req))?;
+        match self.jobs.submit(spec) {
+            Ok(id) => Ok(Response {
+                status: 202,
+                body: format!("{{\"id\":\"{}\",\"state\":\"queued\"}}", format_job_id(id)),
+                headers: Vec::new(),
+            }),
+            Err(SubmitError::QueueFull) => Ok(Response::shed("job queue is full, try again")),
+            Err(SubmitError::ClientLimit) => {
+                Ok(Response::shed("per-client job limit reached, try again"))
+            }
+            Err(SubmitError::Closed) => Ok(Response::shed("job queue is shut down")),
+        }
+    }
+
+    /// Parses and eagerly validates a job submission: the `endpoint`
+    /// tag must be job-eligible, the inner payload must survive the
+    /// exact parse/prepare path the compute worker will replay (so a
+    /// malformed payload 400s here instead of becoming a `Failed`
+    /// record later), and an `evaluate` job must clear the configured
+    /// cost threshold — cheap evaluations belong on the synchronous
+    /// endpoint.
+    fn parse_job_spec(&self, req: &Request) -> Result<JobSpec, ApiError> {
+        let body = req
+            .body_utf8()
+            .ok_or_else(|| ApiError::bad_request("request body is not UTF-8"))?
+            .to_owned();
+        if body.trim().is_empty() {
+            return Err(ApiError::bad_request(
+                "POST /jobs requires a JSON body with an \"endpoint\" tag",
+            ));
+        }
+        let params = RequestParams::from(req)?;
+        let endpoint = params
+            .opt_str("endpoint")?
+            .ok_or_else(|| ApiError::bad_request("missing parameter \"endpoint\""))?;
+        if !JOB_ENDPOINTS.contains(&endpoint.as_str()) {
+            return Err(ApiError::bad_request(format!(
+                "endpoint {endpoint:?} is not job-eligible (available: {})",
+                JOB_ENDPOINTS.join(", ")
+            )));
+        }
+        let client = params
+            .opt_str("client")?
+            .unwrap_or_else(|| "anon".to_owned());
+        let replay = job_request(&endpoint, &body);
+        let prepared = prepare(&endpoint, &RequestParams::from(&replay)?)?;
+        let threshold = self.jobs.config().cost_threshold;
+        if prepared.cost < threshold {
+            return Err(ApiError::bad_request(format!(
+                "instance work k·m·(f+2) = {} is below the job cost threshold {threshold}; \
+                 use the synchronous POST /evaluate instead",
+                prepared.cost
+            )));
+        }
+        Ok(JobSpec {
+            class: CostClass::for_endpoint(&endpoint),
+            endpoint,
+            body,
+            client,
+        })
+    }
+
+    /// `GET /jobs/{id}`: one record as JSON. With `?wait_micros=` the
+    /// response long-polls — it is held back (up to
+    /// [`MAX_JOB_WAIT_MICROS`]) until the job reaches a terminal state,
+    /// so a client can follow submit with a single blocking poll
+    /// instead of a busy loop.
+    fn poll_job(&self, req: &Request, path: &str) -> Result<Response, ApiError> {
+        let id = parse_job_path(path)?;
+        let wait = match req.query_param("wait_micros") {
+            None => 0,
+            Some(raw) => raw.parse::<u64>().map_err(|_| {
+                ApiError::bad_request(format!("wait_micros is not an integer: {raw:?}"))
+            })?,
+        };
+        let record = if wait > 0 {
+            self.jobs
+                .wait(id, Duration::from_micros(wait.min(MAX_JOB_WAIT_MICROS)))
+        } else {
+            self.jobs.get(id)
+        };
+        match record {
+            Some(record) => Ok(Response::ok(job_json(&record))),
+            None => Err(ApiError {
+                status: 404,
+                message: format!("no such job {path:?}"),
+            }),
+        }
+    }
+
+    /// `DELETE /jobs/{id}`: cancels a still-queued job. Running and
+    /// terminal jobs conflict (`409`) — a result is immutable once a
+    /// worker has picked the job up.
+    fn cancel_job(&self, path: &str) -> Result<Response, ApiError> {
+        let id = parse_job_path(path)?;
+        match self.jobs.cancel(id) {
+            Ok(()) => Ok(Response::ok(format!(
+                "{{\"id\":\"{}\",\"state\":\"cancelled\"}}",
+                format_job_id(id)
+            ))),
+            Err(CancelError::NotFound) => Err(ApiError {
+                status: 404,
+                message: format!("no such job {path:?}"),
+            }),
+            Err(CancelError::NotCancellable(state)) => Err(ApiError {
+                status: 409,
+                message: format!(
+                    "job is {}; only queued jobs can be cancelled",
+                    state.label()
+                ),
+            }),
+        }
+    }
+}
+
+impl Handler for ServiceState {
+    fn handle(&self, req: &Request) -> Response {
+        ServiceState::handle(self, req)
+    }
+
+    fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn start_background(
+        self: Arc<Self>,
+        stop: Arc<AtomicBool>,
+    ) -> Vec<std::thread::JoinHandle<()>> {
+        (0..self.jobs.config().workers.max(1))
+            .map(|_| {
+                let state = Arc::clone(&self);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || state.run_compute_worker(&stop))
+            })
+            .collect()
+    }
+
+    fn stop_background(&self) {
+        self.jobs.close();
+    }
+}
+
+/// Wraps a deterministic payload with the per-request `cached` flag.
+fn wrap(payload: String, cached: bool) -> Response {
+    Response::ok(format!("{{\"cached\":{cached},\"result\":{payload}}}"))
+}
+
+/// The boxed compute half of a [`Prepared`] computation. Captures only
+/// owned, validated parameters — never the request — so it can run
+/// later on a compute worker.
+type ComputeFn = Box<dyn FnOnce(&CompileTier) -> Result<String, ApiError> + Send>;
+
+/// A fully validated, ready-to-run computation: the memo key it caches
+/// under, a `k·m·(f+2)`-style work estimate (used by the `/jobs` cost
+/// threshold; endpoints that are always job-eligible report
+/// `u64::MAX`, synchronous-only ones `0`), and the compute closure.
+/// The `prepare_*` fns perform *all* parameter validation up front, so
+/// executing a `Prepared` can only fail inside the computation itself.
+struct Prepared {
+    key: MemoKey,
+    cost: u64,
+    compute: ComputeFn,
+}
+
+/// Parses and validates one memoizable endpoint's parameters into a
+/// [`Prepared`] computation — the single seam the synchronous handlers
+/// and the job tier both go through.
+fn prepare(endpoint: &str, params: &RequestParams) -> Result<Prepared, ApiError> {
+    match endpoint {
+        "closed_form" => prepare_closed_form(params),
+        "evaluate" => prepare_evaluate(params),
+        "verdict" => prepare_verdict(params),
+        "campaign" => prepare_campaign(params),
+        "montecarlo" => prepare_montecarlo(params),
+        other => Err(ApiError::bad_request(format!("unknown endpoint {other:?}"))),
+    }
+}
+
+fn prepare_closed_form(params: &RequestParams) -> Result<Prepared, ApiError> {
+    if let Some(eta) = params.opt_f64("eta")? {
+        return Ok(Prepared {
+            key: MemoKey::Lambda {
+                eta: canon(eta, "eta")?,
+            },
+            cost: 0,
+            compute: Box::new(move |_tier| {
                 let lambda =
                     lambda_big(eta).map_err(|e| ApiError::bad_request(format!("lambda: {e}")))?;
                 let mut doc = Map::new();
                 doc.insert("eta".to_owned(), Value::Float(eta));
                 doc.insert("lambda".to_owned(), Value::Float(lambda));
                 Ok(Value::Object(doc).to_json_string())
-            })?;
-            return Ok(spans.time(Span::Serialize, || wrap(payload, cached)));
-        }
-
-        let (m, k, f) = params.instance()?;
-        let key = MemoKey::ClosedForm { m, k, f };
-        let (payload, cached) = self.memoized_spanned(spans, key, |_tier| {
+            }),
+        });
+    }
+    let (m, k, f) = params.instance()?;
+    Ok(Prepared {
+        key: MemoKey::ClosedForm { m, k, f },
+        cost: 0,
+        compute: Box::new(move |_tier| {
             let instance = RayInstance::new(m, k, f)
                 .map_err(|e| ApiError::bad_request(format!("instance: {e}")))?;
             let (regime, a) = match instance.regime() {
@@ -757,22 +1140,23 @@ impl ServiceState {
             doc.insert("regime".to_owned(), Value::String(regime.to_owned()));
             doc.insert("a".to_owned(), a.map_or(Value::Null, Value::Float));
             Ok(Value::Object(doc).to_json_string())
-        })?;
-        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
-    }
+        }),
+    })
+}
 
-    fn evaluate(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
-        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
-        let (m, k, f) = params.instance()?;
-        let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
-        check_eval_limits(m, k, f, horizon)?;
-        let key = MemoKey::Evaluate {
+fn prepare_evaluate(params: &RequestParams) -> Result<Prepared, ApiError> {
+    let (m, k, f) = params.instance()?;
+    let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
+    let work = check_eval_limits(m, k, f, horizon)?;
+    Ok(Prepared {
+        key: MemoKey::Evaluate {
             m,
             k,
             f,
             horizon: canon(horizon, "horizon")?,
-        };
-        let (payload, cached) = self.memoized_spanned(spans, key, |tier| {
+        },
+        cost: work,
+        compute: Box::new(move |tier| {
             let report = evaluate_optimal_cached(tier, m, k, f, horizon)
                 .map_err(|e| ApiError::bad_request(format!("evaluate: {e}")))?;
             let mut doc = Map::new();
@@ -785,61 +1169,63 @@ impl ServiceState {
                 serde_json::to_value(report).expect("EvalReport serializes"),
             );
             Ok(Value::Object(doc).to_json_string())
-        })?;
-        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
-    }
+        }),
+    })
+}
 
-    fn verdict(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
-        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
-        let (m, k, f) = params.instance()?;
-        let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
-        let eps = params.opt_f64("eps")?.unwrap_or(DEFAULT_EPS);
-        check_eval_limits(m, k, f, horizon)?;
-        let key = MemoKey::Verdict {
+fn prepare_verdict(params: &RequestParams) -> Result<Prepared, ApiError> {
+    let (m, k, f) = params.instance()?;
+    let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
+    let eps = params.opt_f64("eps")?.unwrap_or(DEFAULT_EPS);
+    check_eval_limits(m, k, f, horizon)?;
+    Ok(Prepared {
+        key: MemoKey::Verdict {
             m,
             k,
             f,
             horizon: canon(horizon, "horizon")?,
             eps: canon(eps, "eps")?,
-        };
-        let (payload, cached) = self.memoized_spanned(spans, key, |tier| {
+        },
+        cost: 0,
+        compute: Box::new(move |tier| {
             let report = verify_tightness_cached(tier, m, k, f, horizon, eps)
                 .map_err(|e| ApiError::bad_request(format!("verdict: {e}")))?;
             Ok(serde_json::to_value(report)
                 .expect("TightnessReport serializes")
                 .to_json_string())
-        })?;
-        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
-    }
+        }),
+    })
+}
 
-    fn campaign(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
-        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
-        let id = params
-            .opt_str("id")?
-            .ok_or_else(|| ApiError::bad_request("missing parameter \"id\""))?;
-        if !raysearch_bench::experiments::ALL.contains(&id.as_str()) {
-            return Err(ApiError::bad_request(format!(
-                "unknown experiment {id:?} (available: {})",
-                raysearch_bench::experiments::ALL.join(", ")
-            )));
-        }
-        let max_k = params
-            .opt_u32("max_k")?
-            .unwrap_or(DEFAULT_CAMPAIGN_MAX_K)
-            .max(1);
-        if max_k > MAX_CAMPAIGN_MAX_K {
-            return Err(ApiError::bad_request(format!(
-                "max_k {max_k} exceeds the serving ceiling {MAX_CAMPAIGN_MAX_K}"
-            )));
-        }
-        // threads shapes only the schedule, never the rows (the campaign
-        // engine is deterministic), so it is not part of the cache key
-        let threads = params.opt_u32("threads")?.map(|t| t.max(1) as usize);
-        let key = MemoKey::Campaign {
+fn prepare_campaign(params: &RequestParams) -> Result<Prepared, ApiError> {
+    let id = params
+        .opt_str("id")?
+        .ok_or_else(|| ApiError::bad_request("missing parameter \"id\""))?;
+    if !raysearch_bench::experiments::ALL.contains(&id.as_str()) {
+        return Err(ApiError::bad_request(format!(
+            "unknown experiment {id:?} (available: {})",
+            raysearch_bench::experiments::ALL.join(", ")
+        )));
+    }
+    let max_k = params
+        .opt_u32("max_k")?
+        .unwrap_or(DEFAULT_CAMPAIGN_MAX_K)
+        .max(1);
+    if max_k > MAX_CAMPAIGN_MAX_K {
+        return Err(ApiError::bad_request(format!(
+            "max_k {max_k} exceeds the serving ceiling {MAX_CAMPAIGN_MAX_K}"
+        )));
+    }
+    // threads shapes only the schedule, never the rows (the campaign
+    // engine is deterministic), so it is not part of the cache key
+    let threads = params.opt_u32("threads")?.map(|t| t.max(1) as usize);
+    Ok(Prepared {
+        key: MemoKey::Campaign {
             id: id.clone(),
             max_k,
-        };
-        let (payload, cached) = self.memoized_spanned(spans, key, |_tier| {
+        },
+        cost: u64::MAX,
+        compute: Box::new(move |_tier| {
             let cfg = raysearch_bench::experiments::Config {
                 max_k,
                 threads,
@@ -872,62 +1258,62 @@ impl ServiceState {
             doc.insert("max_k".to_owned(), Value::Int(i64::from(max_k)));
             doc.insert("campaigns".to_owned(), Value::Array(campaigns));
             Ok(Value::Object(doc).to_json_string())
-        })?;
-        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
-    }
+        }),
+    })
+}
 
-    fn montecarlo(&self, req: &Request, spans: &mut SpanSet) -> Result<Response, ApiError> {
-        let params = spans.time(Span::Parse, || RequestParams::from(req))?;
-        let (m, k, f) = params.instance()?;
-        let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
-        check_eval_limits(m, k, f, horizon)?;
-        if k > raysearch_mc::MAX_FLEET {
-            return Err(ApiError::bad_request(format!(
-                "k {k} exceeds the Monte-Carlo fleet ceiling {}",
-                raysearch_mc::MAX_FLEET
-            )));
-        }
-        let samples = params.opt_u64("samples")?.unwrap_or(DEFAULT_MC_SAMPLES);
-        if samples == 0 || samples > MAX_MC_SAMPLES {
-            return Err(ApiError::bad_request(format!(
-                "samples {samples} outside the serving range 1..={MAX_MC_SAMPLES}"
-            )));
-        }
-        let work = samples.saturating_mul(u64::from(k));
-        if work > MAX_MC_WORK {
-            return Err(ApiError::bad_request(format!(
-                "sampling work samples·k = {work} exceeds the serving envelope {MAX_MC_WORK}"
-            )));
-        }
-        let seed = params.opt_u64("seed")?.unwrap_or(DEFAULT_MC_SEED);
-        let model = params
-            .opt_str("faults")?
-            .unwrap_or_else(|| "uniform".to_owned());
-        let p = params.opt_f64("p")?.unwrap_or(DEFAULT_MC_P);
-        let faults = FaultSampler::from_name(&model, f, p).ok_or_else(|| {
-            ApiError::bad_request(format!(
-                "unknown fault model {model:?} (available: {})",
-                FaultSampler::NAMES.join(", ")
-            ))
-        })?;
-        // models without a probability normalize `p` out of the cache
-        // key, so spelling variants share one entry
-        let p_effective = faults.probability().unwrap_or(0.0);
-        // validate *before* touching the cache, so malformed requests
-        // never count as misses and can never be cached
-        let scenario = Scenario::new(
-            m,
-            k,
-            f,
-            horizon,
-            faults,
-            TargetSampler::LogUniform {
-                lo: 1.0,
-                hi: horizon,
-            },
-        )
-        .map_err(|e| ApiError::bad_request(format!("montecarlo: {e}")))?;
-        let key = MemoKey::MonteCarlo {
+fn prepare_montecarlo(params: &RequestParams) -> Result<Prepared, ApiError> {
+    let (m, k, f) = params.instance()?;
+    let horizon = params.opt_f64("horizon")?.unwrap_or(DEFAULT_HORIZON);
+    check_eval_limits(m, k, f, horizon)?;
+    if k > raysearch_mc::MAX_FLEET {
+        return Err(ApiError::bad_request(format!(
+            "k {k} exceeds the Monte-Carlo fleet ceiling {}",
+            raysearch_mc::MAX_FLEET
+        )));
+    }
+    let samples = params.opt_u64("samples")?.unwrap_or(DEFAULT_MC_SAMPLES);
+    if samples == 0 || samples > MAX_MC_SAMPLES {
+        return Err(ApiError::bad_request(format!(
+            "samples {samples} outside the serving range 1..={MAX_MC_SAMPLES}"
+        )));
+    }
+    let work = samples.saturating_mul(u64::from(k));
+    if work > MAX_MC_WORK {
+        return Err(ApiError::bad_request(format!(
+            "sampling work samples·k = {work} exceeds the serving envelope {MAX_MC_WORK}"
+        )));
+    }
+    let seed = params.opt_u64("seed")?.unwrap_or(DEFAULT_MC_SEED);
+    let model = params
+        .opt_str("faults")?
+        .unwrap_or_else(|| "uniform".to_owned());
+    let p = params.opt_f64("p")?.unwrap_or(DEFAULT_MC_P);
+    let faults = FaultSampler::from_name(&model, f, p).ok_or_else(|| {
+        ApiError::bad_request(format!(
+            "unknown fault model {model:?} (available: {})",
+            FaultSampler::NAMES.join(", ")
+        ))
+    })?;
+    // models without a probability normalize `p` out of the cache
+    // key, so spelling variants share one entry
+    let p_effective = faults.probability().unwrap_or(0.0);
+    // validate *before* touching the cache, so malformed requests
+    // never count as misses and can never be cached
+    let scenario = Scenario::new(
+        m,
+        k,
+        f,
+        horizon,
+        faults,
+        TargetSampler::LogUniform {
+            lo: 1.0,
+            hi: horizon,
+        },
+    )
+    .map_err(|e| ApiError::bad_request(format!("montecarlo: {e}")))?;
+    Ok(Prepared {
+        key: MemoKey::MonteCarlo {
             m,
             k,
             f,
@@ -936,8 +1322,9 @@ impl ServiceState {
             seed,
             faults: model,
             p: canon(p_effective, "p")?,
-        };
-        let (payload, cached) = self.memoized_spanned(spans, key, |tier| {
+        },
+        cost: u64::MAX,
+        compute: Box::new(move |tier| {
             // one worker thread serves one request: the engine stays
             // sequential here (its result is thread-count invariant, so
             // this choice is invisible in the payload)
@@ -959,31 +1346,79 @@ impl ServiceState {
                 serde_json::to_value(report.comparison()).expect("comparison serializes"),
             );
             Ok(Value::Object(doc).to_json_string())
-        })?;
-        Ok(spans.time(Span::Serialize, || wrap(payload, cached)))
+        }),
+    })
+}
+
+/// The synthetic request a compute worker replays a job through: the
+/// stored submit body POSTed at the endpoint's own path. Submission
+/// validates through the identical reconstruction, so the worker can
+/// never see a request shape that submission did not.
+fn job_request(endpoint: &str, body: &str) -> Request {
+    Request {
+        method: "POST".to_owned(),
+        version: "HTTP/1.1".to_owned(),
+        path: format!("/{endpoint}"),
+        query: Vec::new(),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
     }
 }
 
-impl Handler for ServiceState {
-    fn handle(&self, req: &Request) -> Response {
-        ServiceState::handle(self, req)
-    }
-
-    fn note_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
-    }
+/// Extracts the job id from a `/jobs/{id}` path (404 on malformed ids
+/// — they can never name a record).
+fn parse_job_path(path: &str) -> Result<u64, ApiError> {
+    path.strip_prefix("/jobs/")
+        .and_then(parse_job_id)
+        .ok_or_else(|| ApiError {
+            status: 404,
+            message: format!("no such job {path:?}"),
+        })
 }
 
-/// Wraps a deterministic payload with the per-request `cached` flag.
-fn wrap(payload: String, cached: bool) -> Response {
-    Response::ok(format!("{{\"cached\":{cached},\"result\":{payload}}}"))
+/// Renders one job record as the `GET /jobs/{id}` body. Keys are
+/// emitted in sorted order like every other endpoint; `cached` /
+/// `result` appear once the job is done (with `result` bytes identical
+/// to the synchronous endpoint's payload), `error` once it has failed,
+/// and the tick fields as the lifecycle reaches them.
+fn job_json(rec: &JobRecord) -> String {
+    let mut fields: Vec<String> = Vec::new();
+    if let Some(Ok((_, cached))) = &rec.result {
+        fields.push(format!("\"cached\":{cached}"));
+    }
+    fields.push(format!("\"class\":\"{}\"", rec.class.label()));
+    fields.push(format!("\"endpoint\":\"{}\"", rec.endpoint));
+    if let Some(Err((status, message))) = &rec.result {
+        fields.push(format!(
+            "\"error\":{{\"message\":{},\"status\":{status}}}",
+            Value::String(message.clone()).to_json_string()
+        ));
+    }
+    if rec.finished_micros > 0 {
+        fields.push(format!("\"finished_micros\":{}", rec.finished_micros));
+    }
+    fields.push(format!("\"id\":\"{}\"", format_job_id(rec.id)));
+    if rec.started_micros > 0 {
+        fields.push(format!("\"queue_wait_micros\":{}", rec.queue_wait_micros()));
+    }
+    if let Some(Ok((payload, _))) = &rec.result {
+        fields.push(format!("\"result\":{payload}"));
+    }
+    if rec.started_micros > 0 {
+        fields.push(format!("\"started_micros\":{}", rec.started_micros));
+    }
+    fields.push(format!("\"state\":\"{}\"", rec.state.label()));
+    fields.push(format!("\"submitted_micros\":{}", rec.submitted_micros));
+    format!("{{{}}}", fields.join(","))
 }
 
 /// Rejects instances an inline evaluation must not attempt: fleet
 /// construction cost grows superlinearly in `k` and `m`, so these
 /// ceilings (and the `k·m·(f+2)` work envelope) keep one well-formed
 /// request from exhausting server memory or monopolizing a worker.
-fn check_eval_limits(m: u32, k: u32, f: u32, horizon: f64) -> Result<(), ApiError> {
+/// Returns the admitted work estimate — the number the `/jobs` cost
+/// threshold gates `evaluate` submissions on.
+fn check_eval_limits(m: u32, k: u32, f: u32, horizon: f64) -> Result<u64, ApiError> {
     if m > MAX_INSTANCE_M {
         return Err(ApiError::bad_request(format!(
             "m {m} exceeds the serving ceiling {MAX_INSTANCE_M}"
@@ -1006,7 +1441,7 @@ fn check_eval_limits(m: u32, k: u32, f: u32, horizon: f64) -> Result<(), ApiErro
             "horizon {horizon} exceeds the serving ceiling {MAX_HORIZON:e}"
         )));
     }
-    Ok(())
+    Ok(work)
 }
 
 fn canon(value: f64, name: &str) -> Result<CanonF64, ApiError> {

@@ -94,7 +94,7 @@ impl BackendFleet {
         for i in 0..n {
             let id = format!("backend-{i}");
             let port_file = dir.join(format!("{id}.port"));
-            let child = spawn_backend(bin, &port_file, extra_args)?;
+            let child = spawn_backend(bin, &port_file, extra_args, i)?;
             fleet.children.push(ChildBackend {
                 id,
                 port_file,
@@ -188,7 +188,8 @@ impl BackendFleet {
         self.kill(idx);
         let port_file = self.children[idx].port_file.clone();
         std::fs::remove_file(&port_file).ok();
-        self.children[idx].child = Some(spawn_backend(&self.bin, &port_file, &self.extra_args)?);
+        self.children[idx].child =
+            Some(spawn_backend(&self.bin, &port_file, &self.extra_args, idx)?);
         Ok(())
     }
 }
@@ -201,7 +202,12 @@ impl Drop for BackendFleet {
     }
 }
 
-fn spawn_backend(bin: &Path, port_file: &Path, extra_args: &[String]) -> Result<Child, String> {
+fn spawn_backend(
+    bin: &Path,
+    port_file: &Path,
+    extra_args: &[String],
+    node: usize,
+) -> Result<Child, String> {
     // a stale file from a previous life must not be mistaken for this
     // spawn's handshake
     std::fs::remove_file(port_file).ok();
@@ -210,6 +216,11 @@ fn spawn_backend(bin: &Path, port_file: &Path, extra_args: &[String]) -> Result<
         .arg("127.0.0.1:0")
         .arg("--port-file")
         .arg(port_file)
+        // the fleet index doubles as the job-id node tag, so the router
+        // can route GET/DELETE /jobs/{id} straight to the minting
+        // backend; stable across respawns like the logical id itself
+        .arg("--job-node")
+        .arg(node.to_string())
         .args(extra_args)
         .stdin(Stdio::null())
         .stdout(Stdio::null())

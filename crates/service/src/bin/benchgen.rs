@@ -1,12 +1,15 @@
 //! `benchgen` — generates the committed perf-trajectory artifact
-//! (`BENCH_9.json`): the E12 deep-horizon sweep timed cold and warm
+//! (`BENCH_10.json`): the E12 deep-horizon sweep timed cold and warm
 //! against a shared compile memo, plus the serving layer's hot/cold
 //! throughput with per-endpoint latency percentiles from the shared
 //! telemetry histograms, all pinned against the PR 5 baseline. The
 //! document also records the warm-sweep wall time against the BENCH_6
 //! (pre-telemetry) warm median and against the BENCH_8 (pre-tracing)
 //! warm median, so the cost of each observability layer — histograms,
-//! then span traces — stays an explicit, tracked number.
+//! then span traces — stays an explicit, tracked number, and a
+//! `jobs_overhead` object pricing the async job envelope: the warm
+//! median of a campaign served synchronously versus the same campaign
+//! submitted via `POST /jobs` and long-polled to `done`.
 //!
 //! ```text
 //! benchgen [--out PATH] [--max-k N] [--horizon X] [--iterations N]
@@ -54,7 +57,7 @@ const USAGE: &str = "\
 usage: benchgen [options]
 
 options:
-  --out PATH         output path (default BENCH_9.json)
+  --out PATH         output path (default BENCH_10.json)
   --max-k N          E12 fleet-size cap (default 4096 = the full sweep)
   --horizon X        E12 evaluation horizon (default 1e12)
   --iterations N     timed runs per phase (default 3)
@@ -77,7 +80,7 @@ struct Cli {
 impl Default for Cli {
     fn default() -> Self {
         Cli {
-            out: "BENCH_9.json".to_owned(),
+            out: "BENCH_10.json".to_owned(),
             max_k: 4096,
             horizon: 1e12,
             iterations: 3,
@@ -215,6 +218,21 @@ struct TracingOverhead {
     sample_one_in: u64,
 }
 
+/// Warm-path cost of the async job envelope: the same deep campaign
+/// served synchronously (`POST /campaign`, memo hit) versus submitted
+/// as a job and long-polled to `done` (`POST /jobs` + `GET
+/// /jobs/{id}?wait_micros=`). Both paths resolve through the identical
+/// shared execute function, so the ratio prices exactly the queue trip,
+/// the store round-trip, and the extra HTTP exchange — never a second
+/// computation.
+#[derive(serde::Serialize)]
+struct JobsOverhead {
+    sync_warm_median_micros: u64,
+    jobs_warm_median_micros: u64,
+    ratio: f64,
+    iterations: usize,
+}
+
 #[derive(serde::Serialize)]
 struct BenchDoc {
     schema_version: u32,
@@ -226,6 +244,7 @@ struct BenchDoc {
     e12_sweep: SweepBench,
     telemetry_overhead: TelemetryOverhead,
     tracing_overhead: TracingOverhead,
+    jobs_overhead: JobsOverhead,
     service: Option<ServiceBench>,
 }
 
@@ -413,8 +432,112 @@ fn bench_service(cli: &Cli) -> Result<ServiceBench, String> {
     })
 }
 
+/// Times the warm synchronous campaign against the same campaign via
+/// the job tier on a fresh in-process server. One cold run primes the
+/// memo; every timed run on either path is then a cache hit.
+fn bench_jobs(cli: &Cli) -> Result<JobsOverhead, String> {
+    const CAMPAIGN: &str = r#"{"id":"e2","max_k":12}"#;
+    const ENVELOPE: &str = r#"{"endpoint":"campaign","client":"benchgen","id":"e2","max_k":12}"#;
+    let iterations = cli.iterations.max(5);
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let handle = server.spawn();
+    let addr = handle.addr().to_string();
+    let outcome = (|| -> Result<JobsOverhead, String> {
+        let mut client = HttpClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let request = |client: &mut HttpClient, method: &str, target: &str, body: Option<&str>| {
+            let (status, reply) = client
+                .request(method, target, body)
+                .map_err(|e| format!("{method} {target}: {e}"))?;
+            Ok::<(u16, String), String>((status, reply))
+        };
+        // prime: the one cold computation both warm paths will hit
+        let (status, sync_reply) = request(&mut client, "POST", "/campaign", Some(CAMPAIGN))?;
+        if status != 200 {
+            return Err(format!("priming campaign returned {status}: {sync_reply}"));
+        }
+        let mut sync_micros = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            let started = std::time::Instant::now();
+            let (status, _) = request(&mut client, "POST", "/campaign", Some(CAMPAIGN))?;
+            if status != 200 {
+                return Err(format!("warm campaign returned {status}"));
+            }
+            sync_micros.push(started.elapsed().as_micros() as u64);
+        }
+        let mut jobs_micros = Vec::with_capacity(iterations);
+        for round in 0..iterations {
+            let started = std::time::Instant::now();
+            let (status, reply) = request(&mut client, "POST", "/jobs", Some(ENVELOPE))?;
+            if status != 202 {
+                return Err(format!("job submit returned {status}: {reply}"));
+            }
+            let submitted: serde_json::Value =
+                serde_json::from_str(&reply).map_err(|e| format!("parse submit: {e}"))?;
+            let id = submitted
+                .get("id")
+                .and_then(serde_json::Value::as_str)
+                .ok_or_else(|| format!("submit without id: {reply}"))?
+                .to_owned();
+            let target = format!("/jobs/{id}?wait_micros=2000000");
+            let record = loop {
+                let (status, reply) = request(&mut client, "GET", &target, None)?;
+                if status != 200 {
+                    return Err(format!("job poll returned {status}: {reply}"));
+                }
+                let record: serde_json::Value =
+                    serde_json::from_str(&reply).map_err(|e| format!("parse poll: {e}"))?;
+                match record.get("state").and_then(serde_json::Value::as_str) {
+                    Some("done") => break record,
+                    Some("queued" | "running") => {}
+                    other => return Err(format!("job reached {other:?}: {reply}")),
+                }
+            };
+            jobs_micros.push(started.elapsed().as_micros() as u64);
+            if round == 0 {
+                // the envelope must never change the bytes: compare the
+                // job's payload against the synchronous answer once
+                let sync: serde_json::Value =
+                    serde_json::from_str(&sync_reply).map_err(|e| format!("parse sync: {e}"))?;
+                let sync_payload = sync
+                    .get("result")
+                    .ok_or("sync campaign without result")?
+                    .to_json_string();
+                let job_payload = record
+                    .get("result")
+                    .ok_or("done job without result")?
+                    .to_json_string();
+                if sync_payload != job_payload {
+                    return Err(format!(
+                        "job payload diverges from the synchronous answer:\njob:  {job_payload}\nsync: {sync_payload}"
+                    ));
+                }
+            }
+        }
+        let sync_warm_median_micros = median(&sync_micros);
+        let jobs_warm_median_micros = median(&jobs_micros);
+        Ok(JobsOverhead {
+            sync_warm_median_micros,
+            jobs_warm_median_micros,
+            ratio: jobs_warm_median_micros as f64 / sync_warm_median_micros.max(1) as f64,
+            iterations,
+        })
+    })();
+    handle.shutdown();
+    let overhead = outcome?;
+    eprintln!(
+        "benchgen: jobs overhead: sync warm {} µs, via jobs {} µs ({:.2}x)",
+        overhead.sync_warm_median_micros, overhead.jobs_warm_median_micros, overhead.ratio
+    );
+    Ok(overhead)
+}
+
 fn generate(cli: &Cli) -> Result<(), String> {
     let e12_sweep = bench_sweep(cli)?;
+    let jobs_overhead = bench_jobs(cli)?;
     let service = if cli.skip_load {
         None
     } else {
@@ -435,7 +558,7 @@ fn generate(cli: &Cli) -> Result<(), String> {
     };
     let doc = BenchDoc {
         schema_version: 1,
-        bench_id: "BENCH_9",
+        bench_id: "BENCH_10",
         paper: "1707.05077",
         generator: "benchgen",
         config: Config {
@@ -456,20 +579,22 @@ fn generate(cli: &Cli) -> Result<(), String> {
         e12_sweep,
         telemetry_overhead,
         tracing_overhead,
+        jobs_overhead,
         service,
     };
     let json = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
     std::fs::write(&cli.out, format!("{json}\n")).map_err(|e| format!("write {}: {e}", cli.out))?;
     println!(
         "benchgen: wrote {} (cold median {} µs, {:.1}x vs PR {} baseline, warm {:.1}x vs cold, \
-         warm {:.3}x vs BENCH_6, {:.3}x vs BENCH_8)",
+         warm {:.3}x vs BENCH_6, {:.3}x vs BENCH_8, jobs envelope {:.2}x)",
         cli.out,
         doc.e12_sweep.cold.median_micros,
         doc.e12_sweep.speedup_vs_baseline,
         BASELINE_PR,
         doc.e12_sweep.warm_speedup_vs_cold,
         doc.telemetry_overhead.warm_ratio_vs_bench6,
-        doc.tracing_overhead.warm_ratio_vs_bench8
+        doc.tracing_overhead.warm_ratio_vs_bench8,
+        doc.jobs_overhead.ratio
     );
     Ok(())
 }

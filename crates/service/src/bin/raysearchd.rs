@@ -41,6 +41,19 @@ serve options:
   --trace-sample N   keep ~1-in-N span traces for GET /debug/trace/{id}
                      (slow requests are always kept; 1 keeps every
                      trace; default 64)
+  --compute-workers N  compute threads draining the job queue,
+                     separate from the HTTP workers (default 2)
+  --job-queue N      bounded job-queue depth; a full queue sheds
+                     submissions with 503 + Retry-After (default 64)
+  --job-store N      job records retained before oldest-done eviction
+                     (default 256)
+  --job-cost-threshold N  minimum k*m*(f+2) instance work for an
+                     /evaluate payload to be accepted as a job; cheaper
+                     work gets a 400 pointing at the synchronous
+                     endpoint (0 admits everything; default 65536)
+  --job-node N       0-255 node tag baked into the high bits of every
+                     job id, so a router can route polls back to the
+                     minting backend (default 0)
 
 bench options:
   --concurrency C    concurrent connections for --bench (default 4)
@@ -60,6 +73,11 @@ struct Cli {
     shards: Option<usize>,
     slow_log_micros: Option<u64>,
     trace_sample: Option<u64>,
+    compute_workers: Option<usize>,
+    job_queue: Option<usize>,
+    job_store: Option<usize>,
+    job_cost_threshold: Option<u64>,
+    job_node: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
@@ -116,6 +134,35 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
                         .ok_or_else(|| "--trace-sample expects an integer >= 1".to_owned())?,
                 );
             }
+            "--compute-workers" => {
+                cli.compute_workers = Some(parse_count(
+                    "--compute-workers",
+                    value_of("--compute-workers")?,
+                )?);
+            }
+            "--job-queue" => {
+                cli.job_queue = Some(parse_count("--job-queue", value_of("--job-queue")?)?);
+            }
+            "--job-store" => {
+                cli.job_store = Some(parse_count("--job-store", value_of("--job-store")?)?);
+            }
+            "--job-cost-threshold" => {
+                // 0 is meaningful (admit any payload as a job)
+                cli.job_cost_threshold = Some(
+                    value_of("--job-cost-threshold")?
+                        .parse::<u64>()
+                        .map_err(|_| "--job-cost-threshold expects an integer >= 0".to_owned())?,
+                );
+            }
+            "--job-node" => {
+                cli.job_node = Some(
+                    value_of("--job-node")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n <= 255)
+                        .ok_or_else(|| "--job-node expects an integer in 0..=255".to_owned())?,
+                );
+            }
             flag => return Err(format!("unknown flag {flag}")),
         }
     }
@@ -141,6 +188,21 @@ fn server_config(cli: &Cli) -> ServerConfig {
     }
     if let Some(shards) = cli.shards {
         cfg.cache_shards = shards;
+    }
+    if let Some(n) = cli.compute_workers {
+        cfg.compute_workers = n;
+    }
+    if let Some(n) = cli.job_queue {
+        cfg.job_queue_depth = n;
+    }
+    if let Some(n) = cli.job_store {
+        cfg.job_store_capacity = n;
+    }
+    if let Some(n) = cli.job_cost_threshold {
+        cfg.job_cost_threshold = n;
+    }
+    if let Some(n) = cli.job_node {
+        cfg.job_node = n;
     }
     cfg
 }

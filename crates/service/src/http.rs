@@ -298,6 +298,14 @@ impl Response {
         }
     }
 
+    /// The shared load-shed response: `503` with a `Retry-After: 1`
+    /// hint so well-behaved clients back off instead of hammering a
+    /// saturated acceptor or a full job queue. Both tiers' accept
+    /// loops and job admission emit their 503s through this.
+    pub fn shed(message: &str) -> Self {
+        Response::error(503, message).with_header("Retry-After", "1")
+    }
+
     /// Returns `self` with an extra response header appended.
     #[must_use]
     pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
@@ -309,9 +317,11 @@ impl Response {
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
             411 => "Length Required",
             413 => "Payload Too Large",
             500 => "Internal Server Error",

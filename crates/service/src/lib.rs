@@ -15,8 +15,16 @@
 //! * [`api`] — the endpoints (`/closed_form`, `/evaluate`, `/verdict`,
 //!   `/campaign`, `/healthz`, `/stats`) over the `raysearch-core`
 //!   evaluators and the E1–E10 campaign registry;
-//! * [`server`] — a fixed worker pool behind a bounded accept queue,
-//!   with load shedding (503) and cooperative shutdown;
+//! * [`server`] — a fixed HTTP worker pool behind a bounded accept
+//!   queue, with load shedding (503 + `Retry-After`), cooperative
+//!   shutdown, and a separate compute-worker pool draining the job
+//!   queue;
+//! * [`jobs`] — the async job tier: a bounded priority-by-cost-class
+//!   [`jobs::JobQueue`] with per-client admission, a sharded bounded
+//!   [`jobs::JobStore`] of job records with oldest-done eviction, and
+//!   the node-tagged job-id scheme behind `POST /jobs`,
+//!   `GET /jobs/{id}` (long-poll via `?wait_micros=`) and
+//!   `DELETE /jobs/{id}`;
 //! * [`client`] / [`probe`] / [`load`] — the self-client: CI smoke
 //!   probing (`raysearchd --probe`, `raysearch-router --probe`) and the
 //!   hot-vs-cold load harness (`raysearchd --bench`).
@@ -74,6 +82,7 @@ pub mod backends;
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod jobs;
 pub mod load;
 pub mod probe;
 pub mod replay;

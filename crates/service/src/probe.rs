@@ -332,7 +332,169 @@ pub fn run_probe(addr: &str) -> Result<Vec<CheckLine>, String> {
         compile_entries(&stats_after)
     ));
 
+    // 16. async jobs: a deep campaign submitted via POST /jobs runs on
+    // the compute pool, not an HTTP worker — /healthz and a warm cached
+    // read answer in well under 500ms right after the submit — and the
+    // long-polled record's payload is byte-identical to the synchronous
+    // /campaign answer for the same parameters
+    let job_envelope = r#"{"endpoint":"campaign","id":"e11","max_k":12,"client":"probe"}"#;
+    let (status, doc) = fetch_json(addr, "POST", "/jobs", Some(job_envelope))?;
+    expect(status == 202, "job submit should be 202", &doc)?;
+    expect(
+        doc.get("state").and_then(Value::as_str) == Some("queued"),
+        "a fresh job should report state \"queued\"",
+        &doc,
+    )?;
+    let job_id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("job submit without an id: {}", doc.to_json_string()))?;
+    let reads_started = std::time::Instant::now();
+    let (status, doc) = fetch_json(addr, "GET", "/healthz", None)?;
+    expect(status == 200, "healthz during a job should be 200", &doc)?;
+    let (status, doc) = fetch_json(addr, "GET", "/closed_form?k=3&f=1", None)?;
+    expect(
+        status == 200 && doc.get("cached").and_then(Value::as_bool) == Some(true),
+        "a warm closed_form during a job should be a cache hit",
+        &doc,
+    )?;
+    let read_micros = reads_started.elapsed().as_micros();
+    if read_micros >= 500_000 {
+        return Err(format!(
+            "healthz + cached read took {read_micros} us alongside a running job (budget 500000)"
+        ));
+    }
+    let record = poll_job_done(addr, &job_id)?;
+    let (status, sync) = fetch_json(
+        addr,
+        "POST",
+        "/campaign",
+        Some(r#"{"id":"e11","max_k":12}"#),
+    )?;
+    expect(
+        status == 200,
+        "synchronous campaign twin should be 200",
+        &sync,
+    )?;
+    let job_payload = record
+        .get("result")
+        .ok_or_else(|| format!("done job without a result: {}", record.to_json_string()))?
+        .to_json_string();
+    let sync_payload = result_of(&sync)?.to_json_string();
+    if job_payload != sync_payload {
+        return Err(format!(
+            "job payload diverges from the synchronous answer:\njob:  {job_payload}\nsync: {sync_payload}"
+        ));
+    }
+    expect(
+        record
+            .get("queue_wait_micros")
+            .and_then(Value::as_u64)
+            .is_some(),
+        "a finished job should report its queue wait",
+        &record,
+    )?;
+    pass(format!(
+        "jobs: e11 campaign via POST /jobs byte-identical to sync, reads stayed fast ({read_micros} us)"
+    ));
+
+    // 17. job lifecycle counters land in /stats, and terminal jobs are
+    // no longer cancellable (409, not a silent success)
+    let (status, stats) = fetch_json(addr, "GET", "/stats", None)?;
+    let job_counter = |name: &str| {
+        stats
+            .get("jobs")
+            .and_then(|j| j.get(name))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+    expect(
+        status == 200 && job_counter("submitted") >= 1 && job_counter("completed") >= 1,
+        "stats should count the submitted and completed job",
+        &stats,
+    )?;
+    let (status, doc) = fetch_json(addr, "DELETE", &format!("/jobs/{job_id}"), None)?;
+    expect(
+        status == 409 && doc.get("error").is_some(),
+        "cancelling a done job should be a JSON 409",
+        &doc,
+    )?;
+    pass(format!(
+        "jobs: lifecycle counters in /stats ({} submitted, {} completed), done job uncancellable",
+        job_counter("submitted"),
+        job_counter("completed")
+    ));
+
+    // 18. job admission errors are well-formed: unknown and malformed
+    // ids are 404s, a non-eligible endpoint and a below-threshold
+    // payload are 400s that name the problem
+    let (status, doc) = fetch_json(addr, "GET", "/jobs/00ffffffffffffff", None)?;
+    expect(status == 404, "an unknown job id should be 404", &doc)?;
+    let (status, doc) = fetch_json(addr, "GET", "/jobs/not-a-job-id", None)?;
+    expect(status == 404, "a malformed job id should be 404", &doc)?;
+    let (status, doc) = fetch_json(
+        addr,
+        "POST",
+        "/jobs",
+        Some(r#"{"endpoint":"closed_form","k":3,"f":1}"#),
+    )?;
+    expect(
+        status == 400
+            && doc
+                .get("error")
+                .and_then(Value::as_str)
+                .is_some_and(|e| e.contains("not job-eligible")),
+        "closed_form should not be job-eligible",
+        &doc,
+    )?;
+    let (status, doc) = fetch_json(
+        addr,
+        "POST",
+        "/jobs",
+        Some(r#"{"endpoint":"evaluate","m":2,"k":3,"f":1,"horizon":2000}"#),
+    )?;
+    expect(
+        status == 400
+            && doc
+                .get("error")
+                .and_then(Value::as_str)
+                .is_some_and(|e| e.contains("cost threshold")),
+        "a cheap evaluate should be rejected below the job cost threshold",
+        &doc,
+    )?;
+    pass("jobs: 404s for unknown/malformed ids, 400s for ineligible/cheap payloads".to_owned());
+
     Ok(lines)
+}
+
+/// Long-polls `GET /jobs/{id}?wait_micros=` until the record is
+/// terminal, erroring on any terminal state but `done` (and after ~60
+/// polls, on a job that never finishes).
+fn poll_job_done(addr: &str, job_id: &str) -> Result<Value, String> {
+    let target = format!("/jobs/{job_id}?wait_micros=1000000");
+    for _ in 0..60 {
+        let (status, record) = fetch_json(addr, "GET", &target, None)?;
+        if status != 200 {
+            return Err(format!(
+                "job poll failed with {status}: {}",
+                record.to_json_string()
+            ));
+        }
+        match record.get("state").and_then(Value::as_str) {
+            Some("done") => return Ok(record),
+            Some("queued" | "running") => {}
+            other => {
+                return Err(format!(
+                    "job reached terminal state {other:?}: {}",
+                    record.to_json_string()
+                ))
+            }
+        }
+    }
+    Err(format!(
+        "job {job_id} did not finish within the poll budget"
+    ))
 }
 
 /// A backend that sheds everything: `200` on `/healthz`, a minimal
@@ -380,7 +542,10 @@ impl Handler for ShedStub {
             }
             _ => {
                 self.shed.fetch_add(1, Ordering::Relaxed);
-                Response::error(503, "shed-stub sheds every request")
+                // the shared shed shape: 503 + Retry-After, exactly what
+                // a saturated real backend emits (check 21 asserts the
+                // header survives the trip through the router)
+                Response::shed("shed-stub sheds every request")
             }
         }
     }
@@ -438,10 +603,13 @@ fn routed_of(stats: &Value, id: &str) -> Result<u64, String> {
 
 /// Probes a self-hosted router: one real in-process backend plus one
 /// always-shedding stub, fronted by a [`RouterState`] server. The checks
-/// continue the single-backend probe's numbering (16–18): rendezvous
+/// continue the single-backend probe's numbering (19–28): rendezvous
 /// routing lands on the predicted shard (visible in per-backend
 /// `/stats` deltas), the aggregated `/stats` arithmetic is internally
-/// consistent, and a backend's `503` passes through to the client.
+/// consistent, a backend's `503` (with its `Retry-After` hint) passes
+/// through to the client, and `/jobs` traffic routes by the inner
+/// payload's key on submit and by the id's embedded backend affinity
+/// on poll/cancel.
 ///
 /// # Errors
 ///
@@ -455,7 +623,7 @@ pub fn run_router_probe() -> Result<Vec<CheckLine>, String> {
         ..ServerConfig::default()
     };
     let backend_server = Server::bind(small.clone()).map_err(|e| format!("bind backend: {e}"))?;
-    // check 22 asserts on an assembled cross-tier trace, which needs
+    // check 25 asserts on an assembled cross-tier trace, which needs
     // the backend to have sampled the same request the router did
     backend_server.state().telemetry().set_trace_sample(1);
     let backend = backend_server.spawn();
@@ -498,7 +666,7 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
             .ok_or_else(|| format!("no probe target ranks {id:?} first"))
     };
 
-    // 16. routing lands on the predicted shard, visible as a
+    // 19. routing lands on the predicted shard, visible as a
     // per-backend routed delta, and the repeat is that shard's memo hit
     let target = owned_target("backend-0")?;
     let (_, before) = fetch_json(addr, "GET", "/stats", None)?;
@@ -519,13 +687,13 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         &after,
     )?;
     pass(format!(
-        "check 16 - route: {target} routed to backend-0 twice (predicted), repeat cached"
+        "check 19 - route: {target} routed to backend-0 twice (predicted), repeat cached"
     ));
 
-    // 17. aggregated /stats arithmetic: router totals equal the sum of
+    // 20. aggregated /stats arithmetic: router totals equal the sum of
     // the per-backend columns in one snapshot. /stats serves from the
     // health thread's cached snapshots (zero synchronous polling), so
-    // run one explicit health pass first to fold check 16's traffic in.
+    // run one explicit health pass first to fold check 19's traffic in.
     state.check_backends_now();
     let (status, stats) = fetch_json(addr, "GET", "/stats", None)?;
     expect(status == 200, "router stats should be 200", &stats)?;
@@ -572,23 +740,40 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         &stats,
     )?;
     pass(format!(
-        "check 17 - stats: totals consistent over {} backends ({} routed, {} hits, snapshot age {} us)",
+        "check 20 - stats: totals consistent over {} backends ({} routed, {} hits, snapshot age {} us)",
         backends.len(),
         uint(&stats, "routed_total"),
         uint(&stats, "cache_hits"),
         uint(&stats, "stats_age_micros")
     ));
 
-    // 18. a backend's 503 passes through: the router reports the shed
-    // verbatim, counts it, and does not fail over (overload is an
-    // answer, not a transport error)
+    // 21. a backend's 503 passes through: the router reports the shed
+    // verbatim — including the Retry-After back-off hint, which the
+    // router must re-attach since forwarding keeps only the body —
+    // counts it, and does not fail over (overload is an answer, not a
+    // transport error)
     let target = owned_target("shed-stub")?;
     let (_, before) = fetch_json(addr, "GET", "/stats", None)?;
     let failovers_before = state.failover_total();
-    let (status, doc) = fetch_json(addr, "GET", &target, None)?;
+    let mut shed_client =
+        HttpClient::connect(addr).map_err(|e| format!("connect for shed check: {e}"))?;
+    let (status, headers, body) = shed_client
+        .request_with_headers("GET", &target, None, &[])
+        .map_err(|e| format!("shed request: {e}"))?;
+    let doc = serde_json::from_str(&body)
+        .map_err(|e| format!("check 21: shed body is not JSON ({e}): {body}"))?;
     expect(
         status == 503 && doc.get("error").is_some(),
         "a stub-owned request should come back as the stub's JSON 503",
+        &doc,
+    )?;
+    let retry_after = headers
+        .iter()
+        .find(|(n, _)| n == "retry-after")
+        .map(|(_, v)| v.as_str());
+    expect(
+        retry_after == Some("1"),
+        "the shed 503 should carry Retry-After: 1 through the router",
         &doc,
     )?;
     let (_, after) = fetch_json(addr, "GET", "/stats", None)?;
@@ -603,10 +788,10 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         &after,
     )?;
     pass(format!(
-        "check 18 - shed: {target} passed the stub's 503 through, no failover"
+        "check 21 - shed: {target} passed the stub's 503 + Retry-After through, no failover"
     ));
 
-    // 19. trace echo: a client-supplied x-raysearch-trace id comes back
+    // 22. trace echo: a client-supplied x-raysearch-trace id comes back
     // verbatim; without one the router mints a 16-hex id
     let target = owned_target("backend-0")?;
     let mut client =
@@ -620,7 +805,7 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         .map(|(_, v)| v.as_str());
     if !(status == 200 && echoed == Some("00000000deadbeef")) {
         return Err(format!(
-            "check 19: expected the trace id echoed verbatim, got status {status}, header {echoed:?}"
+            "check 22: expected the trace id echoed verbatim, got status {status}, header {echoed:?}"
         ));
     }
     let (_, headers, _) = client
@@ -630,17 +815,17 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         .iter()
         .find(|(n, _)| n == TRACE_HEADER)
         .map(|(_, v)| v.clone())
-        .ok_or("check 19: response without a minted trace header")?;
+        .ok_or("check 22: response without a minted trace header")?;
     if minted.len() != 16 || !minted.chars().all(|c| c.is_ascii_hexdigit()) {
         return Err(format!(
-            "check 19: minted trace {minted:?} is not 16 hex digits"
+            "check 22: minted trace {minted:?} is not 16 hex digits"
         ));
     }
     pass(format!(
-        "check 19 - trace: echo verbatim, minted {minted} without one"
+        "check 22 - trace: echo verbatim, minted {minted} without one"
     ));
 
-    // 20. /metrics speaks Prometheus text exposition: counters, TYPE
+    // 23. /metrics speaks Prometheus text exposition: counters, TYPE
     // lines, cumulative histogram buckets with an +Inf bound
     let (status, headers, metrics) = client
         .request_with_headers("GET", "/metrics", None, &[])
@@ -658,19 +843,19 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         && metrics.contains("raysearch_router_backend_cache_hits_total{backend=");
     if !well_formed {
         return Err(format!(
-            "check 20: /metrics not valid exposition (status {status}, content-type {content_type:?}):\n{metrics}"
+            "check 23: /metrics not valid exposition (status {status}, content-type {content_type:?}):\n{metrics}"
         ));
     }
-    pass("check 20 - metrics: Prometheus exposition with counters and histograms".to_owned());
+    pass("check 23 - metrics: Prometheus exposition with counters and histograms".to_owned());
 
-    // 21. slow-log capture: with the threshold at zero every request is
+    // 24. slow-log capture: with the threshold at zero every request is
     // captured, trace id and span breakdown included
     state.telemetry().set_slow_threshold(0);
     let (status, _, _) = client
         .request_with_headers("GET", &target, None, &[(TRACE_HEADER, "00000000cafef00d")])
         .map_err(|e| format!("slow-logged request: {e}"))?;
     if status != 200 {
-        return Err(format!("check 21: routed request failed with {status}"));
+        return Err(format!("check 24: routed request failed with {status}"));
     }
     let (status, slow) = fetch_json(addr, "GET", "/debug/slow", None)?;
     let entries = slow
@@ -678,7 +863,7 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         .and_then(Value::as_array)
         .ok_or_else(|| {
             format!(
-                "check 21: /debug/slow without entries: {}",
+                "check 24: /debug/slow without entries: {}",
                 slow.to_json_string()
             )
         })?;
@@ -689,16 +874,16 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
     });
     if !(status == 200 && captured) {
         return Err(format!(
-            "check 21: slow log should capture the traced request with its backend_wait span: {}",
+            "check 24: slow log should capture the traced request with its backend_wait span: {}",
             slow.to_json_string()
         ));
     }
     pass(format!(
-        "check 21 - slow log: captured trace 00000000cafef00d with span breakdown ({} entries)",
+        "check 24 - slow log: captured trace 00000000cafef00d with span breakdown ({} entries)",
         entries.len()
     ));
 
-    // 22. assembled trace: GET /debug/trace/{id} on the router returns
+    // 25. assembled trace: GET /debug/trace/{id} on the router returns
     // one stitched tree — router spans at the top, the backend's tree
     // grafted under backend_wait — with the leaf-duration invariant
     state.telemetry().set_trace_sample(1);
@@ -706,7 +891,7 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         .request_with_headers("GET", &target, None, &[(TRACE_HEADER, "00000000feedface")])
         .map_err(|e| format!("traced request for assembly: {e}"))?;
     if status != 200 {
-        return Err(format!("check 22: routed request failed with {status}"));
+        return Err(format!("check 25: routed request failed with {status}"));
     }
     let (status, doc) = fetch_json(addr, "GET", "/debug/trace/00000000feedface", None)?;
     expect(status == 200, "assembled trace should be 200", &doc)?;
@@ -718,39 +903,39 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
     )?;
     let root_value = doc
         .get("root")
-        .ok_or_else(|| "check 22: assembled trace without a root".to_owned())?;
-    let root = SpanData::from_json(root_value).map_err(|e| format!("check 22: {e}"))?;
+        .ok_or_else(|| "check 25: assembled trace without a root".to_owned())?;
+    let root = SpanData::from_json(root_value).map_err(|e| format!("check 25: {e}"))?;
     let wait = root
         .children
         .iter()
         .find(|c| c.name == "backend_wait")
-        .ok_or("check 22: assembled trace has no backend_wait span")?;
+        .ok_or("check 25: assembled trace has no backend_wait span")?;
     let backend_tree = wait
         .children
         .iter()
         .find(|c| c.attrs.iter().any(|(k, _)| k == "service"))
-        .ok_or("check 22: backend_wait has no stitched backend tree")?;
+        .ok_or("check 25: backend_wait has no stitched backend tree")?;
     if backend_tree.name != "request" || backend_tree.children.is_empty() {
         return Err(format!(
-            "check 22: stitched backend tree looks wrong: {}",
+            "check 25: stitched backend tree looks wrong: {}",
             backend_tree.to_json()
         ));
     }
     if root.leaf_duration_sum() > root.duration_micros() {
         return Err(format!(
-            "check 22: leaf durations ({}) exceed the root ({})",
+            "check 25: leaf durations ({}) exceed the root ({})",
             root.leaf_duration_sum(),
             root.duration_micros()
         ));
     }
     pass(format!(
-        "check 22 - trace assembly: stitched tree with {} backend spans, leaves {} us <= root {} us",
+        "check 25 - trace assembly: stitched tree with {} backend spans, leaves {} us <= root {} us",
         backend_tree.children.len(),
         root.leaf_duration_sum(),
         root.duration_micros()
     ));
 
-    // 23. the trace index lists stored ids, and an unknown id is a
+    // 26. the trace index lists stored ids, and an unknown id is a
     // well-formed 404
     let (status, index) = fetch_json(addr, "GET", "/debug/trace", None)?;
     let listed = index
@@ -768,7 +953,96 @@ fn router_checks(addr: &str, state: &RouterState) -> Result<Vec<CheckLine>, Stri
         "an unknown trace id should be a JSON 404",
         &doc,
     )?;
-    pass("check 23 - trace index: stored ids listed, unknown id is a JSON 404".to_owned());
+    pass("check 26 - trace index: stored ids listed, unknown id is a JSON 404".to_owned());
+
+    // 27. job submit routes by the *inner* payload's canonical key —
+    // the probe predicts a campaign the real backend owns, submits it
+    // wrapped as a job, and the minted id routes the poll back to that
+    // backend (node 0) for a payload byte-identical to the routed
+    // synchronous answer
+    let campaign_body = (1u32..=12)
+        .map(|max_k| format!(r#"{{"id":"e3","max_k":{max_k}}}"#))
+        .find(|body| {
+            let mut inner = probe_request("/campaign");
+            inner.method = "POST".to_owned();
+            inner.body = body.clone().into_bytes();
+            let rank = rendezvous_rank(&ids, &routing_key(&inner));
+            ids[rank[0]] == "backend-0"
+        })
+        .ok_or("check 27: no e3 campaign depth ranks backend-0 first")?;
+    let envelope = format!(
+        r#"{{"endpoint":"campaign",{}"#,
+        campaign_body.trim_start_matches('{')
+    );
+    let (status, doc) = fetch_json(addr, "POST", "/jobs", Some(&envelope))?;
+    expect(status == 202, "routed job submit should be 202", &doc)?;
+    let job_id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("check 27: submit without an id: {}", doc.to_json_string()))?;
+    expect(
+        job_id.starts_with("00"),
+        "a job minted by backend 0 should carry node 0 in its id",
+        &doc,
+    )?;
+    let record = poll_job_done(addr, &job_id)?;
+    let (status, sync) = fetch_json(addr, "POST", "/campaign", Some(&campaign_body))?;
+    expect(
+        status == 200,
+        "the routed synchronous campaign twin should be 200",
+        &sync,
+    )?;
+    let job_payload = record
+        .get("result")
+        .ok_or_else(|| {
+            format!(
+                "check 27: done job without a result: {}",
+                record.to_json_string()
+            )
+        })?
+        .to_json_string();
+    let sync_payload = result_of(&sync)?.to_json_string();
+    if job_payload != sync_payload {
+        return Err(format!(
+            "check 27: routed job payload diverges from the routed synchronous answer:\njob:  {job_payload}\nsync: {sync_payload}"
+        ));
+    }
+    pass(format!(
+        "check 27 - jobs: {campaign_body} via POST /jobs routed to backend-0, payload byte-identical"
+    ));
+
+    // 28. id affinity is strict: an id naming a node beyond the fleet is
+    // a router-side 404 (no backend is even contacted), and the fleet
+    // /stats aggregates the backend's job counters
+    let (status, doc) = fetch_json(addr, "GET", "/jobs/ff00000000000001", None)?;
+    expect(
+        status == 404
+            && doc
+                .get("error")
+                .and_then(Value::as_str)
+                .is_some_and(|e| e.contains("backend")),
+        "an id naming backend 255 should be a router-side 404",
+        &doc,
+    )?;
+    state.check_backends_now();
+    let (status, stats) = fetch_json(addr, "GET", "/stats", None)?;
+    expect(
+        status == 200
+            && stats
+                .get("jobs_submitted")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                >= 1
+            && stats
+                .get("jobs_completed")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                >= 1,
+        "router stats should aggregate the backend's job counters",
+        &stats,
+    )?;
+    pass("check 28 - jobs: out-of-fleet id is a router 404, job counters aggregated".to_owned());
 
     Ok(lines)
 }

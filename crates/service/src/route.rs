@@ -46,6 +46,7 @@ use serde_json::{Map, Value};
 use crate::api::routing_key;
 use crate::client::HttpClient;
 use crate::http::{Request, Response};
+use crate::jobs::{job_node, parse_job_id};
 use crate::server::Handler;
 use crate::tape::{is_recordable, TapeEntry, TapeRecorder};
 use crate::telemetry::{
@@ -136,6 +137,10 @@ struct BackendCounters {
     misses: u64,
     shed: u64,
     requests: u64,
+    jobs_queued: u64,
+    jobs_running: u64,
+    jobs_submitted: u64,
+    jobs_completed: u64,
     /// When the health pass fetched this snapshot (drives the
     /// `stats_age_micros` staleness field).
     fetched: Instant,
@@ -144,11 +149,16 @@ struct BackendCounters {
 impl BackendCounters {
     fn from_stats(doc: &Value, fetched: Instant) -> BackendCounters {
         let uint = |v: Option<&Value>| v.and_then(Value::as_u64).unwrap_or(0);
+        let jobs = |name: &str| uint(doc.get("jobs").and_then(|j| j.get(name)));
         BackendCounters {
             hits: uint(doc.get("cache").and_then(|c| c.get("hits"))),
             misses: uint(doc.get("cache").and_then(|c| c.get("misses"))),
             shed: uint(doc.get("shed_total")),
             requests: uint(doc.get("requests_total")),
+            jobs_queued: jobs("queued"),
+            jobs_running: jobs("running"),
+            jobs_submitted: jobs("submitted"),
+            jobs_completed: jobs("completed"),
             fetched,
         }
     }
@@ -386,6 +396,10 @@ impl RouterState {
         let mut misses_sum = 0u64;
         let mut shed_sum = 0u64;
         let mut requests_sum = 0u64;
+        let mut jobs_queued_sum = 0u64;
+        let mut jobs_running_sum = 0u64;
+        let mut jobs_submitted_sum = 0u64;
+        let mut jobs_completed_sum = 0u64;
         let mut max_age = 0u64;
         for backend in &self.backends {
             let mut bd = Map::new();
@@ -413,6 +427,10 @@ impl RouterState {
                 misses_sum += counters.misses;
                 shed_sum += counters.shed;
                 requests_sum += counters.requests;
+                jobs_queued_sum += counters.jobs_queued;
+                jobs_running_sum += counters.jobs_running;
+                jobs_submitted_sum += counters.jobs_submitted;
+                jobs_completed_sum += counters.jobs_completed;
                 let mut field = |name: &str, value: u64| {
                     bd.insert(
                         name.to_owned(),
@@ -423,6 +441,10 @@ impl RouterState {
                 field("misses", counters.misses);
                 field("shed", counters.shed);
                 field("requests", counters.requests);
+                field("jobs_queued", counters.jobs_queued);
+                field("jobs_running", counters.jobs_running);
+                field("jobs_submitted", counters.jobs_submitted);
+                field("jobs_completed", counters.jobs_completed);
                 field("stats_age_micros", age);
             }
             bd.insert("reachable".to_owned(), Value::Bool(reachable));
@@ -455,6 +477,10 @@ impl RouterState {
         counter("cache_misses", misses_sum);
         counter("backend_shed", shed_sum);
         counter("backend_requests", requests_sum);
+        counter("jobs_queued", jobs_queued_sum);
+        counter("jobs_running", jobs_running_sum);
+        counter("jobs_submitted", jobs_submitted_sum);
+        counter("jobs_completed", jobs_completed_sum);
         counter("uptime_micros", self.started.elapsed().as_micros() as u64);
         counter("stats_age_micros", max_age);
         doc.insert("backends".to_owned(), Value::Array(per_backend));
@@ -586,6 +612,34 @@ impl RouterState {
         );
         push_metric(
             &mut out,
+            "raysearch_router_backend_jobs_queued",
+            "gauge",
+            "Jobs queued per backend (health-thread snapshot).",
+            &family(&|b| b.cached_counters().map(|c| c.jobs_queued)),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_jobs_running",
+            "gauge",
+            "Jobs running per backend (health-thread snapshot).",
+            &family(&|b| b.cached_counters().map(|c| c.jobs_running)),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_jobs_submitted_total",
+            "counter",
+            "Jobs admitted per backend (health-thread snapshot).",
+            &family(&|b| b.cached_counters().map(|c| c.jobs_submitted)),
+        );
+        push_metric(
+            &mut out,
+            "raysearch_router_backend_jobs_completed_total",
+            "counter",
+            "Jobs completed per backend (health-thread snapshot).",
+            &family(&|b| b.cached_counters().map(|c| c.jobs_completed)),
+        );
+        push_metric(
+            &mut out,
             "raysearch_router_backend_stats_age_micros",
             "gauge",
             "Age of each backend's cached counter snapshot.",
@@ -625,7 +679,7 @@ impl RouterState {
     /// into `backend_wait`.
     fn route(&self, req: &Request, trace: &str, spans: &mut SpanSet) -> Response {
         let (target, healthy_first) = spans.time(Span::Route, || {
-            let key = routing_key(req);
+            let key = router_routing_key(req);
             let ids = self.backend_ids();
             let ranked = rendezvous_rank(&ids, &key);
 
@@ -682,12 +736,19 @@ impl RouterState {
                         // elsewhere would just spread the overload
                         self.shed_passthrough.fetch_add(1, Ordering::Relaxed);
                     }
-                    let response = Response {
+                    let mut response = Response {
                         status,
                         body,
                         headers: Vec::new(),
                     };
                     self.record(req, &target, &response);
+                    if status == 503 {
+                        // forward_once keeps only the body; restore the
+                        // back-off hint the backend's shed carried
+                        // (attached after record: tape digests are
+                        // body-only)
+                        response = response.with_header("Retry-After", "1");
+                    }
                     return response;
                 }
                 Err(_) => {
@@ -703,6 +764,89 @@ impl RouterState {
             Response::error(502, &format!("no backend answered ({attempted} attempted)"));
         self.record(req, &target, &response);
         response
+    }
+
+    /// Routes `GET`/`DELETE /jobs/{id}` by the backend affinity embedded
+    /// in the id itself: the minting backend's logical index sits in the
+    /// high bits ([`job_node`]), so polls and cancels reach the one
+    /// process whose [`crate::jobs::JobStore`] holds the record. No
+    /// rendezvous, no failover — the record exists nowhere else, so
+    /// retrying a transport error on another backend could only ever
+    /// manufacture a misleading `404`.
+    fn route_job_by_id(&self, req: &Request, trace: &str, spans: &mut SpanSet) -> Response {
+        let target = request_target(req);
+        let parsed = spans.time(Span::Route, || {
+            req.path.strip_prefix("/jobs/").and_then(parse_job_id)
+        });
+        let Some(id) = parsed else {
+            return Response::error(404, &format!("no such job {:?}", req.path));
+        };
+        let node = job_node(id) as usize;
+        let Some(backend) = self.backends.get(node) else {
+            return Response::error(
+                404,
+                &format!(
+                    "job id names backend {node}, but only {} backends are configured",
+                    self.backends.len()
+                ),
+            );
+        };
+        let Some(addr) = backend.current_addr() else {
+            self.no_backend_total.fetch_add(1, Ordering::Relaxed);
+            return Response::error(502, &format!("backend {} has no address yet", backend.id));
+        };
+        let wait_start = spans.elapsed_micros();
+        let forwarded = RouterState::forward_once(&addr, req, &target, trace);
+        let wait_end = spans.elapsed_micros();
+        spans.add_interval_as(
+            Span::BackendWait,
+            if forwarded.is_ok() {
+                "backend_wait"
+            } else {
+                "failover"
+            },
+            wait_start,
+            wait_end,
+            &[("backend", &backend.id)],
+        );
+        match forwarded {
+            Ok((status, body)) => {
+                backend.routed.fetch_add(1, Ordering::Relaxed);
+                self.routed_total.fetch_add(1, Ordering::Relaxed);
+                if status == 503 {
+                    self.shed_passthrough.fetch_add(1, Ordering::Relaxed);
+                }
+                if req.method == "GET" && status == 200 {
+                    // surface the backend-measured queue wait in the
+                    // router's own `queue_wait` histogram column
+                    if let Some(wait) = serde_json::from_str(&body)
+                        .ok()
+                        .as_ref()
+                        .and_then(|doc| doc.get("queue_wait_micros"))
+                        .and_then(Value::as_u64)
+                    {
+                        spans.add(Span::QueueWait, wait);
+                    }
+                }
+                let response = Response {
+                    status,
+                    body,
+                    headers: Vec::new(),
+                };
+                if status == 503 {
+                    response.with_header("Retry-After", "1")
+                } else {
+                    response
+                }
+            }
+            Err(_) => {
+                backend.failed.fetch_add(1, Ordering::Relaxed);
+                backend.healthy.store(false, Ordering::Relaxed);
+                self.failover_total.fetch_add(1, Ordering::Relaxed);
+                self.no_backend_total.fetch_add(1, Ordering::Relaxed);
+                Response::error(502, &format!("backend {} did not answer", backend.id))
+            }
+        }
     }
 
     /// `GET /debug/trace/{id}`: the router's stored span tree for the
@@ -801,6 +945,12 @@ impl Handler for RouterState {
             ("GET", "/debug/slow") => Response::ok(self.telemetry.slow_log_json()),
             ("GET", "/debug/trace") => Response::ok(trace_index_json(self.telemetry.recorder())),
             ("GET", path) if path.starts_with("/debug/trace/") => self.debug_trace(path),
+            // poll/cancel follow the id's embedded backend affinity;
+            // POST /jobs falls through to route(), which keys on the
+            // *inner* payload (see `router_routing_key`)
+            ("GET" | "DELETE", path) if path.starts_with("/jobs/") => {
+                self.route_job_by_id(req, &trace, &mut spans)
+            }
             _ => self.route(req, &trace, &mut spans),
         };
         let status = response.status;
@@ -813,6 +963,39 @@ impl Handler for RouterState {
     fn note_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// The routing key the *router* hashes — [`routing_key`] for everything
+/// except `POST /jobs`, which is keyed by the canonical key of the
+/// payload it wraps. A job submission and its synchronous twin must
+/// land on the same backend so they share that backend's memo and
+/// compile caches; keying the envelope itself would scatter them.
+#[must_use]
+pub fn router_routing_key(req: &Request) -> String {
+    if req.method == "POST" && req.path == "/jobs" {
+        if let Some(inner) = job_inner_request(req) {
+            return routing_key(&inner);
+        }
+    }
+    routing_key(req)
+}
+
+/// Unwraps a `POST /jobs` envelope into the synchronous request it
+/// describes: a `POST /{endpoint}` carrying the same body. `None` when
+/// the body is not a JSON object with a string `endpoint` tag — the
+/// backend will reject it with a `400` anyway, so the raw-key fallback
+/// just has to be deterministic, not meaningful.
+fn job_inner_request(req: &Request) -> Option<Request> {
+    let doc: Value = serde_json::from_str(&String::from_utf8_lossy(&req.body)).ok()?;
+    let endpoint = doc.get("endpoint")?.as_str()?;
+    Some(Request {
+        method: "POST".to_owned(),
+        version: req.version.clone(),
+        path: format!("/{endpoint}"),
+        query: Vec::new(),
+        headers: Vec::new(),
+        body: req.body.clone(),
+    })
 }
 
 /// Reconstructs the request target (`path?query`) for forwarding.

@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 
 use crate::api::ServiceState;
 use crate::http::{read_request, HttpError, Request, Response};
+use crate::jobs::JobConfig;
 
 /// What the transport needs from the layer above it: turn one parsed
 /// request into one response, and (optionally) account for connections
@@ -44,6 +45,24 @@ pub trait Handler: Send + Sync + 'static {
     /// Called by the acceptor each time it sheds a connection with a
     /// `503` because the accept queue is full. Default: unobserved.
     fn note_shed(&self) {}
+
+    /// Spawns any background worker threads the handler owns, separate
+    /// from the HTTP pool — the evaluation backend starts its job
+    /// compute pool here. Called once by [`Server::spawn`] with the
+    /// server's stop flag; the returned threads are joined at shutdown.
+    /// Default: none.
+    fn start_background(self: Arc<Self>, stop: Arc<AtomicBool>) -> Vec<JoinHandle<()>>
+    where
+        Self: Sized,
+    {
+        let _ = stop;
+        Vec::new()
+    }
+
+    /// Asks background workers to wind down promptly (the backend
+    /// closes its job queue here) before their threads are joined.
+    /// Default: nothing to stop.
+    fn stop_background(&self) {}
 }
 
 /// Tunables for one server instance.
@@ -62,10 +81,28 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// Per-connection read timeout while waiting for the next request.
     pub read_timeout: Duration,
+    /// Compute-worker threads draining the job queue — a pool separate
+    /// from the HTTP `workers`, so queued heavy jobs never occupy the
+    /// threads serving cached reads.
+    pub compute_workers: usize,
+    /// Bounded depth of the job admission queue; beyond it, `POST
+    /// /jobs` sheds with a 503.
+    pub job_queue_depth: usize,
+    /// Bounded capacity of the job record store (oldest-done eviction).
+    pub job_store_capacity: usize,
+    /// Maximum in-flight (queued or running) jobs per client label.
+    pub job_max_per_client: usize,
+    /// Minimum `k·m·(f+2)` work for an `evaluate` job; cheaper
+    /// evaluations are redirected to the synchronous endpoint.
+    pub job_cost_threshold: u64,
+    /// This backend's logical node index, encoded into the high bits of
+    /// every job id it mints (the router routes `GET /jobs/{id}` by it).
+    pub job_node: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let jobs = JobConfig::default();
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: std::thread::available_parallelism()
@@ -76,6 +113,12 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             read_timeout: Duration::from_secs(10),
+            compute_workers: jobs.workers,
+            job_queue_depth: jobs.queue_depth,
+            job_store_capacity: jobs.store_capacity,
+            job_max_per_client: jobs.max_per_client,
+            job_cost_threshold: jobs.cost_threshold,
+            job_node: jobs.node,
         }
     }
 }
@@ -96,7 +139,19 @@ impl Server<ServiceState> {
     ///
     /// Propagates the bind failure.
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server<ServiceState>> {
-        let state = Arc::new(ServiceState::new(cfg.cache_capacity, cfg.cache_shards));
+        let jobs = JobConfig {
+            queue_depth: cfg.job_queue_depth,
+            store_capacity: cfg.job_store_capacity,
+            max_per_client: cfg.job_max_per_client,
+            cost_threshold: cfg.job_cost_threshold,
+            node: cfg.job_node,
+            workers: cfg.compute_workers,
+        };
+        let state = Arc::new(ServiceState::with_jobs(
+            cfg.cache_capacity,
+            cfg.cache_shards,
+            jobs,
+        ));
         Server::bind_with(cfg, state)
     }
 }
@@ -161,6 +216,10 @@ impl<H: Handler> Server<H> {
         };
         threads.push(acceptor);
 
+        // the handler's own background pool (e.g. job compute workers),
+        // joined at shutdown alongside the HTTP threads
+        threads.extend(Arc::clone(&self.state).start_background(Arc::clone(&stop)));
+
         ServerHandle {
             addr,
             state: self.state,
@@ -190,9 +249,11 @@ impl<H: Handler> ServerHandle<H> {
         Arc::clone(&self.state)
     }
 
-    /// Stops accepting, drains the workers, and joins every thread.
+    /// Stops accepting, drains the workers, winds down background
+    /// workers (closing the job queue), and joins every thread.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        self.state.stop_background();
         // poke accept() awake; it will observe the flag and return
         let _ = TcpStream::connect(self.addr);
         for t in self.threads.drain(..) {
@@ -231,10 +292,10 @@ fn accept_loop(
         match sender.try_send(stream) {
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
-                // shed load rather than queueing without bound
+                // shed load rather than queueing without bound; the
+                // Retry-After hint tells clients to back off briefly
                 state.note_shed();
-                let _ = Response::error(503, "server overloaded, try again")
-                    .write_to(&mut stream, false);
+                let _ = Response::shed("server overloaded, try again").write_to(&mut stream, false);
             }
             Err(TrySendError::Disconnected(_)) => return,
         }

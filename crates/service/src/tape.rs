@@ -39,7 +39,12 @@ pub const TAPE_VERSION: u64 = 1;
 /// `/metrics`, `/debug/slow` and the `/debug/trace` family answer with
 /// live, router-local state (uptime, counters, histograms, sampled
 /// span trees), so their bytes are not request-determined and
-/// recording them would make every replay fail verification. Trace
+/// recording them would make every replay fail verification. The
+/// `/jobs` family is excluded for the same reason from the other side:
+/// submissions mint fresh ids and polls race the compute worker, so
+/// neither the envelope bytes nor the observed state are
+/// request-determined (the *payload* a job computes is still covered —
+/// via the synchronous endpoint it shares bytes with). Trace
 /// propagation never interferes with tapes at all: digests cover the
 /// (normalized) response *body* only, and the `x-raysearch-trace` echo
 /// lives in response headers.
@@ -47,6 +52,7 @@ pub const TAPE_VERSION: u64 = 1;
 pub fn is_recordable(path: &str) -> bool {
     !matches!(path, "/healthz" | "/stats" | "/metrics" | "/debug/slow")
         && !path.starts_with("/debug/trace")
+        && !path.starts_with("/jobs")
 }
 
 /// Forces the `cached` flag of a wrapped response body to `false`, so
@@ -410,6 +416,10 @@ mod tests {
         assert!(!is_recordable("/debug/slow"));
         assert!(!is_recordable("/debug/trace"));
         assert!(!is_recordable("/debug/trace/00000000000000aa"));
+        // jobs are stateful (submit mutates, polls race the worker), so
+        // their bytes are not request-determined
+        assert!(!is_recordable("/jobs"));
+        assert!(!is_recordable("/jobs/00000000000000aa"));
         assert!(is_recordable("/evaluate"));
         assert!(is_recordable("/closed_form"));
         assert!(is_recordable("/no_such_endpoint"));

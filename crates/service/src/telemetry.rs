@@ -69,10 +69,12 @@ pub enum Span {
     Evaluate = 6,
     /// Response body serialization.
     Serialize = 7,
+    /// Time a job spent queued before a compute worker picked it up.
+    QueueWait = 8,
 }
 
 /// Number of spans in the fixed schema.
-pub const SPAN_COUNT: usize = 8;
+pub const SPAN_COUNT: usize = 9;
 
 /// All spans, in registry order.
 pub const SPANS: [Span; SPAN_COUNT] = [
@@ -84,6 +86,7 @@ pub const SPANS: [Span; SPAN_COUNT] = [
     Span::Compile,
     Span::Evaluate,
     Span::Serialize,
+    Span::QueueWait,
 ];
 
 impl Span {
@@ -99,13 +102,14 @@ impl Span {
             Span::Compile => "compile",
             Span::Evaluate => "evaluate",
             Span::Serialize => "serialize",
+            Span::QueueWait => "queue_wait",
         }
     }
 }
 
 /// The fixed endpoint labels the registry shards over. Unknown paths
 /// land in `other` so the matrix never grows.
-pub const ENDPOINT_LABELS: [&str; 11] = [
+pub const ENDPOINT_LABELS: [&str; 12] = [
     "closed_form",
     "evaluate",
     "verdict",
@@ -116,6 +120,7 @@ pub const ENDPOINT_LABELS: [&str; 11] = [
     "metrics",
     "debug_slow",
     "debug_trace",
+    "jobs",
     "other",
 ];
 
@@ -133,7 +138,8 @@ pub fn endpoint_index(path: &str) -> usize {
         "/metrics" => 7,
         "/debug/slow" => 8,
         p if p.starts_with("/debug/trace") => 9,
-        _ => 10,
+        p if p == "/jobs" || p.starts_with("/jobs/") => 10,
+        _ => 11,
     }
 }
 
@@ -445,6 +451,14 @@ impl Telemetry {
         }
     }
 
+    /// Records a single span duration outside the request lifecycle —
+    /// how job compute workers, which have no [`Request`] in hand when
+    /// a queued job finally starts, feed `queue_wait` and execution
+    /// time into the `jobs` endpoint histograms.
+    pub fn record_span(&self, path: &str, span: Span, micros: u64) {
+        self.hist(endpoint_index(path), span).record(micros);
+    }
+
     /// Total requests observed for the endpoint `path` maps to.
     #[must_use]
     pub fn request_count(&self, path: &str) -> u64 {
@@ -716,6 +730,25 @@ mod tests {
         );
         assert_eq!(ENDPOINT_LABELS[endpoint_index("/nope")], "other");
         assert_eq!(ENDPOINT_LABELS[endpoint_index("/debug/slow")], "debug_slow");
+    }
+
+    #[test]
+    fn job_paths_share_the_jobs_endpoint_label() {
+        assert_eq!(ENDPOINT_LABELS[endpoint_index("/jobs")], "jobs");
+        assert_eq!(
+            ENDPOINT_LABELS[endpoint_index("/jobs/00ff00ff00ff00ff")],
+            "jobs"
+        );
+        assert_eq!(ENDPOINT_LABELS[endpoint_index("/jobsx")], "other");
+    }
+
+    #[test]
+    fn record_span_feeds_the_jobs_histograms_directly() {
+        let t = Telemetry::new();
+        t.record_span("/jobs", Span::QueueWait, 250);
+        let snap = t.snapshot(endpoint_index("/jobs"), Span::QueueWait);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 250);
     }
 
     #[test]
